@@ -1,0 +1,1152 @@
+//! Syntactic loop transformations (Sec. IV-B/C).
+//!
+//! Everything here is a pure tree rewrite: legality is the caller's
+//! responsibility (the optimizer checks dependence vectors *before*
+//! transforming, per the paper's staging), and the interpreter-based
+//! equivalence tests verify the composition end-to-end.
+
+use crate::tree::{Bound, BoundExpr, LinExpr, Loop, Node, Par, Program};
+
+/// Length of the perfect loop band starting at `node`: the number of
+/// directly nested loops (each body exactly one loop) before hitting a
+/// `Seq`, `Guard` or statement.
+pub fn band_depth(node: &Node) -> usize {
+    match node {
+        Node::Loop(l) => 1 + band_depth(&l.body),
+        _ => 0,
+    }
+}
+
+/// Skews the loop `inner` (found by variable id) by `factor ×` the value
+/// of the enclosing loop variable `outer_var`: the new inner variable is
+/// `w = v + factor·outer`, so all loop-carried distances on `inner`
+/// become `δ_w = δ_v + factor·δ_outer`. Returns `true` if the loop was
+/// found and rewritten.
+pub fn skew(node: &mut Node, inner_var: usize, outer_var: usize, factor: i64) -> bool {
+    match node {
+        Node::Seq(xs) => xs
+            .iter_mut()
+            .any(|x| skew(x, inner_var, outer_var, factor)),
+        Node::Guard(_, b) => skew(b, inner_var, outer_var, factor),
+        Node::Loop(l) => {
+            if l.var != inner_var {
+                return skew(&mut l.body, inner_var, outer_var, factor);
+            }
+            let shift = LinExpr::var(outer_var).scale(factor);
+            // Bounds of w = v + factor·outer are old bounds + shift.
+            l.lo = l.lo.map(&|e| e.add(&shift));
+            l.hi = l.hi.map(&|e| e.add(&shift));
+            // Inside, v = w - factor·outer.
+            let replacement = LinExpr::var(inner_var).add_scaled(&LinExpr::var(outer_var), -factor);
+            l.body.subst_var(inner_var, &replacement);
+            true
+        }
+        Node::Stmt(_) => false,
+    }
+}
+
+/// Relaxes a bound expression for use in a *tile* loop: every reference to
+/// a point variable of an outer tiled loop is replaced by the tile-extreme
+/// value that makes the bound cover all point iterations.
+/// `point_to_tile` maps point variable → (tile variable, tile size).
+fn relax_bound(
+    b: &Bound,
+    point_to_tile: &[(usize, usize, i64)],
+    lower: bool,
+) -> Bound {
+    Bound {
+        exprs: b
+            .exprs
+            .iter()
+            .map(|be| {
+                let mut e = be.expr.clone();
+                for &(pv, tv, ts) in point_to_tile {
+                    let c = e.coeff_of(pv);
+                    if c == 0 {
+                        continue;
+                    }
+                    // Lower bounds must be minimized (cover from below);
+                    // upper bounds maximized.
+                    let use_low_end = (c > 0) == lower;
+                    let repl = if use_low_end {
+                        LinExpr::var(tv)
+                    } else {
+                        LinExpr::var(tv).plus(ts - 1)
+                    };
+                    e = e.subst(pv, &repl);
+                }
+                BoundExpr {
+                    expr: e,
+                    denom: be.denom,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Tiles the perfect band of `sizes.len()` loops rooted at `node`
+/// (which must be a `Loop` with `band_depth(node) >= sizes.len()`),
+/// producing `k` tile loops around `k` point loops:
+///
+/// ```text
+/// for x1t in lo1'..hi1' step T1          (relaxed bounds)
+///   …
+///     for x1 in max(lo1, x1t)..min(hi1, x1t+T1-1)
+///       …
+///         body
+/// ```
+///
+/// Triangular / skewed bands are handled by bound relaxation (tile loops
+/// may visit empty tiles; point loops clamp exactly). Parallelism
+/// annotations migrate to the tile loops. Panics on a non-loop node or
+/// insufficient band depth.
+pub fn tile_band(prog: &mut Program, node: Node, sizes: &[i64]) -> Node {
+    let k = sizes.len();
+    assert!(k >= 1, "empty tile size list");
+    assert!(
+        band_depth(&node) >= k,
+        "tile_band: band depth {} < {k}",
+        band_depth(&node)
+    );
+    // Collect the k loops.
+    let mut loops: Vec<Loop> = Vec::with_capacity(k);
+    let mut cur = node;
+    for _ in 0..k {
+        match cur {
+            Node::Loop(l) => {
+                let l = *l;
+                cur = l.body.clone();
+                loops.push(Loop {
+                    body: Node::Seq(vec![]),
+                    ..l
+                });
+            }
+            _ => unreachable!("band_depth checked"),
+        }
+    }
+    let innermost_body = cur;
+
+    // Allocate tile variables.
+    let tile_vars: Vec<usize> = (0..k).map(|_| prog.fresh_var()).collect();
+    let map: Vec<(usize, usize, i64)> = loops
+        .iter()
+        .zip(&tile_vars)
+        .zip(sizes)
+        .map(|((l, &tv), &ts)| (l.var, tv, ts))
+        .collect();
+
+    // Point loops, innermost first.
+    let mut body = innermost_body;
+    for j in (0..k).rev() {
+        let l = &loops[j];
+        let (_, tv, ts) = map[j];
+        let mut lo = l.lo.clone();
+        lo.exprs.push(BoundExpr {
+            expr: LinExpr::var(tv),
+            denom: 1,
+        });
+        let mut hi = l.hi.clone();
+        hi.exprs.push(BoundExpr {
+            expr: LinExpr::var(tv).plus(ts - 1),
+            denom: 1,
+        });
+        body = Node::loop_(Loop {
+            var: l.var,
+            name: l.name.clone(),
+            lo,
+            hi,
+            step: l.step,
+            par: Par::Seq,
+            body,
+        });
+    }
+
+    // Tile loops, innermost first. Bounds of tile loop j may reference the
+    // point variables of loops 0..j: relax them through all outer tiles.
+    for j in (0..k).rev() {
+        let l = &loops[j];
+        let (_, tv, ts) = map[j];
+        let outer_map = &map[..j];
+        let lo = relax_bound(&l.lo, outer_map, true);
+        let hi = relax_bound(&l.hi, outer_map, false);
+        body = Node::loop_(Loop {
+            var: tv,
+            name: format!("{}t", l.name),
+            lo,
+            hi,
+            step: ts * l.step,
+            par: l.par,
+            body,
+        });
+    }
+    body
+}
+
+/// Unrolls `loop_node` (a `Loop` with step 1) by `factor` using the
+/// guarded-epilogue scheme: the loop steps by `factor`, the body is
+/// replicated at offsets `0..factor`, and replicas past the first are
+/// guarded by `hi - (v + r) >= 0` so ragged trip counts stay correct.
+pub fn unroll(l: &Loop, factor: i64) -> Node {
+    assert!(factor >= 1);
+    assert_eq!(l.step, 1, "unroll requires unit step");
+    if factor == 1 {
+        return Node::loop_(l.clone());
+    }
+    let mut replicas = Vec::with_capacity(factor as usize);
+    for r in 0..factor {
+        let mut b = l.body.clone();
+        if r > 0 {
+            b.subst_var(l.var, &LinExpr::var(l.var).plus(r));
+            // Guard: v + r <= hi  ⇔  hi - v - r >= 0 for every hi expr.
+            let guards: Vec<LinExpr> = l
+                .hi
+                .exprs
+                .iter()
+                .map(|be| {
+                    assert_eq!(be.denom, 1, "unroll: divided upper bound");
+                    be.expr.add_scaled(&LinExpr::var(l.var), -1).plus(-r)
+                })
+                .collect();
+            b = Node::Guard(guards, Box::new(b));
+        }
+        replicas.push(b);
+    }
+    Node::loop_(Loop {
+        var: l.var,
+        name: l.name.clone(),
+        lo: l.lo.clone(),
+        hi: l.hi.clone(),
+        step: factor,
+        par: l.par,
+        body: Node::Seq(replicas),
+    })
+}
+
+/// Unroll-and-jam: unrolls an outer loop of a perfect pair by `factor`
+/// and jams the replicated inner loops into one (register tiling,
+/// Sec. IV-C). Requires the inner loop's bounds to be invariant in the
+/// outer variable; returns `None` when the shape does not allow it.
+pub fn unroll_and_jam(l: &Loop, factor: i64) -> Option<Node> {
+    assert!(factor >= 1);
+    if factor == 1 {
+        return Some(Node::loop_(l.clone()));
+    }
+    if l.step != 1 {
+        return None;
+    }
+    let inner = match &l.body {
+        Node::Loop(i) => i.as_ref().clone(),
+        _ => return None,
+    };
+    let invariant = |b: &Bound| b.exprs.iter().all(|be| be.expr.coeff_of(l.var) == 0);
+    if !invariant(&inner.lo) || !invariant(&inner.hi) {
+        return None;
+    }
+    // Jammed inner body: replicas of inner.body at outer offsets.
+    let mut replicas = Vec::with_capacity(factor as usize);
+    for r in 0..factor {
+        let mut b = inner.body.clone();
+        if r > 0 {
+            b.subst_var(l.var, &LinExpr::var(l.var).plus(r));
+            let guards: Vec<LinExpr> = l
+                .hi
+                .exprs
+                .iter()
+                .map(|be| {
+                    assert_eq!(be.denom, 1, "unroll_and_jam: divided upper bound");
+                    be.expr.add_scaled(&LinExpr::var(l.var), -1).plus(-r)
+                })
+                .collect();
+            b = Node::Guard(guards, Box::new(b));
+        }
+        replicas.push(b);
+    }
+    Some(Node::loop_(Loop {
+        var: l.var,
+        name: l.name.clone(),
+        lo: l.lo.clone(),
+        hi: l.hi.clone(),
+        step: factor,
+        par: l.par,
+        body: Node::loop_(Loop {
+            body: Node::Seq(replicas),
+            ..inner
+        }),
+    }))
+}
+
+/// Wavefronts a perfect pair of loops: replaces `(u, v)` by `(w, v)` with
+/// `w = u + v`; the inner loop is marked [`Par::Doall`] (all iterations of
+/// a diagonal are independent once every dependence is non-negative in
+/// both dimensions). Requires the inner bounds to be invariant in `u`.
+/// Returns `None` when the shape does not allow it.
+pub fn wavefront(l: &Loop) -> Option<Node> {
+    let inner = match &l.body {
+        Node::Loop(i) => i.as_ref().clone(),
+        _ => return None,
+    };
+    if l.step != 1 || inner.step != 1 {
+        return None;
+    }
+    let invariant = |b: &Bound| b.exprs.iter().all(|be| be.expr.coeff_of(l.var) == 0);
+    if !invariant(&inner.lo) || !invariant(&inner.hi) {
+        return None;
+    }
+    let unit = |b: &Bound| b.exprs.iter().all(|be| be.denom == 1);
+    if !unit(&l.lo) || !unit(&l.hi) || !unit(&inner.lo) || !unit(&inner.hi) {
+        return None;
+    }
+    // w = u + v : bounds are cross sums (max+max / min+min distribute).
+    let cross = |a: &Bound, b: &Bound| Bound {
+        exprs: a
+            .exprs
+            .iter()
+            .flat_map(|x| {
+                b.exprs.iter().map(move |y| BoundExpr {
+                    expr: x.expr.add(&y.expr),
+                    denom: 1,
+                })
+            })
+            .collect(),
+    };
+    let w_lo = cross(&l.lo, &inner.lo);
+    let w_hi = cross(&l.hi, &inner.hi);
+    // Inner v: max(lo_v, w - hi_u) .. min(hi_v, w - lo_u). Note w is the
+    // *same variable slot* as u (reused), v keeps its slot.
+    let w_var = l.var;
+    let minus = |b: &Bound| -> Vec<BoundExpr> {
+        b.exprs
+            .iter()
+            .map(|be| BoundExpr {
+                expr: LinExpr::var(w_var).add_scaled(&be.expr, -1),
+                denom: 1,
+            })
+            .collect()
+    };
+    let mut v_lo = inner.lo.clone();
+    v_lo.exprs.extend(minus(&l.hi)); // v >= w - hi_u
+    let mut v_hi = inner.hi.clone();
+    v_hi.exprs.extend(minus(&l.lo)); // v <= w - lo_u
+    // Body: u = w - v.
+    let mut body = inner.body.clone();
+    body.subst_var(
+        l.var,
+        &LinExpr::var(w_var).add_scaled(&LinExpr::var(inner.var), -1),
+    );
+    // (subst_var on l.var already replaced u, and w reuses u's slot: the
+    //  substitution above must therefore happen on a *fresh* copy — it maps
+    //  old-u to w - v, and since w occupies u's slot the expression is
+    //  self-consistent at evaluation time.)
+    Some(Node::loop_(Loop {
+        var: w_var,
+        name: format!("w_{}", l.name),
+        lo: w_lo,
+        hi: w_hi,
+        step: 1,
+        par: Par::Seq,
+        body: Node::loop_(Loop {
+            var: inner.var,
+            name: inner.name.clone(),
+            lo: v_lo,
+            hi: v_hi,
+            step: 1,
+            par: Par::Doall,
+            body,
+        }),
+    }))
+}
+
+/// Walks the tree and tiles every maximal perfect band of depth ≥ 2 with
+/// the given tile size (same size per dimension, the paper's setup), then
+/// recurses into the point-loop bodies. Bands of depth 1 are left alone.
+pub fn tile_all(prog: &mut Program, node: Node, tile: i64) -> Node {
+    match node {
+        Node::Seq(xs) => Node::Seq(
+            xs.into_iter()
+                .map(|x| tile_all(prog, x, tile))
+                .collect(),
+        ),
+        Node::Guard(g, b) => Node::Guard(g, Box::new(tile_all(prog, *b, tile))),
+        Node::Stmt(s) => Node::Stmt(s),
+        Node::Loop(_) => {
+            let depth = band_depth(&node);
+            if depth >= 2 {
+                let sizes = vec![tile; depth];
+                let tiled = tile_band(prog, node, &sizes);
+                // Recurse into the innermost body (below 2k loops).
+                descend_and_recurse(prog, tiled, 2 * depth, tile)
+            } else {
+                // Single loop: recurse into body.
+                match node {
+                    Node::Loop(mut l) => {
+                        l.body = tile_all(prog, l.body, tile);
+                        Node::Loop(l)
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+fn descend_and_recurse(prog: &mut Program, node: Node, levels: usize, tile: i64) -> Node {
+    if levels == 0 {
+        return tile_all(prog, node, tile);
+    }
+    match node {
+        Node::Loop(mut l) => {
+            l.body = descend_and_recurse(prog, l.body, levels - 1, tile);
+            Node::Loop(l)
+        }
+        other => tile_all(prog, other, tile),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{alloc_arrays, execute};
+    use crate::tree::{Program, StmtNode};
+    use polymix_ir::builder::{con, ix, par, ScopBuilder};
+    use polymix_ir::Expr;
+
+    /// `for i in 0..N: for j in 0..N: A[i][j] = A[i][j] + 1` with AST.
+    fn grid_program(n: i64) -> Program {
+        let mut b = ScopBuilder::new("grid", &["N"], &[n]);
+        let a = b.array("A", &["N", "N"]);
+        b.enter("i", con(0), par("N"));
+        b.enter("j", con(0), par("N"));
+        let body = Expr::add(b.rd(a, &[ix("i"), ix("j")]), Expr::Const(1.0));
+        b.stmt("S", a, &[ix("i"), ix("j")], body);
+        b.exit();
+        b.exit();
+        let scop = b.finish();
+        let body = Node::loop_(Loop {
+            var: 0,
+            name: "i".into(),
+            lo: Bound::con(0),
+            hi: Bound::of(LinExpr::param(0).plus(-1)),
+            step: 1,
+            par: Par::Seq,
+            body: Node::loop_(Loop {
+                var: 1,
+                name: "j".into(),
+                lo: Bound::con(0),
+                hi: Bound::of(LinExpr::param(0).plus(-1)),
+                step: 1,
+                par: Par::Seq,
+                body: Node::Stmt(StmtNode {
+                    stmt_idx: 0,
+                    iter_exprs: vec![LinExpr::var(0), LinExpr::var(1)],
+                }),
+            }),
+        });
+        Program {
+            scop,
+            body,
+            n_vars: 2,
+        }
+    }
+
+    fn run_all_ones(p: &Program, n: i64) -> Vec<f64> {
+        let mut arrays = alloc_arrays(&p.scop, &[n]);
+        execute(p, &[n], &mut arrays);
+        arrays[0].clone()
+    }
+
+    #[test]
+    fn band_depth_of_grid_is_two() {
+        let p = grid_program(4);
+        assert_eq!(band_depth(&p.body), 2);
+    }
+
+    #[test]
+    fn tiling_preserves_semantics_including_ragged_edges() {
+        for n in [1, 3, 7, 8, 10] {
+            let mut p = grid_program(n);
+            let body = p.body.clone();
+            p.body = tile_band(&mut p, body, &[3, 3]);
+            let out = run_all_ones(&p, n);
+            assert_eq!(out, vec![1.0; (n * n) as usize], "n={n}");
+        }
+    }
+
+    #[test]
+    fn tiling_executes_each_point_exactly_once() {
+        // A[i][j] += 1 would double-count if tiles overlapped.
+        let n = 10;
+        let mut p = grid_program(n);
+        let body = p.body.clone();
+        p.body = tile_band(&mut p, body, &[4, 3]);
+        let out = run_all_ones(&p, n);
+        assert!(out.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn tile_loops_inherit_parallelism() {
+        let mut p = grid_program(6);
+        if let Node::Loop(l) = &mut p.body {
+            l.par = Par::Doall;
+        }
+        let body = p.body.clone();
+        p.body = tile_band(&mut p, body, &[2, 2]);
+        match &p.body {
+            Node::Loop(t) => {
+                assert_eq!(t.par, Par::Doall);
+                assert!(t.name.ends_with('t'));
+                assert_eq!(t.step, 2);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn skewed_then_tiled_triangular_band_is_correct() {
+        let n = 9;
+        let mut p = grid_program(n);
+        // Skew j by i: j' = j + i (legal here; semantics preserved).
+        assert!(skew(&mut p.body, 1, 0, 1));
+        let out = run_all_ones(&p, n);
+        assert_eq!(out, vec![1.0; (n * n) as usize]);
+        // Now tile the skewed (triangular) band.
+        let body = p.body.clone();
+        p.body = tile_band(&mut p, body, &[4, 4]);
+        let out = run_all_ones(&p, n);
+        assert_eq!(out, vec![1.0; (n * n) as usize]);
+    }
+
+    #[test]
+    fn unroll_guarded_epilogue_is_exact() {
+        for n in [5, 8, 9] {
+            let mut p = grid_program(n);
+            // Unroll the inner j loop by 4.
+            if let Node::Loop(i) = &mut p.body {
+                if let Node::Loop(j) = &i.body {
+                    i.body = unroll(j, 4);
+                }
+            }
+            let out = run_all_ones(&p, n);
+            assert_eq!(out, vec![1.0; (n * n) as usize], "n={n}");
+        }
+    }
+
+    #[test]
+    fn unroll_and_jam_outer_by_two() {
+        for n in [4, 5, 7] {
+            let mut p = grid_program(n);
+            let jammed = match &p.body {
+                Node::Loop(l) => unroll_and_jam(l, 2).expect("jammable"),
+                _ => panic!(),
+            };
+            p.body = jammed;
+            let out = run_all_ones(&p, n);
+            assert_eq!(out, vec![1.0; (n * n) as usize], "n={n}");
+        }
+    }
+
+    #[test]
+    fn unroll_and_jam_refuses_triangular_inner() {
+        let mut p = grid_program(6);
+        // Make the inner loop bounds depend on i.
+        if let Node::Loop(l) = &mut p.body {
+            if let Node::Loop(j) = &mut l.body {
+                j.hi = Bound::of(LinExpr::var(0));
+            }
+        }
+        if let Node::Loop(l) = &p.body {
+            assert!(unroll_and_jam(l, 2).is_none());
+        }
+    }
+
+    #[test]
+    fn wavefront_preserves_semantics() {
+        for n in [1, 4, 7] {
+            let mut p = grid_program(n);
+            let w = match &p.body {
+                Node::Loop(l) => wavefront(l).expect("wavefrontable"),
+                _ => panic!(),
+            };
+            p.body = w;
+            let out = run_all_ones(&p, n);
+            assert_eq!(out, vec![1.0; (n * n) as usize], "n={n}");
+            // Inner loop must be doall.
+            if let Node::Loop(w) = &p.body {
+                if let Node::Loop(v) = &w.body {
+                    assert_eq!(v.par, Par::Doall);
+                } else {
+                    panic!();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_all_handles_nested_seq_structures() {
+        // Two grid nests in sequence; both get tiled.
+        let n = 6;
+        let p1 = grid_program(n);
+        let mut p = p1.clone();
+        p.body = Node::Seq(vec![p1.body.clone(), p1.body.clone()]);
+        let body = p.body.clone();
+        p.body = tile_all(&mut p, body, 4);
+        // Each grid increments once → value 2 everywhere.
+        let out = run_all_ones(&p, n);
+        assert_eq!(out, vec![2.0; (n * n) as usize]);
+        // Structure: Seq of two tiled nests (4 loops deep each).
+        if let Node::Seq(xs) = &p.body {
+            assert_eq!(xs.len(), 2);
+            assert_eq!(band_depth(&xs[0]), 4);
+        } else {
+            panic!();
+        }
+    }
+}
+
+/// Tiles the outermost `sizes.len()` levels of a possibly *imperfect*
+/// nest by clamping: tile loops iterate box origins over the shared level
+/// coordinates, the whole original structure becomes the tile body with
+/// every level-`k` loop's bounds intersected with
+/// `[u_k, u_k + size_k - 1]`.
+///
+/// Requirements (checked; returns `None` when unmet):
+/// * at every level `k < sizes.len()` all loops have *identical* lower
+///   and upper bounds,
+/// * those bounds reference no loop variables of levels `>= 1` other than
+///   shared chain variables — concretely, every variable they mention
+///   must belong to a loop that is the unique loop of its level.
+///
+/// This is the classical "tile the fused band jointly" shape needed for
+/// time-tiling imperfectly nested stencils (jacobi-style kernels).
+pub fn tile_imperfect(prog: &mut Program, node: Node, sizes: &[i64]) -> Option<Node> {
+    let m = sizes.len();
+    // Collect per-level loop bound sets and the shared chain variables.
+    fn collect<'a>(node: &'a Node, level: usize, out: &mut Vec<Vec<&'a Loop>>) {
+        match node {
+            Node::Seq(xs) => xs.iter().for_each(|x| collect(x, level, out)),
+            Node::Guard(_, b) => collect(b, level, out),
+            Node::Loop(l) => {
+                if level < out.len() {
+                    out[level].push(l);
+                    collect(&l.body, level + 1, out);
+                }
+            }
+            Node::Stmt(_) => {}
+        }
+    }
+    let mut levels: Vec<Vec<&Loop>> = vec![Vec::new(); m];
+    collect(&node, 0, &mut levels);
+    // Every statement must sit below all m band levels; otherwise the
+    // clamped body would re-execute shallow statements once per tile of
+    // the missing levels (duplicating work — illegal).
+    fn min_stmt_depth(node: &Node, level: usize, min: &mut usize) {
+        match node {
+            Node::Seq(xs) => xs.iter().for_each(|x| min_stmt_depth(x, level, min)),
+            Node::Guard(_, b) => min_stmt_depth(b, level, min),
+            Node::Loop(l) => min_stmt_depth(&l.body, level + 1, min),
+            Node::Stmt(_) => *min = (*min).min(level),
+        }
+    }
+    let mut min_depth = usize::MAX;
+    min_stmt_depth(&node, 0, &mut min_depth);
+    if min_depth < m {
+        return None;
+    }
+    // Uniqueness / identical-bounds checks, and gather shared vars.
+    let mut shared_vars: Vec<usize> = Vec::new();
+    let mut reps_acc: Vec<(Bound, Bound)> = Vec::new();
+    for lvl in levels.iter().take(m) {
+        let first = lvl.first()?;
+        if first.step != 1 || lvl.iter().any(|l| l.step != 1) {
+            return None;
+        }
+        // Unify bounds across same-level loops: identical bounds pass
+        // directly; single-expression bounds differing only in their
+        // constant term unify to the min (lower) / max (upper) constant,
+        // which over-approximates the union (point loops clamp exactly).
+        let unified_lo = unify_level_bound(lvl, true)?;
+        let unified_hi = unify_level_bound(lvl, false)?;
+        reps_acc.push((unified_lo, unified_hi));
+        // Bounds may only reference shared vars (of unique outer levels).
+        let refs_ok = |b: &Bound| {
+            b.exprs.iter().all(|be| {
+                be.expr
+                    .var_coeffs
+                    .iter()
+                    .all(|(v, _)| shared_vars.contains(v))
+            })
+        };
+        let (ulo, uhi) = reps_acc.last().unwrap();
+        if !refs_ok(ulo) || !refs_ok(uhi) {
+            return None;
+        }
+        let _ = first;
+        if lvl.len() == 1 {
+            shared_vars.push(lvl[0].var);
+        } else {
+            // Multiple loops at this level: no shared var below here.
+            // Bounds of deeper levels must then be var-free; keep going.
+        }
+    }
+
+    // Unified representative bounds per level.
+    let reps: Vec<(Bound, Bound)> = reps_acc;
+    // Map from the unique chain vars to their tile vars for relaxation.
+    let tile_vars: Vec<usize> = (0..m).map(|_| prog.fresh_var()).collect();
+    let chain_map: Vec<(usize, usize, i64)> = levels[..m]
+        .iter()
+        .enumerate()
+        .filter(|(_, lvl)| lvl.len() == 1)
+        .map(|(k, lvl)| (lvl[0].var, tile_vars[k], sizes[k]))
+        .collect();
+
+    // Clamp every level-k loop in the body.
+    let mut body = node;
+    fn clamp(node: &mut Node, level: usize, tile_vars: &[usize], sizes: &[i64]) {
+        match node {
+            Node::Seq(xs) => xs
+                .iter_mut()
+                .for_each(|x| clamp(x, level, tile_vars, sizes)),
+            Node::Guard(_, b) => clamp(b, level, tile_vars, sizes),
+            Node::Loop(l) => {
+                if level < tile_vars.len() {
+                    l.lo.exprs.push(BoundExpr {
+                        expr: LinExpr::var(tile_vars[level]),
+                        denom: 1,
+                    });
+                    l.hi.exprs.push(BoundExpr {
+                        expr: LinExpr::var(tile_vars[level]).plus(sizes[level] - 1),
+                        denom: 1,
+                    });
+                    clamp(&mut l.body, level + 1, tile_vars, sizes);
+                }
+            }
+            Node::Stmt(_) => {}
+        }
+    }
+    clamp(&mut body, 0, &tile_vars, sizes);
+
+    // Parallelism marks of unique level-k loops migrate to tile loops
+    // (and the point loop is demoted to sequential).
+    let mut pars = vec![Par::Seq; m];
+    {
+        fn demote(node: &mut Node, level: usize, pars: &mut Vec<Par>) {
+            match node {
+                Node::Seq(xs) => xs.iter_mut().for_each(|x| demote(x, level, pars)),
+                Node::Guard(_, b) => demote(b, level, pars),
+                Node::Loop(l) => {
+                    if level < pars.len() {
+                        if l.par != Par::Seq {
+                            pars[level] = l.par;
+                            l.par = Par::Seq;
+                        }
+                        demote(&mut l.body, level + 1, pars);
+                    }
+                }
+                Node::Stmt(_) => {}
+            }
+        }
+        demote(&mut body, 0, &mut pars);
+    }
+    // Wrap in tile loops, innermost tile loop first.
+    for k in (0..m).rev() {
+        let (lo, hi) = &reps[k];
+        let lo = relax_bound(lo, &chain_map, true);
+        let hi = relax_bound(hi, &chain_map, false);
+        body = Node::loop_(Loop {
+            var: tile_vars[k],
+            name: format!("u{k}t"),
+            lo,
+            hi,
+            step: sizes[k],
+            par: pars[k],
+            body,
+        });
+    }
+    Some(body)
+}
+
+/// Unifies the bounds of all loops at one level for joint tiling: equal
+/// bounds pass through; single-expression bounds with identical variable /
+/// parameter coefficients unify to the min (lower) or max (upper)
+/// constant term. Returns `None` when unification is impossible.
+fn unify_level_bound(lvl: &[&Loop], lower: bool) -> Option<Bound> {
+    let get = |l: &Loop| if lower { l.lo.clone() } else { l.hi.clone() };
+    let first = get(lvl[0]);
+    if lvl.iter().all(|l| get(l) == first) {
+        return Some(first);
+    }
+    // Constant-term-only differences on single-expression bounds.
+    if first.exprs.len() != 1 || first.exprs[0].denom != 1 {
+        return None;
+    }
+    let base = &first.exprs[0].expr;
+    let mut c = base.c;
+    for l in &lvl[1..] {
+        let b = get(l);
+        if b.exprs.len() != 1 || b.exprs[0].denom != 1 {
+            return None;
+        }
+        let e = &b.exprs[0].expr;
+        if e.var_coeffs != base.var_coeffs || e.param_coeffs != base.param_coeffs {
+            return None;
+        }
+        c = if lower { c.min(e.c) } else { c.max(e.c) };
+    }
+    let mut expr = base.clone();
+    expr.c = c;
+    Some(Bound::of(expr))
+}
+
+#[cfg(test)]
+mod imperfect_tests {
+    use super::*;
+    use crate::interp::{alloc_arrays, execute};
+    use crate::tree::{Program, StmtNode};
+    use polymix_ir::builder::{con, ix, par, ScopBuilder};
+    use polymix_ir::Expr;
+
+    /// t-loop containing two sibling i-loops (jacobi shape), as SCoP+AST.
+    fn two_phase(n: i64, t: i64) -> Program {
+        let mut b = ScopBuilder::new("tp", &["T", "N"], &[t, n]);
+        let a = b.array("A", &["N"]);
+        let c = b.array("B", &["N"]);
+        b.enter("t", con(0), par("T"));
+        b.enter("i", con(0), par("N"));
+        let body = Expr::add(b.rd(a, &[ix("i")]), Expr::Const(1.0));
+        b.stmt("S0", c, &[ix("i")], body);
+        b.exit();
+        b.enter("i", con(0), par("N"));
+        let body = b.rd(c, &[ix("i")]);
+        b.stmt("S1", a, &[ix("i")], body);
+        b.exit();
+        b.exit();
+        let scop = b.finish();
+        let mk_inner = |stmt_idx: usize, var: usize| {
+            Node::loop_(Loop {
+                var,
+                name: "i".into(),
+                lo: Bound::con(0),
+                hi: Bound::of(LinExpr::param(1).plus(-1)),
+                step: 1,
+                par: Par::Seq,
+                body: Node::Stmt(StmtNode {
+                    stmt_idx,
+                    iter_exprs: vec![LinExpr::var(0), LinExpr::var(var)],
+                }),
+            })
+        };
+        let body = Node::loop_(Loop {
+            var: 0,
+            name: "t".into(),
+            lo: Bound::con(0),
+            hi: Bound::of(LinExpr::param(0).plus(-1)),
+            step: 1,
+            par: Par::Seq,
+            body: Node::Seq(vec![mk_inner(0, 1), mk_inner(1, 2)]),
+        });
+        Program {
+            scop,
+            body,
+            n_vars: 3,
+        }
+    }
+
+    #[test]
+    fn imperfect_tiling_preserves_semantics() {
+        for (t, n) in [(1i64, 5i64), (4, 9), (6, 16)] {
+            let base = two_phase(n, t);
+            let mut expected = alloc_arrays(&base.scop, &[t, n]);
+            execute(&base, &[t, n], &mut expected);
+
+            let mut tiled = two_phase(n, t);
+            let body = tiled.body.clone();
+            let new = tile_imperfect(&mut tiled, body, &[2, 4]).expect("tilable");
+            tiled.body = new;
+            let mut actual = alloc_arrays(&tiled.scop, &[t, n]);
+            execute(&tiled, &[t, n], &mut actual);
+            assert_eq!(actual, expected, "t={t} n={n}");
+        }
+    }
+
+    #[test]
+    fn imperfect_tiling_unifies_constant_offset_bounds() {
+        // A shorter second i-loop (same coefficients, different constant)
+        // unifies: the tile hull covers both, point loops clamp.
+        let t = 3;
+        let n = 8;
+        let mut p = two_phase(n, t);
+        if let Node::Loop(tl) = &mut p.body {
+            if let Node::Seq(xs) = &mut tl.body {
+                if let Node::Loop(l2) = &mut xs[1] {
+                    l2.hi = Bound::of(LinExpr::param(1).plus(-2));
+                }
+            }
+        }
+        let mut expected = alloc_arrays(&p.scop, &[t, n]);
+        execute(&p, &[t, n], &mut expected);
+        let body = p.body.clone();
+        let tiled = tile_imperfect(&mut p, body, &[2, 4]).expect("unifiable");
+        p.body = tiled;
+        let mut actual = alloc_arrays(&p.scop, &[t, n]);
+        execute(&p, &[t, n], &mut actual);
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn imperfect_tiling_rejects_incomparable_bounds() {
+        let mut p = two_phase(8, 3);
+        // Second i-loop bounded by 2·N: different coefficients, no
+        // unification possible.
+        if let Node::Loop(tl) = &mut p.body {
+            if let Node::Seq(xs) = &mut tl.body {
+                if let Node::Loop(l2) = &mut xs[1] {
+                    l2.hi = Bound::of(LinExpr::param(1).scale(2).plus(-1));
+                }
+            }
+        }
+        let body = p.body.clone();
+        assert!(tile_imperfect(&mut p, body, &[2, 4]).is_none());
+    }
+
+    #[test]
+    fn imperfect_tile_loop_structure() {
+        let mut p = two_phase(8, 4);
+        let body = p.body.clone();
+        let new = tile_imperfect(&mut p, body, &[2, 4]).unwrap();
+        // Two tile loops wrapping the original t loop.
+        match &new {
+            Node::Loop(u0) => {
+                assert_eq!(u0.step, 2);
+                match &u0.body {
+                    Node::Loop(u1) => {
+                        assert_eq!(u1.step, 4);
+                        assert!(matches!(&u1.body, Node::Loop(t) if t.name == "t"));
+                    }
+                    _ => panic!("expected inner tile loop"),
+                }
+            }
+            _ => panic!("expected tile loop"),
+        }
+        p.body = new;
+    }
+}
+
+/// Fully unrolls a loop whose trip count is a compile-time constant
+/// (constant bounds and step): the body is replicated once per iteration
+/// with the variable substituted by its value. Returns `None` when the
+/// bounds are not constant or the trip count exceeds `limit`.
+pub fn full_unroll(l: &Loop, limit: i64) -> Option<Node> {
+    let lo = l.lo.is_const()?;
+    let hi = l.hi.is_const()?;
+    if hi < lo {
+        return Some(Node::Seq(vec![]));
+    }
+    let trips = (hi - lo) / l.step + 1;
+    if trips > limit {
+        return None;
+    }
+    let mut out = Vec::with_capacity(trips as usize);
+    let mut v = lo;
+    while v <= hi {
+        let mut b = l.body.clone();
+        b.subst_var(l.var, &LinExpr::con(v));
+        out.push(b);
+        v += l.step;
+    }
+    Some(Node::Seq(out))
+}
+
+/// Distributes a loop over the members of its `Seq` body:
+/// `for v { A; B }` becomes `for v { A }; for v { B }` (each clone gets a
+/// fresh variable). **Legality** (no backward dependence from a later
+/// member to an earlier one carried by this loop) is the caller's
+/// responsibility. Returns `None` when the body is not a `Seq`.
+pub fn distribute(prog: &mut Program, l: &Loop) -> Option<Node> {
+    let Node::Seq(members) = &l.body else {
+        return None;
+    };
+    let out = members
+        .iter()
+        .map(|m| {
+            let var = prog.fresh_var();
+            let mut body = m.clone();
+            body.subst_var(l.var, &LinExpr::var(var));
+            Node::loop_(Loop {
+                var,
+                name: l.name.clone(),
+                lo: l.lo.clone(),
+                hi: l.hi.clone(),
+                step: l.step,
+                par: l.par,
+                body,
+            })
+        })
+        .collect();
+    Some(Node::Seq(out))
+}
+
+/// Fuses two adjacent loops with identical bounds and step:
+/// `for u { A }; for v { B }` becomes `for u { A; B[v := u] }`.
+/// **Legality** (no dependence from the second loop's earlier iterations
+/// to the first loop's later ones) is the caller's responsibility.
+/// Returns `None` when bounds or steps differ.
+pub fn fuse(a: &Loop, b: &Loop) -> Option<Node> {
+    if a.lo != b.lo || a.hi != b.hi || a.step != b.step {
+        return None;
+    }
+    let mut b_body = b.body.clone();
+    b_body.subst_var(b.var, &LinExpr::var(a.var));
+    let body = match a.body.clone() {
+        Node::Seq(mut xs) => {
+            xs.push(b_body);
+            Node::Seq(xs)
+        }
+        other => Node::Seq(vec![other, b_body]),
+    };
+    Some(Node::loop_(Loop {
+        var: a.var,
+        name: a.name.clone(),
+        lo: a.lo.clone(),
+        hi: a.hi.clone(),
+        step: a.step,
+        par: Par::Seq,
+        body,
+    }))
+}
+
+#[cfg(test)]
+mod structure_tests {
+    use super::*;
+    use crate::interp::{alloc_arrays, execute};
+    use crate::tree::{Program, StmtNode};
+    use polymix_ir::builder::{con, ix, par, ScopBuilder};
+    use polymix_ir::Expr;
+
+    /// Two independent statements over the same range, as one fused loop.
+    fn two_stmt_loop(n: i64) -> Program {
+        let mut b = ScopBuilder::new("ts", &["N"], &[n]);
+        let x = b.array("X", &["N"]);
+        let y = b.array("Y", &["N"]);
+        b.enter("i", con(0), par("N"));
+        b.stmt("S0", x, &[ix("i")], Expr::Iter(0));
+        let body = Expr::mul(b.rd(x, &[ix("i")]), Expr::Const(2.0));
+        b.stmt("S1", y, &[ix("i")], body);
+        b.exit();
+        let scop = b.finish();
+        let mk = |idx: usize| {
+            Node::Stmt(StmtNode {
+                stmt_idx: idx,
+                iter_exprs: vec![LinExpr::var(0)],
+            })
+        };
+        Program {
+            scop,
+            body: Node::loop_(Loop {
+                var: 0,
+                name: "i".into(),
+                lo: Bound::con(0),
+                hi: Bound::of(LinExpr::param(0).plus(-1)),
+                step: 1,
+                par: Par::Seq,
+                body: Node::Seq(vec![mk(0), mk(1)]),
+            }),
+            n_vars: 1,
+        }
+    }
+
+    fn outputs(p: &Program, n: i64) -> Vec<Vec<f64>> {
+        let mut arrays = alloc_arrays(&p.scop, &[n]);
+        execute(p, &[n], &mut arrays);
+        arrays
+    }
+
+    #[test]
+    fn distribute_preserves_independent_statements() {
+        let n = 9;
+        let base = two_stmt_loop(n);
+        let expected = outputs(&base, n);
+        let mut p = two_stmt_loop(n);
+        let l = match &p.body {
+            Node::Loop(l) => l.as_ref().clone(),
+            _ => panic!(),
+        };
+        p.body = distribute(&mut p, &l).expect("distributable");
+        assert_eq!(outputs(&p, n), expected);
+        // Two top-level loops now.
+        match &p.body {
+            Node::Seq(xs) => assert_eq!(xs.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn fuse_inverts_distribute() {
+        let n = 7;
+        let base = two_stmt_loop(n);
+        let expected = outputs(&base, n);
+        let mut p = two_stmt_loop(n);
+        let l = match &p.body {
+            Node::Loop(l) => l.as_ref().clone(),
+            _ => panic!(),
+        };
+        let distributed = distribute(&mut p, &l).unwrap();
+        let (a, b) = match &distributed {
+            Node::Seq(xs) => match (&xs[0], &xs[1]) {
+                (Node::Loop(a), Node::Loop(b)) => (a.as_ref().clone(), b.as_ref().clone()),
+                _ => panic!(),
+            },
+            _ => panic!(),
+        };
+        p.body = fuse(&a, &b).expect("fusable");
+        assert_eq!(outputs(&p, n), expected);
+    }
+
+    #[test]
+    fn fuse_rejects_mismatched_bounds() {
+        let mut p = two_stmt_loop(5);
+        let l = match &p.body {
+            Node::Loop(l) => l.as_ref().clone(),
+            _ => panic!(),
+        };
+        let d = distribute(&mut p, &l).unwrap();
+        let Node::Seq(xs) = d else { panic!() };
+        let (Node::Loop(a), Node::Loop(b)) = (xs[0].clone(), xs[1].clone()) else {
+            panic!()
+        };
+        let mut shorter = *b;
+        shorter.hi = Bound::con(3);
+        assert!(fuse(&a, &shorter).is_none());
+        let mut stepped = a.as_ref().clone();
+        stepped.step = 2;
+        assert!(fuse(&stepped, &a).is_none());
+    }
+
+    #[test]
+    fn full_unroll_replicates_constant_trip_loops() {
+        let n = 4;
+        let base = two_stmt_loop(n);
+        let expected = outputs(&base, n);
+        let mut p = two_stmt_loop(n);
+        // Pin the loop to constant bounds (N = 4).
+        if let Node::Loop(l) = &mut p.body {
+            l.hi = Bound::con(3);
+            let unrolled = full_unroll(l, 16).expect("constant trip");
+            p.body = unrolled;
+        }
+        assert_eq!(outputs(&p, n), expected);
+        assert_eq!(p.body.count_stmts(), 8); // 4 iterations × 2 statements
+    }
+
+    #[test]
+    fn full_unroll_refuses_large_or_dynamic_loops() {
+        let p = two_stmt_loop(5);
+        if let Node::Loop(l) = &p.body {
+            assert!(full_unroll(l, 16).is_none(), "parametric bound");
+            let mut c = l.as_ref().clone();
+            c.hi = Bound::con(99);
+            assert!(full_unroll(&c, 16).is_none(), "trip over limit");
+            c.hi = Bound::con(-1);
+            assert!(matches!(full_unroll(&c, 16), Some(Node::Seq(v)) if v.is_empty()));
+        }
+    }
+}

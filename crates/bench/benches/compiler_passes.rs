@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the compiler itself: dependence analysis,
+//! the DL-guided affine stage, the Pluto-like baseline scheduler, code
+//! generation, and the full end-to-end flows on representative kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polymix_codegen::from_poly::generate;
+use polymix_core::{affine_stage, optimize_poly_ast, PolyAstOptions};
+use polymix_deps::build_podg;
+use polymix_dl::Machine;
+use polymix_pluto::{optimize_pluto, schedule_pluto, Fusion, PlutoOptions};
+use polymix_polybench::kernel_by_name;
+use std::hint::black_box;
+
+fn dependence_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_podg");
+    for name in ["gemm", "2mm", "seidel-2d", "fdtd-2d", "adi"] {
+        let scop = (kernel_by_name(name).unwrap().build)();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scop, |b, s| {
+            b.iter(|| black_box(build_podg(s).deps.len()));
+        });
+    }
+    group.finish();
+}
+
+fn schedulers(c: &mut Criterion) {
+    let machine = Machine::nehalem();
+    let mut group = c.benchmark_group("schedulers");
+    for name in ["gemm", "2mm", "jacobi-2d-imper"] {
+        let scop = (kernel_by_name(name).unwrap().build)();
+        group.bench_with_input(
+            BenchmarkId::new("affine_stage", name),
+            &scop,
+            |b, s| b.iter(|| black_box(affine_stage(s, &machine).len())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pluto_smartfuse", name),
+            &scop,
+            |b, s| b.iter(|| black_box(schedule_pluto(s, Fusion::Smart).len())),
+        );
+    }
+    group.finish();
+}
+
+fn codegen_and_flows(c: &mut Criterion) {
+    let machine = Machine::nehalem();
+    let scop = (kernel_by_name("2mm").unwrap().build)();
+    let schedules = affine_stage(&scop, &machine);
+    c.bench_function("codegen_2mm", |b| {
+        b.iter(|| black_box(generate(&scop, &schedules).body.count_stmts()));
+    });
+    let mut group = c.benchmark_group("end_to_end");
+    for name in ["gemm", "2mm", "seidel-2d"] {
+        let scop = (kernel_by_name(name).unwrap().build)();
+        group.bench_with_input(BenchmarkId::new("poly_ast", name), &scop, |b, s| {
+            b.iter(|| {
+                let p = optimize_poly_ast(
+                    s,
+                    &PolyAstOptions {
+                        machine: machine.clone(),
+                        ..Default::default()
+                    },
+                );
+                black_box(p.n_vars)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("pluto", name), &scop, |b, s| {
+            b.iter(|| {
+                let p = optimize_pluto(s, &PlutoOptions::default());
+                black_box(p.n_vars)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dependence_analysis, schedulers, codegen_and_flows);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the execution substrates: the AST interpreter
+//! (the semantics oracle) and the trace-driven cache simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polymix_ast::interp::execute;
+use polymix_bench::variants::{build_variant, Variant};
+use polymix_cachesim::{simulate, CacheConfig};
+use polymix_dl::Machine;
+use polymix_polybench::kernel_by_name;
+use std::hint::black_box;
+
+fn interpreter(c: &mut Criterion) {
+    let machine = Machine::host();
+    let mut group = c.benchmark_group("interpreter_mini");
+    for name in ["gemm", "jacobi-2d-imper"] {
+        let k = kernel_by_name(name).unwrap();
+        let scop = (k.build)();
+        let params = k.dataset("mini").params;
+        for v in [Variant::Native, Variant::PolyAst] {
+            let prog = build_variant(&k, v, &machine);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}"), v.name()),
+                &prog,
+                |b, p| {
+                    b.iter(|| {
+                        let mut arrays = k.fresh_arrays(&scop, &params);
+                        execute(p, &params, &mut arrays);
+                        black_box(arrays[0][0])
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn cache_simulation(c: &mut Criterion) {
+    let machine = Machine::host();
+    let k = kernel_by_name("gemm").unwrap();
+    let scop = (k.build)();
+    let params = k.dataset("mini").params;
+    let prog = build_variant(&k, Variant::Native, &machine);
+    c.bench_function("cachesim_gemm_mini_l1", |b| {
+        b.iter(|| {
+            let mut arrays = k.fresh_arrays(&scop, &params);
+            let s = simulate(&prog, &params, &mut arrays, CacheConfig::l1_nehalem());
+            black_box(s.misses)
+        });
+    });
+}
+
+criterion_group!(benches, interpreter, cache_simulation);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion microbenchmarks of the parallel runtime (Sec. IV-D):
+//! point-to-point pipeline vs wavefront doall on a dependent sweep
+//! (the mechanism behind Fig. 6), plus the doall scheduler and the
+//! array-reduction combiner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polymix_runtime::{par_for, pipeline_2d, reduce_array, wavefront_2d, GridSweep};
+use std::hint::black_box;
+
+fn dependent_sweep(c: &mut Criterion) {
+    let n = 256usize;
+    let grid = GridSweep {
+        i_lo: 1,
+        i_hi: n as i64,
+        j_lo: 1,
+        j_hi: n as i64,
+    };
+    let mut group = c.benchmark_group("dependent_sweep_256");
+    // On single-core hosts, >2 threads only measures scheduler churn.
+    let max_t = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    for threads in [1usize, 2, 4].into_iter().filter(|&t| t <= max_t) {
+        group.bench_with_input(
+            BenchmarkId::new("pipeline", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let field = vec![1.0f64; n * n];
+                    let ptr = field.as_ptr() as usize;
+                    pipeline_2d(grid, t, |i, j| unsafe {
+                        let p = ptr as *mut f64;
+                        let (i, j) = (i as usize, j as usize);
+                        *p.add(i * n + j) = 0.25
+                            * (2.0 * *p.add(i * n + j)
+                                + *p.add((i - 1) * n + j)
+                                + *p.add(i * n + j - 1));
+                    });
+                    black_box(field[n * n - 1])
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("wavefront", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    let field = vec![1.0f64; n * n];
+                    let ptr = field.as_ptr() as usize;
+                    wavefront_2d(grid, t, |i, j| unsafe {
+                        let p = ptr as *mut f64;
+                        let (i, j) = (i as usize, j as usize);
+                        *p.add(i * n + j) = 0.25
+                            * (2.0 * *p.add(i * n + j)
+                                + *p.add((i - 1) * n + j)
+                                + *p.add(i * n + j - 1));
+                    });
+                    black_box(field[n * n - 1])
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn doall_and_reduction(c: &mut Criterion) {
+    let n = 1 << 16;
+    let data: Vec<f64> = (0..n).map(|i| (i % 97) as f64).collect();
+    c.bench_function("par_for_sum_64k", |b| {
+        b.iter(|| {
+            let acc = std::sync::atomic::AtomicU64::new(0);
+            par_for(0, n as i64, 4, |i| {
+                // Cheap body: measures scheduling overhead.
+                acc.fetch_add(data[i as usize] as u64, std::sync::atomic::Ordering::Relaxed);
+            });
+            black_box(acc.into_inner())
+        });
+    });
+    c.bench_function("reduce_array_64k_into_16", |b| {
+        b.iter(|| {
+            let mut target = vec![0.0f64; 16];
+            reduce_array(&mut target, 0, n as i64, 4, |i, local| {
+                local[(i % 16) as usize] += data[i as usize];
+            });
+            black_box(target[0])
+        });
+    });
+}
+
+criterion_group!(benches, dependent_sweep, doall_and_reduction);
+criterion_main!(benches);

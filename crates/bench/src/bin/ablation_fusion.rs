@@ -1,0 +1,45 @@
+//! Fusion ablation: the poly+AST flow with Algorithm 5's DL-guided fusion
+//! enabled vs disabled (per-SCC distribution only). Fusion's payoff is
+//! producer–consumer locality (2mm's tmp, 3mm's intermediates), at the
+//! cost of larger per-tile footprints — the trade the DL fusion
+//! profitability test (Sec. III-B2) arbitrates.
+
+use polymix_bench::report::{gf, Cli, Table};
+use polymix_bench::runner::Runner;
+use polymix_core::{optimize_poly_ast, PolyAstOptions};
+use polymix_dl::Machine;
+use polymix_polybench::kernel_by_name;
+
+fn main() {
+    let cli = Cli::parse();
+    let machine = Machine::host();
+    let runner = Runner::new(cli.threads);
+    println!("== Fusion ablation (poly+AST with/without Algorithm 5 fusion) ==");
+    let mut t = Table::new(&["kernel", "fused GF/s", "unfused GF/s"]);
+    for name in ["2mm", "3mm", "gemm", "gesummv", "atax", "correlation"] {
+        let k = kernel_by_name(name).unwrap();
+        let scop = (k.build)();
+        let params = k.dataset(&cli.dataset).params;
+        let mut cells = vec![name.to_string()];
+        for fusion in [true, false] {
+            let prog = optimize_poly_ast(
+                &scop,
+                &PolyAstOptions {
+                    machine: machine.clone(),
+                    fusion,
+                    ..Default::default()
+                },
+            );
+            let label = format!("fuse_{name}_{fusion}");
+            match runner.run(&k, &prog, &params, &label) {
+                Ok(r) => cells.push(gf(r.gflops)),
+                Err(e) => {
+                    eprintln!("{label}: {e}");
+                    cells.push("-".into());
+                }
+            }
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,47 @@
+//! Register-tiling ablation (Sec. IV-C: "up to 2× additional performance
+//! improvement can be obtained by register tiling"): sweeps the
+//! unroll-and-jam factors of the poly+AST flow on gemm and 2mm.
+
+use polymix_bench::report::{gf, Cli};
+use polymix_bench::runner::Runner;
+use polymix_core::{optimize_poly_ast, PolyAstOptions};
+use polymix_dl::Machine;
+use polymix_polybench::kernel_by_name;
+
+fn main() {
+    let cli = Cli::parse();
+    let machine = Machine::host();
+    let runner = Runner::new(cli.threads);
+    println!("== Register-tiling ablation (unroll-and-jam factor sweep) ==");
+    let factors: [(i64, i64); 5] = [(1, 1), (1, 2), (2, 2), (2, 4), (4, 4)];
+    let mut header: Vec<String> = vec!["kernel".into()];
+    header.extend(factors.iter().map(|(o, i)| format!("{o}x{i}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = polymix_bench::report::Table::new(&header_refs);
+    for name in ["gemm", "2mm", "syrk"] {
+        let k = kernel_by_name(name).unwrap();
+        let scop = (k.build)();
+        let params = k.dataset(&cli.dataset).params;
+        let mut cells = vec![name.to_string()];
+        for &(o, i) in &factors {
+            let prog = optimize_poly_ast(
+                &scop,
+                &PolyAstOptions {
+                    machine: machine.clone(),
+                    unroll: (o, i),
+                    ..Default::default()
+                },
+            );
+            let label = format!("unroll_{name}_{o}x{i}");
+            match runner.run(&k, &prog, &params, &label) {
+                Ok(r) => cells.push(gf(r.gflops)),
+                Err(e) => {
+                    eprintln!("{label}: {e}");
+                    cells.push("-".into());
+                }
+            }
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+}

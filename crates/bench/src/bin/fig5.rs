@@ -1,0 +1,134 @@
+//! Fig. 5: the poly+AST parallelization choices vs a doall-only strategy
+//! on the paper's three example patterns — an elementwise copy (doall), a
+//! column-sum reduction, and a vertical stencil (pipeline). The poly+AST
+//! detector keeps the locality-friendly loop order and uses the
+//! appropriate parallelism kind; the doall-only strategy must settle for
+//! an inner (or permuted) doall loop.
+
+use polymix_ast::pretty::render;
+use polymix_bench::report::{gf, Cli, Table};
+use polymix_bench::runner::Runner;
+use polymix_core::{optimize_poly_ast, PolyAstOptions};
+use polymix_dl::Machine;
+use polymix_ir::builder::{con, ix, par, ScopBuilder};
+use polymix_ir::{BinOp, Expr, Scop};
+use polymix_polybench::kernel::{Dataset, Group, InitSpec, Kernel};
+
+fn copy_scop() -> Scop {
+    let mut b = ScopBuilder::new("fig5-copy", &["N"], &[8]);
+    let a = b.array("A", &["N", "N"]);
+    let bb = b.array("B", &["N", "N"]);
+    b.enter("i", con(0), par("N"));
+    b.enter("j", con(0), par("N"));
+    let body = Expr::mul(Expr::Const(1.5), b.rd(bb, &[ix("i"), ix("j")]));
+    b.stmt("S", a, &[ix("i"), ix("j")], body);
+    b.exit();
+    b.exit();
+    b.finish()
+}
+
+fn reduction_scop() -> Scop {
+    let mut b = ScopBuilder::new("fig5-reduction", &["N"], &[8]);
+    let s = b.array("S", &["N"]);
+    let x = b.array("X", &["N", "N"]);
+    b.enter("i", con(0), par("N"));
+    b.enter("j", con(0), par("N"));
+    let body = Expr::mul(Expr::Const(1.5), b.rd(x, &[ix("i"), ix("j")]));
+    b.stmt_update("S", s, &[ix("j")], BinOp::Add, body);
+    b.exit();
+    b.exit();
+    b.finish()
+}
+
+fn stencil_scop() -> Scop {
+    let mut b = ScopBuilder::new("fig5-stencil", &["N"], &[8]);
+    b.assume_params_at_least(3);
+    let c = b.array("C", &["N", "N"]);
+    b.enter("i", con(1), par("N"));
+    b.enter("j", con(1), par("N") - con(1));
+    let body = Expr::mul(
+        Expr::Const(0.33),
+        Expr::add(
+            Expr::add(
+                b.rd(c, &[ix("i") - con(1), ix("j")]),
+                b.rd(c, &[ix("i"), ix("j")]),
+            ),
+            b.rd(c, &[ix("i"), ix("j") - con(1)]),
+        ),
+    );
+    b.stmt("S", c, &[ix("i"), ix("j")], body);
+    b.exit();
+    b.exit();
+    b.finish()
+}
+
+fn as_kernel(name: &'static str, build: fn() -> Scop, flops: fn(&[i64]) -> u64) -> Kernel {
+    Kernel {
+        name,
+        description: "Fig. 5 pattern",
+        group: Group::Doall,
+        build,
+        reference: |_, _| {},
+        flops,
+        datasets: || {
+            vec![
+                Dataset { name: "mini", params: vec![16] },
+                Dataset { name: "small", params: vec![1024] },
+                Dataset { name: "standard", params: vec![4096] },
+                Dataset { name: "large", params: vec![8192] },
+            ]
+        },
+        init: InitSpec::generic(),
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let machine = Machine::host();
+    let runner = Runner::new(cli.threads);
+    let kernels = [
+        as_kernel("fig5-copy", copy_scop, |p| (p[0] * p[0]) as u64),
+        as_kernel("fig5-reduction", reduction_scop, |p| (2 * p[0] * p[0]) as u64),
+        as_kernel("fig5-stencil", stencil_scop, |p| {
+            (3 * (p[0] - 1) * (p[0] - 2)) as u64
+        }),
+    ];
+    println!("== Fig. 5 — poly+AST vs doall-only parallelization ==");
+    let mut t = Table::new(&["pattern", "poly+ast GF/s", "doall-only GF/s"]);
+    for k in &kernels {
+        let scop = (k.build)();
+        let params = k.dataset(&cli.dataset).params;
+        let mk = |doall_only: bool| {
+            optimize_poly_ast(
+                &scop,
+                &PolyAstOptions {
+                    machine: machine.clone(),
+                    tiling: false,
+                    doall_only,
+                    unroll: (1, 1),
+                    ..Default::default()
+                },
+            )
+        };
+        let ours = mk(false);
+        let doall = mk(true);
+        println!("-- {} — poly+AST chooses:\n{}", k.name, render(&ours));
+        println!("-- {} — doall-only chooses:\n{}", k.name, render(&doall));
+        let g1 = runner
+            .run(k, &ours, &params, &format!("{}_ours", k.name))
+            .map(|r| gf(r.gflops))
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                "-".into()
+            });
+        let g2 = runner
+            .run(k, &doall, &params, &format!("{}_doall", k.name))
+            .map(|r| gf(r.gflops))
+            .unwrap_or_else(|e| {
+                eprintln!("{e}");
+                "-".into()
+            });
+        t.row(vec![k.name.to_string(), g1, g2]);
+    }
+    println!("{}", t.render());
+}

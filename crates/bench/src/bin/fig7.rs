@@ -1,0 +1,7 @@
+//! Fig. 7: PolyBench kernels where doall parallelism is dominant.
+fn main() {
+    polymix_bench::figures::run_group_figure(
+        "Fig. 7 — doall-dominant kernels",
+        polymix_polybench::Group::Doall,
+    );
+}

@@ -1,0 +1,7 @@
+//! Fig. 8: memory-bound / reduction-parallel PolyBench kernels.
+fn main() {
+    polymix_bench::figures::run_group_figure(
+        "Fig. 8 — reduction / memory-bound kernels",
+        polymix_polybench::Group::Reduction,
+    );
+}

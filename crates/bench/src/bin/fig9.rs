@@ -1,0 +1,7 @@
+//! Fig. 9: pipeline-parallel (time-iterated stencil) PolyBench kernels.
+fn main() {
+    polymix_bench::figures::run_group_figure(
+        "Fig. 9 — pipeline-parallel kernels",
+        polymix_polybench::Group::Pipeline,
+    );
+}

@@ -1,0 +1,80 @@
+//! Shared driver for the group figures (Figs. 7, 8, 9): run every kernel
+//! of a group through every variant, cross-validate checksums, report
+//! GFLOP/s.
+
+use crate::report::{gf, Cli, Table};
+use crate::runner::Runner;
+use crate::variants::{build_variant, variant_list, Variant};
+use polymix_dl::Machine;
+use polymix_polybench::{all_kernels, Group};
+
+/// Runs one figure: all kernels of `group` × all variants.
+pub fn run_group_figure(title: &str, group: Group) {
+    let cli = Cli::parse();
+    let machine = Machine::host();
+    let runner = Runner::new(cli.threads);
+    let variants = variant_list();
+
+    println!("== {title} ==");
+    println!(
+        "dataset: {}, threads: {}, machine: {} (GFLOP/s, higher is better)",
+        cli.dataset, cli.threads, machine.name
+    );
+    let mut header: Vec<&str> = vec!["kernel"];
+    header.extend(variants.iter().map(|v| v.name()));
+    header.push("iterative*");
+    let mut table = Table::new(&header);
+
+    for k in all_kernels().iter().filter(|k| k.group == group) {
+        let params = k.dataset(&cli.dataset).params;
+        let mut cells = vec![k.name.to_string()];
+        let mut checks: Vec<(Variant, f64)> = Vec::new();
+        let mut results: Vec<(Variant, f64)> = Vec::new();
+        for &v in &variants {
+            let prog = build_variant(k, v, &machine);
+            let label = format!("{}_{}", k.name.replace('-', "_"), v.name().replace(['+', '(', ')'], "_"));
+            match runner.run(k, &prog, &params, &label) {
+                Ok(r) => {
+                    cells.push(gf(r.gflops));
+                    checks.push((v, r.checksum));
+                    results.push((v, r.gflops));
+                }
+                Err(e) => {
+                    eprintln!("{}: {v:?} failed: {e}", k.name);
+                    cells.push("-".into());
+                }
+            }
+        }
+        // `iterative` is the auto-tuned best over the enumerated fusion
+        // structures (pocc + iter(max) + iter(no)), as in the paper.
+        let iterative = results
+            .iter()
+            .filter(|(v, _)| {
+                matches!(
+                    v,
+                    Variant::Pocc | Variant::IterativeMax | Variant::IterativeNo
+                )
+            })
+            .map(|(_, g)| *g)
+            .fold(f64::NAN, f64::max);
+        cells.push(if iterative.is_nan() {
+            "-".into()
+        } else {
+            gf(iterative)
+        });
+        // Cross-variant checksum validation (parallel runs may reorder
+        // reductions: tolerate relative FP noise).
+        if let Some((_, base)) = checks.first() {
+            for (v, c) in &checks[1..] {
+                let rel = (c - base).abs() / base.abs().max(1.0);
+                assert!(
+                    rel < 1e-6,
+                    "{} {v:?}: checksum {c} deviates from native {base}",
+                    k.name
+                );
+            }
+        }
+        table.row(cells);
+    }
+    println!("{}", table.render());
+}

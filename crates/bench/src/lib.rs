@@ -1,0 +1,29 @@
+//! # polymix-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! paper's evaluation (see DESIGN.md's experiment index):
+//!
+//! * [`variants`] — the experimental variants of Sec. V-A (`native`,
+//!   `pocc`, `pocc+vect`, `iterative`, `iterative+vect`, `poly+ast`, …)
+//!   as functions from kernel to optimized [`polymix_ast::tree::Program`];
+//! * [`runner`] — the source-to-source measurement pipeline: emit a
+//!   standalone Rust program, compile it with `rustc -O`, run it, parse
+//!   checksum / time / GFLOP/s (the reproduction's analogue of "compile
+//!   with ICC and run on the testbed");
+//! * [`report`] — plain-text table rendering for the `fig*`/`table*`
+//!   binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure; run e.g.
+//!
+//! ```text
+//! cargo run --release -p polymix-bench --bin fig7 -- --dataset small
+//! ```
+
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod variants;
+
+pub use report::Table;
+pub use runner::{compile_and_run, RunResult, Runner};
+pub use variants::{build_variant, variant_list, Variant};

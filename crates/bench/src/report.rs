@@ -1,0 +1,121 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// A simple column-aligned table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (ncol - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &width));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a GFLOP/s value compactly.
+pub fn gf(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Parses `--dataset <name>` / `--threads <n>` style CLI arguments with
+/// defaults; unknown arguments are ignored.
+pub struct Cli {
+    /// Dataset name (default `small`).
+    pub dataset: String,
+    /// Worker threads (default: available parallelism).
+    pub threads: usize,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Cli {
+        let args: Vec<String> = std::env::args().collect();
+        let grab = |key: &str| -> Option<String> {
+            args.iter()
+                .position(|a| a == key)
+                .and_then(|i| args.get(i + 1).cloned())
+        };
+        Cli {
+            dataset: grab("--dataset").unwrap_or_else(|| "small".into()),
+            threads: grab("--threads")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(4)
+                }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["kernel", "gflops"]);
+        t.row(vec!["gemm".into(), "12.34".into()]);
+        t.row(vec!["jacobi-2d-imper".into(), "5.6".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("kernel"));
+        assert!(lines[3].trim_start().starts_with("jacobi-2d-imper"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn gf_formatting() {
+        assert_eq!(gf(12.345), "12.35");
+        assert_eq!(gf(0.5), "0.50");
+    }
+}

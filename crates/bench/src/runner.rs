@@ -1,0 +1,175 @@
+//! The measurement pipeline: emit → `rustc -O` → run → parse.
+
+use polymix_ast::tree::Program;
+use polymix_codegen::emit::{emit_rust, EmitOptions};
+use polymix_polybench::Kernel;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Parsed output of one standalone-program run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunResult {
+    /// Checksum over the written arrays (for cross-variant validation).
+    pub checksum: f64,
+    /// Best wall time over the configured repetitions, seconds.
+    pub time_s: f64,
+    /// GFLOP/s derived from the kernel's FLOP formula.
+    pub gflops: f64,
+}
+
+/// Compiles and runs emitted programs, caching binaries by source hash.
+pub struct Runner {
+    /// Working directory for sources and binaries.
+    pub work_dir: PathBuf,
+    /// Worker threads for parallel constructs.
+    pub threads: usize,
+    /// Timing repetitions per program (best is reported).
+    pub reps: usize,
+    /// Extra rustc flags (defaults to `-O -C target-cpu=native`).
+    pub rustc_flags: Vec<String>,
+}
+
+impl Runner {
+    /// A runner writing under `target/polymix-bench/`.
+    pub fn new(threads: usize) -> Runner {
+        Runner {
+            work_dir: PathBuf::from("target/polymix-bench"),
+            threads,
+            reps: 2,
+            rustc_flags: vec![
+                "--edition=2021".into(),
+                "-O".into(),
+                "-C".into(),
+                "target-cpu=native".into(),
+            ],
+        }
+    }
+
+    /// Emits, compiles and runs `prog` for `kernel` at `params`.
+    pub fn run(
+        &self,
+        kernel: &Kernel,
+        prog: &Program,
+        params: &[i64],
+        label: &str,
+    ) -> Result<RunResult, String> {
+        let opts = EmitOptions {
+            params: params.to_vec(),
+            flops: (kernel.flops)(params),
+            threads: self.threads,
+            init_rust: Some(kernel.init_rust(&prog.scop)),
+            reps: self.reps,
+        };
+        let src = emit_rust(prog, &opts);
+        compile_and_run(&src, &self.work_dir, &self.rustc_flags, label)
+    }
+}
+
+/// Compiles `src` (cached by content hash) and executes it, parsing the
+/// `checksum:` / `time_s:` / `gflops:` lines.
+pub fn compile_and_run(
+    src: &str,
+    work_dir: &std::path::Path,
+    rustc_flags: &[String],
+    label: &str,
+) -> Result<RunResult, String> {
+    std::fs::create_dir_all(work_dir).map_err(|e| e.to_string())?;
+    let mut h = DefaultHasher::new();
+    src.hash(&mut h);
+    rustc_flags.hash(&mut h);
+    let clean: String = label
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    let id = format!("{clean}_{:016x}", h.finish());
+    let src_path = work_dir.join(format!("{id}.rs"));
+    let bin_path = work_dir.join(&id);
+    if !bin_path.exists() {
+        std::fs::write(&src_path, src).map_err(|e| e.to_string())?;
+        let out = Command::new("rustc")
+            .args(rustc_flags)
+            .arg("-o")
+            .arg(&bin_path)
+            .arg(&src_path)
+            .output()
+            .map_err(|e| format!("rustc spawn: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "rustc failed for {label}:\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            ));
+        }
+    }
+    let out = Command::new(&bin_path)
+        .output()
+        .map_err(|e| format!("run spawn: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "{label} exited with {:?}:\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        ));
+    }
+    parse_output(&String::from_utf8_lossy(&out.stdout))
+        .ok_or_else(|| format!("{label}: unparseable output"))
+}
+
+fn parse_output(stdout: &str) -> Option<RunResult> {
+    let grab = |key: &str| -> Option<f64> {
+        stdout
+            .lines()
+            .find(|l| l.starts_with(key))?
+            .split(':')
+            .nth(1)?
+            .trim()
+            .parse()
+            .ok()
+    };
+    Some(RunResult {
+        checksum: grab("checksum")?,
+        time_s: grab("time_s")?,
+        gflops: grab("gflops")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variants::{build_variant, Variant};
+    use polymix_dl::Machine;
+    use polymix_polybench::kernel_by_name;
+
+    #[test]
+    fn parse_output_roundtrip() {
+        let out = "checksum: 1.234560e2\ntime_s: 0.004200\ngflops: 2.3400\n";
+        let r = parse_output(out).unwrap();
+        assert!((r.checksum - 123.456).abs() < 1e-9);
+        assert!((r.time_s - 0.0042).abs() < 1e-12);
+        assert!((r.gflops - 2.34).abs() < 1e-12);
+        assert!(parse_output("garbage").is_none());
+    }
+
+    /// End-to-end smoke test: gemm through native and poly+ast must
+    /// compile, run, and agree on the checksum.
+    #[test]
+    fn emitted_variants_agree_on_checksum() {
+        let k = kernel_by_name("gemm").unwrap();
+        let params = k.dataset("small").params;
+        let m = Machine::host();
+        let runner = Runner {
+            work_dir: std::env::temp_dir().join("polymix-bench-test"),
+            threads: 2,
+            reps: 1,
+            rustc_flags: vec!["-O".into()],
+        };
+        let native = build_variant(&k, Variant::Native, &m);
+        let opt = build_variant(&k, Variant::PolyAst, &m);
+        let r1 = runner.run(&k, &native, &params, "gemm_native").unwrap();
+        let r2 = runner.run(&k, &opt, &params, "gemm_polyast").unwrap();
+        let rel = (r1.checksum - r2.checksum).abs() / r1.checksum.abs().max(1.0);
+        assert!(rel < 1e-9, "checksums {} vs {}", r1.checksum, r2.checksum);
+        assert!(r1.gflops > 0.0 && r2.gflops > 0.0);
+    }
+}

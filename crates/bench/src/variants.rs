@@ -1,0 +1,158 @@
+//! The experimental variants of Sec. V-A.
+
+use polymix_ast::tree::Program;
+use polymix_codegen::from_poly::original_program;
+use polymix_core::{optimize_poly_ast, PolyAstOptions};
+use polymix_dl::Machine;
+use polymix_pluto::{optimize_pluto, PlutoOptions, PlutoVariant};
+use polymix_polybench::{Group, Kernel};
+
+/// One experimental variant (paper Sec. V-A names in comments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// `icc-auto` / `xlc-auto` analogue: the reference loop nest compiled
+    /// by the native compiler (rustc/LLVM; no auto-parallelizer).
+    Native,
+    /// `pocc`: Pluto smart-fuse + tiling + doall-or-wavefront.
+    Pocc,
+    /// `pocc+vect`: plus the intra-tile vectorization post-pass.
+    PoccVect,
+    /// `iterative`: best of the enumerated fusion structures (the
+    /// harness runs all three and reports the best, mirroring PoCC's
+    /// auto-tuning).
+    IterativeMax,
+    /// `iterative` member: no fusion.
+    IterativeNo,
+    /// `poly+ast`: the paper's flow.
+    PolyAst,
+    /// `poly+ast` restricted to doall parallelism (Fig. 5 comparison).
+    PolyAstDoallOnly,
+    /// Pluto with maximal fusion (the Fig. 2 structure for Table I).
+    PlutoMaxFuse,
+}
+
+impl Variant {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Native => "native",
+            Variant::Pocc => "pocc",
+            Variant::PoccVect => "pocc+vect",
+            Variant::IterativeMax => "iter(max)",
+            Variant::IterativeNo => "iter(no)",
+            Variant::PolyAst => "poly+ast",
+            Variant::PolyAstDoallOnly => "poly+ast(doall)",
+            Variant::PlutoMaxFuse => "pluto-maxfuse",
+        }
+    }
+}
+
+/// The variant set of Figs. 7–9 (iterative is reported as the max over
+/// its members by the figure binaries).
+pub fn variant_list() -> Vec<Variant> {
+    vec![
+        Variant::Native,
+        Variant::Pocc,
+        Variant::PoccVect,
+        Variant::IterativeMax,
+        Variant::IterativeNo,
+        Variant::PolyAst,
+    ]
+}
+
+/// Builds the optimized program for `kernel` under `variant`.
+///
+/// Tile sizes follow the paper: 32 everywhere, 5 for the outer time tile
+/// of the pipeline group; register tiling (2, 2) is applied by the `vect`
+/// and `poly+ast` configurations (the harness sweeps more factors in the
+/// `ablation_unroll` experiment).
+pub fn build_variant(kernel: &Kernel, variant: Variant, machine: &Machine) -> Program {
+    let scop = (kernel.build)();
+    let time_tile = if kernel.group == Group::Pipeline { 5 } else { 32 };
+    match variant {
+        Variant::Native => original_program(&scop),
+        Variant::Pocc
+        | Variant::PoccVect
+        | Variant::IterativeMax
+        | Variant::IterativeNo
+        | Variant::PlutoMaxFuse => {
+            let pv = match variant {
+                Variant::PoccVect => PlutoVariant::PoccVect,
+                Variant::IterativeMax | Variant::PlutoMaxFuse => PlutoVariant::MaxFuse,
+                Variant::IterativeNo => PlutoVariant::NoFuse,
+                _ => PlutoVariant::Pocc,
+            };
+            optimize_pluto(
+                &scop,
+                &PlutoOptions {
+                    variant: pv,
+                    tile: 32,
+                    time_tile,
+                    tiling: true,
+                    unroll: if variant == Variant::PoccVect {
+                        (2, 2)
+                    } else {
+                        (1, 1)
+                    },
+                },
+            )
+        }
+        Variant::PolyAst | Variant::PolyAstDoallOnly => optimize_poly_ast(
+            &scop,
+            &PolyAstOptions {
+                machine: machine.clone(),
+                tile: 32,
+                time_tile,
+                tiling: true,
+                parallelize: true,
+                doall_only: variant == Variant::PolyAstDoallOnly,
+                // The paper tunes unroll-and-jam factors empirically over
+                // {1,2,4,6,8}; on this reproduction's LLVM backend the
+                // guarded source-level unroll defeats auto-vectorization,
+                // so the tuned best is no unrolling (see the
+                // `ablation_unroll` experiment and EXPERIMENTS.md).
+                unroll: (1, 1),
+                fusion: true,
+            },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymix_ast::interp::execute;
+    use polymix_polybench::kernel_by_name;
+
+    #[test]
+    fn all_variants_build_and_match_reference_on_gemm() {
+        let k = kernel_by_name("gemm").unwrap();
+        let scop = (k.build)();
+        let params = k.dataset("mini").params;
+        let mut expected = k.fresh_arrays(&scop, &params);
+        (k.reference)(&params, &mut expected);
+        let m = Machine::host();
+        for v in [
+            Variant::Native,
+            Variant::Pocc,
+            Variant::PoccVect,
+            Variant::IterativeMax,
+            Variant::IterativeNo,
+            Variant::PolyAst,
+            Variant::PolyAstDoallOnly,
+            Variant::PlutoMaxFuse,
+        ] {
+            let prog = build_variant(&k, v, &m);
+            let mut actual = k.fresh_arrays(&scop, &params);
+            execute(&prog, &params, &mut actual);
+            assert_eq!(actual[0], expected[0], "variant {v:?}");
+        }
+    }
+
+    #[test]
+    fn variant_names_are_stable() {
+        assert_eq!(Variant::Pocc.name(), "pocc");
+        assert_eq!(Variant::PolyAst.name(), "poly+ast");
+        assert_eq!(variant_list().len(), 6);
+    }
+}

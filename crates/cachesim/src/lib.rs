@@ -1,0 +1,21 @@
+//! # polymix-cachesim
+//!
+//! A trace-driven set-associative cache / TLB simulator. It substitutes
+//! for the paper's hardware measurement infrastructure in two roles:
+//!
+//! * validating the **DL model**'s predictions (predicted distinct lines
+//!   vs simulated misses across permutations and tile sizes —
+//!   `dl_validation` in the bench harness), and
+//! * producing **machine-model** locality numbers for the Power7-geometry
+//!   runs that this reproduction cannot execute natively (see DESIGN.md).
+//!
+//! The simulator consumes the access stream of the AST interpreter
+//! ([`polymix_ast::interp::execute_traced`]), mapping each `(array,
+//! offset)` to a synthetic address space where arrays are laid out
+//! back-to-back, page-aligned.
+
+pub mod cache;
+pub mod run;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use run::{simulate, simulate_hierarchy, HierarchyStats, Layout};

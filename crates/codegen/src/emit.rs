@@ -1,0 +1,1243 @@
+//! Rust source emission: renders a [`Program`] as a standalone `main.rs`
+//! compilable with plain `rustc -O`.
+//!
+//! The emitted file contains the parameter constants, array allocation and
+//! (kernel-specific or default) initialization, the kernel itself, timing,
+//! a checksum over every written array, and a GFLOP/s line computed from
+//! the caller-supplied FLOP count. Parallel annotations map to inlined
+//! runtime constructs (the Sec. IV-D extensions):
+//!
+//! * [`Par::Doall`] — chunked `std::thread::scope` workers;
+//! * [`Par::Reduction`] — thread-private copies of the reduced arrays,
+//!   combined additively after the join;
+//! * [`Par::Pipeline`] — column-block decomposition of the next-inner
+//!   loop with point-to-point progress counters (`AtomicI64` + spin),
+//!   the OpenMP `await source(i-1,j) source(i,j-1)` analogue.
+//!
+//! Kernel array accesses go through raw pointers (as OpenMP-generated C
+//! does); the sequential and parallel variants share the same accessors so
+//! compiler-side differences between variants come only from loop
+//! structure — the property the paper's comparison depends on.
+
+use polymix_ast::tree::{Bound, LinExpr, Loop, Node, Par, Program};
+use polymix_ir::expr::{Expr, UnOp};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Options controlling emission.
+#[derive(Clone, Debug)]
+pub struct EmitOptions {
+    /// Concrete parameter values (emitted as `const`s).
+    pub params: Vec<i64>,
+    /// Total floating-point operations of one kernel run (for GFLOP/s).
+    pub flops: u64,
+    /// Worker-thread count for parallel loops.
+    pub threads: usize,
+    /// Kernel-specific array initialization; receives slices named
+    /// `a_<array>`. When `None` a deterministic generic formula is used.
+    pub init_rust: Option<String>,
+    /// Timing repetitions; the minimum time is reported.
+    pub reps: usize,
+}
+
+impl Default for EmitOptions {
+    fn default() -> Self {
+        EmitOptions {
+            params: Vec::new(),
+            flops: 0,
+            threads: 1,
+            init_rust: None,
+            reps: 1,
+        }
+    }
+}
+
+struct Emitter<'a> {
+    prog: &'a Program,
+    opts: &'a EmitOptions,
+    out: String,
+    indent: usize,
+    names: HashMap<usize, String>,
+    region: usize,
+}
+
+/// Emits the standalone Rust program.
+pub fn emit_rust(prog: &Program, opts: &EmitOptions) -> String {
+    assert_eq!(opts.params.len(), prog.scop.params.len());
+    let mut names = HashMap::new();
+    collect_loop_names(&prog.body, &mut names);
+    let mut e = Emitter {
+        prog,
+        opts,
+        out: String::new(),
+        indent: 0,
+        names,
+        region: 0,
+    };
+    e.header();
+    e.main();
+    e.out
+}
+
+fn collect_loop_names(node: &Node, names: &mut HashMap<usize, String>) {
+    match node {
+        Node::Seq(xs) => xs.iter().for_each(|x| collect_loop_names(x, names)),
+        Node::Guard(_, b) => collect_loop_names(b, names),
+        Node::Loop(l) => {
+            let base = sanitize(&l.name);
+            let mut name = format!("v_{base}");
+            let mut k = 0;
+            while names.values().any(|n| *n == name) {
+                k += 1;
+                name = format!("v_{base}_{k}");
+            }
+            names.insert(l.var, name);
+            collect_loop_names(&l.body, names);
+        }
+        Node::Stmt(_) => {}
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+impl Emitter<'_> {
+    fn pad(&self) -> String {
+        "    ".repeat(self.indent)
+    }
+
+    fn line(&mut self, s: &str) {
+        let pad = self.pad();
+        let _ = writeln!(self.out, "{pad}{s}");
+    }
+
+    fn param_const(&self, p: usize) -> String {
+        format!("P_{}", sanitize(&self.prog.scop.params[p]).to_uppercase())
+    }
+
+    fn arr_name(&self, a: usize) -> String {
+        format!("a_{}", sanitize(&self.prog.scop.arrays[a].name).to_lowercase())
+    }
+
+    fn ptr_name(&self, a: usize) -> String {
+        format!("p_{}", sanitize(&self.prog.scop.arrays[a].name).to_lowercase())
+    }
+
+    fn var_name(&self, v: usize) -> String {
+        self.names
+            .get(&v)
+            .cloned()
+            .unwrap_or_else(|| format!("v{v}"))
+    }
+
+    fn lin(&self, e: &LinExpr) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for &(v, c) in &e.var_coeffs {
+            parts.push(coef_term(c, &self.var_name(v), parts.is_empty()));
+        }
+        for &(p, c) in &e.param_coeffs {
+            parts.push(coef_term(c, &self.param_const(p), parts.is_empty()));
+        }
+        if e.c != 0 || parts.is_empty() {
+            if parts.is_empty() {
+                parts.push(format!("{}", e.c));
+            } else if e.c > 0 {
+                parts.push(format!(" + {}", e.c));
+            } else {
+                parts.push(format!(" - {}", -e.c));
+            }
+        }
+        parts.concat()
+    }
+
+    fn bound(&self, b: &Bound, lower: bool) -> String {
+        let parts: Vec<String> = b
+            .exprs
+            .iter()
+            .map(|be| {
+                let e = self.lin(&be.expr);
+                if be.denom == 1 {
+                    format!("({e})")
+                } else if lower {
+                    format!("cdiv({e}, {})", be.denom)
+                } else {
+                    format!("fdiv({e}, {})", be.denom)
+                }
+            })
+            .collect();
+        let mut it = parts.into_iter();
+        let first = it.next().expect("empty bound");
+        it.fold(first, |acc, x| {
+            if lower {
+                format!("{acc}.max({x})")
+            } else {
+                format!("{acc}.min({x})")
+            }
+        })
+    }
+
+    fn header(&mut self) {
+        self.line("// Auto-generated by polymix-codegen. Do not edit.");
+        self.line("#![allow(unused_mut, unused_variables, unused_parens, dead_code, unused_imports, unused_unsafe)]");
+        self.line("#![allow(clippy::all)]");
+        self.line("use std::time::Instant;");
+        self.line("use std::sync::atomic::{AtomicI64, Ordering};");
+        self.line("");
+        for (p, &v) in self.opts.params.iter().enumerate() {
+            let c = self.param_const(p);
+            self.line(&format!("const {c}: i64 = {v};"));
+        }
+        self.line(&format!("const THREADS: usize = {};", self.opts.threads));
+        self.line("");
+        self.line("#[inline(always)] fn cdiv(a: i64, b: i64) -> i64 { -((-a).div_euclid(b)) }");
+        self.line("#[inline(always)] fn fdiv(a: i64, b: i64) -> i64 { a.div_euclid(b) }");
+        self.line("#[derive(Clone, Copy)] struct P(*mut f64);");
+        self.line("unsafe impl Send for P {}");
+        self.line("unsafe impl Sync for P {}");
+        self.line("impl P {");
+        self.line("    // Method receiver forces whole-struct closure capture under");
+        self.line("    // edition-2021 disjoint capture (field access would capture the");
+        self.line("    // raw pointer itself, which is not Send).");
+        self.line("    #[inline(always)] fn get(self) -> *mut f64 { self.0 }");
+        self.line("}");
+        self.line("");
+    }
+
+    fn main(&mut self) {
+        let scop = &self.prog.scop;
+        self.line("fn main() {");
+        self.indent += 1;
+        // Allocation.
+        for (ai, arr) in scop.arrays.iter().enumerate() {
+            let len = self.extent_product(ai);
+            let n = self.arr_name(ai);
+            self.line(&format!(
+                "let mut {n}: Vec<f64> = vec![0.0f64; ({len}).max(1) as usize]; // {}",
+                arr.name
+            ));
+        }
+        // Init.
+        self.line("// --- initialization ---");
+        match &self.opts.init_rust {
+            Some(code) => {
+                for l in code.lines() {
+                    self.line(l);
+                }
+            }
+            None => {
+                for ai in 0..scop.arrays.len() {
+                    let n = self.arr_name(ai);
+                    self.line(&format!(
+                        "for k in 0..{n}.len() {{ {n}[k] = (((k as i64) * 7 + {ai} * 13) % 1024) as f64 / 1024.0; }}"
+                    ));
+                }
+            }
+        }
+        // Pointers.
+        self.line("// --- kernel ---");
+        for ai in 0..scop.arrays.len() {
+            let n = self.arr_name(ai);
+            let p = self.ptr_name(ai);
+            self.line(&format!("let {p}: *mut f64 = {n}.as_mut_ptr();"));
+        }
+        self.line("let mut best = f64::INFINITY;");
+        self.line(&format!("for _rep in 0..{} {{", self.opts.reps.max(1)));
+        self.indent += 1;
+        self.line("let t0 = Instant::now();");
+        self.line("unsafe {");
+        self.indent += 1;
+        let body = self.prog.body.clone();
+        self.node(&body);
+        self.indent -= 1;
+        self.line("}");
+        self.line("let dt = t0.elapsed().as_secs_f64();");
+        self.line("if dt < best { best = dt; }");
+        self.indent -= 1;
+        self.line("}");
+        // Checksum over written arrays.
+        let mut written: Vec<usize> = Vec::new();
+        for st in &scop.statements {
+            if !written.contains(&st.write.array.0) {
+                written.push(st.write.array.0);
+            }
+        }
+        written.sort();
+        self.line("let mut checksum = 0.0f64;");
+        for ai in written {
+            let n = self.arr_name(ai);
+            self.line(&format!(
+                "for (k, &x) in {n}.iter().enumerate() {{ checksum += x * ((k % 31) as f64 + 1.0); }}"
+            ));
+        }
+        self.line("println!(\"checksum: {:.6e}\", checksum);");
+        self.line("println!(\"time_s: {:.6}\", best);");
+        self.line(&format!(
+            "println!(\"gflops: {{:.4}}\", {}f64 / best / 1e9);",
+            self.opts.flops
+        ));
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn extent_product(&self, ai: usize) -> String {
+        let arr = &self.prog.scop.arrays[ai];
+        if arr.dims.is_empty() {
+            return "1".to_string();
+        }
+        arr.dims
+            .iter()
+            .map(|row| self.extent_expr(row))
+            .collect::<Vec<_>>()
+            .join(" * ")
+    }
+
+    fn extent_expr(&self, row: &[i64]) -> String {
+        let p = self.prog.scop.params.len();
+        let mut parts: Vec<String> = Vec::new();
+        for (k, &c) in row[..p].iter().enumerate() {
+            if c != 0 {
+                parts.push(coef_term(c, &self.param_const(k), parts.is_empty()));
+            }
+        }
+        if row[p] != 0 || parts.is_empty() {
+            if parts.is_empty() {
+                parts.push(format!("{}", row[p]));
+            } else if row[p] > 0 {
+                parts.push(format!(" + {}", row[p]));
+            } else {
+                parts.push(format!(" - {}", -row[p]));
+            }
+        }
+        format!("({})", parts.concat())
+    }
+
+    fn node(&mut self, node: &Node) {
+        match node {
+            Node::Seq(xs) => xs.iter().for_each(|x| self.node(x)),
+            Node::Guard(gs, b) => {
+                let conds: Vec<String> = gs.iter().map(|g| format!("{} >= 0", self.lin(g))).collect();
+                self.line(&format!("if {} {{", conds.join(" && ")));
+                self.indent += 1;
+                self.node(b);
+                self.indent -= 1;
+                self.line("}");
+            }
+            Node::Loop(l) => {
+                // With a single worker the parallel scaffolding (thread
+                // scope, pointer laundering, progress atomics) costs real
+                // performance and changes nothing: emit plain loops.
+                if self.opts.threads <= 1 {
+                    self.seq_loop(l);
+                    return;
+                }
+                match l.par {
+                    Par::Doall => self.doall(l),
+                    Par::Reduction => self.reduction(l),
+                    Par::Pipeline => self.pipeline(l),
+                    Par::Wavefront => self.wavefront(l),
+                    Par::Seq => self.seq_loop(l),
+                }
+            }
+            Node::Stmt(s) => self.stmt(s),
+        }
+    }
+
+    fn seq_loop(&mut self, l: &Loop) {
+        let v = self.var_name(l.var);
+        let lo = self.bound(&l.lo, true);
+        let hi = self.bound(&l.hi, false);
+        self.line(&format!("let mut {v}: i64 = {lo};"));
+        self.line(&format!("let {v}_hi: i64 = {hi};"));
+        self.line(&format!("while {v} <= {v}_hi {{"));
+        self.indent += 1;
+        self.node(&l.body);
+        self.line(&format!("{v} += {};", l.step));
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    /// Chunked scoped-thread doall.
+    fn doall(&mut self, l: &Loop) {
+        let region = self.region;
+        self.region += 1;
+        let v = self.var_name(l.var);
+        let lo = self.bound(&l.lo, true);
+        let hi = self.bound(&l.hi, false);
+        let arrays = self.all_array_ptrs();
+        self.line(&format!("// doall region {region}"));
+        self.line("{");
+        self.indent += 1;
+        self.line(&format!("let r_lo: i64 = {lo};"));
+        self.line(&format!("let r_hi: i64 = {hi};"));
+        self.line(&format!(
+            "let iters: i64 = if r_hi >= r_lo {{ (r_hi - r_lo) / {} + 1 }} else {{ 0 }};",
+            l.step
+        ));
+        self.line("let nthr: usize = THREADS.min(iters.max(1) as usize);");
+        self.line("if iters > 0 {");
+        self.indent += 1;
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let s_{p} = P({p});"));
+        }
+        self.line("std::thread::scope(|sc| {");
+        self.indent += 1;
+        self.line("for t in 0..nthr {");
+        self.indent += 1;
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let s_{p} = s_{p};"));
+        }
+        self.line("sc.spawn(move || unsafe {");
+        self.indent += 1;
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let {p}: *mut f64 = s_{p}.get();"));
+        }
+        self.line("let chunk = (iters + nthr as i64 - 1) / nthr as i64;");
+        self.line(&format!(
+            "let mut {v}: i64 = r_lo + (t as i64) * chunk * {};",
+            l.step
+        ));
+        self.line(&format!(
+            "let t_hi: i64 = (r_lo + ((t as i64 + 1) * chunk - 1) * {}).min(r_hi);",
+            l.step
+        ));
+        self.line(&format!("while {v} <= t_hi {{"));
+        self.indent += 1;
+        self.node(&l.body);
+        self.line(&format!("{v} += {};", l.step));
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("});");
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("});");
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    /// Array-reduction execution with thread-private accumulators.
+    ///
+    /// Written arrays are classified per Sec. IV-D:
+    /// * **owner-indexed** — every write's address varies with the
+    ///   parallel variable with unit coefficient and depends on no inner
+    ///   loop variable: iterations own disjoint cells, so threads write
+    ///   the global array directly (e.g. `tmp[i] = 0; tmp[i] += …` under
+    ///   a parallel `i`);
+    /// * **reduced** — every write is an associative `+=` update whose
+    ///   address is invariant in the parallel variable: threads
+    ///   accumulate into zeroed private copies, combined additively after
+    ///   the join (e.g. `y[j] += …` under a parallel `i`).
+    ///
+    /// Anything else (mixed shapes, reads of partial reductions) falls
+    /// back to sequential execution of the loop — correctness first.
+    fn reduction(&mut self, l: &Loop) {
+        let region = self.region;
+        self.region += 1;
+        // ---- classification ----
+        let mut stmts: Vec<polymix_ast::tree::StmtNode> = Vec::new();
+        l.body.visit_stmts(&mut |s| stmts.push(s.clone()));
+        let depends_unit = |s: &polymix_ast::tree::StmtNode| -> bool {
+            // Some subscript row composes to exactly ±1·var (+ params).
+            let stmt = &self.prog.scop.statements[s.stmt_idx];
+            let d = stmt.dim;
+            let p = self.prog.scop.params.len();
+            stmt.write.map.iter().any(|row| {
+                let mut e = polymix_ast::tree::LinExpr::con(row[d + p]);
+                for (k, &c) in row[..d].iter().enumerate() {
+                    if c != 0 {
+                        e = e.add_scaled(&s.iter_exprs[k], c);
+                    }
+                }
+                e.var_coeffs.len() == 1
+                    && e.var_coeffs[0].0 == l.var
+                    && e.var_coeffs[0].1.abs() == 1
+            })
+        };
+        let invariant_in_var = |s: &polymix_ast::tree::StmtNode| -> bool {
+            let stmt = &self.prog.scop.statements[s.stmt_idx];
+            let d = stmt.dim;
+            stmt.write.map.iter().all(|row| {
+                let mut coeff = 0i64;
+                for (k, &c) in row[..d].iter().enumerate() {
+                    coeff += c * s.iter_exprs[k].coeff_of(l.var);
+                }
+                coeff == 0
+            })
+        };
+        let mut owned: Vec<usize> = Vec::new();
+        let mut reduced: Vec<usize> = Vec::new();
+        let mut ok = true;
+        let mut arrays_written: Vec<usize> = Vec::new();
+        for s in &stmts {
+            let a = self.prog.scop.statements[s.stmt_idx].write.array.0;
+            if !arrays_written.contains(&a) {
+                arrays_written.push(a);
+            }
+        }
+        for &a in &arrays_written {
+            let writers: Vec<&polymix_ast::tree::StmtNode> = stmts
+                .iter()
+                .filter(|s| self.prog.scop.statements[s.stmt_idx].write.array.0 == a)
+                .collect();
+            if writers.iter().all(|s| depends_unit(s)) {
+                owned.push(a);
+            } else if writers.iter().all(|s| {
+                self.prog.scop.statements[s.stmt_idx].is_reduction_update()
+                    && invariant_in_var(s)
+            }) {
+                reduced.push(a);
+            } else {
+                ok = false;
+            }
+        }
+        // Reduced arrays may only be read by their own update statements.
+        if ok {
+            'outer: for s in &stmts {
+                let stmt = &self.prog.scop.statements[s.stmt_idx];
+                for (read, is_write) in stmt.accesses() {
+                    if is_write {
+                        continue;
+                    }
+                    if reduced.contains(&read.array.0)
+                        && !(read.array == stmt.write.array && read.map == stmt.write.map)
+                    {
+                        ok = false;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if !ok {
+            let mut seq = l.clone();
+            seq.par = Par::Seq;
+            self.line(&format!(
+                "// reduction region {region}: shape not parallelizable, sequential fallback"
+            ));
+            self.seq_loop(&seq);
+            return;
+        }
+        reduced.sort();
+        let arrays = self.all_array_ptrs();
+        let v = self.var_name(l.var);
+        let lo = self.bound(&l.lo, true);
+        let hi = self.bound(&l.hi, false);
+        self.line(&format!(
+            "// reduction region {region} (reduced {reduced:?}, owner-indexed {owned:?})"
+        ));
+        self.line("{");
+        self.indent += 1;
+        self.line(&format!("let r_lo: i64 = {lo};"));
+        self.line(&format!("let r_hi: i64 = {hi};"));
+        self.line(&format!(
+            "let iters: i64 = if r_hi >= r_lo {{ (r_hi - r_lo) / {} + 1 }} else {{ 0 }};",
+            l.step
+        ));
+        self.line("let nthr: usize = THREADS.min(iters.max(1) as usize);");
+        self.line("if iters > 0 {");
+        self.indent += 1;
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let s_{p} = P({p});"));
+        }
+        for a in &reduced {
+            let n = self.arr_name(*a);
+            let len = self.extent_product(*a);
+            self.line(&format!(
+                "let mut locals_{n}: Vec<Vec<f64>> = (0..nthr).map(|_| vec![0.0f64; ({len}).max(1) as usize]).collect();"
+            ));
+        }
+        self.line("std::thread::scope(|sc| {");
+        self.indent += 1;
+        let local_iters = reduced
+            .iter()
+            .map(|a| format!("locals_{}.iter_mut()", self.arr_name(*a)))
+            .collect::<Vec<_>>();
+        if reduced.is_empty() {
+            self.line("for t in 0..nthr {");
+            self.indent += 1;
+            self.line("let tt = t as i64;");
+        } else {
+            let zip_expr = if local_iters.len() == 1 {
+                local_iters[0].clone()
+            } else {
+                let mut it = local_iters.clone().into_iter();
+                let first = it.next().unwrap();
+                it.fold(first, |acc, x| format!("{acc}.zip({x})"))
+            };
+            self.line("let mut t = 0usize;");
+            self.line(&format!("for locs in {zip_expr} {{"));
+            self.indent += 1;
+            self.line("let tt = t as i64; t += 1;");
+        }
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let s_{p} = s_{p};"));
+        }
+        self.line("sc.spawn(move || unsafe {");
+        self.indent += 1;
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let {p}: *mut f64 = s_{p}.get();"));
+        }
+        // Rebind reduced pointers to the locals.
+        if reduced.len() == 1 {
+            let p = self.ptr_name(reduced[0]);
+            self.line(&format!("let {p}: *mut f64 = locs.as_mut_ptr();"));
+        } else if reduced.len() > 1 {
+            let mut pat = "l0_0".to_string();
+            for i in 1..reduced.len() {
+                pat = format!("({pat}, l0_{i})");
+            }
+            self.line(&format!("let {pat} = locs;"));
+            for (i, a) in reduced.iter().enumerate() {
+                let p = self.ptr_name(*a);
+                self.line(&format!("let {p}: *mut f64 = l0_{i}.as_mut_ptr();"));
+            }
+        }
+        self.line("let chunk = (iters + nthr as i64 - 1) / nthr as i64;");
+        self.line(&format!(
+            "let mut {v}: i64 = r_lo + tt * chunk * {};",
+            l.step
+        ));
+        self.line(&format!(
+            "let t_hi: i64 = (r_lo + ((tt + 1) * chunk - 1) * {}).min(r_hi);",
+            l.step
+        ));
+        self.line(&format!("while {v} <= t_hi {{"));
+        self.indent += 1;
+        self.node(&l.body);
+        self.line(&format!("{v} += {};", l.step));
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("});");
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("});");
+        // Combine.
+        for a in &reduced {
+            let n = self.arr_name(*a);
+            let p = self.ptr_name(*a);
+            self.line(&format!("for loc in &locals_{n} {{"));
+            self.indent += 1;
+            self.line(&format!(
+                "for (k, &x) in loc.iter().enumerate() {{ *{p}.add(k) += x; }}"
+            ));
+            self.indent -= 1;
+            self.line("}");
+        }
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    /// Point-to-point pipeline over (this loop, next inner loop): the
+    /// inner dimension is split into column blocks across threads; each
+    /// thread sweeps the outer dimension, awaiting its left neighbor.
+    fn pipeline(&mut self, l: &Loop) {
+        match &l.body {
+            Node::Loop(_) => {}
+            Node::Seq(xs)
+                if !xs.is_empty()
+                    && xs.iter().all(|x| matches!(x, Node::Loop(_))) =>
+            {
+                self.pipeline_seq(l, xs);
+                return;
+            }
+            _ => {
+                // No inner loop structure to pipeline across: sequential.
+                let mut seq = l.clone();
+                seq.par = Par::Seq;
+                self.seq_loop(&seq);
+                return;
+            }
+        }
+        let Node::Loop(inner) = &l.body else {
+            unreachable!()
+        };
+        let region = self.region;
+        self.region += 1;
+        let arrays = self.all_array_ptrs();
+        let vo = self.var_name(l.var);
+        let vi = self.var_name(inner.var);
+        let o_lo = self.bound(&l.lo, true);
+        let o_hi = self.bound(&l.hi, false);
+        // Hull of the inner bounds over the outer range: affine in the
+        // outer variable, so extremes sit at the endpoints.
+        self.line(&format!("// pipeline region {region}"));
+        self.line("{");
+        self.indent += 1;
+        self.line(&format!("let o_lo: i64 = {o_lo};"));
+        self.line(&format!("let o_hi: i64 = {o_hi};"));
+        self.line("if o_hi >= o_lo {");
+        self.indent += 1;
+        // Bind the outer var to both endpoints to evaluate hull bounds.
+        // Blocks are assigned in *offset* space (inner value minus the
+        // step's own lower bound): offsets are step-invariant up to a
+        // monotone leftward drift of at most one grid step per outer
+        // step, which the right-neighbor await covers. The span is the
+        // maximum extent over the outer range (affine bounds peak at the
+        // endpoints).
+        self.line(&format!("let span: i64 = {{ let {vo} = o_lo; let a = ({hi1}) - ({lo1}) + 1; let {vo} = o_hi; let b = ({hi1}) - ({lo1}) + 1; a.max(b).max(0) }};",
+            lo1 = self.bound(&inner.lo, true),
+            hi1 = self.bound(&inner.hi, false)));
+        // Block width must exceed the per-step point-ownership jitter of
+        // skewed tile grids (bounded by the inner step), so cross-step
+        // dependences cross at most one block boundary per step.
+        self.line(&format!(
+            "let nthr: usize = THREADS.min((span / {}).max(1) as usize);",
+            inner.step
+        ));
+        self.line(&format!(
+            "let progress: Vec<AtomicI64> = (0..nthr).map(|_| AtomicI64::new(o_lo - {})).collect();",
+            l.step
+        ));
+        self.line("let progress = &progress;");
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let s_{p} = P({p});"));
+        }
+        self.line("std::thread::scope(|sc| {");
+        self.indent += 1;
+        self.line("for t in 0..nthr {");
+        self.indent += 1;
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let s_{p} = s_{p};"));
+        }
+        self.line("sc.spawn(move || unsafe {");
+        self.indent += 1;
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let {p}: *mut f64 = s_{p}.get();"));
+        }
+        // Chunk rounded up to the grid step so that sibling grids with
+        // small relative shifts quantize into the same thread.
+        self.line(&format!(
+            "let chunk = (((span + nthr as i64 - 1) / nthr as i64) + {st} - 1) / {st} * {st};",
+            st = inner.step
+        ));
+        self.line("let off_lo = (t as i64) * chunk;");
+        self.line("let off_hi = (t as i64 + 1) * chunk - 1;");
+        self.line(&format!("let mut {vo}: i64 = o_lo;"));
+        self.line(&format!("while {vo} <= o_hi {{"));
+        self.indent += 1;
+        self.line("// await source(outer, block-1): left neighbor finished this step;");
+        self.line("// await source(outer-1, block+1): right neighbor finished the previous");
+        self.line("// step (covers leftward ownership migration of skewed tile grids).");
+        self.line(&format!(
+            "if t > 0 {{ while progress[t - 1].load(Ordering::Acquire) < {vo} {{ std::hint::spin_loop(); }} }}"
+        ));
+        self.line(&format!(
+            "if t + 1 < nthr {{ while progress[t + 1].load(Ordering::Acquire) < {vo} - {} {{ std::hint::spin_loop(); }} }}",
+            l.step
+        ));
+        // Start on the loop's own stride grid (blocks cut by value; the
+        // grid origin may differ per outer step).
+        self.line(&format!("let g0: i64 = {};", self.bound(&inner.lo, true)));
+        self.line(&format!(
+            "let mut {vi}: i64 = g0 + cdiv(off_lo.max(0), {st}) * {st};",
+            st = inner.step
+        ));
+        self.line(&format!(
+            "let b_hi: i64 = ({}).min(g0 + off_hi);",
+            self.bound(&inner.hi, false)
+        ));
+        self.line(&format!("while {vi} <= b_hi {{"));
+        self.indent += 1;
+        self.node(&inner.body);
+        self.line(&format!("{vi} += {};", inner.step));
+        self.indent -= 1;
+        self.line("}");
+        self.line(&format!(
+            "progress[t].store({vo}, Ordering::Release);"
+        ));
+        self.line(&format!("{vo} += {};", l.step));
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("});");
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("});");
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    /// Diagonal-by-value wavefront over this loop and its immediate inner
+    /// loop: collect every (u, v) pair at runtime, group by `u + v`, run
+    /// each diagonal's cells across threads with an implicit barrier
+    /// between diagonals (scope join) — the Fig. 6 "wavefront doall".
+    fn wavefront(&mut self, l: &Loop) {
+        let Node::Loop(inner) = &l.body else {
+            let mut seq = l.clone();
+            seq.par = Par::Seq;
+            self.seq_loop(&seq);
+            return;
+        };
+        let region = self.region;
+        self.region += 1;
+        let arrays = self.all_array_ptrs();
+        let vo = self.var_name(l.var);
+        let vi = self.var_name(inner.var);
+        self.line(&format!("// wavefront region {region}"));
+        self.line("{");
+        self.indent += 1;
+        // Enumerate tile origins.
+        self.line("let mut pairs: Vec<(i64, i64)> = Vec::new();");
+        self.line(&format!("let mut {vo}: i64 = {};", self.bound(&l.lo, true)));
+        self.line(&format!("let {vo}_hi: i64 = {};", self.bound(&l.hi, false)));
+        self.line(&format!("while {vo} <= {vo}_hi {{"));
+        self.indent += 1;
+        self.line(&format!("let mut {vi}: i64 = {};", self.bound(&inner.lo, true)));
+        self.line(&format!("let {vi}_hi: i64 = {};", self.bound(&inner.hi, false)));
+        self.line(&format!("while {vi} <= {vi}_hi {{"));
+        self.indent += 1;
+        self.line(&format!("pairs.push(({vo}, {vi}));"));
+        self.line(&format!("{vi} += {};", inner.step));
+        self.indent -= 1;
+        self.line("}");
+        self.line(&format!("{vo} += {};", l.step));
+        self.indent -= 1;
+        self.line("}");
+        // Diagonal weight: skewed tile grids shift their inner origin by
+        // up to (inner step − 1) per outer step, so the plain u+v diagonal
+        // can order dependent tiles backwards. Weighting u by
+        // (inner_step / outer_step + 2) restores strict forward progress.
+        let weight = inner.step / l.step.max(1) + 2;
+        self.line(&format!(
+            "pairs.sort_by_key(|&(u, v)| ({weight} * u + v, u));"
+        ));
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let s_{p} = P({p});"));
+        }
+        self.line("let mut d0 = 0usize;");
+        self.line("while d0 < pairs.len() {");
+        self.indent += 1;
+        self.line(&format!("let w = {weight} * pairs[d0].0 + pairs[d0].1;"));
+        self.line("let mut d1 = d0;");
+        self.line(&format!(
+            "while d1 < pairs.len() && {weight} * pairs[d1].0 + pairs[d1].1 == w {{ d1 += 1; }}"
+        ));
+        self.line("let diag = &pairs[d0..d1];");
+        self.line("let nthr = THREADS.min(diag.len().max(1));");
+        self.line("std::thread::scope(|sc| {");
+        self.indent += 1;
+        self.line("for t in 0..nthr {");
+        self.indent += 1;
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let s_{p} = s_{p};"));
+        }
+        self.line("sc.spawn(move || unsafe {");
+        self.indent += 1;
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let {p}: *mut f64 = s_{p}.get();"));
+        }
+        self.line("let chunk = (diag.len() + nthr - 1) / nthr;");
+        self.line("let lo = t * chunk;");
+        self.line("let hi = ((t + 1) * chunk).min(diag.len());");
+        self.line("for &(u, v) in &diag[lo..hi] {");
+        self.indent += 1;
+        self.line(&format!("let {vo}: i64 = u;"));
+        self.line(&format!("let {vi}: i64 = v;"));
+        self.node(&inner.body.clone());
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("});");
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("});");
+        self.line("d0 = d1;");
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    /// Pipeline over an outer loop whose body is a sequence of sibling
+    /// sub-loops (the fused-stencil shape): column blocks are carved out
+    /// of the hull of every sibling's range; each thread sweeps the outer
+    /// variable, awaits its left neighbor, runs every sibling clamped to
+    /// its block, then publishes progress.
+    fn pipeline_seq(&mut self, l: &Loop, siblings: &[Node]) {
+        let region = self.region;
+        self.region += 1;
+        let arrays = self.all_array_ptrs();
+        let vo = self.var_name(l.var);
+        let o_lo = self.bound(&l.lo, true);
+        let o_hi = self.bound(&l.hi, false);
+        let subs: Vec<&Loop> = siblings
+            .iter()
+            .map(|x| match x {
+                Node::Loop(il) => il.as_ref(),
+                _ => unreachable!(),
+            })
+            .collect();
+        self.line(&format!("// pipeline region {region} (fused siblings)"));
+        self.line("{");
+        self.indent += 1;
+        self.line(&format!("let o_lo: i64 = {o_lo};"));
+        self.line(&format!("let o_hi: i64 = {o_hi};"));
+        self.line("if o_hi >= o_lo {");
+        self.indent += 1;
+        // Hull over all siblings and both outer endpoints.
+        let mut span_parts = Vec::new();
+        for il in &subs {
+            span_parts.push(format!(
+                "{{ let {vo} = o_lo; let a = ({hi}) - ({lo}) + 1; let {vo} = o_hi; let b = ({hi}) - ({lo}) + 1; a.max(b) }}",
+                lo = self.bound(&il.lo, true),
+                hi = self.bound(&il.hi, false)
+            ));
+        }
+        self.line(&format!(
+            "let span: i64 = [{}].iter().copied().max().unwrap().max(0);",
+            span_parts.join(", ")
+        ));
+        // Block width must exceed the per-step point-ownership jitter of
+        // skewed tile grids (bounded by the largest sibling step).
+        let max_step = subs.iter().map(|il| il.step).max().unwrap_or(1);
+        self.line(&format!(
+            "let nthr: usize = THREADS.min((span / {max_step}).max(1) as usize);"
+        ));
+        // Progress counts completed (outer step, sibling) *phases* so the
+        // right-neighbor lookahead is one sibling phase, covering the
+        // one-tile leftward shifts between sibling grids.
+        self.line(&format!(
+            "let nsib: i64 = {};",
+            subs.len()
+        ));
+        self.line("let progress: Vec<AtomicI64> = (0..nthr).map(|_| AtomicI64::new(-1)).collect();");
+        self.line("let progress = &progress;");
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let s_{p} = P({p});"));
+        }
+        self.line("std::thread::scope(|sc| {");
+        self.indent += 1;
+        self.line("for t in 0..nthr {");
+        self.indent += 1;
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let s_{p} = s_{p};"));
+        }
+        self.line("sc.spawn(move || unsafe {");
+        self.indent += 1;
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let {p}: *mut f64 = s_{p}.get();"));
+        }
+        // Chunk rounded up to the grid step so that sibling grids with
+        // small relative shifts quantize into the same thread.
+        self.line(&format!(
+            "let chunk = (((span + nthr as i64 - 1) / nthr as i64) + {st} - 1) / {st} * {st};",
+            st = max_step
+        ));
+        self.line("let off_lo = (t as i64) * chunk;");
+        self.line("let off_hi = (t as i64 + 1) * chunk - 1;");
+        self.line(&format!("let mut {vo}: i64 = o_lo;"));
+        self.line("let mut step_idx: i64 = 0;");
+        self.line(&format!("while {vo} <= o_hi {{"));
+        self.indent += 1;
+        // Common grid origin: siblings' grids are shifted copies of each
+        // other; quantizing all of them against the minimum lower bound
+        // keeps block assignment consistent across siblings.
+        let g0_parts: Vec<String> = subs
+            .iter()
+            .map(|il| format!("({})", self.bound(&il.lo, true)))
+            .collect();
+        self.line(&format!(
+            "let g0c: i64 = [{}].iter().copied().min().unwrap();",
+            g0_parts.join(", ")
+        ));
+        for (sib, il) in subs.iter().enumerate() {
+            self.line(&format!("let ph: i64 = step_idx * nsib + {sib};"));
+            self.line(
+                "if t > 0 { while progress[t - 1].load(Ordering::Acquire) < ph { std::hint::spin_loop(); } }"
+            );
+            self.line(
+                "if t + 1 < nthr { while progress[t + 1].load(Ordering::Acquire) < ph - 1 { std::hint::spin_loop(); } }"
+            );
+            let vi = self.var_name(il.var);
+            self.line("{");
+            self.indent += 1;
+            self.line(&format!("let g0: i64 = {};", self.bound(&il.lo, true)));
+            self.line(&format!(
+                "let mut {vi}: i64 = g0 + cdiv((g0c + off_lo - g0).max(0), {st}) * {st};",
+                st = il.step
+            ));
+            self.line(&format!(
+                "let b_hi: i64 = ({}).min(g0c + off_hi);",
+                self.bound(&il.hi, false)
+            ));
+            self.line(&format!("while {vi} <= b_hi {{"));
+            self.indent += 1;
+            self.node(&il.body.clone());
+            self.line(&format!("{vi} += {};", il.step));
+            self.indent -= 1;
+            self.line("}");
+            self.indent -= 1;
+            self.line("}");
+            self.line("progress[t].store(ph, Ordering::Release);");
+        }
+        self.line("step_idx += 1;");
+        self.line(&format!("{vo} += {};", l.step));
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("});");
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("});");
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    fn all_array_ptrs(&self) -> Vec<usize> {
+        (0..self.prog.scop.arrays.len()).collect()
+    }
+
+    fn stmt(&mut self, s: &polymix_ast::tree::StmtNode) {
+        let stmt = &self.prog.scop.statements[s.stmt_idx];
+        self.line("{");
+        self.indent += 1;
+        for (k, e) in s.iter_exprs.iter().enumerate() {
+            let code = self.lin(e);
+            self.line(&format!("let x{k}: i64 = {code};"));
+        }
+        let rhs = self.expr(&stmt.body, stmt.dim);
+        let idx = self.subscript(stmt.write.array.0, &stmt.write.map, stmt.dim);
+        let p = self.ptr_name(stmt.write.array.0);
+        self.line(&format!("*{p}.add(({idx}) as usize) = {rhs};"));
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    /// Renders a statement-body expression; iterators appear as `x{k}`.
+    fn expr(&self, e: &Expr, d: usize) -> String {
+        match e {
+            Expr::Const(c) => {
+                let s = format!("{c:?}");
+                if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                    format!("{s}f64")
+                } else {
+                    format!("{s}.0f64")
+                }
+            }
+            Expr::Iter(k) => format!("(x{k} as f64)"),
+            Expr::Param(k) => format!("({} as f64)", self.param_const(*k)),
+            Expr::Bin(op, a, b) => format!(
+                "({} {} {})",
+                self.expr(a, d),
+                op.symbol(),
+                self.expr(b, d)
+            ),
+            Expr::Un(UnOp::Neg, a) => format!("(-{})", self.expr(a, d)),
+            Expr::Un(UnOp::Sqrt, a) => format!("({}).sqrt()", self.expr(a, d)),
+            Expr::Un(UnOp::Exp, a) => format!("({}).exp()", self.expr(a, d)),
+            Expr::Read { array, subs } => {
+                let idx = self.subscript(array.0, subs, d);
+                let p = self.ptr_name(array.0);
+                format!("*{p}.add(({idx}) as usize)")
+            }
+        }
+    }
+
+    /// Renders the row-major linearized index of an access.
+    fn subscript(&self, array: usize, rows: &[Vec<i64>], d: usize) -> String {
+        let arr = &self.prog.scop.arrays[array];
+        if rows.is_empty() {
+            return "0".to_string();
+        }
+        let mut out = String::new();
+        for (dim, row) in rows.iter().enumerate() {
+            let sub = self.subscript_row(row, d);
+            if dim == 0 {
+                out = sub;
+            } else {
+                let ext = self.extent_expr(&arr.dims[dim]);
+                out = format!("({out}) * {ext} + {sub}");
+            }
+        }
+        out
+    }
+
+    fn subscript_row(&self, row: &[i64], d: usize) -> String {
+        let p = self.prog.scop.params.len();
+        let mut parts: Vec<String> = Vec::new();
+        for (k, &c) in row[..d].iter().enumerate() {
+            if c != 0 {
+                parts.push(coef_term(c, &format!("x{k}"), parts.is_empty()));
+            }
+        }
+        for (k, &c) in row[d..d + p].iter().enumerate() {
+            if c != 0 {
+                parts.push(coef_term(c, &self.param_const(k), parts.is_empty()));
+            }
+        }
+        let cst = row[d + p];
+        if cst != 0 || parts.is_empty() {
+            if parts.is_empty() {
+                parts.push(format!("{cst}"));
+            } else if cst > 0 {
+                parts.push(format!(" + {cst}"));
+            } else {
+                parts.push(format!(" - {}", -cst));
+            }
+        }
+        format!("({})", parts.concat())
+    }
+}
+
+fn coef_term(c: i64, name: &str, first: bool) -> String {
+    match (c, first) {
+        (1, true) => name.to_string(),
+        (-1, true) => format!("-{name}"),
+        (c, true) => format!("{c} * {name}"),
+        (1, false) => format!(" + {name}"),
+        (-1, false) => format!(" - {name}"),
+        (c, false) if c > 0 => format!(" + {c} * {name}"),
+        (c, false) => format!(" - {} * {name}", -c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_poly::original_program;
+    use polymix_ir::builder::{con, ix, par, ScopBuilder};
+    use polymix_ir::{BinOp, Expr as IExpr};
+
+    fn simple_prog() -> Program {
+        let mut b = ScopBuilder::new("axpy", &["N"], &[16]);
+        let x = b.array("X", &["N"]);
+        let y = b.array("Y", &["N"]);
+        b.enter("i", con(0), par("N"));
+        let rhs = IExpr::mul(IExpr::Const(2.5), b.rd(x, &[ix("i")]));
+        b.stmt_update("S", y, &[ix("i")], BinOp::Add, rhs);
+        b.exit();
+        original_program(&b.finish())
+    }
+
+    #[test]
+    fn emits_compilable_looking_source() {
+        let prog = simple_prog();
+        let src = emit_rust(
+            &prog,
+            &EmitOptions {
+                params: vec![16],
+                flops: 32,
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        assert!(src.contains("fn main()"), "{src}");
+        assert!(src.contains("const P_N: i64 = 16;"));
+        assert!(src.contains("checksum"));
+        assert!(src.contains("gflops"));
+        // Sequential loop structure.
+        assert!(src.contains("while v_c1 <="), "{src}");
+    }
+
+    #[test]
+    fn doall_annotation_produces_thread_scope() {
+        let mut prog = simple_prog();
+        prog.body.visit_loops_mut(&mut |l| l.par = Par::Doall);
+        let src = emit_rust(
+            &prog,
+            &EmitOptions {
+                params: vec![16],
+                flops: 32,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert!(src.contains("std::thread::scope"), "{src}");
+        assert!(src.contains("doall region 0"));
+    }
+
+    #[test]
+    fn reduction_annotation_classifies_owner_indexed_writes() {
+        // y[i] += … under a parallel i is owner-indexed: threads write the
+        // global array directly, no private copies.
+        let mut prog = simple_prog();
+        prog.body.visit_loops_mut(&mut |l| l.par = Par::Reduction);
+        let src = emit_rust(
+            &prog,
+            &EmitOptions {
+                params: vec![16],
+                flops: 32,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert!(!src.contains("locals_a_y"), "{src}");
+        assert!(src.contains("owner-indexed [1]"), "{src}");
+    }
+
+    #[test]
+    fn reduction_annotation_produces_locals_for_true_reductions() {
+        // acc[0] += x[i]: the write address is invariant in the parallel
+        // variable, so thread-private accumulators are required.
+        use polymix_ir::builder::{con, ix, par, ScopBuilder};
+        use polymix_ir::BinOp;
+        let mut b = ScopBuilder::new("sum", &["N"], &[16]);
+        let x = b.array("X", &["N"]);
+        let acc = b.array("ACC", &[]);
+        b.enter("i", con(0), par("N"));
+        let rhs = b.rd(x, &[ix("i")]);
+        b.stmt_update("S", acc, &[], BinOp::Add, rhs);
+        b.exit();
+        let mut prog = crate::from_poly::original_program(&b.finish());
+        prog.body.visit_loops_mut(&mut |l| l.par = Par::Reduction);
+        let src = emit_rust(
+            &prog,
+            &EmitOptions {
+                params: vec![16],
+                flops: 16,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert!(src.contains("locals_a_acc"), "{src}");
+        assert!(src.contains("+= x"), "{src}");
+    }
+
+    #[test]
+    fn custom_init_is_inlined() {
+        let prog = simple_prog();
+        let src = emit_rust(
+            &prog,
+            &EmitOptions {
+                params: vec![16],
+                flops: 0,
+                threads: 1,
+                init_rust: Some("for k in 0..a_x.len() { a_x[k] = 1.0; }".into()),
+                reps: 3,
+            },
+        );
+        assert!(src.contains("a_x[k] = 1.0"), "{src}");
+        assert!(src.contains("for _rep in 0..3"), "{src}");
+    }
+}

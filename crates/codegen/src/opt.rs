@@ -1,0 +1,584 @@
+//! Shared AST-stage helpers used by both optimizers (the Pluto-like
+//! baseline and the paper's poly+AST flow): per-nest dependence-vector
+//! extraction, skewing for tilability (Sec. IV-B), and parallelism
+//! marking (Sec. IV-A).
+
+use polymix_ast::parallel::{outermost_parallel, LoopParallelism};
+use polymix_ast::transforms;
+use polymix_ast::tree::{Node, Par, Program};
+use polymix_deps::{dep_vector, DepElem, Podg};
+use polymix_ir::{Schedule, Scop};
+
+/// Dependence summary of one top-level loop nest of a generated program.
+#[derive(Clone, Debug)]
+pub struct NestInfo {
+    /// Statement indices (into `scop.statements`) inside the nest.
+    pub stmts: Vec<usize>,
+    /// Maximum loop depth of the nest.
+    pub depth: usize,
+    /// Dependence vectors (`(vector, is_reduction)`) of edges internal to
+    /// the nest, in the **transformed** loop coordinates.
+    pub vectors: Vec<(Vec<DepElem>, bool)>,
+    /// `(src statement, dst statement)` of each vector, aligned with
+    /// [`NestInfo::vectors`].
+    pub endpoints: Vec<(usize, usize)>,
+}
+
+/// Splits the program's top level into nests and computes each nest's
+/// dependence vectors under the given final schedules.
+pub fn nest_infos(scop: &Scop, schedules: &[Schedule], podg: &Podg, prog: &Program) -> Vec<NestInfo> {
+    let top: Vec<&Node> = match &prog.body {
+        Node::Seq(xs) => xs.iter().collect(),
+        other => vec![other],
+    };
+    top.iter().map(|n| nest_info_of(scop, schedules, podg, n)).collect()
+}
+
+fn nest_info_of(scop: &Scop, schedules: &[Schedule], podg: &Podg, node: &Node) -> NestInfo {
+    let mut stmts = Vec::new();
+    node.visit_stmts(&mut |s| {
+        if !stmts.contains(&s.stmt_idx) {
+            stmts.push(s.stmt_idx);
+        }
+    });
+    let depth = node_depth(node);
+    let mut vectors = Vec::new();
+    let mut endpoints = Vec::new();
+    for d in &podg.deps {
+        if stmts.contains(&d.src.0) && stmts.contains(&d.dst.0) {
+            let v = dep_vector(
+                d,
+                &schedules[d.src.0],
+                &schedules[d.dst.0],
+                depth,
+                &scop.default_params,
+            );
+            vectors.push((v, d.is_reduction));
+            endpoints.push((d.src.0, d.dst.0));
+        }
+    }
+    NestInfo {
+        stmts,
+        depth,
+        vectors,
+        endpoints,
+    }
+}
+
+/// Maximum loop depth below `node` (counting nested loops on any path).
+pub fn node_depth(node: &Node) -> usize {
+    match node {
+        Node::Seq(xs) => xs.iter().map(node_depth).max().unwrap_or(0),
+        Node::Guard(_, b) => node_depth(b),
+        Node::Loop(l) => 1 + node_depth(&l.body),
+        Node::Stmt(_) => 0,
+    }
+}
+
+/// Applies loop skewing so every dependence-vector element of the nest
+/// becomes non-negative where possible (the preprocessing loop tiling
+/// requires, Sec. IV-B). The search walks levels outermost-in; for a
+/// level with negative elements it tries skew factors `f ∈ 1..=4` against
+/// each outer pivot level, *recomputing the vectors exactly* from the
+/// dependence polyhedra after each tentative skew (abstract updates lose
+/// too much precision for direction-vector pivots). Returns the updated
+/// vectors, or `None` when some negative element cannot be repaired.
+///
+/// The tree rewrite skews *every* loop at level `k` of the nest by the
+/// variable of its enclosing level-`j` loop.
+#[allow(clippy::too_many_arguments)]
+pub fn skew_nest_for_tilability(
+    nest: &mut Node,
+    scop: &Scop,
+    schedules: &[Schedule],
+    podg: &Podg,
+    stmts: &[usize],
+    depth: usize,
+) -> Option<Vec<(Vec<DepElem>, bool)>> {
+    use polymix_deps::dep_vector_transformed;
+    // Current row-combination matrix (identity = no skew yet).
+    let mut cmat: Vec<Vec<i64>> = (0..depth)
+        .map(|k| {
+            let mut r = vec![0i64; depth];
+            r[k] = 1;
+            r
+        })
+        .collect();
+    let deps: Vec<&polymix_deps::Dep> = podg
+        .deps
+        .iter()
+        .filter(|d| stmts.contains(&d.src.0) && stmts.contains(&d.dst.0))
+        .collect();
+    let compute = |cmat: &[Vec<i64>]| -> Vec<(Vec<DepElem>, bool)> {
+        deps.iter()
+            .map(|d| {
+                (
+                    dep_vector_transformed(
+                        d,
+                        &schedules[d.src.0],
+                        &schedules[d.dst.0],
+                        cmat,
+                        &scop.default_params,
+                    ),
+                    d.is_reduction,
+                )
+            })
+            .collect()
+    };
+    let mut vecs = compute(&cmat);
+    let bad_at = |vecs: &[(Vec<DepElem>, bool)], k: usize| -> usize {
+        vecs.iter()
+            .filter(|(v, _)| {
+                v[..k].iter().all(|e| e.is_nonneg()) && v[k].may_be_negative()
+            })
+            .count()
+    };
+    for k in 1..depth {
+        let mut guard = 0;
+        while bad_at(&vecs, k) > 0 {
+            guard += 1;
+            if guard > depth * 4 {
+                return None;
+            }
+            let mut fixed = false;
+            'search: for j in (0..k).rev() {
+                for f in 1..=4i64 {
+                    let mut trial = cmat.clone();
+                    for idx in 0..depth {
+                        trial[k][idx] += f * cmat[j][idx];
+                    }
+                    let tv = compute(&trial);
+                    // Accept when this strictly reduces the bad count at k
+                    // without breaking outer levels.
+                    let outer_ok = (0..k).all(|m| bad_at(&tv, m) == 0);
+                    if outer_ok && bad_at(&tv, k) < bad_at(&vecs, k) {
+                        apply_skew_at(nest, k, j, f)?;
+                        cmat = trial;
+                        vecs = tv;
+                        fixed = true;
+                        break 'search;
+                    }
+                }
+            }
+            if !fixed {
+                return None;
+            }
+        }
+    }
+    Some(vecs)
+}
+
+/// Skews every level-`k` loop of the nest by `factor ×` the variable of
+/// its enclosing level-`j` loop. Returns `None` if the structure has no
+/// loop at those levels.
+fn apply_skew_at(node: &mut Node, k: usize, j: usize, factor: i64) -> Option<()> {
+    // Collect (outer_var at level j, inner loop var at level k) pairs.
+    fn walk(node: &mut Node, level: usize, j: usize, k: usize, outer: Option<usize>, out: &mut Vec<(usize, usize)>) {
+        match node {
+            Node::Seq(xs) => xs
+                .iter_mut()
+                .for_each(|x| walk(x, level, j, k, outer, out)),
+            Node::Guard(_, b) => walk(b, level, j, k, outer, out),
+            Node::Loop(l) => {
+                let outer = if level == j { Some(l.var) } else { outer };
+                if level == k {
+                    if let Some(o) = outer {
+                        out.push((o, l.var));
+                    }
+                } else {
+                    walk(&mut l.body, level + 1, j, k, outer, out);
+                }
+            }
+            Node::Stmt(_) => {}
+        }
+    }
+    let mut pairs = Vec::new();
+    walk(node, 0, j, k, None, &mut pairs);
+    if pairs.is_empty() {
+        return None;
+    }
+    for (outer, inner) in pairs {
+        transforms::skew(node, inner, outer, factor);
+    }
+    Some(())
+}
+
+/// Marks the outermost parallel level of the nest (Sec. IV-A strategy:
+/// "always use the loop parallelism at the outermost possible level
+/// regardless of kind"). When `doall_only` is set, only [`Par::Doall`]
+/// levels are considered (the comparison mode of Fig. 5).
+/// Returns the chosen `(level, kind)`.
+pub fn mark_parallelism(
+    nest: &mut Node,
+    vectors: &[(Vec<DepElem>, bool)],
+    depth: usize,
+    doall_only: bool,
+) -> Option<(usize, LoopParallelism)> {
+    let found = if doall_only {
+        (0..depth).find_map(|k| {
+            let c = polymix_ast::parallel::classify_level_in_nest(vectors, k, depth);
+            (c == LoopParallelism::Doall).then_some((k, c))
+        })
+    } else {
+        outermost_parallel(vectors, depth)
+    }?;
+    let (level, kind) = found;
+    let par = match kind {
+        LoopParallelism::Doall => Par::Doall,
+        LoopParallelism::Reduction => Par::Reduction,
+        LoopParallelism::Pipeline | LoopParallelism::ReductionPipeline => Par::Pipeline,
+        LoopParallelism::Sequential => return None,
+    };
+    mark_level(nest, 0, level, par);
+    Some(found)
+}
+
+fn mark_level(node: &mut Node, level: usize, target: usize, par: Par) {
+    match node {
+        Node::Seq(xs) => xs
+            .iter_mut()
+            .for_each(|x| mark_level(x, level, target, par)),
+        Node::Guard(_, b) => mark_level(b, level, target, par),
+        Node::Loop(l) => {
+            if level == target {
+                l.par = par;
+            } else {
+                mark_level(&mut l.body, level + 1, target, par);
+            }
+        }
+        Node::Stmt(_) => {}
+    }
+}
+
+/// Applies register tiling (unroll-and-jam, Sec. IV-C) to every innermost
+/// perfect loop pair of the program whose bounds allow it.
+pub fn register_tile(node: &mut Node, outer_factor: i64, inner_factor: i64) {
+    match node {
+        Node::Seq(xs) => xs
+            .iter_mut()
+            .for_each(|x| register_tile(x, outer_factor, inner_factor)),
+        Node::Guard(_, b) => register_tile(b, outer_factor, inner_factor),
+        Node::Loop(l) => {
+            // Innermost perfect pair: this loop + single child loop whose
+            // body has no loops.
+            let is_pair = matches!(&l.body, Node::Loop(inner) if node_depth(&inner.body) == 0);
+            if is_pair && outer_factor > 1 {
+                if let Some(jammed) = transforms::unroll_and_jam(l, outer_factor) {
+                    if let Node::Loop(mut new_l) = jammed {
+                        // Optionally unroll the (jammed) inner loop too.
+                        if inner_factor > 1 {
+                            if let Node::Loop(inner) = &new_l.body {
+                                if inner.step == 1 {
+                                    new_l.body = transforms::unroll(inner, inner_factor);
+                                }
+                            }
+                        }
+                        *l = new_l;
+                        return;
+                    }
+                }
+            }
+            if node_depth(&l.body) == 0 && inner_factor > 1 && l.step == 1 {
+                // Bare innermost loop: plain unroll.
+                let unrolled = transforms::unroll(l, inner_factor);
+                if let Node::Loop(new_l) = unrolled {
+                    **l = *new_l;
+                }
+                return;
+            }
+            register_tile(&mut l.body, outer_factor, inner_factor);
+        }
+        Node::Stmt(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_poly::original_program;
+    use polymix_ast::interp::{alloc_arrays, execute};
+    use polymix_deps::build_podg;
+    use polymix_ir::builder::{con, ix, par, ScopBuilder};
+    use polymix_ir::Expr;
+
+    /// seidel-like kernel: negative inner dependence component before
+    /// skewing: A[i][j] = A[i-1][j+1] + A[i][j-1].
+    fn antidiag() -> polymix_ir::Scop {
+        let mut b = ScopBuilder::new("anti", &["N"], &[8]);
+        b.assume_params_at_least(3);
+        let a = b.array("A", &["N", "N"]);
+        b.enter("i", con(1), par("N"));
+        b.enter("j", con(1), par("N") - con(1));
+        let body = Expr::add(
+            b.rd(a, &[ix("i") - con(1), ix("j") + con(1)]),
+            b.rd(a, &[ix("i"), ix("j") - con(1)]),
+        );
+        b.stmt("S", a, &[ix("i"), ix("j")], body);
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+
+    #[test]
+    fn skewing_repairs_negative_components_and_preserves_semantics() {
+        let scop = antidiag();
+        let podg = build_podg(&scop);
+        let schedules: Vec<_> = scop.statements.iter().map(|s| s.schedule.clone()).collect();
+        let mut prog = original_program(&scop);
+        let infos = nest_infos(&scop, &schedules, &podg, &prog);
+        assert_eq!(infos.len(), 1);
+        // There must be a negative element before skewing.
+        assert!(infos[0]
+            .vectors
+            .iter()
+            .any(|(v, _)| v.iter().any(|e| e.may_be_negative())));
+        let mut body = prog.body.clone();
+        let stmts: Vec<usize> = infos[0].stmts.clone();
+        let fixed = skew_nest_for_tilability(
+            &mut body,
+            &scop,
+            &schedules,
+            &podg,
+            &stmts,
+            infos[0].depth,
+        )
+        .expect("skewable");
+        assert!(fixed
+            .iter()
+            .all(|(v, _)| v.iter().all(|e| e.is_nonneg())), "{fixed:?}");
+        prog.body = body;
+        // Semantics preserved.
+        let reference = {
+            let p0 = original_program(&scop);
+            let mut arrays = alloc_arrays(&scop, &[8]);
+            for (k, x) in arrays[0].iter_mut().enumerate() {
+                *x = (k % 7) as f64;
+            }
+            execute(&p0, &[8], &mut arrays);
+            arrays
+        };
+        let mut arrays = alloc_arrays(&scop, &[8]);
+        for (k, x) in arrays[0].iter_mut().enumerate() {
+            *x = (k % 7) as f64;
+        }
+        execute(&prog, &[8], &mut arrays);
+        assert_eq!(arrays[0], reference[0]);
+    }
+
+    #[test]
+    fn parallel_marking_picks_outermost_level() {
+        // Vertical-only dependence: level 0 carried, level 1 doall... with
+        // uniform (1,0) the detector reports pipeline at level 0 (valid and
+        // outermost); doall_only mode must pick level 1 instead.
+        let mut b = ScopBuilder::new("vert", &["N"], &[8]);
+        let a = b.array("A", &["N", "N"]);
+        b.enter("i", con(1), par("N"));
+        b.enter("j", con(0), par("N"));
+        let body = b.rd(a, &[ix("i") - con(1), ix("j")]);
+        b.stmt("S", a, &[ix("i"), ix("j")], body);
+        b.exit();
+        b.exit();
+        let scop = b.finish();
+        let podg = build_podg(&scop);
+        let schedules: Vec<_> = scop.statements.iter().map(|s| s.schedule.clone()).collect();
+        let prog = original_program(&scop);
+        let infos = nest_infos(&scop, &schedules, &podg, &prog);
+        let mut body = prog.body.clone();
+        let res = mark_parallelism(&mut body, &infos[0].vectors, infos[0].depth, false);
+        assert_eq!(res, Some((0, LoopParallelism::Pipeline)));
+        let mut body2 = prog.body.clone();
+        let res2 = mark_parallelism(&mut body2, &infos[0].vectors, infos[0].depth, true);
+        assert_eq!(res2.map(|(k, _)| k), Some(1));
+        // The marks landed on the right loops.
+        if let Node::Loop(l) = &body {
+            assert_eq!(l.par, Par::Pipeline);
+        }
+        if let Node::Loop(l) = &body2 {
+            assert_eq!(l.par, Par::Seq);
+            if let Node::Loop(inner) = &l.body {
+                assert_eq!(inner.par, Par::Doall);
+            }
+        }
+    }
+
+    #[test]
+    fn register_tiling_preserves_semantics() {
+        let mut b = ScopBuilder::new("grid", &["N"], &[9]);
+        let a = b.array("A", &["N", "N"]);
+        b.enter("i", con(0), par("N"));
+        b.enter("j", con(0), par("N"));
+        let body = Expr::add(b.rd(a, &[ix("i"), ix("j")]), Expr::Const(1.0));
+        b.stmt("S", a, &[ix("i"), ix("j")], body);
+        b.exit();
+        b.exit();
+        let scop = b.finish();
+        let mut prog = original_program(&scop);
+        register_tile(&mut prog.body, 2, 4);
+        let mut arrays = alloc_arrays(&scop, &[9]);
+        execute(&prog, &[9], &mut arrays);
+        assert_eq!(arrays[0], vec![1.0; 81]);
+    }
+
+    #[test]
+    fn nest_infos_counts_nests_and_stmts() {
+        let scop = antidiag();
+        let podg = build_podg(&scop);
+        let schedules: Vec<_> = scop.statements.iter().map(|s| s.schedule.clone()).collect();
+        let prog = original_program(&scop);
+        let infos = nest_infos(&scop, &schedules, &podg, &prog);
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].stmts, vec![0]);
+        assert_eq!(infos[0].depth, 2);
+        assert!(!infos[0].vectors.is_empty());
+    }
+}
+
+/// Longest prefix of loop levels on which *every* dependence vector is
+/// non-negative — the outermost fully-permutable (tilable) band.
+pub fn tilable_prefix(vectors: &[(Vec<DepElem>, bool)], depth: usize) -> usize {
+    let mut m = 0;
+    for k in 0..depth {
+        let ok = vectors
+            .iter()
+            .all(|(v, _)| v.get(k).copied().unwrap_or(DepElem::Const(0)).is_nonneg());
+        if ok {
+            m = k + 1;
+        } else {
+            break;
+        }
+    }
+    m
+}
+
+/// Legality-aware tiling of one nest (Sec. IV-B):
+///
+/// 1. If the outermost `m = tilable_prefix(...)` levels form a band of
+///    depth ≥ 2, try the *joint* (imperfect-nest capable) tiling first —
+///    this is what gives stencils their time tiles. The first band level
+///    uses `time_tile`, the rest `tile`.
+/// 2. Otherwise (or for the structure below the band) tile every maximal
+///    *perfect* chain of depth ≥ 2 whose levels are dependence-safe.
+///
+/// Returns the tiled nest.
+pub fn tile_nest(
+    prog: &mut Program,
+    nest: Node,
+    vectors: &[(Vec<DepElem>, bool)],
+    endpoints: &[(usize, usize)],
+    depth: usize,
+    tile: i64,
+    time_tile: i64,
+) -> Node {
+    let m = tilable_prefix(vectors, depth);
+    // Try the joint (imperfect-capable) tiling at the full permutable
+    // band first, then at shorter prefixes: a statement shallower than
+    // the band blocks the full-depth form (it would be re-executed per
+    // tile), but a 2-level joint tiling of, say, a fused (i, j) prefix is
+    // still far better than none.
+    for band in (2..=m).rev() {
+        let mut sizes = vec![tile; band];
+        sizes[0] = time_tile;
+        if let Some(tiled) = transforms::tile_imperfect(prog, nest.clone(), &sizes) {
+            // Tile any perfect chains left below the band's point loops.
+            return descend_tile_chains(prog, tiled, vectors, endpoints, 2 * band, band, tile);
+        }
+    }
+    // Fallback: tile perfect chains, checking per-chain legality.
+    tile_chains(prog, nest, vectors, endpoints, 0, tile)
+}
+
+/// Recursively tiles maximal perfect chains of depth ≥ 2 starting at
+/// loop level `level`, when the chain's levels are dependence-safe:
+/// every vector that is zero before the chain must be non-negative on the
+/// chain's levels.
+fn tile_chains(
+    prog: &mut Program,
+    node: Node,
+    vectors: &[(Vec<DepElem>, bool)],
+    endpoints: &[(usize, usize)],
+    level: usize,
+    tile: i64,
+) -> Node {
+    match node {
+        Node::Seq(xs) => Node::Seq(
+            xs.into_iter()
+                .map(|x| tile_chains(prog, x, vectors, endpoints, level, tile))
+                .collect(),
+        ),
+        Node::Guard(g, b) => Node::Guard(
+            g,
+            Box::new(tile_chains(prog, *b, vectors, endpoints, level, tile)),
+        ),
+        Node::Stmt(s) => Node::Stmt(s),
+        Node::Loop(_) => {
+            let len = transforms::band_depth(&node);
+            let legal = len >= 2 && chain_legal(vectors, endpoints, &node, level, len);
+            if legal {
+                let sizes = vec![tile; len];
+                transforms::tile_band(prog, node, &sizes)
+            } else {
+                match node {
+                    Node::Loop(mut l) => {
+                        l.body = tile_chains(prog, l.body, vectors, endpoints, level + 1, tile);
+                        Node::Loop(l)
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+/// Descends past `skip` loop levels (the freshly created tile loops plus
+/// the clamped band) and tiles perfect chains in the interior; `base` is
+/// the nest level the interior starts at.
+fn descend_tile_chains(
+    prog: &mut Program,
+    node: Node,
+    vectors: &[(Vec<DepElem>, bool)],
+    endpoints: &[(usize, usize)],
+    skip: usize,
+    base: usize,
+    tile: i64,
+) -> Node {
+    if skip == 0 {
+        return tile_chains(prog, node, vectors, endpoints, base, tile);
+    }
+    match node {
+        Node::Loop(mut l) => {
+            l.body = descend_tile_chains(prog, l.body, vectors, endpoints, skip - 1, base, tile);
+            Node::Loop(l)
+        }
+        other => tile_chains(prog, other, vectors, endpoints, base, tile),
+    }
+}
+
+/// Legality of tiling the chain rooted at `node`: only dependences whose
+/// endpoints are **both inside the chain** constrain it (cross-statement
+/// vectors compare unrelated distributed loops and would conservatively
+/// forbid everything), and only those not carried by an outer level.
+fn chain_legal(
+    vectors: &[(Vec<DepElem>, bool)],
+    endpoints: &[(usize, usize)],
+    node: &Node,
+    from: usize,
+    len: usize,
+) -> bool {
+    let mut inside: Vec<usize> = Vec::new();
+    node.visit_stmts(&mut |s| {
+        if !inside.contains(&s.stmt_idx) {
+            inside.push(s.stmt_idx);
+        }
+    });
+    vectors.iter().zip(endpoints).all(|((v, _), &(src, dst))| {
+        if !inside.contains(&src) || !inside.contains(&dst) {
+            return true; // endpoint outside the chain: ordered elsewhere
+        }
+        let outer_zero = v[..from.min(v.len())].iter().all(|e| e.is_zero());
+        if !outer_zero {
+            return true; // carried outside the chain: safe
+        }
+        (from..from + len).all(|k| v.get(k).copied().unwrap_or(DepElem::Const(0)).is_nonneg())
+    })
+}
+

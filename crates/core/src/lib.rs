@@ -1,0 +1,26 @@
+//! # polymix-core
+//!
+//! The paper's primary contribution: the **poly+AST** optimization flow
+//! (Algorithm 1), combining a DL-guided polyhedral stage with syntactic
+//! AST transformations:
+//!
+//! ```text
+//! P := fusion_and_permutation_with_DL(P.Poly);     // Algorithms 2–5
+//! P := skewing_for_tilability(P.AST);              // Sec. IV-B
+//! P := coarse_grain_parallelization(P.AST);        // Sec. IV-A
+//! P := tiling_for_locality(P.AST);                 // Sec. IV-B
+//! P := intra_tile_optimizations(P.AST);            // Sec. IV-C
+//! ```
+//!
+//! * [`affine`] implements the cache-aware affine stage: schedules are
+//!   restricted to fusion / distribution / code motion (β), signed
+//!   permutation (α) and retiming (γ); permutations follow the DL model's
+//!   priority order, fusion follows the five conditions of Algorithm 5.
+//! * [`flow`] assembles the end-to-end pipeline on the generated AST,
+//!   reusing the shared post passes of `polymix-codegen::opt`.
+
+pub mod affine;
+pub mod flow;
+
+pub use affine::{affine_stage, affine_stage_with};
+pub use flow::{optimize_poly_ast, PolyAstOptions};

@@ -1,0 +1,155 @@
+//! Strongly connected components of the PoDG (Tarjan's algorithm).
+//!
+//! Algorithm 2 groups statements into SCCs of the dependence graph
+//! restricted to *unsatisfied* edges at each recursion level; the returned
+//! components are in a valid topological order of the condensation
+//! (sources first), which is exactly the order fusion decisions need.
+
+use polymix_ir::scop::StmtId;
+
+/// Computes SCCs over the statement set `nodes` using the directed edges
+/// `edges` (pairs `(src, dst)`), both restricted to `nodes`. Returns the
+/// components in reverse-topological order of Tarjan, then reversed so that
+/// dependence sources come first.
+pub fn sccs(nodes: &[StmtId], edges: &[(StmtId, StmtId)]) -> Vec<Vec<StmtId>> {
+    let n = nodes.len();
+    let index_of = |s: StmtId| nodes.iter().position(|&x| x == s);
+    // Adjacency restricted to the node set, self-loops dropped (they do not
+    // affect the partition).
+    let mut adj = vec![Vec::new(); n];
+    for &(s, d) in edges {
+        if s == d {
+            continue;
+        }
+        if let (Some(si), Some(di)) = (index_of(s), index_of(d)) {
+            if !adj[si].contains(&di) {
+                adj[si].push(di);
+            }
+        }
+    }
+
+    struct Tarjan<'a> {
+        adj: &'a [Vec<usize>],
+        index: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next: usize,
+        comps: Vec<Vec<usize>>,
+    }
+    impl Tarjan<'_> {
+        fn visit(&mut self, v: usize) {
+            self.index[v] = Some(self.next);
+            self.low[v] = self.next;
+            self.next += 1;
+            self.stack.push(v);
+            self.on_stack[v] = true;
+            for i in 0..self.adj[v].len() {
+                let w = self.adj[v][i];
+                if self.index[w].is_none() {
+                    self.visit(w);
+                    self.low[v] = self.low[v].min(self.low[w]);
+                } else if self.on_stack[w] {
+                    self.low[v] = self.low[v].min(self.index[w].unwrap());
+                }
+            }
+            if self.low[v] == self.index[v].unwrap() {
+                let mut comp = Vec::new();
+                loop {
+                    let w = self.stack.pop().unwrap();
+                    self.on_stack[w] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                self.comps.push(comp);
+            }
+        }
+    }
+
+    let mut t = Tarjan {
+        adj: &adj,
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next: 0,
+        comps: Vec::new(),
+    };
+    for v in 0..n {
+        if t.index[v].is_none() {
+            t.visit(v);
+        }
+    }
+    // Tarjan emits components in reverse topological order.
+    t.comps.reverse();
+    t.comps
+        .into_iter()
+        .map(|c| {
+            let mut ids: Vec<StmtId> = c.into_iter().map(|i| nodes[i]).collect();
+            ids.sort(); // textual order within a component, deterministic
+            ids
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: usize) -> StmtId {
+        StmtId(i)
+    }
+
+    #[test]
+    fn chain_gives_singletons_in_topo_order() {
+        let nodes = vec![s(0), s(1), s(2)];
+        let edges = vec![(s(0), s(1)), (s(1), s(2))];
+        let c = sccs(&nodes, &edges);
+        assert_eq!(c, vec![vec![s(0)], vec![s(1)], vec![s(2)]]);
+    }
+
+    #[test]
+    fn cycle_collapses() {
+        let nodes = vec![s(0), s(1), s(2)];
+        let edges = vec![(s(0), s(1)), (s(1), s(0)), (s(1), s(2))];
+        let c = sccs(&nodes, &edges);
+        assert_eq!(c, vec![vec![s(0), s(1)], vec![s(2)]]);
+    }
+
+    #[test]
+    fn self_loops_do_not_merge() {
+        let nodes = vec![s(0), s(1)];
+        let edges = vec![(s(0), s(0)), (s(0), s(1))];
+        let c = sccs(&nodes, &edges);
+        assert_eq!(c, vec![vec![s(0)], vec![s(1)]]);
+    }
+
+    #[test]
+    fn edges_outside_node_set_ignored() {
+        let nodes = vec![s(1), s(2)];
+        let edges = vec![(s(0), s(1)), (s(1), s(2))];
+        let c = sccs(&nodes, &edges);
+        assert_eq!(c, vec![vec![s(1)], vec![s(2)]]);
+    }
+
+    #[test]
+    fn disconnected_nodes_are_singletons() {
+        let nodes = vec![s(3), s(5), s(9)];
+        let c = sccs(&nodes, &[]);
+        assert_eq!(c.len(), 3);
+        let mut all: Vec<StmtId> = c.into_iter().flatten().collect();
+        all.sort();
+        assert_eq!(all, nodes);
+    }
+
+    #[test]
+    fn topological_order_respects_cross_edges() {
+        // 2 -> 0, 2 -> 1, 1 -> 0 : expect [2], [1], [0].
+        let nodes = vec![s(0), s(1), s(2)];
+        let edges = vec![(s(2), s(0)), (s(2), s(1)), (s(1), s(0))];
+        let c = sccs(&nodes, &edges);
+        assert_eq!(c, vec![vec![s(2)], vec![s(1)], vec![s(0)]]);
+    }
+}

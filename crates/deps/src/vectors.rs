@@ -1,0 +1,342 @@
+//! Dependence distance / direction vectors of the transformed code.
+//!
+//! The AST-based stage works on dependence *vectors* rather than
+//! polyhedra (Sec. IV): one element per loop level of the transformed
+//! nest, each a constant distance when uniform or a direction otherwise.
+//! Vectors are extracted from the dependence polyhedra by exact emptiness
+//! queries, so they are as precise as the polyhedral representation.
+
+use crate::depgraph::Dep;
+use polymix_ir::Schedule;
+use polymix_math::{Constraint, Polyhedron};
+
+/// One element of a dependence vector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DepElem {
+    /// Uniform distance.
+    Const(i64),
+    /// Always strictly positive but not constant (`+`).
+    Plus,
+    /// Always strictly negative but not constant (`-`).
+    Minus,
+    /// Always `>= 0` but neither constant nor strictly positive (`0+`).
+    NonNeg,
+    /// Always `<= 0` but neither constant nor strictly negative (`0-`).
+    NonPos,
+    /// Unknown sign (`*`).
+    Star,
+}
+
+impl DepElem {
+    /// The element is exactly zero for every dependent pair.
+    pub fn is_zero(self) -> bool {
+        self == DepElem::Const(0)
+    }
+
+    /// The element is `>= 0` for every dependent pair.
+    pub fn is_nonneg(self) -> bool {
+        matches!(self, DepElem::Const(c) if c >= 0)
+            || matches!(self, DepElem::Plus | DepElem::NonNeg)
+    }
+
+    /// The element is `>= 1` for every dependent pair.
+    pub fn is_positive(self) -> bool {
+        matches!(self, DepElem::Const(c) if c >= 1) || self == DepElem::Plus
+    }
+
+    /// The element can be negative for some pair.
+    pub fn may_be_negative(self) -> bool {
+        !self.is_nonneg()
+    }
+}
+
+/// True when `row <= bound` holds for every point of `poly`
+/// (checked as emptiness of `poly ∧ row >= bound + 1`).
+fn always_le(poly: &Polyhedron, row: &[i64], bound: i64) -> bool {
+    let n = row.len() - 1;
+    let mut p = poly.clone();
+    let mut r = row.to_vec();
+    r[n] -= bound + 1; // row - bound - 1 >= 0
+    p.add(Constraint::ge(r));
+    p.is_empty()
+}
+
+/// True when `row >= bound` holds for every point of `poly`.
+fn always_ge(poly: &Polyhedron, row: &[i64], bound: i64) -> bool {
+    let neg: Vec<i64> = row.iter().map(|&x| -x).collect();
+    always_le(poly, &neg, -bound)
+}
+
+/// True when `row == c` for every point of `poly`.
+fn always_eq(poly: &Polyhedron, row: &[i64], c: i64) -> bool {
+    always_le(poly, row, c) && always_ge(poly, row, c)
+}
+
+/// Classifies the affine form `row` (dependence space, trailing constant
+/// column) over the dependence polyhedron, using `sample_params` to find a
+/// candidate constant distance.
+pub fn classify(poly: &Polyhedron, row: &[i64], sample_params: &[i64]) -> DepElem {
+    // Candidate constant from a sample point with parameters pinned.
+    let n_vars = poly.n_dims() - sample_params.len();
+    let mut pinned = poly.clone();
+    for (k, &v) in sample_params.iter().enumerate() {
+        pinned = pinned.fix(n_vars + k, v);
+    }
+    if let Some(pt) = pinned.sample() {
+        let val: i64 = row[..poly.n_dims()]
+            .iter()
+            .zip(&pt)
+            .map(|(a, x)| a * x)
+            .sum::<i64>()
+            + row[poly.n_dims()];
+        if always_eq(poly, row, val) {
+            return DepElem::Const(val);
+        }
+    }
+    let ge1 = always_ge(poly, row, 1);
+    let ge0 = ge1 || always_ge(poly, row, 0);
+    let le_neg1 = !ge0 && always_le(poly, row, -1);
+    let le0 = le_neg1 || always_le(poly, row, 0);
+    match (ge1, ge0, le_neg1, le0) {
+        (true, _, _, _) => DepElem::Plus,
+        (false, true, _, _) => DepElem::NonNeg,
+        (_, _, true, _) => DepElem::Minus,
+        (_, _, false, true) => DepElem::NonPos,
+        _ => DepElem::Star,
+    }
+}
+
+/// Dependence vector of the edge under the (final) schedules, one element
+/// per common loop level `0..depth`. `sample_params` supplies concrete
+/// parameter values used only to *guess* constant distances (the guess is
+/// then verified parametrically).
+pub fn dep_vector(
+    dep: &Dep,
+    sched_src: &Schedule,
+    sched_dst: &Schedule,
+    depth: usize,
+    sample_params: &[i64],
+) -> Vec<DepElem> {
+    // Each element is classified over the FULL dependence polyhedron —
+    // the classical distance/direction vector. (No peeling of pairs
+    // already separated at outer levels: tiling legality needs the
+    // complete vector, and the parallelism detector filters on zero
+    // prefixes itself.)
+    (0..depth)
+        .map(|k| {
+            if k >= sched_src.dim() || k >= sched_dst.dim() {
+                DepElem::Const(0)
+            } else {
+                let diff = dep.diff_row(&sched_src.loop_row(k), &sched_dst.loop_row(k));
+                classify(&dep.poly, &diff, sample_params)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depgraph::{build_podg, DepKind};
+    use polymix_ir::builder::{con, ix, par, ScopBuilder};
+    use polymix_ir::Scop;
+
+    /// jacobi-like: A[i][j] = B[i-1][j] + B[i][j-1]; B written elsewhere —
+    /// simpler: seidel-style in-place: A[i][j] = A[i-1][j] + A[i][j-1].
+    fn seidel_like() -> Scop {
+        let mut b = ScopBuilder::new("sweep", &["N"], &[6]);
+        b.assume_params_at_least(3);
+        let a = b.array("A", &["N", "N"]);
+        b.enter("i", con(1), par("N"));
+        b.enter("j", con(1), par("N"));
+        let body = polymix_ir::Expr::add(
+            b.rd(a, &[ix("i") - con(1), ix("j")]),
+            b.rd(a, &[ix("i"), ix("j") - con(1)]),
+        );
+        b.stmt("S", a, &[ix("i"), ix("j")], body);
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+
+    #[test]
+    fn seidel_flow_distances_are_unit_vectors() {
+        let scop = seidel_like();
+        let g = build_podg(&scop);
+        let s = &scop.statements[0].schedule;
+        let mut vecs: Vec<Vec<DepElem>> = g
+            .deps
+            .iter()
+            .filter(|d| d.kind == DepKind::Flow)
+            .map(|d| dep_vector(d, s, s, 2, &[6]))
+            .collect();
+        vecs.sort_by_key(|v| format!("{v:?}"));
+        assert!(vecs.contains(&vec![DepElem::Const(0), DepElem::Const(1)]));
+        assert!(vecs.contains(&vec![DepElem::Const(1), DepElem::Const(0)]));
+    }
+
+    #[test]
+    fn classify_direction_nonuniform() {
+        // Dep from S(x) to S(y) for all x < y (e.g. through a scalar-like
+        // cell): distance y - x ranges over 1..N-1 → Plus.
+        let mut b = ScopBuilder::new("allpairs", &["N"], &[6]);
+        let a = b.array("A", &[]); // scalar cell
+        let o = b.array("O", &["N"]);
+        b.enter("i", con(0), par("N"));
+        b.stmt("W", a, &[], polymix_ir::Expr::Const(1.0));
+        let body = b.rd(a, &[]);
+        b.stmt("R", o, &[ix("i")], body);
+        b.exit();
+        let scop = b.finish();
+        let g = build_podg(&scop);
+        // Flow W(x) -> R(y) splits into an x < y branch (non-constant,
+        // strictly positive distance: Plus) and an x == y branch (Const 0).
+        let sw = &scop.statements[0].schedule;
+        let sr = &scop.statements[1].schedule;
+        let vecs: Vec<Vec<DepElem>> = g
+            .deps
+            .iter()
+            .filter(|d| d.kind == DepKind::Flow)
+            .map(|d| dep_vector(d, sw, sr, 1, &[6]))
+            .collect();
+        assert!(vecs.contains(&vec![DepElem::Plus]));
+        assert!(vecs.contains(&vec![DepElem::Const(0)]));
+    }
+
+    #[test]
+    fn reversal_flips_distance_sign() {
+        let scop = seidel_like();
+        let g = build_podg(&scop);
+        let mut s = scop.statements[0].schedule.clone();
+        s.reverse_level(0);
+        let has_minus = g
+            .deps
+            .iter()
+            .filter(|d| d.kind == DepKind::Flow)
+            .map(|d| dep_vector(d, &s, &s, 2, &[6]))
+            .any(|v| v[0] == DepElem::Const(-1));
+        assert!(has_minus);
+    }
+
+    #[test]
+    fn skewing_makes_all_elements_nonnegative() {
+        let scop = seidel_like();
+        let g = build_podg(&scop);
+        let mut s = scop.statements[0].schedule.clone();
+        s.skew(1, 0, 1); // j' = i + j
+        for d in g.deps.iter().filter(|d| d.kind == DepKind::Flow) {
+            let v = dep_vector(d, &s, &s, 2, &[6]);
+            assert!(v.iter().all(|e| e.is_nonneg()), "vector {v:?}");
+        }
+    }
+
+    #[test]
+    fn dep_elem_predicates() {
+        assert!(DepElem::Const(0).is_zero());
+        assert!(DepElem::Const(2).is_positive());
+        assert!(DepElem::Plus.is_positive());
+        assert!(!DepElem::NonNeg.is_positive());
+        assert!(DepElem::NonNeg.is_nonneg());
+        assert!(DepElem::Star.may_be_negative());
+        assert!(DepElem::Minus.may_be_negative());
+        assert!(!DepElem::Const(1).may_be_negative());
+    }
+}
+
+/// Dependence vector under the schedules *composed with* a row-transform
+/// matrix `cmat` (one row per target level; `cmat[k][j]` is the
+/// coefficient of original schedule level `j` in new level `k`). This is
+/// how AST-level skewing is modeled exactly: new level `k` computes
+/// `Σ_j cmat[k][j] · θ_j`, and each element is re-classified over the
+/// full dependence polyhedron.
+pub fn dep_vector_transformed(
+    dep: &Dep,
+    sched_src: &Schedule,
+    sched_dst: &Schedule,
+    cmat: &[Vec<i64>],
+    sample_params: &[i64],
+) -> Vec<DepElem> {
+    let base: Vec<Vec<i64>> = (0..cmat.len())
+        .map(|j| {
+            if j < sched_src.dim() && j < sched_dst.dim() {
+                dep.diff_row(&sched_src.loop_row(j), &sched_dst.loop_row(j))
+            } else {
+                vec![0; dep.poly.n_dims() + 1]
+            }
+        })
+        .collect();
+    cmat.iter()
+        .map(|row| {
+            let mut diff = vec![0i64; dep.poly.n_dims() + 1];
+            for (j, &c) in row.iter().enumerate() {
+                if c != 0 {
+                    for (d, &b) in diff.iter_mut().zip(&base[j]) {
+                        *d += c * b;
+                    }
+                }
+            }
+            classify(&dep.poly, &diff, sample_params)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod transformed_tests {
+    use super::*;
+    use crate::depgraph::{build_podg, DepKind};
+    use polymix_ir::builder::{con, ix, par, ScopBuilder};
+
+    #[test]
+    fn transform_matrix_models_ast_skewing() {
+        // seidel-like with dep (1, -1): skewing level 1 by level 0
+        // (cmat row1 = [1, 1]) must make the component non-negative.
+        let mut b = ScopBuilder::new("sk", &["N"], &[6]);
+        b.assume_params_at_least(3);
+        let a = b.array("A", &["N", "N"]);
+        b.enter("i", con(1), par("N"));
+        b.enter("j", con(0), par("N") - con(1));
+        let body = b.rd(a, &[ix("i") - con(1), ix("j") + con(1)]);
+        b.stmt("S", a, &[ix("i"), ix("j")], body);
+        b.exit();
+        b.exit();
+        let scop = b.finish();
+        let g = build_podg(&scop);
+        let s = &scop.statements[0].schedule;
+        let flow = g.deps.iter().find(|d| d.kind == DepKind::Flow).unwrap();
+        let ident = vec![vec![1, 0], vec![0, 1]];
+        let v0 = dep_vector_transformed(flow, s, s, &ident, &[6]);
+        assert_eq!(v0, vec![DepElem::Const(1), DepElem::Const(-1)]);
+        let skewed = vec![vec![1, 0], vec![1, 1]];
+        let v1 = dep_vector_transformed(flow, s, s, &skewed, &[6]);
+        assert_eq!(v1, vec![DepElem::Const(1), DepElem::Const(0)]);
+        // Skew factor 2 overshoots to +1.
+        let skewed2 = vec![vec![1, 0], vec![2, 1]];
+        let v2 = dep_vector_transformed(flow, s, s, &skewed2, &[6]);
+        assert_eq!(v2, vec![DepElem::Const(1), DepElem::Const(1)]);
+    }
+
+    #[test]
+    fn identity_transform_matches_dep_vector() {
+        let mut b = ScopBuilder::new("id", &["N"], &[5]);
+        let a = b.array("A", &["N", "N"]);
+        b.enter("i", con(1), par("N"));
+        b.enter("j", con(1), par("N"));
+        let body = polymix_ir::Expr::add(
+            b.rd(a, &[ix("i") - con(1), ix("j")]),
+            b.rd(a, &[ix("i"), ix("j") - con(1)]),
+        );
+        b.stmt("S", a, &[ix("i"), ix("j")], body);
+        b.exit();
+        b.exit();
+        let scop = b.finish();
+        let g = build_podg(&scop);
+        let s = &scop.statements[0].schedule;
+        let ident = vec![vec![1, 0], vec![0, 1]];
+        for d in &g.deps {
+            assert_eq!(
+                dep_vector(d, s, s, 2, &[5]),
+                dep_vector_transformed(d, s, s, &ident, &[5])
+            );
+        }
+    }
+}

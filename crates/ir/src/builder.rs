@@ -1,0 +1,453 @@
+//! A small imperative DSL for defining SCoPs.
+//!
+//! Kernels are written as a walk over their loop structure:
+//!
+//! ```
+//! use polymix_ir::builder::{con, ix, par, ScopBuilder};
+//! use polymix_ir::expr::Expr;
+//!
+//! // for (i = 0; i < N; i++)
+//! //   for (j = 0; j <= i; j++)
+//! //     C[i][j] = A[i][j] * 2.0;
+//! let mut b = ScopBuilder::new("tri_scale", &["N"], &[16]);
+//! let a = b.array("A", &["N", "N"]);
+//! let c = b.array("C", &["N", "N"]);
+//! b.enter("i", con(0), par("N"));
+//! b.enter("j", con(0), ix("i") + con(1));
+//! let body = Expr::mul(b.rd(a, &[ix("i"), ix("j")]), Expr::Const(2.0));
+//! b.stmt("S", c, &[ix("i"), ix("j")], body);
+//! b.exit();
+//! b.exit();
+//! let scop = b.finish();
+//! assert_eq!(scop.statements.len(), 1);
+//! assert_eq!(scop.statements[0].dim, 2);
+//! ```
+//!
+//! Loop bounds and subscripts are symbolic affine forms ([`SymAff`]) over
+//! iterator and parameter *names*, resolved to numeric rows when each
+//! statement is created (so the row width always matches the statement's
+//! depth).
+
+use crate::expr::Expr;
+use crate::schedule::Schedule;
+use crate::scop::{Access, ArrayId, ArrayInfo, Scop, Statement};
+use polymix_math::{Constraint, Polyhedron};
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A symbolic affine form `Σ cᵢ·iter + Σ cₚ·param + c`.
+#[derive(Clone, Debug, Default)]
+pub struct SymAff {
+    iters: Vec<(String, i64)>,
+    params: Vec<(String, i64)>,
+    c: i64,
+}
+
+/// Symbolic reference to loop iterator `name`.
+pub fn ix(name: &str) -> SymAff {
+    SymAff {
+        iters: vec![(name.to_string(), 1)],
+        ..Default::default()
+    }
+}
+
+/// Symbolic reference to structure parameter `name`.
+pub fn par(name: &str) -> SymAff {
+    SymAff {
+        params: vec![(name.to_string(), 1)],
+        ..Default::default()
+    }
+}
+
+/// Constant affine form.
+pub fn con(c: i64) -> SymAff {
+    SymAff {
+        c,
+        ..Default::default()
+    }
+}
+
+impl Add for SymAff {
+    type Output = SymAff;
+    fn add(mut self, rhs: SymAff) -> SymAff {
+        self.iters.extend(rhs.iters);
+        self.params.extend(rhs.params);
+        self.c += rhs.c;
+        self
+    }
+}
+
+impl Sub for SymAff {
+    type Output = SymAff;
+    fn sub(self, rhs: SymAff) -> SymAff {
+        self + (-rhs)
+    }
+}
+
+impl Neg for SymAff {
+    type Output = SymAff;
+    fn neg(mut self) -> SymAff {
+        for (_, c) in self.iters.iter_mut() {
+            *c = -*c;
+        }
+        for (_, c) in self.params.iter_mut() {
+            *c = -*c;
+        }
+        self.c = -self.c;
+        self
+    }
+}
+
+impl Mul<i64> for SymAff {
+    type Output = SymAff;
+    fn mul(mut self, k: i64) -> SymAff {
+        for (_, c) in self.iters.iter_mut() {
+            *c *= k;
+        }
+        for (_, c) in self.params.iter_mut() {
+            *c *= k;
+        }
+        self.c *= k;
+        self
+    }
+}
+
+struct Frame {
+    name: String,
+    beta: i64,
+    lo: SymAff,
+    hi_excl: SymAff,
+}
+
+/// Incremental SCoP builder; see the module docs for the protocol.
+pub struct ScopBuilder {
+    name: String,
+    params: Vec<String>,
+    param_lbs: Vec<i64>,
+    default_params: Vec<i64>,
+    arrays: Vec<ArrayInfo>,
+    statements: Vec<Statement>,
+    frames: Vec<Frame>,
+    sibling: Vec<i64>,
+}
+
+impl ScopBuilder {
+    /// Starts a SCoP with the given structure parameters and the default
+    /// values tests will run it with.
+    pub fn new(name: &str, params: &[&str], default_params: &[i64]) -> ScopBuilder {
+        assert_eq!(params.len(), default_params.len());
+        ScopBuilder {
+            name: name.to_string(),
+            params: params.iter().map(|s| s.to_string()).collect(),
+            param_lbs: vec![1; params.len()],
+            default_params: default_params.to_vec(),
+            arrays: Vec::new(),
+            statements: Vec::new(),
+            frames: Vec::new(),
+            sibling: vec![0],
+        }
+    }
+
+    /// Declares that every parameter is at least `lb` (stencil kernels use
+    /// 2 or 3 so that legality reasoning knows interiors are nonempty).
+    pub fn assume_params_at_least(&mut self, lb: i64) {
+        for x in self.param_lbs.iter_mut() {
+            *x = lb;
+        }
+    }
+
+    /// Declares an f64 array whose extents are the named parameters.
+    pub fn array(&mut self, name: &str, dims: &[&str]) -> ArrayId {
+        let dims = dims.iter().map(|d| par(d)).collect();
+        self.array_dims(name, dims)
+    }
+
+    /// Declares an f64 array with general affine extents over parameters.
+    pub fn array_dims(&mut self, name: &str, dims: Vec<SymAff>) -> ArrayId {
+        let p = self.params.len();
+        let rows = dims
+            .iter()
+            .map(|a| {
+                assert!(a.iters.is_empty(), "array extent must not use iterators");
+                let mut row = vec![0i64; p + 1];
+                for (pn, c) in &a.params {
+                    row[self.param_pos(pn)] += c;
+                }
+                row[p] += a.c;
+                row
+            })
+            .collect();
+        self.arrays.push(ArrayInfo {
+            name: name.to_string(),
+            dims: rows,
+            elem_bytes: 8,
+        });
+        ArrayId(self.arrays.len() - 1)
+    }
+
+    /// Opens a loop `lo <= name < hi_excl`.
+    pub fn enter(&mut self, name: &str, lo: SymAff, hi_excl: SymAff) {
+        assert!(
+            !self.frames.iter().any(|f| f.name == name),
+            "shadowed iterator {name}"
+        );
+        let beta = *self.sibling.last().unwrap();
+        *self.sibling.last_mut().unwrap() += 1;
+        self.frames.push(Frame {
+            name: name.to_string(),
+            beta,
+            lo,
+            hi_excl,
+        });
+        self.sibling.push(0);
+    }
+
+    /// Closes the innermost open loop.
+    pub fn exit(&mut self) {
+        assert!(!self.frames.is_empty(), "exit() without open loop");
+        self.frames.pop();
+        self.sibling.pop();
+    }
+
+    /// Builds a read expression `array[subs]` resolved against the current
+    /// loop nest.
+    pub fn rd(&self, array: ArrayId, subs: &[SymAff]) -> Expr {
+        let d = self.frames.len();
+        Expr::Read {
+            array,
+            subs: subs.iter().map(|a| self.resolve(a, d)).collect(),
+        }
+    }
+
+    /// Adds the statement `array[subs] = body` at the current position.
+    pub fn stmt(&mut self, name: &str, array: ArrayId, subs: &[SymAff], body: Expr) {
+        let d = self.frames.len();
+        let p = self.params.len();
+        let write = Access {
+            array,
+            map: subs.iter().map(|a| self.resolve(a, d)).collect(),
+        };
+        // Domain: loop bound rows plus parameter lower bounds.
+        let mut domain = Polyhedron::universe(d + p);
+        for (k, f) in self.frames.iter().enumerate() {
+            let lo = self.resolve(&f.lo, d);
+            let hi = self.resolve(&f.hi_excl, d);
+            // it_k - lo >= 0
+            let mut low = lo.iter().map(|&x| -x).collect::<Vec<_>>();
+            low[k] += 1;
+            domain.add(Constraint::ge(low));
+            // hi - 1 - it_k >= 0
+            let mut up = hi.clone();
+            up[k] -= 1;
+            up[d + p] -= 1;
+            domain.add(Constraint::ge(up));
+        }
+        for (pk, &lb) in self.param_lbs.iter().enumerate() {
+            let mut row = vec![0i64; d + p + 1];
+            row[d + pk] = 1;
+            row[d + p] = -lb;
+            domain.add(Constraint::ge(row));
+        }
+        let mut beta: Vec<i64> = self.frames.iter().map(|f| f.beta).collect();
+        beta.push(*self.sibling.last().unwrap());
+        *self.sibling.last_mut().unwrap() += 1;
+        self.statements.push(Statement {
+            name: name.to_string(),
+            dim: d,
+            iter_names: self.frames.iter().map(|f| f.name.clone()).collect(),
+            domain,
+            write,
+            body,
+            schedule: Schedule::with_beta(d, p, beta),
+        });
+    }
+
+    /// Adds the accumulation `array[subs] = array[subs] ⊕ rhs` (the `+=` /
+    /// `*=` pattern that the reduction recognizer understands).
+    pub fn stmt_update(
+        &mut self,
+        name: &str,
+        array: ArrayId,
+        subs: &[SymAff],
+        op: crate::expr::BinOp,
+        rhs: Expr,
+    ) {
+        let lhs_read = self.rd(array, subs);
+        self.stmt(name, array, subs, Expr::Bin(op, Box::new(lhs_read), Box::new(rhs)));
+    }
+
+    /// Finalizes the SCoP. Panics if loops remain open.
+    pub fn finish(self) -> Scop {
+        assert!(self.frames.is_empty(), "unclosed loops at finish()");
+        Scop {
+            name: self.name,
+            params: self.params,
+            param_lower_bounds: self.param_lbs,
+            arrays: self.arrays,
+            statements: self.statements,
+            default_params: self.default_params,
+        }
+    }
+
+    fn param_pos(&self, name: &str) -> usize {
+        self.params
+            .iter()
+            .position(|p| p == name)
+            .unwrap_or_else(|| panic!("unknown parameter {name}"))
+    }
+
+    fn iter_pos(&self, name: &str) -> usize {
+        self.frames
+            .iter()
+            .position(|f| f.name == name)
+            .unwrap_or_else(|| panic!("unknown iterator {name}"))
+    }
+
+    fn resolve(&self, a: &SymAff, d: usize) -> Vec<i64> {
+        let p = self.params.len();
+        let mut row = vec![0i64; d + p + 1];
+        for (it, c) in &a.iters {
+            row[self.iter_pos(it)] += c;
+        }
+        for (pn, c) in &a.params {
+            row[d + self.param_pos(pn)] += c;
+        }
+        row[d + p] += a.c;
+        row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    /// Builds the paper's Fig. 1 2mm kernel and checks structure.
+    fn build_2mm() -> Scop {
+        let mut b = ScopBuilder::new("2mm", &["NI", "NJ", "NK", "NL"], &[8, 8, 8, 8]);
+        let tmp = b.array("tmp", &["NI", "NJ"]);
+        let a = b.array("A", &["NI", "NK"]);
+        let bb = b.array("B", &["NK", "NJ"]);
+        let c = b.array("C", &["NJ", "NL"]);
+        let dd = b.array("D", &["NI", "NL"]);
+
+        b.enter("i", con(0), par("NI"));
+        b.enter("j", con(0), par("NJ"));
+        b.stmt("R", tmp, &[ix("i"), ix("j")], Expr::Const(0.0));
+        b.enter("k", con(0), par("NK"));
+        let prod = Expr::mul(
+            Expr::mul(Expr::Const(1.5), b.rd(a, &[ix("i"), ix("k")])),
+            b.rd(bb, &[ix("k"), ix("j")]),
+        );
+        b.stmt_update("S", tmp, &[ix("i"), ix("j")], BinOp::Add, prod);
+        b.exit();
+        b.exit();
+        b.exit();
+
+        b.enter("i", con(0), par("NI"));
+        b.enter("j", con(0), par("NL"));
+        let scale = Expr::mul(b.rd(dd, &[ix("i"), ix("j")]), Expr::Const(1.2));
+        b.stmt("T", dd, &[ix("i"), ix("j")], scale);
+        b.enter("k", con(0), par("NJ"));
+        let prod = Expr::mul(b.rd(tmp, &[ix("i"), ix("k")]), b.rd(c, &[ix("k"), ix("j")]));
+        b.stmt_update("U", dd, &[ix("i"), ix("j")], BinOp::Add, prod);
+        b.exit();
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+
+    #[test]
+    fn two_mm_has_expected_statements() {
+        let s = build_2mm();
+        assert_eq!(s.statements.len(), 4);
+        let names: Vec<_> = s.statements.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, vec!["R", "S", "T", "U"]);
+        assert_eq!(s.statements[0].dim, 2);
+        assert_eq!(s.statements[1].dim, 3);
+    }
+
+    #[test]
+    fn original_betas_encode_textual_order() {
+        let s = build_2mm();
+        assert_eq!(s.statements[0].schedule.beta, vec![0, 0, 0]); // R
+        assert_eq!(s.statements[1].schedule.beta, vec![0, 0, 1, 0]); // S
+        assert_eq!(s.statements[2].schedule.beta, vec![1, 0, 0]); // T
+        assert_eq!(s.statements[3].schedule.beta, vec![1, 0, 1, 0]); // U
+    }
+
+    #[test]
+    fn timestamps_order_r_before_s_in_same_iteration() {
+        use crate::schedule::lex_cmp;
+        use std::cmp::Ordering;
+        let s = build_2mm();
+        let params = [8, 8, 8, 8];
+        let tr = s.statements[0].schedule.timestamp(&[2, 3], &params);
+        let ts = s.statements[1].schedule.timestamp(&[2, 3, 0], &params);
+        assert_eq!(lex_cmp(&tr, &ts), Ordering::Less);
+        // T of the second nest comes after everything in the first.
+        let tt = s.statements[2].schedule.timestamp(&[0, 0], &params);
+        assert_eq!(lex_cmp(&ts, &tt), Ordering::Less);
+    }
+
+    #[test]
+    fn domains_contain_expected_points() {
+        let s = build_2mm();
+        let st = &s.statements[1]; // S: (i,j,k) in [0,NI)x[0,NJ)x[0,NK)
+        assert!(st.domain.contains(&[0, 0, 0, 8, 8, 8, 8]));
+        assert!(st.domain.contains(&[7, 7, 7, 8, 8, 8, 8]));
+        assert!(!st.domain.contains(&[8, 0, 0, 8, 8, 8, 8]));
+    }
+
+    #[test]
+    fn reduction_pattern_recognized() {
+        let s = build_2mm();
+        assert!(!s.statements[0].is_reduction_update()); // R: tmp = 0
+        assert!(s.statements[1].is_reduction_update()); // S: tmp += ...
+        assert!(s.statements[2].is_reduction_update()); // T: D *= beta (mul update)
+        assert!(s.statements[3].is_reduction_update()); // U: D += ...
+    }
+
+    #[test]
+    fn triangular_bounds_resolve() {
+        let mut b = ScopBuilder::new("tri", &["N"], &[6]);
+        let a = b.array("A", &["N", "N"]);
+        b.enter("i", con(0), par("N"));
+        b.enter("j", con(0), ix("i") + con(1)); // j <= i
+        let body = b.rd(a, &[ix("j"), ix("i")]);
+        b.stmt("S", a, &[ix("i"), ix("j")], body);
+        b.exit();
+        b.exit();
+        let s = b.finish();
+        let st = &s.statements[0];
+        assert!(st.domain.contains(&[3, 3, 6]));
+        assert!(!st.domain.contains(&[3, 4, 6]));
+    }
+
+    #[test]
+    fn symaff_algebra() {
+        let a = ix("i") * 2 + par("N") - con(3);
+        assert_eq!(a.iters, vec![("i".to_string(), 2)]);
+        assert_eq!(a.params, vec![("N".to_string(), 1)]);
+        assert_eq!(a.c, -3);
+        let n = -a;
+        assert_eq!(n.c, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_iterator_panics() {
+        let mut b = ScopBuilder::new("bad", &["N"], &[4]);
+        let a = b.array("A", &["N"]);
+        b.enter("i", con(0), par("N"));
+        b.stmt("S", a, &[ix("zz")], Expr::Const(0.0));
+    }
+
+    #[test]
+    fn array_extent_evaluation() {
+        let mut b = ScopBuilder::new("x", &["N"], &[4]);
+        let _ = b.array_dims("A", vec![par("N") + con(1), con(3)]);
+        let s = b.finish();
+        assert_eq!(s.arrays[0].extents(&[10]), vec![11, 3]);
+        assert_eq!(s.arrays[0].len(&[10]), 33);
+    }
+}

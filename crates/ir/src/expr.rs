@@ -1,0 +1,244 @@
+//! Statement-body expression trees.
+//!
+//! Bodies are ordinary scalar expressions over array reads, loop iterators,
+//! parameters and floating-point literals. Array subscripts are *affine
+//! rows* (layout `[iters | params | 1]`) so the polyhedral machinery can
+//! reason about them, while the expression tree carries the arithmetic the
+//! interpreter and the Rust code emitter need to reproduce the kernel's
+//! semantics exactly.
+
+use crate::scop::ArrayId;
+use std::fmt;
+
+/// Binary arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+impl BinOp {
+    /// Applies the operator to two f64 values.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+        }
+    }
+
+    /// Rust / C spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// Unary operators / intrinsic calls appearing in PolyBench kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// `sqrt` (correlation, cholesky).
+    Sqrt,
+    /// `exp` (fdtd-apml variants use constants; kept for completeness).
+    Exp,
+}
+
+impl UnOp {
+    /// Applies the operator to an f64 value.
+    pub fn apply(self, a: f64) -> f64 {
+        match self {
+            UnOp::Neg => -a,
+            UnOp::Sqrt => a.sqrt(),
+            UnOp::Exp => a.exp(),
+        }
+    }
+}
+
+/// A scalar expression over array elements, iterators and parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Floating-point literal.
+    Const(f64),
+    /// Read of `array[subs]`; each subscript is an affine row
+    /// `[iters | params | 1]` of the enclosing statement.
+    Read { array: ArrayId, subs: Vec<Vec<i64>> },
+    /// Value of loop iterator `k` (cast to f64), used by init kernels.
+    Iter(usize),
+    /// Value of parameter `k` (cast to f64).
+    Param(usize),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation / intrinsic.
+    Un(UnOp, Box<Expr>),
+}
+
+impl Expr {
+    /// `a + b`
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(a), Box::new(b))
+    }
+    /// `a - b`
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b))
+    }
+    /// `a * b`
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
+    }
+    /// `a / b`
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Div, Box::new(a), Box::new(b))
+    }
+    /// `sqrt(a)`
+    pub fn sqrt(a: Expr) -> Expr {
+        Expr::Un(UnOp::Sqrt, Box::new(a))
+    }
+    /// `-a`
+    pub fn neg(a: Expr) -> Expr {
+        Expr::Un(UnOp::Neg, Box::new(a))
+    }
+
+    /// Collects every array read in evaluation order.
+    pub fn reads(&self) -> Vec<(&ArrayId, &Vec<Vec<i64>>)> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads<'a>(&'a self, out: &mut Vec<(&'a ArrayId, &'a Vec<Vec<i64>>)>) {
+        match self {
+            Expr::Read { array, subs } => out.push((array, subs)),
+            Expr::Bin(_, a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+            Expr::Un(_, a) => a.collect_reads(out),
+            Expr::Const(_) | Expr::Iter(_) | Expr::Param(_) => {}
+        }
+    }
+
+    /// Counts floating-point operations performed by one evaluation
+    /// (adds, subs, muls, divs, sqrts each count 1; negation counts 0).
+    pub fn flops(&self) -> u64 {
+        match self {
+            Expr::Bin(_, a, b) => 1 + a.flops() + b.flops(),
+            Expr::Un(UnOp::Neg, a) => a.flops(),
+            Expr::Un(_, a) => 1 + a.flops(),
+            _ => 0,
+        }
+    }
+
+    /// Rewrites every subscript row and `Iter` reference through `f`;
+    /// used when re-expressing a body in transformed loop coordinates.
+    pub fn map_subscripts(&self, f: &impl Fn(&[i64]) -> Vec<i64>) -> Expr {
+        match self {
+            Expr::Read { array, subs } => Expr::Read {
+                array: *array,
+                subs: subs.iter().map(|s| f(s)).collect(),
+            },
+            Expr::Bin(op, a, b) => Expr::Bin(
+                *op,
+                Box::new(a.map_subscripts(f)),
+                Box::new(b.map_subscripts(f)),
+            ),
+            Expr::Un(op, a) => Expr::Un(*op, Box::new(a.map_subscripts(f))),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Read { array, subs } => {
+                write!(f, "A{}[", array.0)?;
+                for (i, s) in subs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{s:?}")?;
+                }
+                write!(f, "]")
+            }
+            Expr::Iter(k) => write!(f, "i{k}"),
+            Expr::Param(k) => write!(f, "n{k}"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Expr::Un(UnOp::Neg, a) => write!(f, "(-{a})"),
+            Expr::Un(UnOp::Sqrt, a) => write!(f, "sqrt({a})"),
+            Expr::Un(UnOp::Exp, a) => write!(f, "exp({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(id: usize, sub: Vec<Vec<i64>>) -> Expr {
+        Expr::Read {
+            array: ArrayId(id),
+            subs: sub,
+        }
+    }
+
+    #[test]
+    fn flop_counting() {
+        // alpha * A[i][k] * B[k][j] -> 2 flops.
+        let e = Expr::mul(
+            Expr::mul(Expr::Const(1.5), read(0, vec![vec![1, 0, 0], vec![0, 0, 0]])),
+            read(1, vec![vec![0, 0, 0], vec![0, 1, 0]]),
+        );
+        assert_eq!(e.flops(), 2);
+        assert_eq!(Expr::sqrt(Expr::Const(2.0)).flops(), 1);
+        assert_eq!(Expr::neg(Expr::Const(2.0)).flops(), 0);
+    }
+
+    #[test]
+    fn reads_collects_in_order() {
+        let e = Expr::add(
+            read(3, vec![vec![1, 0]]),
+            Expr::mul(read(1, vec![vec![0, 1]]), read(2, vec![vec![1, 1]])),
+        );
+        let r = e.reads();
+        assert_eq!(
+            r.iter().map(|(a, _)| a.0).collect::<Vec<_>>(),
+            vec![3, 1, 2]
+        );
+    }
+
+    #[test]
+    fn map_subscripts_rewrites_reads_only() {
+        let e = Expr::add(read(0, vec![vec![1, 2, 3]]), Expr::Const(1.0));
+        let m = e.map_subscripts(&|row| row.iter().map(|x| x * 10).collect());
+        match m {
+            Expr::Bin(BinOp::Add, a, _) => match *a {
+                Expr::Read { subs, .. } => assert_eq!(subs, vec![vec![10, 20, 30]]),
+                _ => panic!("expected read"),
+            },
+            _ => panic!("expected add"),
+        }
+    }
+
+    #[test]
+    fn binop_apply() {
+        assert_eq!(BinOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinOp::Div.apply(3.0, 2.0), 1.5);
+        assert_eq!(UnOp::Sqrt.apply(9.0), 3.0);
+    }
+}

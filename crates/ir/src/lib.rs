@@ -1,0 +1,30 @@
+//! # polymix-ir
+//!
+//! The polyhedral intermediate representation of polymix: static control
+//! parts (SCoPs) made of statements with affine iteration domains, affine
+//! array access functions, expression-tree bodies, and `2d+1` schedules.
+//!
+//! ## Column layout conventions
+//!
+//! Unless stated otherwise, a statement-local affine row has the layout
+//! `[i_0 … i_{d-1} | n_0 … n_{p-1} | 1]`: the statement's `d` loop
+//! iterators, then the SCoP's `p` structure parameters, then the constant.
+//! [`scop::Statement::domain`] is a [`polymix_math::Polyhedron`] over the
+//! first `d + p` of those columns.
+//!
+//! ## Schedules
+//!
+//! A [`Schedule`] is the paper's restricted `2d+1` form (Sec. III-A):
+//! interleaving scalars `β_0 … β_d`, an invertible integer matrix `α`
+//! (signed permutation for the poly+AST flow, unimodular for the Pluto
+//! baseline, which needs skewing), and parametric shifts `γ` (retiming).
+
+pub mod builder;
+pub mod expr;
+pub mod schedule;
+pub mod scop;
+
+pub use builder::{con, ix, par, ScopBuilder, SymAff};
+pub use expr::{BinOp, Expr, UnOp};
+pub use schedule::Schedule;
+pub use scop::{Access, ArrayId, ArrayInfo, Scop, Statement, StmtId};

@@ -1,0 +1,163 @@
+//! Fourier–Motzkin elimination over affine constraint rows.
+//!
+//! Eliminating a dimension `d` from a constraint system proceeds in two
+//! phases:
+//!
+//! 1. **Exact equality substitution** — if some equality mentions `d`, it is
+//!    used to substitute `d` out of every other constraint. This step is
+//!    exact over the integers.
+//! 2. **Inequality combination** — every (lower, upper) pair
+//!    `a·x_d + f >= 0` (a > 0) and `-b·x_d + g >= 0` (b > 0) is combined
+//!    into `b·f + a·g >= 0`. When `a == 1` or `b == 1` this is the *exact
+//!    shadow*; otherwise it is the rational (real) shadow, which is sound
+//!    but may over-approximate the integer projection. All sets produced by
+//!    this workspace have unit coefficients on the eliminated dimensions,
+//!    so the elimination is exact in practice.
+
+use crate::poly::{CmpOp, Constraint};
+
+/// Eliminates dimension `d` from the system, returning rows that no longer
+/// mention it. The dimension count (row width) is preserved.
+pub fn eliminate_dim(constraints: &[Constraint], d: usize) -> Vec<Constraint> {
+    // Phase 1: equality substitution.
+    if let Some(eq_idx) = constraints
+        .iter()
+        .position(|c| c.op == CmpOp::Eq && c.mentions(d))
+    {
+        let eq = &constraints[eq_idx];
+        let a = eq.coeff(d); // a * x_d + f == 0
+        let mut out = Vec::with_capacity(constraints.len() - 1);
+        for (i, c) in constraints.iter().enumerate() {
+            if i == eq_idx {
+                continue;
+            }
+            let b = c.coeff(d);
+            if b == 0 {
+                out.push(c.clone());
+                continue;
+            }
+            // c: b * x_d + g OP 0. Multiply by |a| (positive: preserves OP)
+            // then replace b*|a|*x_d = -sgn(a)*b*f.
+            let s = a.signum();
+            let row: Vec<i64> = c
+                .row
+                .iter()
+                .zip(&eq.row)
+                .enumerate()
+                .map(|(k, (&ck, &ek))| {
+                    if k == d {
+                        0
+                    } else {
+                        a.abs() * ck - s * b * ek
+                    }
+                })
+                .collect();
+            out.push(Constraint { row, op: c.op });
+        }
+        return out;
+    }
+
+    // Phase 2: inequality combination.
+    let mut lowers = Vec::new(); // coeff > 0
+    let mut uppers = Vec::new(); // coeff < 0
+    let mut keep = Vec::new();
+    for c in constraints {
+        debug_assert!(c.op == CmpOp::Ge || !c.mentions(d));
+        let a = c.coeff(d);
+        if a > 0 {
+            lowers.push(c);
+        } else if a < 0 {
+            uppers.push(c);
+        } else {
+            keep.push(c.clone());
+        }
+    }
+    for lo in &lowers {
+        let a = lo.coeff(d);
+        for up in &uppers {
+            let b = -up.coeff(d);
+            // b*lo + a*up : coefficient on d becomes b*a - a*b = 0.
+            let row: Vec<i64> = lo
+                .row
+                .iter()
+                .zip(&up.row)
+                .map(|(&l, &u)| b * l + a * u)
+                .collect();
+            keep.push(Constraint::ge(row));
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::Polyhedron;
+
+    #[test]
+    fn eliminate_with_equality_is_exact() {
+        // { x = 2y, 0 <= x <= 10 } project out x -> 0 <= 2y <= 10.
+        let cs = vec![
+            Constraint::eq(vec![1, -2, 0]),
+            Constraint::ge(vec![1, 0, 0]),
+            Constraint::ge(vec![-1, 0, 10]),
+        ];
+        let rows = eliminate_dim(&cs, 0);
+        let mut p = Polyhedron::universe(2);
+        for r in rows {
+            p.add(r);
+        }
+        assert!(p.contains(&[99, 0]));
+        assert!(p.contains(&[99, 5]));
+        assert!(!p.contains(&[99, 6]));
+        assert!(!p.contains(&[99, -1]));
+    }
+
+    #[test]
+    fn eliminate_negative_coefficient_equality() {
+        // { -x + y + 1 == 0 (x = y+1), x <= 5 } -> y <= 4.
+        let cs = vec![
+            Constraint::eq(vec![-1, 1, 1]),
+            Constraint::ge(vec![-1, 0, 5]),
+        ];
+        let rows = eliminate_dim(&cs, 0);
+        let mut p = Polyhedron::universe(2);
+        for r in rows {
+            p.add(r);
+        }
+        assert!(p.contains(&[0, 4]));
+        assert!(!p.contains(&[0, 5]));
+    }
+
+    #[test]
+    fn inequality_combination_projects_band() {
+        // { 0 <= x, x <= y, y <= 3 } eliminate x -> { 0 <= y <= 3 }.
+        let cs = vec![
+            Constraint::ge(vec![1, 0, 0]),
+            Constraint::ge(vec![-1, 1, 0]),
+            Constraint::ge(vec![0, -1, 3]),
+        ];
+        let rows = eliminate_dim(&cs, 0);
+        let mut p = Polyhedron::universe(2);
+        for r in rows {
+            p.add(r);
+        }
+        assert!(p.contains(&[42, 0]));
+        assert!(p.contains(&[42, 3]));
+        assert!(!p.contains(&[42, -1]));
+    }
+
+    #[test]
+    fn elimination_preserves_row_width() {
+        let cs = vec![Constraint::ge(vec![1, 1, 1, 0])];
+        let rows = eliminate_dim(&cs, 1);
+        assert!(rows.is_empty()); // only a lower bound: drops away
+        let cs = vec![
+            Constraint::ge(vec![0, 1, 0, 0]),
+            Constraint::ge(vec![1, -1, 0, 5]),
+        ];
+        let rows = eliminate_dim(&cs, 1);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].row.len(), 4);
+    }
+}

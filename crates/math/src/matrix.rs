@@ -1,0 +1,478 @@
+//! Dense integer and rational matrices.
+//!
+//! These back the `2d+1` scheduling matrices, access functions and the
+//! unimodular transformation algebra of the compiler. The dimensions in
+//! play are tiny (a handful of loop iterators), so a straightforward dense
+//! row-major representation with exact rational Gaussian elimination is the
+//! right tool.
+
+use crate::ratio::Ratio;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `i64` matrix.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IntMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl IntMat {
+    /// All-zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> IntMat {
+        IntMat {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// The `n`×`n` identity.
+    pub fn identity(n: usize) -> IntMat {
+        let mut m = IntMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices; all rows must share one length.
+    pub fn from_rows(rows: &[Vec<i64>]) -> IntMat {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in IntMat::from_rows");
+            data.extend_from_slice(row);
+        }
+        IntMat { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[i64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [i64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Appends a row. Panics if the width differs.
+    pub fn push_row(&mut self, row: &[i64]) {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(row.len(), self.cols, "row width mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul(&self, rhs: &IntMat) -> IntMat {
+        assert_eq!(self.cols, rhs.rows, "IntMat::mul shape mismatch");
+        let mut out = IntMat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: &[i64]) -> Vec<i64> {
+        assert_eq!(self.cols, v.len(), "IntMat::mul_vec shape mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> IntMat {
+        let mut out = IntMat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Converts to a rational matrix.
+    pub fn to_rat(&self) -> RatMat {
+        RatMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| Ratio::int(x)).collect(),
+        }
+    }
+
+    /// Rank over the rationals.
+    pub fn rank(&self) -> usize {
+        self.to_rat().rank()
+    }
+
+    /// Determinant (square matrices only), computed exactly.
+    pub fn det(&self) -> i64 {
+        let d = self.to_rat().det();
+        d.to_int()
+    }
+
+    /// True iff the matrix is square with determinant ±1.
+    pub fn is_unimodular(&self) -> bool {
+        self.rows == self.cols && self.rows > 0 && self.det().abs() == 1
+    }
+
+    /// True iff the matrix is square and a *signed permutation*: exactly one
+    /// nonzero entry per row and per column, each ±1. This is the schedule
+    /// class the paper restricts its polyhedral stage to (Sec. III-A).
+    pub fn is_signed_permutation(&self) -> bool {
+        if self.rows != self.cols || self.rows == 0 {
+            return false;
+        }
+        let mut col_seen = vec![false; self.cols];
+        for i in 0..self.rows {
+            let mut hits = 0;
+            for j in 0..self.cols {
+                match self[(i, j)] {
+                    0 => {}
+                    1 | -1 => {
+                        if col_seen[j] {
+                            return false;
+                        }
+                        col_seen[j] = true;
+                        hits += 1;
+                    }
+                    _ => return false,
+                }
+            }
+            if hits != 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Exact inverse, panicking unless the matrix is square, invertible and
+    /// has an *integer* inverse (e.g. unimodular). For general invertible
+    /// matrices use [`IntMat::to_rat`] and [`RatMat::inverse`].
+    pub fn inverse_unimodular(&self) -> IntMat {
+        let inv = self
+            .to_rat()
+            .inverse()
+            .expect("inverse_unimodular on a singular matrix");
+        let mut out = IntMat::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(i, j)] = inv[(i, j)].to_int();
+            }
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for IntMat {
+    type Output = i64;
+    fn index(&self, (r, c): (usize, usize)) -> &i64 {
+        assert!(r < self.rows && c < self.cols, "IntMat index out of range");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for IntMat {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut i64 {
+        assert!(r < self.rows && c < self.cols, "IntMat index out of range");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for IntMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "IntMat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A dense row-major matrix of exact rationals.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RatMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Ratio>,
+}
+
+impl RatMat {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> RatMat {
+        RatMat {
+            rows,
+            cols,
+            data: vec![Ratio::ZERO; rows * cols],
+        }
+    }
+
+    /// The `n`×`n` identity.
+    pub fn identity(n: usize) -> RatMat {
+        let mut m = RatMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Ratio::ONE;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Rank by exact Gaussian elimination.
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        let mut rank = 0;
+        for col in 0..m.cols {
+            if rank == m.rows {
+                break;
+            }
+            // Find pivot.
+            let Some(p) = (rank..m.rows).find(|&r| !m[(r, col)].is_zero()) else {
+                continue;
+            };
+            m.swap_rows(rank, p);
+            let pivot = m[(rank, col)];
+            for r in 0..m.rows {
+                if r != rank && !m[(r, col)].is_zero() {
+                    let f = m[(r, col)] / pivot;
+                    for c in col..m.cols {
+                        let sub = m[(rank, c)] * f;
+                        m[(r, c)] = m[(r, c)] - sub;
+                    }
+                }
+            }
+            rank += 1;
+        }
+        rank
+    }
+
+    /// Determinant of a square matrix, exactly.
+    pub fn det(&self) -> Ratio {
+        assert_eq!(self.rows, self.cols, "det of non-square matrix");
+        let mut m = self.clone();
+        let mut det = Ratio::ONE;
+        for col in 0..m.cols {
+            let Some(p) = (col..m.rows).find(|&r| !m[(r, col)].is_zero()) else {
+                return Ratio::ZERO;
+            };
+            if p != col {
+                m.swap_rows(col, p);
+                det = -det;
+            }
+            let pivot = m[(col, col)];
+            det = det * pivot;
+            for r in col + 1..m.rows {
+                if !m[(r, col)].is_zero() {
+                    let f = m[(r, col)] / pivot;
+                    for c in col..m.cols {
+                        let sub = m[(col, c)] * f;
+                        m[(r, c)] = m[(r, c)] - sub;
+                    }
+                }
+            }
+        }
+        det
+    }
+
+    /// Exact inverse by Gauss–Jordan; `None` if singular.
+    pub fn inverse(&self) -> Option<RatMat> {
+        assert_eq!(self.rows, self.cols, "inverse of non-square matrix");
+        let n = self.rows;
+        let mut m = self.clone();
+        let mut inv = RatMat::identity(n);
+        for col in 0..n {
+            let p = (col..n).find(|&r| !m[(r, col)].is_zero())?;
+            m.swap_rows(col, p);
+            inv.swap_rows(col, p);
+            let pivot = m[(col, col)];
+            for c in 0..n {
+                m[(col, c)] = m[(col, c)] / pivot;
+                inv[(col, c)] = inv[(col, c)] / pivot;
+            }
+            for r in 0..n {
+                if r != col && !m[(r, col)].is_zero() {
+                    let f = m[(r, col)];
+                    for c in 0..n {
+                        let s1 = m[(col, c)] * f;
+                        m[(r, c)] = m[(r, c)] - s1;
+                        let s2 = inv[(col, c)] * f;
+                        inv[(r, c)] = inv[(r, c)] - s2;
+                    }
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    /// Solves `self · x = b` exactly; `None` if the system is singular or
+    /// inconsistent. Requires a square matrix.
+    pub fn solve(&self, b: &[Ratio]) -> Option<Vec<Ratio>> {
+        let inv = self.inverse()?;
+        assert_eq!(b.len(), self.rows);
+        Some(
+            (0..inv.rows)
+                .map(|i| {
+                    (0..inv.cols)
+                        .map(|j| inv[(i, j)] * b[j])
+                        .fold(Ratio::ZERO, |a, x| a + x)
+                })
+                .collect(),
+        )
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+}
+
+impl Index<(usize, usize)> for RatMat {
+    type Output = Ratio;
+    fn index(&self, (r, c): (usize, usize)) -> &Ratio {
+        assert!(r < self.rows && c < self.cols, "RatMat index out of range");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for RatMat {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Ratio {
+        assert!(r < self.rows && c < self.cols, "RatMat index out of range");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for RatMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RatMat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            let row: Vec<String> = (0..self.cols).map(|j| self[(i, j)].to_string()).collect();
+            writeln!(f, "  [{}]", row.join(", "))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_mul() {
+        let a = IntMat::from_rows(&[vec![1, 2], vec![3, 4]]);
+        let i = IntMat::identity(2);
+        assert_eq!(a.mul(&i), a);
+        assert_eq!(i.mul(&a), a);
+        let b = IntMat::from_rows(&[vec![0, 1], vec![1, 0]]);
+        assert_eq!(
+            a.mul(&b),
+            IntMat::from_rows(&[vec![2, 1], vec![4, 3]])
+        );
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = IntMat::from_rows(&[vec![1, 2, 3], vec![0, -1, 4]]);
+        assert_eq!(a.mul_vec(&[1, 1, 1]), vec![6, 3]);
+    }
+
+    #[test]
+    fn det_and_unimodularity() {
+        let skew = IntMat::from_rows(&[vec![1, 0], vec![1, 1]]);
+        assert_eq!(skew.det(), 1);
+        assert!(skew.is_unimodular());
+        let scale = IntMat::from_rows(&[vec![2, 0], vec![0, 1]]);
+        assert_eq!(scale.det(), 2);
+        assert!(!scale.is_unimodular());
+        let singular = IntMat::from_rows(&[vec![1, 2], vec![2, 4]]);
+        assert_eq!(singular.det(), 0);
+    }
+
+    #[test]
+    fn signed_permutation_detection() {
+        let p = IntMat::from_rows(&[vec![0, 1, 0], vec![-1, 0, 0], vec![0, 0, 1]]);
+        assert!(p.is_signed_permutation());
+        let skew = IntMat::from_rows(&[vec![1, 0], vec![1, 1]]);
+        assert!(!skew.is_signed_permutation());
+        let double = IntMat::from_rows(&[vec![2, 0], vec![0, 1]]);
+        assert!(!double.is_signed_permutation());
+    }
+
+    #[test]
+    fn unimodular_inverse_roundtrip() {
+        let skew = IntMat::from_rows(&[vec![1, 0, 0], vec![1, 1, 0], vec![0, 2, 1]]);
+        let inv = skew.inverse_unimodular();
+        assert_eq!(skew.mul(&inv), IntMat::identity(3));
+        assert_eq!(inv.mul(&skew), IntMat::identity(3));
+    }
+
+    #[test]
+    fn rational_inverse_and_solve() {
+        let m = IntMat::from_rows(&[vec![2, 1], vec![1, 1]]).to_rat();
+        let inv = m.inverse().unwrap();
+        let b = vec![Ratio::int(3), Ratio::int(2)];
+        let x = m.solve(&b).unwrap();
+        assert_eq!(x, vec![Ratio::int(1), Ratio::int(1)]);
+        // inv * m == I
+        let mut prod = RatMat::zeros(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    let t = inv[(i, k)] * m[(k, j)];
+                    prod[(i, j)] = prod[(i, j)] + t;
+                }
+            }
+        }
+        assert_eq!(prod, RatMat::identity(2));
+    }
+
+    #[test]
+    fn singular_inverse_is_none() {
+        let m = IntMat::from_rows(&[vec![1, 2], vec![2, 4]]).to_rat();
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn rank_of_rectangular() {
+        let m = IntMat::from_rows(&[vec![1, 2, 3], vec![2, 4, 6], vec![0, 1, 1]]);
+        assert_eq!(m.rank(), 2);
+        assert_eq!(IntMat::zeros(3, 4).rank(), 0);
+        assert_eq!(IntMat::identity(4).rank(), 4);
+    }
+}

@@ -1,0 +1,715 @@
+//! Affine constraints and integer polyhedra.
+//!
+//! A [`Polyhedron`] is a conjunction of affine constraints over an ordered
+//! list of `n_dims` dimensions. The meaning of each dimension (loop
+//! iterator, structure parameter like `NI`, schedule time dimension, …) is
+//! assigned by the caller; this module only knows the column layout
+//! `[x_0, …, x_{n-1}, 1]` — every constraint row carries `n_dims`
+//! coefficients followed by one constant term.
+
+use crate::fm;
+use crate::gcd::{normalize_eq_row, normalize_row};
+use std::fmt;
+
+/// Constraint comparison operator, interpreted as `coeffs · x + c OP 0`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `coeffs · x + c >= 0`
+    Ge,
+    /// `coeffs · x + c == 0`
+    Eq,
+}
+
+/// A single affine constraint `coeffs[..n] · x + coeffs[n] OP 0`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    /// `n_dims` coefficients followed by the constant term.
+    pub row: Vec<i64>,
+    /// Comparison against zero.
+    pub op: CmpOp,
+}
+
+impl Constraint {
+    /// Inequality `row · [x, 1] >= 0`.
+    pub fn ge(row: Vec<i64>) -> Constraint {
+        Constraint { row, op: CmpOp::Ge }
+    }
+
+    /// Equality `row · [x, 1] == 0`.
+    pub fn eq(row: Vec<i64>) -> Constraint {
+        Constraint { row, op: CmpOp::Eq }
+    }
+
+    /// Coefficient of dimension `d`.
+    pub fn coeff(&self, d: usize) -> i64 {
+        self.row[d]
+    }
+
+    /// The constant term.
+    pub fn constant(&self) -> i64 {
+        *self.row.last().expect("empty constraint row")
+    }
+
+    /// Number of dimensions the constraint spans.
+    pub fn n_dims(&self) -> usize {
+        self.row.len() - 1
+    }
+
+    /// Evaluates `coeffs · point + c`.
+    pub fn eval(&self, point: &[i64]) -> i64 {
+        assert_eq!(point.len(), self.n_dims(), "point arity mismatch");
+        self.row[..self.n_dims()]
+            .iter()
+            .zip(point)
+            .map(|(a, x)| a * x)
+            .sum::<i64>()
+            + self.constant()
+    }
+
+    /// True iff `point` satisfies the constraint.
+    pub fn holds(&self, point: &[i64]) -> bool {
+        let v = self.eval(point);
+        match self.op {
+            CmpOp::Ge => v >= 0,
+            CmpOp::Eq => v == 0,
+        }
+    }
+
+    /// True when the constraint mentions dimension `d`.
+    pub fn mentions(&self, d: usize) -> bool {
+        self.row[d] != 0
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.n_dims();
+        let mut first = true;
+        for (d, &a) in self.row[..n].iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            if first {
+                if a == 1 {
+                    write!(f, "x{d}")?;
+                } else if a == -1 {
+                    write!(f, "-x{d}")?;
+                } else {
+                    write!(f, "{a}*x{d}")?;
+                }
+                first = false;
+            } else if a > 0 {
+                if a == 1 {
+                    write!(f, " + x{d}")?;
+                } else {
+                    write!(f, " + {a}*x{d}")?;
+                }
+            } else if a == -1 {
+                write!(f, " - x{d}")?;
+            } else {
+                write!(f, " - {}*x{d}", -a)?;
+            }
+        }
+        let c = self.constant();
+        if first {
+            write!(f, "{c}")?;
+        } else if c > 0 {
+            write!(f, " + {c}")?;
+        } else if c < 0 {
+            write!(f, " - {}", -c)?;
+        }
+        match self.op {
+            CmpOp::Ge => write!(f, " >= 0"),
+            CmpOp::Eq => write!(f, " == 0"),
+        }
+    }
+}
+
+/// An affine expression `(coeffs · x + c) / denom` with `denom > 0`,
+/// used to report loop bounds extracted from a polyhedron. The division is
+/// to be interpreted as ceiling for lower bounds and floor for upper bounds.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AffineExpr {
+    /// `n_dims` coefficients followed by the constant term.
+    pub row: Vec<i64>,
+    /// Positive divisor.
+    pub denom: i64,
+}
+
+impl AffineExpr {
+    /// Builds an expression with unit denominator.
+    pub fn new(row: Vec<i64>) -> AffineExpr {
+        AffineExpr { row, denom: 1 }
+    }
+
+    /// Evaluates with floor division.
+    pub fn eval_floor(&self, point: &[i64]) -> i64 {
+        self.raw_eval(point).div_euclid(self.denom)
+    }
+
+    /// Evaluates with ceiling division.
+    pub fn eval_ceil(&self, point: &[i64]) -> i64 {
+        -((-self.raw_eval(point)).div_euclid(self.denom))
+    }
+
+    fn raw_eval(&self, point: &[i64]) -> i64 {
+        let n = self.row.len() - 1;
+        assert_eq!(point.len(), n, "point arity mismatch");
+        self.row[..n]
+            .iter()
+            .zip(point)
+            .map(|(a, x)| a * x)
+            .sum::<i64>()
+            + self.row[n]
+    }
+
+    /// True when the expression is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        let n = self.row.len() - 1;
+        self.row[..n].iter().all(|&a| a == 0)
+    }
+}
+
+impl fmt::Debug for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let fake = Constraint::ge(self.row.clone());
+        let body = format!("{fake:?}");
+        let body = body.trim_end_matches(" >= 0");
+        if self.denom == 1 {
+            write!(f, "{body}")
+        } else {
+            write!(f, "({body})/{}", self.denom)
+        }
+    }
+}
+
+/// A (possibly unbounded) convex integer polyhedron: the conjunction of a
+/// set of affine constraints over `n_dims` dimensions.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Polyhedron {
+    n_dims: usize,
+    constraints: Vec<Constraint>,
+}
+
+impl Polyhedron {
+    /// The universe polyhedron over `n_dims` dimensions.
+    pub fn universe(n_dims: usize) -> Polyhedron {
+        Polyhedron {
+            n_dims,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn n_dims(&self) -> usize {
+        self.n_dims
+    }
+
+    /// Borrows the constraint list.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Adds one constraint (with normalization / gcd tightening).
+    pub fn add(&mut self, mut c: Constraint) {
+        assert_eq!(c.n_dims(), self.n_dims, "constraint arity mismatch");
+        match c.op {
+            CmpOp::Ge => {
+                normalize_row(&mut c.row);
+            }
+            CmpOp::Eq => {
+                if !normalize_eq_row(&mut c.row) {
+                    // Integrally infeasible equality: record an explicitly
+                    // false constraint so emptiness tests succeed fast.
+                    self.constraints.push(Constraint::ge(
+                        std::iter::repeat(0)
+                            .take(self.n_dims)
+                            .chain(std::iter::once(-1))
+                            .collect(),
+                    ));
+                    return;
+                }
+            }
+        }
+        if !self.constraints.contains(&c) {
+            self.constraints.push(c);
+        }
+    }
+
+    /// Adds `x_d >= lo` and `x_d <= hi - 1`, i.e. the half-open interval
+    /// `lo <= x_d < hi` with constant bounds. Convenience for tests.
+    pub fn bound_const(&mut self, d: usize, lo: i64, hi: i64) {
+        let mut low = vec![0; self.n_dims + 1];
+        low[d] = 1;
+        low[self.n_dims] = -lo;
+        self.add(Constraint::ge(low));
+        let mut up = vec![0; self.n_dims + 1];
+        up[d] = -1;
+        up[self.n_dims] = hi - 1;
+        self.add(Constraint::ge(up));
+    }
+
+    /// Intersection of two polyhedra over the same space.
+    pub fn intersect(&self, other: &Polyhedron) -> Polyhedron {
+        assert_eq!(self.n_dims, other.n_dims, "space mismatch in intersect");
+        let mut out = self.clone();
+        for c in &other.constraints {
+            out.add(c.clone());
+        }
+        out
+    }
+
+    /// True iff the integer point satisfies every constraint.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        self.constraints.iter().all(|c| c.holds(point))
+    }
+
+    /// Eliminates dimension `d` by exact equality substitution where
+    /// possible and Fourier–Motzkin combination otherwise. The resulting
+    /// polyhedron still has `n_dims` dimensions but no constraint mentions
+    /// `d` (its projection along `d`).
+    pub fn eliminate(&self, d: usize) -> Polyhedron {
+        assert!(d < self.n_dims, "eliminate: dimension out of range");
+        let rows = fm::eliminate_dim(&self.constraints, d);
+        let mut out = Polyhedron::universe(self.n_dims);
+        for c in rows {
+            out.add(c);
+        }
+        out
+    }
+
+    /// Projects onto the first `k` dimensions by eliminating all others
+    /// (dimension count is preserved; eliminated columns become zero).
+    /// Dimensions at or beyond `keep_from` (e.g. parameters placed at the
+    /// tail of the space) can be retained by passing their start index.
+    pub fn project_keep(&self, k: usize, keep_from: usize) -> Polyhedron {
+        let mut p = self.clone();
+        for d in (k..keep_from).rev() {
+            p = p.eliminate(d);
+        }
+        p
+    }
+
+    /// Rational (hence integer-conservative) emptiness test: eliminates
+    /// every dimension and checks whether a contradictory constant
+    /// constraint remains. Thanks to gcd tightening and exact equality
+    /// substitution, the test is exact whenever every elimination step has
+    /// a unit coefficient on one side — true for all sets built from
+    /// PolyBench-style programs.
+    pub fn is_empty(&self) -> bool {
+        // Fast path: an explicitly false constraint.
+        if self.has_false_constant() {
+            return true;
+        }
+        let mut p = self.clone();
+        for d in 0..self.n_dims {
+            p = p.eliminate(d);
+            if p.has_false_constant() {
+                return true;
+            }
+        }
+        p.has_false_constant()
+    }
+
+    fn has_false_constant(&self) -> bool {
+        self.constraints.iter().any(|c| {
+            let n = c.n_dims();
+            c.row[..n].iter().all(|&a| a == 0)
+                && match c.op {
+                    CmpOp::Ge => c.constant() < 0,
+                    CmpOp::Eq => c.constant() != 0,
+                }
+        })
+    }
+
+    /// Substitutes the fixed integer `value` for dimension `d`; the
+    /// dimension remains in the space but is pinned by an equality.
+    pub fn fix(&self, d: usize, value: i64) -> Polyhedron {
+        let mut out = self.clone();
+        let mut row = vec![0; self.n_dims + 1];
+        row[d] = 1;
+        row[self.n_dims] = -value;
+        out.add(Constraint::eq(row));
+        out
+    }
+
+    /// Lower and upper bound expressions for dimension `d`, read off the
+    /// constraints that mention `d`.
+    ///
+    /// Every returned lower bound is to be combined with `max` and ceiling
+    /// division; upper bounds with `min` and floor division. The caller is
+    /// responsible for having eliminated any *inner* dimensions first (the
+    /// usual code-generation discipline): constraints mentioning dimensions
+    /// other than `d` below `inner_from` are rejected with a panic.
+    pub fn bounds(&self, d: usize, inner_from: usize) -> DimBounds {
+        let mut lower = Vec::new();
+        let mut upper = Vec::new();
+        for c in &self.constraints {
+            let a = c.coeff(d);
+            if a == 0 {
+                continue;
+            }
+            for inner in d + 1..inner_from {
+                assert!(
+                    !c.mentions(inner),
+                    "bounds({d}): constraint still mentions inner dim {inner}: {c:?}"
+                );
+            }
+            // a * x_d + rest OP 0.
+            let mut rest = c.row.clone();
+            rest[d] = 0;
+            match c.op {
+                CmpOp::Ge if a > 0 => {
+                    // x_d >= ceil(-rest / a)
+                    let neg: Vec<i64> = rest.iter().map(|&v| -v).collect();
+                    lower.push(AffineExpr { row: neg, denom: a });
+                }
+                CmpOp::Ge => {
+                    // (-a) * x_d <= rest  =>  x_d <= floor(rest / -a)
+                    upper.push(AffineExpr {
+                        row: rest,
+                        denom: -a,
+                    });
+                }
+                CmpOp::Eq => {
+                    let neg: Vec<i64> = rest.iter().map(|&v| -v).collect();
+                    if a > 0 {
+                        lower.push(AffineExpr {
+                            row: neg.clone(),
+                            denom: a,
+                        });
+                        upper.push(AffineExpr { row: neg, denom: a });
+                    } else {
+                        lower.push(AffineExpr {
+                            row: rest.clone(),
+                            denom: -a,
+                        });
+                        upper.push(AffineExpr {
+                            row: rest,
+                            denom: -a,
+                        });
+                    }
+                }
+            }
+        }
+        DimBounds { lower, upper }
+    }
+
+    /// Removes redundant constraints: an inequality is dropped when the
+    /// polyhedron minus it still implies it (checked by emptiness of the
+    /// system with the constraint negated). Equalities are kept as-is.
+    /// The result describes the same integer set with (usually) fewer
+    /// rows — worthwhile before extracting loop bounds, where every
+    /// surviving row becomes a `max`/`min` term in generated code.
+    pub fn simplify(&self) -> Polyhedron {
+        let mut kept: Vec<Constraint> = self
+            .constraints
+            .iter()
+            .filter(|c| c.op == CmpOp::Eq)
+            .cloned()
+            .collect();
+        let ineqs: Vec<Constraint> = self
+            .constraints
+            .iter()
+            .filter(|c| c.op == CmpOp::Ge)
+            .cloned()
+            .collect();
+        for (i, c) in ineqs.iter().enumerate() {
+            // System: all equalities + other (not yet dropped) inequalities
+            // + ¬c  (i.e. -row - 1 >= 0). If empty, c is implied.
+            let mut sys = Polyhedron::universe(self.n_dims);
+            for k in &kept {
+                sys.add(k.clone());
+            }
+            for (j, o) in ineqs.iter().enumerate() {
+                if j > i {
+                    sys.add(o.clone());
+                }
+            }
+            let neg: Vec<i64> = c
+                .row
+                .iter()
+                .enumerate()
+                .map(|(k, &v)| if k == self.n_dims { -v - 1 } else { -v })
+                .collect();
+            sys.add(Constraint::ge(neg));
+            if !sys.is_empty() {
+                kept.push(c.clone());
+            }
+        }
+        Polyhedron {
+            n_dims: self.n_dims,
+            constraints: kept,
+        }
+    }
+
+    /// Enumerates every integer point of a *bounded* polyhedron in
+    /// lexicographic order of its dimensions. Panics (via assert) if any
+    /// dimension turns out unbounded. Intended for tests and the
+    /// trace-driven cache simulator on miniature problem sizes.
+    pub fn enumerate(&self) -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        let mut point = vec![0i64; self.n_dims];
+        self.enum_rec(0, &mut point, &mut out);
+        out
+    }
+
+    fn enum_rec(&self, d: usize, point: &mut Vec<i64>, out: &mut Vec<Vec<i64>>) {
+        if d == self.n_dims {
+            if self.contains(point) {
+                out.push(point.clone());
+            }
+            return;
+        }
+        // Project away dims > d to get bounds on d given point[..d].
+        let mut p = self.clone();
+        for (k, &v) in point[..d].iter().enumerate() {
+            p = p.fix(k, v);
+        }
+        for inner in (d + 1..self.n_dims).rev() {
+            p = p.eliminate(inner);
+        }
+        if p.has_false_constant() {
+            return;
+        }
+        let b = p.bounds(d, self.n_dims);
+        let prefix: Vec<i64> = {
+            let mut v = point.clone();
+            // bounds expressions span all dims; zero out unknown tail.
+            for x in v[d..].iter_mut() {
+                *x = 0;
+            }
+            v
+        };
+        let lo = b
+            .lower
+            .iter()
+            .map(|e| e.eval_ceil(&prefix))
+            .max()
+            .expect("enumerate: dimension unbounded below");
+        let hi = b
+            .upper
+            .iter()
+            .map(|e| e.eval_floor(&prefix))
+            .min()
+            .expect("enumerate: dimension unbounded above");
+        for v in lo..=hi {
+            point[d] = v;
+            self.enum_rec(d + 1, point, out);
+        }
+        point[d] = 0;
+    }
+
+    /// Returns some integer point of the polyhedron, or `None` if it is
+    /// empty (bounded sets only; used by tests).
+    pub fn sample(&self) -> Option<Vec<i64>> {
+        let mut point = vec![0i64; self.n_dims];
+        if self.sample_rec(0, &mut point) {
+            Some(point)
+        } else {
+            None
+        }
+    }
+
+    fn sample_rec(&self, d: usize, point: &mut Vec<i64>) -> bool {
+        if d == self.n_dims {
+            return self.contains(point);
+        }
+        let mut p = self.clone();
+        for (k, &v) in point[..d].iter().enumerate() {
+            p = p.fix(k, v);
+        }
+        for inner in (d + 1..self.n_dims).rev() {
+            p = p.eliminate(inner);
+        }
+        if p.has_false_constant() {
+            return false;
+        }
+        let b = p.bounds(d, self.n_dims);
+        let prefix: Vec<i64> = {
+            let mut v = point.clone();
+            for x in v[d..].iter_mut() {
+                *x = 0;
+            }
+            v
+        };
+        let lo = b.lower.iter().map(|e| e.eval_ceil(&prefix)).max();
+        let hi = b.upper.iter().map(|e| e.eval_floor(&prefix)).min();
+        let (Some(lo), Some(hi)) = (lo, hi) else {
+            return false; // Unbounded: refuse rather than loop forever.
+        };
+        for v in lo..=hi {
+            point[d] = v;
+            if self.sample_rec(d + 1, point) {
+                return true;
+            }
+        }
+        point[d] = 0;
+        false
+    }
+}
+
+impl fmt::Debug for Polyhedron {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Polyhedron({} dims) {{", self.n_dims)?;
+        for c in &self.constraints {
+            writeln!(f, "  {c:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The lower/upper bound expressions of one dimension of a polyhedron.
+#[derive(Clone, Debug)]
+pub struct DimBounds {
+    /// Combine with `max` of ceiling divisions.
+    pub lower: Vec<AffineExpr>,
+    /// Combine with `min` of floor divisions.
+    pub upper: Vec<AffineExpr>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Triangle 0 <= j <= i < 4.
+    fn triangle() -> Polyhedron {
+        let mut p = Polyhedron::universe(2);
+        p.add(Constraint::ge(vec![1, 0, 0])); // i >= 0
+        p.add(Constraint::ge(vec![-1, 0, 3])); // i <= 3
+        p.add(Constraint::ge(vec![0, 1, 0])); // j >= 0
+        p.add(Constraint::ge(vec![1, -1, 0])); // j <= i
+        p
+    }
+
+    #[test]
+    fn containment() {
+        let t = triangle();
+        assert!(t.contains(&[0, 0]));
+        assert!(t.contains(&[3, 3]));
+        assert!(!t.contains(&[2, 3]));
+        assert!(!t.contains(&[4, 0]));
+    }
+
+    #[test]
+    fn enumeration_counts_triangle_points() {
+        let t = triangle();
+        let pts = t.enumerate();
+        assert_eq!(pts.len(), 4 + 3 + 2 + 1);
+        // Lexicographic order check.
+        let mut sorted = pts.clone();
+        sorted.sort();
+        assert_eq!(pts, sorted);
+    }
+
+    #[test]
+    fn emptiness() {
+        let mut p = triangle();
+        assert!(!p.is_empty());
+        p.add(Constraint::ge(vec![0, 1, -10])); // j >= 10 contradicts j <= 3
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn equality_lattice_emptiness() {
+        // 0 <= x < 10, 2x == 5 : rationally nonempty, integrally empty.
+        let mut p = Polyhedron::universe(1);
+        p.bound_const(0, 0, 10);
+        p.add(Constraint::eq(vec![2, -5]));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn projection_of_triangle_onto_i() {
+        let t = triangle();
+        let p = t.eliminate(1);
+        // After eliminating j the projection is 0 <= i <= 3.
+        assert!(p.contains(&[0, 99]));
+        assert!(p.contains(&[3, -7]));
+        assert!(!p.contains(&[4, 0]));
+        assert!(!p.contains(&[-1, 0]));
+    }
+
+    #[test]
+    fn bounds_extraction() {
+        let t = triangle();
+        // Inner dim j: bounds given i.
+        let b = t.bounds(1, 2);
+        assert_eq!(b.lower.len(), 1);
+        assert_eq!(b.upper.len(), 1);
+        assert_eq!(b.lower[0].eval_ceil(&[2, 0]), 0);
+        assert_eq!(b.upper[0].eval_floor(&[2, 0]), 2);
+    }
+
+    #[test]
+    fn fix_pins_dimension() {
+        let t = triangle();
+        let p = t.fix(0, 2);
+        let pts = p.enumerate();
+        assert_eq!(pts, vec![vec![2, 0], vec![2, 1], vec![2, 2]]);
+    }
+
+    #[test]
+    fn sample_finds_point_or_none() {
+        let t = triangle();
+        let s = t.sample().unwrap();
+        assert!(t.contains(&s));
+        let mut empty = triangle();
+        empty.add(Constraint::ge(vec![-1, 0, -1])); // i <= -1
+        assert!(empty.sample().is_none());
+    }
+
+    #[test]
+    fn intersect_is_conjunction() {
+        let t = triangle();
+        let mut half = Polyhedron::universe(2);
+        half.add(Constraint::ge(vec![1, 0, -2])); // i >= 2
+        let x = t.intersect(&half);
+        let pts = x.enumerate();
+        assert!(pts.iter().all(|p| p[0] >= 2));
+        assert_eq!(pts.len(), 3 + 4);
+    }
+
+    #[test]
+    fn simplify_drops_implied_constraints() {
+        let mut p = Polyhedron::universe(1);
+        p.add(Constraint::ge(vec![1, 0])); // x >= 0
+        p.add(Constraint::ge(vec![1, 5])); // x >= -5 (implied)
+        p.add(Constraint::ge(vec![-1, 9])); // x <= 9
+        p.add(Constraint::ge(vec![-1, 20])); // x <= 20 (implied)
+        let sp = p.simplify();
+        assert_eq!(sp.constraints().len(), 2, "{sp:?}");
+        assert_eq!(sp.enumerate(), p.enumerate());
+    }
+
+    #[test]
+    fn simplify_keeps_tight_triangular_constraints() {
+        let t = triangle().simplify();
+        assert_eq!(t.enumerate().len(), 10);
+        // i >= 0 is implied by j >= 0 ∧ j <= i: three rows remain.
+        assert_eq!(t.constraints().len(), 3);
+    }
+
+    #[test]
+    fn simplify_preserves_equalities() {
+        let mut p = Polyhedron::universe(2);
+        p.add(Constraint::eq(vec![1, -1, 0])); // x == y
+        p.bound_const(0, 0, 5);
+        let sp = p.simplify();
+        assert!(sp.constraints().iter().any(|c| c.op == CmpOp::Eq));
+        assert_eq!(sp.enumerate(), p.enumerate());
+    }
+
+    #[test]
+    fn skewed_set_bounds_are_triangular() {
+        // { (t, x) : 0 <= t < 4, t <= x < t + 4 } — a skewed band.
+        let mut p = Polyhedron::universe(2);
+        p.bound_const(0, 0, 4);
+        p.add(Constraint::ge(vec![-1, 1, 0])); // x >= t
+        p.add(Constraint::ge(vec![1, -1, 3])); // x <= t + 3
+        assert_eq!(p.enumerate().len(), 16);
+        let b = p.bounds(1, 2);
+        assert_eq!(b.lower[0].eval_ceil(&[2, 0]), 2);
+        assert_eq!(b.upper[0].eval_floor(&[2, 0]), 5);
+    }
+}

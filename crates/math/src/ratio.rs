@@ -1,0 +1,274 @@
+//! Exact rational arithmetic on `i64` numerator / denominator pairs.
+//!
+//! All intermediate products are computed in `i128` and checked back into
+//! `i64` after reduction, so overflow panics loudly instead of silently
+//! wrapping — the polyhedra manipulated by the compiler stay tiny, and a
+//! panic here always indicates a logic bug upstream.
+
+use crate::gcd::gcd;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// An exact rational number with a strictly positive denominator.
+///
+/// The representation is always fully reduced: `gcd(num, den) == 1` and
+/// `den > 0`. Zero is represented as `0/1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i64,
+    den: i64,
+}
+
+impl Ratio {
+    /// The rational zero.
+    pub const ZERO: Ratio = Ratio { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Builds the reduced rational `num / den`. Panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Ratio {
+        assert!(den != 0, "Ratio with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        let g = if g == 0 { 1 } else { g };
+        Ratio {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// The integer `n` as a rational.
+    pub fn int(n: i64) -> Ratio {
+        Ratio { num: n, den: 1 }
+    }
+
+    /// Numerator of the reduced form (sign-carrying).
+    pub fn num(self) -> i64 {
+        self.num
+    }
+
+    /// Denominator of the reduced form (always positive).
+    pub fn den(self) -> i64 {
+        self.den
+    }
+
+    /// True iff the value is an integer.
+    pub fn is_int(self) -> bool {
+        self.den == 1
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns the integer value, panicking if the rational is not integral.
+    pub fn to_int(self) -> i64 {
+        assert!(self.den == 1, "Ratio {self} is not an integer");
+        self.num
+    }
+
+    /// Floor to the nearest integer towards negative infinity.
+    pub fn floor(self) -> i64 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Ceiling to the nearest integer towards positive infinity.
+    pub fn ceil(self) -> i64 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    pub fn recip(self) -> Ratio {
+        assert!(self.num != 0, "division by zero Ratio");
+        Ratio::new(self.den, self.num)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Ratio {
+        Ratio {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Sign of the value: -1, 0 or 1.
+    pub fn signum(self) -> i64 {
+        self.num.signum()
+    }
+
+    fn from_i128(num: i128, den: i128) -> Ratio {
+        assert!(den != 0, "Ratio with zero denominator");
+        let sign: i128 = if den < 0 { -1 } else { 1 };
+        let g = gcd_i128(num, den);
+        let g = if g == 0 { 1 } else { g };
+        let num = sign * num / g;
+        let den = sign * den / g;
+        Ratio {
+            num: i64::try_from(num).expect("Ratio numerator overflow"),
+            den: i64::try_from(den).expect("Ratio denominator overflow"),
+        }
+    }
+}
+
+fn gcd_i128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Add for Ratio {
+    type Output = Ratio;
+    fn add(self, rhs: Ratio) -> Ratio {
+        Ratio::from_i128(
+            self.num as i128 * rhs.den as i128 + rhs.num as i128 * self.den as i128,
+            self.den as i128 * rhs.den as i128,
+        )
+    }
+}
+
+impl AddAssign for Ratio {
+    fn add_assign(&mut self, rhs: Ratio) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Ratio {
+    type Output = Ratio;
+    fn sub(self, rhs: Ratio) -> Ratio {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Ratio {
+    type Output = Ratio;
+    fn mul(self, rhs: Ratio) -> Ratio {
+        Ratio::from_i128(
+            self.num as i128 * rhs.num as i128,
+            self.den as i128 * rhs.den as i128,
+        )
+    }
+}
+
+impl Div for Ratio {
+    type Output = Ratio;
+    fn div(self, rhs: Ratio) -> Ratio {
+        assert!(rhs.num != 0, "division by zero Ratio");
+        Ratio::from_i128(
+            self.num as i128 * rhs.den as i128,
+            self.den as i128 * rhs.num as i128,
+        )
+    }
+}
+
+impl Neg for Ratio {
+    type Output = Ratio;
+    fn neg(self) -> Ratio {
+        Ratio {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Ratio) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Ratio) -> Ordering {
+        let lhs = self.num as i128 * other.den as i128;
+        let rhs = other.num as i128 * self.den as i128;
+        lhs.cmp(&rhs)
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(n: i64) -> Ratio {
+        Ratio::int(n)
+    }
+}
+
+impl fmt::Debug for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_and_sign_normalization() {
+        let r = Ratio::new(4, -6);
+        assert_eq!(r.num(), -2);
+        assert_eq!(r.den(), 3);
+        assert_eq!(Ratio::new(0, -5), Ratio::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Ratio::new(1, 3);
+        let b = Ratio::new(1, 6);
+        assert_eq!(a + b, Ratio::new(1, 2));
+        assert_eq!(a - b, Ratio::new(1, 6));
+        assert_eq!(a * b, Ratio::new(1, 18));
+        assert_eq!(a / b, Ratio::int(2));
+        assert_eq!(-a + a, Ratio::ZERO);
+    }
+
+    #[test]
+    fn floor_ceil_negative_values() {
+        assert_eq!(Ratio::new(-7, 2).floor(), -4);
+        assert_eq!(Ratio::new(-7, 2).ceil(), -3);
+        assert_eq!(Ratio::new(7, 2).floor(), 3);
+        assert_eq!(Ratio::new(7, 2).ceil(), 4);
+        assert_eq!(Ratio::int(5).floor(), 5);
+        assert_eq!(Ratio::int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert!(Ratio::new(-1, 3) > Ratio::new(-1, 2));
+        assert_eq!(Ratio::new(2, 4), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn recip_and_signum() {
+        assert_eq!(Ratio::new(2, 3).recip(), Ratio::new(3, 2));
+        assert_eq!(Ratio::new(-2, 3).recip(), Ratio::new(-3, 2));
+        assert_eq!(Ratio::new(-2, 3).signum(), -1);
+        assert_eq!(Ratio::ZERO.signum(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_integral_to_int_panics() {
+        let _ = Ratio::new(1, 2).to_int();
+    }
+}

@@ -1,0 +1,883 @@
+//! Linear-algebra PolyBench kernels (BLAS-like and solver front-ends).
+//!
+//! Each `pub fn <name>() -> Kernel` pairs a SCoP builder with a native
+//! Rust reference implementation that mirrors the original C loop nests
+//! statement-for-statement (array order identical to the SCoP's
+//! declarations). `alpha = 1.5`, `beta = 1.2` throughout.
+
+use crate::kernel::{Dataset, Group, InitSpec, Kernel};
+use polymix_ir::builder::{con, ix, par, ScopBuilder};
+use polymix_ir::{BinOp, Expr, Scop};
+
+pub(crate) const ALPHA: f64 = 1.5;
+pub(crate) const BETA: f64 = 1.2;
+
+fn a(v: f64) -> Expr {
+    Expr::Const(v)
+}
+
+macro_rules! datasets {
+    ($mini:expr, $small:expr, $standard:expr, $large:expr, $n:expr) => {
+        || {
+            vec![
+                Dataset {
+                    name: "mini",
+                    params: vec![$mini; $n],
+                },
+                Dataset {
+                    name: "small",
+                    params: vec![$small; $n],
+                },
+                Dataset {
+                    name: "standard",
+                    params: vec![$standard; $n],
+                },
+                Dataset {
+                    name: "large",
+                    params: vec![$large; $n],
+                },
+            ]
+        }
+    };
+}
+
+// ---------------------------------------------------------------- gemm --
+
+/// `gemm`: C = alpha·A·B + beta·C.
+pub fn gemm() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("gemm", &["NI", "NJ", "NK"], &[8, 8, 8]);
+        let c = b.array("C", &["NI", "NJ"]);
+        let aa = b.array("A", &["NI", "NK"]);
+        let bb = b.array("B", &["NK", "NJ"]);
+        b.enter("i", con(0), par("NI"));
+        b.enter("j", con(0), par("NJ"));
+        let scale = Expr::mul(b.rd(c, &[ix("i"), ix("j")]), a(BETA));
+        b.stmt("S1", c, &[ix("i"), ix("j")], scale);
+        b.enter("k", con(0), par("NK"));
+        let prod = Expr::mul(
+            Expr::mul(a(ALPHA), b.rd(aa, &[ix("i"), ix("k")])),
+            b.rd(bb, &[ix("k"), ix("j")]),
+        );
+        b.stmt_update("S2", c, &[ix("i"), ix("j")], BinOp::Add, prod);
+        b.exit();
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let (ni, nj, nk) = (p[0] as usize, p[1] as usize, p[2] as usize);
+        let (c, rest) = arr.split_at_mut(1);
+        let c = &mut c[0];
+        let (aa, bb) = (&rest[0], &rest[1]);
+        for i in 0..ni {
+            for j in 0..nj {
+                c[i * nj + j] *= BETA;
+                for k in 0..nk {
+                    c[i * nj + j] += ALPHA * aa[i * nk + k] * bb[k * nj + j];
+                }
+            }
+        }
+    }
+    Kernel {
+        name: "gemm",
+        description: "Matrix-multiply C=alpha.A.B+beta.C",
+        group: Group::Doall,
+        build,
+        reference,
+        flops: |p| (p[0] * p[1] * (1 + 3 * p[2])) as u64,
+        datasets: datasets!(12, 64, 512, 1024, 3),
+        init: InitSpec::generic(),
+    }
+}
+
+// ----------------------------------------------------------------- 2mm --
+
+/// `2mm`: tmp = alpha·A·B; D = tmp·C + beta·D.
+pub fn two_mm() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("2mm", &["NI", "NJ", "NK", "NL"], &[8, 8, 8, 8]);
+        let tmp = b.array("tmp", &["NI", "NJ"]);
+        let aa = b.array("A", &["NI", "NK"]);
+        let bb = b.array("B", &["NK", "NJ"]);
+        let cc = b.array("C", &["NJ", "NL"]);
+        let dd = b.array("D", &["NI", "NL"]);
+        b.enter("i", con(0), par("NI"));
+        b.enter("j", con(0), par("NJ"));
+        b.stmt("R", tmp, &[ix("i"), ix("j")], a(0.0));
+        b.enter("k", con(0), par("NK"));
+        let prod = Expr::mul(
+            Expr::mul(a(ALPHA), b.rd(aa, &[ix("i"), ix("k")])),
+            b.rd(bb, &[ix("k"), ix("j")]),
+        );
+        b.stmt_update("S", tmp, &[ix("i"), ix("j")], BinOp::Add, prod);
+        b.exit();
+        b.exit();
+        b.exit();
+        b.enter("i", con(0), par("NI"));
+        b.enter("j", con(0), par("NL"));
+        let scale = Expr::mul(b.rd(dd, &[ix("i"), ix("j")]), a(BETA));
+        b.stmt("T", dd, &[ix("i"), ix("j")], scale);
+        b.enter("k", con(0), par("NJ"));
+        let prod = Expr::mul(b.rd(tmp, &[ix("i"), ix("k")]), b.rd(cc, &[ix("k"), ix("j")]));
+        b.stmt_update("U", dd, &[ix("i"), ix("j")], BinOp::Add, prod);
+        b.exit();
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let (ni, nj, nk, nl) = (p[0] as usize, p[1] as usize, p[2] as usize, p[3] as usize);
+        let (tmp, rest) = arr.split_at_mut(1);
+        let tmp = &mut tmp[0];
+        let (mid, dd) = rest.split_at_mut(3);
+        let (aa, bb, cc) = (&mid[0], &mid[1], &mid[2]);
+        let dd = &mut dd[0];
+        for i in 0..ni {
+            for j in 0..nj {
+                tmp[i * nj + j] = 0.0;
+                for k in 0..nk {
+                    tmp[i * nj + j] += ALPHA * aa[i * nk + k] * bb[k * nj + j];
+                }
+            }
+        }
+        for i in 0..ni {
+            for j in 0..nl {
+                dd[i * nl + j] *= BETA;
+                for k in 0..nj {
+                    dd[i * nl + j] += tmp[i * nj + k] * cc[k * nl + j];
+                }
+            }
+        }
+    }
+    Kernel {
+        name: "2mm",
+        description: "2 Matrix Multiplications (D=A.B; E=C.D)",
+        group: Group::Doall,
+        build,
+        reference,
+        flops: |p| (p[0] * p[1] * 3 * p[2] + p[0] * p[3] * (1 + 2 * p[1])) as u64,
+        datasets: datasets!(12, 64, 512, 1024, 4),
+        init: InitSpec::generic(),
+    }
+}
+
+// ----------------------------------------------------------------- 3mm --
+
+/// `3mm`: E = A·B; F = C·D; G = E·F.
+pub fn three_mm() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("3mm", &["NI", "NJ", "NK", "NL", "NM"], &[8, 8, 8, 8, 8]);
+        let e = b.array("E", &["NI", "NJ"]);
+        let aa = b.array("A", &["NI", "NK"]);
+        let bb = b.array("B", &["NK", "NJ"]);
+        let f = b.array("F", &["NJ", "NL"]);
+        let cc = b.array("C", &["NJ", "NM"]);
+        let dd = b.array("D", &["NM", "NL"]);
+        let g = b.array("G", &["NI", "NL"]);
+
+        b.enter("i", con(0), par("NI"));
+        b.enter("j", con(0), par("NJ"));
+        b.stmt("E0", e, &[ix("i"), ix("j")], a(0.0));
+        b.enter("k", con(0), par("NK"));
+        let prod = Expr::mul(b.rd(aa, &[ix("i"), ix("k")]), b.rd(bb, &[ix("k"), ix("j")]));
+        b.stmt_update("E1", e, &[ix("i"), ix("j")], BinOp::Add, prod);
+        b.exit();
+        b.exit();
+        b.exit();
+
+        b.enter("i", con(0), par("NJ"));
+        b.enter("j", con(0), par("NL"));
+        b.stmt("F0", f, &[ix("i"), ix("j")], a(0.0));
+        b.enter("k", con(0), par("NM"));
+        let prod = Expr::mul(b.rd(cc, &[ix("i"), ix("k")]), b.rd(dd, &[ix("k"), ix("j")]));
+        b.stmt_update("F1", f, &[ix("i"), ix("j")], BinOp::Add, prod);
+        b.exit();
+        b.exit();
+        b.exit();
+
+        b.enter("i", con(0), par("NI"));
+        b.enter("j", con(0), par("NL"));
+        b.stmt("G0", g, &[ix("i"), ix("j")], a(0.0));
+        b.enter("k", con(0), par("NJ"));
+        let prod = Expr::mul(b.rd(e, &[ix("i"), ix("k")]), b.rd(f, &[ix("k"), ix("j")]));
+        b.stmt_update("G1", g, &[ix("i"), ix("j")], BinOp::Add, prod);
+        b.exit();
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let (ni, nj, nk, nl, nm) = (
+            p[0] as usize,
+            p[1] as usize,
+            p[2] as usize,
+            p[3] as usize,
+            p[4] as usize,
+        );
+        // arrays: E A B F C D G
+        let (e, rest) = arr.split_at_mut(1);
+        let e = &mut e[0];
+        let (ab, rest) = rest.split_at_mut(2);
+        let (f, rest2) = rest.split_at_mut(1);
+        let f = &mut f[0];
+        let (cd, g) = rest2.split_at_mut(2);
+        let g = &mut g[0];
+        for i in 0..ni {
+            for j in 0..nj {
+                e[i * nj + j] = 0.0;
+                for k in 0..nk {
+                    e[i * nj + j] += ab[0][i * nk + k] * ab[1][k * nj + j];
+                }
+            }
+        }
+        for i in 0..nj {
+            for j in 0..nl {
+                f[i * nl + j] = 0.0;
+                for k in 0..nm {
+                    f[i * nl + j] += cd[0][i * nm + k] * cd[1][k * nl + j];
+                }
+            }
+        }
+        for i in 0..ni {
+            for j in 0..nl {
+                g[i * nl + j] = 0.0;
+                for k in 0..nj {
+                    g[i * nl + j] += e[i * nj + k] * f[k * nl + j];
+                }
+            }
+        }
+    }
+    Kernel {
+        name: "3mm",
+        description: "3 Matrix Multiplications (E=A.B; F=C.D; G=E.F)",
+        group: Group::Doall,
+        build,
+        reference,
+        flops: |p| (2 * (p[0] * p[1] * p[2] + p[1] * p[3] * p[4] + p[0] * p[3] * p[1])) as u64,
+        datasets: datasets!(10, 64, 512, 1024, 5),
+        init: InitSpec::generic(),
+    }
+}
+
+// ---------------------------------------------------------------- syrk --
+
+/// `syrk`: C = alpha·A·Aᵀ + beta·C (symmetric rank-k update).
+pub fn syrk() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("syrk", &["NI", "NJ"], &[8, 8]);
+        let c = b.array("C", &["NI", "NI"]);
+        let aa = b.array("A", &["NI", "NJ"]);
+        b.enter("i", con(0), par("NI"));
+        b.enter("j", con(0), par("NI"));
+        let scale = Expr::mul(b.rd(c, &[ix("i"), ix("j")]), a(BETA));
+        b.stmt("S1", c, &[ix("i"), ix("j")], scale);
+        b.enter("k", con(0), par("NJ"));
+        let prod = Expr::mul(
+            Expr::mul(a(ALPHA), b.rd(aa, &[ix("i"), ix("k")])),
+            b.rd(aa, &[ix("j"), ix("k")]),
+        );
+        b.stmt_update("S2", c, &[ix("i"), ix("j")], BinOp::Add, prod);
+        b.exit();
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let (ni, nj) = (p[0] as usize, p[1] as usize);
+        let (c, aa) = arr.split_at_mut(1);
+        let c = &mut c[0];
+        let aa = &aa[0];
+        for i in 0..ni {
+            for j in 0..ni {
+                c[i * ni + j] *= BETA;
+                for k in 0..nj {
+                    c[i * ni + j] += ALPHA * aa[i * nj + k] * aa[j * nj + k];
+                }
+            }
+        }
+    }
+    Kernel {
+        name: "syrk",
+        description: "Symmetric rank-k operations",
+        group: Group::Doall,
+        build,
+        reference,
+        flops: |p| (p[0] * p[0] * (1 + 3 * p[1])) as u64,
+        datasets: datasets!(12, 64, 512, 1024, 2),
+        init: InitSpec::generic(),
+    }
+}
+
+// --------------------------------------------------------------- syr2k --
+
+/// `syr2k`: C = alpha·A·Bᵀ + alpha·B·Aᵀ + beta·C.
+pub fn syr2k() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("syr2k", &["NI", "NJ"], &[8, 8]);
+        let c = b.array("C", &["NI", "NI"]);
+        let aa = b.array("A", &["NI", "NJ"]);
+        let bb = b.array("B", &["NI", "NJ"]);
+        b.enter("i", con(0), par("NI"));
+        b.enter("j", con(0), par("NI"));
+        let scale = Expr::mul(b.rd(c, &[ix("i"), ix("j")]), a(BETA));
+        b.stmt("S1", c, &[ix("i"), ix("j")], scale);
+        b.enter("k", con(0), par("NJ"));
+        let p1 = Expr::mul(
+            Expr::mul(a(ALPHA), b.rd(aa, &[ix("i"), ix("k")])),
+            b.rd(bb, &[ix("j"), ix("k")]),
+        );
+        let p2 = Expr::mul(
+            Expr::mul(a(ALPHA), b.rd(bb, &[ix("i"), ix("k")])),
+            b.rd(aa, &[ix("j"), ix("k")]),
+        );
+        b.stmt_update("S2", c, &[ix("i"), ix("j")], BinOp::Add, Expr::add(p1, p2));
+        b.exit();
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let (ni, nj) = (p[0] as usize, p[1] as usize);
+        let (c, rest) = arr.split_at_mut(1);
+        let c = &mut c[0];
+        let (aa, bb) = (&rest[0], &rest[1]);
+        for i in 0..ni {
+            for j in 0..ni {
+                c[i * ni + j] *= BETA;
+                for k in 0..nj {
+                    c[i * ni + j] += ALPHA * aa[i * nj + k] * bb[j * nj + k]
+                        + ALPHA * bb[i * nj + k] * aa[j * nj + k];
+                }
+            }
+        }
+    }
+    Kernel {
+        name: "syr2k",
+        description: "Symmetric rank-2k operations",
+        group: Group::Doall,
+        build,
+        reference,
+        flops: |p| (p[0] * p[0] * (1 + 7 * p[1])) as u64,
+        datasets: datasets!(12, 64, 512, 1024, 2),
+        init: InitSpec::generic(),
+    }
+}
+
+// ---------------------------------------------------------------- symm --
+
+/// `symm`: symmetric matrix-multiply with a triangular accumulation
+/// (original C's scalar `acc` expanded to `acc[i][j]`).
+pub fn symm() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("symm", &["NI", "NJ"], &[8, 8]);
+        let c = b.array("C", &["NI", "NJ"]);
+        let aa = b.array("A", &["NI", "NI"]);
+        let bb = b.array("B", &["NI", "NJ"]);
+        let acc = b.array("acc", &["NI", "NJ"]);
+        b.enter("i", con(0), par("NI"));
+        b.enter("j", con(0), par("NJ"));
+        b.stmt("S0", acc, &[ix("i"), ix("j")], a(0.0));
+        b.enter("k", con(0), ix("i"));
+        let p1 = Expr::mul(
+            Expr::mul(a(ALPHA), b.rd(aa, &[ix("k"), ix("i")])),
+            b.rd(bb, &[ix("i"), ix("j")]),
+        );
+        b.stmt_update("S1", c, &[ix("k"), ix("j")], BinOp::Add, p1);
+        let p2 = Expr::mul(b.rd(bb, &[ix("k"), ix("j")]), b.rd(aa, &[ix("k"), ix("i")]));
+        b.stmt_update("S2", acc, &[ix("i"), ix("j")], BinOp::Add, p2);
+        b.exit();
+        let fin = Expr::add(
+            Expr::add(
+                Expr::mul(a(BETA), b.rd(c, &[ix("i"), ix("j")])),
+                Expr::mul(
+                    Expr::mul(a(ALPHA), b.rd(aa, &[ix("i"), ix("i")])),
+                    b.rd(bb, &[ix("i"), ix("j")]),
+                ),
+            ),
+            Expr::mul(a(ALPHA), b.rd(acc, &[ix("i"), ix("j")])),
+        );
+        b.stmt("S3", c, &[ix("i"), ix("j")], fin);
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let (ni, nj) = (p[0] as usize, p[1] as usize);
+        let (c, rest) = arr.split_at_mut(1);
+        let c = &mut c[0];
+        let (ab, acc) = rest.split_at_mut(2);
+        let (aa, bb) = (&ab[0], &ab[1]);
+        let acc = &mut acc[0];
+        for i in 0..ni {
+            for j in 0..nj {
+                acc[i * nj + j] = 0.0;
+                for k in 0..i {
+                    c[k * nj + j] += ALPHA * aa[k * ni + i] * bb[i * nj + j];
+                    acc[i * nj + j] += bb[k * nj + j] * aa[k * ni + i];
+                }
+                c[i * nj + j] = BETA * c[i * nj + j]
+                    + ALPHA * aa[i * ni + i] * bb[i * nj + j]
+                    + ALPHA * acc[i * nj + j];
+            }
+        }
+    }
+    Kernel {
+        name: "symm",
+        description: "Symmetric matrix-multiply",
+        group: Group::Reduction,
+        build,
+        reference,
+        flops: |p| (p[0] * p[1] * 5 + p[0] * p[0] / 2 * p[1] * 5) as u64,
+        datasets: datasets!(12, 64, 384, 768, 2),
+        init: InitSpec::generic(),
+    }
+}
+
+// ------------------------------------------------------------- doitgen --
+
+/// `doitgen`: multiresolution analysis kernel (MADNESS).
+pub fn doitgen() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("doitgen", &["NR", "NQ", "NP"], &[6, 6, 6]);
+        let aa = b.array("A", &["NR", "NQ", "NP"]);
+        let c4 = b.array("C4", &["NP", "NP"]);
+        let sum = b.array("sum", &["NR", "NQ", "NP"]);
+        b.enter("r", con(0), par("NR"));
+        b.enter("q", con(0), par("NQ"));
+        b.enter("p", con(0), par("NP"));
+        b.stmt("S0", sum, &[ix("r"), ix("q"), ix("p")], a(0.0));
+        b.enter("s", con(0), par("NP"));
+        let prod = Expr::mul(
+            b.rd(aa, &[ix("r"), ix("q"), ix("s")]),
+            b.rd(c4, &[ix("s"), ix("p")]),
+        );
+        b.stmt_update("S1", sum, &[ix("r"), ix("q"), ix("p")], BinOp::Add, prod);
+        b.exit();
+        b.exit();
+        b.enter("p", con(0), par("NP"));
+        let cp = b.rd(sum, &[ix("r"), ix("q"), ix("p")]);
+        b.stmt("S2", aa, &[ix("r"), ix("q"), ix("p")], cp);
+        b.exit();
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let (nr, nq, np) = (p[0] as usize, p[1] as usize, p[2] as usize);
+        let (aa, rest) = arr.split_at_mut(1);
+        let aa = &mut aa[0];
+        let (c4, sum) = rest.split_at_mut(1);
+        let (c4, sum) = (&c4[0], &mut sum[0]);
+        for r in 0..nr {
+            for q in 0..nq {
+                for pp in 0..np {
+                    sum[(r * nq + q) * np + pp] = 0.0;
+                    for s in 0..np {
+                        sum[(r * nq + q) * np + pp] +=
+                            aa[(r * nq + q) * np + s] * c4[s * np + pp];
+                    }
+                }
+                for pp in 0..np {
+                    aa[(r * nq + q) * np + pp] = sum[(r * nq + q) * np + pp];
+                }
+            }
+        }
+    }
+    Kernel {
+        name: "doitgen",
+        description: "Multiresolution analysis kernel (MADNESS)",
+        group: Group::Doall,
+        build,
+        reference,
+        flops: |p| (2 * p[0] * p[1] * p[2] * p[2]) as u64,
+        datasets: datasets!(6, 24, 96, 128, 3),
+        init: InitSpec::generic(),
+    }
+}
+
+// ------------------------------------------------------------- gesummv --
+
+/// `gesummv`: y = alpha·A·x + beta·B·x.
+pub fn gesummv() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("gesummv", &["N"], &[8]);
+        let aa = b.array("A", &["N", "N"]);
+        let bb = b.array("B", &["N", "N"]);
+        let tmp = b.array("tmp", &["N"]);
+        let x = b.array("x", &["N"]);
+        let y = b.array("y", &["N"]);
+        b.enter("i", con(0), par("N"));
+        b.stmt("S0", tmp, &[ix("i")], a(0.0));
+        b.stmt("S1", y, &[ix("i")], a(0.0));
+        b.enter("j", con(0), par("N"));
+        let p1 = Expr::mul(b.rd(aa, &[ix("i"), ix("j")]), b.rd(x, &[ix("j")]));
+        b.stmt_update("S2", tmp, &[ix("i")], BinOp::Add, p1);
+        let p2 = Expr::mul(b.rd(bb, &[ix("i"), ix("j")]), b.rd(x, &[ix("j")]));
+        b.stmt_update("S3", y, &[ix("i")], BinOp::Add, p2);
+        b.exit();
+        let fin = Expr::add(
+            Expr::mul(a(ALPHA), b.rd(tmp, &[ix("i")])),
+            Expr::mul(a(BETA), b.rd(y, &[ix("i")])),
+        );
+        b.stmt("S4", y, &[ix("i")], fin);
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let n = p[0] as usize;
+        let (ab, rest) = arr.split_at_mut(2);
+        let (aa, bb) = (&ab[0], &ab[1]);
+        let (tmp, rest2) = rest.split_at_mut(1);
+        let tmp = &mut tmp[0];
+        let (x, y) = rest2.split_at_mut(1);
+        let (x, y) = (&x[0], &mut y[0]);
+        for i in 0..n {
+            tmp[i] = 0.0;
+            y[i] = 0.0;
+            for j in 0..n {
+                tmp[i] += aa[i * n + j] * x[j];
+                y[i] += bb[i * n + j] * x[j];
+            }
+            y[i] = ALPHA * tmp[i] + BETA * y[i];
+        }
+    }
+    Kernel {
+        name: "gesummv",
+        description: "Scalar, Vector and Matrix Multiplication",
+        group: Group::Doall,
+        build,
+        reference,
+        flops: |p| (p[0] * (4 * p[0] + 3)) as u64,
+        datasets: datasets!(16, 128, 1024, 2048, 1),
+        init: InitSpec::generic(),
+    }
+}
+
+// -------------------------------------------------------------- gemver --
+
+/// `gemver`: rank-2 update then two matrix-vector products.
+pub fn gemver() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("gemver", &["N"], &[8]);
+        let aa = b.array("A", &["N", "N"]);
+        let u1 = b.array("u1", &["N"]);
+        let v1 = b.array("v1", &["N"]);
+        let u2 = b.array("u2", &["N"]);
+        let v2 = b.array("v2", &["N"]);
+        let x = b.array("x", &["N"]);
+        let y = b.array("y", &["N"]);
+        let z = b.array("z", &["N"]);
+        let w = b.array("w", &["N"]);
+        b.enter("i", con(0), par("N"));
+        b.enter("j", con(0), par("N"));
+        let upd = Expr::add(
+            Expr::add(
+                b.rd(aa, &[ix("i"), ix("j")]),
+                Expr::mul(b.rd(u1, &[ix("i")]), b.rd(v1, &[ix("j")])),
+            ),
+            Expr::mul(b.rd(u2, &[ix("i")]), b.rd(v2, &[ix("j")])),
+        );
+        b.stmt("S1", aa, &[ix("i"), ix("j")], upd);
+        b.exit();
+        b.exit();
+        b.enter("i", con(0), par("N"));
+        b.enter("j", con(0), par("N"));
+        let p1 = Expr::mul(
+            Expr::mul(a(BETA), b.rd(aa, &[ix("j"), ix("i")])),
+            b.rd(y, &[ix("j")]),
+        );
+        b.stmt_update("S2", x, &[ix("i")], BinOp::Add, p1);
+        b.exit();
+        b.exit();
+        b.enter("i", con(0), par("N"));
+        let zz = b.rd(z, &[ix("i")]);
+        b.stmt_update("S3", x, &[ix("i")], BinOp::Add, zz);
+        b.exit();
+        b.enter("i", con(0), par("N"));
+        b.enter("j", con(0), par("N"));
+        let p2 = Expr::mul(
+            Expr::mul(a(ALPHA), b.rd(aa, &[ix("i"), ix("j")])),
+            b.rd(x, &[ix("j")]),
+        );
+        b.stmt_update("S4", w, &[ix("i")], BinOp::Add, p2);
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let n = p[0] as usize;
+        // A u1 v1 u2 v2 x y z w
+        let (aa, rest) = arr.split_at_mut(1);
+        let aa = &mut aa[0];
+        let (uv, rest2) = rest.split_at_mut(4);
+        let (x, rest3) = rest2.split_at_mut(1);
+        let x = &mut x[0];
+        let (yz, w) = rest3.split_at_mut(2);
+        let w = &mut w[0];
+        for i in 0..n {
+            for j in 0..n {
+                aa[i * n + j] += uv[0][i] * uv[1][j] + uv[2][i] * uv[3][j];
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                x[i] += BETA * aa[j * n + i] * yz[0][j];
+            }
+        }
+        for i in 0..n {
+            x[i] += yz[1][i];
+        }
+        for i in 0..n {
+            for j in 0..n {
+                w[i] += ALPHA * aa[i * n + j] * x[j];
+            }
+        }
+    }
+    Kernel {
+        name: "gemver",
+        description: "Vector Multiplication and Matrix Addition",
+        group: Group::Reduction,
+        build,
+        reference,
+        flops: |p| (p[0] * p[0] * 10 + p[0]) as u64,
+        datasets: datasets!(16, 128, 1024, 2048, 1),
+        init: InitSpec::generic(),
+    }
+}
+
+// ----------------------------------------------------------------- mvt --
+
+/// `mvt`: x1 += A·y1; x2 += Aᵀ·y2.
+pub fn mvt() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("mvt", &["N"], &[8]);
+        let aa = b.array("A", &["N", "N"]);
+        let x1 = b.array("x1", &["N"]);
+        let x2 = b.array("x2", &["N"]);
+        let y1 = b.array("y1", &["N"]);
+        let y2 = b.array("y2", &["N"]);
+        b.enter("i", con(0), par("N"));
+        b.enter("j", con(0), par("N"));
+        let p1 = Expr::mul(b.rd(aa, &[ix("i"), ix("j")]), b.rd(y1, &[ix("j")]));
+        b.stmt_update("S1", x1, &[ix("i")], BinOp::Add, p1);
+        b.exit();
+        b.exit();
+        b.enter("i", con(0), par("N"));
+        b.enter("j", con(0), par("N"));
+        let p2 = Expr::mul(b.rd(aa, &[ix("j"), ix("i")]), b.rd(y2, &[ix("j")]));
+        b.stmt_update("S2", x2, &[ix("i")], BinOp::Add, p2);
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let n = p[0] as usize;
+        let (aa, rest) = arr.split_at_mut(1);
+        let aa = &aa[0];
+        let (x12, y12) = rest.split_at_mut(2);
+        for i in 0..n {
+            for j in 0..n {
+                x12[0][i] += aa[i * n + j] * y12[0][j];
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                x12[1][i] += aa[j * n + i] * y12[1][j];
+            }
+        }
+    }
+    Kernel {
+        name: "mvt",
+        description: "Matrix Vector Product and Transpose",
+        group: Group::Reduction,
+        build,
+        reference,
+        flops: |p| (4 * p[0] * p[0]) as u64,
+        datasets: datasets!(16, 128, 1024, 2048, 1),
+        init: InitSpec::generic(),
+    }
+}
+
+// ---------------------------------------------------------------- atax --
+
+/// `atax`: y = Aᵀ·(A·x).
+pub fn atax() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("atax", &["NX", "NY"], &[8, 8]);
+        let aa = b.array("A", &["NX", "NY"]);
+        let x = b.array("x", &["NY"]);
+        let y = b.array("y", &["NY"]);
+        let tmp = b.array("tmp", &["NX"]);
+        b.enter("i", con(0), par("NY"));
+        b.stmt("S0", y, &[ix("i")], a(0.0));
+        b.exit();
+        b.enter("i", con(0), par("NX"));
+        b.stmt("S1", tmp, &[ix("i")], a(0.0));
+        b.enter("j", con(0), par("NY"));
+        let p1 = Expr::mul(b.rd(aa, &[ix("i"), ix("j")]), b.rd(x, &[ix("j")]));
+        b.stmt_update("S2", tmp, &[ix("i")], BinOp::Add, p1);
+        b.exit();
+        b.enter("j", con(0), par("NY"));
+        let p2 = Expr::mul(b.rd(aa, &[ix("i"), ix("j")]), b.rd(tmp, &[ix("i")]));
+        b.stmt_update("S3", y, &[ix("j")], BinOp::Add, p2);
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let (nx, ny) = (p[0] as usize, p[1] as usize);
+        let (aa, rest) = arr.split_at_mut(1);
+        let aa = &aa[0];
+        let (x, rest2) = rest.split_at_mut(1);
+        let x = &x[0];
+        let (y, tmp) = rest2.split_at_mut(1);
+        let (y, tmp) = (&mut y[0], &mut tmp[0]);
+        for i in 0..ny {
+            y[i] = 0.0;
+        }
+        for i in 0..nx {
+            tmp[i] = 0.0;
+            for j in 0..ny {
+                tmp[i] += aa[i * ny + j] * x[j];
+            }
+            for j in 0..ny {
+                y[j] += aa[i * ny + j] * tmp[i];
+            }
+        }
+    }
+    Kernel {
+        name: "atax",
+        description: "Matrix Transpose and Vector Multiplication",
+        group: Group::Reduction,
+        build,
+        reference,
+        flops: |p| (4 * p[0] * p[1]) as u64,
+        datasets: datasets!(16, 128, 1024, 2048, 2),
+        init: InitSpec::generic(),
+    }
+}
+
+// ---------------------------------------------------------------- bicg --
+
+/// `bicg`: s = Aᵀ·r; q = A·p (BiCGStab sub-kernel).
+pub fn bicg() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("bicg", &["NX", "NY"], &[8, 8]);
+        let aa = b.array("A", &["NX", "NY"]);
+        let s = b.array("s", &["NY"]);
+        let q = b.array("q", &["NX"]);
+        let pp = b.array("p", &["NY"]);
+        let r = b.array("r", &["NX"]);
+        b.enter("i", con(0), par("NY"));
+        b.stmt("S0", s, &[ix("i")], a(0.0));
+        b.exit();
+        b.enter("i", con(0), par("NX"));
+        b.stmt("S1", q, &[ix("i")], a(0.0));
+        b.enter("j", con(0), par("NY"));
+        let p1 = Expr::mul(b.rd(r, &[ix("i")]), b.rd(aa, &[ix("i"), ix("j")]));
+        b.stmt_update("S2", s, &[ix("j")], BinOp::Add, p1);
+        let p2 = Expr::mul(b.rd(aa, &[ix("i"), ix("j")]), b.rd(pp, &[ix("j")]));
+        b.stmt_update("S3", q, &[ix("i")], BinOp::Add, p2);
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let (nx, ny) = (p[0] as usize, p[1] as usize);
+        let (aa, rest) = arr.split_at_mut(1);
+        let aa = &aa[0];
+        let (sq, pr) = rest.split_at_mut(2);
+        for i in 0..ny {
+            sq[0][i] = 0.0;
+        }
+        for i in 0..nx {
+            sq[1][i] = 0.0;
+            for j in 0..ny {
+                sq[0][j] += pr[1][i] * aa[i * ny + j];
+                sq[1][i] += aa[i * ny + j] * pr[0][j];
+            }
+        }
+    }
+    Kernel {
+        name: "bicg",
+        description: "BiCG Sub Kernel of BiCGStab Linear Solver",
+        group: Group::Reduction,
+        build,
+        reference,
+        flops: |p| (4 * p[0] * p[1]) as u64,
+        datasets: datasets!(16, 128, 1024, 2048, 2),
+        init: InitSpec::generic(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_blas_kernels_build() {
+        for k in [
+            gemm(),
+            two_mm(),
+            three_mm(),
+            syrk(),
+            syr2k(),
+            symm(),
+            doitgen(),
+            gesummv(),
+            gemver(),
+            mvt(),
+            atax(),
+            bicg(),
+        ] {
+            let scop = (k.build)();
+            assert!(!scop.statements.is_empty(), "{}", k.name);
+            assert!((k.flops)(&k.dataset("mini").params) > 0, "{}", k.name);
+            assert_eq!((k.datasets)().len(), 4);
+        }
+    }
+
+    #[test]
+    fn gemm_reference_spot_check() {
+        let k = gemm();
+        let scop = (k.build)();
+        let params = vec![3, 3, 3];
+        let mut arrays = k.fresh_arrays(&scop, &params);
+        let c0 = arrays[0][0];
+        let expect: f64 =
+            BETA * c0 + (0..3).map(|kk| ALPHA * arrays[1][kk] * arrays[2][kk * 3]).sum::<f64>();
+        (k.reference)(&params, &mut arrays);
+        assert!((arrays[0][0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn references_produce_finite_values() {
+        for k in [
+            gemm(),
+            two_mm(),
+            three_mm(),
+            syrk(),
+            syr2k(),
+            symm(),
+            doitgen(),
+            gesummv(),
+            gemver(),
+            mvt(),
+            atax(),
+            bicg(),
+        ] {
+            let scop = (k.build)();
+            let params = k.dataset("mini").params;
+            let mut arrays = k.fresh_arrays(&scop, &params);
+            (k.reference)(&params, &mut arrays);
+            for (ai, arr) in arrays.iter().enumerate() {
+                assert!(
+                    arr.iter().all(|x| x.is_finite()),
+                    "{} array {ai} has non-finite values",
+                    k.name
+                );
+            }
+        }
+    }
+}

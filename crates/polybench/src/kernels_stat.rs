@@ -1,0 +1,302 @@
+//! Data-mining kernels: `correlation` and `covariance`.
+//!
+//! Both follow PolyBench/C 3.2 with two deviations, documented in
+//! DESIGN.md: the `stddev <= eps ? 1 : stddev` data-dependent conditional
+//! of `correlation` is dropped (the generic initialization guarantees
+//! non-constant columns, so the guard never fires on our inputs), and the
+//! trailing `symmat[M-1][M-1] = 1` scalar store is folded into the main
+//! triangular nest's diagonal statement.
+
+use crate::kernel::{Dataset, Group, InitSpec, Kernel};
+use polymix_ir::builder::{con, ix, par, ScopBuilder};
+use polymix_ir::{BinOp, Expr, Scop};
+
+fn a(v: f64) -> Expr {
+    Expr::Const(v)
+}
+
+// ----------------------------------------------------------- covariance --
+
+/// `covariance`: symmetric covariance matrix of an `N × M` data matrix.
+pub fn covariance() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("covariance", &["N", "M"], &[8, 8]);
+        let data = b.array("data", &["N", "M"]);
+        let symmat = b.array("symmat", &["M", "M"]);
+        let mean = b.array("mean", &["M"]);
+        // mean[j] = (Σ_i data[i][j]) / N
+        b.enter("j", con(0), par("M"));
+        b.stmt("M0", mean, &[ix("j")], a(0.0));
+        b.enter("i", con(0), par("N"));
+        let d = b.rd(data, &[ix("i"), ix("j")]);
+        b.stmt_update("M1", mean, &[ix("j")], BinOp::Add, d);
+        b.exit();
+        let div = Expr::div(b.rd(mean, &[ix("j")]), Expr::Param(0));
+        b.stmt("M2", mean, &[ix("j")], div);
+        b.exit();
+        // Center the data.
+        b.enter("i", con(0), par("N"));
+        b.enter("j", con(0), par("M"));
+        let m = b.rd(mean, &[ix("j")]);
+        b.stmt_update("C0", data, &[ix("i"), ix("j")], BinOp::Sub, m);
+        b.exit();
+        b.exit();
+        // symmat[j1][j2] = Σ_i data[i][j1]·data[i][j2], j2 >= j1; mirrored.
+        b.enter("j1", con(0), par("M"));
+        b.enter("j2", ix("j1"), par("M"));
+        b.stmt("V0", symmat, &[ix("j1"), ix("j2")], a(0.0));
+        b.enter("i", con(0), par("N"));
+        let prod = Expr::mul(
+            b.rd(data, &[ix("i"), ix("j1")]),
+            b.rd(data, &[ix("i"), ix("j2")]),
+        );
+        b.stmt_update("V1", symmat, &[ix("j1"), ix("j2")], BinOp::Add, prod);
+        b.exit();
+        let cp = b.rd(symmat, &[ix("j1"), ix("j2")]);
+        b.stmt("V2", symmat, &[ix("j2"), ix("j1")], cp);
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let (n, m) = (p[0] as usize, p[1] as usize);
+        let (data, rest) = arr.split_at_mut(1);
+        let data = &mut data[0];
+        let (symmat, mean) = rest.split_at_mut(1);
+        let (symmat, mean) = (&mut symmat[0], &mut mean[0]);
+        for j in 0..m {
+            mean[j] = 0.0;
+            for i in 0..n {
+                mean[j] += data[i * m + j];
+            }
+            mean[j] /= n as f64;
+        }
+        for i in 0..n {
+            for j in 0..m {
+                data[i * m + j] -= mean[j];
+            }
+        }
+        for j1 in 0..m {
+            for j2 in j1..m {
+                symmat[j1 * m + j2] = 0.0;
+                for i in 0..n {
+                    symmat[j1 * m + j2] += data[i * m + j1] * data[i * m + j2];
+                }
+                symmat[j2 * m + j1] = symmat[j1 * m + j2];
+            }
+        }
+    }
+    Kernel {
+        name: "covariance",
+        description: "Covariance Computation",
+        group: Group::Reduction,
+        build,
+        reference,
+        flops: |p| {
+            let (n, m) = (p[0], p[1]);
+            (m * (n + 1) + n * m + m * (m + 1) / 2 * 2 * n) as u64
+        },
+        datasets: || {
+            vec![
+                Dataset { name: "mini", params: vec![12, 12] },
+                Dataset { name: "small", params: vec![128, 128] },
+                Dataset { name: "standard", params: vec![512, 512] },
+                Dataset { name: "large", params: vec![1024, 1024] },
+            ]
+        },
+        init: InitSpec::generic(),
+    }
+}
+
+// ---------------------------------------------------------- correlation --
+
+/// `correlation`: correlation matrix (covariance normalized by per-column
+/// standard deviations).
+pub fn correlation() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("correlation", &["N", "M"], &[8, 8]);
+        let data = b.array("data", &["N", "M"]);
+        let symmat = b.array("symmat", &["M", "M"]);
+        let mean = b.array("mean", &["M"]);
+        let stddev = b.array("stddev", &["M"]);
+        // Means.
+        b.enter("j", con(0), par("M"));
+        b.stmt("M0", mean, &[ix("j")], a(0.0));
+        b.enter("i", con(0), par("N"));
+        let d = b.rd(data, &[ix("i"), ix("j")]);
+        b.stmt_update("M1", mean, &[ix("j")], BinOp::Add, d);
+        b.exit();
+        let div = Expr::div(b.rd(mean, &[ix("j")]), Expr::Param(0));
+        b.stmt("M2", mean, &[ix("j")], div);
+        b.exit();
+        // Standard deviations.
+        b.enter("j", con(0), par("M"));
+        b.stmt("D0", stddev, &[ix("j")], a(0.0));
+        b.enter("i", con(0), par("N"));
+        let dev = Expr::sub(b.rd(data, &[ix("i"), ix("j")]), b.rd(mean, &[ix("j")]));
+        b.stmt_update(
+            "D1",
+            stddev,
+            &[ix("j")],
+            BinOp::Add,
+            Expr::mul(dev.clone(), dev),
+        );
+        b.exit();
+        let fin = Expr::sqrt(Expr::div(b.rd(stddev, &[ix("j")]), Expr::Param(0)));
+        b.stmt("D2", stddev, &[ix("j")], fin);
+        b.exit();
+        // Center and scale: data = (data - mean) / (sqrt(N)·stddev).
+        b.enter("i", con(0), par("N"));
+        b.enter("j", con(0), par("M"));
+        let m = b.rd(mean, &[ix("j")]);
+        b.stmt_update("C0", data, &[ix("i"), ix("j")], BinOp::Sub, m);
+        let scaled = Expr::div(
+            b.rd(data, &[ix("i"), ix("j")]),
+            Expr::mul(Expr::sqrt(Expr::Param(0)), b.rd(stddev, &[ix("j")])),
+        );
+        b.stmt("C1", data, &[ix("i"), ix("j")], scaled);
+        b.exit();
+        b.exit();
+        // Correlation matrix (upper triangle + mirror; diagonal = 1).
+        b.enter("j1", con(0), par("M"));
+        b.stmt("R0", symmat, &[ix("j1"), ix("j1")], a(1.0));
+        b.enter("j2", ix("j1") + con(1), par("M"));
+        b.stmt("R1", symmat, &[ix("j1"), ix("j2")], a(0.0));
+        b.enter("i", con(0), par("N"));
+        let prod = Expr::mul(
+            b.rd(data, &[ix("i"), ix("j1")]),
+            b.rd(data, &[ix("i"), ix("j2")]),
+        );
+        b.stmt_update("R2", symmat, &[ix("j1"), ix("j2")], BinOp::Add, prod);
+        b.exit();
+        let cp = b.rd(symmat, &[ix("j1"), ix("j2")]);
+        b.stmt("R3", symmat, &[ix("j2"), ix("j1")], cp);
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let (n, m) = (p[0] as usize, p[1] as usize);
+        let (data, rest) = arr.split_at_mut(1);
+        let data = &mut data[0];
+        let (symmat, rest2) = rest.split_at_mut(1);
+        let symmat = &mut symmat[0];
+        let (mean, stddev) = rest2.split_at_mut(1);
+        let (mean, stddev) = (&mut mean[0], &mut stddev[0]);
+        let nf = n as f64;
+        for j in 0..m {
+            mean[j] = 0.0;
+            for i in 0..n {
+                mean[j] += data[i * m + j];
+            }
+            mean[j] /= nf;
+        }
+        for j in 0..m {
+            stddev[j] = 0.0;
+            for i in 0..n {
+                let dev = data[i * m + j] - mean[j];
+                stddev[j] += dev * dev;
+            }
+            stddev[j] = (stddev[j] / nf).sqrt();
+        }
+        for i in 0..n {
+            for j in 0..m {
+                data[i * m + j] -= mean[j];
+                data[i * m + j] /= nf.sqrt() * stddev[j];
+            }
+        }
+        for j1 in 0..m {
+            symmat[j1 * m + j1] = 1.0;
+            for j2 in j1 + 1..m {
+                symmat[j1 * m + j2] = 0.0;
+                for i in 0..n {
+                    symmat[j1 * m + j2] += data[i * m + j1] * data[i * m + j2];
+                }
+                symmat[j2 * m + j1] = symmat[j1 * m + j2];
+            }
+        }
+    }
+    Kernel {
+        name: "correlation",
+        description: "Correlation Computation",
+        group: Group::Reduction,
+        build,
+        reference,
+        flops: |p| {
+            let (n, m) = (p[0], p[1]);
+            (m * (n + 1) + m * (3 * n + 2) + 3 * n * m + m * (m - 1) / 2 * 2 * n) as u64
+        },
+        datasets: || {
+            vec![
+                Dataset { name: "mini", params: vec![12, 12] },
+                Dataset { name: "small", params: vec![128, 128] },
+                Dataset { name: "standard", params: vec![512, 512] },
+                Dataset { name: "large", params: vec![1024, 1024] },
+            ]
+        },
+        init: InitSpec::generic(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_kernels_build_and_run_finite() {
+        for k in [covariance(), correlation()] {
+            let scop = (k.build)();
+            let params = k.dataset("mini").params;
+            let mut arrays = k.fresh_arrays(&scop, &params);
+            (k.reference)(&params, &mut arrays);
+            for (ai, arr) in arrays.iter().enumerate() {
+                assert!(
+                    arr.iter().all(|x| x.is_finite()),
+                    "{} array {ai} non-finite",
+                    k.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_diagonal_is_one_and_offdiag_bounded() {
+        let k = correlation();
+        let scop = (k.build)();
+        let params = vec![32, 8];
+        let mut arrays = k.fresh_arrays(&scop, &params);
+        (k.reference)(&params, &mut arrays);
+        let m = 8usize;
+        let s = &arrays[1];
+        for j in 0..m {
+            assert!((s[j * m + j] - 1.0).abs() < 1e-12);
+            for j2 in 0..m {
+                assert!(s[j * m + j2].abs() <= 1.0 + 1e-9, "corr {}", s[j * m + j2]);
+            }
+        }
+        // Symmetry.
+        for j1 in 0..m {
+            for j2 in 0..m {
+                assert!((s[j1 * m + j2] - s[j2 * m + j1]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_matches_direct_formula() {
+        let k = covariance();
+        let scop = (k.build)();
+        let params = vec![16, 4];
+        let mut arrays = k.fresh_arrays(&scop, &params);
+        let orig = arrays[0].clone();
+        (k.reference)(&params, &mut arrays);
+        let (n, m) = (16usize, 4usize);
+        // Direct covariance of columns 1 and 2 (unnormalized, as in 3.2).
+        let mean = |j: usize| orig.iter().skip(j).step_by(m).sum::<f64>() / n as f64;
+        let (m1, m2) = (mean(1), mean(2));
+        let direct: f64 = (0..n)
+            .map(|i| (orig[i * m + 1] - m1) * (orig[i * m + 2] - m2))
+            .sum();
+        assert!((arrays[1][m + 2] - direct).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,562 @@
+//! Time-iterated stencil kernels: `jacobi-1d-imper`, `jacobi-2d-imper`,
+//! `seidel-2d`, `fdtd-2d`, and `fdtd-apml`.
+//!
+//! These are the paper's pipeline-parallel group (Fig. 9): their
+//! loop-carried dependences across the time dimension make doall
+//! parallelization impossible without skewing, which is exactly where the
+//! point-to-point pipeline construct pays off.
+//!
+//! `fdtd-apml`'s scalar temporaries (`clf`, `tmp`) are expanded into
+//! arrays, as with the other scalar expansions in this crate.
+
+use crate::kernel::{Dataset, Group, InitSpec, Kernel};
+use polymix_ir::builder::{con, ix, par, ScopBuilder};
+use polymix_ir::{Expr, Scop};
+
+fn a(v: f64) -> Expr {
+    Expr::Const(v)
+}
+
+// ------------------------------------------------------ jacobi-1d-imper --
+
+/// `jacobi-1d-imper`: 1-D three-point Jacobi with explicit copy-back.
+pub fn jacobi_1d() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("jacobi-1d-imper", &["TSTEPS", "N"], &[4, 12]);
+        b.assume_params_at_least(3);
+        let aa = b.array("A", &["N"]);
+        let bb = b.array("B", &["N"]);
+        b.enter("t", con(0), par("TSTEPS"));
+        b.enter("i", con(1), par("N") - con(1));
+        let avg = Expr::div(
+            Expr::add(
+                Expr::add(b.rd(aa, &[ix("i") - con(1)]), b.rd(aa, &[ix("i")])),
+                b.rd(aa, &[ix("i") + con(1)]),
+            ),
+            a(3.0),
+        );
+        b.stmt("S0", bb, &[ix("i")], avg);
+        b.exit();
+        b.enter("i", con(1), par("N") - con(1));
+        let cp = b.rd(bb, &[ix("i")]);
+        b.stmt("S1", aa, &[ix("i")], cp);
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let (t, n) = (p[0] as usize, p[1] as usize);
+        let (aa, bb) = arr.split_at_mut(1);
+        let (aa, bb) = (&mut aa[0], &mut bb[0]);
+        for _ in 0..t {
+            for i in 1..n - 1 {
+                bb[i] = (aa[i - 1] + aa[i] + aa[i + 1]) / 3.0;
+            }
+            for i in 1..n - 1 {
+                aa[i] = bb[i];
+            }
+        }
+    }
+    Kernel {
+        name: "jacobi-1d-imper",
+        description: "1-D Jacobi stencil computation",
+        group: Group::Pipeline,
+        build,
+        reference,
+        flops: |p| (p[0] * 3 * (p[1] - 2).max(0)) as u64,
+        datasets: || {
+            vec![
+                Dataset { name: "mini", params: vec![4, 20] },
+                Dataset { name: "small", params: vec![20, 1000] },
+                Dataset { name: "standard", params: vec![100, 100000] },
+                Dataset { name: "large", params: vec![1000, 100000] },
+            ]
+        },
+        init: InitSpec::generic(),
+    }
+}
+
+// ------------------------------------------------------ jacobi-2d-imper --
+
+/// `jacobi-2d-imper`: 2-D five-point Jacobi with explicit copy-back.
+pub fn jacobi_2d() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("jacobi-2d-imper", &["TSTEPS", "N"], &[3, 10]);
+        b.assume_params_at_least(3);
+        let aa = b.array("A", &["N", "N"]);
+        let bb = b.array("B", &["N", "N"]);
+        b.enter("t", con(0), par("TSTEPS"));
+        b.enter("i", con(1), par("N") - con(1));
+        b.enter("j", con(1), par("N") - con(1));
+        let sum = Expr::add(
+            Expr::add(
+                Expr::add(
+                    Expr::add(
+                        b.rd(aa, &[ix("i"), ix("j")]),
+                        b.rd(aa, &[ix("i"), ix("j") - con(1)]),
+                    ),
+                    b.rd(aa, &[ix("i"), ix("j") + con(1)]),
+                ),
+                b.rd(aa, &[ix("i") + con(1), ix("j")]),
+            ),
+            b.rd(aa, &[ix("i") - con(1), ix("j")]),
+        );
+        b.stmt("S0", bb, &[ix("i"), ix("j")], Expr::mul(a(0.2), sum));
+        b.exit();
+        b.exit();
+        b.enter("i", con(1), par("N") - con(1));
+        b.enter("j", con(1), par("N") - con(1));
+        let cp = b.rd(bb, &[ix("i"), ix("j")]);
+        b.stmt("S1", aa, &[ix("i"), ix("j")], cp);
+        b.exit();
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let (t, n) = (p[0] as usize, p[1] as usize);
+        let (aa, bb) = arr.split_at_mut(1);
+        let (aa, bb) = (&mut aa[0], &mut bb[0]);
+        for _ in 0..t {
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    bb[i * n + j] = 0.2
+                        * (aa[i * n + j]
+                            + aa[i * n + j - 1]
+                            + aa[i * n + j + 1]
+                            + aa[(i + 1) * n + j]
+                            + aa[(i - 1) * n + j]);
+                }
+            }
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    aa[i * n + j] = bb[i * n + j];
+                }
+            }
+        }
+    }
+    Kernel {
+        name: "jacobi-2d-imper",
+        description: "2-D Jacobi stencil computation",
+        group: Group::Pipeline,
+        build,
+        reference,
+        flops: |p| {
+            let inner = (p[1] - 2).max(0);
+            (p[0] * 5 * inner * inner) as u64
+        },
+        datasets: || {
+            vec![
+                Dataset { name: "mini", params: vec![3, 12] },
+                Dataset { name: "small", params: vec![10, 128] },
+                Dataset { name: "standard", params: vec![20, 1000] },
+                Dataset { name: "large", params: vec![50, 2000] },
+            ]
+        },
+        init: InitSpec::generic(),
+    }
+}
+
+// ----------------------------------------------------------- seidel-2d --
+
+/// `seidel-2d`: in-place 9-point Gauss–Seidel sweep.
+pub fn seidel_2d() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("seidel-2d", &["TSTEPS", "N"], &[3, 10]);
+        b.assume_params_at_least(3);
+        let aa = b.array("A", &["N", "N"]);
+        b.enter("t", con(0), par("TSTEPS"));
+        b.enter("i", con(1), par("N") - con(1));
+        b.enter("j", con(1), par("N") - con(1));
+        // Left-associated exactly as the C source:
+        // A[i-1][j-1] + A[i-1][j] + … + A[i+1][j+1].
+        let cells: Vec<(i64, i64)> = vec![
+            (-1, -1),
+            (-1, 0),
+            (-1, 1),
+            (0, -1),
+            (0, 0),
+            (0, 1),
+            (1, -1),
+            (1, 0),
+            (1, 1),
+        ];
+        let mut sum = b.rd(aa, &[ix("i") + con(cells[0].0), ix("j") + con(cells[0].1)]);
+        for &(di, dj) in &cells[1..] {
+            sum = Expr::add(sum, b.rd(aa, &[ix("i") + con(di), ix("j") + con(dj)]));
+        }
+        b.stmt(
+            "S0",
+            aa,
+            &[ix("i"), ix("j")],
+            Expr::div(sum, a(9.0)),
+        );
+        b.exit();
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let (t, n) = (p[0] as usize, p[1] as usize);
+        let aa = &mut arr[0];
+        for _ in 0..t {
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    aa[i * n + j] = (aa[(i - 1) * n + j - 1]
+                        + aa[(i - 1) * n + j]
+                        + aa[(i - 1) * n + j + 1]
+                        + aa[i * n + j - 1]
+                        + aa[i * n + j]
+                        + aa[i * n + j + 1]
+                        + aa[(i + 1) * n + j - 1]
+                        + aa[(i + 1) * n + j]
+                        + aa[(i + 1) * n + j + 1])
+                        / 9.0;
+                }
+            }
+        }
+    }
+    Kernel {
+        name: "seidel-2d",
+        description: "2-D Seidel stencil computation",
+        group: Group::Pipeline,
+        build,
+        reference,
+        flops: |p| {
+            let inner = (p[1] - 2).max(0);
+            (p[0] * 9 * inner * inner) as u64
+        },
+        datasets: || {
+            vec![
+                Dataset { name: "mini", params: vec![3, 12] },
+                Dataset { name: "small", params: vec![10, 128] },
+                Dataset { name: "standard", params: vec![20, 1000] },
+                Dataset { name: "large", params: vec![50, 2000] },
+            ]
+        },
+        init: InitSpec::generic(),
+    }
+}
+
+// ------------------------------------------------------------- fdtd-2d --
+
+/// `fdtd-2d`: 2-D finite-difference time-domain kernel.
+pub fn fdtd_2d() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("fdtd-2d", &["TSTEPS", "NX", "NY"], &[3, 8, 8]);
+        b.assume_params_at_least(2);
+        let ex = b.array("ex", &["NX", "NY"]);
+        let ey = b.array("ey", &["NX", "NY"]);
+        let hz = b.array("hz", &["NX", "NY"]);
+        let fict = b.array("fict", &["TSTEPS"]);
+        b.enter("t", con(0), par("TSTEPS"));
+        // The boundary statement is sunk into a unit i-loop so every
+        // statement of the nest is 3-deep (uniform dependence vectors —
+        // the usual normalization polyhedral tools apply here).
+        b.enter("i", con(0), con(1));
+        b.enter("j", con(0), par("NY"));
+        let f = b.rd(fict, &[ix("t")]);
+        b.stmt("S0", ey, &[ix("i"), ix("j")], f);
+        b.exit();
+        b.exit();
+        b.enter("i", con(1), par("NX"));
+        b.enter("j", con(0), par("NY"));
+        let e = Expr::sub(
+            b.rd(ey, &[ix("i"), ix("j")]),
+            Expr::mul(
+                a(0.5),
+                Expr::sub(
+                    b.rd(hz, &[ix("i"), ix("j")]),
+                    b.rd(hz, &[ix("i") - con(1), ix("j")]),
+                ),
+            ),
+        );
+        b.stmt("S1", ey, &[ix("i"), ix("j")], e);
+        b.exit();
+        b.exit();
+        b.enter("i", con(0), par("NX"));
+        b.enter("j", con(1), par("NY"));
+        let e = Expr::sub(
+            b.rd(ex, &[ix("i"), ix("j")]),
+            Expr::mul(
+                a(0.5),
+                Expr::sub(
+                    b.rd(hz, &[ix("i"), ix("j")]),
+                    b.rd(hz, &[ix("i"), ix("j") - con(1)]),
+                ),
+            ),
+        );
+        b.stmt("S2", ex, &[ix("i"), ix("j")], e);
+        b.exit();
+        b.exit();
+        b.enter("i", con(0), par("NX") - con(1));
+        b.enter("j", con(0), par("NY") - con(1));
+        let e = Expr::sub(
+            b.rd(hz, &[ix("i"), ix("j")]),
+            Expr::mul(
+                a(0.7),
+                // Left-associated exactly as the C source:
+                // ex[i][j+1] - ex[i][j] + ey[i+1][j] - ey[i][j]
+                Expr::sub(
+                    Expr::add(
+                        Expr::sub(
+                            b.rd(ex, &[ix("i"), ix("j") + con(1)]),
+                            b.rd(ex, &[ix("i"), ix("j")]),
+                        ),
+                        b.rd(ey, &[ix("i") + con(1), ix("j")]),
+                    ),
+                    b.rd(ey, &[ix("i"), ix("j")]),
+                ),
+            ),
+        );
+        b.stmt("S3", hz, &[ix("i"), ix("j")], e);
+        b.exit();
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let (t, nx, ny) = (p[0] as usize, p[1] as usize, p[2] as usize);
+        let (ex, rest) = arr.split_at_mut(1);
+        let ex = &mut ex[0];
+        let (ey, rest2) = rest.split_at_mut(1);
+        let ey = &mut ey[0];
+        let (hz, fict) = rest2.split_at_mut(1);
+        let (hz, fict) = (&mut hz[0], &fict[0]);
+        for tt in 0..t {
+            for j in 0..ny {
+                ey[j] = fict[tt];
+            }
+            for i in 1..nx {
+                for j in 0..ny {
+                    ey[i * ny + j] -= 0.5 * (hz[i * ny + j] - hz[(i - 1) * ny + j]);
+                }
+            }
+            for i in 0..nx {
+                for j in 1..ny {
+                    ex[i * ny + j] -= 0.5 * (hz[i * ny + j] - hz[i * ny + j - 1]);
+                }
+            }
+            for i in 0..nx - 1 {
+                for j in 0..ny - 1 {
+                    hz[i * ny + j] -= 0.7
+                        * (ex[i * ny + j + 1] - ex[i * ny + j] + ey[(i + 1) * ny + j]
+                            - ey[i * ny + j]);
+                }
+            }
+        }
+    }
+    Kernel {
+        name: "fdtd-2d",
+        description: "2-D Finite Different Time Domain Kernel",
+        group: Group::Pipeline,
+        build,
+        reference,
+        flops: |p| (p[0] * (11 * p[1] * p[2])) as u64,
+        datasets: || {
+            vec![
+                Dataset { name: "mini", params: vec![3, 10, 12] },
+                Dataset { name: "small", params: vec![10, 128, 128] },
+                Dataset { name: "standard", params: vec![20, 1000, 1000] },
+                Dataset { name: "large", params: vec![50, 2000, 2000] },
+            ]
+        },
+        init: InitSpec::generic(),
+    }
+}
+
+// ----------------------------------------------------------- fdtd-apml --
+
+/// `fdtd-apml`: FDTD with an anisotropic perfectly matched layer.
+/// Structure per PolyBench/C 3.2: a triple (`iz`, `iy`, `ix`) nest
+/// updating `Bza`/`Hz` from `Ex`/`Ey` with per-axis coefficient vectors,
+/// plus the `ix = NX` and `iy = NY` boundary updates. The scalar
+/// temporaries `clf`/`tmp` are expanded to 2-D arrays.
+pub fn fdtd_apml() -> Kernel {
+    fn build() -> Scop {
+        let mut b = ScopBuilder::new("fdtd-apml", &["NZ", "NY", "NX"], &[6, 6, 6]);
+        b.assume_params_at_least(2);
+        // Field arrays (extents +1 where PolyBench uses CZ+1 etc.).
+        let exf = b.array_dims("Ex", vec![par("NZ") + con(1), par("NY") + con(1), par("NX") + con(1)]);
+        let eyf = b.array_dims("Ey", vec![par("NZ") + con(1), par("NY") + con(1), par("NX") + con(1)]);
+        let bza = b.array_dims("Bza", vec![par("NZ") + con(1), par("NY") + con(1), par("NX") + con(1)]);
+        let hz = b.array_dims("Hz", vec![par("NZ") + con(1), par("NY") + con(1), par("NX") + con(1)]);
+        let czm = b.array_dims("czm", vec![par("NZ") + con(1)]);
+        let czp = b.array_dims("czp", vec![par("NZ") + con(1)]);
+        let cxmh = b.array_dims("cxmh", vec![par("NX") + con(1)]);
+        let cxph = b.array_dims("cxph", vec![par("NX") + con(1)]);
+        let cymh = b.array_dims("cymh", vec![par("NY") + con(1)]);
+        let cyph = b.array_dims("cyph", vec![par("NY") + con(1)]);
+        let clf = b.array_dims(
+            "clf",
+            vec![par("NZ") + con(1), par("NY") + con(1), par("NX") + con(1)],
+        );
+        let tmp = b.array_dims(
+            "tmp",
+            vec![par("NZ") + con(1), par("NY") + con(1), par("NX") + con(1)],
+        );
+        let mui = 1.0 / 1.2566e-6_f64;
+        let ch = 0.5;
+        b.enter("iz", con(0), par("NZ"));
+        b.enter("iy", con(0), par("NY"));
+        b.enter("ix", con(0), par("NX"));
+        // clf = Ex[iz][iy][ix] - Ex[iz][iy+1][ix] + Ey[iz][iy][ix+1] - Ey[iz][iy][ix]
+        let e = Expr::sub(
+            Expr::add(
+                Expr::sub(
+                    b.rd(exf, &[ix("iz"), ix("iy"), ix("ix")]),
+                    b.rd(exf, &[ix("iz"), ix("iy") + con(1), ix("ix")]),
+                ),
+                b.rd(eyf, &[ix("iz"), ix("iy"), ix("ix") + con(1)]),
+            ),
+            b.rd(eyf, &[ix("iz"), ix("iy"), ix("ix")]),
+        );
+        b.stmt("S0", clf, &[ix("iz"), ix("iy"), ix("ix")], e);
+        // tmp = (cymh[iy]/cyph[iy])*Bza - (ch/cyph[iy])*clf
+        let e = Expr::sub(
+            Expr::mul(
+                Expr::div(b.rd(cymh, &[ix("iy")]), b.rd(cyph, &[ix("iy")])),
+                b.rd(bza, &[ix("iz"), ix("iy"), ix("ix")]),
+            ),
+            Expr::mul(
+                Expr::div(a(ch), b.rd(cyph, &[ix("iy")])),
+                b.rd(clf, &[ix("iz"), ix("iy"), ix("ix")]),
+            ),
+        );
+        b.stmt("S1", tmp, &[ix("iz"), ix("iy"), ix("ix")], e);
+        // Hz = (cxmh[ix]/cxph[ix])*Hz + (mui*czp[iz]/cxph[ix])*tmp
+        //      - (mui*czm[iz]/cxph[ix])*Bza
+        let e = Expr::sub(
+            Expr::add(
+                Expr::mul(
+                    Expr::div(b.rd(cxmh, &[ix("ix")]), b.rd(cxph, &[ix("ix")])),
+                    b.rd(hz, &[ix("iz"), ix("iy"), ix("ix")]),
+                ),
+                Expr::mul(
+                    Expr::div(
+                        Expr::mul(a(mui), b.rd(czp, &[ix("iz")])),
+                        b.rd(cxph, &[ix("ix")]),
+                    ),
+                    b.rd(tmp, &[ix("iz"), ix("iy"), ix("ix")]),
+                ),
+            ),
+            Expr::mul(
+                Expr::div(
+                    Expr::mul(a(mui), b.rd(czm, &[ix("iz")])),
+                    b.rd(cxph, &[ix("ix")]),
+                ),
+                b.rd(bza, &[ix("iz"), ix("iy"), ix("ix")]),
+            ),
+        );
+        b.stmt("S2", hz, &[ix("iz"), ix("iy"), ix("ix")], e);
+        // Bza = clf
+        let e = b.rd(clf, &[ix("iz"), ix("iy"), ix("ix")]);
+        b.stmt("S3", bza, &[ix("iz"), ix("iy"), ix("ix")], e);
+        b.exit();
+        b.exit();
+        b.exit();
+        b.finish()
+    }
+    fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
+        let (nz, ny, nx) = (p[0] as usize, p[1] as usize, p[2] as usize);
+        let (_zp1, yp1, xp1) = (nz + 1, ny + 1, nx + 1);
+        let mui = 1.0 / 1.2566e-6_f64;
+        let ch = 0.5;
+        // Ex Ey Bza Hz czm czp cxmh cxph cymh cyph clf tmp
+        let at3 = |v: &[f64], z: usize, y: usize, x: usize| v[(z * yp1 + y) * xp1 + x];
+        for iz in 0..nz {
+            for iy in 0..ny {
+                for ixx in 0..nx {
+                    let cell = (iz * yp1 + iy) * xp1 + ixx;
+                    let clf_v = at3(&arr[0], iz, iy, ixx) - at3(&arr[0], iz, iy + 1, ixx)
+                        + at3(&arr[1], iz, iy, ixx + 1)
+                        - at3(&arr[1], iz, iy, ixx);
+                    arr[10][cell] = clf_v;
+                    let tmp_v = (arr[8][iy] / arr[9][iy]) * at3(&arr[2], iz, iy, ixx)
+                        - (ch / arr[9][iy]) * arr[10][cell];
+                    arr[11][cell] = tmp_v;
+                    let hz_v = (arr[6][ixx] / arr[7][ixx]) * at3(&arr[3], iz, iy, ixx)
+                        + (mui * arr[5][iz] / arr[7][ixx]) * arr[11][cell]
+                        - (mui * arr[4][iz] / arr[7][ixx]) * at3(&arr[2], iz, iy, ixx);
+                    arr[3][cell] = hz_v;
+                    arr[2][cell] = arr[10][cell];
+                }
+            }
+        }
+    }
+    Kernel {
+        name: "fdtd-apml",
+        description: "FDTD using Anisotropic Perfectly Matched Layer",
+        group: Group::Doall,
+        build,
+        reference,
+        flops: |p| (p[0] * p[1] * p[2] * 16) as u64,
+        datasets: || {
+            vec![
+                Dataset { name: "mini", params: vec![6, 6, 6] },
+                Dataset { name: "small", params: vec![32, 32, 32] },
+                Dataset { name: "standard", params: vec![128, 128, 128] },
+                Dataset { name: "large", params: vec![192, 192, 192] },
+            ]
+        },
+        init: InitSpec::generic(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil_kernels_build_and_run_finite() {
+        for k in [jacobi_1d(), jacobi_2d(), seidel_2d(), fdtd_2d(), fdtd_apml()] {
+            let scop = (k.build)();
+            let params = k.dataset("mini").params;
+            let mut arrays = k.fresh_arrays(&scop, &params);
+            (k.reference)(&params, &mut arrays);
+            for (ai, arr) in arrays.iter().enumerate() {
+                assert!(
+                    arr.iter().all(|x| x.is_finite()),
+                    "{} array {ai} non-finite",
+                    k.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_1d_converges_towards_smoothness() {
+        // Repeated averaging shrinks the discrete Laplacian's magnitude.
+        let k = jacobi_1d();
+        let scop = (k.build)();
+        let params = vec![50, 40];
+        let mut arrays = polymix_ast::interp::alloc_arrays(&scop, &params);
+        // A deliberately rough (alternating) field; the generic init is
+        // locally linear and would have a zero Laplacian.
+        for (i, x) in arrays[0].iter_mut().enumerate() {
+            *x = (i % 2) as f64;
+        }
+        let rough = |a: &[f64]| -> f64 {
+            a.windows(3)
+                .map(|w| (w[0] - 2.0 * w[1] + w[2]).abs())
+                .sum()
+        };
+        let before = rough(&arrays[0]);
+        (k.reference)(&params, &mut arrays);
+        let after = rough(&arrays[0][1..39]);
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn seidel_preserves_constant_fields() {
+        let k = seidel_2d();
+        let scop = (k.build)();
+        let params = vec![3, 10];
+        let mut arrays = polymix_ast::interp::alloc_arrays(&scop, &params);
+        for x in arrays[0].iter_mut() {
+            *x = 7.0;
+        }
+        (k.reference)(&params, &mut arrays);
+        assert!(arrays[0].iter().all(|&x| (x - 7.0).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,102 @@
+//! Static-schedule doall execution.
+
+/// Runs `body(i)` for every `i` in `lo..hi` across `threads` workers with
+/// a static block distribution (the `schedule(static)` OpenMP analogue).
+///
+/// `body` only receives disjoint indices, so it may mutate shared state
+/// partitioned by `i`; Rust-level sharing is the caller's problem — the
+/// closure must be `Sync` (it is called concurrently from many threads).
+pub fn par_for<F>(lo: i64, hi: i64, threads: usize, body: F)
+where
+    F: Fn(i64) + Sync,
+{
+    par_for_chunked(lo, hi, threads, |a, b| {
+        for i in a..b {
+            body(i);
+        }
+    });
+}
+
+/// Runs `body(chunk_lo, chunk_hi)` once per worker over a static block
+/// partition of `lo..hi`. Empty ranges spawn nothing.
+pub fn par_for_chunked<F>(lo: i64, hi: i64, threads: usize, body: F)
+where
+    F: Fn(i64, i64) + Sync,
+{
+    let n = hi - lo;
+    if n <= 0 {
+        return;
+    }
+    let threads = threads.clamp(1, n.max(1) as usize);
+    if threads == 1 {
+        body(lo, hi);
+        return;
+    }
+    let chunk = (n + threads as i64 - 1) / threads as i64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let body = &body;
+            let a = lo + t as i64 * chunk;
+            let b = (a + chunk).min(hi);
+            if a < b {
+                s.spawn(move || body(a, b));
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        par_for(0, 100, 7, |i| {
+            hits[i as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_and_negative_ranges_are_noops() {
+        let count = AtomicUsize::new(0);
+        par_for(5, 5, 4, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        par_for(5, 2, 4, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn more_threads_than_iterations() {
+        let count = AtomicUsize::new(0);
+        par_for(0, 3, 64, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn chunked_partitions_are_disjoint_and_complete() {
+        let total = AtomicI64::new(0);
+        par_for_chunked(10, 1000, 8, |a, b| {
+            assert!(a < b);
+            total.fetch_add(b - a, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 990);
+    }
+
+    #[test]
+    fn single_thread_gets_whole_range() {
+        let seen = AtomicI64::new(-1);
+        par_for_chunked(0, 4, 1, |a, b| {
+            assert_eq!((a, b), (0, 4));
+            seen.store(b - a, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 4);
+    }
+}

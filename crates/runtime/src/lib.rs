@@ -1,0 +1,25 @@
+//! # polymix-runtime
+//!
+//! The library-level parallel runtime backing the paper's Sec. IV-D
+//! extensions, used by examples and benchmarked directly (Fig. 6):
+//!
+//! * [`doall`] — a chunked scoped-thread scheduler for fully parallel
+//!   loops (the `omp parallel for` analogue);
+//! * [`reduction`] — array reductions with thread-private accumulators
+//!   (the proposed C array-reduction extension);
+//! * [`pipeline`] — point-to-point cross-iteration synchronization over a
+//!   2-D grid (the `#pragma omp await source(i-1,j) source(i,j-1)`
+//!   proposal), plus the [`pipeline::wavefront_2d`] executor it is compared
+//!   against in Fig. 6.
+//!
+//! Everything is built from `std::thread::scope`, `crossbeam` utilities
+//! and atomics; no work-stealing pool is spun up, matching the static
+//! scheduling the paper's OpenMP codes use.
+
+pub mod doall;
+pub mod pipeline;
+pub mod reduction;
+
+pub use doall::{par_for, par_for_chunked};
+pub use pipeline::{pipeline_2d, wavefront_2d, GridSweep};
+pub use reduction::reduce_array;

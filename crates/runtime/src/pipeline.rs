@@ -1,0 +1,228 @@
+//! Point-to-point pipeline parallelism and its wavefront rival (Fig. 6).
+//!
+//! Both executors run every cell `(i, j)` of a rectangular grid under the
+//! dependence pattern `(i-1, j) → (i, j)` and `(i, j-1) → (i, j)`:
+//!
+//! * [`pipeline_2d`] — the paper's preferred construct: the `j` range is
+//!   split into per-thread column blocks; each thread sweeps `i`
+//!   ascending and, before starting row `i`, spins until its left
+//!   neighbor has finished the same row (`await source(i, j-1)`;
+//!   `source(i-1, j)` holds by the thread's own sweep order). No global
+//!   barriers, no load-imbalanced start-up/drain phases beyond the
+//!   pipeline fill.
+//! * [`wavefront_2d`] — the doall-only alternative: iterate diagonals
+//!   `w = i + j` sequentially with an all-to-all barrier between
+//!   diagonals, running each diagonal's cells in parallel.
+
+use crate::doall::par_for;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// A half-open 2-D iteration grid `[i_lo, i_hi) × [j_lo, j_hi)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GridSweep {
+    /// First outer index.
+    pub i_lo: i64,
+    /// One past the last outer index.
+    pub i_hi: i64,
+    /// First inner index.
+    pub j_lo: i64,
+    /// One past the last inner index.
+    pub j_hi: i64,
+}
+
+impl GridSweep {
+    /// Number of cells in the grid.
+    pub fn cells(&self) -> i64 {
+        (self.i_hi - self.i_lo).max(0) * (self.j_hi - self.j_lo).max(0)
+    }
+}
+
+/// Executes the grid with point-to-point column-block pipelining.
+/// `body(i, j)` is invoked exactly once per cell, never before its
+/// `(i-1, j)` and `(i, j-1)` predecessors have completed.
+pub fn pipeline_2d<F>(grid: GridSweep, threads: usize, body: F)
+where
+    F: Fn(i64, i64) + Sync,
+{
+    if grid.cells() == 0 {
+        return;
+    }
+    let span = grid.j_hi - grid.j_lo;
+    let nthr = threads.clamp(1, span.max(1) as usize);
+    if nthr == 1 {
+        for i in grid.i_lo..grid.i_hi {
+            for j in grid.j_lo..grid.j_hi {
+                body(i, j);
+            }
+        }
+        return;
+    }
+    let progress: Vec<AtomicI64> = (0..nthr).map(|_| AtomicI64::new(i64::MIN)).collect();
+    let chunk = (span + nthr as i64 - 1) / nthr as i64;
+    std::thread::scope(|s| {
+        for t in 0..nthr {
+            let progress = &progress;
+            let body = &body;
+            s.spawn(move || {
+                let blk_lo = grid.j_lo + t as i64 * chunk;
+                let blk_hi = (blk_lo + chunk).min(grid.j_hi);
+                if blk_lo >= blk_hi {
+                    // Still publish progress so right neighbors never stall.
+                    for i in grid.i_lo..grid.i_hi {
+                        if t > 0 {
+                            while progress[t - 1].load(Ordering::Acquire) < i {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        progress[t].store(i, Ordering::Release);
+                    }
+                    return;
+                }
+                for i in grid.i_lo..grid.i_hi {
+                    if t > 0 {
+                        // await source(i, blk_lo - 1)
+                        while progress[t - 1].load(Ordering::Acquire) < i {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    for j in blk_lo..blk_hi {
+                        body(i, j);
+                    }
+                    progress[t].store(i, Ordering::Release);
+                }
+            });
+        }
+    });
+}
+
+/// Executes the grid as a skewed wavefront: diagonals `w = i + j` run
+/// sequentially, the cells of each diagonal in parallel, with an implicit
+/// all-to-all barrier between diagonals.
+pub fn wavefront_2d<F>(grid: GridSweep, threads: usize, body: F)
+where
+    F: Fn(i64, i64) + Sync,
+{
+    if grid.cells() == 0 {
+        return;
+    }
+    let w_lo = grid.i_lo + grid.j_lo;
+    let w_hi = (grid.i_hi - 1) + (grid.j_hi - 1);
+    for w in w_lo..=w_hi {
+        let j_lo = grid.j_lo.max(w - (grid.i_hi - 1));
+        let j_hi = grid.j_hi.min(w - grid.i_lo + 1); // exclusive
+        par_for(j_lo, j_hi, threads, |j| body(w - j, j));
+        // par_for joins all workers: the inter-diagonal barrier.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::HashSet;
+
+    fn grid(ni: i64, nj: i64) -> GridSweep {
+        GridSweep {
+            i_lo: 0,
+            i_hi: ni,
+            j_lo: 0,
+            j_hi: nj,
+        }
+    }
+
+    /// Records execution order and checks the dependence cone.
+    fn check_order(events: &[(i64, i64)], ni: i64, nj: i64) {
+        let mut pos = std::collections::HashMap::new();
+        for (k, &c) in events.iter().enumerate() {
+            assert!(pos.insert(c, k).is_none(), "cell {c:?} ran twice");
+        }
+        assert_eq!(events.len() as i64, ni * nj, "missing cells");
+        for (&(i, j), &k) in &pos {
+            if i > 0 {
+                assert!(pos[&(i - 1, j)] < k, "({i},{j}) before ({},{j})", i - 1);
+            }
+            if j > 0 {
+                assert!(pos[&(i, j - 1)] < k, "({i},{j}) before ({i},{})", j - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_respects_dependences() {
+        for threads in [1, 3, 8] {
+            let log = Mutex::new(Vec::new());
+            pipeline_2d(grid(9, 13), threads, |i, j| log.lock().push((i, j)));
+            check_order(&log.into_inner(), 9, 13);
+        }
+    }
+
+    #[test]
+    fn wavefront_respects_dependences() {
+        for threads in [1, 4] {
+            let log = Mutex::new(Vec::new());
+            wavefront_2d(grid(7, 11), threads, |i, j| log.lock().push((i, j)));
+            check_order(&log.into_inner(), 7, 11);
+        }
+    }
+
+    #[test]
+    fn both_cover_same_cells() {
+        let a = Mutex::new(HashSet::new());
+        pipeline_2d(grid(5, 6), 4, |i, j| {
+            a.lock().insert((i, j));
+        });
+        let b = Mutex::new(HashSet::new());
+        wavefront_2d(grid(5, 6), 4, |i, j| {
+            b.lock().insert((i, j));
+        });
+        assert_eq!(a.into_inner(), b.into_inner());
+    }
+
+    #[test]
+    fn pipeline_computes_prefix_sums_correctly() {
+        // table[i][j] = table[i-1][j] + table[i][j-1] (+1 at origin):
+        // a genuinely order-sensitive computation.
+        let ni = 12usize;
+        let nj = 17usize;
+        let run = |threads: usize, pipe: bool| -> Vec<f64> {
+            let table: Vec<Mutex<f64>> = (0..ni * nj).map(|_| Mutex::new(0.0)).collect();
+            let body = |i: i64, j: i64| {
+                let (i, j) = (i as usize, j as usize);
+                let up = if i > 0 { *table[(i - 1) * nj + j].lock() } else { 1.0 };
+                let left = if j > 0 { *table[i * nj + j - 1].lock() } else { 0.0 };
+                *table[i * nj + j].lock() = up + left;
+            };
+            if pipe {
+                pipeline_2d(grid(ni as i64, nj as i64), threads, body);
+            } else {
+                wavefront_2d(grid(ni as i64, nj as i64), threads, body);
+            }
+            table.into_iter().map(|m| m.into_inner()).collect()
+        };
+        let seq = run(1, true);
+        for threads in [2, 5, 8] {
+            assert_eq!(run(threads, true), seq, "pipeline threads={threads}");
+            assert_eq!(run(threads, false), seq, "wavefront threads={threads}");
+        }
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        let count = Mutex::new(0);
+        pipeline_2d(grid(0, 5), 4, |_, _| *count.lock() += 1);
+        pipeline_2d(grid(5, 0), 4, |_, _| *count.lock() += 1);
+        wavefront_2d(grid(0, 0), 4, |_, _| *count.lock() += 1);
+        assert_eq!(*count.lock(), 0);
+        // One-row / one-column grids.
+        pipeline_2d(grid(1, 8), 4, |_, _| *count.lock() += 1);
+        pipeline_2d(grid(8, 1), 4, |_, _| *count.lock() += 1);
+        assert_eq!(*count.lock(), 16);
+    }
+
+    #[test]
+    fn more_threads_than_columns() {
+        let log = Mutex::new(Vec::new());
+        pipeline_2d(grid(4, 3), 16, |i, j| log.lock().push((i, j)));
+        check_order(&log.into_inner(), 4, 3);
+    }
+}

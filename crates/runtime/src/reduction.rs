@@ -1,0 +1,77 @@
+//! Array reductions with thread-private accumulators — the C array-
+//! reduction OpenMP extension of Sec. IV-D.
+
+use crate::doall::par_for_chunked;
+use parking_lot::Mutex;
+
+/// Reduces into `target` over the iteration range `lo..hi`: each worker
+/// gets a zeroed private copy of `target`'s length, `body(i, local)`
+/// accumulates into it, and the private copies are summed into `target`
+/// under a lock after each worker finishes.
+pub fn reduce_array<F>(target: &mut [f64], lo: i64, hi: i64, threads: usize, body: F)
+where
+    F: Fn(i64, &mut [f64]) + Sync,
+{
+    let len = target.len();
+    let global = Mutex::new(target);
+    par_for_chunked(lo, hi, threads, |a, b| {
+        let mut local = vec![0.0f64; len];
+        for i in a..b {
+            body(i, &mut local);
+        }
+        let mut g = global.lock();
+        for (dst, src) in g.iter_mut().zip(&local) {
+            *dst += src;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_sum_matches_sequential() {
+        // S[j] += X[i][j] over a 40x8 matrix.
+        let n = 40usize;
+        let m = 8usize;
+        let x: Vec<f64> = (0..n * m).map(|k| (k % 13) as f64).collect();
+        let mut s_par = vec![0.0; m];
+        reduce_array(&mut s_par, 0, n as i64, 4, |i, local| {
+            for j in 0..m {
+                local[j] += x[i as usize * m + j];
+            }
+        });
+        let mut s_seq = vec![0.0; m];
+        for i in 0..n {
+            for j in 0..m {
+                s_seq[j] += x[i * m + j];
+            }
+        }
+        assert_eq!(s_par, s_seq);
+    }
+
+    #[test]
+    fn preserves_prior_contents() {
+        let mut t = vec![10.0, 20.0];
+        reduce_array(&mut t, 0, 5, 2, |_, local| {
+            local[0] += 1.0;
+            local[1] += 2.0;
+        });
+        assert_eq!(t, vec![15.0, 30.0]);
+    }
+
+    #[test]
+    fn empty_range_leaves_target_untouched() {
+        let mut t = vec![1.0, 2.0, 3.0];
+        reduce_array(&mut t, 3, 3, 4, |_, _| panic!("must not run"));
+        assert_eq!(t, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn scalar_reduction_via_len_one_array() {
+        let mut acc = vec![0.0];
+        reduce_array(&mut acc, 1, 101, 8, |i, local| local[0] += i as f64);
+        assert_eq!(acc[0], 5050.0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # polymix
+//!
+//! A reproduction of *"Oil and Water Can Mix: An Integration of Polyhedral
+//! and AST-based Transformations"* (Shirako, Pouchet, Sarkar — SC 2014).
+//!
+//! This facade crate re-exports the full workspace so downstream users can
+//! depend on a single crate:
+//!
+//! ```
+//! use polymix::polybench::suite;
+//! let kernels = suite::all_kernels();
+//! assert!(kernels.len() >= 20);
+//! ```
+pub use polymix_ast as ast;
+pub use polymix_cachesim as cachesim;
+pub use polymix_codegen as codegen;
+pub use polymix_core as core;
+pub use polymix_deps as deps;
+pub use polymix_dl as dl;
+pub use polymix_ir as ir;
+pub use polymix_math as math;
+pub use polymix_pluto as pluto;
+pub use polymix_polybench as polybench;
+pub use polymix_runtime as runtime;
