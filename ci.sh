@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, and keep the pipeline library crates free
+# of new abort sites. No network access required (Cargo.lock is committed
+# and all dependencies are vendored in the toolchain image).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+# The compile pipeline must degrade, never abort: deny unwrap/panic in
+# the library code of the crates the pipeline runs through. `--no-deps`
+# is required so the lints do not leak into path dependencies (e.g.
+# polymix-deps), which are linted at their default levels.
+echo "== clippy abort-site gate =="
+for c in polymix-ir polymix-ast polymix-codegen polymix-pluto polymix-core; do
+    echo "-- $c"
+    cargo clippy --lib --no-deps -p "$c" -- \
+        -D clippy::unwrap_used -D clippy::panic
+done
+
+echo "CI OK"

@@ -177,7 +177,7 @@ mod tests {
         let body = Expr::add(b.rd(a, &[ix("i")]), Expr::Const(1.0));
         b.stmt("S", a, &[ix("i")], body);
         b.exit();
-        let scop = b.finish();
+        let scop = b.finish().expect("well-formed SCoP");
         let body = Node::loop_(Loop {
             var: 0,
             name: "i".into(),

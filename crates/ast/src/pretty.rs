@@ -82,8 +82,8 @@ fn bound_str(
             }
         })
         .collect();
-    if parts.len() == 1 {
-        parts.into_iter().next().unwrap()
+    if let [only] = parts.as_slice() {
+        only.clone()
     } else if lower {
         format!("max({})", parts.join(", "))
     } else {
@@ -153,7 +153,7 @@ mod tests {
         b.enter("i", con(0), par("N"));
         b.stmt("S", a, &[ix("i")], Expr::Const(0.0));
         b.exit();
-        let scop = b.finish();
+        let scop = b.finish().expect("well-formed SCoP");
         let prog = Program {
             scop,
             body: Node::loop_(Loop {
@@ -181,7 +181,7 @@ mod tests {
         b.enter("i", con(0), par("N"));
         b.stmt("S", a, &[ix("i")], Expr::Const(0.0));
         b.exit();
-        let scop = b.finish();
+        let scop = b.finish().expect("well-formed SCoP");
         let lo = Bound {
             exprs: vec![
                 crate::tree::BoundExpr {

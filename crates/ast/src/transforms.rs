@@ -6,6 +6,7 @@
 //! equivalence tests verify the composition end-to-end.
 
 use crate::tree::{Bound, BoundExpr, LinExpr, Loop, Node, Par, Program};
+use polymix_ir::error::PolymixError;
 
 /// Length of the perfect loop band starting at `node`: the number of
 /// directly nested loops (each body exactly one loop) before hitting a
@@ -98,16 +99,21 @@ fn relax_bound(
 ///
 /// Triangular / skewed bands are handled by bound relaxation (tile loops
 /// may visit empty tiles; point loops clamp exactly). Parallelism
-/// annotations migrate to the tile loops. Panics on a non-loop node or
-/// insufficient band depth.
-pub fn tile_band(prog: &mut Program, node: Node, sizes: &[i64]) -> Node {
+/// annotations migrate to the tile loops. Returns a
+/// [`PolymixError::Transform`] on a non-loop node or insufficient band
+/// depth; callers keep (a clone of) the untransformed tree in that case.
+pub fn tile_band(prog: &mut Program, node: Node, sizes: &[i64]) -> Result<Node, PolymixError> {
     let k = sizes.len();
-    assert!(k >= 1, "empty tile size list");
-    assert!(
-        band_depth(&node) >= k,
-        "tile_band: band depth {} < {k}",
-        band_depth(&node)
-    );
+    if k < 1 {
+        return Err(PolymixError::transform("tile_band", "empty tile size list"));
+    }
+    let depth = band_depth(&node);
+    if depth < k {
+        return Err(PolymixError::transform(
+            "tile_band",
+            format!("band depth {depth} < requested {k}"),
+        ));
+    }
     // Collect the k loops.
     let mut loops: Vec<Loop> = Vec::with_capacity(k);
     let mut cur = node;
@@ -121,7 +127,13 @@ pub fn tile_band(prog: &mut Program, node: Node, sizes: &[i64]) -> Node {
                     ..l
                 });
             }
-            _ => unreachable!("band_depth checked"),
+            // band_depth(node) >= k guarantees k nested loops.
+            _ => {
+                return Err(PolymixError::transform(
+                    "tile_band",
+                    "band ended early at a non-loop node",
+                ))
+            }
         }
     }
     let innermost_body = cur;
@@ -179,18 +191,36 @@ pub fn tile_band(prog: &mut Program, node: Node, sizes: &[i64]) -> Node {
             body,
         });
     }
-    body
+    Ok(body)
 }
 
 /// Unrolls `loop_node` (a `Loop` with step 1) by `factor` using the
 /// guarded-epilogue scheme: the loop steps by `factor`, the body is
 /// replicated at offsets `0..factor`, and replicas past the first are
 /// guarded by `hi - (v + r) >= 0` so ragged trip counts stay correct.
-pub fn unroll(l: &Loop, factor: i64) -> Node {
-    assert!(factor >= 1);
-    assert_eq!(l.step, 1, "unroll requires unit step");
+/// Errors on a non-unit step or a divided upper bound; the caller keeps
+/// the original loop.
+pub fn unroll(l: &Loop, factor: i64) -> Result<Node, PolymixError> {
+    if factor < 1 {
+        return Err(PolymixError::transform(
+            "unroll",
+            format!("factor {factor} < 1"),
+        ));
+    }
+    if l.step != 1 {
+        return Err(PolymixError::transform(
+            "unroll",
+            format!("requires unit step, loop {} has step {}", l.name, l.step),
+        ));
+    }
     if factor == 1 {
-        return Node::loop_(l.clone());
+        return Ok(Node::loop_(l.clone()));
+    }
+    if l.hi.exprs.iter().any(|be| be.denom != 1) {
+        return Err(PolymixError::transform(
+            "unroll",
+            format!("divided upper bound on loop {}", l.name),
+        ));
     }
     let mut replicas = Vec::with_capacity(factor as usize);
     for r in 0..factor {
@@ -202,16 +232,13 @@ pub fn unroll(l: &Loop, factor: i64) -> Node {
                 .hi
                 .exprs
                 .iter()
-                .map(|be| {
-                    assert_eq!(be.denom, 1, "unroll: divided upper bound");
-                    be.expr.add_scaled(&LinExpr::var(l.var), -1).plus(-r)
-                })
+                .map(|be| be.expr.add_scaled(&LinExpr::var(l.var), -1).plus(-r))
                 .collect();
             b = Node::Guard(guards, Box::new(b));
         }
         replicas.push(b);
     }
-    Node::loop_(Loop {
+    Ok(Node::loop_(Loop {
         var: l.var,
         name: l.name.clone(),
         lo: l.lo.clone(),
@@ -219,7 +246,7 @@ pub fn unroll(l: &Loop, factor: i64) -> Node {
         step: factor,
         par: l.par,
         body: Node::Seq(replicas),
-    })
+    }))
 }
 
 /// Unroll-and-jam: unrolls an outer loop of a perfect pair by `factor`
@@ -227,12 +254,17 @@ pub fn unroll(l: &Loop, factor: i64) -> Node {
 /// Sec. IV-C). Requires the inner loop's bounds to be invariant in the
 /// outer variable; returns `None` when the shape does not allow it.
 pub fn unroll_and_jam(l: &Loop, factor: i64) -> Option<Node> {
-    assert!(factor >= 1);
+    if factor < 1 {
+        return None;
+    }
     if factor == 1 {
         return Some(Node::loop_(l.clone()));
     }
     if l.step != 1 {
         return None;
+    }
+    if l.hi.exprs.iter().any(|be| be.denom != 1) {
+        return None; // divided upper bound: replica guards inexpressible
     }
     let inner = match &l.body {
         Node::Loop(i) => i.as_ref().clone(),
@@ -252,10 +284,7 @@ pub fn unroll_and_jam(l: &Loop, factor: i64) -> Option<Node> {
                 .hi
                 .exprs
                 .iter()
-                .map(|be| {
-                    assert_eq!(be.denom, 1, "unroll_and_jam: divided upper bound");
-                    be.expr.add_scaled(&LinExpr::var(l.var), -1).plus(-r)
-                })
+                .map(|be| be.expr.add_scaled(&LinExpr::var(l.var), -1).plus(-r))
                 .collect();
             b = Node::Guard(guards, Box::new(b));
         }
@@ -359,44 +388,50 @@ pub fn wavefront(l: &Loop) -> Option<Node> {
 /// Walks the tree and tiles every maximal perfect band of depth ≥ 2 with
 /// the given tile size (same size per dimension, the paper's setup), then
 /// recurses into the point-loop bodies. Bands of depth 1 are left alone.
-pub fn tile_all(prog: &mut Program, node: Node, tile: i64) -> Node {
+pub fn tile_all(prog: &mut Program, node: Node, tile: i64) -> Result<Node, PolymixError> {
     match node {
-        Node::Seq(xs) => Node::Seq(
+        Node::Seq(xs) => Ok(Node::Seq(
             xs.into_iter()
                 .map(|x| tile_all(prog, x, tile))
-                .collect(),
-        ),
-        Node::Guard(g, b) => Node::Guard(g, Box::new(tile_all(prog, *b, tile))),
-        Node::Stmt(s) => Node::Stmt(s),
-        Node::Loop(_) => {
+                .collect::<Result<_, _>>()?,
+        )),
+        Node::Guard(g, b) => Ok(Node::Guard(g, Box::new(tile_all(prog, *b, tile)?))),
+        Node::Stmt(s) => Ok(Node::Stmt(s)),
+        Node::Loop(l) => {
+            let node = Node::Loop(l);
             let depth = band_depth(&node);
             if depth >= 2 {
                 let sizes = vec![tile; depth];
-                let tiled = tile_band(prog, node, &sizes);
+                let tiled = tile_band(prog, node, &sizes)?;
                 // Recurse into the innermost body (below 2k loops).
                 descend_and_recurse(prog, tiled, 2 * depth, tile)
             } else {
                 // Single loop: recurse into body.
                 match node {
                     Node::Loop(mut l) => {
-                        l.body = tile_all(prog, l.body, tile);
-                        Node::Loop(l)
+                        l.body = tile_all(prog, l.body, tile)?;
+                        Ok(Node::Loop(l))
                     }
-                    _ => unreachable!(),
+                    other => Ok(other),
                 }
             }
         }
     }
 }
 
-fn descend_and_recurse(prog: &mut Program, node: Node, levels: usize, tile: i64) -> Node {
+fn descend_and_recurse(
+    prog: &mut Program,
+    node: Node,
+    levels: usize,
+    tile: i64,
+) -> Result<Node, PolymixError> {
     if levels == 0 {
         return tile_all(prog, node, tile);
     }
     match node {
         Node::Loop(mut l) => {
-            l.body = descend_and_recurse(prog, l.body, levels - 1, tile);
-            Node::Loop(l)
+            l.body = descend_and_recurse(prog, l.body, levels - 1, tile)?;
+            Ok(Node::Loop(l))
         }
         other => tile_all(prog, other, tile),
     }
@@ -420,7 +455,7 @@ mod tests {
         b.stmt("S", a, &[ix("i"), ix("j")], body);
         b.exit();
         b.exit();
-        let scop = b.finish();
+        let scop = b.finish().expect("well-formed SCoP");
         let body = Node::loop_(Loop {
             var: 0,
             name: "i".into(),
@@ -465,7 +500,7 @@ mod tests {
         for n in [1, 3, 7, 8, 10] {
             let mut p = grid_program(n);
             let body = p.body.clone();
-            p.body = tile_band(&mut p, body, &[3, 3]);
+            p.body = tile_band(&mut p, body, &[3, 3]).expect("tile");
             let out = run_all_ones(&p, n);
             assert_eq!(out, vec![1.0; (n * n) as usize], "n={n}");
         }
@@ -477,7 +512,7 @@ mod tests {
         let n = 10;
         let mut p = grid_program(n);
         let body = p.body.clone();
-        p.body = tile_band(&mut p, body, &[4, 3]);
+        p.body = tile_band(&mut p, body, &[4, 3]).expect("tile");
         let out = run_all_ones(&p, n);
         assert!(out.iter().all(|&x| x == 1.0));
     }
@@ -489,7 +524,7 @@ mod tests {
             l.par = Par::Doall;
         }
         let body = p.body.clone();
-        p.body = tile_band(&mut p, body, &[2, 2]);
+        p.body = tile_band(&mut p, body, &[2, 2]).expect("tile");
         match &p.body {
             Node::Loop(t) => {
                 assert_eq!(t.par, Par::Doall);
@@ -510,7 +545,7 @@ mod tests {
         assert_eq!(out, vec![1.0; (n * n) as usize]);
         // Now tile the skewed (triangular) band.
         let body = p.body.clone();
-        p.body = tile_band(&mut p, body, &[4, 4]);
+        p.body = tile_band(&mut p, body, &[4, 4]).expect("tile");
         let out = run_all_ones(&p, n);
         assert_eq!(out, vec![1.0; (n * n) as usize]);
     }
@@ -522,7 +557,7 @@ mod tests {
             // Unroll the inner j loop by 4.
             if let Node::Loop(i) = &mut p.body {
                 if let Node::Loop(j) = &i.body {
-                    i.body = unroll(j, 4);
+                    i.body = unroll(j, 4).expect("unroll");
                 }
             }
             let out = run_all_ones(&p, n);
@@ -588,7 +623,7 @@ mod tests {
         let mut p = p1.clone();
         p.body = Node::Seq(vec![p1.body.clone(), p1.body.clone()]);
         let body = p.body.clone();
-        p.body = tile_all(&mut p, body, 4);
+        p.body = tile_all(&mut p, body, 4).expect("tile_all");
         // Each grid increments once → value 2 everywhere.
         let out = run_all_ones(&p, n);
         assert_eq!(out, vec![2.0; (n * n) as usize]);
@@ -665,7 +700,6 @@ pub fn tile_imperfect(prog: &mut Program, node: Node, sizes: &[i64]) -> Option<N
         // which over-approximates the union (point loops clamp exactly).
         let unified_lo = unify_level_bound(lvl, true)?;
         let unified_hi = unify_level_bound(lvl, false)?;
-        reps_acc.push((unified_lo, unified_hi));
         // Bounds may only reference shared vars (of unique outer levels).
         let refs_ok = |b: &Bound| {
             b.exprs.iter().all(|be| {
@@ -675,10 +709,10 @@ pub fn tile_imperfect(prog: &mut Program, node: Node, sizes: &[i64]) -> Option<N
                     .all(|(v, _)| shared_vars.contains(v))
             })
         };
-        let (ulo, uhi) = reps_acc.last().unwrap();
-        if !refs_ok(ulo) || !refs_ok(uhi) {
+        if !refs_ok(&unified_lo) || !refs_ok(&unified_hi) {
             return None;
         }
+        reps_acc.push((unified_lo, unified_hi));
         let _ = first;
         if lvl.len() == 1 {
             shared_vars.push(lvl[0].var);
@@ -820,7 +854,7 @@ mod imperfect_tests {
         b.stmt("S1", a, &[ix("i")], body);
         b.exit();
         b.exit();
-        let scop = b.finish();
+        let scop = b.finish().expect("well-formed SCoP");
         let mk_inner = |stmt_idx: usize, var: usize| {
             Node::loop_(Loop {
                 var,
@@ -1032,7 +1066,7 @@ mod structure_tests {
         let body = Expr::mul(b.rd(x, &[ix("i")]), Expr::Const(2.0));
         b.stmt("S1", y, &[ix("i")], body);
         b.exit();
-        let scop = b.finish();
+        let scop = b.finish().expect("well-formed SCoP");
         let mk = |idx: usize| {
             Node::Stmt(StmtNode {
                 stmt_idx: idx,

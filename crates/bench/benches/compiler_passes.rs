@@ -2,7 +2,8 @@
 //! the DL-guided affine stage, the Pluto-like baseline scheduler, code
 //! generation, and the full end-to-end flows on representative kernels.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polymix_bench::microbench::{BenchmarkId, Criterion};
+use polymix_bench::{criterion_group, criterion_main};
 use polymix_codegen::from_poly::generate;
 use polymix_core::{affine_stage, optimize_poly_ast, PolyAstOptions};
 use polymix_deps::build_podg;
@@ -30,12 +31,12 @@ fn schedulers(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("affine_stage", name),
             &scop,
-            |b, s| b.iter(|| black_box(affine_stage(s, &machine).len())),
+            |b, s| b.iter(|| black_box(affine_stage(s, &machine).expect("affine").len())),
         );
         group.bench_with_input(
             BenchmarkId::new("pluto_smartfuse", name),
             &scop,
-            |b, s| b.iter(|| black_box(schedule_pluto(s, Fusion::Smart).len())),
+            |b, s| b.iter(|| black_box(schedule_pluto(s, Fusion::Smart).expect("schedule").len())),
         );
     }
     group.finish();
@@ -44,9 +45,9 @@ fn schedulers(c: &mut Criterion) {
 fn codegen_and_flows(c: &mut Criterion) {
     let machine = Machine::nehalem();
     let scop = (kernel_by_name("2mm").unwrap().build)();
-    let schedules = affine_stage(&scop, &machine);
+    let schedules = affine_stage(&scop, &machine).expect("affine");
     c.bench_function("codegen_2mm", |b| {
-        b.iter(|| black_box(generate(&scop, &schedules).body.count_stmts()));
+        b.iter(|| black_box(generate(&scop, &schedules).expect("generate").body.count_stmts()));
     });
     let mut group = c.benchmark_group("end_to_end");
     for name in ["gemm", "2mm", "seidel-2d"] {
@@ -59,13 +60,14 @@ fn codegen_and_flows(c: &mut Criterion) {
                         machine: machine.clone(),
                         ..Default::default()
                     },
-                );
+                )
+                .expect("optimize");
                 black_box(p.n_vars)
             });
         });
         group.bench_with_input(BenchmarkId::new("pluto", name), &scop, |b, s| {
             b.iter(|| {
-                let p = optimize_pluto(s, &PlutoOptions::default());
+                let p = optimize_pluto(s, &PlutoOptions::default()).expect("optimize");
                 black_box(p.n_vars)
             });
         });

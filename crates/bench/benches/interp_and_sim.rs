@@ -1,7 +1,8 @@
 //! Criterion benchmarks of the execution substrates: the AST interpreter
 //! (the semantics oracle) and the trace-driven cache simulator.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polymix_bench::microbench::{BenchmarkId, Criterion};
+use polymix_bench::{criterion_group, criterion_main};
 use polymix_ast::interp::execute;
 use polymix_bench::variants::{build_variant, Variant};
 use polymix_cachesim::{simulate, CacheConfig};
@@ -17,7 +18,7 @@ fn interpreter(c: &mut Criterion) {
         let scop = (k.build)();
         let params = k.dataset("mini").params;
         for v in [Variant::Native, Variant::PolyAst] {
-            let prog = build_variant(&k, v, &machine);
+            let prog = build_variant(&k, v, &machine).expect("variant builds");
             group.bench_with_input(
                 BenchmarkId::new(format!("{name}"), v.name()),
                 &prog,
@@ -39,7 +40,7 @@ fn cache_simulation(c: &mut Criterion) {
     let k = kernel_by_name("gemm").unwrap();
     let scop = (k.build)();
     let params = k.dataset("mini").params;
-    let prog = build_variant(&k, Variant::Native, &machine);
+    let prog = build_variant(&k, Variant::Native, &machine).expect("variant builds");
     c.bench_function("cachesim_gemm_mini_l1", |b| {
         b.iter(|| {
             let mut arrays = k.fresh_arrays(&scop, &params);

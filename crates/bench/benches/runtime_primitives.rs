@@ -3,7 +3,8 @@
 //! (the mechanism behind Fig. 6), plus the doall scheduler and the
 //! array-reduction combiner.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polymix_bench::microbench::{BenchmarkId, Criterion};
+use polymix_bench::{criterion_group, criterion_main};
 use polymix_runtime::{par_for, pipeline_2d, reduce_array, wavefront_2d, GridSweep};
 use std::hint::black_box;
 

@@ -33,11 +33,21 @@ fn main() {
                 },
             );
             let label = format!("unroll_{name}_{o}x{i}");
+            // Per-configuration failures become error cells; the sweep
+            // continues with the remaining configurations.
+            let prog = match prog {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{label}: {e}");
+                    cells.push(e.cell());
+                    continue;
+                }
+            };
             match runner.run(&k, &prog, &params, &label) {
                 Ok(r) => cells.push(gf(r.gflops)),
                 Err(e) => {
                     eprintln!("{label}: {e}");
-                    cells.push("-".into());
+                    cells.push(e.cell());
                 }
             }
         }

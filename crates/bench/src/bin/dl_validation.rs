@@ -24,7 +24,7 @@ fn matmul_update() -> Scop {
     b.exit();
     b.exit();
     b.exit();
-    b.finish()
+    b.finish().expect("well-formed SCoP")
 }
 
 fn perm_name(p: &[usize]) -> String {
@@ -67,7 +67,13 @@ fn main() {
         // strip — one cache-resident sweep of the innermost loop — which
         // is exactly what the ∂mem_cost/∂t ranking optimizes.
         let cost = mem_cost(&refs, &[1.0, 1.0, 48.0], level);
-        let prog = generate(&scop, &[sched]);
+        let prog = match generate(&scop, &[sched]) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{}: {e}", perm_name(&perm));
+                continue;
+            }
+        };
         let mut arrays = polymix_ast::interp::alloc_arrays(&scop, &params);
         let stats = simulate(&prog, &params, &mut arrays, cfg);
         t.row(vec![

@@ -24,7 +24,7 @@ fn copy_scop() -> Scop {
     b.stmt("S", a, &[ix("i"), ix("j")], body);
     b.exit();
     b.exit();
-    b.finish()
+    b.finish().expect("well-formed SCoP")
 }
 
 fn reduction_scop() -> Scop {
@@ -37,7 +37,7 @@ fn reduction_scop() -> Scop {
     b.stmt_update("S", s, &[ix("j")], BinOp::Add, body);
     b.exit();
     b.exit();
-    b.finish()
+    b.finish().expect("well-formed SCoP")
 }
 
 fn stencil_scop() -> Scop {
@@ -59,7 +59,7 @@ fn stencil_scop() -> Scop {
     b.stmt("S", c, &[ix("i"), ix("j")], body);
     b.exit();
     b.exit();
-    b.finish()
+    b.finish().expect("well-formed SCoP")
 }
 
 fn as_kernel(name: &'static str, build: fn() -> Scop, flops: fn(&[i64]) -> u64) -> Kernel {
@@ -110,24 +110,27 @@ fn main() {
                 },
             )
         };
-        let ours = mk(false);
-        let doall = mk(true);
-        println!("-- {} — poly+AST chooses:\n{}", k.name, render(&ours));
-        println!("-- {} — doall-only chooses:\n{}", k.name, render(&doall));
-        let g1 = runner
-            .run(k, &ours, &params, &format!("{}_ours", k.name))
-            .map(|r| gf(r.gflops))
-            .unwrap_or_else(|e| {
-                eprintln!("{e}");
-                "-".into()
-            });
-        let g2 = runner
-            .run(k, &doall, &params, &format!("{}_doall", k.name))
-            .map(|r| gf(r.gflops))
-            .unwrap_or_else(|e| {
-                eprintln!("{e}");
-                "-".into()
-            });
+        // A failed configuration yields an error cell; the other column
+        // and the remaining patterns still run.
+        let measure = |prog: Result<polymix_ast::tree::Program, polymix_core::PolymixError>,
+                       suffix: &str| match prog {
+            Ok(p) => {
+                println!("-- {} — {suffix} chooses:\n{}", k.name, render(&p));
+                runner
+                    .run(k, &p, &params, &format!("{}_{suffix}", k.name))
+                    .map(|r| gf(r.gflops))
+                    .unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        e.cell()
+                    })
+            }
+            Err(e) => {
+                eprintln!("{}: {suffix} failed: {e}", k.name);
+                e.cell()
+            }
+        };
+        let g1 = measure(mk(false), "ours");
+        let g2 = measure(mk(true), "doall");
         t.row(vec![k.name.to_string(), g1, g2]);
     }
     println!("{}", t.render());

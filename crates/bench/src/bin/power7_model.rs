@@ -61,7 +61,15 @@ fn main() {
         let flops = (k.flops)(&params) as f64;
         let mut cells = vec![k.name.to_string()];
         for &v in &variants {
-            let prog = build_variant(&k, v, &machine);
+            // Failed variants get an error cell; the sweep continues.
+            let prog = match build_variant(&k, v, &machine) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{}: {v:?} failed: {e}", k.name);
+                    cells.push(e.cell());
+                    continue;
+                }
+            };
             let mut arrays = k.fresh_arrays(&scop, &params);
             let h = simulate_hierarchy(&prog, &params, &mut arrays, &configs);
             let misses = h.weighted_cost(&costs);

@@ -22,22 +22,24 @@ fn main() {
 
     // --- loop structures (Figs. 1–3), untiled for readability ---
     println!("== Fig. 1 — original 2mm ==");
-    println!(
-        "{}",
-        render(&polymix_codegen::from_poly::original_program(&scop))
-    );
+    match polymix_codegen::from_poly::original_program(&scop) {
+        Ok(p) => println!("{}", render(&p)),
+        Err(e) => eprintln!("original program: {e}"),
+    }
     println!("== Fig. 2 — maximal polyhedral fusion (baseline) ==");
-    let maxfuse_untiled = optimize_pluto(
+    match optimize_pluto(
         &scop,
         &PlutoOptions {
             variant: PlutoVariant::MaxFuse,
             tiling: false,
             ..Default::default()
         },
-    );
-    println!("{}", render(&maxfuse_untiled));
+    ) {
+        Ok(p) => println!("{}", render(&p)),
+        Err(e) => eprintln!("maxfuse baseline: {e}"),
+    }
     println!("== Fig. 3 — poly+AST flow ==");
-    let ours_untiled = optimize_poly_ast(
+    match optimize_poly_ast(
         &scop,
         &PolyAstOptions {
             machine: machine.clone(),
@@ -45,8 +47,10 @@ fn main() {
             unroll: (1, 1),
             ..Default::default()
         },
-    );
-    println!("{}", render(&ours_untiled));
+    ) {
+        Ok(p) => println!("{}", render(&p)),
+        Err(e) => eprintln!("poly+ast flow: {e}"),
+    }
 
     // --- Table I: measured GFLOP/s ---
     println!(
@@ -60,12 +64,21 @@ fn main() {
         ("pocc (smartfuse)", Variant::Pocc),
         ("our flow", Variant::PolyAst),
     ] {
-        let prog = build_variant(&k, variant, &machine);
+        // Per-variant failures become `error(<stage>)` rows; the table
+        // still renders with every other variant measured.
+        let prog = match build_variant(&k, variant, &machine) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{label}: {e}");
+                t.row(vec![label.into(), e.cell()]);
+                continue;
+            }
+        };
         match runner.run(&k, &prog, &params, &format!("table1_{}", variant.name())) {
             Ok(r) => t.row(vec![label.into(), gf(r.gflops)]),
             Err(e) => {
                 eprintln!("{label}: {e}");
-                t.row(vec![label.into(), "-".into()]);
+                t.row(vec![label.into(), e.cell()]);
             }
         }
     }

@@ -31,7 +31,16 @@ pub fn run_group_figure(title: &str, group: Group) {
         let mut checks: Vec<(Variant, f64)> = Vec::new();
         let mut results: Vec<(Variant, f64)> = Vec::new();
         for &v in &variants {
-            let prog = build_variant(k, v, &machine);
+            // A failed kernel/variant records an `error(<stage>)` cell
+            // and the sweep moves on (see EXPERIMENTS.md).
+            let prog = match build_variant(k, v, &machine) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{}: {v:?} failed: {e}", k.name);
+                    cells.push(e.cell());
+                    continue;
+                }
+            };
             let label = format!("{}_{}", k.name.replace('-', "_"), v.name().replace(['+', '(', ')'], "_"));
             match runner.run(k, &prog, &params, &label) {
                 Ok(r) => {
@@ -41,7 +50,7 @@ pub fn run_group_figure(title: &str, group: Group) {
                 }
                 Err(e) => {
                     eprintln!("{}: {v:?} failed: {e}", k.name);
-                    cells.push("-".into());
+                    cells.push(e.cell());
                 }
             }
         }

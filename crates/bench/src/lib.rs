@@ -20,6 +20,7 @@
 //! ```
 
 pub mod figures;
+pub mod microbench;
 pub mod report;
 pub mod runner;
 pub mod variants;

@@ -1,0 +1,128 @@
+//! Minimal offline bench harness with a criterion-shaped API.
+//!
+//! The container cannot fetch the `criterion` crate, so the benches under
+//! `benches/` run on this drop-in subset instead: same `Criterion` /
+//! `benchmark_group` / `bench_with_input` / `BenchmarkId` surface, but
+//! measurement is a fixed warmup plus a timed batch with median-of-runs
+//! reporting, printed as plain text.
+
+use std::time::{Duration, Instant};
+
+/// How long each measurement aims to run. Kept short: these benches are
+/// smoke-level trend detectors, not statistically rigorous.
+const TARGET: Duration = Duration::from_millis(200);
+const RUNS: usize = 5;
+
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.to_string() }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(id);
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+#[derive(Default)]
+pub struct Bencher {
+    /// Median per-iteration time of the measured runs, if `iter` ran.
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warmup + calibration: find an iteration count that fills TARGET.
+        let t0 = Instant::now();
+        let mut calib = 0u64;
+        while t0.elapsed() < TARGET / 4 {
+            std::hint::black_box(body());
+            calib += 1;
+        }
+        let per = (TARGET.as_nanos() as u64 / RUNS as u64)
+            .checked_div((t0.elapsed().as_nanos() as u64 / calib.max(1)).max(1))
+            .unwrap_or(1)
+            .max(1);
+        let mut samples = Vec::with_capacity(RUNS);
+        for _ in 0..RUNS {
+            let t = Instant::now();
+            for _ in 0..per {
+                std::hint::black_box(body());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / per as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = Some(samples[RUNS / 2]);
+    }
+
+    fn report(&self, id: &str) {
+        match self.ns_per_iter {
+            Some(ns) if ns >= 1e6 => println!("{id:<48} {:>12.3} ms/iter", ns / 1e6),
+            Some(ns) if ns >= 1e3 => println!("{id:<48} {:>12.3} us/iter", ns / 1e3),
+            Some(ns) => println!("{id:<48} {:>12.1} ns/iter", ns),
+            None => println!("{id:<48} (no measurement)"),
+        }
+    }
+}
+
+/// Criterion-compatible: names a benchmark suite made of the listed
+/// functions, each taking `&mut Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($func:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::microbench::Criterion::default();
+            $( $func(&mut c); )+
+        }
+    };
+}
+
+/// Criterion-compatible entry point for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

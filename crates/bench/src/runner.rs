@@ -2,11 +2,37 @@
 
 use polymix_ast::tree::Program;
 use polymix_codegen::emit::{emit_rust, EmitOptions};
+use polymix_ir::error::PolymixError;
 use polymix_polybench::Kernel;
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
 use std::process::Command;
+
+/// 64-bit FNV-1a. The binary cache key must be stable across rustc
+/// releases and sensitive to the compile flags, which rules out
+/// `DefaultHasher` (its algorithm is explicitly unspecified and has
+/// changed between releases, silently invalidating or — worse —
+/// aliasing cached binaries).
+fn fnv1a64(data: &[u8], mut hash: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Stable cache key over the emitted source and the rustc flags.
+fn cache_key(src: &str, rustc_flags: &[String]) -> u64 {
+    let mut h = fnv1a64(src.as_bytes(), FNV_OFFSET);
+    for f in rustc_flags {
+        // Separator byte keeps ["-C","x"] distinct from ["-Cx"].
+        h = fnv1a64(f.as_bytes(), h);
+        h = fnv1a64(&[0xff], h);
+    }
+    h
+}
 
 /// Parsed output of one standalone-program run.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,14 +73,16 @@ impl Runner {
         }
     }
 
-    /// Emits, compiles and runs `prog` for `kernel` at `params`.
+    /// Emits, compiles and runs `prog` for `kernel` at `params`. A
+    /// failure is a [`PolymixError::Runner`] carrying the kernel and
+    /// variant label, so sweep drivers can record it and continue.
     pub fn run(
         &self,
         kernel: &Kernel,
         prog: &Program,
         params: &[i64],
         label: &str,
-    ) -> Result<RunResult, String> {
+    ) -> Result<RunResult, PolymixError> {
         let opts = EmitOptions {
             params: params.to_vec(),
             flops: (kernel.flops)(params),
@@ -64,6 +92,7 @@ impl Runner {
         };
         let src = emit_rust(prog, &opts);
         compile_and_run(&src, &self.work_dir, &self.rustc_flags, label)
+            .map_err(|detail| PolymixError::runner(kernel.name, label, detail))
     }
 }
 
@@ -76,14 +105,11 @@ pub fn compile_and_run(
     label: &str,
 ) -> Result<RunResult, String> {
     std::fs::create_dir_all(work_dir).map_err(|e| e.to_string())?;
-    let mut h = DefaultHasher::new();
-    src.hash(&mut h);
-    rustc_flags.hash(&mut h);
     let clean: String = label
         .chars()
         .map(|c| if c.is_alphanumeric() { c } else { '_' })
         .collect();
-    let id = format!("{clean}_{:016x}", h.finish());
+    let id = format!("{clean}_{:016x}", cache_key(src, rustc_flags));
     let src_path = work_dir.join(format!("{id}.rs"));
     let bin_path = work_dir.join(&id);
     if !bin_path.exists() {
@@ -151,6 +177,25 @@ mod tests {
         assert!(parse_output("garbage").is_none());
     }
 
+    #[test]
+    fn cache_key_is_stable_and_flag_sensitive() {
+        // Pinned value: must never change across rustc or std releases,
+        // or stale binaries would be reused / rebuilt spuriously.
+        assert_eq!(cache_key("fn main() {}", &[]), 0xaa24_4faa_9019_a10f);
+        let flags_o = vec!["-O".to_string()];
+        let flags_none: Vec<String> = vec![];
+        assert_ne!(
+            cache_key("fn main() {}", &flags_o),
+            cache_key("fn main() {}", &flags_none),
+            "flags must feed the key"
+        );
+        assert_ne!(
+            cache_key("fn main() {}", &["-C".into(), "x".into()]),
+            cache_key("fn main() {}", &["-Cx".into()]),
+            "flag boundaries must feed the key"
+        );
+    }
+
     /// End-to-end smoke test: gemm through native and poly+ast must
     /// compile, run, and agree on the checksum.
     #[test]
@@ -164,8 +209,8 @@ mod tests {
             reps: 1,
             rustc_flags: vec!["-O".into()],
         };
-        let native = build_variant(&k, Variant::Native, &m);
-        let opt = build_variant(&k, Variant::PolyAst, &m);
+        let native = build_variant(&k, Variant::Native, &m).expect("native variant");
+        let opt = build_variant(&k, Variant::PolyAst, &m).expect("poly+ast variant");
         let r1 = runner.run(&k, &native, &params, "gemm_native").unwrap();
         let r2 = runner.run(&k, &opt, &params, "gemm_polyast").unwrap();
         let rel = (r1.checksum - r2.checksum).abs() / r1.checksum.abs().max(1.0);

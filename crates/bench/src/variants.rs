@@ -2,6 +2,7 @@
 
 use polymix_ast::tree::Program;
 use polymix_codegen::from_poly::original_program;
+use polymix_core::error::PolymixError;
 use polymix_core::{optimize_poly_ast, PolyAstOptions};
 use polymix_dl::Machine;
 use polymix_pluto::{optimize_pluto, PlutoOptions, PlutoVariant};
@@ -66,7 +67,15 @@ pub fn variant_list() -> Vec<Variant> {
 /// of the pipeline group; register tiling (2, 2) is applied by the `vect`
 /// and `poly+ast` configurations (the harness sweeps more factors in the
 /// `ablation_unroll` experiment).
-pub fn build_variant(kernel: &Kernel, variant: Variant, machine: &Machine) -> Program {
+///
+/// Both optimizers degrade gracefully inside (fusion fallback chain,
+/// best-effort AST stages); an `Err` means the kernel could not be
+/// compiled at all and the sweep should record it and continue.
+pub fn build_variant(
+    kernel: &Kernel,
+    variant: Variant,
+    machine: &Machine,
+) -> Result<Program, PolymixError> {
     let scop = (kernel.build)();
     let time_tile = if kernel.group == Group::Pipeline { 5 } else { 32 };
     match variant {
@@ -142,7 +151,7 @@ mod tests {
             Variant::PolyAstDoallOnly,
             Variant::PlutoMaxFuse,
         ] {
-            let prog = build_variant(&k, v, &m);
+            let prog = build_variant(&k, v, &m).expect("variant builds");
             let mut actual = k.fresh_arrays(&scop, &params);
             execute(&prog, &params, &mut actual);
             assert_eq!(actual[0], expected[0], "variant {v:?}");

@@ -117,8 +117,8 @@ mod tests {
         b.stmt("S", a, &[r, c], body);
         b.exit();
         b.exit();
-        let scop = b.finish();
-        (original_program(&scop), vec![64])
+        let scop = b.finish().expect("well-formed SCoP");
+        (original_program(&scop).expect("original program"), vec![64])
     }
 
     #[test]
@@ -176,7 +176,7 @@ mod tests {
         let mut b = ScopBuilder::new("two", &["N"], &[10]);
         let _x = b.array("X", &["N"]);
         let _y = b.array("Y", &["N", "N"]);
-        let scop = b.finish();
+        let scop = b.finish().expect("well-formed SCoP");
         let l = Layout::new(&scop, &[10]);
         assert_eq!(l.addr(0, 0) % 4096, 0);
         assert_eq!(l.addr(1, 0) % 4096, 0);

@@ -194,6 +194,17 @@ impl Emitter<'_> {
         self.line("");
         self.line("#[inline(always)] fn cdiv(a: i64, b: i64) -> i64 { -((-a).div_euclid(b)) }");
         self.line("#[inline(always)] fn fdiv(a: i64, b: i64) -> i64 { a.div_euclid(b) }");
+        // Pipeline wait: bounded spin then yield, so oversubscribed
+        // waiters cannot starve the producing thread (same policy as
+        // polymix-runtime's pipeline_2d).
+        self.line("#[allow(dead_code)]");
+        self.line("#[inline] fn await_progress(cell: &AtomicI64, target: i64) {");
+        self.line("    let mut spins = 0u32;");
+        self.line("    while cell.load(Ordering::Acquire) < target {");
+        self.line("        if spins < 1024 { spins += 1; std::hint::spin_loop(); }");
+        self.line("        else { std::thread::yield_now(); }");
+        self.line("    }");
+        self.line("}");
         self.line("#[derive(Clone, Copy)] struct P(*mut f64);");
         self.line("unsafe impl Send for P {}");
         self.line("unsafe impl Sync for P {}");
@@ -566,13 +577,11 @@ impl Emitter<'_> {
             self.indent += 1;
             self.line("let tt = t as i64;");
         } else {
-            let zip_expr = if local_iters.len() == 1 {
-                local_iters[0].clone()
-            } else {
-                let mut it = local_iters.clone().into_iter();
-                let first = it.next().unwrap();
-                it.fold(first, |acc, x| format!("{acc}.zip({x})"))
-            };
+            let zip_expr = local_iters
+                .clone()
+                .into_iter()
+                .reduce(|acc, x| format!("{acc}.zip({x})"))
+                .unwrap_or_default();
             self.line("let mut t = 0usize;");
             self.line(&format!("for locs in {zip_expr} {{"));
             self.indent += 1;
@@ -646,8 +655,8 @@ impl Emitter<'_> {
     /// inner dimension is split into column blocks across threads; each
     /// thread sweeps the outer dimension, awaiting its left neighbor.
     fn pipeline(&mut self, l: &Loop) {
-        match &l.body {
-            Node::Loop(_) => {}
+        let inner = match &l.body {
+            Node::Loop(inner) => inner,
             Node::Seq(xs)
                 if !xs.is_empty()
                     && xs.iter().all(|x| matches!(x, Node::Loop(_))) =>
@@ -662,9 +671,6 @@ impl Emitter<'_> {
                 self.seq_loop(&seq);
                 return;
             }
-        }
-        let Node::Loop(inner) = &l.body else {
-            unreachable!()
         };
         let region = self.region;
         self.region += 1;
@@ -737,10 +743,10 @@ impl Emitter<'_> {
         self.line("// await source(outer-1, block+1): right neighbor finished the previous");
         self.line("// step (covers leftward ownership migration of skewed tile grids).");
         self.line(&format!(
-            "if t > 0 {{ while progress[t - 1].load(Ordering::Acquire) < {vo} {{ std::hint::spin_loop(); }} }}"
+            "if t > 0 {{ await_progress(&progress[t - 1], {vo}); }}"
         ));
         self.line(&format!(
-            "if t + 1 < nthr {{ while progress[t + 1].load(Ordering::Acquire) < {vo} - {} {{ std::hint::spin_loop(); }} }}",
+            "if t + 1 < nthr {{ await_progress(&progress[t + 1], {vo} - {}); }}",
             l.step
         ));
         // Start on the loop's own stride grid (blocks cut by value; the
@@ -885,11 +891,13 @@ impl Emitter<'_> {
         let vo = self.var_name(l.var);
         let o_lo = self.bound(&l.lo, true);
         let o_hi = self.bound(&l.hi, false);
+        // The caller only passes all-loop sibling lists; anything else is
+        // silently skipped (it cannot be pipelined anyway).
         let subs: Vec<&Loop> = siblings
             .iter()
-            .map(|x| match x {
-                Node::Loop(il) => il.as_ref(),
-                _ => unreachable!(),
+            .filter_map(|x| match x {
+                Node::Loop(il) => Some(il.as_ref()),
+                _ => None,
             })
             .collect();
         self.line(&format!("// pipeline region {region} (fused siblings)"));
@@ -970,12 +978,8 @@ impl Emitter<'_> {
         ));
         for (sib, il) in subs.iter().enumerate() {
             self.line(&format!("let ph: i64 = step_idx * nsib + {sib};"));
-            self.line(
-                "if t > 0 { while progress[t - 1].load(Ordering::Acquire) < ph { std::hint::spin_loop(); } }"
-            );
-            self.line(
-                "if t + 1 < nthr { while progress[t + 1].load(Ordering::Acquire) < ph - 1 { std::hint::spin_loop(); } }"
-            );
+            self.line("if t > 0 { await_progress(&progress[t - 1], ph); }");
+            self.line("if t + 1 < nthr { await_progress(&progress[t + 1], ph - 1); }");
             let vi = self.var_name(il.var);
             self.line("{");
             self.indent += 1;
@@ -1137,7 +1141,7 @@ mod tests {
         let rhs = IExpr::mul(IExpr::Const(2.5), b.rd(x, &[ix("i")]));
         b.stmt_update("S", y, &[ix("i")], BinOp::Add, rhs);
         b.exit();
-        original_program(&b.finish())
+        original_program(&b.finish().expect("well-formed SCoP")).expect("original program")
     }
 
     #[test]
@@ -1209,7 +1213,7 @@ mod tests {
         let rhs = b.rd(x, &[ix("i")]);
         b.stmt_update("S", acc, &[], BinOp::Add, rhs);
         b.exit();
-        let mut prog = crate::from_poly::original_program(&b.finish());
+        let mut prog = crate::from_poly::original_program(&b.finish().expect("well-formed SCoP")).expect("original program");
         prog.body.visit_loops_mut(&mut |l| l.par = Par::Reduction);
         let src = emit_rust(
             &prog,

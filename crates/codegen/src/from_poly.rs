@@ -12,46 +12,72 @@
 //! DESIGN.md.
 
 use polymix_ast::tree::{Bound, BoundExpr, LinExpr, Loop, Node, Par, Program, StmtNode};
+use polymix_ir::error::PolymixError;
 use polymix_ir::{Schedule, Scop};
 use polymix_math::{Constraint, Polyhedron};
 
 /// Generates the loop AST implementing `schedules` (one per statement, in
-/// statement order) for `scop`.
-pub fn generate(scop: &Scop, schedules: &[Schedule]) -> Program {
-    assert_eq!(schedules.len(), scop.statements.len());
+/// statement order) for `scop`. Schedules outside the generator's
+/// documented contract (arity mismatches, β collisions between leaves and
+/// deeper statements, fusions with no expressible union bound) are
+/// reported as [`PolymixError::Codegen`], never panics — callers degrade
+/// to a weaker schedule.
+pub fn generate(scop: &Scop, schedules: &[Schedule]) -> Result<Program, PolymixError> {
+    if schedules.len() != scop.statements.len() {
+        return Err(PolymixError::codegen(
+            &scop.name,
+            format!(
+                "{} schedules for {} statements",
+                schedules.len(),
+                scop.statements.len()
+            ),
+        ));
+    }
     let p = scop.n_params();
-    let items: Vec<GenItem> = scop
-        .statements
-        .iter()
-        .zip(schedules)
-        .enumerate()
-        .map(|(idx, (stmt, sched))| {
-            sched.validate();
-            assert_eq!(sched.dim(), stmt.dim, "schedule arity for {}", stmt.name);
-            GenItem {
-                stmt_idx: idx,
-                dim: stmt.dim,
-                sched: sched.clone(),
-                tdom: sched.transformed_domain(&stmt.domain, p),
-                guards: Vec::new(),
-            }
-        })
-        .collect();
+    let mut items: Vec<GenItem> = Vec::with_capacity(schedules.len());
+    for (idx, (stmt, sched)) in scop.statements.iter().zip(schedules).enumerate() {
+        if let Err(e) = sched.check() {
+            return Err(PolymixError::codegen(
+                &scop.name,
+                format!("invalid schedule for {}: {e}", stmt.name),
+            ));
+        }
+        if sched.dim() != stmt.dim {
+            return Err(PolymixError::codegen(
+                &scop.name,
+                format!(
+                    "schedule arity {} for statement {} of depth {}",
+                    sched.dim(),
+                    stmt.name,
+                    stmt.dim
+                ),
+            ));
+        }
+        items.push(GenItem {
+            stmt_idx: idx,
+            dim: stmt.dim,
+            sched: sched.clone(),
+            tdom: sched.transformed_domain(&stmt.domain, p),
+            guards: Vec::new(),
+        });
+    }
     let mut gen = Gen {
         scop,
         n_params: p,
         next_var: 0,
     };
-    let nodes = gen.build(items, 0, &[]);
-    Program {
+    let nodes = gen.build(items, 0, &[])?;
+    Ok(Program {
         scop: scop.clone(),
         body: seq_or_single(nodes),
         n_vars: gen.next_var,
-    }
+    })
 }
 
-/// The identity program: the SCoP under its original schedules.
-pub fn original_program(scop: &Scop) -> Program {
+/// The identity program: the SCoP under its original schedules. This is
+/// the last rung of every fallback chain — original textual order is
+/// always legal, so an error here means the SCoP itself is malformed.
+pub fn original_program(scop: &Scop) -> Result<Program, PolymixError> {
     let schedules: Vec<Schedule> = scop.statements.iter().map(|s| s.schedule.clone()).collect();
     generate(scop, &schedules)
 }
@@ -67,7 +93,6 @@ struct GenItem {
 }
 
 struct Gen<'a> {
-    #[allow(dead_code)]
     scop: &'a Scop,
     n_params: usize,
     next_var: usize,
@@ -75,7 +100,10 @@ struct Gen<'a> {
 
 fn seq_or_single(mut nodes: Vec<Node>) -> Node {
     if nodes.len() == 1 {
-        nodes.pop().unwrap()
+        match nodes.pop() {
+            Some(n) => n,
+            None => Node::Seq(nodes),
+        }
     } else {
         Node::Seq(nodes)
     }
@@ -84,7 +112,12 @@ fn seq_or_single(mut nodes: Vec<Node>) -> Node {
 impl Gen<'_> {
     /// Builds the node list for `items` at loop level `k`, with
     /// `outer_vars[j]` the AST variable of loop level `j < k`.
-    fn build(&mut self, items: Vec<GenItem>, k: usize, outer_vars: &[usize]) -> Vec<Node> {
+    fn build(
+        &mut self,
+        items: Vec<GenItem>,
+        k: usize,
+        outer_vars: &[usize],
+    ) -> Result<Vec<Node>, PolymixError> {
         // Group by β_k, keeping ascending β order.
         let mut groups: Vec<(i64, Vec<GenItem>)> = Vec::new();
         for it in items {
@@ -107,24 +140,33 @@ impl Gen<'_> {
             // statement order. A leaf sharing a slot with a *deeper*
             // statement would have ambiguous interleaving — rejected.
             if group.iter().any(|it| it.dim == k) {
-                assert!(
-                    group.iter().all(|it| it.dim == k),
-                    "β collision between a leaf and deeper statements at level {k}"
-                );
+                if !group.iter().all(|it| it.dim == k) {
+                    return Err(PolymixError::codegen(
+                        &self.scop.name,
+                        format!(
+                            "β collision between a leaf and deeper statements at level {k}"
+                        ),
+                    ));
+                }
                 let mut leaves = group;
                 leaves.sort_by_key(|it| it.stmt_idx);
                 for it in leaves {
-                    out.push(self.leaf(it, outer_vars));
+                    out.push(self.leaf(it, outer_vars)?);
                 }
                 continue;
             }
-            out.push(self.loop_at(group, k, outer_vars));
+            out.push(self.loop_at(group, k, outer_vars)?);
         }
-        out
+        Ok(out)
     }
 
     /// Emits the loop at level `k` for a fused group.
-    fn loop_at(&mut self, mut group: Vec<GenItem>, k: usize, outer_vars: &[usize]) -> Node {
+    fn loop_at(
+        &mut self,
+        mut group: Vec<GenItem>,
+        k: usize,
+        outer_vars: &[usize],
+    ) -> Result<Node, PolymixError> {
         let var = self.next_var;
         self.next_var += 1;
         let mut vars: Vec<usize> = outer_vars.to_vec();
@@ -138,13 +180,15 @@ impl Gen<'_> {
             // max/min term in the generated loop header.
             let proj = it.tdom.project_keep(k + 1, it.dim).simplify();
             let b = proj.bounds(k, it.dim);
-            let conv = |e: &polymix_math::AffineExpr| BoundExpr {
-                expr: self.row_to_linexpr(&e.row, &vars, it.dim),
-                denom: e.denom,
+            let conv = |e: &polymix_math::AffineExpr| -> Result<BoundExpr, PolymixError> {
+                Ok(BoundExpr {
+                    expr: self.row_to_linexpr(&e.row, &vars, it.dim)?,
+                    denom: e.denom,
+                })
             };
             per_stmt.push(StmtBounds {
-                lower: b.lower.iter().map(conv).collect(),
-                upper: b.upper.iter().map(conv).collect(),
+                lower: b.lower.iter().map(conv).collect::<Result<_, _>>()?,
+                upper: b.upper.iter().map(conv).collect::<Result<_, _>>()?,
             });
         }
 
@@ -162,7 +206,7 @@ impl Gen<'_> {
                 },
             )
         } else {
-            let (lo, hi) = self.union_bounds(&group, k, &per_stmt, &vars);
+            let (lo, hi) = self.union_bounds(&group, k, &per_stmt, &vars)?;
             // Residual guards: each statement keeps the bounds the union
             // loop does not already enforce. A bound expression that is
             // *itself* part of the chosen union bound is redundant — the
@@ -195,8 +239,8 @@ impl Gen<'_> {
             (lo, hi)
         };
 
-        let body_nodes = self.build(group, k + 1, &vars);
-        Node::loop_(Loop {
+        let body_nodes = self.build(group, k + 1, &vars)?;
+        Ok(Node::loop_(Loop {
             var,
             name: format!("c{}", k + 1),
             lo,
@@ -204,7 +248,7 @@ impl Gen<'_> {
             step: 1,
             par: Par::Seq,
             body: seq_or_single(body_nodes),
-        })
+        }))
     }
 
     /// Finds valid union bounds from the per-statement candidates: a
@@ -214,14 +258,14 @@ impl Gen<'_> {
     /// a sound bound is synthesized from the other side:
     /// `Σ_s l_s − (n−1)·u` is ≤ every `l_s` whenever `u ≥ every l_s`
     /// (and dually for uppers), so any valid opposite-side bound closes
-    /// the gap. Panics only when *neither* side has a direct candidate.
+    /// the gap. Errors only when *neither* side has a direct candidate.
     fn union_bounds(
         &self,
         group: &[GenItem],
         k: usize,
         per_stmt: &[StmtBounds],
         vars: &[usize],
-    ) -> (Bound, Bound) {
+    ) -> Result<(Bound, Bound), PolymixError> {
         let collect = |lower: bool| -> Vec<BoundExpr> {
             let mut valid: Vec<BoundExpr> = Vec::new();
             let mut candidates: Vec<(usize, BoundExpr)> = Vec::new();
@@ -249,47 +293,64 @@ impl Gen<'_> {
         let mut lows = collect(true);
         let mut ups = collect(false);
         let n = group.len() as i64;
-        let synth = |own_first: &dyn Fn(&StmtBounds) -> &BoundExpr,
+        let fail = |detail: String| PolymixError::codegen(&self.scop.name, detail);
+        let synth = |own_first: &dyn Fn(&StmtBounds) -> Option<&BoundExpr>,
                      other: &BoundExpr|
-         -> BoundExpr {
+         -> Result<BoundExpr, PolymixError> {
             let mut e = LinExpr::con(0);
             for b in per_stmt {
-                let be = own_first(b);
-                assert_eq!(be.denom, 1, "divided bound in union fallback");
+                let be = own_first(b)
+                    .ok_or_else(|| fail(format!("statement without bound at level {k}")))?;
+                if be.denom != 1 {
+                    return Err(fail(format!("divided bound in union fallback at level {k}")));
+                }
                 e = e.add(&be.expr);
             }
-            assert_eq!(other.denom, 1, "divided bound in union fallback");
+            if other.denom != 1 {
+                return Err(fail(format!("divided bound in union fallback at level {k}")));
+            }
             e = e.add_scaled(&other.expr, -(n - 1));
-            BoundExpr { expr: e, denom: 1 }
+            Ok(BoundExpr { expr: e, denom: 1 })
         };
         if lows.is_empty() {
             let u = ups
                 .first()
-                .expect("union bounds: no candidate on either side")
+                .ok_or_else(|| {
+                    fail(format!("union bounds: no candidate on either side at level {k}"))
+                })?
                 .clone();
-            let cand = synth(
-                &|b: &StmtBounds| b.lower.first().expect("statement without lower bound"),
-                &u,
-            );
+            let cand = synth(&|b: &StmtBounds| b.lower.first(), &u)?;
             let ok = group
                 .iter()
                 .all(|it| self.expr_bounds_stmt(it, k, &cand, true, vars));
-            assert!(ok, "synthesized union lower bound invalid at level {k}");
+            if !ok {
+                return Err(fail(format!(
+                    "synthesized union lower bound invalid at level {k}"
+                )));
+            }
             lows.push(cand);
         }
         if ups.is_empty() {
-            let l = lows.first().expect("checked above").clone();
-            let cand = synth(
-                &|b: &StmtBounds| b.upper.first().expect("statement without upper bound"),
-                &l,
-            );
+            let l = match lows.first() {
+                Some(l) => l.clone(),
+                None => {
+                    return Err(fail(format!(
+                        "union bounds: no candidate on either side at level {k}"
+                    )))
+                }
+            };
+            let cand = synth(&|b: &StmtBounds| b.upper.first(), &l)?;
             let ok = group
                 .iter()
                 .all(|it| self.expr_bounds_stmt(it, k, &cand, false, vars));
-            assert!(ok, "synthesized union upper bound invalid at level {k}");
+            if !ok {
+                return Err(fail(format!(
+                    "synthesized union upper bound invalid at level {k}"
+                )));
+            }
             ups.push(cand);
         }
-        (Bound { exprs: lows }, Bound { exprs: ups })
+        Ok((Bound { exprs: lows }, Bound { exprs: ups }))
     }
 
     /// back to domain-space rows through the level↔var mapping.
@@ -340,13 +401,14 @@ impl Gen<'_> {
 
     /// Emits the leaf for one statement: the `Stmt` node with its inverse-
     /// schedule iterator expressions, wrapped in residual guards if any.
-    fn leaf(&mut self, it: GenItem, outer_vars: &[usize]) -> Node {
+    fn leaf(&mut self, it: GenItem, outer_vars: &[usize]) -> Result<Node, PolymixError> {
         let d = it.dim;
-        assert!(
-            outer_vars.len() >= d,
-            "statement {} deeper than its loop path",
-            it.stmt_idx
-        );
+        if outer_vars.len() < d {
+            return Err(PolymixError::codegen(
+                &self.scop.name,
+                format!("statement {} deeper than its loop path", it.stmt_idx),
+            ));
+        }
         // x = α⁻¹ (y - γ).
         let iter_exprs: Vec<LinExpr> = if d == 0 {
             Vec::new()
@@ -377,23 +439,30 @@ impl Gen<'_> {
             stmt_idx: it.stmt_idx,
             iter_exprs,
         });
-        if it.guards.is_empty() {
+        Ok(if it.guards.is_empty() {
             stmt
         } else {
             Node::Guard(it.guards, Box::new(stmt))
-        }
+        })
     }
 
     /// Converts a projected-bound row over `[y_0..y_{d-1} | params | 1]`
     /// into a `LinExpr` over the outer AST variables.
-    fn row_to_linexpr(&self, row: &[i64], vars: &[usize], d: usize) -> LinExpr {
+    fn row_to_linexpr(
+        &self,
+        row: &[i64],
+        vars: &[usize],
+        d: usize,
+    ) -> Result<LinExpr, PolymixError> {
         let mut e = LinExpr::con(row[d + self.n_params]);
         for (level, &c) in row[..d].iter().enumerate() {
             if c != 0 {
-                assert!(
-                    level < vars.len(),
-                    "bound references not-yet-generated level {level}"
-                );
+                if level >= vars.len() {
+                    return Err(PolymixError::codegen(
+                        &self.scop.name,
+                        format!("bound references not-yet-generated level {level}"),
+                    ));
+                }
                 e = e.add_scaled(&LinExpr::var(vars[level]), c);
             }
         }
@@ -402,7 +471,7 @@ impl Gen<'_> {
                 e = e.add_scaled(&LinExpr::param(pk), c);
             }
         }
-        e
+        Ok(e)
     }
 }
 
@@ -434,11 +503,11 @@ mod tests {
         b.exit();
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
 
     fn run(scop: &Scop, schedules: &[Schedule], n: i64) -> Vec<Vec<f64>> {
-        let prog = generate(scop, schedules);
+        let prog = generate(scop, schedules).expect("generate");
         let mut arrays = alloc_arrays(scop, &[n]);
         // Initialize inputs deterministically.
         for (ai, arr) in arrays.iter_mut().enumerate() {
@@ -500,7 +569,7 @@ mod tests {
         let b = run(&scop, &schedules, 4);
         assert_eq!(a[0], b[0]);
         // The rendered tree must have two top-level loops.
-        let prog = generate(&scop, &schedules);
+        let prog = generate(&scop, &schedules).expect("generate");
         let txt = render(&prog);
         assert_eq!(txt.matches("for c1 =").count(), 2, "{txt}");
     }
@@ -519,14 +588,14 @@ mod tests {
         let rd = b.rd(x, &[ix("i")]);
         b.stmt("Q", y, &[ix("i") + con(2)], rd);
         b.exit();
-        let scop = b.finish();
+        let scop = b.finish().expect("well-formed SCoP");
         let mut schedules: Vec<Schedule> =
             scop.statements.iter().map(|s| s.schedule.clone()).collect();
         // Fuse (same β) with Q shifted by +2: Q(i) runs at time i+2.
         schedules[0].beta = vec![0, 0];
         schedules[1].beta = vec![0, 1];
         schedules[1].shift_level(0, &[0], 2);
-        let prog = generate(&scop, &schedules);
+        let prog = generate(&scop, &schedules).expect("generate");
         let txt = render(&prog);
         assert_eq!(txt.matches("for c1 =").count(), 1, "{txt}");
         assert!(txt.contains("if"), "expected guards: {txt}");
@@ -541,7 +610,7 @@ mod tests {
     #[test]
     fn original_program_roundtrip_depth() {
         let scop = matmul_scop();
-        let prog = original_program(&scop);
+        let prog = original_program(&scop).expect("generate");
         let txt = render(&prog);
         // One outer i loop, one j loop, Z leaf, one k loop, U leaf.
         assert_eq!(txt.matches("for").count(), 3, "{txt}");
@@ -556,11 +625,11 @@ mod tests {
         b.enter("i", con(0), par("N"));
         b.stmt("S", x, &[ix("i")], Expr::Iter(0));
         b.exit();
-        let scop = b.finish();
+        let scop = b.finish().expect("well-formed SCoP");
         let mut schedules: Vec<Schedule> =
             scop.statements.iter().map(|s| s.schedule.clone()).collect();
         schedules[0].reverse_level(0);
-        let prog = generate(&scop, &schedules);
+        let prog = generate(&scop, &schedules).expect("generate");
         let mut arrays = alloc_arrays(&scop, &[7]);
         execute(&prog, &[7], &mut arrays);
         assert_eq!(arrays[0], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
@@ -578,11 +647,11 @@ mod tests {
         b.stmt("S", a, &[ix("i"), ix("j")], body);
         b.exit();
         b.exit();
-        let scop = b.finish();
+        let scop = b.finish().expect("well-formed SCoP");
         let mut schedules: Vec<Schedule> =
             scop.statements.iter().map(|s| s.schedule.clone()).collect();
         schedules[0].skew(1, 0, 1);
-        let prog = generate(&scop, &schedules);
+        let prog = generate(&scop, &schedules).expect("generate");
         let mut arrays = alloc_arrays(&scop, &[4]);
         execute(&prog, &[4], &mut arrays);
         assert_eq!(arrays[0], vec![1.0; 16]);

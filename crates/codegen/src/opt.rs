@@ -265,11 +265,14 @@ pub fn register_tile(node: &mut Node, outer_factor: i64, inner_factor: i64) {
             if is_pair && outer_factor > 1 {
                 if let Some(jammed) = transforms::unroll_and_jam(l, outer_factor) {
                     if let Node::Loop(mut new_l) = jammed {
-                        // Optionally unroll the (jammed) inner loop too.
+                        // Optionally unroll the (jammed) inner loop too;
+                        // an error keeps the merely jammed form.
                         if inner_factor > 1 {
                             if let Node::Loop(inner) = &new_l.body {
                                 if inner.step == 1 {
-                                    new_l.body = transforms::unroll(inner, inner_factor);
+                                    if let Ok(u) = transforms::unroll(inner, inner_factor) {
+                                        new_l.body = u;
+                                    }
                                 }
                             }
                         }
@@ -279,9 +282,9 @@ pub fn register_tile(node: &mut Node, outer_factor: i64, inner_factor: i64) {
                 }
             }
             if node_depth(&l.body) == 0 && inner_factor > 1 && l.step == 1 {
-                // Bare innermost loop: plain unroll.
-                let unrolled = transforms::unroll(l, inner_factor);
-                if let Node::Loop(new_l) = unrolled {
+                // Bare innermost loop: plain unroll; on error keep the
+                // rolled loop (the transform is an optimization only).
+                if let Ok(Node::Loop(new_l)) = transforms::unroll(l, inner_factor) {
                     **l = *new_l;
                 }
                 return;
@@ -316,7 +319,7 @@ mod tests {
         b.stmt("S", a, &[ix("i"), ix("j")], body);
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
 
     #[test]
@@ -324,7 +327,7 @@ mod tests {
         let scop = antidiag();
         let podg = build_podg(&scop);
         let schedules: Vec<_> = scop.statements.iter().map(|s| s.schedule.clone()).collect();
-        let mut prog = original_program(&scop);
+        let mut prog = original_program(&scop).expect("original program");
         let infos = nest_infos(&scop, &schedules, &podg, &prog);
         assert_eq!(infos.len(), 1);
         // There must be a negative element before skewing.
@@ -349,7 +352,7 @@ mod tests {
         prog.body = body;
         // Semantics preserved.
         let reference = {
-            let p0 = original_program(&scop);
+            let p0 = original_program(&scop).expect("original program");
             let mut arrays = alloc_arrays(&scop, &[8]);
             for (k, x) in arrays[0].iter_mut().enumerate() {
                 *x = (k % 7) as f64;
@@ -378,10 +381,10 @@ mod tests {
         b.stmt("S", a, &[ix("i"), ix("j")], body);
         b.exit();
         b.exit();
-        let scop = b.finish();
+        let scop = b.finish().expect("well-formed SCoP");
         let podg = build_podg(&scop);
         let schedules: Vec<_> = scop.statements.iter().map(|s| s.schedule.clone()).collect();
-        let prog = original_program(&scop);
+        let prog = original_program(&scop).expect("original program");
         let infos = nest_infos(&scop, &schedules, &podg, &prog);
         let mut body = prog.body.clone();
         let res = mark_parallelism(&mut body, &infos[0].vectors, infos[0].depth, false);
@@ -411,8 +414,8 @@ mod tests {
         b.stmt("S", a, &[ix("i"), ix("j")], body);
         b.exit();
         b.exit();
-        let scop = b.finish();
-        let mut prog = original_program(&scop);
+        let scop = b.finish().expect("well-formed SCoP");
+        let mut prog = original_program(&scop).expect("original program");
         register_tile(&mut prog.body, 2, 4);
         let mut arrays = alloc_arrays(&scop, &[9]);
         execute(&prog, &[9], &mut arrays);
@@ -424,7 +427,7 @@ mod tests {
         let scop = antidiag();
         let podg = build_podg(&scop);
         let schedules: Vec<_> = scop.statements.iter().map(|s| s.schedule.clone()).collect();
-        let prog = original_program(&scop);
+        let prog = original_program(&scop).expect("original program");
         let infos = nest_infos(&scop, &schedules, &podg, &prog);
         assert_eq!(infos.len(), 1);
         assert_eq!(infos[0].stmts, vec![0]);
@@ -510,20 +513,24 @@ fn tile_chains(
             Box::new(tile_chains(prog, *b, vectors, endpoints, level, tile)),
         ),
         Node::Stmt(s) => Node::Stmt(s),
-        Node::Loop(_) => {
+        Node::Loop(l) => {
+            let node = Node::Loop(l);
             let len = transforms::band_depth(&node);
             let legal = len >= 2 && chain_legal(vectors, endpoints, &node, level, len);
             if legal {
                 let sizes = vec![tile; len];
-                transforms::tile_band(prog, node, &sizes)
-            } else {
-                match node {
-                    Node::Loop(mut l) => {
-                        l.body = tile_chains(prog, l.body, vectors, endpoints, level + 1, tile);
-                        Node::Loop(l)
-                    }
-                    _ => unreachable!(),
+                // Tiling is an optimization: on error keep the chain
+                // untiled rather than aborting the pipeline.
+                if let Ok(tiled) = transforms::tile_band(prog, node.clone(), &sizes) {
+                    return tiled;
                 }
+            }
+            match node {
+                Node::Loop(mut l) => {
+                    l.body = tile_chains(prog, l.body, vectors, endpoints, level + 1, tile);
+                    Node::Loop(l)
+                }
+                other => other,
             }
         }
     }

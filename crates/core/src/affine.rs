@@ -16,19 +16,27 @@ use polymix_deps::legality::{apply_loop_row, DepState, RowEffect};
 use polymix_deps::vectors::classify;
 use polymix_deps::{build_podg, sccs, DepElem, Podg};
 use polymix_dl::{fusion_profitable, permutation_priority, Machine, RefInfo};
+use polymix_ir::error::PolymixError;
 use polymix_ir::scop::StmtId;
 use polymix_ir::{Schedule, Scop};
 use polymix_math::IntMat;
 
-/// Runs Algorithms 2–5 and returns the per-statement schedules.
-pub fn affine_stage(scop: &Scop, machine: &Machine) -> Vec<Schedule> {
+/// Runs Algorithms 2–5 and returns the per-statement schedules. Errors
+/// with [`PolymixError::Scheduling`] when no legal signed-permutation
+/// assignment exists at some level; the flow driver falls back to the
+/// original schedules in that case.
+pub fn affine_stage(scop: &Scop, machine: &Machine) -> Result<Vec<Schedule>, PolymixError> {
     affine_stage_with(scop, machine, true)
 }
 
 /// Like [`affine_stage`], optionally disabling inter-SCC fusion
 /// (Algorithm 5 degenerates to per-SCC scheduling) — the knob behind the
 /// `ablation_fusion` experiment.
-pub fn affine_stage_with(scop: &Scop, machine: &Machine, enable_fusion: bool) -> Vec<Schedule> {
+pub fn affine_stage_with(
+    scop: &Scop,
+    machine: &Machine,
+    enable_fusion: bool,
+) -> Result<Vec<Schedule>, PolymixError> {
     let podg = build_podg(scop);
     // DL permutation priority per statement (original iterators,
     // outermost-profitable first).
@@ -74,7 +82,7 @@ pub fn affine_stage_with(scop: &Scop, machine: &Machine, enable_fusion: bool) ->
         betas: scop.statements.iter().map(|_| Vec::new()).collect(),
     };
     let all: Vec<StmtId> = (0..scop.statements.len()).map(StmtId).collect();
-    a.solve(&all, 0);
+    a.solve(&all, 0)?;
     a.finish()
 }
 
@@ -112,8 +120,9 @@ impl Affine<'_> {
         self.perm[s.0].len() >= self.dim(s)
     }
 
-    /// Algorithm 2's recursion over levels.
-    fn solve(&mut self, stmts: &[StmtId], level: usize) {
+    /// Algorithm 2's recursion over levels. Errors when some group has
+    /// no legal permutation assignment at a level.
+    fn solve(&mut self, stmts: &[StmtId], level: usize) -> Result<(), PolymixError> {
         let edges: Vec<(StmtId, StmtId)> = self
             .podg
             .deps
@@ -135,7 +144,7 @@ impl Affine<'_> {
         let mut merged_groups: Vec<(Vec<usize>, Vec<StmtId>)> = Vec::new();
         while !remaining.is_empty() {
             // Seed: largest statement dimensionality (ties: textual order).
-            let seed_pos = remaining
+            let Some(seed_pos) = remaining
                 .iter()
                 .enumerate()
                 .max_by_key(|(_, &c)| {
@@ -146,7 +155,9 @@ impl Affine<'_> {
                         .unwrap_or(0)
                 })
                 .map(|(p, _)| p)
-                .unwrap();
+            else {
+                break;
+            };
             let seed = remaining.remove(seed_pos);
             let mut members = vec![seed];
             let mut group: Vec<StmtId> = comps[seed].clone();
@@ -200,13 +211,21 @@ impl Affine<'_> {
         let mut order: Vec<usize> = Vec::with_capacity(ng);
         let mut placed = vec![false; ng];
         while order.len() < ng {
-            let next = (0..ng)
+            let Some(next) = (0..ng)
                 .filter(|&g| !placed[g])
                 .filter(|&g| {
                     (0..ng).all(|h| placed[h] || h == g || !gedge(h, g))
                 })
                 .min_by_key(|&g| merged_groups[g].0.iter().min().copied())
-                .expect("cyclic group graph (path_safe violated)");
+            else {
+                // A cycle here would mean path_safe was violated.
+                return Err(PolymixError::scheduling(
+                    &self.scop.name,
+                    level,
+                    stmts.iter().map(|s| s.0).collect(),
+                    "cyclic group graph while ordering fused groups",
+                ));
+            };
             placed[next] = true;
             order.push(next);
         }
@@ -228,12 +247,17 @@ impl Affine<'_> {
             let picks = if group.iter().all(|&s| self.exhausted(s)) {
                 None
             } else {
-                Some(self.find_picks(group, level).unwrap_or_else(|| {
-                    panic!(
-                        "affine stage: no legal permutation at level {level} for {group:?} in {}",
-                        self.scop.name
-                    )
-                }))
+                match self.find_picks(group, level) {
+                    Some(p) => Some(p),
+                    None => {
+                        return Err(PolymixError::scheduling(
+                            &self.scop.name,
+                            level,
+                            group.iter().map(|s| s.0).collect(),
+                            "no legal signed-permutation assignment",
+                        ));
+                    }
+                }
             };
             planned.push((group.clone(), picks));
         }
@@ -250,22 +274,26 @@ impl Affine<'_> {
                 if sg == dg {
                     continue;
                 }
-                let (Some(_), Some(_)) = (&planned[sg].1, &planned[dg].1) else {
+                let (Some(sp), Some(dp)) = (&planned[sg].1, &planned[dg].1) else {
                     continue;
                 };
-                let si = planned[sg].0.iter().position(|&s| s == d.src).unwrap();
-                let di = planned[dg].0.iter().position(|&s| s == d.dst).unwrap();
-                let row_src =
-                    self.pick_row(d.src, &planned[sg].1.as_ref().unwrap()[si]);
-                let row_dst =
-                    self.pick_row(d.dst, &planned[dg].1.as_ref().unwrap()[di]);
+                let (Some(si), Some(di)) = (
+                    planned[sg].0.iter().position(|&s| s == d.src),
+                    planned[dg].0.iter().position(|&s| s == d.dst),
+                ) else {
+                    continue;
+                };
+                let row_src = self.pick_row(d.src, &sp[si]);
+                let row_dst = self.pick_row(d.dst, &dp[di]);
                 let diff = d.diff_row(&row_src, &row_dst);
                 if let DepElem::Const(c) =
                     classify(&st.remaining, &diff, &self.scop.default_params)
                 {
                     if c < 0 {
-                        for p in planned[dg].1.as_mut().unwrap().iter_mut() {
-                            p.shift += -c;
+                        if let Some(dps) = planned[dg].1.as_mut() {
+                            for p in dps.iter_mut() {
+                                p.shift += -c;
+                            }
                         }
                         continue 'align;
                     }
@@ -287,8 +315,9 @@ impl Affine<'_> {
                 self.shifts[s.0].push(p.shift);
             }
             self.commit(&group, &picks);
-            self.solve(&group, level + 1);
+            self.solve(&group, level + 1)?;
         }
+        Ok(())
     }
 
     /// Algorithm 5's fusion conditions (1), (2), (3) and (5); condition
@@ -663,7 +692,7 @@ impl Affine<'_> {
         }
     }
 
-    fn finish(self) -> Vec<Schedule> {
+    fn finish(self) -> Result<Vec<Schedule>, PolymixError> {
         let np = self.scop.n_params();
         let mut out = Vec::new();
         for (i, stmt) in self.scop.statements.iter().enumerate() {
@@ -673,7 +702,14 @@ impl Affine<'_> {
             let mut shifts = self.shifts[i].clone();
             let mut betas = self.betas[i].clone();
             while perm.len() < d {
-                let free = (0..d).find(|k| !perm.contains(k)).expect("free iterator");
+                let Some(free) = (0..d).find(|k| !perm.contains(k)) else {
+                    return Err(PolymixError::scheduling(
+                        &self.scop.name,
+                        perm.len(),
+                        vec![i],
+                        "permutation completion found no free iterator",
+                    ));
+                };
                 perm.push(free);
                 signs.push(1);
                 shifts.push(0);
@@ -693,14 +729,20 @@ impl Affine<'_> {
                 beta.push(0);
             }
             let sched = Schedule { beta, alpha, gamma };
-            sched.validate();
-            assert!(
-                sched.is_signed_permutation() || d == 0,
-                "affine stage produced non-permutation α"
-            );
+            sched.check().map_err(|msg| {
+                PolymixError::scheduling(&self.scop.name, 0, vec![i], msg)
+            })?;
+            if !(sched.is_signed_permutation() || d == 0) {
+                return Err(PolymixError::scheduling(
+                    &self.scop.name,
+                    0,
+                    vec![i],
+                    "affine stage produced non-permutation α",
+                ));
+            }
             out.push(sched);
         }
-        out
+        Ok(out)
     }
 }
 
@@ -766,7 +808,7 @@ mod tests {
         let machine = Machine::nehalem();
         for k in all_kernels() {
             let scop = (k.build)();
-            let schedules = affine_stage(&scop, &machine);
+            let schedules = affine_stage(&scop, &machine).expect("affine stage");
             let podg = build_podg(&scop);
             for d in &podg.deps {
                 assert!(
@@ -789,7 +831,7 @@ mod tests {
         // matmul update.
         let k = kernel_by_name("gemm").unwrap();
         let scop = (k.build)();
-        let schedules = affine_stage(&scop, &Machine::nehalem());
+        let schedules = affine_stage(&scop, &Machine::nehalem()).expect("affine stage");
         let s2 = &schedules[1]; // (i, j, k) original
         // Innermost row must select j (index 1).
         let last = s2.alpha.row(2);
@@ -802,7 +844,7 @@ mod tests {
         // loop (shared i).
         let k = kernel_by_name("2mm").unwrap();
         let scop = (k.build)();
-        let schedules = affine_stage(&scop, &Machine::nehalem());
+        let schedules = affine_stage(&scop, &Machine::nehalem()).expect("affine stage");
         let b0: Vec<i64> = schedules.iter().map(|s| s.beta[0]).collect();
         assert!(b0.iter().all(|&b| b == b0[0]), "betas {b0:?}");
         // And all α stay signed permutations — no Fig. 2 style skew.

@@ -8,7 +8,8 @@ use polymix_codegen::opt::{
 };
 use polymix_deps::build_podg;
 use polymix_dl::Machine;
-use polymix_ir::Scop;
+use polymix_ir::error::PolymixError;
+use polymix_ir::{Schedule, Scop};
 
 /// Options for the poly+AST optimizer.
 #[derive(Clone, Debug)]
@@ -52,10 +53,27 @@ impl Default for PolyAstOptions {
 
 /// Runs Algorithm 1: the DL-guided affine stage, then the AST stages
 /// (skewing for tilability → parallelization → tiling → intra-tile).
-pub fn optimize_poly_ast(scop: &Scop, opts: &PolyAstOptions) -> Program {
+///
+/// Degrades gracefully: if the affine stage (or code generation on its
+/// schedules) fails, the statements' original schedules — the
+/// untransformed loop order, always legal — are used instead, and the
+/// AST stages run on that tree. The later AST stages are themselves
+/// best-effort (a failed transform keeps the last legal tree), so an
+/// `Err` here means even the identity program could not be generated.
+pub fn optimize_poly_ast(scop: &Scop, opts: &PolyAstOptions) -> Result<Program, PolymixError> {
     // Stage 1: fusion & permutation with DL (polyhedral).
-    let schedules = affine_stage_with(scop, &opts.machine, opts.fusion);
-    let mut prog = generate(scop, &schedules);
+    let staged = affine_stage_with(scop, &opts.machine, opts.fusion)
+        .and_then(|s| generate(scop, &s).map(|p| (s, p)));
+    let (schedules, mut prog) = match staged {
+        Ok(sp) => sp,
+        Err(_) => {
+            // Fallback rung: original textual-order schedules.
+            let identity: Vec<Schedule> =
+                scop.statements.iter().map(|s| s.schedule.clone()).collect();
+            let p = generate(scop, &identity)?;
+            (identity, p)
+        }
+    };
     let podg = build_podg(scop);
     let infos = nest_infos(scop, &schedules, &podg, &prog);
 
@@ -63,7 +81,16 @@ pub fn optimize_poly_ast(scop: &Scop, opts: &PolyAstOptions) -> Program {
         Node::Seq(xs) => xs,
         other => vec![other],
     };
-    assert_eq!(tops.len(), infos.len());
+    if tops.len() != infos.len() {
+        return Err(PolymixError::codegen(
+            &scop.name,
+            format!(
+                "top-level nest count {} does not match dependence info count {}",
+                tops.len(),
+                infos.len()
+            ),
+        ));
+    }
     let mut out = Vec::with_capacity(tops.len());
     for (mut nest, info) in tops.into_iter().zip(&infos) {
         // Stage 2: skewing for tilability (AST-level). A failed attempt
@@ -106,12 +133,11 @@ pub fn optimize_poly_ast(scop: &Scop, opts: &PolyAstOptions) -> Program {
         }
         out.push(nest);
     }
-    prog.body = if out.len() == 1 {
-        out.pop().unwrap()
-    } else {
-        Node::Seq(out)
+    prog.body = match out.len() {
+        1 => out.remove(0),
+        _ => Node::Seq(out),
     };
-    prog
+    Ok(prog)
 }
 
 #[cfg(test)]
@@ -139,7 +165,7 @@ mod tests {
             let mut expected = k.fresh_arrays(&scop, &params);
             (k.reference)(&params, &mut expected);
 
-            let prog = optimize_poly_ast(&scop, &opts_small());
+            let prog = optimize_poly_ast(&scop, &opts_small()).expect("optimize");
             let mut actual = k.fresh_arrays(&scop, &params);
             execute(&prog, &params, &mut actual);
             for (ai, (e, a)) in expected.iter().zip(&actual).enumerate() {
@@ -178,7 +204,7 @@ mod tests {
             let mut expected = k.fresh_arrays(&scop, &params);
             (k.reference)(&params, &mut expected);
             for (vi, opts) in variants.iter().enumerate() {
-                let prog = optimize_poly_ast(&scop, opts);
+                let prog = optimize_poly_ast(&scop, opts).expect("optimize");
                 let mut actual = k.fresh_arrays(&scop, &params);
                 execute(&prog, &params, &mut actual);
                 for (ai, (e, a)) in expected.iter().zip(&actual).enumerate() {
@@ -193,7 +219,7 @@ mod tests {
         for name in ["seidel-2d", "jacobi-2d-imper", "fdtd-2d"] {
             let k = kernel_by_name(name).unwrap();
             let scop = (k.build)();
-            let prog = optimize_poly_ast(&scop, &opts_small());
+            let prog = optimize_poly_ast(&scop, &opts_small()).expect("optimize");
             let mut found = false;
             let mut body = prog.body.clone();
             body.visit_loops_mut(&mut |l| {
@@ -210,7 +236,7 @@ mod tests {
         for name in ["gemm", "2mm", "3mm", "doitgen", "syrk"] {
             let k = kernel_by_name(name).unwrap();
             let scop = (k.build)();
-            let prog = optimize_poly_ast(&scop, &opts_small());
+            let prog = optimize_poly_ast(&scop, &opts_small()).expect("optimize");
             let mut found = false;
             let mut body = prog.body.clone();
             body.visit_loops_mut(&mut |l| {
@@ -229,7 +255,7 @@ mod tests {
         for name in ["atax", "bicg"] {
             let k = kernel_by_name(name).unwrap();
             let scop = (k.build)();
-            let prog = optimize_poly_ast(&scop, &opts_small());
+            let prog = optimize_poly_ast(&scop, &opts_small()).expect("optimize");
             let mut kinds = Vec::new();
             let mut body = prog.body.clone();
             body.visit_loops_mut(&mut |l| kinds.push(l.par));

@@ -22,5 +22,12 @@
 pub mod affine;
 pub mod flow;
 
+/// The pipeline-wide error model (defined in `polymix-ir` so every layer
+/// below the flow can name it; re-exported here as the canonical path).
+pub mod error {
+    pub use polymix_ir::error::{PolymixError, Result, Stage};
+}
+
 pub use affine::{affine_stage, affine_stage_with};
+pub use error::{PolymixError, Stage};
 pub use flow::{optimize_poly_ast, PolyAstOptions};

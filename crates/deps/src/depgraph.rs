@@ -295,7 +295,7 @@ mod tests {
         let body = Expr::add(b.rd(a, &[ix("i") - con(1)]), Expr::Const(1.0));
         b.stmt("S", a, &[ix("i")], body);
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
 
     #[test]
@@ -324,7 +324,7 @@ mod tests {
         b.stmt("S1", a, &[ix("i")], Expr::Const(1.0));
         b.stmt("S2", c, &[ix("i")], Expr::Const(2.0));
         b.exit();
-        let g = build_podg(&b.finish());
+        let g = build_podg(&b.finish().expect("well-formed SCoP"));
         assert!(g.deps.is_empty());
     }
 
@@ -341,7 +341,7 @@ mod tests {
         let body = b.rd(t, &[ix("i")]);
         b.stmt("R", o, &[ix("i")], body);
         b.exit();
-        let g = build_podg(&b.finish());
+        let g = build_podg(&b.finish().expect("well-formed SCoP"));
         let flows: Vec<_> = g.deps.iter().filter(|d| d.kind == DepKind::Flow).collect();
         assert_eq!(flows.len(), 1);
         let d = flows[0];
@@ -364,7 +364,7 @@ mod tests {
         b.stmt_update("U", s, &[ix("j")], BinOp::Add, rhs);
         b.exit();
         b.exit();
-        let g = build_podg(&b.finish());
+        let g = build_podg(&b.finish().expect("well-formed SCoP"));
         assert!(!g.deps.is_empty());
         // All self deps on S[j] are reduction deps; reads of X produce none.
         assert!(g.deps.iter().all(|d| d.is_reduction));
@@ -386,7 +386,7 @@ mod tests {
         b.exit();
         b.exit();
         b.exit();
-        let g = build_podg(&b.finish());
+        let g = build_podg(&b.finish().expect("well-formed SCoP"));
         // R -> S flow (R writes then S reads+writes), S -> S output/flow/anti.
         assert!(g
             .deps

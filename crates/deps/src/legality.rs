@@ -156,7 +156,7 @@ mod tests {
         let body = b.rd(a, &[ix("i") - con(1)]);
         b.stmt("S", a, &[ix("i")], body);
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
 
     /// 2-D kernel with dependence only on the i loop:
@@ -170,7 +170,7 @@ mod tests {
         b.stmt("S", a, &[ix("i"), ix("j")], body);
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
 
     #[test]

@@ -156,7 +156,7 @@ mod tests {
         b.stmt("S", a, &[ix("i"), ix("j")], body);
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
 
     #[test]
@@ -187,7 +187,7 @@ mod tests {
         let body = b.rd(a, &[]);
         b.stmt("R", o, &[ix("i")], body);
         b.exit();
-        let scop = b.finish();
+        let scop = b.finish().expect("well-formed SCoP");
         let g = build_podg(&scop);
         // Flow W(x) -> R(y) splits into an x < y branch (non-constant,
         // strictly positive distance: Plus) and an x == y branch (Const 0).
@@ -299,7 +299,7 @@ mod transformed_tests {
         b.stmt("S", a, &[ix("i"), ix("j")], body);
         b.exit();
         b.exit();
-        let scop = b.finish();
+        let scop = b.finish().expect("well-formed SCoP");
         let g = build_podg(&scop);
         let s = &scop.statements[0].schedule;
         let flow = g.deps.iter().find(|d| d.kind == DepKind::Flow).unwrap();
@@ -328,7 +328,7 @@ mod transformed_tests {
         b.stmt("S", a, &[ix("i"), ix("j")], body);
         b.exit();
         b.exit();
-        let scop = b.finish();
+        let scop = b.finish().expect("well-formed SCoP");
         let g = build_podg(&scop);
         let s = &scop.statements[0].schedule;
         let ident = vec![vec![1, 0], vec![0, 1]];

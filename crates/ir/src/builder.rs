@@ -18,7 +18,7 @@
 //! b.stmt("S", c, &[ix("i"), ix("j")], body);
 //! b.exit();
 //! b.exit();
-//! let scop = b.finish();
+//! let scop = b.finish().expect("well-formed SCoP");
 //! assert_eq!(scop.statements.len(), 1);
 //! assert_eq!(scop.statements[0].dim, 2);
 //! ```
@@ -27,7 +27,14 @@
 //! iterator and parameter *names*, resolved to numeric rows when each
 //! statement is created (so the row width always matches the statement's
 //! depth).
+//!
+//! Protocol violations (unknown names, shadowed or unclosed loops) are
+//! *deferred*: the builder records the first one and keeps accepting
+//! calls, and [`ScopBuilder::finish`] returns it as a
+//! [`PolymixError::Build`]. Static kernels whose structure is known
+//! correct simply `finish().expect(...)`.
 
+use crate::error::PolymixError;
 use crate::expr::Expr;
 use crate::schedule::Schedule;
 use crate::scop::{Access, ArrayId, ArrayInfo, Scop, Statement};
@@ -128,14 +135,15 @@ pub struct ScopBuilder {
     statements: Vec<Statement>,
     frames: Vec<Frame>,
     sibling: Vec<i64>,
+    /// First protocol violation, reported by `finish()`.
+    err: Option<PolymixError>,
 }
 
 impl ScopBuilder {
     /// Starts a SCoP with the given structure parameters and the default
     /// values tests will run it with.
     pub fn new(name: &str, params: &[&str], default_params: &[i64]) -> ScopBuilder {
-        assert_eq!(params.len(), default_params.len());
-        ScopBuilder {
+        let mut b = ScopBuilder {
             name: name.to_string(),
             params: params.iter().map(|s| s.to_string()).collect(),
             param_lbs: vec![1; params.len()],
@@ -144,6 +152,22 @@ impl ScopBuilder {
             statements: Vec::new(),
             frames: Vec::new(),
             sibling: vec![0],
+            err: None,
+        };
+        if params.len() != default_params.len() {
+            b.fail(format!(
+                "{} parameters but {} default values",
+                params.len(),
+                default_params.len()
+            ));
+        }
+        b
+    }
+
+    /// Records the first protocol violation; later ones are dropped.
+    fn fail(&mut self, detail: String) {
+        if self.err.is_none() {
+            self.err = Some(PolymixError::build(&self.name, detail));
         }
     }
 
@@ -164,18 +188,30 @@ impl ScopBuilder {
     /// Declares an f64 array with general affine extents over parameters.
     pub fn array_dims(&mut self, name: &str, dims: Vec<SymAff>) -> ArrayId {
         let p = self.params.len();
+        let mut bad = Vec::new();
         let rows = dims
             .iter()
             .map(|a| {
-                assert!(a.iters.is_empty(), "array extent must not use iterators");
                 let mut row = vec![0i64; p + 1];
+                if !a.iters.is_empty() {
+                    bad.push(format!(
+                        "extent of array {name} must not use iterators"
+                    ));
+                    return row;
+                }
                 for (pn, c) in &a.params {
-                    row[self.param_pos(pn)] += c;
+                    match self.param_pos(pn) {
+                        Some(k) => row[k] += c,
+                        None => bad.push(format!("unknown parameter {pn}")),
+                    }
                 }
                 row[p] += a.c;
                 row
             })
             .collect();
+        for d in bad {
+            self.fail(d);
+        }
         self.arrays.push(ArrayInfo {
             name: name.to_string(),
             dims: rows,
@@ -186,12 +222,15 @@ impl ScopBuilder {
 
     /// Opens a loop `lo <= name < hi_excl`.
     pub fn enter(&mut self, name: &str, lo: SymAff, hi_excl: SymAff) {
-        assert!(
-            !self.frames.iter().any(|f| f.name == name),
-            "shadowed iterator {name}"
-        );
-        let beta = *self.sibling.last().unwrap();
-        *self.sibling.last_mut().unwrap() += 1;
+        if self.frames.iter().any(|f| f.name == name) {
+            self.fail(format!("shadowed iterator {name}"));
+        }
+        // The sibling stack always has one entry per open scope plus the
+        // root, so `last` cannot fail while the protocol is balanced.
+        let beta = self.sibling.last().copied().unwrap_or(0);
+        if let Some(top) = self.sibling.last_mut() {
+            *top += 1;
+        }
         self.frames.push(Frame {
             name: name.to_string(),
             beta,
@@ -203,19 +242,20 @@ impl ScopBuilder {
 
     /// Closes the innermost open loop.
     pub fn exit(&mut self) {
-        assert!(!self.frames.is_empty(), "exit() without open loop");
+        if self.frames.is_empty() {
+            self.fail("exit() without open loop".to_string());
+            return;
+        }
         self.frames.pop();
         self.sibling.pop();
     }
 
     /// Builds a read expression `array[subs]` resolved against the current
     /// loop nest.
-    pub fn rd(&self, array: ArrayId, subs: &[SymAff]) -> Expr {
+    pub fn rd(&mut self, array: ArrayId, subs: &[SymAff]) -> Expr {
         let d = self.frames.len();
-        Expr::Read {
-            array,
-            subs: subs.iter().map(|a| self.resolve(a, d)).collect(),
-        }
+        let subs = subs.iter().map(|a| self.resolve_or_fail(a, d)).collect();
+        Expr::Read { array, subs }
     }
 
     /// Adds the statement `array[subs] = body` at the current position.
@@ -224,13 +264,13 @@ impl ScopBuilder {
         let p = self.params.len();
         let write = Access {
             array,
-            map: subs.iter().map(|a| self.resolve(a, d)).collect(),
+            map: subs.iter().map(|a| self.resolve_or_fail(a, d)).collect(),
         };
         // Domain: loop bound rows plus parameter lower bounds.
         let mut domain = Polyhedron::universe(d + p);
-        for (k, f) in self.frames.iter().enumerate() {
-            let lo = self.resolve(&f.lo, d);
-            let hi = self.resolve(&f.hi_excl, d);
+        for k in 0..self.frames.len() {
+            let lo = self.resolve_or_fail(&self.frames[k].lo.clone(), d);
+            let hi = self.resolve_or_fail(&self.frames[k].hi_excl.clone(), d);
             // it_k - lo >= 0
             let mut low = lo.iter().map(|&x| -x).collect::<Vec<_>>();
             low[k] += 1;
@@ -248,8 +288,10 @@ impl ScopBuilder {
             domain.add(Constraint::ge(row));
         }
         let mut beta: Vec<i64> = self.frames.iter().map(|f| f.beta).collect();
-        beta.push(*self.sibling.last().unwrap());
-        *self.sibling.last_mut().unwrap() += 1;
+        beta.push(self.sibling.last().copied().unwrap_or(0));
+        if let Some(top) = self.sibling.last_mut() {
+            *top += 1;
+        }
         self.statements.push(Statement {
             name: name.to_string(),
             dim: d,
@@ -275,41 +317,51 @@ impl ScopBuilder {
         self.stmt(name, array, subs, Expr::Bin(op, Box::new(lhs_read), Box::new(rhs)));
     }
 
-    /// Finalizes the SCoP. Panics if loops remain open.
-    pub fn finish(self) -> Scop {
-        assert!(self.frames.is_empty(), "unclosed loops at finish()");
-        Scop {
+    /// Finalizes the SCoP, reporting the first deferred protocol
+    /// violation (unknown name, shadowed iterator, unclosed loop, …).
+    pub fn finish(mut self) -> Result<Scop, PolymixError> {
+        if !self.frames.is_empty() {
+            let open: Vec<&str> = self.frames.iter().map(|f| f.name.as_str()).collect();
+            self.fail(format!("unclosed loops at finish(): {open:?}"));
+        }
+        if let Some(e) = self.err {
+            return Err(e);
+        }
+        Ok(Scop {
             name: self.name,
             params: self.params,
             param_lower_bounds: self.param_lbs,
             arrays: self.arrays,
             statements: self.statements,
             default_params: self.default_params,
-        }
+        })
     }
 
-    fn param_pos(&self, name: &str) -> usize {
-        self.params
-            .iter()
-            .position(|p| p == name)
-            .unwrap_or_else(|| panic!("unknown parameter {name}"))
+    fn param_pos(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p == name)
     }
 
-    fn iter_pos(&self, name: &str) -> usize {
-        self.frames
-            .iter()
-            .position(|f| f.name == name)
-            .unwrap_or_else(|| panic!("unknown iterator {name}"))
+    fn iter_pos(&self, name: &str) -> Option<usize> {
+        self.frames.iter().position(|f| f.name == name)
     }
 
-    fn resolve(&self, a: &SymAff, d: usize) -> Vec<i64> {
+    /// Resolves a symbolic form to a numeric row of width `d + p + 1`,
+    /// recording (not raising) unknown-name errors; unresolvable terms
+    /// contribute zero so downstream shapes stay consistent.
+    fn resolve_or_fail(&mut self, a: &SymAff, d: usize) -> Vec<i64> {
         let p = self.params.len();
         let mut row = vec![0i64; d + p + 1];
         for (it, c) in &a.iters {
-            row[self.iter_pos(it)] += c;
+            match self.iter_pos(it) {
+                Some(k) => row[k] += c,
+                None => self.fail(format!("unknown iterator {it}")),
+            }
         }
         for (pn, c) in &a.params {
-            row[d + self.param_pos(pn)] += c;
+            match self.param_pos(pn) {
+                Some(k) => row[d + k] += c,
+                None => self.fail(format!("unknown parameter {pn}")),
+            }
         }
         row[d + p] += a.c;
         row
@@ -353,7 +405,7 @@ mod tests {
         b.exit();
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
 
     #[test]
@@ -417,7 +469,7 @@ mod tests {
         b.stmt("S", a, &[ix("i"), ix("j")], body);
         b.exit();
         b.exit();
-        let s = b.finish();
+        let s = b.finish().expect("well-formed SCoP");
         let st = &s.statements[0];
         assert!(st.domain.contains(&[3, 3, 6]));
         assert!(!st.domain.contains(&[3, 4, 6]));
@@ -434,19 +486,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn unknown_iterator_panics() {
+    fn unknown_iterator_is_deferred_to_finish() {
         let mut b = ScopBuilder::new("bad", &["N"], &[4]);
         let a = b.array("A", &["N"]);
         b.enter("i", con(0), par("N"));
         b.stmt("S", a, &[ix("zz")], Expr::Const(0.0));
+        b.exit();
+        let err = b.finish().expect_err("unknown iterator must be reported");
+        assert!(err.to_string().contains("zz"), "{err}");
+    }
+
+    #[test]
+    fn unclosed_loop_is_an_error_not_a_panic() {
+        let mut b = ScopBuilder::new("open", &["N"], &[4]);
+        let a = b.array("A", &["N"]);
+        b.enter("i", con(0), par("N"));
+        b.stmt("S", a, &[ix("i")], Expr::Const(0.0));
+        let err = b.finish().expect_err("unclosed loop must be reported");
+        assert!(err.to_string().contains("unclosed"), "{err}");
+    }
+
+    #[test]
+    fn exit_without_loop_is_an_error() {
+        let mut b = ScopBuilder::new("x", &["N"], &[4]);
+        b.exit();
+        assert!(b.finish().is_err());
     }
 
     #[test]
     fn array_extent_evaluation() {
         let mut b = ScopBuilder::new("x", &["N"], &[4]);
         let _ = b.array_dims("A", vec![par("N") + con(1), con(3)]);
-        let s = b.finish();
+        let s = b.finish().expect("well-formed SCoP");
         assert_eq!(s.arrays[0].extents(&[10]), vec![11, 3]);
         assert_eq!(s.arrays[0].len(&[10]), 33);
     }

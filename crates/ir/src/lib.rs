@@ -20,11 +20,13 @@
 //! baseline, which needs skewing), and parametric shifts `γ` (retiming).
 
 pub mod builder;
+pub mod error;
 pub mod expr;
 pub mod schedule;
 pub mod scop;
 
 pub use builder::{con, ix, par, ScopBuilder, SymAff};
+pub use error::{PolymixError, Stage};
 pub use expr::{BinOp, Expr, UnOp};
 pub use schedule::Schedule;
 pub use scop::{Access, ArrayId, ArrayInfo, Scop, Statement, StmtId};

@@ -60,16 +60,32 @@ impl Schedule {
         self.gamma.first().map_or(0, |g| g.len() - 1)
     }
 
-    /// Asserts structural well-formedness and integer invertibility.
-    pub fn validate(&self) {
+    /// Checks structural well-formedness and integer invertibility,
+    /// returning a description of the first violation.
+    pub fn check(&self) -> Result<(), String> {
         let d = self.dim();
-        assert_eq!(self.beta.len(), d + 1, "beta arity");
-        assert_eq!(self.gamma.len(), d, "gamma arity");
-        assert!(
-            d == 0 || self.alpha.is_unimodular(),
-            "alpha must be unimodular: {:?}",
-            self.alpha
-        );
+        if self.beta.len() != d + 1 {
+            return Err(format!(
+                "beta arity: {} entries for dimension {d}",
+                self.beta.len()
+            ));
+        }
+        if self.gamma.len() != d {
+            return Err(format!(
+                "gamma arity: {} rows for dimension {d}",
+                self.gamma.len()
+            ));
+        }
+        if d != 0 && !self.alpha.is_unimodular() {
+            return Err(format!("alpha must be unimodular: {:?}", self.alpha));
+        }
+        Ok(())
+    }
+
+    /// Asserts structural well-formedness and integer invertibility.
+    /// Test helper; pipeline code uses [`Schedule::check`] and reports.
+    pub fn validate(&self) {
+        self.check().expect("valid schedule");
     }
 
     /// True when `α` is a signed permutation — the class the paper's

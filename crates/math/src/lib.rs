@@ -36,5 +36,5 @@ pub use matrix::{IntMat, RatMat};
 pub use poly::{AffineExpr, CmpOp, Constraint, Polyhedron};
 pub use ratio::Ratio;
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;

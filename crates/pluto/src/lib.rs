@@ -25,4 +25,4 @@ pub mod optimizer;
 pub mod scheduler;
 
 pub use optimizer::{optimize_pluto, PlutoOptions, PlutoVariant};
-pub use scheduler::{schedule_pluto, Fusion};
+pub use scheduler::{schedule_pluto, schedule_with_fallback, FallbackSchedule, Fusion};

@@ -2,12 +2,13 @@
 //! code generation, tiling, wavefront-or-doall parallelization, and the
 //! optional intra-tile vectorization permutation.
 
-use crate::scheduler::{schedule_pluto, Fusion};
+use crate::scheduler::{schedule_with_fallback, Fusion};
 use polymix_ast::transforms::band_depth;
 use polymix_ast::tree::{Node, Par, Program};
 use polymix_codegen::from_poly::generate;
 use polymix_codegen::opt::{mark_parallelism, nest_infos, register_tile, tile_nest, tilable_prefix};
 use polymix_deps::build_podg;
+use polymix_ir::error::PolymixError;
 use polymix_ir::Scop;
 
 /// Which PoCC experimental variant to emulate.
@@ -54,14 +55,20 @@ impl Default for PlutoOptions {
 }
 
 /// Runs the baseline flow and returns the optimized program.
-pub fn optimize_pluto(scop: &Scop, opts: &PlutoOptions) -> Program {
+///
+/// Scheduling degrades gracefully through the fusion fallback chain
+/// (`requested → maxfuse → smartfuse → nofuse → identity`), so only
+/// code generation can fail here; a [`PolymixError::Codegen`] means no
+/// legal program could be produced at all.
+pub fn optimize_pluto(scop: &Scop, opts: &PlutoOptions) -> Result<Program, PolymixError> {
     let fusion = match opts.variant {
         PlutoVariant::MaxFuse => Fusion::Max,
         PlutoVariant::NoFuse => Fusion::None,
         _ => Fusion::Smart,
     };
-    let schedules = schedule_pluto(scop, fusion);
-    let mut prog = generate(scop, &schedules);
+    let fallback = schedule_with_fallback(scop, fusion);
+    let schedules = fallback.schedules;
+    let mut prog = generate(scop, &schedules)?;
     let podg = build_podg(scop);
     let infos = nest_infos(scop, &schedules, &podg, &prog);
 
@@ -70,7 +77,16 @@ pub fn optimize_pluto(scop: &Scop, opts: &PlutoOptions) -> Program {
         Node::Seq(xs) => xs,
         other => vec![other],
     };
-    assert_eq!(tops.len(), infos.len());
+    if tops.len() != infos.len() {
+        return Err(PolymixError::codegen(
+            &scop.name,
+            format!(
+                "top-level nest count {} does not match dependence info count {}",
+                tops.len(),
+                infos.len()
+            ),
+        ));
+    }
     let mut out = Vec::with_capacity(tops.len());
     for (mut nest, info) in tops.into_iter().zip(&infos) {
         // 1. Parallelism detection on the *pre-tiling* loops. The
@@ -119,12 +135,11 @@ pub fn optimize_pluto(scop: &Scop, opts: &PlutoOptions) -> Program {
         }
         out.push(nest);
     }
-    prog.body = if out.len() == 1 {
-        out.pop().unwrap()
-    } else {
-        Node::Seq(out)
+    prog.body = match out.len() {
+        1 => out.remove(0),
+        _ => Node::Seq(out),
     };
-    prog
+    Ok(prog)
 }
 
 #[cfg(test)]
@@ -154,7 +169,7 @@ mod tests {
                     time_tile: 2,
                     ..Default::default()
                 };
-                let prog = optimize_pluto(&scop, &opts);
+                let prog = optimize_pluto(&scop, &opts).expect("optimize");
                 let mut actual = k.fresh_arrays(&scop, &params);
                 execute(&prog, &params, &mut actual);
                 for (ai, (e, a)) in expected.iter().zip(&actual).enumerate() {
@@ -172,7 +187,7 @@ mod tests {
     fn wavefront_appears_for_seidel() {
         let k = polymix_polybench::kernel_by_name("seidel-2d").unwrap();
         let scop = (k.build)();
-        let prog = optimize_pluto(&scop, &PlutoOptions::default());
+        let prog = optimize_pluto(&scop, &PlutoOptions::default()).expect("optimize");
         // The outermost tile loop must carry the wavefront annotation.
         let mut found = false;
         let mut body = prog.body.clone();
@@ -188,7 +203,7 @@ mod tests {
     fn gemm_outer_loop_is_doall() {
         let k = polymix_polybench::kernel_by_name("gemm").unwrap();
         let scop = (k.build)();
-        let prog = optimize_pluto(&scop, &PlutoOptions::default());
+        let prog = optimize_pluto(&scop, &PlutoOptions::default()).expect("optimize");
         match &prog.body {
             Node::Loop(l) => assert_eq!(l.par, Par::Doall),
             Node::Seq(xs) => {

@@ -12,6 +12,7 @@
 use polymix_deps::legality::{apply_loop_row, DepState, RowEffect};
 use polymix_deps::vectors::classify;
 use polymix_deps::{build_podg, sccs, DepElem, Podg};
+use polymix_ir::error::PolymixError;
 use polymix_ir::scop::StmtId;
 use polymix_ir::{Schedule, Scop};
 use polymix_math::IntMat;
@@ -27,8 +28,11 @@ pub enum Fusion {
     None,
 }
 
-/// Computes Pluto-style schedules for the SCoP.
-pub fn schedule_pluto(scop: &Scop, fusion: Fusion) -> Vec<Schedule> {
+/// Computes Pluto-style schedules for the SCoP. Returns a
+/// [`PolymixError::Scheduling`] when some loop level admits no legal row
+/// combination (even after band breaking) under the requested fusion
+/// heuristic; see [`schedule_with_fallback`] for the graceful chain.
+pub fn schedule_pluto(scop: &Scop, fusion: Fusion) -> Result<Vec<Schedule>, PolymixError> {
     let podg = build_podg(scop);
     let mut sched = Sched {
         scop,
@@ -45,8 +49,71 @@ pub fn schedule_pluto(scop: &Scop, fusion: Fusion) -> Vec<Schedule> {
     };
     let all: Vec<StmtId> = (0..scop.statements.len()).map(StmtId).collect();
     let band = sched.states.clone();
-    sched.solve(&all, 0, &band);
+    sched.solve(&all, 0, &band)?;
     sched.finish()
+}
+
+/// Which fusion heuristics to try, most to least aggressive, starting
+/// from the requested one (duplicates removed).
+fn fallback_chain(requested: Fusion) -> Vec<Fusion> {
+    let mut chain = vec![requested];
+    for f in [Fusion::Max, Fusion::Smart, Fusion::None] {
+        if !chain.contains(&f) {
+            chain.push(f);
+        }
+    }
+    chain
+}
+
+/// Result of [`schedule_with_fallback`]: the schedules plus a record of
+/// which rung of the chain produced them.
+#[derive(Clone, Debug)]
+pub struct FallbackSchedule {
+    /// One schedule per statement, in statement order.
+    pub schedules: Vec<Schedule>,
+    /// The fusion heuristic that succeeded, or `None` when every
+    /// heuristic failed and the statements' original (textual-order)
+    /// schedules were used instead.
+    pub used: Option<Fusion>,
+    /// Errors of the rungs tried before the successful one, in order.
+    pub errors: Vec<PolymixError>,
+}
+
+impl FallbackSchedule {
+    /// True when the scheduler had to degrade below the requested
+    /// heuristic (including all the way to the identity schedules).
+    pub fn degraded(&self) -> bool {
+        !self.errors.is_empty()
+    }
+}
+
+/// Schedules the SCoP with graceful degradation: tries the requested
+/// fusion heuristic, then the remaining ones in `maxfuse → smartfuse →
+/// nofuse` order, and finally falls back to the statements' original
+/// schedules (the untransformed loop order, which is always legal).
+/// Never fails; failed rungs are recorded in
+/// [`FallbackSchedule::errors`].
+pub fn schedule_with_fallback(scop: &Scop, requested: Fusion) -> FallbackSchedule {
+    let mut errors = Vec::new();
+    for f in fallback_chain(requested) {
+        match schedule_pluto(scop, f) {
+            Ok(schedules) => {
+                return FallbackSchedule {
+                    schedules,
+                    used: Some(f),
+                    errors,
+                }
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+    // Last rung: original textual-order schedules are always legal.
+    let schedules = scop.statements.iter().map(|s| s.schedule.clone()).collect();
+    FallbackSchedule {
+        schedules,
+        used: None,
+        errors,
+    }
 }
 
 struct Sched<'a> {
@@ -74,7 +141,13 @@ impl Sched<'_> {
     /// remaining polyhedra (Pluto's permutability constraint, which is
     /// what forces proactive skewing for stencils); when no candidate
     /// satisfies it, the band is broken and restarted at this level.
-    fn solve(&mut self, stmts: &[StmtId], level: usize, band: &[DepState]) {
+    /// Errors when even the broken band admits no legal combination.
+    fn solve(
+        &mut self,
+        stmts: &[StmtId],
+        level: usize,
+        band: &[DepState],
+    ) -> Result<(), PolymixError> {
         // Partition into SCCs of the unsatisfied subgraph.
         let edges: Vec<(StmtId, StmtId)> = self
             .podg
@@ -97,7 +170,8 @@ impl Sched<'_> {
                 Fusion::Smart => true,
             };
             if can_try && !comp_exhausted {
-                if let Some(last) = groups.last() {
+                if let Some(last_idx) = groups.len().checked_sub(1) {
+                    let last = &groups[last_idx];
                     let last_ok = !last.iter().any(|&s| self.exhausted(s));
                     let smart_ok = self.fusion == Fusion::Max
                         || self.shares_array(last, &comp);
@@ -107,7 +181,7 @@ impl Sched<'_> {
                         if self.find_rows(&merged, level, band).is_some()
                             || self.find_rows(&merged, level, &self.states.clone()).is_some()
                         {
-                            *groups.last_mut().unwrap() = merged;
+                            groups[last_idx] = merged;
                             continue;
                         }
                     }
@@ -135,10 +209,17 @@ impl Sched<'_> {
                 Some(c) => (c, band.to_vec()),
                 None => {
                     let fresh = self.states.clone();
-                    let c = self.find_rows(&group, level, &fresh).unwrap_or_else(|| {
-                        panic!("no legal row combination at level {level} for {group:?}")
-                    });
-                    (c, fresh)
+                    match self.find_rows(&group, level, &fresh) {
+                        Some(c) => (c, fresh),
+                        None => {
+                            return Err(PolymixError::scheduling(
+                                &self.scop.name,
+                                level,
+                                group.iter().map(|s| s.0).collect(),
+                                "no legal row combination, even after band break",
+                            ));
+                        }
+                    }
                 }
             };
             // Commit the rows and peel the dependences.
@@ -146,8 +227,9 @@ impl Sched<'_> {
                 self.rows[s.0].push(row.clone());
             }
             self.commit_rows(&group, &combo);
-            self.solve(&group, level + 1, &child_band);
+            self.solve(&group, level + 1, &child_band)?;
         }
+        Ok(())
     }
 
     fn shares_array(&self, a: &[StmtId], b: &[StmtId]) -> bool {
@@ -403,7 +485,8 @@ impl Sched<'_> {
     /// Assembles the final `Schedule` per statement; the committed rows
     /// become α (with unit-completion if the search ended early), β is
     /// padded, γ stays zero (the baseline uses no parametric retiming).
-    fn finish(mut self) -> Vec<Schedule> {
+    /// Errors if completion cannot produce a structurally valid schedule.
+    fn finish(mut self) -> Result<Vec<Schedule>, PolymixError> {
         // The recursion only stops once every statement is exhausted, but
         // be defensive: complete any missing rows with unused units.
         let p = self.scop.n_params();
@@ -414,7 +497,14 @@ impl Sched<'_> {
                 let used: Vec<usize> = (0..d)
                     .filter(|&k| self.rows[i].iter().any(|r| r[k] != 0))
                     .collect();
-                let free = (0..d).find(|k| !used.contains(k)).expect("no free iterator");
+                let Some(free) = (0..d).find(|k| !used.contains(k)) else {
+                    return Err(PolymixError::scheduling(
+                        &self.scop.name,
+                        self.rows[i].len(),
+                        vec![i],
+                        "row completion found no free iterator",
+                    ));
+                };
                 let mut r = vec![0i64; d];
                 r[free] = 1;
                 self.rows[i].push(r);
@@ -435,10 +525,12 @@ impl Sched<'_> {
                 alpha,
                 gamma: vec![vec![0; p + 1]; d],
             };
-            sched.validate();
+            sched.check().map_err(|msg| {
+                PolymixError::scheduling(&self.scop.name, 0, vec![i], msg)
+            })?;
             out.push(sched);
         }
-        out
+        Ok(out)
     }
 }
 
@@ -466,7 +558,7 @@ mod tests {
     fn maxfuse_schedules_are_legal_for_all_kernels() {
         for k in all_kernels() {
             let scop = (k.build)();
-            let schedules = schedule_pluto(&scop, Fusion::Max);
+            let schedules = schedule_pluto(&scop, Fusion::Max).expect("schedule");
             check_legal(&scop, &schedules);
         }
     }
@@ -475,7 +567,7 @@ mod tests {
     fn smartfuse_schedules_are_legal_for_all_kernels() {
         for k in all_kernels() {
             let scop = (k.build)();
-            let schedules = schedule_pluto(&scop, Fusion::Smart);
+            let schedules = schedule_pluto(&scop, Fusion::Smart).expect("schedule");
             check_legal(&scop, &schedules);
         }
     }
@@ -484,7 +576,7 @@ mod tests {
     fn nofuse_schedules_are_legal_for_all_kernels() {
         for k in all_kernels() {
             let scop = (k.build)();
-            let schedules = schedule_pluto(&scop, Fusion::None);
+            let schedules = schedule_pluto(&scop, Fusion::None).expect("schedule");
             check_legal(&scop, &schedules);
         }
     }
@@ -493,7 +585,7 @@ mod tests {
     fn maxfuse_2mm_fuses_the_two_nests() {
         let k = kernel_by_name("2mm").unwrap();
         let scop = (k.build)();
-        let schedules = schedule_pluto(&scop, Fusion::Max);
+        let schedules = schedule_pluto(&scop, Fusion::Max).expect("schedule");
         // All four statements share β0 under maxfuse.
         let b0: Vec<i64> = schedules.iter().map(|s| s.beta[0]).collect();
         assert!(b0.iter().all(|&b| b == b0[0]), "betas: {b0:?}");
@@ -503,7 +595,7 @@ mod tests {
         let row2 = u.alpha.row(1);
         assert_eq!(row2.iter().filter(|&&c| c != 0).count(), 2, "{row2:?}");
         // Codegen on the fused schedule must still succeed.
-        let prog = generate(&scop, &schedules);
+        let prog = generate(&scop, &schedules).expect("generate");
         assert!(prog.body.count_stmts() >= 4);
     }
 
@@ -511,7 +603,7 @@ mod tests {
     fn nofuse_keeps_nests_separate() {
         let k = kernel_by_name("2mm").unwrap();
         let scop = (k.build)();
-        let schedules = schedule_pluto(&scop, Fusion::None);
+        let schedules = schedule_pluto(&scop, Fusion::None).expect("schedule");
         let mut b0: Vec<i64> = schedules.iter().map(|s| s.beta[0]).collect();
         b0.dedup();
         assert!(b0.len() >= 2, "expected distribution, got betas {b0:?}");

@@ -63,7 +63,7 @@ pub fn gemm() -> Kernel {
         b.exit();
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (ni, nj, nk) = (p[0] as usize, p[1] as usize, p[2] as usize);
@@ -124,7 +124,7 @@ pub fn two_mm() -> Kernel {
         b.exit();
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (ni, nj, nk, nl) = (p[0] as usize, p[1] as usize, p[2] as usize, p[3] as usize);
@@ -205,7 +205,7 @@ pub fn three_mm() -> Kernel {
         b.exit();
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (ni, nj, nk, nl, nm) = (
@@ -281,7 +281,7 @@ pub fn syrk() -> Kernel {
         b.exit();
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (ni, nj) = (p[0] as usize, p[1] as usize);
@@ -335,7 +335,7 @@ pub fn syr2k() -> Kernel {
         b.exit();
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (ni, nj) = (p[0] as usize, p[1] as usize);
@@ -400,7 +400,7 @@ pub fn symm() -> Kernel {
         b.stmt("S3", c, &[ix("i"), ix("j")], fin);
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (ni, nj) = (p[0] as usize, p[1] as usize);
@@ -461,7 +461,7 @@ pub fn doitgen() -> Kernel {
         b.exit();
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (nr, nq, np) = (p[0] as usize, p[1] as usize, p[2] as usize);
@@ -522,7 +522,7 @@ pub fn gesummv() -> Kernel {
         );
         b.stmt("S4", y, &[ix("i")], fin);
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let n = p[0] as usize;
@@ -603,7 +603,7 @@ pub fn gemver() -> Kernel {
         b.stmt_update("S4", w, &[ix("i")], BinOp::Add, p2);
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let n = p[0] as usize;
@@ -669,7 +669,7 @@ pub fn mvt() -> Kernel {
         b.stmt_update("S2", x2, &[ix("i")], BinOp::Add, p2);
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let n = p[0] as usize;
@@ -723,7 +723,7 @@ pub fn atax() -> Kernel {
         b.stmt_update("S3", y, &[ix("j")], BinOp::Add, p2);
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (nx, ny) = (p[0] as usize, p[1] as usize);
@@ -781,7 +781,7 @@ pub fn bicg() -> Kernel {
         b.stmt_update("S3", q, &[ix("i")], BinOp::Add, p2);
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (nx, ny) = (p[0] as usize, p[1] as usize);

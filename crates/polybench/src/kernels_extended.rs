@@ -35,7 +35,7 @@ pub fn lu() -> Kernel {
         b.exit();
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let n = p[0] as usize;
@@ -89,7 +89,7 @@ pub fn trmm() -> Kernel {
         b.exit();
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let n = p[0] as usize;
@@ -156,7 +156,7 @@ pub fn gramschmidt() -> Kernel {
         b.exit();
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (n, m) = (p[0] as usize, p[1] as usize);

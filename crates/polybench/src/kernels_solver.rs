@@ -34,7 +34,7 @@ pub fn trisolv() -> Kernel {
         let fin = Expr::div(b.rd(x, &[ix("i")]), b.rd(aa, &[ix("i"), ix("i")]));
         b.stmt("S2", x, &[ix("i")], fin);
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let n = p[0] as usize;
@@ -100,7 +100,7 @@ pub fn cholesky() -> Kernel {
         b.stmt("S5", aa, &[ix("j"), ix("i")], fin);
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let n = p[0] as usize;
@@ -261,7 +261,7 @@ pub fn adi() -> Kernel {
         b.exit();
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (tsteps, n) = (p[0] as usize, p[1] as usize);

@@ -56,7 +56,7 @@ pub fn covariance() -> Kernel {
         b.stmt("V2", symmat, &[ix("j2"), ix("j1")], cp);
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (n, m) = (p[0] as usize, p[1] as usize);
@@ -173,7 +173,7 @@ pub fn correlation() -> Kernel {
         b.stmt("R3", symmat, &[ix("j2"), ix("j1")], cp);
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (n, m) = (p[0] as usize, p[1] as usize);

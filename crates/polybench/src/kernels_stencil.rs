@@ -42,7 +42,7 @@ pub fn jacobi_1d() -> Kernel {
         b.stmt("S1", aa, &[ix("i")], cp);
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (t, n) = (p[0] as usize, p[1] as usize);
@@ -111,7 +111,7 @@ pub fn jacobi_2d() -> Kernel {
         b.exit();
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (t, n) = (p[0] as usize, p[1] as usize);
@@ -194,7 +194,7 @@ pub fn seidel_2d() -> Kernel {
         b.exit();
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (t, n) = (p[0] as usize, p[1] as usize);
@@ -313,7 +313,7 @@ pub fn fdtd_2d() -> Kernel {
         b.exit();
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (t, nx, ny) = (p[0] as usize, p[1] as usize, p[2] as usize);
@@ -455,7 +455,7 @@ pub fn fdtd_apml() -> Kernel {
         b.exit();
         b.exit();
         b.exit();
-        b.finish()
+        b.finish().expect("well-formed SCoP")
     }
     fn reference(p: &[i64], arr: &mut [Vec<f64>]) {
         let (nz, ny, nx) = (p[0] as usize, p[1] as usize, p[2] as usize);

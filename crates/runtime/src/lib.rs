@@ -12,8 +12,7 @@
 //!   proposal), plus the [`pipeline::wavefront_2d`] executor it is compared
 //!   against in Fig. 6.
 //!
-//! Everything is built from `std::thread::scope`, `crossbeam` utilities
-//! and atomics; no work-stealing pool is spun up, matching the static
+//! Everything is built from `std::thread::scope` and atomics; no work-stealing pool is spun up, matching the static
 //! scheduling the paper's OpenMP codes use.
 
 pub mod doall;

@@ -17,6 +17,28 @@
 use crate::doall::par_for;
 use std::sync::atomic::{AtomicI64, Ordering};
 
+/// Spin iterations before a waiting pipeline thread starts yielding its
+/// time slice. Pure `spin_loop()` waiting livelocks when worker threads
+/// outnumber cores (an oversubscribed thread can spin a full scheduler
+/// quantum while the neighbor it waits on is ready to run); a bounded
+/// spin keeps the fast path cheap and `yield_now` keeps progress
+/// guaranteed.
+const SPIN_LIMIT: u32 = 1 << 10;
+
+/// Waits until `cell` reaches at least `target`: spins briefly, then
+/// yields to the scheduler between polls.
+fn await_progress(cell: &AtomicI64, target: i64) {
+    let mut spins = 0u32;
+    while cell.load(Ordering::Acquire) < target {
+        if spins < SPIN_LIMIT {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
 /// A half-open 2-D iteration grid `[i_lo, i_hi) × [j_lo, j_hi)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GridSweep {
@@ -70,9 +92,7 @@ where
                     // Still publish progress so right neighbors never stall.
                     for i in grid.i_lo..grid.i_hi {
                         if t > 0 {
-                            while progress[t - 1].load(Ordering::Acquire) < i {
-                                std::hint::spin_loop();
-                            }
+                            await_progress(&progress[t - 1], i);
                         }
                         progress[t].store(i, Ordering::Release);
                     }
@@ -81,9 +101,7 @@ where
                 for i in grid.i_lo..grid.i_hi {
                     if t > 0 {
                         // await source(i, blk_lo - 1)
-                        while progress[t - 1].load(Ordering::Acquire) < i {
-                            std::hint::spin_loop();
-                        }
+                        await_progress(&progress[t - 1], i);
                     }
                     for j in blk_lo..blk_hi {
                         body(i, j);
@@ -118,7 +136,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
+    use std::sync::Mutex;
     use std::collections::HashSet;
 
     fn grid(ni: i64, nj: i64) -> GridSweep {
@@ -151,8 +169,8 @@ mod tests {
     fn pipeline_respects_dependences() {
         for threads in [1, 3, 8] {
             let log = Mutex::new(Vec::new());
-            pipeline_2d(grid(9, 13), threads, |i, j| log.lock().push((i, j)));
-            check_order(&log.into_inner(), 9, 13);
+            pipeline_2d(grid(9, 13), threads, |i, j| log.lock().unwrap().push((i, j)));
+            check_order(&log.into_inner().unwrap(), 9, 13);
         }
     }
 
@@ -160,8 +178,8 @@ mod tests {
     fn wavefront_respects_dependences() {
         for threads in [1, 4] {
             let log = Mutex::new(Vec::new());
-            wavefront_2d(grid(7, 11), threads, |i, j| log.lock().push((i, j)));
-            check_order(&log.into_inner(), 7, 11);
+            wavefront_2d(grid(7, 11), threads, |i, j| log.lock().unwrap().push((i, j)));
+            check_order(&log.into_inner().unwrap(), 7, 11);
         }
     }
 
@@ -169,13 +187,13 @@ mod tests {
     fn both_cover_same_cells() {
         let a = Mutex::new(HashSet::new());
         pipeline_2d(grid(5, 6), 4, |i, j| {
-            a.lock().insert((i, j));
+            a.lock().unwrap().insert((i, j));
         });
         let b = Mutex::new(HashSet::new());
         wavefront_2d(grid(5, 6), 4, |i, j| {
-            b.lock().insert((i, j));
+            b.lock().unwrap().insert((i, j));
         });
-        assert_eq!(a.into_inner(), b.into_inner());
+        assert_eq!(a.into_inner().unwrap(), b.into_inner().unwrap());
     }
 
     #[test]
@@ -188,16 +206,16 @@ mod tests {
             let table: Vec<Mutex<f64>> = (0..ni * nj).map(|_| Mutex::new(0.0)).collect();
             let body = |i: i64, j: i64| {
                 let (i, j) = (i as usize, j as usize);
-                let up = if i > 0 { *table[(i - 1) * nj + j].lock() } else { 1.0 };
-                let left = if j > 0 { *table[i * nj + j - 1].lock() } else { 0.0 };
-                *table[i * nj + j].lock() = up + left;
+                let up = if i > 0 { *table[(i - 1) * nj + j].lock().unwrap() } else { 1.0 };
+                let left = if j > 0 { *table[i * nj + j - 1].lock().unwrap() } else { 0.0 };
+                *table[i * nj + j].lock().unwrap() = up + left;
             };
             if pipe {
                 pipeline_2d(grid(ni as i64, nj as i64), threads, body);
             } else {
                 wavefront_2d(grid(ni as i64, nj as i64), threads, body);
             }
-            table.into_iter().map(|m| m.into_inner()).collect()
+            table.into_iter().map(|m| m.into_inner().unwrap()).collect()
         };
         let seq = run(1, true);
         for threads in [2, 5, 8] {
@@ -209,20 +227,20 @@ mod tests {
     #[test]
     fn degenerate_grids() {
         let count = Mutex::new(0);
-        pipeline_2d(grid(0, 5), 4, |_, _| *count.lock() += 1);
-        pipeline_2d(grid(5, 0), 4, |_, _| *count.lock() += 1);
-        wavefront_2d(grid(0, 0), 4, |_, _| *count.lock() += 1);
-        assert_eq!(*count.lock(), 0);
+        pipeline_2d(grid(0, 5), 4, |_, _| *count.lock().unwrap() += 1);
+        pipeline_2d(grid(5, 0), 4, |_, _| *count.lock().unwrap() += 1);
+        wavefront_2d(grid(0, 0), 4, |_, _| *count.lock().unwrap() += 1);
+        assert_eq!(*count.lock().unwrap(), 0);
         // One-row / one-column grids.
-        pipeline_2d(grid(1, 8), 4, |_, _| *count.lock() += 1);
-        pipeline_2d(grid(8, 1), 4, |_, _| *count.lock() += 1);
-        assert_eq!(*count.lock(), 16);
+        pipeline_2d(grid(1, 8), 4, |_, _| *count.lock().unwrap() += 1);
+        pipeline_2d(grid(8, 1), 4, |_, _| *count.lock().unwrap() += 1);
+        assert_eq!(*count.lock().unwrap(), 16);
     }
 
     #[test]
     fn more_threads_than_columns() {
         let log = Mutex::new(Vec::new());
-        pipeline_2d(grid(4, 3), 16, |i, j| log.lock().push((i, j)));
-        check_order(&log.into_inner(), 4, 3);
+        pipeline_2d(grid(4, 3), 16, |i, j| log.lock().unwrap().push((i, j)));
+        check_order(&log.into_inner().unwrap(), 4, 3);
     }
 }

@@ -2,7 +2,7 @@
 //! reduction OpenMP extension of Sec. IV-D.
 
 use crate::doall::par_for_chunked;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Reduces into `target` over the iteration range `lo..hi`: each worker
 /// gets a zeroed private copy of `target`'s length, `body(i, local)`
@@ -19,7 +19,7 @@ where
         for i in a..b {
             body(i, &mut local);
         }
-        let mut g = global.lock();
+        let mut g = global.lock().unwrap_or_else(|e| e.into_inner());
         for (dst, src) in g.iter_mut().zip(&local) {
             *dst += src;
         }

@@ -53,7 +53,7 @@ fn build() -> Scop {
     b.stmt("SCALE", out, &[ix("i"), ix("j")], prod);
     b.exit();
     b.exit();
-    b.finish()
+    b.finish().expect("well-formed SCoP")
 }
 
 fn main() {
@@ -85,7 +85,8 @@ fn main() {
             tiling: false,
             ..Default::default()
         },
-    );
+    )
+    .expect("baseline optimizes");
     println!("\n== Pluto-like baseline ==\n{}", render(&baseline));
     let ours = optimize_poly_ast(
         &scop,
@@ -94,7 +95,8 @@ fn main() {
             unroll: (1, 1),
             ..Default::default()
         },
-    );
+    )
+    .expect("poly+AST optimizes");
     println!("== poly+AST ==\n{}", render(&ours));
 
     // Execute both and compare (the interpreter is the semantics oracle).

@@ -14,14 +14,20 @@ use polymix::polybench::kernel_by_name;
 fn main() {
     let kernel = kernel_by_name("gemm").unwrap();
     let scop = (kernel.build)();
-    let prog = optimize_poly_ast(
+    let prog = match optimize_poly_ast(
         &scop,
         &PolyAstOptions {
             tile: 32,
             unroll: (2, 2),
             ..Default::default()
         },
-    );
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("gemm failed to optimize: {e}");
+            std::process::exit(1);
+        }
+    };
     let params = kernel.dataset("small").params;
     let src = emit_rust(
         &prog,

@@ -29,7 +29,8 @@ fn main() {
             unroll: (2, 2),
             ..Default::default()
         },
-    );
+    )
+    .expect("gemm optimizes");
     println!("optimized loop nest:\n{}", render(&optimized));
 
     // 3. Verify semantics against the native reference implementation.

@@ -9,7 +9,7 @@ use polymix::ast::tree::Par;
 use polymix::core::{optimize_poly_ast, PolyAstOptions};
 use polymix::polybench::kernel_by_name;
 use polymix::runtime::{pipeline_2d, wavefront_2d, GridSweep};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 fn main() {
     // --- 1. The runtime primitives on a dependent sweep -----------------
@@ -26,17 +26,17 @@ fn main() {
             .collect();
         let body = |i: i64, j: i64| {
             let (i, j) = (i as usize, j as usize);
-            let up = *field[(i - 1) * n + j].lock();
-            let left = *field[i * n + j - 1].lock();
-            let me = *field[i * n + j].lock();
-            *field[i * n + j].lock() = 0.25 * (2.0 * me + up + left);
+            let up = *field[(i - 1) * n + j].lock().unwrap();
+            let left = *field[i * n + j - 1].lock().unwrap();
+            let me = *field[i * n + j].lock().unwrap();
+            *field[i * n + j].lock().unwrap() = 0.25 * (2.0 * me + up + left);
         };
         if use_pipeline {
             pipeline_2d(grid, 4, body);
         } else {
             wavefront_2d(grid, 4, body);
         }
-        field.into_iter().map(|m| m.into_inner()).collect()
+        field.into_iter().map(|m| m.into_inner().unwrap()).collect()
     };
     let by_pipeline = run(true);
     let by_wavefront = run(false);
@@ -54,7 +54,8 @@ fn main() {
             unroll: (1, 1),
             ..Default::default()
         },
-    );
+    )
+    .expect("seidel-2d optimizes");
     println!("\nseidel-2d under poly+AST (note the `pipefor` tile loop):\n");
     println!("{}", render(&prog));
     let mut found = false;

@@ -23,11 +23,11 @@ fn check(kernel: &str, variant: Variant, tolerance: f64) {
     let machine = Machine::nehalem();
     let params = k.dataset("small").params;
     let r = runner();
-    let native = build_variant(&k, Variant::Native, &machine);
+    let native = build_variant(&k, Variant::Native, &machine).expect("native variant");
     let base = r
         .run(&k, &native, &params, &format!("{kernel}_native"))
         .unwrap_or_else(|e| panic!("{kernel} native: {e}"));
-    let prog = build_variant(&k, variant, &machine);
+    let prog = build_variant(&k, variant, &machine).expect("variant builds");
     let got = r
         .run(&k, &prog, &params, &format!("{kernel}_{variant:?}"))
         .unwrap_or_else(|e| panic!("{kernel} {variant:?}: {e}"));

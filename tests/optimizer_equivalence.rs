@@ -21,7 +21,7 @@ fn check_all(variant: Variant, bump: i64) {
             .collect();
         let mut expected = k.fresh_arrays(&scop, &params);
         (k.reference)(&params, &mut expected);
-        let prog = build_variant(&k, variant, &machine);
+        let prog = build_variant(&k, variant, &machine).expect("variant builds");
         let mut actual = k.fresh_arrays(&scop, &params);
         execute(&prog, &params, &mut actual);
         for (ai, (e, a)) in expected.iter().zip(&actual).enumerate() {

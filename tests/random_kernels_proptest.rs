@@ -1,3 +1,4 @@
+#![cfg(feature = "proptest")]
 //! Property-based end-to-end testing: randomly generated two-statement
 //! producer/consumer kernels (with random stencil offsets, loop extents
 //! and coupling) must survive both optimizers bit-for-bit. This hunts for
@@ -81,7 +82,7 @@ fn build(spec: &Spec) -> Scop {
     }
     b.exit();
     b.exit();
-    b.finish()
+    b.finish().expect("well-formed SCoP")
 }
 
 fn run(prog: &polymix::ast::tree::Program, n: i64) -> Vec<Vec<f64>> {
@@ -101,13 +102,17 @@ proptest! {
     #[test]
     fn poly_ast_preserves_random_kernels(spec in spec_strategy()) {
         let scop = build(&spec);
-        let reference = run(&original_program(&scop), spec.n);
+        let reference = run(&original_program(&scop).expect("original program"), spec.n);
         let opt = optimize_poly_ast(&scop, &PolyAstOptions {
             tile: 3,
             time_tile: 2,
             unroll: (2, 2),
             ..Default::default()
         });
+        let opt = match opt {
+            Ok(p) => p,
+            Err(e) => return Err(format!("spec {spec:?}: {e}")),
+        };
         let got = run(&opt, spec.n);
         prop_assert_eq!(&reference, &got, "spec {:?}", spec);
     }
@@ -115,7 +120,7 @@ proptest! {
     #[test]
     fn pluto_preserves_random_kernels(spec in spec_strategy()) {
         let scop = build(&spec);
-        let reference = run(&original_program(&scop), spec.n);
+        let reference = run(&original_program(&scop).expect("original program"), spec.n);
         for variant in [PlutoVariant::Pocc, PlutoVariant::MaxFuse, PlutoVariant::NoFuse] {
             let opt = optimize_pluto(&scop, &PlutoOptions {
                 variant,
@@ -123,6 +128,10 @@ proptest! {
                 time_tile: 2,
                 ..Default::default()
             });
+            let opt = match opt {
+                Ok(p) => p,
+                Err(e) => return Err(format!("spec {spec:?} variant {variant:?}: {e}")),
+            };
             let got = run(&opt, spec.n);
             prop_assert_eq!(&reference, &got, "spec {:?} variant {:?}", spec, variant);
         }

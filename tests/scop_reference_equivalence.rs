@@ -27,7 +27,7 @@ fn check_at(adjust: impl Fn(&[i64]) -> Vec<i64>) {
         let mut expected = k.fresh_arrays(&scop, &params);
         (k.reference)(&params, &mut expected);
 
-        let prog = original_program(&scop);
+        let prog = original_program(&scop).expect("original program");
         let mut actual = k.fresh_arrays(&scop, &params);
         polymix::ast::interp::execute(&prog, &params, &mut actual);
 
