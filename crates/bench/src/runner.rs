@@ -114,19 +114,26 @@ pub fn compile_and_run(
     let bin_path = work_dir.join(&id);
     if !bin_path.exists() {
         std::fs::write(&src_path, src).map_err(|e| e.to_string())?;
+        // Compile to a private temp path and atomically rename into
+        // place: a rustc killed mid-write (or a concurrent sweep) must
+        // never leave a partial binary where the existence check above
+        // would find — and execute — it.
+        let tmp_path = work_dir.join(format!("{id}.tmp.{}", std::process::id()));
         let out = Command::new("rustc")
             .args(rustc_flags)
             .arg("-o")
-            .arg(&bin_path)
+            .arg(&tmp_path)
             .arg(&src_path)
             .output()
             .map_err(|e| format!("rustc spawn: {e}"))?;
         if !out.status.success() {
+            let _ = std::fs::remove_file(&tmp_path);
             return Err(format!(
                 "rustc failed for {label}:\n{}",
                 String::from_utf8_lossy(&out.stderr)
             ));
         }
+        std::fs::rename(&tmp_path, &bin_path).map_err(|e| format!("cache rename: {e}"))?;
     }
     let out = Command::new(&bin_path)
         .output()
