@@ -16,10 +16,28 @@ cargo test -q
 # is required so the lints do not leak into path dependencies (e.g.
 # polymix-deps), which are linted at their default levels.
 echo "== clippy abort-site gate =="
-for c in polymix-ir polymix-ast polymix-codegen polymix-pluto polymix-core; do
+for c in polymix-ir polymix-ast polymix-codegen polymix-pluto polymix-core polymix-bench; do
     echo "-- $c"
     cargo clippy --lib --no-deps -p "$c" -- \
         -D clippy::unwrap_used -D clippy::panic
 done
+
+# Fast end-to-end sweep smoke test: one kernel through the parallel
+# executor (2 jobs, tmpdir cache, JSONL log), then the same invocation
+# again, which must resume every job from the log.
+echo "== sweep smoke test =="
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+for pass in run resume; do
+    echo "-- table1 mini sweep ($pass)"
+    POLYMIX_BENCH_DIR="$SMOKE_DIR/cache" \
+        cargo run --release -q -p polymix-bench --bin table1 -- \
+        --dataset mini --jobs 2 --run-timeout 120 \
+        --results "$SMOKE_DIR/table1.jsonl" > /dev/null
+done
+# One record per variant from the first pass; the resume pass must add
+# nothing (every job replayed from the log).
+RECORDS=$(wc -l < "$SMOKE_DIR/table1.jsonl")
+[ "$RECORDS" -eq 4 ] || { echo "expected exactly 4 JSONL records, got $RECORDS"; exit 1; }
 
 echo "CI OK"

@@ -5,7 +5,8 @@
 //! profitability test (Sec. III-B2) arbitrates.
 
 use polymix_bench::report::{gf, Cli, Table};
-use polymix_bench::runner::Runner;
+use polymix_bench::runner::{emit_source, Runner};
+use polymix_bench::sweep::{run_sweep, SweepConfig, SweepJob};
 use polymix_core::{optimize_poly_ast, PolyAstOptions};
 use polymix_dl::Machine;
 use polymix_polybench::kernel_by_name;
@@ -16,38 +17,56 @@ fn main() {
     let runner = Runner::new(cli.threads);
     println!("== Fusion ablation (poly+AST with/without Algorithm 5 fusion) ==");
     let mut t = Table::new(&["kernel", "fused GF/s", "unfused GF/s"]);
-    for name in ["2mm", "3mm", "gemm", "gesummv", "atax", "correlation"] {
-        let k = kernel_by_name(name).unwrap();
-        let scop = (k.build)();
+    let names = ["2mm", "3mm", "gemm", "gesummv", "atax", "correlation"];
+    // Both the variant build and the measurement run on sweep workers;
+    // per-configuration failures become error cells and the sweep
+    // continues with the remaining configurations.
+    let cfg = SweepConfig::from_cli(&cli);
+    let mut jobs: Vec<SweepJob> = Vec::new();
+    for name in names {
+        let Some(k) = kernel_by_name(name) else {
+            continue;
+        };
         let params = k.dataset(&cli.dataset).params;
-        let mut cells = vec![name.to_string()];
         for fusion in [true, false] {
-            let prog = optimize_poly_ast(
-                &scop,
-                &PolyAstOptions {
-                    machine: machine.clone(),
-                    fusion,
-                    ..Default::default()
-                },
-            );
-            let label = format!("fuse_{name}_{fusion}");
-            // Per-configuration failures become error cells; the sweep
-            // continues with the remaining configurations.
-            let prog = match prog {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("{label}: {e}");
-                    cells.push(e.cell());
-                    continue;
+            let (kc, mc, pc) = (k.clone(), machine.clone(), params.clone());
+            let (threads, reps) = (runner.threads, runner.reps);
+            jobs.push(SweepJob {
+                id: format!("fuse:{name}:{fusion}:{}", cli.dataset),
+                kernel: name.to_string(),
+                variant: format!("fusion={fusion}"),
+                dataset: cli.dataset.clone(),
+                params: params.clone(),
+                source: Box::new(move || {
+                    let prog = optimize_poly_ast(
+                        &(kc.build)(),
+                        &PolyAstOptions {
+                            machine: mc,
+                            fusion,
+                            ..Default::default()
+                        },
+                    )?;
+                    Ok(emit_source(&kc, &prog, &pc, threads, reps))
+                }),
+            });
+        }
+    }
+    let outcomes = run_sweep(jobs, &runner, &cfg);
+    let mut results = outcomes.iter();
+    for name in names {
+        if kernel_by_name(name).is_none() {
+            continue;
+        }
+        let mut cells = vec![name.to_string()];
+        for _ in 0..2 {
+            cells.push(match results.next().map(|o| &o.result) {
+                Some(Ok(r)) => gf(r.gflops),
+                Some(Err(e)) => {
+                    eprintln!("{name}: {e}");
+                    e.cell()
                 }
-            };
-            match runner.run(&k, &prog, &params, &label) {
-                Ok(r) => cells.push(gf(r.gflops)),
-                Err(e) => {
-                    eprintln!("{label}: {e}");
-                    cells.push(e.cell());
-                }
-            }
+                None => "-".into(),
+            });
         }
         t.row(cells);
     }

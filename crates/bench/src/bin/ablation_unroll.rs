@@ -3,7 +3,8 @@
 //! unroll-and-jam factors of the poly+AST flow on gemm and 2mm.
 
 use polymix_bench::report::{gf, Cli};
-use polymix_bench::runner::Runner;
+use polymix_bench::runner::{emit_source, Runner};
+use polymix_bench::sweep::{run_sweep, SweepConfig, SweepJob};
 use polymix_core::{optimize_poly_ast, PolyAstOptions};
 use polymix_dl::Machine;
 use polymix_polybench::kernel_by_name;
@@ -14,42 +15,59 @@ fn main() {
     let runner = Runner::new(cli.threads);
     println!("== Register-tiling ablation (unroll-and-jam factor sweep) ==");
     let factors: [(i64, i64); 5] = [(1, 1), (1, 2), (2, 2), (2, 4), (4, 4)];
+    let names = ["gemm", "2mm", "syrk"];
     let mut header: Vec<String> = vec!["kernel".into()];
     header.extend(factors.iter().map(|(o, i)| format!("{o}x{i}")));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut t = polymix_bench::report::Table::new(&header_refs);
-    for name in ["gemm", "2mm", "syrk"] {
-        let k = kernel_by_name(name).unwrap();
-        let scop = (k.build)();
+    // Per-configuration failures become error cells; the sweep continues
+    // with the remaining configurations.
+    let cfg = SweepConfig::from_cli(&cli);
+    let mut jobs: Vec<SweepJob> = Vec::new();
+    for name in names {
+        let Some(k) = kernel_by_name(name) else {
+            continue;
+        };
         let params = k.dataset(&cli.dataset).params;
-        let mut cells = vec![name.to_string()];
         for &(o, i) in &factors {
-            let prog = optimize_poly_ast(
-                &scop,
-                &PolyAstOptions {
-                    machine: machine.clone(),
-                    unroll: (o, i),
-                    ..Default::default()
-                },
-            );
-            let label = format!("unroll_{name}_{o}x{i}");
-            // Per-configuration failures become error cells; the sweep
-            // continues with the remaining configurations.
-            let prog = match prog {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("{label}: {e}");
-                    cells.push(e.cell());
-                    continue;
+            let (kc, mc, pc) = (k.clone(), machine.clone(), params.clone());
+            let (threads, reps) = (runner.threads, runner.reps);
+            jobs.push(SweepJob {
+                id: format!("unroll:{name}:{o}x{i}:{}", cli.dataset),
+                kernel: name.to_string(),
+                variant: format!("{o}x{i}"),
+                dataset: cli.dataset.clone(),
+                params: params.clone(),
+                source: Box::new(move || {
+                    let prog = optimize_poly_ast(
+                        &(kc.build)(),
+                        &PolyAstOptions {
+                            machine: mc,
+                            unroll: (o, i),
+                            ..Default::default()
+                        },
+                    )?;
+                    Ok(emit_source(&kc, &prog, &pc, threads, reps))
+                }),
+            });
+        }
+    }
+    let outcomes = run_sweep(jobs, &runner, &cfg);
+    let mut results = outcomes.iter();
+    for name in names {
+        if kernel_by_name(name).is_none() {
+            continue;
+        }
+        let mut cells = vec![name.to_string()];
+        for _ in 0..factors.len() {
+            cells.push(match results.next().map(|o| &o.result) {
+                Some(Ok(r)) => gf(r.gflops),
+                Some(Err(e)) => {
+                    eprintln!("{name}: {e}");
+                    e.cell()
                 }
-            };
-            match runner.run(&k, &prog, &params, &label) {
-                Ok(r) => cells.push(gf(r.gflops)),
-                Err(e) => {
-                    eprintln!("{label}: {e}");
-                    cells.push(e.cell());
-                }
-            }
+                None => "-".into(),
+            });
         }
         t.row(cells);
     }

@@ -7,7 +7,8 @@
 
 use polymix_ast::pretty::render;
 use polymix_bench::report::{gf, Cli, Table};
-use polymix_bench::runner::Runner;
+use polymix_bench::runner::{emit_source, Runner};
+use polymix_bench::sweep::{run_sweep, SweepConfig, SweepJob};
 use polymix_core::{optimize_poly_ast, PolyAstOptions};
 use polymix_dl::Machine;
 use polymix_ir::builder::{con, ix, par, ScopBuilder};
@@ -95,11 +96,19 @@ fn main() {
     ];
     println!("== Fig. 5 — poly+AST vs doall-only parallelization ==");
     let mut t = Table::new(&["pattern", "poly+ast GF/s", "doall-only GF/s"]);
+    // Build (and print) the chosen loop structures serially — the
+    // renders are part of the figure — then measure everything on the
+    // parallel sweep executor. A failed configuration yields an error
+    // cell; the other column and the remaining patterns still run.
+    let cfg = SweepConfig::from_cli(&cli);
+    let mut jobs: Vec<SweepJob> = Vec::new();
+    let mut cells: Vec<Vec<String>> = Vec::new(); // row-major; "" = pending job
     for k in &kernels {
         let scop = (k.build)();
         let params = k.dataset(&cli.dataset).params;
-        let mk = |doall_only: bool| {
-            optimize_poly_ast(
+        let mut row = vec![k.name.to_string()];
+        for (doall_only, suffix) in [(false, "ours"), (true, "doall")] {
+            let prog = optimize_poly_ast(
                 &scop,
                 &PolyAstOptions {
                     machine: machine.clone(),
@@ -108,30 +117,44 @@ fn main() {
                     unroll: (1, 1),
                     ..Default::default()
                 },
-            )
-        };
-        // A failed configuration yields an error cell; the other column
-        // and the remaining patterns still run.
-        let measure = |prog: Result<polymix_ast::tree::Program, polymix_core::PolymixError>,
-                       suffix: &str| match prog {
-            Ok(p) => {
-                println!("-- {} — {suffix} chooses:\n{}", k.name, render(&p));
-                runner
-                    .run(k, &p, &params, &format!("{}_{suffix}", k.name))
-                    .map(|r| gf(r.gflops))
-                    .unwrap_or_else(|e| {
-                        eprintln!("{e}");
-                        e.cell()
-                    })
+            );
+            match prog {
+                Ok(p) => {
+                    println!("-- {} — {suffix} chooses:\n{}", k.name, render(&p));
+                    let (kc, pc) = (k.clone(), params.clone());
+                    let (threads, reps) = (runner.threads, runner.reps);
+                    jobs.push(SweepJob {
+                        id: format!("fig5:{}:{suffix}:{}", k.name, cli.dataset),
+                        kernel: k.name.to_string(),
+                        variant: suffix.to_string(),
+                        dataset: cli.dataset.clone(),
+                        params: params.clone(),
+                        source: Box::new(move || Ok(emit_source(&kc, &p, &pc, threads, reps))),
+                    });
+                    row.push(String::new());
+                }
+                Err(e) => {
+                    eprintln!("{}: {suffix} failed: {e}", k.name);
+                    row.push(e.cell());
+                }
             }
-            Err(e) => {
-                eprintln!("{}: {suffix} failed: {e}", k.name);
-                e.cell()
-            }
-        };
-        let g1 = measure(mk(false), "ours");
-        let g2 = measure(mk(true), "doall");
-        t.row(vec![k.name.to_string(), g1, g2]);
+        }
+        cells.push(row);
+    }
+    let outcomes = run_sweep(jobs, &runner, &cfg);
+    let mut results = outcomes.iter();
+    for row in &mut cells {
+        for cell in row.iter_mut().skip(1).filter(|c| c.is_empty()) {
+            *cell = match results.next().map(|o| &o.result) {
+                Some(Ok(r)) => gf(r.gflops),
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    e.cell()
+                }
+                None => "-".into(),
+            };
+        }
+        t.row(row.clone());
     }
     println!("{}", t.render());
 }

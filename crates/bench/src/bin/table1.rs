@@ -5,7 +5,8 @@
 
 use polymix_ast::pretty::render;
 use polymix_bench::report::{gf, Cli, Table};
-use polymix_bench::runner::Runner;
+use polymix_bench::runner::{emit_source, Runner};
+use polymix_bench::sweep::{run_sweep, SweepConfig, SweepJob};
 use polymix_bench::variants::{build_variant, Variant};
 use polymix_core::{optimize_poly_ast, PolyAstOptions};
 use polymix_dl::Machine;
@@ -58,27 +59,42 @@ fn main() {
         cli.dataset, cli.threads
     );
     let mut t = Table::new(&["variant", "GFLOP/s"]);
-    for (label, variant) in [
+    let entries = [
         ("original", Variant::Native),
         ("pocc (maxfuse)", Variant::PlutoMaxFuse),
         ("pocc (smartfuse)", Variant::Pocc),
         ("our flow", Variant::PolyAst),
-    ] {
-        // Per-variant failures become `error(<stage>)` rows; the table
-        // still renders with every other variant measured.
-        let prog = match build_variant(&k, variant, &machine) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("{label}: {e}");
-                t.row(vec![label.into(), e.cell()]);
-                continue;
+    ];
+    // Per-variant failures become `error(<stage>)` rows via the sweep
+    // executor; the table still renders with every other variant
+    // measured.
+    let cfg = SweepConfig::from_cli(&cli);
+    let jobs: Vec<SweepJob> = entries
+        .iter()
+        .map(|&(_, variant)| {
+            let (kc, mc, pc) = (k.clone(), machine.clone(), params.clone());
+            let (threads, reps) = (runner.threads, runner.reps);
+            SweepJob {
+                id: format!("table1:{}:{}", variant.name(), cli.dataset),
+                kernel: k.name.to_string(),
+                variant: variant.name().to_string(),
+                dataset: cli.dataset.clone(),
+                params: params.clone(),
+                source: Box::new(move || {
+                    let prog = build_variant(&kc, variant, &mc)?;
+                    Ok(emit_source(&kc, &prog, &pc, threads, reps))
+                }),
             }
-        };
-        match runner.run(&k, &prog, &params, &format!("table1_{}", variant.name())) {
-            Ok(r) => t.row(vec![label.into(), gf(r.gflops)]),
+        })
+        .collect();
+    let outcomes = run_sweep(jobs, &runner, &cfg);
+    for ((label, variant), outcome) in entries.iter().zip(&outcomes) {
+        debug_assert_eq!(outcome.variant, variant.name());
+        match &outcome.result {
+            Ok(r) => t.row(vec![(*label).into(), gf(r.gflops)]),
             Err(e) => {
                 eprintln!("{label}: {e}");
-                t.row(vec![label.into(), e.cell()]);
+                t.row(vec![(*label).into(), e.cell()]);
             }
         }
     }

@@ -1,9 +1,10 @@
 //! Shared driver for the group figures (Figs. 7, 8, 9): run every kernel
-//! of a group through every variant, cross-validate checksums, report
-//! GFLOP/s.
+//! of a group through every variant on the parallel sweep executor,
+//! cross-validate checksums, report GFLOP/s.
 
 use crate::report::{gf, Cli, Table};
-use crate::runner::Runner;
+use crate::runner::{emit_source, Runner};
+use crate::sweep::{run_sweep, JobOutcome, SweepConfig, SweepJob};
 use crate::variants::{build_variant, variant_list, Variant};
 use polymix_dl::Machine;
 use polymix_polybench::{all_kernels, Group};
@@ -13,45 +14,68 @@ pub fn run_group_figure(title: &str, group: Group) {
     let cli = Cli::parse();
     let machine = Machine::host();
     let runner = Runner::new(cli.threads);
+    let cfg = SweepConfig::from_cli(&cli);
     let variants = variant_list();
 
     println!("== {title} ==");
     println!(
-        "dataset: {}, threads: {}, machine: {} (GFLOP/s, higher is better)",
-        cli.dataset, cli.threads, machine.name
+        "dataset: {}, threads: {}, jobs: {}, machine: {} (GFLOP/s, higher is better)",
+        cli.dataset, cli.threads, cfg.jobs, machine.name
     );
+
+    let kernels: Vec<_> = all_kernels()
+        .into_iter()
+        .filter(|k| k.group == group)
+        .collect();
+    let mut jobs: Vec<SweepJob> = Vec::new();
+    for k in &kernels {
+        let params = k.dataset(&cli.dataset).params;
+        for &v in &variants {
+            let (kc, mc, pc) = (k.clone(), machine.clone(), params.clone());
+            let (threads, reps) = (runner.threads, runner.reps);
+            jobs.push(SweepJob {
+                id: format!("{}:{}:{}", k.name, v.name(), cli.dataset),
+                kernel: k.name.to_string(),
+                variant: v.name().to_string(),
+                dataset: cli.dataset.clone(),
+                params: params.clone(),
+                source: Box::new(move || {
+                    let prog = build_variant(&kc, v, &mc)?;
+                    Ok(emit_source(&kc, &prog, &pc, threads, reps))
+                }),
+            });
+        }
+    }
+    let outcomes = run_sweep(jobs, &runner, &cfg);
+    let by_key = |kernel: &str, v: Variant| -> Option<&JobOutcome> {
+        outcomes
+            .iter()
+            .find(|o| o.kernel == kernel && o.variant == v.name())
+    };
+
     let mut header: Vec<&str> = vec!["kernel"];
     header.extend(variants.iter().map(|v| v.name()));
     header.push("iterative*");
     let mut table = Table::new(&header);
 
-    for k in all_kernels().iter().filter(|k| k.group == group) {
-        let params = k.dataset(&cli.dataset).params;
+    for k in &kernels {
         let mut cells = vec![k.name.to_string()];
         let mut checks: Vec<(Variant, f64)> = Vec::new();
         let mut results: Vec<(Variant, f64)> = Vec::new();
         for &v in &variants {
-            // A failed kernel/variant records an `error(<stage>)` cell
-            // and the sweep moves on (see EXPERIMENTS.md).
-            let prog = match build_variant(k, v, &machine) {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("{}: {v:?} failed: {e}", k.name);
-                    cells.push(e.cell());
-                    continue;
-                }
-            };
-            let label = format!("{}_{}", k.name.replace('-', "_"), v.name().replace(['+', '(', ')'], "_"));
-            match runner.run(k, &prog, &params, &label) {
-                Ok(r) => {
+            match by_key(k.name, v).map(|o| &o.result) {
+                Some(Ok(r)) => {
                     cells.push(gf(r.gflops));
                     checks.push((v, r.checksum));
                     results.push((v, r.gflops));
                 }
-                Err(e) => {
+                Some(Err(e)) => {
+                    // A failed kernel/variant records an `error(<stage>)`
+                    // cell and the figure renders on (see EXPERIMENTS.md).
                     eprintln!("{}: {v:?} failed: {e}", k.name);
                     cells.push(e.cell());
                 }
+                None => cells.push("-".into()),
             }
         }
         // `iterative` is the auto-tuned best over the enumerated fusion

@@ -10,6 +10,12 @@
 //!   standalone Rust program, compile it with `rustc -O`, run it, parse
 //!   checksum / time / GFLOP/s (the reproduction's analogue of "compile
 //!   with ICC and run on the testbed");
+//! * [`sweep`] — the crash-safe parallel sweep executor: a bounded
+//!   worker pool pipelining emit→compile→run over (kernel, variant,
+//!   dataset) jobs, with an exactly-once atomic binary cache, per-stage
+//!   timeouts, transient-failure retries, and an append-only JSONL
+//!   results log that makes interrupted sweeps resumable (`--jobs`,
+//!   `--measure-jobs`, `--results`);
 //! * [`report`] — plain-text table rendering for the `fig*`/`table*`
 //!   binaries.
 //!
@@ -23,8 +29,10 @@ pub mod figures;
 pub mod microbench;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 pub mod variants;
 
 pub use report::Table;
-pub use runner::{compile_and_run, RunResult, Runner};
+pub use runner::{compile_and_run, compile_and_run_with, RunResult, Runner};
+pub use sweep::{run_sweep, JobOutcome, SweepConfig, SweepJob};
 pub use variants::{build_variant, variant_list, Variant};

@@ -60,12 +60,28 @@ pub fn gf(x: f64) -> String {
 }
 
 /// Parses `--dataset <name>` / `--threads <n>` style CLI arguments with
-/// defaults; unknown arguments are ignored.
+/// defaults; unknown arguments are ignored. The sweep flags (`--jobs`
+/// and friends) feed [`crate::sweep::SweepConfig::from_cli`].
 pub struct Cli {
     /// Dataset name (default `small`).
     pub dataset: String,
-    /// Worker threads (default: available parallelism).
+    /// Worker threads for the *measured* kernels (default: available
+    /// parallelism).
     pub threads: usize,
+    /// Sweep worker threads pipelining emit→compile→run (`--jobs`,
+    /// default 1 = the historical serial behavior).
+    pub jobs: usize,
+    /// Concurrent measured runs (`--measure-jobs`, default 1 so parallel
+    /// compilation never perturbs timing).
+    pub measure_jobs: usize,
+    /// Per-`rustc` wall-clock budget in seconds (`--compile-timeout`).
+    pub compile_timeout_s: u64,
+    /// Per-run wall-clock budget in seconds (`--run-timeout`).
+    pub run_timeout_s: u64,
+    /// Transient-failure retries (`--retries`, default 2).
+    pub retries: usize,
+    /// JSONL results log path (`--results`); enables resume.
+    pub results: Option<String>,
 }
 
 impl Cli {
@@ -77,6 +93,9 @@ impl Cli {
                 .position(|a| a == key)
                 .and_then(|i| args.get(i + 1).cloned())
         };
+        let num = |key: &str, default: usize| -> usize {
+            grab(key).and_then(|s| s.parse().ok()).unwrap_or(default)
+        };
         Cli {
             dataset: grab("--dataset").unwrap_or_else(|| "small".into()),
             threads: grab("--threads")
@@ -86,6 +105,12 @@ impl Cli {
                         .map(|n| n.get())
                         .unwrap_or(4)
                 }),
+            jobs: num("--jobs", 1),
+            measure_jobs: num("--measure-jobs", 1),
+            compile_timeout_s: num("--compile-timeout", 600) as u64,
+            run_timeout_s: num("--run-timeout", 600) as u64,
+            retries: num("--retries", 2),
+            results: grab("--results"),
         }
     }
 }

@@ -1,0 +1,200 @@
+//! Crash-safety tests for the sweep executor and the binary cache under
+//! contention: exactly-once compiles, truncated-cache recovery, run
+//! timeouts that kill runaway kernels, and JSONL resume.
+//!
+//! These compile tiny real programs with `rustc` (no `-O`, sub-second
+//! each) so they exercise the exact process-handling paths the
+//! measurement harness uses.
+
+use polymix_bench::runner::{compile_and_run, ensure_compiled, run_binary, Runner};
+use polymix_bench::sweep::{run_sweep, SweepConfig, SweepJob};
+use polymix_ir::error::Stage;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("polymix-sweep-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create tmp work dir");
+    d
+}
+
+/// A well-formed measurement program printing the three expected keys.
+fn ok_src(tag: u32) -> String {
+    format!(
+        "fn main() {{\n    println!(\"checksum: {tag}.5\");\n    \
+         println!(\"time_s: 0.001\");\n    println!(\"gflops: 1.0\");\n}}\n"
+    )
+}
+
+/// A kernel "miscompiled" into an infinite loop: never prints, never
+/// exits.
+const LOOP_SRC: &str = "fn main() { loop { std::hint::spin_loop() } }\n";
+
+fn test_runner(work_dir: PathBuf) -> Runner {
+    Runner {
+        work_dir,
+        threads: 1,
+        reps: 1,
+        rustc_flags: vec![],
+        ..Runner::new(1)
+    }
+}
+
+fn job(id: &str, src: String) -> SweepJob {
+    SweepJob {
+        id: id.to_string(),
+        kernel: id.to_string(),
+        variant: "test".to_string(),
+        dataset: "mini".to_string(),
+        params: vec![4],
+        source: Box::new(move || Ok(src)),
+    }
+}
+
+#[test]
+fn concurrent_identical_sources_compile_exactly_once() {
+    let dir = tmp_dir("contend");
+    let src = ok_src(7);
+    let flags: Vec<String> = vec![];
+    let fresh = AtomicUsize::new(0);
+    const N: usize = 8;
+    std::thread::scope(|s| {
+        for _ in 0..N {
+            s.spawn(|| {
+                // Every thread must run successfully...
+                let r = compile_and_run(&src, &dir, &flags, "contend").expect("run succeeds");
+                assert!((r.checksum - 7.5).abs() < 1e-12);
+                // ...and at most one observes a cache-miss compile.
+                let c = ensure_compiled(&src, &dir, &flags, "contend", Duration::from_secs(120))
+                    .expect("compile resolves");
+                if c.freshly_compiled {
+                    fresh.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(fresh.load(Ordering::Relaxed), 0, "all post-run lookups hit the cache");
+    // Exactly one binary, no leftover temp or lock files.
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("read work dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(!names.iter().any(|n| n.contains(".tmp.")), "temp leak: {names:?}");
+    assert!(!names.iter().any(|n| n.ends_with(".lock")), "lock leak: {names:?}");
+    assert_eq!(
+        names.iter().filter(|n| !n.ends_with(".rs")).count(),
+        1,
+        "exactly one cached binary: {names:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_cached_binary_is_recompiled_not_trusted() {
+    let dir = tmp_dir("truncate");
+    let src = ok_src(3);
+    let flags: Vec<String> = vec![];
+    let c = ensure_compiled(&src, &dir, &flags, "trunc", Duration::from_secs(120))
+        .expect("initial compile");
+    assert!(c.freshly_compiled);
+    // Simulate a binary half-written by a pre-atomic-rename sweep that
+    // was killed mid-rustc: the cache entry exists but is garbage.
+    std::fs::write(&c.bin_path, b"\x7fELF garbage, not a real binary").expect("truncate");
+    assert!(
+        run_binary(&c.bin_path, "trunc", Duration::from_secs(10)).is_err(),
+        "garbage binary must not run"
+    );
+    // The full pipeline detects the failing cached binary, invalidates
+    // it, recompiles, and succeeds.
+    let r = compile_and_run(&src, &dir, &flags, "trunc").expect("recovers by recompiling");
+    assert!((r.checksum - 3.5).abs() < 1e-12);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn infinite_loop_times_out_without_stalling_other_jobs() {
+    let dir = tmp_dir("timeout");
+    let runner = test_runner(dir.clone());
+    let cfg = SweepConfig {
+        jobs: 2,
+        run_timeout: Duration::from_secs(2),
+        ..SweepConfig::default()
+    };
+    let t0 = Instant::now();
+    let outcomes = run_sweep(
+        vec![job("looper", LOOP_SRC.to_string()), job("good", ok_src(1))],
+        &runner,
+        &cfg,
+    );
+    let elapsed = t0.elapsed();
+    assert_eq!(outcomes.len(), 2);
+    let looper = &outcomes[0];
+    let err = looper.result.as_ref().expect_err("looper must time out");
+    assert_eq!(err.stage(), Stage::Runner);
+    assert_eq!(err.cell(), "error(runner)");
+    assert!(err.to_string().contains("timeout"), "detail: {err}");
+    let good = &outcomes[1];
+    assert!(good.result.is_ok(), "good job must complete: {:?}", good.result);
+    // Well under the wedge-forever regime: deadline + compile + slack.
+    assert!(elapsed < Duration::from_secs(60), "sweep stalled: {elapsed:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn jsonl_resume_skips_recorded_jobs_with_zero_recompiles() {
+    let dir = tmp_dir("resume");
+    let log = dir.join("results.jsonl");
+    let runner = test_runner(dir.join("cache-a"));
+    let cfg = SweepConfig {
+        jobs: 2,
+        results_path: Some(log.clone()),
+        ..SweepConfig::default()
+    };
+    let first = run_sweep(
+        vec![job("j1", ok_src(1)), job("j2", ok_src(2))],
+        &runner,
+        &cfg,
+    );
+    assert!(first.iter().all(|o| o.result.is_ok() && !o.resumed));
+    assert!(log.exists(), "sweep must write the JSONL log");
+
+    // Re-invoke against a *fresh* cache dir: if resume works, no source
+    // is ever built and no binary is ever compiled.
+    let fresh_cache = dir.join("cache-b");
+    let runner2 = test_runner(fresh_cache.clone());
+    let built = std::sync::Arc::new(AtomicBool::new(false));
+    let rebuilt_jobs: Vec<SweepJob> = [(1u32, "j1"), (2, "j2")]
+        .into_iter()
+        .map(|(tag, id)| SweepJob {
+            id: id.to_string(),
+            kernel: id.to_string(),
+            variant: "test".to_string(),
+            dataset: "mini".to_string(),
+            params: vec![4],
+            source: Box::new({
+                let built = built.clone();
+                let src = ok_src(tag);
+                move || {
+                    built.store(true, Ordering::Relaxed);
+                    Ok(src)
+                }
+            }),
+        })
+        .collect();
+    let second = run_sweep(rebuilt_jobs, &runner2, &cfg);
+    assert_eq!(second.len(), 2);
+    for (a, b) in first.iter().zip(&second) {
+        assert!(b.resumed, "{} must be replayed from the log", b.id);
+        let (ra, rb) = (a.result.as_ref().expect("ok"), b.result.as_ref().expect("ok"));
+        assert_eq!(ra.checksum.to_bits(), rb.checksum.to_bits(), "bit-identical replay");
+    }
+    assert!(!built.load(Ordering::Relaxed), "resume must not rebuild sources");
+    assert!(
+        !fresh_cache.exists() || std::fs::read_dir(&fresh_cache).map(|d| d.count()).unwrap_or(0) == 0,
+        "resume must not compile anything"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -60,7 +60,10 @@ impl InitSpec {
     }
 }
 
-/// One PolyBench kernel.
+/// One PolyBench kernel. `Clone` (cheap: fn pointers + static strs +
+/// the small [`InitSpec`]) so sweep jobs can own their kernel across
+/// worker threads.
+#[derive(Clone)]
 pub struct Kernel {
     /// Benchmark name as in Table II (e.g. `"2mm"`).
     pub name: &'static str,

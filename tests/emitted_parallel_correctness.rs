@@ -15,6 +15,7 @@ fn runner() -> Runner {
         threads: 4, // oversubscribed on small hosts: still exercises sync
         reps: 1,
         rustc_flags: vec!["-O".into()],
+        ..Runner::new(4)
     }
 }
 
