@@ -15,12 +15,21 @@ cargo test -q
 # the library code of the crates the pipeline runs through. `--no-deps`
 # is required so the lints do not leak into path dependencies (e.g.
 # polymix-deps), which are linted at their default levels.
+# polymix-runtime is linted without features: the `fault-inject` module
+# panics *on purpose* (that is the injected fault) and is excluded by
+# being feature-gated.
 echo "== clippy abort-site gate =="
-for c in polymix-ir polymix-ast polymix-codegen polymix-pluto polymix-core polymix-bench; do
+for c in polymix-ir polymix-ast polymix-codegen polymix-pluto polymix-core polymix-runtime polymix-bench; do
     echo "-- $c"
     cargo clippy --lib --no-deps -p "$c" -- \
         -D clippy::unwrap_used -D clippy::panic
 done
+
+# Fault-tolerance smoke test: seeded fault injection (panics, stalls,
+# adversarial schedules) and the dynamic dependence-order checker run
+# against every runtime primitive.
+echo "== runtime fault-injection tests =="
+cargo test -q -p polymix-runtime --features fault-inject
 
 # Fast end-to-end sweep smoke test: one kernel through the parallel
 # executor (2 jobs, tmpdir cache, JSONL log), then the same invocation

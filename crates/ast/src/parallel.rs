@@ -30,6 +30,26 @@ impl LoopParallelism {
     pub fn is_parallel(self) -> bool {
         self != LoopParallelism::Sequential
     }
+
+    /// The `await source(..)` offsets the runtime protocol must observe
+    /// for this kind of parallelism, as `(d_outer, d_inner)` deltas: a
+    /// cell `(i, j)` may only run after `(i + d_outer, j + d_inner)` for
+    /// every listed source. Doall and reduction levels impose no
+    /// point-to-point ordering (reductions reorder freely by
+    /// associativity); pipeline levels synchronize on the Sec. IV-D
+    /// cone `source(i-1, j) source(i, j-1)`. The runtime's `order-check`
+    /// feature and the emitted poisonable protocol both enforce exactly
+    /// this set.
+    pub fn await_sources(self) -> &'static [(i64, i64)] {
+        match self {
+            LoopParallelism::Pipeline | LoopParallelism::ReductionPipeline => {
+                &[(-1, 0), (0, -1)]
+            }
+            LoopParallelism::Doall
+            | LoopParallelism::Reduction
+            | LoopParallelism::Sequential => &[],
+        }
+    }
 }
 
 /// Classifies loop level `k` of a nest given the dependence vectors of
@@ -197,6 +217,21 @@ mod tests {
         // Dep carried at level 0 doesn't serialize level 1.
         let v = vec![(vec![Const(1), Const(-5)], false)];
         assert_eq!(classify_level(&v, 1), LoopParallelism::Doall);
+    }
+
+    #[test]
+    fn await_sources_match_the_sec_ivd_cone() {
+        assert_eq!(
+            LoopParallelism::Pipeline.await_sources(),
+            &[(-1, 0), (0, -1)]
+        );
+        assert_eq!(
+            LoopParallelism::ReductionPipeline.await_sources(),
+            &[(-1, 0), (0, -1)]
+        );
+        assert!(LoopParallelism::Doall.await_sources().is_empty());
+        assert!(LoopParallelism::Reduction.await_sources().is_empty());
+        assert!(LoopParallelism::Sequential.await_sources().is_empty());
     }
 
     #[test]

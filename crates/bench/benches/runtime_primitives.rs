@@ -37,7 +37,8 @@ fn dependent_sweep(c: &mut Criterion) {
                             * (2.0 * *p.add(i * n + j)
                                 + *p.add((i - 1) * n + j)
                                 + *p.add(i * n + j - 1));
-                    });
+                    })
+                    .expect("pipeline sweep");
                     black_box(field[n * n - 1])
                 });
             },
@@ -56,7 +57,8 @@ fn dependent_sweep(c: &mut Criterion) {
                             * (2.0 * *p.add(i * n + j)
                                 + *p.add((i - 1) * n + j)
                                 + *p.add(i * n + j - 1));
-                    });
+                    })
+                    .expect("wavefront sweep");
                     black_box(field[n * n - 1])
                 });
             },
@@ -74,7 +76,8 @@ fn doall_and_reduction(c: &mut Criterion) {
             par_for(0, n as i64, 4, |i| {
                 // Cheap body: measures scheduling overhead.
                 acc.fetch_add(data[i as usize] as u64, std::sync::atomic::Ordering::Relaxed);
-            });
+            })
+            .expect("par_for sum");
             black_box(acc.into_inner())
         });
     });
@@ -83,7 +86,8 @@ fn doall_and_reduction(c: &mut Criterion) {
             let mut target = vec![0.0f64; 16];
             reduce_array(&mut target, 0, n as i64, 4, |i, local| {
                 local[(i % 16) as usize] += data[i as usize];
-            });
+            })
+            .expect("array reduction");
             black_box(target[0])
         });
     });

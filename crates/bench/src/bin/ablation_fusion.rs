@@ -6,7 +6,7 @@
 
 use polymix_bench::report::{gf, Cli, Table};
 use polymix_bench::runner::{emit_source, Runner};
-use polymix_bench::sweep::{run_sweep, SweepConfig, SweepJob};
+use polymix_bench::sweep::{print_degraded_legend, run_sweep, SweepConfig, SweepJob};
 use polymix_core::{optimize_poly_ast, PolyAstOptions};
 use polymix_dl::Machine;
 use polymix_polybench::kernel_by_name;
@@ -31,6 +31,7 @@ fn main() {
         for fusion in [true, false] {
             let (kc, mc, pc) = (k.clone(), machine.clone(), params.clone());
             let (threads, reps) = (runner.threads, runner.reps);
+            let (ks, ms, ps) = (k.clone(), machine.clone(), params.clone());
             jobs.push(SweepJob {
                 id: format!("fuse:{name}:{fusion}:{}", cli.dataset),
                 kernel: name.to_string(),
@@ -48,6 +49,17 @@ fn main() {
                     )?;
                     Ok(emit_source(&kc, &prog, &pc, threads, reps))
                 }),
+                seq_source: Some(Box::new(move || {
+                    let prog = optimize_poly_ast(
+                        &(ks.build)(),
+                        &PolyAstOptions {
+                            machine: ms,
+                            fusion,
+                            ..Default::default()
+                        },
+                    )?;
+                    Ok(emit_source(&ks, &prog, &ps, 1, reps))
+                })),
             });
         }
     }
@@ -59,9 +71,11 @@ fn main() {
         }
         let mut cells = vec![name.to_string()];
         for _ in 0..2 {
-            cells.push(match results.next().map(|o| &o.result) {
-                Some(Ok(r)) => gf(r.gflops),
-                Some(Err(e)) => {
+            cells.push(match results.next().map(|o| (&o.result, o.degraded)) {
+                Some((Ok(r), degraded)) => {
+                    format!("{}{}", gf(r.gflops), if degraded { "†" } else { "" })
+                }
+                Some((Err(e), _)) => {
                     eprintln!("{name}: {e}");
                     e.cell()
                 }
@@ -71,4 +85,5 @@ fn main() {
         t.row(cells);
     }
     println!("{}", t.render());
+    print_degraded_legend(&outcomes);
 }

@@ -4,7 +4,7 @@
 
 use polymix_bench::report::{gf, Cli};
 use polymix_bench::runner::{emit_source, Runner};
-use polymix_bench::sweep::{run_sweep, SweepConfig, SweepJob};
+use polymix_bench::sweep::{print_degraded_legend, run_sweep, SweepConfig, SweepJob};
 use polymix_core::{optimize_poly_ast, PolyAstOptions};
 use polymix_dl::Machine;
 use polymix_polybench::kernel_by_name;
@@ -32,6 +32,7 @@ fn main() {
         for &(o, i) in &factors {
             let (kc, mc, pc) = (k.clone(), machine.clone(), params.clone());
             let (threads, reps) = (runner.threads, runner.reps);
+            let (ks, ms, ps) = (k.clone(), machine.clone(), params.clone());
             jobs.push(SweepJob {
                 id: format!("unroll:{name}:{o}x{i}:{}", cli.dataset),
                 kernel: name.to_string(),
@@ -49,6 +50,17 @@ fn main() {
                     )?;
                     Ok(emit_source(&kc, &prog, &pc, threads, reps))
                 }),
+                seq_source: Some(Box::new(move || {
+                    let prog = optimize_poly_ast(
+                        &(ks.build)(),
+                        &PolyAstOptions {
+                            machine: ms,
+                            unroll: (o, i),
+                            ..Default::default()
+                        },
+                    )?;
+                    Ok(emit_source(&ks, &prog, &ps, 1, reps))
+                })),
             });
         }
     }
@@ -60,9 +72,11 @@ fn main() {
         }
         let mut cells = vec![name.to_string()];
         for _ in 0..factors.len() {
-            cells.push(match results.next().map(|o| &o.result) {
-                Some(Ok(r)) => gf(r.gflops),
-                Some(Err(e)) => {
+            cells.push(match results.next().map(|o| (&o.result, o.degraded)) {
+                Some((Ok(r), degraded)) => {
+                    format!("{}{}", gf(r.gflops), if degraded { "†" } else { "" })
+                }
+                Some((Err(e), _)) => {
                     eprintln!("{name}: {e}");
                     e.cell()
                 }
@@ -72,4 +86,5 @@ fn main() {
         t.row(cells);
     }
     println!("{}", t.render());
+    print_degraded_legend(&outcomes);
 }

@@ -8,7 +8,7 @@
 use polymix_ast::pretty::render;
 use polymix_bench::report::{gf, Cli, Table};
 use polymix_bench::runner::{emit_source, Runner};
-use polymix_bench::sweep::{run_sweep, SweepConfig, SweepJob};
+use polymix_bench::sweep::{print_degraded_legend, run_sweep, SweepConfig, SweepJob};
 use polymix_core::{optimize_poly_ast, PolyAstOptions};
 use polymix_dl::Machine;
 use polymix_ir::builder::{con, ix, par, ScopBuilder};
@@ -123,6 +123,7 @@ fn main() {
                     println!("-- {} — {suffix} chooses:\n{}", k.name, render(&p));
                     let (kc, pc) = (k.clone(), params.clone());
                     let (threads, reps) = (runner.threads, runner.reps);
+                    let (ks, ps, p2) = (k.clone(), params.clone(), p.clone());
                     jobs.push(SweepJob {
                         id: format!("fig5:{}:{suffix}:{}", k.name, cli.dataset),
                         kernel: k.name.to_string(),
@@ -130,6 +131,9 @@ fn main() {
                         dataset: cli.dataset.clone(),
                         params: params.clone(),
                         source: Box::new(move || Ok(emit_source(&kc, &p, &pc, threads, reps))),
+                        seq_source: Some(Box::new(move || {
+                            Ok(emit_source(&ks, &p2, &ps, 1, reps))
+                        })),
                     });
                     row.push(String::new());
                 }
@@ -145,9 +149,11 @@ fn main() {
     let mut results = outcomes.iter();
     for row in &mut cells {
         for cell in row.iter_mut().skip(1).filter(|c| c.is_empty()) {
-            *cell = match results.next().map(|o| &o.result) {
-                Some(Ok(r)) => gf(r.gflops),
-                Some(Err(e)) => {
+            *cell = match results.next().map(|o| (&o.result, o.degraded)) {
+                Some((Ok(r), degraded)) => {
+                    format!("{}{}", gf(r.gflops), if degraded { "†" } else { "" })
+                }
+                Some((Err(e), _)) => {
                     eprintln!("{e}");
                     e.cell()
                 }
@@ -157,4 +163,5 @@ fn main() {
         t.row(row.clone());
     }
     println!("{}", t.render());
+    print_degraded_legend(&outcomes);
 }

@@ -4,10 +4,16 @@
 //! plus ragged diagonal lengths — the gap grows with thread count.
 
 use polymix_bench::report::{Cli, Table};
-use polymix_runtime::{pipeline_2d, wavefront_2d, GridSweep};
+use polymix_runtime::{pipeline_2d, wavefront_2d, GridSweep, RuntimeError};
 use std::time::Instant;
 
-fn sweep(grid: GridSweep, field: &mut [f64], nj: usize, threads: usize, pipeline: bool) -> f64 {
+fn sweep(
+    grid: GridSweep,
+    field: &mut [f64],
+    nj: usize,
+    threads: usize,
+    pipeline: bool,
+) -> Result<f64, RuntimeError> {
     // C[i][j] = 0.2 * (C[i][j] + C[i-1][j] + C[i][j-1]) per interior cell.
     let ptr = field.as_mut_ptr() as usize;
     let body = move |i: i64, j: i64| {
@@ -21,11 +27,11 @@ fn sweep(grid: GridSweep, field: &mut [f64], nj: usize, threads: usize, pipeline
     };
     let t0 = Instant::now();
     if pipeline {
-        pipeline_2d(grid, threads, body);
+        pipeline_2d(grid, threads, body)?;
     } else {
-        wavefront_2d(grid, threads, body);
+        wavefront_2d(grid, threads, body)?;
     }
-    t0.elapsed().as_secs_f64()
+    Ok(t0.elapsed().as_secs_f64())
 }
 
 fn main() {
@@ -46,26 +52,46 @@ fn main() {
     let cells_per_sweep = grid.cells() as f64;
     let mut t = Table::new(&["threads", "pipeline Mcell/s", "wavefront Mcell/s", "speedup"]);
     let max_threads = cli.threads;
+    let mut any_degraded = false;
     let mut th = 1;
     while th <= max_threads {
-        let run = |pipeline: bool| -> f64 {
+        // On a RuntimeError the measurement degrades to a sequential
+        // re-run of the same sweep (marked `†`), matching the sweep
+        // executor's degraded(sequential) policy.
+        let mut run = |pipeline: bool| -> (f64, bool) {
             let mut field = vec![1.0f64; ni * nj];
             let mut total = 0.0;
+            let mut degraded = false;
             for _ in 0..20 {
-                total += sweep(grid, &mut field, nj, th, pipeline);
+                match sweep(grid, &mut field, nj, th, pipeline) {
+                    Ok(dt) => total += dt,
+                    Err(e) => {
+                        eprintln!(
+                            "fig6: {} failed at {th} threads ({e}); degrading to sequential",
+                            if pipeline { "pipeline" } else { "wavefront" }
+                        );
+                        degraded = true;
+                        any_degraded = true;
+                        total += sweep(grid, &mut field, nj, 1, pipeline)
+                            .expect("sequential re-run");
+                    }
+                }
             }
-            20.0 * cells_per_sweep / total / 1e6
+            (20.0 * cells_per_sweep / total / 1e6, degraded)
         };
-        let p = run(true);
-        let w = run(false);
+        let (p, pd) = run(true);
+        let (w, wd) = run(false);
         t.row(vec![
             th.to_string(),
-            format!("{p:.1}"),
-            format!("{w:.1}"),
+            format!("{p:.1}{}", if pd { "†" } else { "" }),
+            format!("{w:.1}{}", if wd { "†" } else { "" }),
             format!("{:.2}x", p / w),
         ]);
         th *= 2;
     }
     println!("{}", t.render());
+    if any_degraded {
+        println!("† degraded(sequential): parallel run failed; sequential re-run measured");
+    }
     println!("(paper: pipeline outperforms wavefront due to synchronization efficiency and locality)");
 }

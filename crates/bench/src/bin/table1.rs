@@ -6,7 +6,7 @@
 use polymix_ast::pretty::render;
 use polymix_bench::report::{gf, Cli, Table};
 use polymix_bench::runner::{emit_source, Runner};
-use polymix_bench::sweep::{run_sweep, SweepConfig, SweepJob};
+use polymix_bench::sweep::{print_degraded_legend, run_sweep, SweepConfig, SweepJob};
 use polymix_bench::variants::{build_variant, Variant};
 use polymix_core::{optimize_poly_ast, PolyAstOptions};
 use polymix_dl::Machine;
@@ -74,6 +74,7 @@ fn main() {
         .map(|&(_, variant)| {
             let (kc, mc, pc) = (k.clone(), machine.clone(), params.clone());
             let (threads, reps) = (runner.threads, runner.reps);
+            let (ks, ms, ps) = (k.clone(), machine.clone(), params.clone());
             SweepJob {
                 id: format!("table1:{}:{}", variant.name(), cli.dataset),
                 kernel: k.name.to_string(),
@@ -84,6 +85,10 @@ fn main() {
                     let prog = build_variant(&kc, variant, &mc)?;
                     Ok(emit_source(&kc, &prog, &pc, threads, reps))
                 }),
+                seq_source: Some(Box::new(move || {
+                    let prog = build_variant(&ks, variant, &ms)?;
+                    Ok(emit_source(&ks, &prog, &ps, 1, reps))
+                })),
             }
         })
         .collect();
@@ -91,7 +96,10 @@ fn main() {
     for ((label, variant), outcome) in entries.iter().zip(&outcomes) {
         debug_assert_eq!(outcome.variant, variant.name());
         match &outcome.result {
-            Ok(r) => t.row(vec![(*label).into(), gf(r.gflops)]),
+            Ok(r) => t.row(vec![
+                (*label).into(),
+                format!("{}{}", gf(r.gflops), if outcome.degraded { "†" } else { "" }),
+            ]),
             Err(e) => {
                 eprintln!("{label}: {e}");
                 t.row(vec![(*label).into(), e.cell()]);
@@ -99,6 +107,7 @@ fn main() {
         }
     }
     println!("{}", t.render());
+    print_degraded_legend(&outcomes);
     println!("paper (Nehalem): original 2.4, PoCC 14, our flow 19 GF/s");
     println!("paper (Power7):  original 0.5, PoCC 29, our flow 62 GF/s");
 }

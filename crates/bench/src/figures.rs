@@ -4,7 +4,7 @@
 
 use crate::report::{gf, Cli, Table};
 use crate::runner::{emit_source, Runner};
-use crate::sweep::{run_sweep, JobOutcome, SweepConfig, SweepJob};
+use crate::sweep::{print_degraded_legend, run_sweep, JobOutcome, SweepConfig, SweepJob};
 use crate::variants::{build_variant, variant_list, Variant};
 use polymix_dl::Machine;
 use polymix_polybench::{all_kernels, Group};
@@ -33,6 +33,7 @@ pub fn run_group_figure(title: &str, group: Group) {
         for &v in &variants {
             let (kc, mc, pc) = (k.clone(), machine.clone(), params.clone());
             let (threads, reps) = (runner.threads, runner.reps);
+            let (ks, ms, ps) = (k.clone(), machine.clone(), params.clone());
             jobs.push(SweepJob {
                 id: format!("{}:{}:{}", k.name, v.name(), cli.dataset),
                 kernel: k.name.to_string(),
@@ -43,6 +44,10 @@ pub fn run_group_figure(title: &str, group: Group) {
                     let prog = build_variant(&kc, v, &mc)?;
                     Ok(emit_source(&kc, &prog, &pc, threads, reps))
                 }),
+                seq_source: Some(Box::new(move || {
+                    let prog = build_variant(&ks, v, &ms)?;
+                    Ok(emit_source(&ks, &prog, &ps, 1, reps))
+                })),
             });
         }
     }
@@ -63,13 +68,13 @@ pub fn run_group_figure(title: &str, group: Group) {
         let mut checks: Vec<(Variant, f64)> = Vec::new();
         let mut results: Vec<(Variant, f64)> = Vec::new();
         for &v in &variants {
-            match by_key(k.name, v).map(|o| &o.result) {
-                Some(Ok(r)) => {
-                    cells.push(gf(r.gflops));
+            match by_key(k.name, v).map(|o| (&o.result, o.degraded)) {
+                Some((Ok(r), degraded)) => {
+                    cells.push(format!("{}{}", gf(r.gflops), if degraded { "†" } else { "" }));
                     checks.push((v, r.checksum));
                     results.push((v, r.gflops));
                 }
-                Some(Err(e)) => {
+                Some((Err(e), _)) => {
                     // A failed kernel/variant records an `error(<stage>)`
                     // cell and the figure renders on (see EXPERIMENTS.md).
                     eprintln!("{}: {v:?} failed: {e}", k.name);
@@ -110,4 +115,5 @@ pub fn run_group_figure(title: &str, group: Group) {
         table.row(cells);
     }
     println!("{}", table.render());
+    print_degraded_legend(&outcomes);
 }

@@ -56,6 +56,20 @@ fn cache_key(src: &str, rustc_flags: &[String]) -> u64 {
     h
 }
 
+/// True when a run failure is the *kernel's* fault — it ran and failed
+/// (deadline overrun, a poisoned parallel runtime, a non-zero exit,
+/// garbage output) — rather than the environment's (spawn refusal,
+/// lockfile contention, a compile error). Only kernel failures are worth
+/// a `degraded(sequential)` re-run: an environment failure would hit the
+/// sequential attempt just the same, and a compile error has no working
+/// binary in either configuration.
+pub fn is_kernel_failure(detail: &str) -> bool {
+    detail.starts_with("timeout")
+        || detail.contains("runtime_error")
+        || detail.contains("exited with")
+        || detail.contains("unparseable output")
+}
+
 /// Parsed output of one standalone-program run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
@@ -454,6 +468,22 @@ mod tests {
     use crate::variants::{build_variant, Variant};
     use polymix_dl::Machine;
     use polymix_polybench::kernel_by_name;
+
+    #[test]
+    fn kernel_failures_are_distinguished_from_environment_failures() {
+        // Degradable: the kernel ran (or was run) and failed.
+        assert!(is_kernel_failure("timeout: gemm_par exceeded 5s (killed)"));
+        assert!(is_kernel_failure(
+            "gemm_par exited with Some(101):\nruntime_error: worker 3 panicked"
+        ));
+        assert!(is_kernel_failure("gemm_par exited with Some(1):\n"));
+        assert!(is_kernel_failure("gemm_par: unparseable output"));
+        // Not degradable: the environment failed or the binary never
+        // existed; a sequential re-run would fail identically.
+        assert!(!is_kernel_failure("run spawn: Resource temporarily unavailable"));
+        assert!(!is_kernel_failure("lockfile /tmp/x.lock: Permission denied"));
+        assert!(!is_kernel_failure("rustc failed for gemm_par:\nerror[E0308]"));
+    }
 
     #[test]
     fn parse_output_roundtrip() {

@@ -14,7 +14,7 @@
 //! and resume by skipping every already-recorded job.
 
 use crate::report::Cli;
-use crate::runner::{ensure_compiled, run_binary, RunResult, Runner};
+use crate::runner::{ensure_compiled, is_kernel_failure, run_binary, RunResult, Runner};
 use polymix_ir::error::PolymixError;
 use std::collections::HashMap;
 use std::io::Write;
@@ -42,6 +42,15 @@ pub struct SweepJob {
     /// Builds the emitted Rust source for this job.
     #[allow(clippy::type_complexity)]
     pub source: Box<dyn FnOnce() -> Result<String, PolymixError> + Send>,
+    /// Builds a *sequential* (single-thread) emission of the same
+    /// kernel, used as the graceful-degradation fallback: when the
+    /// primary run fails at the kernel level (poisoned runtime, timeout,
+    /// non-zero exit — see [`crate::runner::is_kernel_failure`]), the
+    /// job re-runs this source and records a `degraded(sequential)`
+    /// measurement instead of an error cell. `None` disables
+    /// degradation for this job.
+    #[allow(clippy::type_complexity)]
+    pub seq_source: Option<Box<dyn FnOnce() -> Result<String, PolymixError> + Send>>,
 }
 
 /// The outcome of one sweep job, in submission order.
@@ -63,6 +72,9 @@ pub struct JobOutcome {
     /// `true` when the result was replayed from the JSONL log instead of
     /// re-measured.
     pub resumed: bool,
+    /// `true` when the parallel run failed and `result` holds the
+    /// sequential degradation re-run (rendered as a `†`-marked cell).
+    pub degraded: bool,
 }
 
 /// Execution policy for [`run_sweep`].
@@ -158,7 +170,8 @@ fn is_transient(detail: &str) -> bool {
 /// each failure becomes that job's `Err` outcome (and JSONL record) and
 /// the sweep continues.
 pub fn run_sweep(jobs: Vec<SweepJob>, runner: &Runner, cfg: &SweepConfig) -> Vec<JobOutcome> {
-    let recorded: HashMap<String, Result<RunResult, PolymixError>> = cfg
+    #[allow(clippy::type_complexity)]
+    let recorded: HashMap<String, (Result<RunResult, PolymixError>, bool)> = cfg
         .results_path
         .as_deref()
         .map(load_results)
@@ -190,7 +203,7 @@ pub fn run_sweep(jobs: Vec<SweepJob>, runner: &Runner, cfg: &SweepConfig) -> Vec
                 let Some(job) = lock(&queue[i]).take() else {
                     continue;
                 };
-                let outcome = if let Some(prior) = recorded.get(&job.id) {
+                let outcome = if let Some((prior, degraded)) = recorded.get(&job.id) {
                     JobOutcome {
                         id: job.id,
                         kernel: job.kernel,
@@ -199,6 +212,7 @@ pub fn run_sweep(jobs: Vec<SweepJob>, runner: &Runner, cfg: &SweepConfig) -> Vec
                         params: job.params,
                         result: prior.clone(),
                         resumed: true,
+                        degraded: *degraded,
                     }
                 } else {
                     let done = execute_job(job, runner, cfg, &measure);
@@ -220,7 +234,9 @@ pub fn run_sweep(jobs: Vec<SweepJob>, runner: &Runner, cfg: &SweepConfig) -> Vec
 }
 
 /// One job's emit → compile → (semaphore) run pipeline, with transient
-/// retry and cached-binary invalidation.
+/// retry, cached-binary invalidation, and — when the kernel itself
+/// fails and the job supplied a `seq_source` — a sequential degradation
+/// re-run recorded as a `degraded` measurement.
 fn execute_job(job: SweepJob, runner: &Runner, cfg: &SweepConfig, measure: &Semaphore) -> JobOutcome {
     let SweepJob {
         id,
@@ -229,44 +245,26 @@ fn execute_job(job: SweepJob, runner: &Runner, cfg: &SweepConfig, measure: &Sema
         dataset,
         params,
         source,
+        seq_source,
     } = job;
-    let result = (|| {
-        let src = source()?;
-        let err = |detail: String| PolymixError::runner(kernel.clone(), variant.clone(), detail);
-        let label = format!("{kernel}_{variant}");
-        let compile = || {
-            with_retries(cfg.retries, || {
-                ensure_compiled(
-                    &src,
-                    &runner.work_dir,
-                    &runner.rustc_flags,
-                    &label,
-                    cfg.compile_timeout,
-                )
-            })
-        };
-        let compiled = compile().map_err(&err)?;
-        measure.acquire();
-        let ran = with_retries(cfg.retries, || {
-            run_binary(&compiled.bin_path, &label, cfg.run_timeout)
-        });
-        let ran = match ran {
-            // A failing *cached* binary may be a truncated artifact from
-            // a killed earlier sweep: invalidate, recompile once, rerun.
-            // Timeouts are real results, not cache corruption.
-            Err(e) if !compiled.freshly_compiled && !e.starts_with("timeout") => {
-                let _ = std::fs::remove_file(&compiled.bin_path);
-                match compile() {
-                    Ok(rebuilt) => run_binary(&rebuilt.bin_path, &label, cfg.run_timeout)
-                        .map_err(|e2| format!("{e2} (cache invalidated after: {e})")),
-                    Err(e2) => Err(format!("{e2} (cache invalidated after: {e})")),
+    let label = format!("{kernel}_{variant}");
+    let mut result = run_one(source, &label, &kernel, &variant, runner, cfg, measure);
+    let mut degraded = false;
+    if let (Err(e), Some(seq)) = (&result, seq_source) {
+        if kernel_failed(e) {
+            eprintln!("{label}: parallel run failed ({e}); degrading to a sequential re-run");
+            let seq_label = format!("{label}_seq");
+            match run_one(seq, &seq_label, &kernel, &variant, runner, cfg, measure) {
+                Ok(r) => {
+                    result = Ok(r);
+                    degraded = true;
                 }
+                // Keep the original (more informative) parallel failure
+                // as the job's error cell.
+                Err(e2) => eprintln!("{label}: sequential degradation also failed: {e2}"),
             }
-            other => other,
-        };
-        measure.release();
-        ran.map_err(err)
-    })();
+        }
+    }
     JobOutcome {
         id,
         kernel,
@@ -275,7 +273,63 @@ fn execute_job(job: SweepJob, runner: &Runner, cfg: &SweepConfig, measure: &Sema
         params,
         result,
         resumed: false,
+        degraded,
     }
+}
+
+/// True when a job failure came from the kernel run itself (as opposed
+/// to the emit/build stage or the environment), i.e. when a sequential
+/// degradation re-run could still produce a measurement.
+fn kernel_failed(e: &PolymixError) -> bool {
+    matches!(e, PolymixError::Runner { detail, .. } if is_kernel_failure(detail))
+}
+
+/// Emit → compile → (semaphore) run for one source, with transient retry
+/// and cached-binary invalidation.
+#[allow(clippy::type_complexity)]
+fn run_one(
+    source: Box<dyn FnOnce() -> Result<String, PolymixError> + Send>,
+    label: &str,
+    kernel: &str,
+    variant: &str,
+    runner: &Runner,
+    cfg: &SweepConfig,
+    measure: &Semaphore,
+) -> Result<RunResult, PolymixError> {
+    let src = source()?;
+    let err = |detail: String| PolymixError::runner(kernel, variant, detail);
+    let compile = || {
+        with_retries(cfg.retries, || {
+            ensure_compiled(
+                &src,
+                &runner.work_dir,
+                &runner.rustc_flags,
+                label,
+                cfg.compile_timeout,
+            )
+        })
+    };
+    let compiled = compile().map_err(&err)?;
+    measure.acquire();
+    let ran = with_retries(cfg.retries, || {
+        run_binary(&compiled.bin_path, label, cfg.run_timeout)
+    });
+    let ran = match ran {
+        // A failing *cached* binary may be a truncated artifact from
+        // a killed earlier sweep: invalidate, recompile once, rerun.
+        // Timeouts are real results, not cache corruption.
+        Err(e) if !compiled.freshly_compiled && !e.starts_with("timeout") => {
+            let _ = std::fs::remove_file(&compiled.bin_path);
+            match compile() {
+                Ok(rebuilt) => run_binary(&rebuilt.bin_path, label, cfg.run_timeout)
+                    .map_err(|e2| format!("{e2} (cache invalidated after: {e})")),
+                Err(e2) => Err(format!("{e2} (cache invalidated after: {e})")),
+            }
+        }
+        other => other,
+    };
+    measure.release();
+    ran.map_err(err)
 }
 
 /// Retries `f` on transient failures with 100ms·2^k backoff.
@@ -328,9 +382,16 @@ fn record_line(o: &JobOutcome) -> String {
         json_escape(&o.variant),
         json_escape(&o.dataset),
     );
+    // Degradation only ever replaces a failure with a sequential
+    // *measurement*, so the flag appears on `ok` records alone.
+    let degraded = if o.degraded {
+        ",\"degraded\":\"sequential\""
+    } else {
+        ""
+    };
     match &o.result {
         Ok(r) => format!(
-            "{head},\"status\":\"ok\",\"checksum\":{:e},\"time_s\":{:e},\"gflops\":{:e}}}",
+            "{head},\"status\":\"ok\",\"checksum\":{:e},\"time_s\":{:e},\"gflops\":{:e}{degraded}}}",
             r.checksum, r.time_s, r.gflops
         ),
         Err(e) => format!(
@@ -341,11 +402,12 @@ fn record_line(o: &JobOutcome) -> String {
     }
 }
 
-/// Loads previously recorded outcomes (id → result) from a JSONL log.
-/// Unparseable lines (e.g. one truncated by a crash mid-append) are
-/// skipped; the job they belonged to simply reruns. Later records win
-/// over earlier ones with the same id.
-pub fn load_results(path: &Path) -> HashMap<String, Result<RunResult, PolymixError>> {
+/// Loads previously recorded outcomes (id → (result, degraded)) from a
+/// JSONL log. Unparseable lines (e.g. one truncated by a crash
+/// mid-append) are skipped; the job they belonged to simply reruns.
+/// Later records win over earlier ones with the same id.
+#[allow(clippy::type_complexity)]
+pub fn load_results(path: &Path) -> HashMap<String, (Result<RunResult, PolymixError>, bool)> {
     let mut out = HashMap::new();
     let Ok(text) = std::fs::read_to_string(path) else {
         return out;
@@ -385,9 +447,22 @@ pub fn load_results(path: &Path) -> HashMap<String, Result<RunResult, PolymixErr
             }
             _ => continue,
         };
-        out.insert(id.to_string(), result);
+        let degraded = rec.str_field("degraded") == Some("sequential");
+        out.insert(id.to_string(), (result, degraded));
     }
     out
+}
+
+/// Prints the `†` legend when any outcome in the sweep was measured via
+/// the sequential degradation path, so a rendered table is never left
+/// with an unexplained marker.
+pub fn print_degraded_legend(outcomes: &[JobOutcome]) {
+    if outcomes.iter().any(|o| o.degraded) {
+        println!(
+            "† degraded(sequential): the parallel kernel failed and the cell \
+             reports a single-thread re-run (see EXPERIMENTS.md)"
+        );
+    }
 }
 
 /// Reconstructs a stage-correct [`PolymixError`] from a log record, so a
@@ -591,6 +666,7 @@ mod tests {
                 gflops: 2.34,
             }),
             resumed: false,
+            degraded: false,
         }
     }
 
@@ -610,10 +686,30 @@ mod tests {
         let path = dir.join("roundtrip.jsonl");
         std::fs::write(&path, format!("{line}\n")).unwrap();
         let loaded = load_results(&path);
-        let r = loaded["gemm:poly+ast:small"].as_ref().expect("ok record");
+        let (result, degraded) = &loaded["gemm:poly+ast:small"];
+        let r = result.as_ref().expect("ok record");
         assert!((r.checksum - 123.456).abs() < 1e-9);
         assert!((r.gflops - 2.34).abs() < 1e-9);
+        assert!(!*degraded, "plain ok record is not degraded");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_roundtrip_degraded_preserves_flag() {
+        let mut o = ok_outcome("seidel:poly+ast:small");
+        o.degraded = true;
+        let line = record_line(&o);
+        assert!(line.contains("\"degraded\":\"sequential\""), "{line}");
+        let path = std::env::temp_dir().join(format!(
+            "polymix-jsonl-deg-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::write(&path, format!("{line}\n")).unwrap();
+        let loaded = load_results(&path);
+        let (result, degraded) = &loaded["seidel:poly+ast:small"];
+        assert!(result.is_ok(), "degraded record still carries a measurement");
+        assert!(*degraded, "resume must replay the degraded marker");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -631,7 +727,7 @@ mod tests {
         let path = std::env::temp_dir().join(format!("polymix-jsonl-err-{}.jsonl", std::process::id()));
         std::fs::write(&path, format!("{line}\n")).unwrap();
         let loaded = load_results(&path);
-        let e = loaded["adi:pocc:small"].as_ref().expect_err("error record");
+        let e = loaded["adi:pocc:small"].0.as_ref().expect_err("error record");
         assert_eq!(e.cell(), "error(runner)");
         assert!(e.to_string().contains("timeout"));
         let _ = std::fs::remove_file(&path);
@@ -652,7 +748,7 @@ mod tests {
         std::fs::write(&path, format!("{good1}\n{truncated}\nnot json\n{good2}\n")).unwrap();
         let loaded = load_results(&path);
         assert_eq!(loaded.len(), 1);
-        let r = loaded["a"].as_ref().unwrap();
+        let r = loaded["a"].0.as_ref().unwrap();
         assert!((r.gflops - 9.0).abs() < 1e-12, "last record wins");
         let _ = std::fs::remove_file(&path);
     }

@@ -32,6 +32,13 @@ fn ok_src(tag: u32) -> String {
 /// exits.
 const LOOP_SRC: &str = "fn main() { loop { std::hint::spin_loop() } }\n";
 
+/// A kernel whose parallel runtime poisoned itself: it reports a
+/// `runtime_error:` diagnostic on stderr and exits 101, exactly like the
+/// emitted poisonable protocol (crates/codegen) does after containment.
+const POISONED_SRC: &str = "fn main() {\n    \
+     eprintln!(\"runtime_error: worker 1 panicked at cell (3, 4): boom\");\n    \
+     std::process::exit(101);\n}\n";
+
 fn test_runner(work_dir: PathBuf) -> Runner {
     Runner {
         work_dir,
@@ -50,6 +57,7 @@ fn job(id: &str, src: String) -> SweepJob {
         dataset: "mini".to_string(),
         params: vec![4],
         source: Box::new(move || Ok(src)),
+        seq_source: None,
     }
 }
 
@@ -182,6 +190,7 @@ fn jsonl_resume_skips_recorded_jobs_with_zero_recompiles() {
                     Ok(src)
                 }
             }),
+            seq_source: None,
         })
         .collect();
     let second = run_sweep(rebuilt_jobs, &runner2, &cfg);
@@ -195,6 +204,117 @@ fn jsonl_resume_skips_recorded_jobs_with_zero_recompiles() {
     assert!(
         !fresh_cache.exists() || std::fs::read_dir(&fresh_cache).map(|d| d.count()).unwrap_or(0) == 0,
         "resume must not compile anything"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A poisoned parallel kernel with a `seq_source` fallback must produce
+/// a `degraded(sequential)` measurement whose checksum matches the
+/// sequential reference, record the marker in the JSONL log, and replay
+/// it on resume without re-measuring.
+#[test]
+fn poisoned_kernel_degrades_to_sequential_and_resumes_degraded() {
+    let dir = tmp_dir("degrade");
+    let log = dir.join("results.jsonl");
+    let cache = dir.join("cache");
+    let runner = test_runner(cache.clone());
+    let cfg = SweepConfig {
+        jobs: 2,
+        results_path: Some(log.clone()),
+        ..SweepConfig::default()
+    };
+    let mut poisoned = job("poisoned", POISONED_SRC.to_string());
+    poisoned.seq_source = Some(Box::new(|| Ok(ok_src(9))));
+    let outcomes = run_sweep(vec![poisoned, job("good", ok_src(1))], &runner, &cfg);
+    assert_eq!(outcomes.len(), 2);
+    let o = &outcomes[0];
+    assert!(o.degraded, "poisoned kernel must degrade, not error");
+    let r = o.result.as_ref().expect("degraded run still measures");
+    // The degraded measurement is exactly what the sequential reference
+    // produces (same source → same cached binary → same output).
+    let flags: Vec<String> = vec![];
+    let reference =
+        compile_and_run(&ok_src(9), &cache, &flags, "seq_ref").expect("sequential reference");
+    assert_eq!(
+        r.checksum.to_bits(),
+        reference.checksum.to_bits(),
+        "degraded checksum must match the sequential reference"
+    );
+    assert!(!outcomes[1].degraded, "healthy job is not marked degraded");
+
+    // The JSONL record carries the marker...
+    let text = std::fs::read_to_string(&log).expect("log written");
+    let rec = text
+        .lines()
+        .find(|l| l.contains("\"id\":\"poisoned\""))
+        .expect("poisoned record");
+    assert!(rec.contains("\"degraded\":\"sequential\""), "{rec}");
+    // ...and a resume replays it (flag included) without rebuilding.
+    let mut resumed_poisoned = job(
+        "poisoned",
+        "fn main() { panic!(\"resume must not rebuild\") }".to_string(),
+    );
+    resumed_poisoned.seq_source = Some(Box::new(|| {
+        panic!("resume must not rebuild the fallback either")
+    }));
+    let second = run_sweep(vec![resumed_poisoned], &runner, &cfg);
+    assert!(second[0].resumed, "must replay from the log");
+    assert!(second[0].degraded, "degraded marker must survive resume");
+    assert_eq!(
+        second[0].result.as_ref().expect("ok").checksum.to_bits(),
+        r.checksum.to_bits(),
+        "bit-identical replay"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// When the sequential fallback fails too, the job keeps the original
+/// (parallel) failure as its error cell and is not marked degraded.
+#[test]
+fn failing_fallback_keeps_the_original_error() {
+    let dir = tmp_dir("degrade-fail");
+    let runner = test_runner(dir.clone());
+    let cfg = SweepConfig {
+        jobs: 1,
+        ..SweepConfig::default()
+    };
+    let mut j = job("both-poisoned", POISONED_SRC.to_string());
+    j.seq_source = Some(Box::new(|| Ok(POISONED_SRC.to_string())));
+    let outcomes = run_sweep(vec![j], &runner, &cfg);
+    let o = &outcomes[0];
+    assert!(!o.degraded);
+    let e = o.result.as_ref().expect_err("both runs failed");
+    assert_eq!(e.stage(), Stage::Runner);
+    assert!(e.to_string().contains("runtime_error"), "detail: {e}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Environmental failures (here: a compile error) must NOT trigger the
+/// sequential fallback — degradation is reserved for kernels that ran
+/// and failed.
+#[test]
+fn compile_errors_do_not_degrade() {
+    let dir = tmp_dir("no-degrade");
+    let runner = test_runner(dir.clone());
+    let cfg = SweepConfig {
+        jobs: 1,
+        ..SweepConfig::default()
+    };
+    let fallback_built = std::sync::Arc::new(AtomicBool::new(false));
+    let mut j = job("bad-compile", "fn main() { not rust at all }".to_string());
+    j.seq_source = Some(Box::new({
+        let fallback_built = fallback_built.clone();
+        move || {
+            fallback_built.store(true, Ordering::Relaxed);
+            Ok(ok_src(5))
+        }
+    }));
+    let outcomes = run_sweep(vec![j], &runner, &cfg);
+    assert!(outcomes[0].result.is_err(), "compile error stays an error");
+    assert!(!outcomes[0].degraded);
+    assert!(
+        !fallback_built.load(Ordering::Relaxed),
+        "fallback must not even be emitted for a compile error"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

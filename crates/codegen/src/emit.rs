@@ -184,7 +184,7 @@ impl Emitter<'_> {
         self.line("#![allow(unused_mut, unused_variables, unused_parens, dead_code, unused_imports, unused_unsafe)]");
         self.line("#![allow(clippy::all)]");
         self.line("use std::time::Instant;");
-        self.line("use std::sync::atomic::{AtomicI64, Ordering};");
+        self.line("use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};");
         self.line("");
         for (p, &v) in self.opts.params.iter().enumerate() {
             let c = self.param_const(p);
@@ -194,14 +194,47 @@ impl Emitter<'_> {
         self.line("");
         self.line("#[inline(always)] fn cdiv(a: i64, b: i64) -> i64 { -((-a).div_euclid(b)) }");
         self.line("#[inline(always)] fn fdiv(a: i64, b: i64) -> i64 { a.div_euclid(b) }");
+        // Poisonable progress protocol (same as polymix-runtime): a
+        // panicking worker floods POISON through the progress counters
+        // and raises POISONED, so no waiter spins forever on a dead
+        // neighbor; main() then exits 101 with a runtime_error line
+        // instead of printing a checksum from a half-computed kernel.
+        self.line("const POISON: i64 = i64::MAX;");
+        self.line("static POISONED: AtomicBool = AtomicBool::new(false);");
+        self.line("#[allow(dead_code)]");
+        self.line("fn poison(progress: &[AtomicI64], what: &str) {");
+        self.line("    POISONED.store(true, Ordering::Release);");
+        self.line("    for c in progress { c.store(POISON, Ordering::Release); }");
+        self.line("    eprintln!(\"runtime_error: {what}\");");
+        self.line("}");
+        // Worker wrapper: catches unwinds at the worker boundary and
+        // poisons the run (the closure returns false when it exited
+        // early because someone else poisoned it).
+        self.line("#[allow(dead_code)]");
+        self.line("fn contained<F: FnOnce() -> bool>(progress: &[AtomicI64], f: F) {");
+        self.line("    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {");
+        self.line("        Ok(_) => {}");
+        self.line("        Err(p) => {");
+        self.line("            let msg = if let Some(s) = p.downcast_ref::<&str>() { (*s).to_string() }");
+        self.line("                else if let Some(s) = p.downcast_ref::<String>() { s.clone() }");
+        self.line("                else { \"worker panic\".to_string() };");
+        self.line("            poison(progress, &msg);");
+        self.line("        }");
+        self.line("    }");
+        self.line("}");
         // Pipeline wait: bounded spin then yield, so oversubscribed
         // waiters cannot starve the producing thread (same policy as
-        // polymix-runtime's pipeline_2d).
+        // polymix-runtime's pipeline_2d). Returns false when the run
+        // was poisoned — the waiting worker must bail out.
         self.line("#[allow(dead_code)]");
-        self.line("#[inline] fn await_progress(cell: &AtomicI64, target: i64) {");
+        self.line("#[inline] fn await_progress(cell: &AtomicI64, target: i64) -> bool {");
         self.line("    let mut spins = 0u32;");
-        self.line("    while cell.load(Ordering::Acquire) < target {");
+        self.line("    loop {");
+        self.line("        let v = cell.load(Ordering::Acquire);");
+        self.line("        if v == POISON { return false; }");
+        self.line("        if v >= target { return true; }");
         self.line("        if spins < 1024 { spins += 1; std::hint::spin_loop(); }");
+        self.line("        else if POISONED.load(Ordering::Acquire) { return false; }");
         self.line("        else { std::thread::yield_now(); }");
         self.line("    }");
         self.line("}");
@@ -264,9 +297,17 @@ impl Emitter<'_> {
         self.node(&body);
         self.indent -= 1;
         self.line("}");
+        self.line("if POISONED.load(Ordering::Acquire) { break; }");
         self.line("let dt = t0.elapsed().as_secs_f64();");
         self.line("if dt < best { best = dt; }");
         self.indent -= 1;
+        self.line("}");
+        // A poisoned run must not report a checksum computed from a
+        // half-executed kernel: exit non-zero so the bench runner sees a
+        // kernel failure (and can degrade to a sequential re-run).
+        self.line("if POISONED.load(Ordering::Acquire) {");
+        self.line("    eprintln!(\"runtime_error: kernel poisoned; results discarded\");");
+        self.line("    std::process::exit(101);");
         self.line("}");
         // Checksum over written arrays.
         let mut written: Vec<usize> = Vec::new();
@@ -402,7 +443,7 @@ impl Emitter<'_> {
             let p = self.ptr_name(*a);
             self.line(&format!("let s_{p} = s_{p};"));
         }
-        self.line("sc.spawn(move || unsafe {");
+        self.line("sc.spawn(move || contained(&[], || unsafe {");
         self.indent += 1;
         for a in &arrays {
             let p = self.ptr_name(*a);
@@ -423,8 +464,9 @@ impl Emitter<'_> {
         self.line(&format!("{v} += {};", l.step));
         self.indent -= 1;
         self.line("}");
+        self.line("true");
         self.indent -= 1;
-        self.line("});");
+        self.line("}));");
         self.indent -= 1;
         self.line("}");
         self.indent -= 1;
@@ -591,7 +633,7 @@ impl Emitter<'_> {
             let p = self.ptr_name(*a);
             self.line(&format!("let s_{p} = s_{p};"));
         }
-        self.line("sc.spawn(move || unsafe {");
+        self.line("sc.spawn(move || contained(&[], || unsafe {");
         self.indent += 1;
         for a in &arrays {
             let p = self.ptr_name(*a);
@@ -627,8 +669,9 @@ impl Emitter<'_> {
         self.line(&format!("{v} += {};", l.step));
         self.indent -= 1;
         self.line("}");
+        self.line("true");
         self.indent -= 1;
-        self.line("});");
+        self.line("}));");
         self.indent -= 1;
         self.line("}");
         self.indent -= 1;
@@ -722,7 +765,7 @@ impl Emitter<'_> {
             let p = self.ptr_name(*a);
             self.line(&format!("let s_{p} = s_{p};"));
         }
-        self.line("sc.spawn(move || unsafe {");
+        self.line("sc.spawn(move || contained(progress, || unsafe {");
         self.indent += 1;
         for a in &arrays {
             let p = self.ptr_name(*a);
@@ -739,14 +782,15 @@ impl Emitter<'_> {
         self.line(&format!("let mut {vo}: i64 = o_lo;"));
         self.line(&format!("while {vo} <= o_hi {{"));
         self.indent += 1;
+        self.line("if POISONED.load(Ordering::Acquire) { return false; }");
         self.line("// await source(outer, block-1): left neighbor finished this step;");
         self.line("// await source(outer-1, block+1): right neighbor finished the previous");
         self.line("// step (covers leftward ownership migration of skewed tile grids).");
         self.line(&format!(
-            "if t > 0 {{ await_progress(&progress[t - 1], {vo}); }}"
+            "if t > 0 && !await_progress(&progress[t - 1], {vo}) {{ return false; }}"
         ));
         self.line(&format!(
-            "if t + 1 < nthr {{ await_progress(&progress[t + 1], {vo} - {}); }}",
+            "if t + 1 < nthr && !await_progress(&progress[t + 1], {vo} - {}) {{ return false; }}",
             l.step
         ));
         // Start on the loop's own stride grid (blocks cut by value; the
@@ -766,14 +810,16 @@ impl Emitter<'_> {
         self.line(&format!("{vi} += {};", inner.step));
         self.indent -= 1;
         self.line("}");
+        // fetch_max never overwrites a flooded POISON value.
         self.line(&format!(
-            "progress[t].store({vo}, Ordering::Release);"
+            "progress[t].fetch_max({vo}, Ordering::AcqRel);"
         ));
         self.line(&format!("{vo} += {};", l.step));
         self.indent -= 1;
         self.line("}");
+        self.line("true");
         self.indent -= 1;
-        self.line("});");
+        self.line("}));");
         self.indent -= 1;
         self.line("}");
         self.indent -= 1;
@@ -850,7 +896,7 @@ impl Emitter<'_> {
             let p = self.ptr_name(*a);
             self.line(&format!("let s_{p} = s_{p};"));
         }
-        self.line("sc.spawn(move || unsafe {");
+        self.line("sc.spawn(move || contained(&[], || unsafe {");
         self.indent += 1;
         for a in &arrays {
             let p = self.ptr_name(*a);
@@ -866,12 +912,16 @@ impl Emitter<'_> {
         self.node(&inner.body.clone());
         self.indent -= 1;
         self.line("}");
+        self.line("true");
         self.indent -= 1;
-        self.line("});");
+        self.line("}));");
         self.indent -= 1;
         self.line("}");
         self.indent -= 1;
         self.line("});");
+        // The barrier must not release into diagonal w+1 after a
+        // poisoned diagonal w.
+        self.line("if POISONED.load(Ordering::Acquire) { break; }");
         self.line("d0 = d1;");
         self.indent -= 1;
         self.line("}");
@@ -947,7 +997,7 @@ impl Emitter<'_> {
             let p = self.ptr_name(*a);
             self.line(&format!("let s_{p} = s_{p};"));
         }
-        self.line("sc.spawn(move || unsafe {");
+        self.line("sc.spawn(move || contained(progress, || unsafe {");
         self.indent += 1;
         for a in &arrays {
             let p = self.ptr_name(*a);
@@ -965,6 +1015,7 @@ impl Emitter<'_> {
         self.line("let mut step_idx: i64 = 0;");
         self.line(&format!("while {vo} <= o_hi {{"));
         self.indent += 1;
+        self.line("if POISONED.load(Ordering::Acquire) { return false; }");
         // Common grid origin: siblings' grids are shifted copies of each
         // other; quantizing all of them against the minimum lower bound
         // keeps block assignment consistent across siblings.
@@ -978,8 +1029,8 @@ impl Emitter<'_> {
         ));
         for (sib, il) in subs.iter().enumerate() {
             self.line(&format!("let ph: i64 = step_idx * nsib + {sib};"));
-            self.line("if t > 0 { await_progress(&progress[t - 1], ph); }");
-            self.line("if t + 1 < nthr { await_progress(&progress[t + 1], ph - 1); }");
+            self.line("if t > 0 && !await_progress(&progress[t - 1], ph) { return false; }");
+            self.line("if t + 1 < nthr && !await_progress(&progress[t + 1], ph - 1) { return false; }");
             let vi = self.var_name(il.var);
             self.line("{");
             self.indent += 1;
@@ -1000,14 +1051,15 @@ impl Emitter<'_> {
             self.line("}");
             self.indent -= 1;
             self.line("}");
-            self.line("progress[t].store(ph, Ordering::Release);");
+            self.line("progress[t].fetch_max(ph, Ordering::AcqRel);");
         }
         self.line("step_idx += 1;");
         self.line(&format!("{vo} += {};", l.step));
         self.indent -= 1;
         self.line("}");
+        self.line("true");
         self.indent -= 1;
-        self.line("});");
+        self.line("}));");
         self.indent -= 1;
         self.line("}");
         self.indent -= 1;
@@ -1226,6 +1278,65 @@ mod tests {
         );
         assert!(src.contains("locals_a_acc"), "{src}");
         assert!(src.contains("+= x"), "{src}");
+    }
+
+    #[test]
+    fn parallel_kernels_adopt_the_poisonable_protocol() {
+        let mut prog = simple_prog();
+        prog.body.visit_loops_mut(&mut |l| l.par = Par::Doall);
+        let src = emit_rust(
+            &prog,
+            &EmitOptions {
+                params: vec![16],
+                flops: 32,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        // Workers run inside the contained() unwind boundary, and a
+        // poisoned run exits 101 before printing a checksum.
+        assert!(src.contains("sc.spawn(move || contained(&[], || unsafe {"), "{src}");
+        assert!(src.contains("static POISONED: AtomicBool"), "{src}");
+        assert!(src.contains("std::process::exit(101)"), "{src}");
+        let poisoned_gate = src.find("if POISONED.load(Ordering::Acquire) {").expect("gate");
+        let checksum = src.find("checksum").expect("checksum");
+        assert!(poisoned_gate < checksum, "exit gate must precede checksum printing");
+    }
+
+    #[test]
+    fn pipeline_awaits_are_poison_aware() {
+        // A 2-deep nest with a carried stencil dependence: annotate the
+        // outer loop as Pipeline and check the emitted protocol.
+        use polymix_ir::builder::{con, ix, par, ScopBuilder};
+        let mut b = ScopBuilder::new("stencil", &["N"], &[16]);
+        let a = b.array("A", &["N", "N"]);
+        b.enter("t", con(1), par("N"));
+        b.enter("i", con(1), par("N"));
+        let rhs = b.rd(a, &[ix("t"), ix("i")]);
+        b.stmt("S", a, &[ix("t"), ix("i")], rhs);
+        b.exit();
+        b.exit();
+        let mut prog = crate::from_poly::original_program(&b.finish().expect("well-formed SCoP"))
+            .expect("original program");
+        let mut outer = true;
+        prog.body.visit_loops_mut(&mut |l| {
+            l.par = if outer { Par::Pipeline } else { Par::Seq };
+            outer = false;
+        });
+        let src = emit_rust(
+            &prog,
+            &EmitOptions {
+                params: vec![16],
+                flops: 32,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert!(src.contains("sc.spawn(move || contained(progress, || unsafe {"), "{src}");
+        assert!(src.contains("!await_progress(&progress[t - 1]"), "{src}");
+        assert!(src.contains("{ return false; }"), "{src}");
+        assert!(src.contains("fetch_max"), "{src}");
+        assert!(!src.contains("progress[t].store("), "stores must be fetch_max: {src}");
     }
 
     #[test]

@@ -1,4 +1,15 @@
 //! Static-schedule doall execution.
+//!
+//! Worker panics are contained at the worker boundary: the failing
+//! worker records a [`RuntimeError::WorkerPanic`] (first failure wins)
+//! and the primitive returns it after every worker has joined. Doall
+//! workers never wait on each other, so no poison broadcast is needed —
+//! the surviving workers simply finish their bounded spans.
+
+use crate::error::{RunStats, RuntimeError};
+use crate::sync::{payload_text, Fabric};
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Runs `body(i)` for every `i` in `lo..hi` across `threads` workers with
 /// a static block distribution (the `schedule(static)` OpenMP analogue).
@@ -6,43 +17,163 @@
 /// `body` only receives disjoint indices, so it may mutate shared state
 /// partitioned by `i`; Rust-level sharing is the caller's problem — the
 /// closure must be `Sync` (it is called concurrently from many threads).
-pub fn par_for<F>(lo: i64, hi: i64, threads: usize, body: F)
+pub fn par_for<F>(lo: i64, hi: i64, threads: usize, body: F) -> Result<RunStats, RuntimeError>
 where
     F: Fn(i64) + Sync,
 {
-    par_for_chunked(lo, hi, threads, |a, b| {
+    doall_cells(lo, hi, threads, |i| (i, 0), body)
+}
+
+/// [`par_for`] generalized with a mapping from the flat index to the
+/// logical grid cell reported in diagnostics (and targeted by fault
+/// injection) — the wavefront executor runs diagonals through this.
+pub(crate) fn doall_cells<C, F>(
+    lo: i64,
+    hi: i64,
+    threads: usize,
+    cell_of: C,
+    body: F,
+) -> Result<RunStats, RuntimeError>
+where
+    C: Fn(i64) -> (i64, i64) + Sync,
+    F: Fn(i64) + Sync,
+{
+    let n = match hi.checked_sub(lo) {
+        Some(n) => n,
+        None => {
+            return Err(RuntimeError::Misuse(format!(
+                "index range [{lo}, {hi}) overflows i64 arithmetic"
+            )))
+        }
+    };
+    if n <= 0 {
+        return Ok(RunStats::default());
+    }
+    let cap = u64::try_from(n)
+        .unwrap_or(u64::MAX)
+        .min(usize::MAX as u64) as usize;
+    let threads = threads.clamp(1, cap);
+    let fabric = Fabric::new(false);
+    if threads == 1 {
+        span_worker(0, lo, hi, &cell_of, &body, &fabric);
+    } else {
+        // ceil(n / threads) without the `n + threads - 1` overflow.
+        let chunk = n / threads as i64 + i64::from(n % threads as i64 != 0);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                // Saturation only affects spans past `hi`, which are
+                // empty and skipped.
+                let a = lo.saturating_add((t as i64).saturating_mul(chunk));
+                let b = a.saturating_add(chunk).min(hi);
+                if a >= b {
+                    continue;
+                }
+                let (fabric, cell_of, body) = (&fabric, &cell_of, &body);
+                s.spawn(move || span_worker(t, a, b, cell_of, body, fabric));
+            }
+        });
+    }
+    match fabric.into_failure() {
+        Some(err) => Err(err),
+        None => Ok(RunStats {
+            cells: n as u64,
+            workers: threads,
+        }),
+    }
+}
+
+/// Executes one worker's span `[a, b)`, catching unwinds at the worker
+/// boundary and recording which cell was live when the panic unwound.
+fn span_worker<C, F>(worker: usize, a: i64, b: i64, cell_of: &C, body: &F, fabric: &Fabric)
+where
+    C: Fn(i64) -> (i64, i64) + Sync,
+    F: Fn(i64) + Sync,
+{
+    let current: Cell<Option<(i64, i64)>> = Cell::new(None);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
         for i in a..b {
+            let (ci, cj) = cell_of(i);
+            current.set(Some((ci, cj)));
+            crate::fault_inject::before_cell(ci, cj);
             body(i);
         }
-    });
+    }));
+    if let Err(payload) = outcome {
+        fabric.poison(
+            RuntimeError::WorkerPanic {
+                worker,
+                cell: current.get(),
+                payload: payload_text(payload.as_ref()),
+            },
+            &[],
+        );
+    }
 }
 
 /// Runs `body(chunk_lo, chunk_hi)` once per worker over a static block
-/// partition of `lo..hi`. Empty ranges spawn nothing.
-pub fn par_for_chunked<F>(lo: i64, hi: i64, threads: usize, body: F)
+/// partition of `lo..hi`. Empty ranges spawn nothing. Worker panics are
+/// contained like [`par_for`]'s, but reported with `cell: None` — the
+/// chunk body is opaque, so the failing index is unknown.
+pub fn par_for_chunked<F>(
+    lo: i64,
+    hi: i64,
+    threads: usize,
+    body: F,
+) -> Result<RunStats, RuntimeError>
 where
     F: Fn(i64, i64) + Sync,
 {
-    let n = hi - lo;
-    if n <= 0 {
-        return;
-    }
-    let threads = threads.clamp(1, n.max(1) as usize);
-    if threads == 1 {
-        body(lo, hi);
-        return;
-    }
-    let chunk = (n + threads as i64 - 1) / threads as i64;
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            let body = &body;
-            let a = lo + t as i64 * chunk;
-            let b = (a + chunk).min(hi);
-            if a < b {
-                s.spawn(move || body(a, b));
-            }
+    let n = match hi.checked_sub(lo) {
+        Some(n) => n,
+        None => {
+            return Err(RuntimeError::Misuse(format!(
+                "index range [{lo}, {hi}) overflows i64 arithmetic"
+            )))
         }
-    });
+    };
+    if n <= 0 {
+        return Ok(RunStats::default());
+    }
+    let cap = u64::try_from(n)
+        .unwrap_or(u64::MAX)
+        .min(usize::MAX as u64) as usize;
+    let threads = threads.clamp(1, cap);
+    let fabric = Fabric::new(false);
+    let chunk_worker = |worker: usize, a: i64, b: i64, fabric: &Fabric| {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(a, b))) {
+            fabric.poison(
+                RuntimeError::WorkerPanic {
+                    worker,
+                    cell: None,
+                    payload: payload_text(payload.as_ref()),
+                },
+                &[],
+            );
+        }
+    };
+    if threads == 1 {
+        chunk_worker(0, lo, hi, &fabric);
+    } else {
+        let chunk = n / threads as i64 + i64::from(n % threads as i64 != 0);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let a = lo.saturating_add((t as i64).saturating_mul(chunk));
+                let b = a.saturating_add(chunk).min(hi);
+                if a >= b {
+                    continue;
+                }
+                let (fabric, chunk_worker) = (&fabric, &chunk_worker);
+                s.spawn(move || chunk_worker(t, a, b, fabric));
+            }
+        });
+    }
+    match fabric.into_failure() {
+        Some(err) => Err(err),
+        None => Ok(RunStats {
+            cells: n as u64,
+            workers: threads,
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -53,10 +184,13 @@ mod tests {
     #[test]
     fn covers_every_index_exactly_once() {
         let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
-        par_for(0, 100, 7, |i| {
+        let stats = par_for(0, 100, 7, |i| {
             hits[i as usize].fetch_add(1, Ordering::Relaxed);
-        });
+        })
+        .expect("clean run");
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(stats.cells, 100);
+        assert_eq!(stats.workers, 7);
     }
 
     #[test]
@@ -64,20 +198,24 @@ mod tests {
         let count = AtomicUsize::new(0);
         par_for(5, 5, 4, |_| {
             count.fetch_add(1, Ordering::Relaxed);
-        });
+        })
+        .expect("empty");
         par_for(5, 2, 4, |_| {
             count.fetch_add(1, Ordering::Relaxed);
-        });
+        })
+        .expect("negative");
         assert_eq!(count.load(Ordering::Relaxed), 0);
     }
 
     #[test]
     fn more_threads_than_iterations() {
         let count = AtomicUsize::new(0);
-        par_for(0, 3, 64, |_| {
+        let stats = par_for(0, 3, 64, |_| {
             count.fetch_add(1, Ordering::Relaxed);
-        });
+        })
+        .expect("clean run");
         assert_eq!(count.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.workers, 3, "threads clamp to iteration count");
     }
 
     #[test]
@@ -86,7 +224,8 @@ mod tests {
         par_for_chunked(10, 1000, 8, |a, b| {
             assert!(a < b);
             total.fetch_add(b - a, Ordering::Relaxed);
-        });
+        })
+        .expect("clean run");
         assert_eq!(total.load(Ordering::Relaxed), 990);
     }
 
@@ -96,7 +235,71 @@ mod tests {
         par_for_chunked(0, 4, 1, |a, b| {
             assert_eq!((a, b), (0, 4));
             seen.store(b - a, Ordering::Relaxed);
-        });
+        })
+        .expect("clean run");
         assert_eq!(seen.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn worker_panic_is_contained_with_cell() {
+        let err = par_for(0, 100, 4, |i| {
+            if i == 42 {
+                panic!("doall boom");
+            }
+        })
+        .expect_err("panic must surface");
+        match err {
+            RuntimeError::WorkerPanic {
+                cell, ref payload, ..
+            } => {
+                assert_eq!(cell, Some((42, 0)));
+                assert!(payload.contains("doall boom"), "{payload}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunked_panic_reports_no_cell() {
+        let err = par_for_chunked(0, 16, 4, |a, _| {
+            if a == 0 {
+                panic!("chunk boom");
+            }
+        })
+        .expect_err("panic must surface");
+        match err {
+            RuntimeError::WorkerPanic { worker, cell, .. } => {
+                assert_eq!(worker, 0);
+                assert_eq!(cell, None);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overflowing_range_is_misuse() {
+        let err = par_for(i64::MIN, i64::MAX, 4, |_| {}).expect_err("overflow");
+        assert!(matches!(err, RuntimeError::Misuse(_)), "{err:?}");
+    }
+
+    #[test]
+    fn sequential_panic_contained_too() {
+        let err = par_for(0, 10, 1, |i| {
+            if i == 3 {
+                panic!("seq boom");
+            }
+        })
+        .expect_err("panic must surface");
+        assert!(
+            matches!(
+                err,
+                RuntimeError::WorkerPanic {
+                    worker: 0,
+                    cell: Some((3, 0)),
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
     }
 }

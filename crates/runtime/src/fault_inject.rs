@@ -1,0 +1,146 @@
+//! Deterministic fault injection for the runtime primitives (feature
+//! `fault-inject`; test/CI only).
+//!
+//! A [`FaultPlan`] installed through [`install`] makes the primitives
+//! misbehave on purpose: seeded per-cell delays and adversarial yields
+//! (to shake out ordering assumptions), a finite stall at one chosen
+//! cell (to exercise the watchdog), and a panic at one chosen cell (to
+//! exercise poison containment). Everything is keyed off a splitmix-
+//! style hash of `(seed, i, j)`, so a failing schedule replays exactly
+//! from its seed — no wall-clock or OS randomness is consulted.
+//!
+//! Plans are process-global; [`install`] returns a [`FaultGuard`] that
+//! holds an exclusive gate (serializing concurrent tests) and clears
+//! the plan on drop. Injected stalls are always finite: the runtime
+//! joins its workers via `std::thread::scope`, so an infinite injected
+//! sleep would turn a contained error into a real hang.
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// What to inject, and where. `Default` injects nothing.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for every per-cell pseudo-random decision.
+    pub seed: u64,
+    /// Panic just before executing this cell.
+    pub panic_at: Option<(i64, i64)>,
+    /// Sleep this many milliseconds just before executing this cell —
+    /// a finite stall for the watchdog to catch.
+    pub stall_ms_at: Option<((i64, i64), u64)>,
+    /// Upper bound (exclusive) on a seeded per-cell delay in
+    /// microseconds; 0 disables delays.
+    pub delay_us_max: u64,
+    /// Percentage of cells that yield their time slice before running,
+    /// plus extra yields inside wait loops; 0 disables.
+    pub yield_pct: u8,
+}
+
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+static GATE: Mutex<()> = Mutex::new(());
+
+/// Clears the installed plan when dropped, releasing the gate that
+/// keeps concurrent fault-injection tests from trampling each other.
+pub struct FaultGuard {
+    _gate: MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        *PLAN.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+/// Installs `plan` process-wide until the returned guard drops.
+#[must_use = "the plan is cleared as soon as the guard drops"]
+pub fn install(plan: FaultPlan) -> FaultGuard {
+    let gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    *PLAN.lock().unwrap_or_else(|e| e.into_inner()) = Some(plan);
+    FaultGuard { _gate: gate }
+}
+
+/// splitmix64-style mix of the seed and a cell coordinate.
+fn mix(seed: u64, i: i64, j: i64) -> u64 {
+    let mut z = seed
+        ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (j as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn current_plan() -> Option<FaultPlan> {
+    PLAN.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Hook the primitives call immediately before executing cell `(i, j)`
+/// (1-D primitives pass `(i, 0)`). Ordering: delay, then yield, then
+/// stall, then panic — so a panic cell can also be delayed first.
+pub fn before_cell(i: i64, j: i64) {
+    let Some(plan) = current_plan() else { return };
+    if plan.delay_us_max > 0 {
+        let us = mix(plan.seed, i, j) % plan.delay_us_max;
+        if us > 0 {
+            std::thread::sleep(Duration::from_micros(us));
+        }
+    }
+    if plan.yield_pct > 0 && mix(plan.seed ^ 0xA5A5_A5A5, i, j) % 100 < u64::from(plan.yield_pct)
+    {
+        std::thread::yield_now();
+    }
+    if let Some(((si, sj), ms)) = plan.stall_ms_at {
+        if (si, sj) == (i, j) {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
+    if plan.panic_at == Some((i, j)) {
+        #[allow(clippy::panic)] // the whole point of this module
+        {
+            panic!("fault-inject: seeded panic at cell ({i}, {j})");
+        }
+    }
+}
+
+/// Hook called from the slow path of runtime wait loops; under an
+/// adversarial plan it surrenders the time slice to perturb scheduling.
+pub fn on_wait() {
+    if current_plan().is_some_and(|p| p.yield_pct > 0) {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(mix(7, 3, 4), mix(7, 3, 4));
+        assert_ne!(mix(7, 3, 4), mix(8, 3, 4));
+        assert_ne!(mix(7, 3, 4), mix(7, 4, 3));
+    }
+
+    #[test]
+    fn guard_clears_plan() {
+        {
+            let _g = install(FaultPlan {
+                seed: 1,
+                ..FaultPlan::default()
+            });
+            assert!(current_plan().is_some());
+        }
+        assert!(current_plan().is_none());
+    }
+
+    #[test]
+    fn before_cell_panics_only_at_the_chosen_cell() {
+        let _g = install(FaultPlan {
+            panic_at: Some((2, 3)),
+            ..FaultPlan::default()
+        });
+        before_cell(0, 0);
+        before_cell(3, 2);
+        let caught = std::panic::catch_unwind(|| before_cell(2, 3));
+        assert!(caught.is_err());
+    }
+}

@@ -12,13 +12,54 @@
 //!   proposal), plus the [`pipeline::wavefront_2d`] executor it is compared
 //!   against in Fig. 6.
 //!
-//! Everything is built from `std::thread::scope` and atomics; no work-stealing pool is spun up, matching the static
-//! scheduling the paper's OpenMP codes use.
+//! Everything is built from `std::thread::scope` and atomics; no
+//! work-stealing pool is spun up, matching the static scheduling the
+//! paper's OpenMP codes use.
+//!
+//! ## Fault tolerance
+//!
+//! Every primitive returns `Result<RunStats, RuntimeError>`. A worker
+//! panic is caught at the worker boundary and broadcast as a poison
+//! value through the progress counters, so no waiter spins forever on a
+//! dead neighbor; the primitive reports
+//! [`RuntimeError::WorkerPanic`] after all workers joined. Arming
+//! [`RuntimeOptions::watchdog`] (off by default — hot paths pay
+//! nothing) additionally converts a wedged pipeline into a diagnostic
+//! [`RuntimeError::Stalled`] listing the cells that never advanced.
+//! Adversarial grids whose extents overflow `i64` arithmetic are
+//! refused with [`RuntimeError::Misuse`].
+//!
+//! Two cargo features support testing this machinery:
+//!
+//! * `fault-inject` — deterministic seeded fault injection
+//!   ([`fault_inject`]): per-cell delays, adversarial yields, a finite
+//!   stall at a chosen cell, a panic at a chosen cell.
+//! * `order-check` — a dynamic dependence-order checker
+//!   ([`order_check`]) asserting each executed cell observed its
+//!   `(i-1, j)`/`(i, j-1)` sources.
 
 pub mod doall;
+pub mod error;
+pub mod order_check;
 pub mod pipeline;
 pub mod reduction;
+mod sync;
+
+#[cfg(feature = "fault-inject")]
+pub mod fault_inject;
+
+/// No-op stand-ins compiled when `fault-inject` is off, so the
+/// primitives can call the hooks unconditionally at zero cost.
+#[cfg(not(feature = "fault-inject"))]
+pub(crate) mod fault_inject {
+    #[inline(always)]
+    pub(crate) fn before_cell(_i: i64, _j: i64) {}
+    #[inline(always)]
+    pub(crate) fn on_wait() {}
+}
 
 pub use doall::{par_for, par_for_chunked};
-pub use pipeline::{pipeline_2d, wavefront_2d, GridSweep};
+pub use error::{RunStats, RuntimeError, RuntimeOptions};
+pub use pipeline::{pipeline_2d, pipeline_2d_opts, wavefront_2d, wavefront_2d_opts, GridSweep};
 pub use reduction::reduce_array;
+pub use sync::POISON;

@@ -1,0 +1,200 @@
+//! Dynamic dependence-order checking (feature `order-check`): a
+//! lightweight race detector asserting that every executed cell
+//! `(i, j)` observed its `(i-1, j)` and `(i, j-1)` sources first.
+//!
+//! The real checker only exists with the feature on; the primitives
+//! embed a [`DepChecker`] wrapper that compiles to nothing otherwise,
+//! so release/hot paths carry zero cost. Violations are collected, not
+//! panicked on, and surface as a `RuntimeError::Misuse` after the run —
+//! panicking inside a worker would be reported as a `WorkerPanic` and
+//! hide the actual diagnosis.
+
+use crate::error::RuntimeError;
+use crate::pipeline::GridSweep;
+
+#[cfg(feature = "order-check")]
+mod imp {
+    use super::GridSweep;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    /// Largest grid (in cells) the checker will shadow; beyond this the
+    /// checker opts out rather than allocate gigabytes in a test build.
+    const MAX_SHADOW_CELLS: u64 = 1 << 24;
+
+    /// One executed-cell shadow bit per grid cell plus a violation log.
+    pub struct OrderChecker {
+        grid: GridSweep,
+        nj: usize,
+        done: Vec<AtomicBool>,
+        /// (cell_i, cell_j, src_i, src_j) for every missed source.
+        violations: Mutex<Vec<(i64, i64, i64, i64)>>,
+    }
+
+    impl OrderChecker {
+        /// `None` when the grid is degenerate, overflowing, or too big
+        /// to shadow.
+        pub fn try_new(grid: GridSweep) -> Option<OrderChecker> {
+            let cells = grid.cells_checked().ok()?;
+            if cells == 0 || cells > MAX_SHADOW_CELLS {
+                return None;
+            }
+            let nj = (grid.j_hi - grid.j_lo) as usize;
+            let done = (0..cells).map(|_| AtomicBool::new(false)).collect();
+            Some(OrderChecker {
+                grid,
+                nj,
+                done,
+                violations: Mutex::new(Vec::new()),
+            })
+        }
+
+        fn idx(&self, i: i64, j: i64) -> usize {
+            (i - self.grid.i_lo) as usize * self.nj + (j - self.grid.j_lo) as usize
+        }
+
+        /// Records a violation for every in-grid source of `(i, j)` that
+        /// has not completed yet.
+        pub fn check_sources(&self, i: i64, j: i64) {
+            let mut missed: Vec<(i64, i64)> = Vec::new();
+            if i > self.grid.i_lo && !self.done[self.idx(i - 1, j)].load(Ordering::Acquire) {
+                missed.push((i - 1, j));
+            }
+            if j > self.grid.j_lo && !self.done[self.idx(i, j - 1)].load(Ordering::Acquire) {
+                missed.push((i, j - 1));
+            }
+            if !missed.is_empty() {
+                let mut log = self.violations.lock().unwrap_or_else(|e| e.into_inner());
+                for (si, sj) in missed {
+                    log.push((i, j, si, sj));
+                }
+            }
+        }
+
+        /// Marks `(i, j)` complete.
+        pub fn mark_done(&self, i: i64, j: i64) {
+            self.done[self.idx(i, j)].store(true, Ordering::Release);
+        }
+
+        /// Drains the violation log.
+        pub fn violations(&self) -> Vec<(i64, i64, i64, i64)> {
+            std::mem::take(&mut *self.violations.lock().unwrap_or_else(|e| e.into_inner()))
+        }
+    }
+}
+
+#[cfg(feature = "order-check")]
+pub use imp::OrderChecker;
+
+/// The wrapper the primitives embed: forwards to [`OrderChecker`] when
+/// `order-check` is enabled, compiles to a no-op otherwise.
+pub(crate) struct DepChecker {
+    #[cfg(feature = "order-check")]
+    inner: Option<OrderChecker>,
+}
+
+impl DepChecker {
+    pub(crate) fn new(grid: GridSweep) -> DepChecker {
+        #[cfg(not(feature = "order-check"))]
+        let _ = grid;
+        DepChecker {
+            #[cfg(feature = "order-check")]
+            inner: OrderChecker::try_new(grid),
+        }
+    }
+
+    /// Call immediately before a cell body runs.
+    #[inline(always)]
+    pub(crate) fn before(&self, i: i64, j: i64) {
+        #[cfg(feature = "order-check")]
+        if let Some(c) = &self.inner {
+            c.check_sources(i, j);
+        }
+        #[cfg(not(feature = "order-check"))]
+        let _ = (i, j);
+    }
+
+    /// Call immediately after a cell body returns.
+    #[inline(always)]
+    pub(crate) fn after(&self, i: i64, j: i64) {
+        #[cfg(feature = "order-check")]
+        if let Some(c) = &self.inner {
+            c.mark_done(i, j);
+        }
+        #[cfg(not(feature = "order-check"))]
+        let _ = (i, j);
+    }
+
+    /// Converts any recorded violations into a diagnostic error. Call
+    /// after all workers joined, on otherwise-successful runs.
+    pub(crate) fn finish(self) -> Result<(), RuntimeError> {
+        #[cfg(feature = "order-check")]
+        if let Some(c) = &self.inner {
+            let violations = c.violations();
+            if let Some(&(i, j, si, sj)) = violations.first() {
+                return Err(RuntimeError::Misuse(format!(
+                    "dependence order violated: cell ({i}, {j}) ran before its source \
+                     ({si}, {sj}) completed ({} violation(s) total)",
+                    violations.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(all(test, feature = "order-check"))]
+mod tests {
+    use super::*;
+
+    fn grid(ni: i64, nj: i64) -> GridSweep {
+        GridSweep {
+            i_lo: 0,
+            i_hi: ni,
+            j_lo: 0,
+            j_hi: nj,
+        }
+    }
+
+    #[test]
+    fn clean_sweep_has_no_violations() {
+        let c = OrderChecker::try_new(grid(3, 4)).expect("shadow fits");
+        for i in 0..3 {
+            for j in 0..4 {
+                c.check_sources(i, j);
+                c.mark_done(i, j);
+            }
+        }
+        assert!(c.violations().is_empty());
+    }
+
+    #[test]
+    fn skipped_source_is_reported() {
+        let c = OrderChecker::try_new(grid(2, 2)).expect("shadow fits");
+        c.check_sources(0, 0);
+        c.mark_done(0, 0);
+        // (1, 1) runs before either of its sources finished.
+        c.check_sources(1, 1);
+        let v = c.violations();
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.contains(&(1, 1, 0, 1)));
+        assert!(v.contains(&(1, 1, 1, 0)));
+    }
+
+    #[test]
+    fn oversized_grids_opt_out() {
+        assert!(OrderChecker::try_new(grid(1 << 20, 1 << 20)).is_none());
+        assert!(OrderChecker::try_new(grid(0, 5)).is_none());
+    }
+
+    #[test]
+    fn finish_surfaces_misuse() {
+        let checker = DepChecker::new(grid(2, 2));
+        checker.before(1, 1); // sources never ran
+        let err = checker.finish().expect_err("must flag");
+        match err {
+            RuntimeError::Misuse(msg) => assert!(msg.contains("dependence order"), "{msg}"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //!
 //! * [`pipeline_2d`] — the paper's preferred construct: the `j` range is
 //!   split into per-thread column blocks; each thread sweeps `i`
-//!   ascending and, before starting row `i`, spins until its left
+//!   ascending and, before starting row `i`, waits until its left
 //!   neighbor has finished the same row (`await source(i, j-1)`;
 //!   `source(i-1, j)` holds by the thread's own sweep order). No global
 //!   barriers, no load-imbalanced start-up/drain phases beyond the
@@ -13,31 +13,22 @@
 //! * [`wavefront_2d`] — the doall-only alternative: iterate diagonals
 //!   `w = i + j` sequentially with an all-to-all barrier between
 //!   diagonals, running each diagonal's cells in parallel.
+//!
+//! Both are fault-tolerant: a worker panic is caught at the worker
+//! boundary and broadcast as [`POISON`](crate::sync::POISON) through
+//! the progress counters (pipeline) or stops the diagonal loop before
+//! the next barrier releases (wavefront), and the primitive returns
+//! `Err(RuntimeError::WorkerPanic { .. })` after all workers joined.
+//! With [`RuntimeOptions::watchdog`] armed, a wedged pipeline turns
+//! into a diagnostic [`RuntimeError::Stalled`] instead of a hang.
 
-use crate::doall::par_for;
+use crate::doall::doall_cells;
+use crate::error::{RunStats, RuntimeError, RuntimeOptions};
+use crate::order_check::DepChecker;
+use crate::sync::{await_progress, payload_text, Fabric, Wait, POISON};
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicI64, Ordering};
-
-/// Spin iterations before a waiting pipeline thread starts yielding its
-/// time slice. Pure `spin_loop()` waiting livelocks when worker threads
-/// outnumber cores (an oversubscribed thread can spin a full scheduler
-/// quantum while the neighbor it waits on is ready to run); a bounded
-/// spin keeps the fast path cheap and `yield_now` keeps progress
-/// guaranteed.
-const SPIN_LIMIT: u32 = 1 << 10;
-
-/// Waits until `cell` reaches at least `target`: spins briefly, then
-/// yields to the scheduler between polls.
-fn await_progress(cell: &AtomicI64, target: i64) {
-    let mut spins = 0u32;
-    while cell.load(Ordering::Acquire) < target {
-        if spins < SPIN_LIMIT {
-            spins += 1;
-            std::hint::spin_loop();
-        } else {
-            std::thread::yield_now();
-        }
-    }
-}
 
 /// A half-open 2-D iteration grid `[i_lo, i_hi) × [j_lo, j_hi)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,91 +44,260 @@ pub struct GridSweep {
 }
 
 impl GridSweep {
-    /// Number of cells in the grid.
+    /// Number of cells in the grid, saturating at `i64::MAX` on
+    /// adversarial extents (a plain `i64` multiply here used to wrap).
     pub fn cells(&self) -> i64 {
-        (self.i_hi - self.i_lo).max(0) * (self.j_hi - self.j_lo).max(0)
+        let ni = self.i_hi.saturating_sub(self.i_lo).max(0);
+        let nj = self.j_hi.saturating_sub(self.j_lo).max(0);
+        ni.saturating_mul(nj)
+    }
+
+    /// Exact cell count, or [`RuntimeError::Misuse`] when the extents
+    /// overflow `i64` arithmetic — the executors refuse such grids
+    /// instead of silently iterating a wrapped range.
+    pub fn cells_checked(&self) -> Result<u64, RuntimeError> {
+        let overflow = || {
+            RuntimeError::Misuse(format!(
+                "grid [{}, {}) x [{}, {}) overflows i64 arithmetic",
+                self.i_lo, self.i_hi, self.j_lo, self.j_hi
+            ))
+        };
+        let ni = self.i_hi.checked_sub(self.i_lo).ok_or_else(overflow)?.max(0) as u64;
+        let nj = self.j_hi.checked_sub(self.j_lo).ok_or_else(overflow)?.max(0) as u64;
+        ni.checked_mul(nj).ok_or_else(overflow)
     }
 }
 
 /// Executes the grid with point-to-point column-block pipelining.
-/// `body(i, j)` is invoked exactly once per cell, never before its
-/// `(i-1, j)` and `(i, j-1)` predecessors have completed.
-pub fn pipeline_2d<F>(grid: GridSweep, threads: usize, body: F)
+/// `body(i, j)` is invoked at most once per cell, never before its
+/// `(i-1, j)` and `(i, j-1)` predecessors have completed; exactly once
+/// per cell when the run returns `Ok`.
+pub fn pipeline_2d<F>(grid: GridSweep, threads: usize, body: F) -> Result<RunStats, RuntimeError>
 where
     F: Fn(i64, i64) + Sync,
 {
-    if grid.cells() == 0 {
-        return;
+    pipeline_2d_opts(grid, threads, RuntimeOptions::default(), body)
+}
+
+/// [`pipeline_2d`] with explicit [`RuntimeOptions`] (watchdog policy).
+pub fn pipeline_2d_opts<F>(
+    grid: GridSweep,
+    threads: usize,
+    opts: RuntimeOptions,
+    body: F,
+) -> Result<RunStats, RuntimeError>
+where
+    F: Fn(i64, i64) + Sync,
+{
+    let cells = grid.cells_checked()?;
+    if cells == 0 {
+        return Ok(RunStats::default());
     }
-    let span = grid.j_hi - grid.j_lo;
-    let nthr = threads.clamp(1, span.max(1) as usize);
+    let span = grid.j_hi - grid.j_lo; // in-range: cells_checked passed
+    let nthr = threads.clamp(1, span.min(isize::MAX as i64) as usize);
+    let checker = DepChecker::new(grid);
     if nthr == 1 {
-        for i in grid.i_lo..grid.i_hi {
-            for j in grid.j_lo..grid.j_hi {
-                body(i, j);
+        let current: Cell<Option<(i64, i64)>> = Cell::new(None);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            for i in grid.i_lo..grid.i_hi {
+                for j in grid.j_lo..grid.j_hi {
+                    current.set(Some((i, j)));
+                    crate::fault_inject::before_cell(i, j);
+                    checker.before(i, j);
+                    body(i, j);
+                    checker.after(i, j);
+                }
             }
-        }
-        return;
+        }));
+        return match outcome {
+            Ok(()) => {
+                checker.finish()?;
+                Ok(RunStats { cells, workers: 1 })
+            }
+            Err(payload) => Err(RuntimeError::WorkerPanic {
+                worker: 0,
+                cell: current.get(),
+                payload: payload_text(payload.as_ref()),
+            }),
+        };
     }
+
     let progress: Vec<AtomicI64> = (0..nthr).map(|_| AtomicI64::new(i64::MIN)).collect();
-    let chunk = (span + nthr as i64 - 1) / nthr as i64;
+    let fabric = Fabric::new(opts.watchdog.is_some());
+    // ceil(span / nthr) without the `span + nthr - 1` overflow.
+    let chunk = span / nthr as i64 + i64::from(span % nthr as i64 != 0);
     std::thread::scope(|s| {
         for t in 0..nthr {
-            let progress = &progress;
-            let body = &body;
+            let (progress, fabric, body, checker) = (&progress, &fabric, &body, &checker);
             s.spawn(move || {
-                let blk_lo = grid.j_lo + t as i64 * chunk;
-                let blk_hi = (blk_lo + chunk).min(grid.j_hi);
-                if blk_lo >= blk_hi {
-                    // Still publish progress so right neighbors never stall.
+                // Saturation only produces empty blocks (relayed below).
+                let blk_lo = grid
+                    .j_lo
+                    .saturating_add((t as i64).saturating_mul(chunk))
+                    .min(grid.j_hi);
+                let blk_hi = blk_lo.saturating_add(chunk).min(grid.j_hi);
+                let current: Cell<Option<(i64, i64)>> = Cell::new(None);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
                     for i in grid.i_lo..grid.i_hi {
-                        if t > 0 {
-                            await_progress(&progress[t - 1], i);
+                        if fabric.is_poisoned() {
+                            return Wait::Poisoned;
                         }
-                        progress[t].store(i, Ordering::Release);
+                        if t > 0 {
+                            // await source(i, blk_lo - 1)
+                            match await_progress(&progress[t - 1], i, fabric, opts.watchdog) {
+                                Wait::Ready => {}
+                                other => return other,
+                            }
+                        }
+                        for j in blk_lo..blk_hi {
+                            current.set(Some((i, j)));
+                            crate::fault_inject::before_cell(i, j);
+                            checker.before(i, j);
+                            body(i, j);
+                            checker.after(i, j);
+                        }
+                        current.set(None);
+                        // Empty blocks still publish progress so right
+                        // neighbors never stall. fetch_max never
+                        // overwrites POISON.
+                        progress[t].fetch_max(i, Ordering::AcqRel);
+                        fabric.bump();
                     }
-                    return;
-                }
-                for i in grid.i_lo..grid.i_hi {
-                    if t > 0 {
-                        // await source(i, blk_lo - 1)
-                        await_progress(&progress[t - 1], i);
+                    Wait::Ready
+                }));
+                match outcome {
+                    Ok(Wait::Ready) | Ok(Wait::Poisoned) => {}
+                    Ok(Wait::Stalled) => {
+                        // Snapshot the frontier before flooding POISON.
+                        let stalled_cells = stalled_snapshot(progress, grid, chunk);
+                        fabric.poison(RuntimeError::Stalled { stalled_cells }, progress);
                     }
-                    for j in blk_lo..blk_hi {
-                        body(i, j);
+                    Err(payload) => {
+                        fabric.poison(
+                            RuntimeError::WorkerPanic {
+                                worker: t,
+                                cell: current.get(),
+                                payload: payload_text(payload.as_ref()),
+                            },
+                            progress,
+                        );
                     }
-                    progress[t].store(i, Ordering::Release);
                 }
             });
         }
     });
+    match fabric.into_failure() {
+        Some(err) => Err(err),
+        None => {
+            checker.finish()?;
+            Ok(RunStats {
+                cells,
+                workers: nthr,
+            })
+        }
+    }
+}
+
+/// For each worker still behind, the next cell its block never
+/// finished: the frontier that stopped advancing.
+fn stalled_snapshot(progress: &[AtomicI64], grid: GridSweep, chunk: i64) -> Vec<(i64, i64)> {
+    let mut cells = Vec::new();
+    for (t, counter) in progress.iter().enumerate() {
+        let done_row = counter.load(Ordering::Acquire);
+        if done_row == POISON || done_row >= grid.i_hi - 1 {
+            continue;
+        }
+        let next_i = if done_row == i64::MIN {
+            grid.i_lo
+        } else {
+            done_row + 1
+        };
+        let blk_lo = grid
+            .j_lo
+            .saturating_add((t as i64).saturating_mul(chunk))
+            .min(grid.j_hi);
+        cells.push((next_i, blk_lo));
+    }
+    cells
 }
 
 /// Executes the grid as a skewed wavefront: diagonals `w = i + j` run
 /// sequentially, the cells of each diagonal in parallel, with an implicit
-/// all-to-all barrier between diagonals.
-pub fn wavefront_2d<F>(grid: GridSweep, threads: usize, body: F)
+/// all-to-all barrier between diagonals. A failure on diagonal `w`
+/// returns before diagonal `w + 1` begins — the barrier does not
+/// release past a poisoned diagonal.
+pub fn wavefront_2d<F>(grid: GridSweep, threads: usize, body: F) -> Result<RunStats, RuntimeError>
 where
     F: Fn(i64, i64) + Sync,
 {
-    if grid.cells() == 0 {
-        return;
+    wavefront_2d_opts(grid, threads, RuntimeOptions::default(), body)
+}
+
+/// [`wavefront_2d`] with explicit [`RuntimeOptions`]. The wavefront has
+/// no point-to-point waits, so the watchdog has nothing to arm; the
+/// options are accepted for interface symmetry with [`pipeline_2d_opts`].
+pub fn wavefront_2d_opts<F>(
+    grid: GridSweep,
+    threads: usize,
+    _opts: RuntimeOptions,
+    body: F,
+) -> Result<RunStats, RuntimeError>
+where
+    F: Fn(i64, i64) + Sync,
+{
+    let cells = grid.cells_checked()?;
+    if cells == 0 {
+        return Ok(RunStats::default());
     }
-    let w_lo = grid.i_lo + grid.j_lo;
-    let w_hi = (grid.i_hi - 1) + (grid.j_hi - 1);
+    let misuse = || {
+        RuntimeError::Misuse(format!(
+            "wavefront diagonals of grid [{}, {}) x [{}, {}) overflow i64",
+            grid.i_lo, grid.i_hi, grid.j_lo, grid.j_hi
+        ))
+    };
+    let w_lo = grid.i_lo.checked_add(grid.j_lo).ok_or_else(misuse)?;
+    let w_hi = (grid.i_hi - 1).checked_add(grid.j_hi - 1).ok_or_else(misuse)?;
+    let checker = DepChecker::new(grid);
+    let workers = threads.max(1);
     for w in w_lo..=w_hi {
-        let j_lo = grid.j_lo.max(w - (grid.i_hi - 1));
-        let j_hi = grid.j_hi.min(w - grid.i_lo + 1); // exclusive
-        par_for(j_lo, j_hi, threads, |j| body(w - j, j));
-        // par_for joins all workers: the inter-diagonal barrier.
+        // Diagonal bounds in i128 to dodge intermediate overflow; the
+        // max/min clamps make saturation exact.
+        let j_lo = grid
+            .j_lo
+            .max(clamp_i64(w as i128 - (grid.i_hi as i128 - 1)));
+        let j_hi = grid
+            .j_hi
+            .min(clamp_i64(w as i128 - grid.i_lo as i128 + 1)); // exclusive
+        let checker = &checker;
+        let body = &body;
+        doall_cells(j_lo, j_hi, threads, |j| (w - j, j), |j| {
+            let (ci, cj) = (w - j, j);
+            checker.before(ci, cj);
+            body(ci, cj);
+            checker.after(ci, cj);
+        })?;
+        // doall_cells joins all workers (the inter-diagonal barrier) and
+        // `?` stops before diagonal w + 1 if anything on w failed.
+    }
+    checker.finish()?;
+    Ok(RunStats { cells, workers })
+}
+
+fn clamp_i64(v: i128) -> i64 {
+    if v > i64::MAX as i128 {
+        i64::MAX
+    } else if v < i64::MIN as i128 {
+        i64::MIN
+    } else {
+        v as i64
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
     use std::collections::HashSet;
+    use std::sync::Mutex;
 
     fn grid(ni: i64, nj: i64) -> GridSweep {
         GridSweep {
@@ -169,7 +329,11 @@ mod tests {
     fn pipeline_respects_dependences() {
         for threads in [1, 3, 8] {
             let log = Mutex::new(Vec::new());
-            pipeline_2d(grid(9, 13), threads, |i, j| log.lock().unwrap().push((i, j)));
+            let stats = pipeline_2d(grid(9, 13), threads, |i, j| {
+                log.lock().unwrap().push((i, j));
+            })
+            .expect("clean run");
+            assert_eq!(stats.cells, 9 * 13);
             check_order(&log.into_inner().unwrap(), 9, 13);
         }
     }
@@ -178,7 +342,8 @@ mod tests {
     fn wavefront_respects_dependences() {
         for threads in [1, 4] {
             let log = Mutex::new(Vec::new());
-            wavefront_2d(grid(7, 11), threads, |i, j| log.lock().unwrap().push((i, j)));
+            wavefront_2d(grid(7, 11), threads, |i, j| log.lock().unwrap().push((i, j)))
+                .expect("clean run");
             check_order(&log.into_inner().unwrap(), 7, 11);
         }
     }
@@ -188,11 +353,13 @@ mod tests {
         let a = Mutex::new(HashSet::new());
         pipeline_2d(grid(5, 6), 4, |i, j| {
             a.lock().unwrap().insert((i, j));
-        });
+        })
+        .expect("clean run");
         let b = Mutex::new(HashSet::new());
         wavefront_2d(grid(5, 6), 4, |i, j| {
             b.lock().unwrap().insert((i, j));
-        });
+        })
+        .expect("clean run");
         assert_eq!(a.into_inner().unwrap(), b.into_inner().unwrap());
     }
 
@@ -211,9 +378,9 @@ mod tests {
                 *table[i * nj + j].lock().unwrap() = up + left;
             };
             if pipe {
-                pipeline_2d(grid(ni as i64, nj as i64), threads, body);
+                pipeline_2d(grid(ni as i64, nj as i64), threads, body).expect("clean run");
             } else {
-                wavefront_2d(grid(ni as i64, nj as i64), threads, body);
+                wavefront_2d(grid(ni as i64, nj as i64), threads, body).expect("clean run");
             }
             table.into_iter().map(|m| m.into_inner().unwrap()).collect()
         };
@@ -227,20 +394,111 @@ mod tests {
     #[test]
     fn degenerate_grids() {
         let count = Mutex::new(0);
-        pipeline_2d(grid(0, 5), 4, |_, _| *count.lock().unwrap() += 1);
-        pipeline_2d(grid(5, 0), 4, |_, _| *count.lock().unwrap() += 1);
-        wavefront_2d(grid(0, 0), 4, |_, _| *count.lock().unwrap() += 1);
+        pipeline_2d(grid(0, 5), 4, |_, _| *count.lock().unwrap() += 1).expect("empty");
+        pipeline_2d(grid(5, 0), 4, |_, _| *count.lock().unwrap() += 1).expect("empty");
+        wavefront_2d(grid(0, 0), 4, |_, _| *count.lock().unwrap() += 1).expect("empty");
         assert_eq!(*count.lock().unwrap(), 0);
         // One-row / one-column grids.
-        pipeline_2d(grid(1, 8), 4, |_, _| *count.lock().unwrap() += 1);
-        pipeline_2d(grid(8, 1), 4, |_, _| *count.lock().unwrap() += 1);
+        pipeline_2d(grid(1, 8), 4, |_, _| *count.lock().unwrap() += 1).expect("clean run");
+        pipeline_2d(grid(8, 1), 4, |_, _| *count.lock().unwrap() += 1).expect("clean run");
         assert_eq!(*count.lock().unwrap(), 16);
     }
 
     #[test]
     fn more_threads_than_columns() {
         let log = Mutex::new(Vec::new());
-        pipeline_2d(grid(4, 3), 16, |i, j| log.lock().unwrap().push((i, j)));
+        pipeline_2d(grid(4, 3), 16, |i, j| log.lock().unwrap().push((i, j)))
+            .expect("clean run");
         check_order(&log.into_inner().unwrap(), 4, 3);
+    }
+
+    #[test]
+    fn cells_saturates_instead_of_wrapping() {
+        let g = GridSweep {
+            i_lo: i64::MIN,
+            i_hi: i64::MAX,
+            j_lo: 0,
+            j_hi: 2,
+        };
+        // The old `(i_hi - i_lo) * (j_hi - j_lo)` wrapped here.
+        assert_eq!(g.cells(), i64::MAX);
+        assert!(matches!(g.cells_checked(), Err(RuntimeError::Misuse(_))));
+        let big = GridSweep {
+            i_lo: 0,
+            i_hi: 1 << 40,
+            j_lo: 0,
+            j_hi: 1 << 40,
+        };
+        // 2^80 cells: wraps any fixed width; both paths must refuse.
+        assert_eq!(big.cells(), i64::MAX);
+        assert!(matches!(big.cells_checked(), Err(RuntimeError::Misuse(_))));
+        let large_but_fine = GridSweep {
+            i_lo: 0,
+            i_hi: 1 << 31,
+            j_lo: 0,
+            j_hi: 1 << 31,
+        };
+        assert_eq!(large_but_fine.cells(), 1 << 62);
+        assert_eq!(large_but_fine.cells_checked(), Ok(1u64 << 62));
+    }
+
+    #[test]
+    fn overflowing_grids_are_rejected_not_run() {
+        let count = Mutex::new(0u64);
+        let g = GridSweep {
+            i_lo: i64::MIN,
+            i_hi: i64::MAX,
+            j_lo: 0,
+            j_hi: 1,
+        };
+        let err = pipeline_2d(g, 4, |_, _| *count.lock().unwrap() += 1)
+            .expect_err("must refuse");
+        assert!(matches!(err, RuntimeError::Misuse(_)), "{err:?}");
+        let err = wavefront_2d(g, 4, |_, _| *count.lock().unwrap() += 1)
+            .expect_err("must refuse");
+        assert!(matches!(err, RuntimeError::Misuse(_)), "{err:?}");
+        assert_eq!(*count.lock().unwrap(), 0, "no cell may run");
+    }
+
+    #[test]
+    fn pipeline_panic_poisons_all_waiters() {
+        for threads in [2, 4, 8] {
+            let err = pipeline_2d(grid(64, 64), threads, |i, j| {
+                if (i, j) == (32, 0) {
+                    panic!("pipeline boom");
+                }
+            })
+            .expect_err("panic must surface");
+            match err {
+                RuntimeError::WorkerPanic { cell, payload, .. } => {
+                    assert_eq!(cell, Some((32, 0)));
+                    assert!(payload.contains("pipeline boom"), "{payload}");
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wavefront_stops_at_poisoned_diagonal() {
+        // A panic on diagonal w must prevent any cell of diagonal w+1
+        // from running (the barrier may not release past the failure).
+        let max_seen_w = Mutex::new(i64::MIN);
+        let boom_w = 6i64;
+        let err = wavefront_2d(grid(12, 12), 4, |i, j| {
+            let w = i + j;
+            let mut seen = max_seen_w.lock().unwrap();
+            *seen = (*seen).max(w);
+            drop(seen);
+            if w == boom_w && j == 3 {
+                panic!("wavefront boom");
+            }
+        })
+        .expect_err("panic must surface");
+        assert!(matches!(err, RuntimeError::WorkerPanic { .. }), "{err:?}");
+        assert!(
+            *max_seen_w.lock().unwrap() <= boom_w,
+            "diagonal after the poisoned one ran"
+        );
     }
 }

@@ -2,13 +2,26 @@
 //! reduction OpenMP extension of Sec. IV-D.
 
 use crate::doall::par_for_chunked;
+use crate::error::{RunStats, RuntimeError};
 use std::sync::Mutex;
 
 /// Reduces into `target` over the iteration range `lo..hi`: each worker
 /// gets a zeroed private copy of `target`'s length, `body(i, local)`
 /// accumulates into it, and the private copies are summed into `target`
 /// under a lock after each worker finishes.
-pub fn reduce_array<F>(target: &mut [f64], lo: i64, hi: i64, threads: usize, body: F)
+///
+/// A worker panic is contained and returned as
+/// [`RuntimeError::WorkerPanic`]; on error, `target` may hold the
+/// contributions of workers that completed before the failure — callers
+/// that need a clean value should rebuild it from scratch (the bench
+/// layer re-runs sequentially).
+pub fn reduce_array<F>(
+    target: &mut [f64],
+    lo: i64,
+    hi: i64,
+    threads: usize,
+    body: F,
+) -> Result<RunStats, RuntimeError>
 where
     F: Fn(i64, &mut [f64]) + Sync,
 {
@@ -17,13 +30,14 @@ where
     par_for_chunked(lo, hi, threads, |a, b| {
         let mut local = vec![0.0f64; len];
         for i in a..b {
+            crate::fault_inject::before_cell(i, 0);
             body(i, &mut local);
         }
         let mut g = global.lock().unwrap_or_else(|e| e.into_inner());
         for (dst, src) in g.iter_mut().zip(&local) {
             *dst += src;
         }
-    });
+    })
 }
 
 #[cfg(test)]
@@ -41,7 +55,8 @@ mod tests {
             for j in 0..m {
                 local[j] += x[i as usize * m + j];
             }
-        });
+        })
+        .expect("clean run");
         let mut s_seq = vec![0.0; m];
         for i in 0..n {
             for j in 0..m {
@@ -57,21 +72,40 @@ mod tests {
         reduce_array(&mut t, 0, 5, 2, |_, local| {
             local[0] += 1.0;
             local[1] += 2.0;
-        });
+        })
+        .expect("clean run");
         assert_eq!(t, vec![15.0, 30.0]);
     }
 
     #[test]
     fn empty_range_leaves_target_untouched() {
         let mut t = vec![1.0, 2.0, 3.0];
-        reduce_array(&mut t, 3, 3, 4, |_, _| panic!("must not run"));
+        reduce_array(&mut t, 3, 3, 4, |_, _| panic!("must not run")).expect("empty range");
         assert_eq!(t, vec![1.0, 2.0, 3.0]);
     }
 
     #[test]
     fn scalar_reduction_via_len_one_array() {
         let mut acc = vec![0.0];
-        reduce_array(&mut acc, 1, 101, 8, |i, local| local[0] += i as f64);
+        reduce_array(&mut acc, 1, 101, 8, |i, local| local[0] += i as f64).expect("clean run");
         assert_eq!(acc[0], 5050.0);
+    }
+
+    #[test]
+    fn body_panic_is_contained() {
+        let mut acc = vec![0.0];
+        let err = reduce_array(&mut acc, 0, 64, 4, |i, local| {
+            if i == 17 {
+                panic!("reduce boom");
+            }
+            local[0] += 1.0;
+        })
+        .expect_err("panic must surface");
+        match err {
+            RuntimeError::WorkerPanic { payload, .. } => {
+                assert!(payload.contains("reduce boom"), "{payload}");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 }

@@ -1,0 +1,255 @@
+//! The poisonable progress fabric shared by the parallel primitives.
+//!
+//! Every primitive that blocks on a progress counter routes its waiting
+//! through [`await_progress`], which layers three things on top of the
+//! plain "spin until the counter reaches the target" loop:
+//!
+//! 1. **Poison**: a failing worker floods every counter with [`POISON`]
+//!    (`i64::MAX`, which satisfies any target) and raises a shared flag,
+//!    so waiters exit promptly instead of spinning forever.
+//! 2. **Watchdog**: under [`RuntimeOptions::watchdog`], a waiter that
+//!    sees the global progress epoch frozen for the whole deadline
+//!    reports a stall instead of waiting forever.
+//! 3. **Backoff**: spin → `yield_now` → `park_timeout` with exponential
+//!    timeouts, so oversubscribed waiters stop burning scheduler quanta
+//!    (no `unpark` is ever sent; the timeout bounds the wake latency).
+//!
+//! [`RuntimeOptions::watchdog`]: crate::error::RuntimeOptions
+
+use crate::error::RuntimeError;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Sentinel flooded into every progress counter when a run fails. It is
+/// the maximum `i64`, so it satisfies any `await` target and releases
+/// every waiter; workers always publish real progress with `fetch_max`,
+/// which can never overwrite it.
+pub const POISON: i64 = i64::MAX;
+
+/// Spin iterations before a waiter starts yielding, unless overridden by
+/// the `POLYMIX_SPIN_LIMIT` environment variable (read once per
+/// process). Pure spinning livelocks when workers outnumber cores; a
+/// bounded spin keeps the fast path cheap.
+const DEFAULT_SPIN_LIMIT: u32 = 1 << 10;
+
+/// Yields between the spin phase and the parking phase.
+const YIELD_LIMIT: u32 = 64;
+
+/// First and maximum `park_timeout` intervals of the exponential tail.
+const PARK_START: Duration = Duration::from_micros(50);
+const PARK_CAP: Duration = Duration::from_millis(2);
+
+/// Cached `POLYMIX_SPIN_LIMIT` (or the default).
+pub(crate) fn spin_limit() -> u32 {
+    static LIMIT: OnceLock<u32> = OnceLock::new();
+    *LIMIT.get_or_init(|| parse_spin_limit(std::env::var("POLYMIX_SPIN_LIMIT").ok().as_deref()))
+}
+
+/// Parses a `POLYMIX_SPIN_LIMIT` value; anything unparseable falls back
+/// to the default (misconfiguration must not change semantics).
+fn parse_spin_limit(raw: Option<&str>) -> u32 {
+    raw.and_then(|s| s.trim().parse::<u32>().ok())
+        .unwrap_or(DEFAULT_SPIN_LIMIT)
+}
+
+/// Renders a caught panic payload as text.
+pub(crate) fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Shared failure state for one primitive invocation: the poison flag,
+/// the first recorded error, and the watchdog's progress epoch.
+pub(crate) struct Fabric {
+    poisoned: AtomicBool,
+    /// Monotonic counter bumped on every progress publish; only
+    /// maintained when a watchdog is armed (`watching`), so unwatched
+    /// hot paths pay nothing.
+    epoch: AtomicU64,
+    watching: bool,
+    failure: Mutex<Option<RuntimeError>>,
+}
+
+impl Fabric {
+    pub(crate) fn new(watching: bool) -> Fabric {
+        Fabric {
+            poisoned: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            watching,
+            failure: Mutex::new(None),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Publishes one unit of global progress for the watchdog.
+    #[inline]
+    pub(crate) fn bump(&self) {
+        if self.watching {
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `err` (first failure wins), raises the poison flag, and
+    /// floods `progress` so every waiter is released.
+    pub(crate) fn poison(&self, err: RuntimeError, progress: &[AtomicI64]) {
+        {
+            let mut slot = self.failure.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+        }
+        self.poisoned.store(true, Ordering::Release);
+        for cell in progress {
+            cell.store(POISON, Ordering::Release);
+        }
+        // Poisoning counts as progress: it un-wedges watchdog timers so
+        // released waiters report Poisoned, not a second Stalled.
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The recorded failure, if any (call after all workers joined).
+    pub(crate) fn into_failure(self) -> Option<RuntimeError> {
+        self.failure.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// How a wait on a progress counter ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Wait {
+    /// The counter reached the target.
+    Ready,
+    /// The run was poisoned by another worker; exit without working.
+    Poisoned,
+    /// The watchdog deadline elapsed with no global progress anywhere:
+    /// the caller should declare the run stalled.
+    Stalled,
+}
+
+/// Waits until `cell` reaches at least `target`, with poison checks,
+/// the optional global-progress watchdog, and spin/yield/park backoff.
+pub(crate) fn await_progress(
+    cell: &AtomicI64,
+    target: i64,
+    fabric: &Fabric,
+    deadline: Option<Duration>,
+) -> Wait {
+    let limit = spin_limit();
+    let mut spins = 0u32;
+    let mut yields = 0u32;
+    let mut park = PARK_START;
+    // Armed lazily on entering the slow path: (epoch last seen, when).
+    let mut watch: Option<(u64, Instant)> = None;
+    loop {
+        let v = cell.load(Ordering::Acquire);
+        if v == POISON {
+            return Wait::Poisoned;
+        }
+        if v >= target {
+            return Wait::Ready;
+        }
+        if spins < limit {
+            spins += 1;
+            std::hint::spin_loop();
+            continue;
+        }
+        // Slow path: the neighbor is genuinely behind (or wedged).
+        if fabric.is_poisoned() {
+            return Wait::Poisoned;
+        }
+        crate::fault_inject::on_wait();
+        if let Some(dl) = deadline {
+            let epoch_now = fabric.epoch.load(Ordering::Relaxed);
+            match &mut watch {
+                None => watch = Some((epoch_now, Instant::now())),
+                Some((epoch_seen, since)) => {
+                    if epoch_now != *epoch_seen {
+                        *epoch_seen = epoch_now;
+                        *since = Instant::now();
+                    } else if since.elapsed() >= dl {
+                        return Wait::Stalled;
+                    }
+                }
+            }
+        }
+        if yields < YIELD_LIMIT {
+            yields += 1;
+            std::thread::yield_now();
+        } else {
+            std::thread::park_timeout(park);
+            park = (park * 2).min(PARK_CAP);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_limit_parsing() {
+        assert_eq!(parse_spin_limit(None), DEFAULT_SPIN_LIMIT);
+        assert_eq!(parse_spin_limit(Some("64")), 64);
+        assert_eq!(parse_spin_limit(Some(" 8 ")), 8);
+        assert_eq!(parse_spin_limit(Some("0")), 0);
+        assert_eq!(parse_spin_limit(Some("not-a-number")), DEFAULT_SPIN_LIMIT);
+        assert_eq!(parse_spin_limit(Some("-3")), DEFAULT_SPIN_LIMIT);
+    }
+
+    #[test]
+    fn await_sees_ready_and_poison() {
+        let fabric = Fabric::new(false);
+        let cell = AtomicI64::new(5);
+        assert_eq!(await_progress(&cell, 5, &fabric, None), Wait::Ready);
+        assert_eq!(await_progress(&cell, 3, &fabric, None), Wait::Ready);
+        cell.store(POISON, Ordering::Release);
+        assert_eq!(await_progress(&cell, 100, &fabric, None), Wait::Poisoned);
+    }
+
+    #[test]
+    fn await_reports_stall_on_frozen_epoch() {
+        let fabric = Fabric::new(true);
+        let cell = AtomicI64::new(0);
+        let started = Instant::now();
+        let got = await_progress(&cell, 1, &fabric, Some(Duration::from_millis(50)));
+        assert_eq!(got, Wait::Stalled);
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "stall detection took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn poison_floods_counters_and_keeps_first_error() {
+        let progress: Vec<AtomicI64> = (0..4).map(|_| AtomicI64::new(0)).collect();
+        let fabric = Fabric::new(false);
+        fabric.poison(RuntimeError::Misuse("first".into()), &progress);
+        fabric.poison(RuntimeError::Misuse("second".into()), &progress);
+        assert!(fabric.is_poisoned());
+        assert!(progress.iter().all(|c| c.load(Ordering::Acquire) == POISON));
+        assert_eq!(
+            fabric.into_failure(),
+            Some(RuntimeError::Misuse("first".into()))
+        );
+    }
+
+    #[test]
+    fn payloads_render() {
+        let b: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(payload_text(b.as_ref()), "boom");
+        let b: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(payload_text(b.as_ref()), "owned");
+        let b: Box<dyn std::any::Any + Send> = Box::new(42i32);
+        assert_eq!(payload_text(b.as_ref()), "<non-string panic payload>");
+    }
+}

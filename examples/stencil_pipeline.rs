@@ -32,9 +32,9 @@ fn main() {
             *field[i * n + j].lock().unwrap() = 0.25 * (2.0 * me + up + left);
         };
         if use_pipeline {
-            pipeline_2d(grid, 4, body);
+            pipeline_2d(grid, 4, body).expect("pipeline sweep");
         } else {
-            wavefront_2d(grid, 4, body);
+            wavefront_2d(grid, 4, body).expect("wavefront sweep");
         }
         field.into_iter().map(|m| m.into_inner().unwrap()).collect()
     };
