@@ -29,7 +29,14 @@ done
 # adversarial schedules) and the dynamic dependence-order checker run
 # against every runtime primitive.
 echo "== runtime fault-injection tests =="
-cargo test -q -p polymix-runtime --features fault-inject
+cargo test -q -p polymix-runtime --features order-check,fault-inject
+
+# Deterministic pool smoke test: the persistent-pool and spawn-per-call
+# paths must produce bit-identical sweeps under a seeded adversarial
+# schedule, with the dependence-order checker armed.
+echo "== pool smoke test =="
+cargo test -q -p polymix-runtime --features order-check,fault-inject \
+    --test pool_and_schedule pool_smoke
 
 # Fast end-to-end sweep smoke test: one kernel through the parallel
 # executor (2 jobs, tmpdir cache, JSONL log), then the same invocation

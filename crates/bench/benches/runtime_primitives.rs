@@ -5,8 +5,12 @@
 
 use polymix_bench::microbench::{BenchmarkId, Criterion};
 use polymix_bench::{criterion_group, criterion_main};
-use polymix_runtime::{par_for, pipeline_2d, reduce_array, wavefront_2d, GridSweep};
+use polymix_runtime::{
+    par_for, pipeline_2d, pipeline_2d_opts, reduce_array, wavefront_2d, CachePadded, GridSweep,
+    PoolPolicy, RuntimeOptions,
+};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicI64, Ordering};
 
 fn dependent_sweep(c: &mut Criterion) {
     let n = 256usize;
@@ -93,5 +97,125 @@ fn doall_and_reduction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, dependent_sweep, doall_and_reduction);
+/// The workload the persistent pool exists for: many invocations on a
+/// small grid, where spawn-per-call pays `threads` thread spawns per
+/// invocation and the pool pays two mailbox handoffs per worker.
+fn pooled_vs_spawn(c: &mut Criterion) {
+    let n = 48usize;
+    let grid = GridSweep {
+        i_lo: 1,
+        i_hi: n as i64,
+        j_lo: 1,
+        j_hi: n as i64,
+    };
+    let mut group = c.benchmark_group("pipeline_48x48_invocation");
+    for (name, policy) in [
+        ("pooled", PoolPolicy::Persistent),
+        ("spawn", PoolPolicy::SpawnPerCall),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, 4), &policy, |b, &policy| {
+            let opts = RuntimeOptions {
+                pool: policy,
+                ..RuntimeOptions::default()
+            };
+            b.iter(|| {
+                let field = vec![1.0f64; n * n];
+                let ptr = field.as_ptr() as usize;
+                pipeline_2d_opts(grid, 4, opts, |i, j| unsafe {
+                    let p = ptr as *mut f64;
+                    let (i, j) = (i as usize, j as usize);
+                    *p.add(i * n + j) =
+                        0.5 * (*p.add((i - 1) * n + j) + *p.add(i * n + j - 1));
+                })
+                .expect("pipeline sweep");
+                black_box(field[n * n - 1])
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Neighboring progress counters with and without cache-line padding,
+/// hammered by two threads. On a multi-core host the unpadded pair
+/// false-shares one line; single-core hosts see only the ALU cost.
+fn padded_vs_unpadded(c: &mut Criterion) {
+    const HAMMERS: i64 = 1 << 14;
+    let mut group = c.benchmark_group("counter_pair_16k_rmw");
+    group.bench_with_input(BenchmarkId::new("padded", 2), &(), |b, _| {
+        let cells: Vec<CachePadded<AtomicI64>> =
+            (0..2).map(|_| CachePadded::new(AtomicI64::new(0))).collect();
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for cell in &cells {
+                    s.spawn(move || {
+                        for _ in 0..HAMMERS {
+                            cell.fetch_add(1, Ordering::AcqRel);
+                        }
+                    });
+                }
+            });
+            black_box(cells[0].load(Ordering::Relaxed))
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("unpadded", 2), &(), |b, _| {
+        let cells: Vec<AtomicI64> = (0..2).map(|_| AtomicI64::new(0)).collect();
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for cell in &cells {
+                    s.spawn(move || {
+                        for _ in 0..HAMMERS {
+                            cell.fetch_add(1, Ordering::AcqRel);
+                        }
+                    });
+                }
+            });
+            black_box(cells[0].load(Ordering::Relaxed))
+        });
+    });
+    group.finish();
+}
+
+/// Per-row publishing vs the default batched publish on the same sweep:
+/// the knob trades synchronization traffic against pipeline lag.
+fn batched_vs_per_row(c: &mut Criterion) {
+    let n = 192usize;
+    let grid = GridSweep {
+        i_lo: 1,
+        i_hi: n as i64,
+        j_lo: 1,
+        j_hi: n as i64,
+    };
+    let mut group = c.benchmark_group("pipeline_192x192_publish");
+    for (name, batch) in [("batched_auto", None), ("per_row", Some(1))] {
+        group.bench_with_input(BenchmarkId::new(name, 4), &batch, |b, &batch| {
+            let opts = RuntimeOptions {
+                pipeline_batch: batch,
+                pool: PoolPolicy::Persistent,
+                ..RuntimeOptions::default()
+            };
+            b.iter(|| {
+                let field = vec![1.0f64; n * n];
+                let ptr = field.as_ptr() as usize;
+                pipeline_2d_opts(grid, 4, opts, |i, j| unsafe {
+                    let p = ptr as *mut f64;
+                    let (i, j) = (i as usize, j as usize);
+                    *p.add(i * n + j) =
+                        0.5 * (*p.add((i - 1) * n + j) + *p.add(i * n + j - 1));
+                })
+                .expect("pipeline sweep");
+                black_box(field[n * n - 1])
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    dependent_sweep,
+    doall_and_reduction,
+    pooled_vs_spawn,
+    padded_vs_unpadded,
+    batched_vs_per_row,
+);
 criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! measurement is a fixed warmup plus a timed batch with median-of-runs
 //! reporting, printed as plain text.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// How long each measurement aims to run. Kept short: these benches are
@@ -102,6 +103,36 @@ impl Bencher {
             Some(ns) => println!("{id:<48} {:>12.1} ns/iter", ns),
             None => println!("{id:<48} (no measurement)"),
         }
+        if let Some(ns) = self.ns_per_iter {
+            record_json(id, ns);
+        }
+    }
+}
+
+/// All measurements reported so far by this process, for the JSON sink.
+static JSON_RECORDS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// When `POLYMIX_BENCH_JSON` names a file, every reported measurement is
+/// mirrored there as a JSON array of `{"id", "ns_per_iter"}` records
+/// (rewritten after each report, so the file is valid JSON even if the
+/// bench process is cut short).
+fn record_json(id: &str, ns: f64) {
+    let Ok(path) = std::env::var("POLYMIX_BENCH_JSON") else {
+        return;
+    };
+    let mut recs = JSON_RECORDS.lock().unwrap_or_else(|e| e.into_inner());
+    recs.push((id.to_string(), ns));
+    let mut out = String::from("[\n");
+    for (k, (id, ns)) in recs.iter().enumerate() {
+        let comma = if k + 1 < recs.len() { "," } else { "" };
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"ns_per_iter\": {ns:.1}}}{comma}\n",
+            id.replace('"', "'")
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("POLYMIX_BENCH_JSON: cannot write {path}: {e}");
     }
 }
 

@@ -174,6 +174,7 @@ pub fn emit_source(
         threads,
         init_rust: Some(kernel.init_rust(&prog.scop)),
         reps,
+        ..EmitOptions::default()
     };
     emit_rust(prog, &opts)
 }

@@ -38,6 +38,17 @@ pub struct EmitOptions {
     pub init_rust: Option<String>,
     /// Timing repetitions; the minimum time is reported.
     pub reps: usize,
+    /// Pipeline publish batch: progress is published/awaited every
+    /// this-many outer steps instead of every step. `None` derives the
+    /// batch from the loop's step (which encodes the tile size the DL
+    /// model chose): tiled outer loops already amortize per-step
+    /// synchronization over a whole tile row, so they get batch 1, while
+    /// untiled (step-1) pipelines batch up to 8 rows per publish.
+    pub pipeline_batch: Option<i64>,
+    /// Chunk-claiming grain for dynamically scheduled doalls. `None`
+    /// derives the grain at runtime from the span (targeting ~8 chunks
+    /// per worker, the same policy as `polymix-runtime`).
+    pub dyn_grain: Option<i64>,
 }
 
 impl Default for EmitOptions {
@@ -48,6 +59,8 @@ impl Default for EmitOptions {
             threads: 1,
             init_rust: None,
             reps: 1,
+            pipeline_batch: None,
+            dyn_grain: None,
         }
     }
 }
@@ -102,6 +115,38 @@ fn sanitize(s: &str) -> String {
     s.chars()
         .map(|c| if c.is_alphanumeric() { c } else { '_' })
         .collect()
+}
+
+fn bound_refs_var(b: &Bound, var: usize) -> bool {
+    b.exprs.iter().any(|be| be.expr.coeff_of(var) != 0)
+}
+
+/// Whether any bound or guard nested under `l` depends on `l`'s own
+/// variable — i.e. the per-iteration work varies across the range (a
+/// triangular/skewed nest). Static blocks load-imbalance such spaces, so
+/// the doall emitter switches to dynamic chunk claiming.
+fn nest_is_nonrectangular(l: &Loop) -> bool {
+    fn walk(node: &Node, var: usize, dep: &mut bool) {
+        match node {
+            Node::Seq(xs) => xs.iter().for_each(|x| walk(x, var, dep)),
+            Node::Guard(gs, b) => {
+                if gs.iter().any(|g| g.coeff_of(var) != 0) {
+                    *dep = true;
+                }
+                walk(b, var, dep);
+            }
+            Node::Loop(il) => {
+                if bound_refs_var(&il.lo, var) || bound_refs_var(&il.hi, var) {
+                    *dep = true;
+                }
+                walk(&il.body, var, dep);
+            }
+            Node::Stmt(_) => {}
+        }
+    }
+    let mut dep = false;
+    walk(&l.body, l.var, &mut dep);
+    dep
 }
 
 impl Emitter<'_> {
@@ -201,17 +246,22 @@ impl Emitter<'_> {
         // instead of printing a checksum from a half-computed kernel.
         self.line("const POISON: i64 = i64::MAX;");
         self.line("static POISONED: AtomicBool = AtomicBool::new(false);");
+        // Progress counters (and dynamic-schedule claim cursors) live on
+        // their own cache lines: the neighbor-polled fetch_max publish is
+        // the hottest cross-thread store in a pipelined kernel, and
+        // unpadded Vec<AtomicI64> counters put eight of them on one line.
+        self.line("#[repr(align(64))] struct Pad(AtomicI64);");
         self.line("#[allow(dead_code)]");
-        self.line("fn poison(progress: &[AtomicI64], what: &str) {");
+        self.line("fn poison(progress: &[Pad], what: &str) {");
         self.line("    POISONED.store(true, Ordering::Release);");
-        self.line("    for c in progress { c.store(POISON, Ordering::Release); }");
+        self.line("    for c in progress { c.0.store(POISON, Ordering::Release); }");
         self.line("    eprintln!(\"runtime_error: {what}\");");
         self.line("}");
         // Worker wrapper: catches unwinds at the worker boundary and
         // poisons the run (the closure returns false when it exited
         // early because someone else poisoned it).
         self.line("#[allow(dead_code)]");
-        self.line("fn contained<F: FnOnce() -> bool>(progress: &[AtomicI64], f: F) {");
+        self.line("fn contained<F: FnOnce() -> bool>(progress: &[Pad], f: F) {");
         self.line("    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {");
         self.line("        Ok(_) => {}");
         self.line("        Err(p) => {");
@@ -222,20 +272,41 @@ impl Emitter<'_> {
         self.line("        }");
         self.line("    }");
         self.line("}");
+        // Spin budget before a waiter starts yielding; POLYMIX_SPIN_LIMIT
+        // overrides (0 is valid: skip straight to yielding).
+        self.line("#[allow(dead_code)]");
+        self.line("fn spin_limit() -> u32 {");
+        self.line("    static LIMIT: std::sync::OnceLock<u32> = std::sync::OnceLock::new();");
+        self.line("    *LIMIT.get_or_init(|| std::env::var(\"POLYMIX_SPIN_LIMIT\").ok()");
+        self.line("        .and_then(|s| s.trim().parse::<u32>().ok()).unwrap_or(1024))");
+        self.line("}");
         // Pipeline wait: bounded spin then yield, so oversubscribed
         // waiters cannot starve the producing thread (same policy as
         // polymix-runtime's pipeline_2d). Returns false when the run
         // was poisoned — the waiting worker must bail out.
+        //
+        // Flush-on-block: progress publishes are batched (every
+        // PIPE_BATCH steps), and the emitted pipelines await in *both*
+        // directions, so a blocked waiter publishes its own completed
+        // progress once before settling into the yield loop. That makes
+        // the blocked-waiter graph follow the true data dependences
+        // (acyclic), so batching can never deadlock a pair of workers
+        // each sitting on an unpublished batch the other needs.
         self.line("#[allow(dead_code)]");
-        self.line("#[inline] fn await_progress(cell: &AtomicI64, target: i64) -> bool {");
+        self.line("#[inline] fn await_progress(cell: &AtomicI64, target: i64, own: &AtomicI64, own_done: i64) -> bool {");
         self.line("    let mut spins = 0u32;");
+        self.line("    let limit = spin_limit();");
+        self.line("    let mut flushed = false;");
         self.line("    loop {");
         self.line("        let v = cell.load(Ordering::Acquire);");
         self.line("        if v == POISON { return false; }");
         self.line("        if v >= target { return true; }");
-        self.line("        if spins < 1024 { spins += 1; std::hint::spin_loop(); }");
+        self.line("        if spins < limit { spins += 1; std::hint::spin_loop(); }");
         self.line("        else if POISONED.load(Ordering::Acquire) { return false; }");
-        self.line("        else { std::thread::yield_now(); }");
+        self.line("        else {");
+        self.line("            if !flushed { own.fetch_max(own_done, Ordering::AcqRel); flushed = true; }");
+        self.line("            std::thread::yield_now();");
+        self.line("        }");
         self.line("    }");
         self.line("}");
         self.line("#[derive(Clone, Copy)] struct P(*mut f64);");
@@ -411,15 +482,20 @@ impl Emitter<'_> {
         self.line("}");
     }
 
-    /// Chunked scoped-thread doall.
+    /// Scoped-thread doall: static blocks for rectangular nests, atomic
+    /// chunk claiming for non-rectangular ones (per-iteration work that
+    /// varies with the parallel variable would load-imbalance a static
+    /// partition by design).
     fn doall(&mut self, l: &Loop) {
         let region = self.region;
         self.region += 1;
+        let dynamic = nest_is_nonrectangular(l);
         let v = self.var_name(l.var);
         let lo = self.bound(&l.lo, true);
         let hi = self.bound(&l.hi, false);
         let arrays = self.all_array_ptrs();
-        self.line(&format!("// doall region {region}"));
+        let kind = if dynamic { "dynamic" } else { "static" };
+        self.line(&format!("// doall region {region} ({kind} schedule)"));
         self.line("{");
         self.indent += 1;
         self.line(&format!("let r_lo: i64 = {lo};"));
@@ -431,6 +507,17 @@ impl Emitter<'_> {
         self.line("let nthr: usize = THREADS.min(iters.max(1) as usize);");
         self.line("if iters > 0 {");
         self.indent += 1;
+        if dynamic {
+            // Grain: explicit override, else ~8 chunks per worker — fine
+            // enough to rebalance a triangular nest, coarse enough that
+            // the claim cursor stays off the profile.
+            match self.opts.dyn_grain {
+                Some(g) => self.line(&format!("let grain: i64 = {};", g.max(1))),
+                None => self.line("let grain: i64 = (iters / (nthr as i64 * 8)).max(1);"),
+            }
+            self.line("let cursor = Pad(AtomicI64::new(0));");
+            self.line("let cursor = &cursor;");
+        }
         for a in &arrays {
             let p = self.ptr_name(*a);
             self.line(&format!("let s_{p} = P({p});"));
@@ -449,21 +536,44 @@ impl Emitter<'_> {
             let p = self.ptr_name(*a);
             self.line(&format!("let {p}: *mut f64 = s_{p}.get();"));
         }
-        self.line("let chunk = (iters + nthr as i64 - 1) / nthr as i64;");
-        self.line(&format!(
-            "let mut {v}: i64 = r_lo + (t as i64) * chunk * {};",
-            l.step
-        ));
-        self.line(&format!(
-            "let t_hi: i64 = (r_lo + ((t as i64 + 1) * chunk - 1) * {}).min(r_hi);",
-            l.step
-        ));
-        self.line(&format!("while {v} <= t_hi {{"));
-        self.indent += 1;
-        self.node(&l.body);
-        self.line(&format!("{v} += {};", l.step));
-        self.indent -= 1;
-        self.line("}");
+        if dynamic {
+            // Claims are offsets into the iteration sequence, converted
+            // to loop values on the loop's own stride grid.
+            self.line("loop {");
+            self.indent += 1;
+            self.line("let off = cursor.0.fetch_add(grain, Ordering::Relaxed);");
+            self.line("if off >= iters { break; }");
+            self.line("let c_hi = (off + grain).min(iters);");
+            self.line(&format!("let mut {v}: i64 = r_lo + off * {};", l.step));
+            self.line(&format!(
+                "let t_hi: i64 = r_lo + (c_hi - 1) * {};",
+                l.step
+            ));
+            self.line(&format!("while {v} <= t_hi {{"));
+            self.indent += 1;
+            self.node(&l.body);
+            self.line(&format!("{v} += {};", l.step));
+            self.indent -= 1;
+            self.line("}");
+            self.indent -= 1;
+            self.line("}");
+        } else {
+            self.line("let chunk = (iters + nthr as i64 - 1) / nthr as i64;");
+            self.line(&format!(
+                "let mut {v}: i64 = r_lo + (t as i64) * chunk * {};",
+                l.step
+            ));
+            self.line(&format!(
+                "let t_hi: i64 = (r_lo + ((t as i64 + 1) * chunk - 1) * {}).min(r_hi);",
+                l.step
+            ));
+            self.line(&format!("while {v} <= t_hi {{"));
+            self.indent += 1;
+            self.node(&l.body);
+            self.line(&format!("{v} += {};", l.step));
+            self.indent -= 1;
+            self.line("}");
+        }
         self.line("true");
         self.indent -= 1;
         self.line("}));");
@@ -749,7 +859,7 @@ impl Emitter<'_> {
             inner.step
         ));
         self.line(&format!(
-            "let progress: Vec<AtomicI64> = (0..nthr).map(|_| AtomicI64::new(o_lo - {})).collect();",
+            "let progress: Vec<Pad> = (0..nthr).map(|_| Pad(AtomicI64::new(o_lo - {}))).collect();",
             l.step
         ));
         self.line("let progress = &progress;");
@@ -777,21 +887,32 @@ impl Emitter<'_> {
             "let chunk = (((span + nthr as i64 - 1) / nthr as i64) + {st} - 1) / {st} * {st};",
             st = inner.step
         ));
+        let batch = self
+            .opts
+            .pipeline_batch
+            .unwrap_or(8 / l.step.max(1))
+            .clamp(1, 8);
         self.line("let off_lo = (t as i64) * chunk;");
         self.line("let off_hi = (t as i64 + 1) * chunk - 1;");
         self.line(&format!("let mut {vo}: i64 = o_lo;"));
+        if batch > 1 {
+            self.line("let mut step_n: i64 = 0;");
+        }
         self.line(&format!("while {vo} <= o_hi {{"));
         self.indent += 1;
         self.line("if POISONED.load(Ordering::Acquire) { return false; }");
         self.line("// await source(outer, block-1): left neighbor finished this step;");
         self.line("// await source(outer-1, block+1): right neighbor finished the previous");
         self.line("// step (covers leftward ownership migration of skewed tile grids).");
+        self.line("// Waiters pass their own counter + completed step so a blocked");
+        self.line("// worker can flush its batched progress (see await_progress).");
         self.line(&format!(
-            "if t > 0 && !await_progress(&progress[t - 1], {vo}) {{ return false; }}"
+            "if t > 0 && !await_progress(&progress[t - 1].0, {vo}, &progress[t].0, {vo} - {st}) {{ return false; }}",
+            st = l.step
         ));
         self.line(&format!(
-            "if t + 1 < nthr && !await_progress(&progress[t + 1], {vo} - {}) {{ return false; }}",
-            l.step
+            "if t + 1 < nthr && !await_progress(&progress[t + 1].0, {vo} - {st}, &progress[t].0, {vo} - {st}) {{ return false; }}",
+            st = l.step
         ));
         // Start on the loop's own stride grid (blocks cut by value; the
         // grid origin may differ per outer step).
@@ -810,10 +931,22 @@ impl Emitter<'_> {
         self.line(&format!("{vi} += {};", inner.step));
         self.indent -= 1;
         self.line("}");
+        // Batched publish: every PIPE_BATCH outer steps plus the final
+        // one. The loop step encodes the tile size, so tiled pipelines
+        // (large steps, per-step sync already amortized over a tile row)
+        // publish every step while untiled ones batch several rows.
         // fetch_max never overwrites a flooded POISON value.
-        self.line(&format!(
-            "progress[t].fetch_max({vo}, Ordering::AcqRel);"
-        ));
+        if batch > 1 {
+            self.line("step_n += 1;");
+            self.line(&format!(
+                "if step_n % {batch} == 0 || {vo} + {st} > o_hi {{ progress[t].0.fetch_max({vo}, Ordering::AcqRel); }} // PIPE_BATCH = {batch}",
+                st = l.step
+            ));
+        } else {
+            self.line(&format!(
+                "progress[t].0.fetch_max({vo}, Ordering::AcqRel); // PIPE_BATCH = 1"
+            ));
+        }
         self.line(&format!("{vo} += {};", l.step));
         self.indent -= 1;
         self.line("}");
@@ -983,7 +1116,7 @@ impl Emitter<'_> {
             "let nsib: i64 = {};",
             subs.len()
         ));
-        self.line("let progress: Vec<AtomicI64> = (0..nthr).map(|_| AtomicI64::new(-1)).collect();");
+        self.line("let progress: Vec<Pad> = (0..nthr).map(|_| Pad(AtomicI64::new(-1))).collect();");
         self.line("let progress = &progress;");
         for a in &arrays {
             let p = self.ptr_name(*a);
@@ -1029,8 +1162,8 @@ impl Emitter<'_> {
         ));
         for (sib, il) in subs.iter().enumerate() {
             self.line(&format!("let ph: i64 = step_idx * nsib + {sib};"));
-            self.line("if t > 0 && !await_progress(&progress[t - 1], ph) { return false; }");
-            self.line("if t + 1 < nthr && !await_progress(&progress[t + 1], ph - 1) { return false; }");
+            self.line("if t > 0 && !await_progress(&progress[t - 1].0, ph, &progress[t].0, ph - 1) { return false; }");
+            self.line("if t + 1 < nthr && !await_progress(&progress[t + 1].0, ph - 1, &progress[t].0, ph - 1) { return false; }");
             let vi = self.var_name(il.var);
             self.line("{");
             self.indent += 1;
@@ -1051,7 +1184,7 @@ impl Emitter<'_> {
             self.line("}");
             self.indent -= 1;
             self.line("}");
-            self.line("progress[t].fetch_max(ph, Ordering::AcqRel);");
+            self.line("progress[t].0.fetch_max(ph, Ordering::AcqRel);");
         }
         self.line("step_idx += 1;");
         self.line(&format!("{vo} += {};", l.step));
@@ -1350,9 +1483,148 @@ mod tests {
                 threads: 1,
                 init_rust: Some("for k in 0..a_x.len() { a_x[k] = 1.0; }".into()),
                 reps: 3,
+                ..Default::default()
             },
         );
         assert!(src.contains("a_x[k] = 1.0"), "{src}");
         assert!(src.contains("for _rep in 0..3"), "{src}");
+    }
+
+    fn pipeline_prog() -> Program {
+        use polymix_ir::builder::{con, ix, par, ScopBuilder};
+        let mut b = ScopBuilder::new("stencil", &["N"], &[16]);
+        let a = b.array("A", &["N", "N"]);
+        b.enter("t", con(1), par("N"));
+        b.enter("i", con(1), par("N"));
+        let rhs = b.rd(a, &[ix("t"), ix("i")]);
+        b.stmt("S", a, &[ix("t"), ix("i")], rhs);
+        b.exit();
+        b.exit();
+        let mut prog = crate::from_poly::original_program(&b.finish().expect("well-formed SCoP"))
+            .expect("original program");
+        let mut outer = true;
+        prog.body.visit_loops_mut(&mut |l| {
+            l.par = if outer { Par::Pipeline } else { Par::Seq };
+            outer = false;
+        });
+        prog
+    }
+
+    #[test]
+    fn emitted_synchronization_is_cache_line_padded() {
+        let src = emit_rust(
+            &pipeline_prog(),
+            &EmitOptions {
+                params: vec![16],
+                flops: 32,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert!(src.contains("#[repr(align(64))]"), "{src}");
+        assert!(src.contains("struct Pad(AtomicI64);"), "{src}");
+        assert!(src.contains("let progress: Vec<Pad>"), "{src}");
+        // Both neighbor awaits and publishes go through the padded cell.
+        assert!(src.contains("&progress[t - 1].0"), "{src}");
+        assert!(src.contains("progress[t].0.fetch_max("), "{src}");
+    }
+
+    #[test]
+    fn pipeline_publishes_in_batches() {
+        let prog = pipeline_prog();
+        // Unit-step loop, no override: auto batch is 8, amortized by a
+        // local counter that only hits the shared cell every 8 rows.
+        let src = emit_rust(
+            &prog,
+            &EmitOptions {
+                params: vec![16],
+                flops: 32,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert!(src.contains("// PIPE_BATCH = 8"), "{src}");
+        assert!(src.contains("step_n += 1;"), "{src}");
+        assert!(src.contains("if step_n % 8 == 0 ||"), "{src}");
+        // Explicit batch of 1 degenerates to the per-row publish with no
+        // dead counter left behind.
+        let src1 = emit_rust(
+            &prog,
+            &EmitOptions {
+                params: vec![16],
+                flops: 32,
+                threads: 4,
+                pipeline_batch: Some(1),
+                ..Default::default()
+            },
+        );
+        assert!(src1.contains("// PIPE_BATCH = 1"), "{src1}");
+        assert!(!src1.contains("step_n"), "{src1}");
+    }
+
+    #[test]
+    fn blocked_awaits_flush_own_progress() {
+        // The emitted await helper must publish the waiter's own
+        // completed progress when its spin budget runs out; otherwise
+        // batched publishes can deadlock two mutually waiting neighbors.
+        let src = emit_rust(
+            &pipeline_prog(),
+            &EmitOptions {
+                params: vec![16],
+                flops: 32,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert!(
+            src.contains("own.fetch_max(own_done, Ordering::AcqRel);"),
+            "{src}"
+        );
+        assert!(src.contains("let mut flushed = false;"), "{src}");
+    }
+
+    #[test]
+    fn triangular_doall_claims_dynamic_chunks() {
+        use polymix_ir::builder::{con, ix, par, ScopBuilder};
+        let mut b = ScopBuilder::new("tri", &["N"], &[16]);
+        let a = b.array("A", &["N"]);
+        b.enter("i", con(0), par("N"));
+        b.enter("j", con(0), ix("i"));
+        let rhs = b.rd(a, &[ix("j")]);
+        b.stmt_update("S", a, &[ix("i")], BinOp::Add, rhs);
+        b.exit();
+        b.exit();
+        let mut prog = crate::from_poly::original_program(&b.finish().expect("well-formed SCoP"))
+            .expect("original program");
+        let mut outer = true;
+        prog.body.visit_loops_mut(&mut |l| {
+            l.par = if outer { Par::Doall } else { Par::Seq };
+            outer = false;
+        });
+        let src = emit_rust(
+            &prog,
+            &EmitOptions {
+                params: vec![16],
+                flops: 32,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert!(src.contains("(dynamic schedule)"), "{src}");
+        assert!(src.contains("cursor.0.fetch_add(grain, Ordering::Relaxed)"), "{src}");
+        // Rectangular nests keep the zero-overhead static split.
+        let mut rect = simple_prog();
+        rect.body.visit_loops_mut(&mut |l| l.par = Par::Doall);
+        let rect_src = emit_rust(
+            &rect,
+            &EmitOptions {
+                params: vec![16],
+                flops: 32,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert!(rect_src.contains("(static schedule)"), "{rect_src}");
+        assert!(!rect_src.contains("cursor"), "{rect_src}");
     }
 }

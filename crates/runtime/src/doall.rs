@@ -1,4 +1,11 @@
-//! Static-schedule doall execution.
+//! Doall execution over the persistent worker pool.
+//!
+//! Scheduling is the caller's choice via [`RuntimeOptions::schedule`]:
+//! static blocks by default, atomic chunk-claiming
+//! ([`Schedule::Dynamic`](crate::schedule::Schedule)) for spaces where
+//! static blocks load-imbalance. Workers come from the process-wide
+//! persistent pool (see [`crate::pool`]) unless
+//! [`RuntimeOptions::pool`] says otherwise.
 //!
 //! Worker panics are contained at the worker boundary: the failing
 //! worker records a [`RuntimeError::WorkerPanic`] (first failure wins)
@@ -6,7 +13,9 @@
 //! workers never wait on each other, so no poison broadcast is needed —
 //! the surviving workers simply finish their bounded spans.
 
-use crate::error::{RunStats, RuntimeError};
+use crate::error::{RunStats, RuntimeError, RuntimeOptions};
+use crate::pool;
+use crate::schedule::WorkPlan;
 use crate::sync::{payload_text, Fabric};
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -21,7 +30,22 @@ pub fn par_for<F>(lo: i64, hi: i64, threads: usize, body: F) -> Result<RunStats,
 where
     F: Fn(i64) + Sync,
 {
-    doall_cells(lo, hi, threads, |i| (i, 0), body)
+    par_for_opts(lo, hi, threads, RuntimeOptions::default(), body)
+}
+
+/// [`par_for`] with explicit [`RuntimeOptions`] (scheduling policy and
+/// pool provisioning).
+pub fn par_for_opts<F>(
+    lo: i64,
+    hi: i64,
+    threads: usize,
+    opts: RuntimeOptions,
+    body: F,
+) -> Result<RunStats, RuntimeError>
+where
+    F: Fn(i64) + Sync,
+{
+    doall_cells(lo, hi, threads, opts, |i| (i, 0), body)
 }
 
 /// [`par_for`] generalized with a mapping from the flat index to the
@@ -31,6 +55,7 @@ pub(crate) fn doall_cells<C, F>(
     lo: i64,
     hi: i64,
     threads: usize,
+    opts: RuntimeOptions,
     cell_of: C,
     body: F,
 ) -> Result<RunStats, RuntimeError>
@@ -54,48 +79,43 @@ where
         .min(usize::MAX as u64) as usize;
     let threads = threads.clamp(1, cap);
     let fabric = Fabric::new(false);
-    if threads == 1 {
-        span_worker(0, lo, hi, &cell_of, &body, &fabric);
+    let plan = WorkPlan::new(lo, hi, n, threads, opts.schedule);
+    let pooled = if threads == 1 {
+        span_worker(0, &plan, &cell_of, &body, &fabric);
+        false
     } else {
-        // ceil(n / threads) without the `n + threads - 1` overflow.
-        let chunk = n / threads as i64 + i64::from(n % threads as i64 != 0);
-        std::thread::scope(|s| {
-            for t in 0..threads {
-                // Saturation only affects spans past `hi`, which are
-                // empty and skipped.
-                let a = lo.saturating_add((t as i64).saturating_mul(chunk));
-                let b = a.saturating_add(chunk).min(hi);
-                if a >= b {
-                    continue;
-                }
-                let (fabric, cell_of, body) = (&fabric, &cell_of, &body);
-                s.spawn(move || span_worker(t, a, b, cell_of, body, fabric));
-            }
-        });
-    }
+        pool::execute(threads, opts.pool, &|t| {
+            span_worker(t, &plan, &cell_of, &body, &fabric)
+        })
+    };
     match fabric.into_failure() {
         Some(err) => Err(err),
         None => Ok(RunStats {
             cells: n as u64,
             workers: threads,
+            pooled,
         }),
     }
 }
 
-/// Executes one worker's span `[a, b)`, catching unwinds at the worker
-/// boundary and recording which cell was live when the panic unwound.
-fn span_worker<C, F>(worker: usize, a: i64, b: i64, cell_of: &C, body: &F, fabric: &Fabric)
+/// Executes every span the plan hands worker `t`, catching unwinds at
+/// the worker boundary and recording which cell was live when the panic
+/// unwound.
+fn span_worker<C, F>(worker: usize, plan: &WorkPlan, cell_of: &C, body: &F, fabric: &Fabric)
 where
     C: Fn(i64) -> (i64, i64) + Sync,
     F: Fn(i64) + Sync,
 {
     let current: Cell<Option<(i64, i64)>> = Cell::new(None);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        for i in a..b {
-            let (ci, cj) = cell_of(i);
-            current.set(Some((ci, cj)));
-            crate::fault_inject::before_cell(ci, cj);
-            body(i);
+        let mut spans = plan.spans(worker);
+        while let Some((a, b)) = spans.next() {
+            for i in a..b {
+                let (ci, cj) = cell_of(i);
+                current.set(Some((ci, cj)));
+                crate::fault_inject::before_cell(ci, cj);
+                body(i);
+            }
         }
     }));
     if let Err(payload) = outcome {
@@ -110,14 +130,29 @@ where
     }
 }
 
-/// Runs `body(chunk_lo, chunk_hi)` once per worker over a static block
-/// partition of `lo..hi`. Empty ranges spawn nothing. Worker panics are
-/// contained like [`par_for`]'s, but reported with `cell: None` — the
-/// chunk body is opaque, so the failing index is unknown.
+/// Runs `body(span_lo, span_hi)` for every span of a partition of
+/// `lo..hi`: once per worker under the static schedule, once per claimed
+/// chunk under a dynamic one. Empty ranges run nothing. Worker panics
+/// are contained like [`par_for`]'s, but reported with `cell: None` —
+/// the span body is opaque, so the failing index is unknown.
 pub fn par_for_chunked<F>(
     lo: i64,
     hi: i64,
     threads: usize,
+    body: F,
+) -> Result<RunStats, RuntimeError>
+where
+    F: Fn(i64, i64) + Sync,
+{
+    par_for_chunked_opts(lo, hi, threads, RuntimeOptions::default(), body)
+}
+
+/// [`par_for_chunked`] with explicit [`RuntimeOptions`].
+pub fn par_for_chunked_opts<F>(
+    lo: i64,
+    hi: i64,
+    threads: usize,
+    opts: RuntimeOptions,
     body: F,
 ) -> Result<RunStats, RuntimeError>
 where
@@ -139,8 +174,14 @@ where
         .min(usize::MAX as u64) as usize;
     let threads = threads.clamp(1, cap);
     let fabric = Fabric::new(false);
-    let chunk_worker = |worker: usize, a: i64, b: i64, fabric: &Fabric| {
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(a, b))) {
+    let plan = WorkPlan::new(lo, hi, n, threads, opts.schedule);
+    let chunk_worker = |worker: usize| {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+            let mut spans = plan.spans(worker);
+            while let Some((a, b)) = spans.next() {
+                body(a, b);
+            }
+        })) {
             fabric.poison(
                 RuntimeError::WorkerPanic {
                     worker,
@@ -151,27 +192,18 @@ where
             );
         }
     };
-    if threads == 1 {
-        chunk_worker(0, lo, hi, &fabric);
+    let pooled = if threads == 1 {
+        chunk_worker(0);
+        false
     } else {
-        let chunk = n / threads as i64 + i64::from(n % threads as i64 != 0);
-        std::thread::scope(|s| {
-            for t in 0..threads {
-                let a = lo.saturating_add((t as i64).saturating_mul(chunk));
-                let b = a.saturating_add(chunk).min(hi);
-                if a >= b {
-                    continue;
-                }
-                let (fabric, chunk_worker) = (&fabric, &chunk_worker);
-                s.spawn(move || chunk_worker(t, a, b, fabric));
-            }
-        });
-    }
+        pool::execute(threads, opts.pool, &chunk_worker)
+    };
     match fabric.into_failure() {
         Some(err) => Err(err),
         None => Ok(RunStats {
             cells: n as u64,
             workers: threads,
+            pooled,
         }),
     }
 }
@@ -179,6 +211,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::PoolPolicy;
+    use crate::schedule::Schedule;
     use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 
     #[test]
@@ -191,6 +225,37 @@ mod tests {
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
         assert_eq!(stats.cells, 100);
         assert_eq!(stats.workers, 7);
+    }
+
+    #[test]
+    fn dynamic_schedule_covers_every_index_exactly_once() {
+        let opts = RuntimeOptions {
+            schedule: Schedule::Dynamic { grain: 3 },
+            ..RuntimeOptions::default()
+        };
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        par_for_opts(0, 100, 7, opts, |i| {
+            hits[i as usize].fetch_add(1, Ordering::Relaxed);
+        })
+        .expect("clean run");
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pooled_and_spawned_paths_agree() {
+        for policy in [PoolPolicy::Persistent, PoolPolicy::SpawnPerCall] {
+            let opts = RuntimeOptions {
+                pool: policy,
+                ..RuntimeOptions::default()
+            };
+            let sum = AtomicI64::new(0);
+            let stats = par_for_opts(1, 101, 4, opts, |i| {
+                sum.fetch_add(i, Ordering::Relaxed);
+            })
+            .expect("clean run");
+            assert_eq!(sum.load(Ordering::Relaxed), 5050);
+            assert_eq!(stats.pooled, policy == PoolPolicy::Persistent);
+        }
     }
 
     #[test]
@@ -268,8 +333,7 @@ mod tests {
         })
         .expect_err("panic must surface");
         match err {
-            RuntimeError::WorkerPanic { worker, cell, .. } => {
-                assert_eq!(worker, 0);
+            RuntimeError::WorkerPanic { cell, .. } => {
                 assert_eq!(cell, None);
             }
             other => panic!("unexpected: {other:?}"),

@@ -9,7 +9,9 @@
 //! [`RuntimeOptions::watchdog`]) is converted into a diagnostic
 //! [`RuntimeError::Stalled`] listing the cells that never advanced.
 
+use crate::schedule::Schedule;
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// Why a parallel primitive failed. All variants are *contained*
@@ -80,6 +82,43 @@ pub struct RunStats {
     pub cells: u64,
     /// Worker threads that carried them.
     pub workers: usize,
+    /// Whether the persistent worker pool carried the run (`false` for
+    /// sequential runs and the spawn-per-call fallback).
+    pub pooled: bool,
+}
+
+/// Whether parallel primitives run on the persistent worker pool or on
+/// freshly spawned scoped threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PoolPolicy {
+    /// Use the pool unless the `POLYMIX_POOL=spawn` environment override
+    /// is set (read once per process). The default.
+    #[default]
+    Auto,
+    /// Always try the pool (still falls back to spawning if the pool
+    /// cannot field enough workers).
+    Persistent,
+    /// Always spawn fresh scoped threads — the pre-pool behavior, kept
+    /// for A/B benchmarking and as a hard escape hatch.
+    SpawnPerCall,
+}
+
+impl PoolPolicy {
+    /// Whether this policy wants the pooled path.
+    pub(crate) fn use_pool(self) -> bool {
+        match self {
+            PoolPolicy::Persistent => true,
+            PoolPolicy::SpawnPerCall => false,
+            PoolPolicy::Auto => {
+                static ENV: OnceLock<bool> = OnceLock::new();
+                *ENV.get_or_init(|| {
+                    !std::env::var("POLYMIX_POOL")
+                        .map(|v| v.trim().eq_ignore_ascii_case("spawn"))
+                        .unwrap_or(false)
+                })
+            }
+        }
+    }
 }
 
 /// Execution policy knobs shared by the parallel primitives.
@@ -94,6 +133,20 @@ pub struct RuntimeOptions {
     /// primitive returns [`RuntimeError::Stalled`]. `None` (default)
     /// disables the watchdog — correct runs never pay for it.
     pub watchdog: Option<Duration>,
+    /// How doall-style ranges are divided among workers. The static
+    /// default is right for rectangular spaces; pass
+    /// [`Schedule::Dynamic`] (or [`Schedule::dynamic_for`]) for
+    /// triangular/skewed spaces where static blocks load-imbalance.
+    pub schedule: Schedule,
+    /// Pipeline progress is published/awaited every this-many rows
+    /// instead of every row, cutting cross-thread synchronization
+    /// traffic by the same factor. `None` (default) picks a batch from
+    /// the grid shape; `Some(b)` forces `b` (clamped to at least 1).
+    /// The `POLYMIX_PIPE_BATCH` environment variable overrides the
+    /// automatic choice when this is `None`.
+    pub pipeline_batch: Option<i64>,
+    /// Worker provisioning: persistent pool vs spawn-per-call.
+    pub pool: PoolPolicy,
 }
 
 impl RuntimeOptions {
@@ -102,6 +155,7 @@ impl RuntimeOptions {
     pub fn watched() -> RuntimeOptions {
         RuntimeOptions {
             watchdog: Some(Duration::from_secs(30)),
+            ..RuntimeOptions::default()
         }
     }
 }

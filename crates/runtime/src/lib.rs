@@ -12,9 +12,16 @@
 //!   proposal), plus the [`pipeline::wavefront_2d`] executor it is compared
 //!   against in Fig. 6.
 //!
-//! Everything is built from `std::thread::scope` and atomics; no
-//! work-stealing pool is spun up, matching the static scheduling the
-//! paper's OpenMP codes use.
+//! Workers come from a process-wide **persistent pool** (`pool.rs`):
+//! threads are spawned on first use and parked between jobs, so
+//! sweep-shaped workloads (thousands of small-grid invocations) pay the
+//! thread-spawn cost once instead of per call. A job that the pool
+//! cannot field — or an explicit [`PoolPolicy::SpawnPerCall`] — falls
+//! back to the original `std::thread::scope` spawn-per-call path.
+//! Scheduling stays explicit (no work stealing): static blocks by
+//! default, atomic chunk-claiming ([`Schedule::Dynamic`]) for
+//! triangular/skewed spaces, matching the hybrid static/dynamic
+//! schedules of the tiled-polyhedral literature.
 //!
 //! ## Fault tolerance
 //!
@@ -40,9 +47,13 @@
 
 pub mod doall;
 pub mod error;
+#[cfg(all(test, feature = "proptest"))]
+mod proptests;
 pub mod order_check;
 pub mod pipeline;
+mod pool;
 pub mod reduction;
+pub mod schedule;
 mod sync;
 
 #[cfg(feature = "fault-inject")]
@@ -58,8 +69,9 @@ pub(crate) mod fault_inject {
     pub(crate) fn on_wait() {}
 }
 
-pub use doall::{par_for, par_for_chunked};
-pub use error::{RunStats, RuntimeError, RuntimeOptions};
+pub use doall::{par_for, par_for_chunked, par_for_chunked_opts, par_for_opts};
+pub use error::{PoolPolicy, RunStats, RuntimeError, RuntimeOptions};
 pub use pipeline::{pipeline_2d, pipeline_2d_opts, wavefront_2d, wavefront_2d_opts, GridSweep};
-pub use reduction::reduce_array;
-pub use sync::POISON;
+pub use reduction::{reduce_array, reduce_array_opts};
+pub use schedule::{partition, Partition, Schedule};
+pub use sync::{CachePadded, POISON};

@@ -14,6 +14,21 @@
 //!   `w = i + j` sequentially with an all-to-all barrier between
 //!   diagonals, running each diagonal's cells in parallel.
 //!
+//! ## Batched synchronization
+//!
+//! Progress is published (and therefore awaited) every `B` rows rather
+//! than every row: each publish is a `fetch_max` on a cache-line-padded
+//! counter the right neighbor polls, so batching divides the hottest
+//! cross-thread traffic in the runtime by `B`. Waiting on "neighbor
+//! finished row `i`" with delayed publishes only ever *delays* a start,
+//! never permits an early one, so the dependence order is untouched (the
+//! `order-check` feature verifies this). Waits flow strictly leftward
+//! (worker 0 never waits), so delayed publishes cannot deadlock: by
+//! induction worker `t-1` always eventually reaches its next publish
+//! row. `B` comes from [`RuntimeOptions::pipeline_batch`], the
+//! `POLYMIX_PIPE_BATCH` environment variable, or an automatic choice
+//! from the grid shape.
+//!
 //! Both are fault-tolerant: a worker panic is caught at the worker
 //! boundary and broadcast as [`POISON`](crate::sync::POISON) through
 //! the progress counters (pipeline) or stops the diagonal loop before
@@ -25,10 +40,13 @@
 use crate::doall::doall_cells;
 use crate::error::{RunStats, RuntimeError, RuntimeOptions};
 use crate::order_check::DepChecker;
-use crate::sync::{await_progress, payload_text, Fabric, Wait, POISON};
+use crate::pool;
+use crate::schedule::{partition, Partition};
+use crate::sync::{await_progress, payload_text, CachePadded, Fabric, Wait, POISON};
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::OnceLock;
 
 /// A half-open 2-D iteration grid `[i_lo, i_hi) × [j_lo, j_hi)`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,6 +86,31 @@ impl GridSweep {
     }
 }
 
+/// Cached `POLYMIX_PIPE_BATCH` override (values below 1 are ignored).
+fn env_batch() -> Option<i64> {
+    static BATCH: OnceLock<Option<i64>> = OnceLock::new();
+    *BATCH.get_or_init(|| {
+        std::env::var("POLYMIX_PIPE_BATCH")
+            .ok()
+            .and_then(|s| s.trim().parse::<i64>().ok())
+            .filter(|b| *b >= 1)
+    })
+}
+
+/// The publish batch for a run: explicit option, else environment, else
+/// an automatic choice — deep grids afford coarser batches, but the
+/// batch is capped so the pipeline fill delay (`(nthr - 1) × B` rows)
+/// stays small against the sweep depth.
+fn resolve_batch(opts: &RuntimeOptions, ni: i64, nthr: usize) -> i64 {
+    if let Some(b) = opts.pipeline_batch {
+        return b.max(1);
+    }
+    if let Some(b) = env_batch() {
+        return b;
+    }
+    (ni / (nthr as i64 * 4)).clamp(1, 8)
+}
+
 /// Executes the grid with point-to-point column-block pipelining.
 /// `body(i, j)` is invoked at most once per cell, never before its
 /// `(i-1, j)` and `(i, j-1)` predecessors have completed; exactly once
@@ -79,7 +122,8 @@ where
     pipeline_2d_opts(grid, threads, RuntimeOptions::default(), body)
 }
 
-/// [`pipeline_2d`] with explicit [`RuntimeOptions`] (watchdog policy).
+/// [`pipeline_2d`] with explicit [`RuntimeOptions`] (watchdog policy,
+/// publish batch, pool provisioning).
 pub fn pipeline_2d_opts<F>(
     grid: GridSweep,
     threads: usize,
@@ -112,7 +156,11 @@ where
         return match outcome {
             Ok(()) => {
                 checker.finish()?;
-                Ok(RunStats { cells, workers: 1 })
+                Ok(RunStats {
+                    cells,
+                    workers: 1,
+                    pooled: false,
+                })
             }
             Err(payload) => Err(RuntimeError::WorkerPanic {
                 worker: 0,
@@ -122,70 +170,65 @@ where
         };
     }
 
-    let progress: Vec<AtomicI64> = (0..nthr).map(|_| AtomicI64::new(i64::MIN)).collect();
+    let progress: Vec<CachePadded<AtomicI64>> = (0..nthr)
+        .map(|_| CachePadded::new(AtomicI64::new(i64::MIN)))
+        .collect();
     let fabric = Fabric::new(opts.watchdog.is_some());
-    // ceil(span / nthr) without the `span + nthr - 1` overflow.
-    let chunk = span / nthr as i64 + i64::from(span % nthr as i64 != 0);
-    std::thread::scope(|s| {
-        for t in 0..nthr {
-            let (progress, fabric, body, checker) = (&progress, &fabric, &body, &checker);
-            s.spawn(move || {
-                // Saturation only produces empty blocks (relayed below).
-                let blk_lo = grid
-                    .j_lo
-                    .saturating_add((t as i64).saturating_mul(chunk))
-                    .min(grid.j_hi);
-                let blk_hi = blk_lo.saturating_add(chunk).min(grid.j_hi);
-                let current: Cell<Option<(i64, i64)>> = Cell::new(None);
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    for i in grid.i_lo..grid.i_hi {
-                        if fabric.is_poisoned() {
-                            return Wait::Poisoned;
-                        }
-                        if t > 0 {
-                            // await source(i, blk_lo - 1)
-                            match await_progress(&progress[t - 1], i, fabric, opts.watchdog) {
-                                Wait::Ready => {}
-                                other => return other,
-                            }
-                        }
-                        for j in blk_lo..blk_hi {
-                            current.set(Some((i, j)));
-                            crate::fault_inject::before_cell(i, j);
-                            checker.before(i, j);
-                            body(i, j);
-                            checker.after(i, j);
-                        }
-                        current.set(None);
-                        // Empty blocks still publish progress so right
-                        // neighbors never stall. fetch_max never
-                        // overwrites POISON.
-                        progress[t].fetch_max(i, Ordering::AcqRel);
-                        fabric.bump();
-                    }
-                    Wait::Ready
-                }));
-                match outcome {
-                    Ok(Wait::Ready) | Ok(Wait::Poisoned) => {}
-                    Ok(Wait::Stalled) => {
-                        // Snapshot the frontier before flooding POISON.
-                        let stalled_cells = stalled_snapshot(progress, grid, chunk);
-                        fabric.poison(RuntimeError::Stalled { stalled_cells }, progress);
-                    }
-                    Err(payload) => {
-                        fabric.poison(
-                            RuntimeError::WorkerPanic {
-                                worker: t,
-                                cell: current.get(),
-                                payload: payload_text(payload.as_ref()),
-                            },
-                            progress,
-                        );
+    let part = partition(grid.j_lo, grid.j_hi, nthr);
+    let batch = resolve_batch(&opts, grid.i_hi - grid.i_lo, nthr);
+    let worker = |t: usize| {
+        let (blk_lo, blk_hi) = part.span(t);
+        let current: Cell<Option<(i64, i64)>> = Cell::new(None);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            for i in grid.i_lo..grid.i_hi {
+                if fabric.is_poisoned() {
+                    return Wait::Poisoned;
+                }
+                if t > 0 {
+                    // await source(i, blk_lo - 1)
+                    match await_progress(&progress[t - 1], i, &fabric, opts.watchdog) {
+                        Wait::Ready => {}
+                        other => return other,
                     }
                 }
-            });
+                for j in blk_lo..blk_hi {
+                    current.set(Some((i, j)));
+                    crate::fault_inject::before_cell(i, j);
+                    checker.before(i, j);
+                    body(i, j);
+                    checker.after(i, j);
+                }
+                current.set(None);
+                // Publish every `batch` rows (and always the last row):
+                // empty blocks still publish, so right neighbors never
+                // stall. fetch_max never overwrites POISON.
+                if (i - grid.i_lo + 1) % batch == 0 || i + 1 == grid.i_hi {
+                    progress[t].fetch_max(i, Ordering::AcqRel);
+                    fabric.bump();
+                }
+            }
+            Wait::Ready
+        }));
+        match outcome {
+            Ok(Wait::Ready) | Ok(Wait::Poisoned) => {}
+            Ok(Wait::Stalled) => {
+                // Snapshot the frontier before flooding POISON.
+                let stalled_cells = stalled_snapshot(&progress, grid, &part);
+                fabric.poison(RuntimeError::Stalled { stalled_cells }, &progress);
+            }
+            Err(payload) => {
+                fabric.poison(
+                    RuntimeError::WorkerPanic {
+                        worker: t,
+                        cell: current.get(),
+                        payload: payload_text(payload.as_ref()),
+                    },
+                    &progress,
+                );
+            }
         }
-    });
+    };
+    let pooled = pool::execute(nthr, opts.pool, &worker);
     match fabric.into_failure() {
         Some(err) => Err(err),
         None => {
@@ -193,14 +236,22 @@ where
             Ok(RunStats {
                 cells,
                 workers: nthr,
+                pooled,
             })
         }
     }
 }
 
-/// For each worker still behind, the next cell its block never
-/// finished: the frontier that stopped advancing.
-fn stalled_snapshot(progress: &[AtomicI64], grid: GridSweep, chunk: i64) -> Vec<(i64, i64)> {
+/// For each worker still behind, the next cell after its last *publish*:
+/// the frontier that stopped advancing. With a publish batch above 1 the
+/// reported row can trail the wedged worker's true position by up to
+/// `batch - 1` rows — the diagnostic names the start of the silent
+/// window, which is where investigation should begin anyway.
+fn stalled_snapshot(
+    progress: &[CachePadded<AtomicI64>],
+    grid: GridSweep,
+    part: &Partition,
+) -> Vec<(i64, i64)> {
     let mut cells = Vec::new();
     for (t, counter) in progress.iter().enumerate() {
         let done_row = counter.load(Ordering::Acquire);
@@ -212,10 +263,7 @@ fn stalled_snapshot(progress: &[AtomicI64], grid: GridSweep, chunk: i64) -> Vec<
         } else {
             done_row + 1
         };
-        let blk_lo = grid
-            .j_lo
-            .saturating_add((t as i64).saturating_mul(chunk))
-            .min(grid.j_hi);
+        let (blk_lo, _) = part.span(t);
         cells.push((next_i, blk_lo));
     }
     cells
@@ -233,13 +281,13 @@ where
     wavefront_2d_opts(grid, threads, RuntimeOptions::default(), body)
 }
 
-/// [`wavefront_2d`] with explicit [`RuntimeOptions`]. The wavefront has
-/// no point-to-point waits, so the watchdog has nothing to arm; the
-/// options are accepted for interface symmetry with [`pipeline_2d_opts`].
+/// [`wavefront_2d`] with explicit [`RuntimeOptions`]: the schedule and
+/// pool policy govern each diagonal's doall (the wavefront has no
+/// point-to-point waits, so the watchdog has nothing to arm).
 pub fn wavefront_2d_opts<F>(
     grid: GridSweep,
     threads: usize,
-    _opts: RuntimeOptions,
+    opts: RuntimeOptions,
     body: F,
 ) -> Result<RunStats, RuntimeError>
 where
@@ -259,6 +307,7 @@ where
     let w_hi = (grid.i_hi - 1).checked_add(grid.j_hi - 1).ok_or_else(misuse)?;
     let checker = DepChecker::new(grid);
     let workers = threads.max(1);
+    let mut pooled = false;
     for w in w_lo..=w_hi {
         // Diagonal bounds in i128 to dodge intermediate overflow; the
         // max/min clamps make saturation exact.
@@ -270,17 +319,22 @@ where
             .min(clamp_i64(w as i128 - grid.i_lo as i128 + 1)); // exclusive
         let checker = &checker;
         let body = &body;
-        doall_cells(j_lo, j_hi, threads, |j| (w - j, j), |j| {
+        let stats = doall_cells(j_lo, j_hi, threads, opts, |j| (w - j, j), |j| {
             let (ci, cj) = (w - j, j);
             checker.before(ci, cj);
             body(ci, cj);
             checker.after(ci, cj);
         })?;
+        pooled |= stats.pooled;
         // doall_cells joins all workers (the inter-diagonal barrier) and
         // `?` stops before diagonal w + 1 if anything on w failed.
     }
     checker.finish()?;
-    Ok(RunStats { cells, workers })
+    Ok(RunStats {
+        cells,
+        workers,
+        pooled,
+    })
 }
 
 fn clamp_i64(v: i128) -> i64 {
@@ -296,6 +350,7 @@ fn clamp_i64(v: i128) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::PoolPolicy;
     use std::collections::HashSet;
     use std::sync::Mutex;
 
@@ -335,6 +390,22 @@ mod tests {
             .expect("clean run");
             assert_eq!(stats.cells, 9 * 13);
             check_order(&log.into_inner().unwrap(), 9, 13);
+        }
+    }
+
+    #[test]
+    fn pipeline_respects_dependences_across_batch_sizes() {
+        for batch in [1, 2, 3, 8, 64] {
+            let opts = RuntimeOptions {
+                pipeline_batch: Some(batch),
+                ..RuntimeOptions::default()
+            };
+            let log = Mutex::new(Vec::new());
+            pipeline_2d_opts(grid(17, 11), 4, opts, |i, j| {
+                log.lock().unwrap().push((i, j));
+            })
+            .expect("clean run");
+            check_order(&log.into_inner().unwrap(), 17, 11);
         }
     }
 
@@ -389,6 +460,29 @@ mod tests {
             assert_eq!(run(threads, true), seq, "pipeline threads={threads}");
             assert_eq!(run(threads, false), seq, "wavefront threads={threads}");
         }
+    }
+
+    #[test]
+    fn pooled_and_spawned_pipelines_agree() {
+        let run = |policy: PoolPolicy| -> (Vec<(i64, i64)>, bool) {
+            let opts = RuntimeOptions {
+                pool: policy,
+                ..RuntimeOptions::default()
+            };
+            let log = Mutex::new(Vec::new());
+            let stats = pipeline_2d_opts(grid(9, 12), 3, opts, |i, j| {
+                log.lock().unwrap().push((i, j));
+            })
+            .expect("clean run");
+            let mut cells = log.into_inner().unwrap();
+            cells.sort_unstable();
+            (cells, stats.pooled)
+        };
+        let (pooled_cells, was_pooled) = run(PoolPolicy::Persistent);
+        let (spawned_cells, was_spawned_pooled) = run(PoolPolicy::SpawnPerCall);
+        assert!(was_pooled);
+        assert!(!was_spawned_pooled);
+        assert_eq!(pooled_cells, spawned_cells);
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! Array reductions with thread-private accumulators — the C array-
 //! reduction OpenMP extension of Sec. IV-D.
 
-use crate::doall::par_for_chunked;
-use crate::error::{RunStats, RuntimeError};
+use crate::error::{RunStats, RuntimeError, RuntimeOptions};
+use crate::pool;
+use crate::schedule::WorkPlan;
+use crate::sync::{payload_text, CachePadded, Fabric};
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
 /// Reduces into `target` over the iteration range `lo..hi`: each worker
@@ -25,24 +29,99 @@ pub fn reduce_array<F>(
 where
     F: Fn(i64, &mut [f64]) + Sync,
 {
+    reduce_array_opts(target, lo, hi, threads, RuntimeOptions::default(), body)
+}
+
+/// [`reduce_array`] with explicit [`RuntimeOptions`]. The private copy
+/// is allocated once per *worker* (not per claimed chunk), so a dynamic
+/// schedule costs no extra allocation or merging.
+pub fn reduce_array_opts<F>(
+    target: &mut [f64],
+    lo: i64,
+    hi: i64,
+    threads: usize,
+    opts: RuntimeOptions,
+    body: F,
+) -> Result<RunStats, RuntimeError>
+where
+    F: Fn(i64, &mut [f64]) + Sync,
+{
+    let n = match hi.checked_sub(lo) {
+        Some(n) => n,
+        None => {
+            return Err(RuntimeError::Misuse(format!(
+                "index range [{lo}, {hi}) overflows i64 arithmetic"
+            )))
+        }
+    };
+    if n <= 0 {
+        return Ok(RunStats::default());
+    }
+    let cap = u64::try_from(n)
+        .unwrap_or(u64::MAX)
+        .min(usize::MAX as u64) as usize;
+    let threads = threads.clamp(1, cap);
     let len = target.len();
     let global = Mutex::new(target);
-    par_for_chunked(lo, hi, threads, |a, b| {
-        let mut local = vec![0.0f64; len];
-        for i in a..b {
-            crate::fault_inject::before_cell(i, 0);
-            body(i, &mut local);
+    let fabric = Fabric::new(false);
+    let plan = WorkPlan::new(lo, hi, n, threads, opts.schedule);
+    let worker = |t: usize| {
+        // The accumulator header sits on its own cache line; the heap
+        // buffer behind it is per-worker anyway, so no two workers write
+        // the same line during accumulation.
+        let mut local: CachePadded<Vec<f64>> = CachePadded::new(vec![0.0f64; len]);
+        let current: Cell<Option<i64>> = Cell::new(None);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut spans = plan.spans(t);
+            while let Some((a, b)) = spans.next() {
+                for i in a..b {
+                    current.set(Some(i));
+                    crate::fault_inject::before_cell(i, 0);
+                    body(i, &mut local);
+                }
+            }
+        }));
+        match outcome {
+            Ok(()) => {
+                let mut g = global.lock().unwrap_or_else(|e| e.into_inner());
+                for (dst, src) in g.iter_mut().zip(local.iter()) {
+                    *dst += src;
+                }
+            }
+            Err(payload) => {
+                // A panicked worker's partial accumulator is discarded,
+                // never merged.
+                fabric.poison(
+                    RuntimeError::WorkerPanic {
+                        worker: t,
+                        cell: current.get().map(|i| (i, 0)),
+                        payload: payload_text(payload.as_ref()),
+                    },
+                    &[],
+                );
+            }
         }
-        let mut g = global.lock().unwrap_or_else(|e| e.into_inner());
-        for (dst, src) in g.iter_mut().zip(&local) {
-            *dst += src;
-        }
-    })
+    };
+    let pooled = if threads == 1 {
+        worker(0);
+        false
+    } else {
+        pool::execute(threads, opts.pool, &worker)
+    };
+    match fabric.into_failure() {
+        Some(err) => Err(err),
+        None => Ok(RunStats {
+            cells: n as u64,
+            workers: threads,
+            pooled,
+        }),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::schedule::Schedule;
 
     #[test]
     fn column_sum_matches_sequential() {
@@ -64,6 +143,18 @@ mod tests {
             }
         }
         assert_eq!(s_par, s_seq);
+    }
+
+    #[test]
+    fn dynamic_schedule_matches_static() {
+        let opts = RuntimeOptions {
+            schedule: Schedule::Dynamic { grain: 5 },
+            ..RuntimeOptions::default()
+        };
+        let mut acc = vec![0.0];
+        reduce_array_opts(&mut acc, 1, 101, 4, opts, |i, local| local[0] += i as f64)
+            .expect("clean run");
+        assert_eq!(acc[0], 5050.0);
     }
 
     #[test]
@@ -102,7 +193,8 @@ mod tests {
         })
         .expect_err("panic must surface");
         match err {
-            RuntimeError::WorkerPanic { payload, .. } => {
+            RuntimeError::WorkerPanic { cell, payload, .. } => {
+                assert_eq!(cell, Some((17, 0)));
                 assert!(payload.contains("reduce boom"), "{payload}");
             }
             other => panic!("unexpected: {other:?}"),

@@ -1,4 +1,5 @@
-//! The poisonable progress fabric shared by the parallel primitives.
+//! The poisonable progress fabric shared by the parallel primitives,
+//! plus the cache-layout and backoff building blocks they sit on.
 //!
 //! Every primitive that blocks on a progress counter routes its waiting
 //! through [`await_progress`], which layers three things on top of the
@@ -14,9 +15,16 @@
 //!    timeouts, so oversubscribed waiters stop burning scheduler quanta
 //!    (no `unpark` is ever sent; the timeout bounds the wake latency).
 //!
+//! Per-worker progress counters are wrapped in [`CachePadded`] so two
+//! workers publishing progress never write the same cache line: the
+//! pipeline's `fetch_max` publish is the hottest cross-thread store in
+//! the runtime, and unpadded `Vec<AtomicI64>` counters put eight of them
+//! on one line.
+//!
 //! [`RuntimeOptions::watchdog`]: crate::error::RuntimeOptions
 
 use crate::error::RuntimeError;
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -26,6 +34,43 @@ use std::time::{Duration, Instant};
 /// every waiter; workers always publish real progress with `fetch_max`,
 /// which can never overwrite it.
 pub const POISON: i64 = i64::MAX;
+
+/// Pads and aligns `T` to a 64-byte cache line so neighboring values in
+/// an array never share a line. Used for per-worker progress counters,
+/// the [`Fabric`]'s shared flags, dynamic-schedule claim cursors, and
+/// reduction accumulator headers — everything two workers touch at once.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` on its own cache line.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Unwraps the padded value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    #[inline(always)]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline(always)]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
 
 /// Spin iterations before a waiter starts yielding, unless overridden by
 /// the `POLYMIX_SPIN_LIMIT` environment variable (read once per
@@ -47,10 +92,62 @@ pub(crate) fn spin_limit() -> u32 {
 }
 
 /// Parses a `POLYMIX_SPIN_LIMIT` value; anything unparseable falls back
-/// to the default (misconfiguration must not change semantics).
+/// to the default (misconfiguration must not change semantics). `0` is
+/// a *valid* setting: it disables the spin phase entirely.
 fn parse_spin_limit(raw: Option<&str>) -> u32 {
     raw.and_then(|s| s.trim().parse::<u32>().ok())
         .unwrap_or(DEFAULT_SPIN_LIMIT)
+}
+
+/// The spin → yield → park backoff ladder, one per wait. Each phase has
+/// a budget; `spin()` consumes the spin budget and reports whether the
+/// caller is still on the cheap in-core path, `wait()` runs one step of
+/// the slow ladder. A zero spin limit is honored exactly: the budget
+/// starts empty and the first `spin()` returns `false` (no decrement, so
+/// a zero budget can never underflow into a near-infinite spin phase).
+pub(crate) struct Backoff {
+    spins_left: u32,
+    yields_left: u32,
+    park: Duration,
+}
+
+impl Backoff {
+    pub(crate) fn new(spin_limit: u32) -> Backoff {
+        Backoff {
+            spins_left: spin_limit,
+            yields_left: YIELD_LIMIT,
+            park: PARK_START,
+        }
+    }
+
+    /// One step of the cheap phase; `false` once the budget is spent
+    /// (immediately when the limit is 0 — skip straight to yielding).
+    #[inline]
+    pub(crate) fn spin(&mut self) -> bool {
+        if self.spins_left == 0 {
+            return false;
+        }
+        self.spins_left -= 1;
+        std::hint::spin_loop();
+        true
+    }
+
+    /// One step of the slow ladder: a bounded run of yields, then
+    /// exponentially growing parks.
+    pub(crate) fn wait(&mut self) {
+        if self.yields_left > 0 {
+            self.yields_left -= 1;
+            std::thread::yield_now();
+        } else {
+            std::thread::park_timeout(self.park);
+            self.park = (self.park * 2).min(PARK_CAP);
+        }
+    }
+
+    #[cfg(test)]
+    fn in_spin_phase(&self) -> bool {
+        self.spins_left > 0
+    }
 }
 
 /// Renders a caught panic payload as text.
@@ -65,13 +162,16 @@ pub(crate) fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Shared failure state for one primitive invocation: the poison flag,
-/// the first recorded error, and the watchdog's progress epoch.
+/// the first recorded error, and the watchdog's progress epoch. The two
+/// atomics live on separate cache lines: the poison flag is read on
+/// every waiter's slow path while the epoch is written on every publish,
+/// and sharing a line would make each publish invalidate every waiter.
 pub(crate) struct Fabric {
-    poisoned: AtomicBool,
+    poisoned: CachePadded<AtomicBool>,
     /// Monotonic counter bumped on every progress publish; only
     /// maintained when a watchdog is armed (`watching`), so unwatched
     /// hot paths pay nothing.
-    epoch: AtomicU64,
+    epoch: CachePadded<AtomicU64>,
     watching: bool,
     failure: Mutex<Option<RuntimeError>>,
 }
@@ -79,8 +179,8 @@ pub(crate) struct Fabric {
 impl Fabric {
     pub(crate) fn new(watching: bool) -> Fabric {
         Fabric {
-            poisoned: AtomicBool::new(false),
-            epoch: AtomicU64::new(0),
+            poisoned: CachePadded::new(AtomicBool::new(false)),
+            epoch: CachePadded::new(AtomicU64::new(0)),
             watching,
             failure: Mutex::new(None),
         }
@@ -101,7 +201,7 @@ impl Fabric {
 
     /// Records `err` (first failure wins), raises the poison flag, and
     /// floods `progress` so every waiter is released.
-    pub(crate) fn poison(&self, err: RuntimeError, progress: &[AtomicI64]) {
+    pub(crate) fn poison(&self, err: RuntimeError, progress: &[CachePadded<AtomicI64>]) {
         {
             let mut slot = self.failure.lock().unwrap_or_else(|e| e.into_inner());
             if slot.is_none() {
@@ -143,10 +243,19 @@ pub(crate) fn await_progress(
     fabric: &Fabric,
     deadline: Option<Duration>,
 ) -> Wait {
-    let limit = spin_limit();
-    let mut spins = 0u32;
-    let mut yields = 0u32;
-    let mut park = PARK_START;
+    await_progress_with_limit(cell, target, fabric, deadline, spin_limit())
+}
+
+/// [`await_progress`] with an explicit spin budget (testable without
+/// mutating process environment).
+pub(crate) fn await_progress_with_limit(
+    cell: &AtomicI64,
+    target: i64,
+    fabric: &Fabric,
+    deadline: Option<Duration>,
+    spin_limit: u32,
+) -> Wait {
+    let mut backoff = Backoff::new(spin_limit);
     // Armed lazily on entering the slow path: (epoch last seen, when).
     let mut watch: Option<(u64, Instant)> = None;
     loop {
@@ -157,9 +266,7 @@ pub(crate) fn await_progress(
         if v >= target {
             return Wait::Ready;
         }
-        if spins < limit {
-            spins += 1;
-            std::hint::spin_loop();
+        if backoff.spin() {
             continue;
         }
         // Slow path: the neighbor is genuinely behind (or wedged).
@@ -181,13 +288,7 @@ pub(crate) fn await_progress(
                 }
             }
         }
-        if yields < YIELD_LIMIT {
-            yields += 1;
-            std::thread::yield_now();
-        } else {
-            std::thread::park_timeout(park);
-            park = (park * 2).min(PARK_CAP);
-        }
+        backoff.wait();
     }
 }
 
@@ -203,6 +304,56 @@ mod tests {
         assert_eq!(parse_spin_limit(Some("0")), 0);
         assert_eq!(parse_spin_limit(Some("not-a-number")), DEFAULT_SPIN_LIMIT);
         assert_eq!(parse_spin_limit(Some("-3")), DEFAULT_SPIN_LIMIT);
+    }
+
+    #[test]
+    fn zero_spin_limit_skips_straight_to_yield_phase() {
+        // The regression this pins: a zero POLYMIX_SPIN_LIMIT must mean
+        // "no spin phase at all" — the first spin() is refused without
+        // touching the (unsigned) budget, so it can never underflow into
+        // a ~2^32-iteration spin.
+        let mut b = Backoff::new(0);
+        assert!(!b.in_spin_phase());
+        assert!(!b.spin());
+        assert!(!b.spin(), "repeated spin() must stay refused");
+    }
+
+    #[test]
+    fn spin_budget_is_exact() {
+        let mut b = Backoff::new(2);
+        assert!(b.spin());
+        assert!(b.spin());
+        assert!(!b.spin(), "budget of 2 allows exactly 2 spins");
+    }
+
+    #[test]
+    fn await_with_zero_spin_limit_still_completes() {
+        // A waiter with no spin budget must reach the target through the
+        // yield/park ladder once another thread publishes it.
+        let fabric = Fabric::new(false);
+        let cell = AtomicI64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(20));
+                cell.store(7, Ordering::Release);
+            });
+            let got = await_progress_with_limit(&cell, 7, &fabric, None, 0);
+            assert_eq!(got, Wait::Ready);
+        });
+    }
+
+    #[test]
+    fn cache_padded_is_line_aligned() {
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicI64>>(), 64);
+        assert!(std::mem::size_of::<CachePadded<AtomicI64>>() >= 64);
+        let v: Vec<CachePadded<AtomicI64>> =
+            (0..4).map(|_| CachePadded::new(AtomicI64::new(0))).collect();
+        let a = &*v[0] as *const AtomicI64 as usize;
+        let b = &*v[1] as *const AtomicI64 as usize;
+        assert!(b - a >= 64, "adjacent counters must not share a line");
+        let padded = CachePadded::new(AtomicI64::new(9));
+        assert_eq!(padded.load(Ordering::Relaxed), 9);
+        assert_eq!(padded.into_inner().into_inner(), 9);
     }
 
     #[test]
@@ -231,7 +382,8 @@ mod tests {
 
     #[test]
     fn poison_floods_counters_and_keeps_first_error() {
-        let progress: Vec<AtomicI64> = (0..4).map(|_| AtomicI64::new(0)).collect();
+        let progress: Vec<CachePadded<AtomicI64>> =
+            (0..4).map(|_| CachePadded::new(AtomicI64::new(0))).collect();
         let fabric = Fabric::new(false);
         fabric.poison(RuntimeError::Misuse("first".into()), &progress);
         fabric.poison(RuntimeError::Misuse("second".into()), &progress);

@@ -307,6 +307,7 @@ mod injected {
         });
         let opts = RuntimeOptions {
             watchdog: Some(Duration::from_millis(50)),
+            ..RuntimeOptions::default()
         };
         let err = within(Duration::from_secs(30), || {
             pipeline_2d_opts(grid(32, 32), 4, opts, |_, _| {})

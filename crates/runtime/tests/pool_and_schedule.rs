@@ -1,0 +1,148 @@
+//! Integration tests for the persistent worker pool: reuse across
+//! back-to-back jobs, recovery after a panicking job, and — under the
+//! adversarial `fault-inject` schedules — bit-exact agreement between
+//! the pooled and spawn-per-call execution paths. The last test is the
+//! CI pool smoke: a scheduling bug in the pool (lost wakeup, stale
+//! mailbox, worker running the wrong slot) shows up as a checksum
+//! mismatch or a hang, not a silent pass.
+
+use polymix_runtime::{
+    par_for_opts, pipeline_2d_opts, GridSweep, PoolPolicy, RuntimeError, RuntimeOptions,
+};
+use std::sync::atomic::{AtomicI64, Ordering};
+
+fn pooled_opts() -> RuntimeOptions {
+    RuntimeOptions {
+        pool: PoolPolicy::Persistent,
+        ..RuntimeOptions::default()
+    }
+}
+
+#[test]
+fn pool_survives_a_panicking_job_mid_stress_sequence() {
+    // 50 back-to-back jobs on the persistent pool; job 25 panics. The
+    // panic must surface as WorkerPanic for that job only, and every
+    // later job must still run to completion on the pooled path.
+    let n = 64i64;
+    for round in 0..50 {
+        let hits: Vec<AtomicI64> = (0..n).map(|_| AtomicI64::new(0)).collect();
+        let result = par_for_opts(0, n, 4, pooled_opts(), |i| {
+            if round == 25 && i == 40 {
+                std::panic::panic_any("stress boom");
+            }
+            hits[i as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        if round == 25 {
+            let err = result.expect_err("round 25 must report the panic");
+            assert!(
+                matches!(err, RuntimeError::WorkerPanic { .. }),
+                "unexpected error: {err:?}"
+            );
+        } else {
+            let stats = result.expect("healthy rounds succeed");
+            assert!(stats.pooled, "round {round} should run on the pool");
+            assert_eq!(stats.cells, n as u64);
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+}
+
+/// Seidel-style dependent sweep over `field`; returns the final values.
+fn seidel_sweep(
+    ni: usize,
+    nj: usize,
+    threads: usize,
+    opts: RuntimeOptions,
+) -> Result<Vec<f64>, RuntimeError> {
+    let mut field: Vec<f64> = (0..ni * nj).map(|k| (k % 17) as f64).collect();
+    let grid = GridSweep {
+        i_lo: 1,
+        i_hi: ni as i64,
+        j_lo: 1,
+        j_hi: nj as i64,
+    };
+    let ptr = field.as_mut_ptr() as usize;
+    pipeline_2d_opts(grid, threads, opts, move |i, j| {
+        let p = ptr as *mut f64;
+        let (i, j) = (i as usize, j as usize);
+        // SAFETY: each interior cell is written once, after its (i-1, j)
+        // and (i, j-1) sources — exactly the order the pipeline enforces.
+        unsafe {
+            let v =
+                0.2 * (*p.add(i * nj + j) + *p.add((i - 1) * nj + j) + *p.add(i * nj + j - 1));
+            *p.add(i * nj + j) = v;
+        }
+    })?;
+    Ok(field)
+}
+
+#[test]
+fn pooled_and_spawned_sweeps_agree_bit_for_bit() {
+    let reference = seidel_sweep(
+        33,
+        29,
+        4,
+        RuntimeOptions {
+            pool: PoolPolicy::SpawnPerCall,
+            ..RuntimeOptions::default()
+        },
+    )
+    .expect("spawned sweep");
+    // Repeat invocations on the pool: the many-invocations-small-grid
+    // shape the pool exists for, each compared against the spawn path.
+    for _ in 0..8 {
+        let pooled = seidel_sweep(33, 29, 4, pooled_opts()).expect("pooled sweep");
+        assert!(
+            pooled
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "pooled sweep diverged from spawn-per-call sweep"
+        );
+    }
+}
+
+/// The CI pool smoke: the same pooled-vs-spawn agreement, but under an
+/// adversarial seeded schedule (per-cell delays + yields) and with the
+/// dynamic dependence-order checker armed via the `order-check` feature.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn pool_smoke_pooled_matches_spawn_under_adversarial_schedule() {
+    use polymix_runtime::fault_inject::{install, FaultPlan};
+    let _guard = install(FaultPlan {
+        seed: 0xC0FFEE,
+        delay_us_max: 40,
+        yield_pct: 25,
+        ..FaultPlan::default()
+    });
+    let reference = seidel_sweep(
+        24,
+        21,
+        4,
+        RuntimeOptions {
+            pool: PoolPolicy::SpawnPerCall,
+            ..RuntimeOptions::default()
+        },
+    )
+    .expect("spawned sweep under faults");
+    for batch in [None, Some(1), Some(3)] {
+        let pooled = seidel_sweep(
+            24,
+            21,
+            4,
+            RuntimeOptions {
+                pool: PoolPolicy::Persistent,
+                pipeline_batch: batch,
+                ..RuntimeOptions::default()
+            },
+        )
+        .expect("pooled sweep under faults");
+        assert!(
+            pooled
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "pooled (batch {batch:?}) diverged under the adversarial schedule"
+        );
+    }
+}
