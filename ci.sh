@@ -12,14 +12,16 @@ echo "== tests =="
 cargo test -q
 
 # The compile pipeline must degrade, never abort: deny unwrap/panic in
-# the library code of the crates the pipeline runs through. `--no-deps`
-# is required so the lints do not leak into path dependencies (e.g.
-# polymix-deps), which are linted at their default levels.
+# the library code of every workspace crate the pipeline runs through,
+# including the analysis stack (deps/math/dl/cachesim/polybench) and the
+# certifier. `--no-deps` keeps each crate linted at its own level.
 # polymix-runtime is linted without features: the `fault-inject` module
 # panics *on purpose* (that is the injected fault) and is excluded by
 # being feature-gated.
 echo "== clippy abort-site gate =="
-for c in polymix-ir polymix-ast polymix-codegen polymix-pluto polymix-core polymix-runtime polymix-bench; do
+for c in polymix-math polymix-ir polymix-deps polymix-dl polymix-ast \
+         polymix-codegen polymix-verify polymix-pluto polymix-core \
+         polymix-runtime polymix-cachesim polymix-polybench polymix-bench; do
     echo "-- $c"
     cargo clippy --lib --no-deps -p "$c" -- \
         -D clippy::unwrap_used -D clippy::panic
@@ -37,6 +39,13 @@ cargo test -q -p polymix-runtime --features order-check,fault-inject
 echo "== pool smoke test =="
 cargo test -q -p polymix-runtime --features order-check,fault-inject \
     --test pool_and_schedule pool_smoke
+
+# Static certification gate: every (kernel, variant) artifact the
+# sweeps measure — the transformed program and its emitted source —
+# must certify (schedule legality, annotation safety, source protocol
+# lint) before anything is compiled or executed.
+echo "== static verify gate =="
+cargo run --release -q -p polymix-bench --bin verify -- --dataset mini > /dev/null
 
 # Fast end-to-end sweep smoke test: one kernel through the parallel
 # executor (2 jobs, tmpdir cache, JSONL log), then the same invocation

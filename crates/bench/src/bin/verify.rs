@@ -1,0 +1,148 @@
+//! Standalone static auditor: certifies every (kernel, variant)
+//! transformed program and lints its emitted kernel source *without
+//! compiling or running anything* — the static half of the paper's
+//! legality story, applied after the fact to exactly the artifacts the
+//! sweeps measure.
+//!
+//! ```text
+//! verify [--dataset D] [--strict] [--variant NAME] [kernel ... | file.rs ...]
+//! ```
+//!
+//! * positional kernel names restrict the sweep (default: all 22);
+//! * positional `.rs` paths are audited as cached kernel sources (lint
+//!   only — the transformed AST is not recoverable from source);
+//! * `--variant` restricts to one variant display name (e.g. `pocc`);
+//! * `--strict` additionally fails on `unsupported` coverage notes;
+//! * exit status is nonzero iff any audited artifact fails.
+
+use polymix_bench::runner::emit_source;
+use polymix_bench::variants::{build_variant, Variant};
+use polymix_dl::Machine;
+use polymix_polybench::all_kernels;
+use polymix_verify::{verify_program, verify_source, Certificate};
+
+fn audit(label: &str, cert: &Certificate, strict: bool, failures: &mut usize) {
+    let errors = cert.errors().count();
+    let notes = cert.violations.len() - errors;
+    let failed = errors > 0 || (strict && notes > 0);
+    if failed {
+        *failures += 1;
+    }
+    let status = if errors > 0 {
+        "FAIL"
+    } else if notes > 0 {
+        if strict {
+            "FAIL"
+        } else {
+            "ok*"
+        }
+    } else {
+        "ok"
+    };
+    println!(
+        "{status:<5} {label:<40} deps {:>3}  pairs {:>4}  errors {errors}  notes {notes}",
+        cert.deps_checked, cert.pairs_checked
+    );
+    for v in &cert.violations {
+        if v.kind.is_error() || strict {
+            println!("      {v}");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let grab = |key: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let dataset = grab("--dataset").unwrap_or_else(|| "mini".into());
+    let strict = args.iter().any(|a| a == "--strict");
+    let variant_filter = grab("--variant");
+    let mut positional: Vec<&String> = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a == "--dataset" || a == "--variant" {
+            skip = true;
+            continue;
+        }
+        if a == "--strict" {
+            continue;
+        }
+        let _ = i;
+        positional.push(a);
+    }
+
+    let mut failures = 0usize;
+
+    // Cached kernel sources: lint-only audit.
+    let (files, names): (Vec<&String>, Vec<&String>) =
+        positional.iter().partition(|a| a.ends_with(".rs"));
+    for f in &files {
+        match std::fs::read_to_string(f) {
+            Ok(src) => audit(f, &verify_source(f, &src), strict, &mut failures),
+            Err(e) => {
+                println!("FAIL  {f}: unreadable: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if !files.is_empty() && names.is_empty() {
+        std::process::exit(if failures > 0 { 1 } else { 0 });
+    }
+
+    let machine = Machine::host();
+    let variants = [
+        Variant::Native,
+        Variant::Pocc,
+        Variant::PoccVect,
+        Variant::IterativeMax,
+        Variant::IterativeNo,
+        Variant::PolyAst,
+        Variant::PolyAstDoallOnly,
+        Variant::PlutoMaxFuse,
+    ];
+    for k in all_kernels() {
+        if !names.is_empty() && !names.iter().any(|n| **n == k.name) {
+            continue;
+        }
+        let params = k.dataset(&dataset).params;
+        for v in variants {
+            if let Some(f) = &variant_filter {
+                if v.name() != f {
+                    continue;
+                }
+            }
+            let label = format!("{} [{}]", k.name, v.name());
+            let prog = match build_variant(&k, v, &machine) {
+                Ok(p) => p,
+                Err(e) => {
+                    println!("FAIL  {label:<40} does not build: {e}");
+                    failures += 1;
+                    continue;
+                }
+            };
+            // Certificates 1-2: schedule legality and annotation safety
+            // re-derived from the final program.
+            audit(&label, &verify_program(&prog), strict, &mut failures);
+            // Certificate 3: protocol lint over the emitted source.
+            let src = emit_source(&k, &prog, &params, 4, 1);
+            audit(
+                &format!("{label} (emitted source)"),
+                &verify_source(k.name, &src),
+                strict,
+                &mut failures,
+            );
+        }
+    }
+    if failures > 0 {
+        println!("verify: {failures} artifact(s) failed");
+        std::process::exit(1);
+    }
+    println!("verify: all audited artifacts certified");
+}

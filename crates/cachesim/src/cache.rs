@@ -131,14 +131,15 @@ impl Cache {
             self.stats.cold_misses += 1;
         }
         if set.len() >= ways {
-            // Evict LRU.
-            let lru = set
+            // Evict LRU (the set is non-empty here: ways >= 1).
+            if let Some(lru) = set
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, (_, last))| *last)
                 .map(|(i, _)| i)
-                .unwrap();
-            set.swap_remove(lru);
+            {
+                set.swap_remove(lru);
+            }
         }
         set.push((tag, self.clock));
         false

@@ -251,13 +251,23 @@ fn mark_level(node: &mut Node, level: usize, target: usize, par: Par) {
 }
 
 /// Applies register tiling (unroll-and-jam, Sec. IV-C) to every innermost
-/// perfect loop pair of the program whose bounds allow it.
-pub fn register_tile(node: &mut Node, outer_factor: i64, inner_factor: i64) {
+/// perfect loop pair of the program whose bounds allow it, repairing the
+/// jammed inner loop's parallel annotation against `vectors` (see
+/// [`repair_jam_mark`]). Callers without dependence information (plain
+/// unroll of dependence-free nests) may pass empty slices, which keeps
+/// every mark.
+pub fn register_tile(
+    node: &mut Node,
+    outer_factor: i64,
+    inner_factor: i64,
+    vectors: &[(Vec<DepElem>, bool)],
+    endpoints: &[(usize, usize)],
+) {
     match node {
         Node::Seq(xs) => xs
             .iter_mut()
-            .for_each(|x| register_tile(x, outer_factor, inner_factor)),
-        Node::Guard(_, b) => register_tile(b, outer_factor, inner_factor),
+            .for_each(|x| register_tile(x, outer_factor, inner_factor, vectors, endpoints)),
+        Node::Guard(_, b) => register_tile(b, outer_factor, inner_factor, vectors, endpoints),
         Node::Loop(l) => {
             // Innermost perfect pair: this loop + single child loop whose
             // body has no loops.
@@ -265,6 +275,10 @@ pub fn register_tile(node: &mut Node, outer_factor: i64, inner_factor: i64) {
             if is_pair && outer_factor > 1 {
                 if let Some(jammed) = transforms::unroll_and_jam(l, outer_factor) {
                     if let Node::Loop(mut new_l) = jammed {
+                        // Repair the inner mark while the jammed body is
+                        // still a single loop (unrolling below may split
+                        // it into a main/epilogue sequence).
+                        repair_jam_mark(&mut new_l, outer_factor, vectors, endpoints);
                         // Optionally unroll the (jammed) inner loop too;
                         // an error keeps the merely jammed form.
                         if inner_factor > 1 {
@@ -289,9 +303,83 @@ pub fn register_tile(node: &mut Node, outer_factor: i64, inner_factor: i64) {
                 }
                 return;
             }
-            register_tile(&mut l.body, outer_factor, inner_factor);
+            register_tile(&mut l.body, outer_factor, inner_factor, vectors, endpoints);
         }
         Node::Stmt(_) => {}
+    }
+}
+
+/// Post-jam repair of the inner loop's parallel annotation.
+///
+/// Unroll-and-jam moves `outer_factor` consecutive outer iterations
+/// *inside* each iteration of the jammed inner loop. Before the jam,
+/// a dependence between outer iterations `i` and `i + k`
+/// (`0 < k < outer_factor`) was discharged by outer sequentiality no
+/// matter its inner component; afterwards both endpoints co-reside in
+/// one replica block, so a nonzero inner component means the *inner*
+/// loop now carries the dependence. A `Doall` or `Reduction` mark kept
+/// there from before the jam would let one worker's replica read
+/// another worker's half-updated cell (reduction-flagged self-updates
+/// stay exempt under `Reduction`: the emitter privatizes the
+/// accumulator per worker).
+///
+/// Vector dimensions are transformed schedule levels, so the jammed
+/// pair's dimensions are recovered from the statements' own depth: for
+/// statements of schedule dimension `n` under an innermost pair the
+/// outer/inner loops sit at levels `n-2` and `n-1` (`dep_vector` pads
+/// levels past a statement's schedule with zeros). Statements of mixed
+/// depth under one pair are out of model and demote conservatively.
+fn repair_jam_mark(
+    jammed: &mut polymix_ast::tree::Loop,
+    outer_factor: i64,
+    vectors: &[(Vec<DepElem>, bool)],
+    endpoints: &[(usize, usize)],
+) {
+    let Node::Loop(inner) = &mut jammed.body else {
+        return;
+    };
+    if !matches!(inner.par, Par::Doall | Par::Reduction) {
+        return;
+    }
+    let mut inside: Vec<usize> = Vec::new();
+    let mut dims: Vec<usize> = Vec::new();
+    inner.body.visit_stmts(&mut |s| {
+        if !inside.contains(&s.stmt_idx) {
+            inside.push(s.stmt_idx);
+        }
+        if !dims.contains(&s.iter_exprs.len()) {
+            dims.push(s.iter_exprs.len());
+        }
+    });
+    let pair_dims = match dims[..] {
+        [n] if n >= 2 => Some((n - 2, n - 1)),
+        _ => None,
+    };
+    let hazardous = vectors.iter().zip(endpoints).any(|((v, red), (src, dst))| {
+        if !inside.contains(src) || !inside.contains(dst) {
+            return false; // endpoint outside the jammed block
+        }
+        if inner.par == Par::Reduction && *red {
+            return false; // privatized accumulator self-update
+        }
+        let Some((dout, din)) = pair_dims else {
+            return true; // unmodeled shape: any internal dependence demotes
+        };
+        // Co-residence in one replica block needs equality at every
+        // enclosing level and an outer distance inside the block.
+        let elsewhere_zero = v
+            .iter()
+            .enumerate()
+            .all(|(k, e)| k == dout || k == din || e.is_zero());
+        let outer_in_block = match v.get(dout).copied().unwrap_or(DepElem::Const(0)) {
+            DepElem::Const(c) => c != 0 && c.abs() < outer_factor,
+            _ => true, // direction-only element: distance unbounded but >= 1 possible
+        };
+        let inner_carries = !v.get(din).copied().unwrap_or(DepElem::Const(0)).is_zero();
+        elsewhere_zero && outer_in_block && inner_carries
+    });
+    if hazardous {
+        inner.par = Par::Seq;
     }
 }
 
@@ -416,7 +504,7 @@ mod tests {
         b.exit();
         let scop = b.finish().expect("well-formed SCoP");
         let mut prog = original_program(&scop).expect("original program");
-        register_tile(&mut prog.body, 2, 4);
+        register_tile(&mut prog.body, 2, 4, &[], &[]);
         let mut arrays = alloc_arrays(&scop, &[9]);
         execute(&prog, &[9], &mut arrays);
         assert_eq!(arrays[0], vec![1.0; 81]);
@@ -481,7 +569,8 @@ pub fn tile_nest(
     for band in (2..=m).rev() {
         let mut sizes = vec![tile; band];
         sizes[0] = time_tile;
-        if let Some(tiled) = transforms::tile_imperfect(prog, nest.clone(), &sizes) {
+        if let Some(mut tiled) = transforms::tile_imperfect(prog, nest.clone(), &sizes) {
+            repair_ctrl_marks(&mut tiled, vectors, endpoints, 0, band, false);
             // Tile any perfect chains left below the band's point loops.
             return descend_tile_chains(prog, tiled, vectors, endpoints, 2 * band, band, tile);
         }
@@ -521,7 +610,8 @@ fn tile_chains(
                 let sizes = vec![tile; len];
                 // Tiling is an optimization: on error keep the chain
                 // untiled rather than aborting the pipeline.
-                if let Ok(tiled) = transforms::tile_band(prog, node.clone(), &sizes) {
+                if let Ok(mut tiled) = transforms::tile_band(prog, node.clone(), &sizes) {
+                    repair_ctrl_marks(&mut tiled, vectors, endpoints, level, len, true);
                     return tiled;
                 }
             }
@@ -587,5 +677,84 @@ fn chain_legal(
         }
         (from..from + len).all(|k| v.get(k).copied().unwrap_or(DepElem::Const(0)).is_nonneg())
     })
+}
+
+/// Post-tiling repair of migrated parallel marks.
+///
+/// `tile_band` / `tile_imperfect` move a point loop's annotation onto its
+/// new tile controller, but point-level legality does not imply
+/// tile-granularity legality: a dependence carried by a *deeper* point
+/// level no longer orders cross-tile pairs, because that point loop now
+/// runs inside each tile task. (Pre-tiling, `doall` at level `d` may be
+/// justified by a carry at some sequential level `i < d`; after tiling,
+/// point level `i` sits *below* controller `d` and the discharge
+/// evaporates.) A controller at band dimension `from + j` may keep
+/// `Doall`/`Reduction` only when every dependence between statements of
+/// the tiled subtree that is not carried outside the band is zero at that
+/// dimension — reduction self-updates excepted for `Reduction`, which
+/// privatizes its accumulator per worker.
+///
+/// Demoted controllers fall back to sequential; with `restore_points`
+/// (perfect `tile_band` chains) the mark is re-applied to the matching
+/// point loop, where the original point-granularity argument still holds.
+fn repair_ctrl_marks(
+    node: &mut Node,
+    vectors: &[(Vec<DepElem>, bool)],
+    endpoints: &[(usize, usize)],
+    from: usize,
+    band: usize,
+    restore_points: bool,
+) {
+    let mut inside: Vec<usize> = Vec::new();
+    node.visit_stmts(&mut |s| {
+        if !inside.contains(&s.stmt_idx) {
+            inside.push(s.stmt_idx);
+        }
+    });
+    let relevant: Vec<(&[DepElem], bool)> = vectors
+        .iter()
+        .zip(endpoints)
+        .filter(|(_, (src, dst))| inside.contains(src) && inside.contains(dst))
+        .map(|((v, red), _)| (v.as_slice(), *red))
+        .filter(|(v, _)| v[..from.min(v.len())].iter().all(|e| e.is_zero()))
+        .collect();
+    let mut cur = &mut *node;
+    let mut saved: Vec<(usize, Par)> = Vec::new();
+    for j in 0..band {
+        let Node::Loop(l) = cur else { return };
+        let d = from + j;
+        let zero_at = |exempt_reductions: bool| {
+            relevant.iter().all(|(v, red)| {
+                (exempt_reductions && *red)
+                    || v.get(d).copied().unwrap_or(DepElem::Const(0)).is_zero()
+            })
+        };
+        let tile_safe = match l.par {
+            Par::Doall => zero_at(false),
+            Par::Reduction => zero_at(true),
+            _ => true,
+        };
+        if !tile_safe {
+            saved.push((j, l.par));
+            l.par = Par::Seq;
+        }
+        cur = &mut l.body;
+    }
+    if !restore_points || saved.is_empty() {
+        return;
+    }
+    // `cur` now sits at the first point loop; band dimension `j`'s point
+    // loop is `j` levels further down the perfect chain.
+    let mut j = 0usize;
+    while let Node::Loop(l) = cur {
+        if let Some(&(_, p)) = saved.iter().find(|(k, _)| *k == j) {
+            l.par = p;
+        }
+        j += 1;
+        if j >= band {
+            return;
+        }
+        cur = &mut l.body;
+    }
 }
 

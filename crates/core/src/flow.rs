@@ -129,7 +129,7 @@ pub fn optimize_poly_ast(scop: &Scop, opts: &PolyAstOptions) -> Result<Program, 
         }
         // Stage 5: intra-tile optimizations (register tiling).
         if opts.unroll.0 > 1 || opts.unroll.1 > 1 {
-            register_tile(&mut nest, opts.unroll.0, opts.unroll.1);
+            register_tile(&mut nest, opts.unroll.0, opts.unroll.1, &vectors, &info.endpoints);
         }
         out.push(nest);
     }
@@ -137,6 +137,12 @@ pub fn optimize_poly_ast(scop: &Scop, opts: &PolyAstOptions) -> Result<Program, 
         1 => out.remove(0),
         _ => Node::Seq(out),
     };
+    // Mandatory debug-mode certification: re-derive the dependence
+    // relation from the final transformed program and prove schedule
+    // legality plus annotation safety, independently of the incremental
+    // bookkeeping the stages above used.
+    #[cfg(debug_assertions)]
+    polymix_verify::certify(&prog)?;
     Ok(prog)
 }
 

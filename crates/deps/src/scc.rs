@@ -46,17 +46,20 @@ pub fn sccs(nodes: &[StmtId], edges: &[(StmtId, StmtId)]) -> Vec<Vec<StmtId>> {
             self.on_stack[v] = true;
             for i in 0..self.adj[v].len() {
                 let w = self.adj[v][i];
-                if self.index[w].is_none() {
-                    self.visit(w);
-                    self.low[v] = self.low[v].min(self.low[w]);
-                } else if self.on_stack[w] {
-                    self.low[v] = self.low[v].min(self.index[w].unwrap());
+                match self.index[w] {
+                    None => {
+                        self.visit(w);
+                        self.low[v] = self.low[v].min(self.low[w]);
+                    }
+                    Some(iw) if self.on_stack[w] => {
+                        self.low[v] = self.low[v].min(iw);
+                    }
+                    Some(_) => {}
                 }
             }
-            if self.low[v] == self.index[v].unwrap() {
+            if Some(self.low[v]) == self.index[v] {
                 let mut comp = Vec::new();
-                loop {
-                    let w = self.stack.pop().unwrap();
+                while let Some(w) = self.stack.pop() {
                     self.on_stack[w] = false;
                     comp.push(w);
                     if w == v {

@@ -57,10 +57,13 @@ pub fn min_mem_cost_with_free(
         let mut k = 0;
         loop {
             if k == depth {
-                return best.unwrap_or_else(|| {
-                    let (_, tiles) = fallback.unwrap();
-                    (mem_cost(&paid, &tiles, level), tiles)
-                });
+                // `fallback` was set on the very first odometer state,
+                // but degrade to untiled rather than aborting.
+                return match (best, fallback) {
+                    (Some(b), _) => b,
+                    (None, Some((_, tiles))) => (mem_cost(&paid, &tiles, level), tiles),
+                    (None, None) => (mem_cost(&paid, &[], level), Vec::new()),
+                };
             }
             idx[k] += 1;
             if idx[k] < TILE_CANDIDATES.len() {

@@ -131,7 +131,7 @@ pub fn optimize_pluto(scop: &Scop, opts: &PlutoOptions) -> Result<Program, Polym
             } else {
                 opts.unroll
             };
-            register_tile(&mut nest, o, i);
+            register_tile(&mut nest, o, i, &info.vectors, &info.endpoints);
         }
         out.push(nest);
     }
@@ -139,6 +139,10 @@ pub fn optimize_pluto(scop: &Scop, opts: &PlutoOptions) -> Result<Program, Polym
         1 => out.remove(0),
         _ => Node::Seq(out),
     };
+    // Mandatory debug-mode certification of the baseline's output, on
+    // the same terms as the poly+AST flow.
+    #[cfg(debug_assertions)]
+    polymix_verify::certify(&prog)?;
     Ok(prog)
 }
 

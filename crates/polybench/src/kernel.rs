@@ -85,12 +85,27 @@ pub struct Kernel {
 }
 
 impl Kernel {
-    /// The dataset with the given name; panics if absent.
+    /// The dataset with the given name, or `None` when the kernel does
+    /// not define it. CLI front-ends should use this to reject typos.
+    pub fn try_dataset(&self, name: &str) -> Option<Dataset> {
+        (self.datasets)().into_iter().find(|d| d.name == name)
+    }
+
+    /// The dataset with the given name; degrades to the smallest
+    /// (first-listed) dataset when `name` is unknown, warning on
+    /// stderr, so a bad `--dataset` cannot abort a sweep mid-run.
     pub fn dataset(&self, name: &str) -> Dataset {
-        (self.datasets)()
-            .into_iter()
-            .find(|d| d.name == name)
-            .unwrap_or_else(|| panic!("kernel {} has no dataset {name}", self.name))
+        self.try_dataset(name).unwrap_or_else(|| {
+            let fallback = (self.datasets)().into_iter().next().unwrap_or(Dataset {
+                name: "mini",
+                params: Vec::new(),
+            });
+            eprintln!(
+                "kernel {} has no dataset {name}; falling back to {}",
+                self.name, fallback.name
+            );
+            fallback
+        })
     }
 
     /// Allocates and initializes arrays per the init policy.

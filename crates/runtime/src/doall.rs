@@ -94,6 +94,7 @@ where
             cells: n as u64,
             workers: threads,
             pooled,
+            order_check_disarmed: false,
         }),
     }
 }
@@ -204,6 +205,7 @@ where
             cells: n as u64,
             workers: threads,
             pooled,
+            order_check_disarmed: false,
         }),
     }
 }

@@ -85,6 +85,12 @@ pub struct RunStats {
     /// Whether the persistent worker pool carried the run (`false` for
     /// sequential runs and the spawn-per-call fallback).
     pub pooled: bool,
+    /// Whether a requested dynamic order check silently stood down
+    /// (`order-check` builds only: the grid exceeded the shadow budget,
+    /// so *no* dependence-order assertions ran). Always `false` when the
+    /// feature is off or the checker was armed — a clean run with this
+    /// flag set certifies nothing.
+    pub order_check_disarmed: bool,
 }
 
 /// Whether parallel primitives run on the persistent worker pool or on

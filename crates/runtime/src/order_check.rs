@@ -97,10 +97,36 @@ impl DepChecker {
     pub(crate) fn new(grid: GridSweep) -> DepChecker {
         #[cfg(not(feature = "order-check"))]
         let _ = grid;
-        DepChecker {
+        let checker = DepChecker {
             #[cfg(feature = "order-check")]
             inner: OrderChecker::try_new(grid),
+        };
+        #[cfg(feature = "order-check")]
+        if checker.disarmed() {
+            // Once per process, not per sweep: a big-grid stress run
+            // would otherwise drown its own output.
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "order-check: grid [{}, {}) x [{}, {}) exceeds the shadow budget; \
+                     dependence-order checking is DISARMED for such grids \
+                     (RunStats::order_check_disarmed is set)",
+                    grid.i_lo, grid.i_hi, grid.j_lo, grid.j_hi
+                );
+            });
         }
+        checker
+    }
+
+    /// True when this build checks order but this grid was too large to
+    /// shadow: the run is *not* covered by the dynamic checker.
+    pub(crate) fn disarmed(&self) -> bool {
+        #[cfg(feature = "order-check")]
+        {
+            self.inner.is_none()
+        }
+        #[cfg(not(feature = "order-check"))]
+        false
     }
 
     /// Call immediately before a cell body runs.
@@ -185,6 +211,14 @@ mod tests {
     fn oversized_grids_opt_out() {
         assert!(OrderChecker::try_new(grid(1 << 20, 1 << 20)).is_none());
         assert!(OrderChecker::try_new(grid(0, 5)).is_none());
+    }
+
+    #[test]
+    fn oversized_grid_disarms_dep_checker() {
+        let big = DepChecker::new(grid(1 << 20, 1 << 20));
+        assert!(big.disarmed(), "shadow budget exceeded, must stand down");
+        big.finish().expect("a disarmed checker asserts nothing");
+        assert!(!DepChecker::new(grid(8, 8)).disarmed());
     }
 
     #[test]

@@ -155,11 +155,13 @@ where
         }));
         return match outcome {
             Ok(()) => {
+                let order_check_disarmed = checker.disarmed();
                 checker.finish()?;
                 Ok(RunStats {
                     cells,
                     workers: 1,
                     pooled: false,
+                    order_check_disarmed,
                 })
             }
             Err(payload) => Err(RuntimeError::WorkerPanic {
@@ -232,11 +234,13 @@ where
     match fabric.into_failure() {
         Some(err) => Err(err),
         None => {
+            let order_check_disarmed = checker.disarmed();
             checker.finish()?;
             Ok(RunStats {
                 cells,
                 workers: nthr,
                 pooled,
+                order_check_disarmed,
             })
         }
     }
@@ -329,11 +333,13 @@ where
         // doall_cells joins all workers (the inter-diagonal barrier) and
         // `?` stops before diagonal w + 1 if anything on w failed.
     }
+    let order_check_disarmed = checker.disarmed();
     checker.finish()?;
     Ok(RunStats {
         cells,
         workers,
         pooled,
+        order_check_disarmed,
     })
 }
 

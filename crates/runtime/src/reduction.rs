@@ -114,6 +114,7 @@ where
             cells: n as u64,
             workers: threads,
             pooled,
+            order_check_disarmed: false,
         }),
     }
 }

@@ -1,0 +1,253 @@
+//! # polymix-verify — static legality & race certifier
+//!
+//! An independent end-of-pipeline auditor for transformed programs and
+//! the parallel kernels emitted from them. Unlike the scheduler's
+//! incremental legality bookkeeping ([`polymix_deps::DepState`]), which
+//! tracks transformations as they are applied, this crate re-derives
+//! everything from final artifacts only:
+//!
+//! 1. **Schedule legality** — the dependence relation is rebuilt from the
+//!    SCoP ([`polymix_deps::build_podg`]) and every dependence is checked
+//!    against the *transformed* AST: the statement instances'
+//!    `iter_exprs` are inverted back into schedule rows and each
+//!    (dependence, occurrence pair) is walked down the common loop nest
+//!    with Fourier–Motzkin emptiness queries on violation polyhedra.
+//! 2. **Parallel-annotation safety** — `doall` loops must carry nothing;
+//!    `reduction` loops only associative-commutative self-updates with a
+//!    non-aliased accumulator; `pipeline` carried dependences must be
+//!    covered by the await cone `{(-1, 0), (0, -1)}`; `wavefront` pairs
+//!    must order every dependence forward across diagonals and race-free
+//!    within them.
+//! 3. **Emitted-kernel audit** — a structural lint over the Rust source
+//!    produced by `polymix-codegen`, checking the progress/poison
+//!    protocol (see [`lint`]).
+//!
+//! Failures come back as structured [`Violation`]s (kind, statement
+//! pair, dependence vector, loop level, suggested fix) collected in a
+//! [`Certificate`]; [`certify`] turns an uncertified program into a
+//! [`polymix_ir::PolymixError`] for pipeline use. The certifier never
+//! panics on unexpected shapes: anything outside its model is reported
+//! as [`ViolationKind::Unsupported`], which limits coverage but does not
+//! fail certification.
+
+mod occurrence;
+mod walk;
+
+pub mod lint;
+pub mod violation;
+
+pub use lint::verify_source;
+pub use violation::{Certificate, Violation, ViolationKind};
+
+use occurrence::{Occurrence, PStep};
+use polymix_ast::tree::{Node, Par, Program};
+use polymix_deps::build_podg;
+use polymix_ir::{PolymixError, Scop};
+use polymix_math::poly::Constraint;
+use std::collections::HashSet;
+use walk::PairWalk;
+
+/// Re-derives the dependence relation of `prog.scop` and certifies that
+/// the transformed loop tree (a) executes every dependence source before
+/// its target and (b) carries only safe dependences at each parallel
+/// annotation. Never panics; unmodeled shapes surface as
+/// [`ViolationKind::Unsupported`].
+pub fn verify_program(prog: &Program) -> Certificate {
+    let scop = &prog.scop;
+    let podg = build_podg(scop);
+    let occs = occurrence::collect(prog, scop.n_params());
+    let mut by_stmt: Vec<Vec<usize>> = vec![Vec::new(); scop.statements.len()];
+    for (k, o) in occs.iter().enumerate() {
+        if let Some(slot) = by_stmt.get_mut(o.stmt) {
+            slot.push(k);
+        }
+    }
+    let sample = &scop.default_params;
+    let mut violations = Vec::new();
+    let mut pairs = 0usize;
+    for dep in &podg.deps {
+        let (Some(ss), Some(ds)) = (by_stmt.get(dep.src.0), by_stmt.get(dep.dst.0)) else {
+            continue;
+        };
+        for &si in ss {
+            for &di in ds {
+                pairs += 1;
+                PairWalk::new(scop, dep, &occs[si], &occs[di], sample).run(&mut violations);
+            }
+        }
+    }
+    reduction_alias_pass(scop, &prog.body, &occs, &mut violations);
+    dedup(&mut violations);
+    Certificate {
+        kernel: scop.name.clone(),
+        deps_checked: podg.deps.len(),
+        pairs_checked: pairs,
+        violations,
+    }
+}
+
+/// [`verify_program`] plus error conversion: the pipeline's mandatory
+/// debug-mode certification stage.
+pub fn certify(prog: &Program) -> Result<Certificate, PolymixError> {
+    verify_program(prog).into_result()
+}
+
+/// Drops repeated findings (same kind, statement pair, level and loop)
+/// and orders errors before [`ViolationKind::Unsupported`] notes.
+fn dedup(violations: &mut Vec<Violation>) {
+    let mut seen = HashSet::new();
+    violations.retain(|v| {
+        seen.insert((
+            v.kind,
+            v.src.clone(),
+            v.dst.clone(),
+            v.level,
+            v.loop_name.clone(),
+        ))
+    });
+    violations.sort_by_key(|v| !v.kind.is_error());
+}
+
+/// Coefficient of AST variable `v` in `row · (iter_exprs, params, 1)` —
+/// the subscript row composed with the materialized inverse schedule.
+fn subscript_coeff(row: &[i64], occ: &Occurrence, v: usize) -> i64 {
+    row.iter()
+        .zip(&occ.iter_exprs)
+        .map(|(&c, e)| c * e.coeff_of(v))
+        .sum()
+}
+
+/// The syntactic half of the reduction certificate: inside each
+/// `reduction` loop, an accumulator array (one whose reduction-update
+/// subscripts are invariant in the loop variable, i.e. whose self-update
+/// is actually carried) must not be touched by any other access — the
+/// emitter privatizes it per worker, so even same-iteration reads of the
+/// global array would observe partial sums.
+fn reduction_alias_pass(
+    scop: &Scop,
+    body: &Node,
+    occs: &[Occurrence],
+    out: &mut Vec<Violation>,
+) {
+    // Occurrences under a loop are those whose path contains its id.
+    let under = |loop_id: usize| -> Vec<&Occurrence> {
+        occs.iter()
+            .filter(|o| {
+                o.path
+                    .iter()
+                    .any(|s| matches!(s, PStep::Loop(l) if l.id == loop_id))
+            })
+            .collect()
+    };
+    // Reuse the occurrence walk's pre-order ids: re-number identically
+    // (Seq and Loop nodes consume one id each, in the same order).
+    fn number(
+        node: &Node,
+        depth: usize,
+        next_id: &mut usize,
+        out: &mut Vec<(usize, usize, String, usize)>,
+    ) {
+        match node {
+            Node::Seq(xs) => {
+                *next_id += 1;
+                for x in xs {
+                    number(x, depth, next_id, out);
+                }
+            }
+            Node::Loop(l) => {
+                let id = *next_id;
+                *next_id += 1;
+                if l.par == Par::Reduction {
+                    out.push((id, l.var, l.name.clone(), depth));
+                }
+                number(&l.body, depth + 1, next_id, out);
+            }
+            Node::Guard(_, b) => number(b, depth, next_id, out),
+            Node::Stmt(_) => {}
+        }
+    }
+    let mut metas: Vec<(usize, usize, String, usize)> = Vec::new(); // (id, var, name, depth)
+    let mut next_id = 0usize;
+    number(body, 0, &mut next_id, &mut metas);
+    for (loop_id, var, loop_name, depth) in metas {
+        let members = under(loop_id);
+        // Accumulators: reduction-update writes invariant in the loop var.
+        let mut accums: Vec<(polymix_ir::ArrayId, String)> = Vec::new();
+        for o in &members {
+            let Some(stmt) = scop.statements.get(o.stmt) else {
+                continue;
+            };
+            if !stmt.is_reduction_update() {
+                continue;
+            }
+            let invariant = stmt
+                .write
+                .map
+                .iter()
+                .all(|row| subscript_coeff(row, o, var) == 0);
+            if invariant && !accums.iter().any(|(a, _)| *a == stmt.write.array) {
+                accums.push((stmt.write.array, stmt.name.clone()));
+            }
+        }
+        if accums.is_empty() {
+            continue;
+        }
+        for o in &members {
+            let Some(stmt) = scop.statements.get(o.stmt) else {
+                continue;
+            };
+            for (acc, is_write) in stmt.accesses() {
+                let Some((_, owner)) = accums.iter().find(|(a, _)| *a == acc.array) else {
+                    continue;
+                };
+                let is_self_pair = stmt.is_reduction_update()
+                    && acc.array == stmt.write.array
+                    && acc.map == stmt.write.map;
+                if is_self_pair {
+                    continue;
+                }
+                // Domain-aware refinement: a same-statement access that
+                // provably never lands on the accumulator's cell (e.g.
+                // trmm's `B[k][j]` read under `k < i`) observes only
+                // state outside the privatized copy. Cross-iteration
+                // collisions through such an access are dependences and
+                // belong to the polyhedral certificates.
+                if stmt.is_reduction_update()
+                    && acc.array == stmt.write.array
+                    && acc.map.len() == stmt.write.map.len()
+                {
+                    let mut coincide = stmt.domain.clone();
+                    for (r1, r2) in acc.map.iter().zip(&stmt.write.map) {
+                        let diff: Vec<i64> = r1.iter().zip(r2).map(|(a, b)| a - b).collect();
+                        coincide.add(Constraint::eq(diff));
+                    }
+                    if coincide.is_empty() {
+                        continue;
+                    }
+                }
+                let arr = scop
+                    .arrays
+                    .get(acc.array.0)
+                    .map(|a| a.name.clone())
+                    .unwrap_or_else(|| format!("arr{}", acc.array.0));
+                out.push(Violation {
+                    kind: ViolationKind::ReductionAccumulatorAliased,
+                    src: owner.clone(),
+                    dst: stmt.name.clone(),
+                    vector: Vec::new(),
+                    level: depth,
+                    loop_name: loop_name.clone(),
+                    detail: format!(
+                        "accumulator `{arr}` of reduction loop `{loop_name}` is also {} \
+                         by `{}` outside the self-update",
+                        if is_write { "written" } else { "read" },
+                        stmt.name
+                    ),
+                    fix: "privatization would expose partial sums; demote the loop to \
+                          sequential or split the conflicting statement out of it"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Certificate 3: structural audit of emitted kernel source.
+//!
+//! The Rust emitter (`polymix-codegen`) labels every parallel construct
+//! with a `// <kind> region N ...` comment and follows a fixed
+//! progress/poison protocol. This lint re-checks that protocol from the
+//! *source text alone* — independent of the emitter's internal state —
+//! so a cached or hand-edited kernel can be audited before it is
+//! compiled and run:
+//!
+//! * every worker closure runs inside the `contained(...)` unwind
+//!   boundary (`sc.spawn` must never take a bare closure);
+//! * progress cells are published monotonically (`fetch_max`), never
+//!   raw-stored (a plain `store` could travel backwards past a flooded
+//!   `POISON` value);
+//! * `.fetch_add` is reserved for the dynamic-schedule `cursor`;
+//! * pipeline/wavefront regions that publish progress must also await
+//!   it, gate on `POISONED` before the first await, bail out of the
+//!   worker when an await fails, and (pipelines) await the left
+//!   neighbor;
+//! * doall regions are progress-free by construction;
+//! * reduction regions either privatize (`reduced [...]`) or fall back
+//!   to sequential code, stated in the region header.
+//!
+//! Findings use [`ViolationKind::KernelLint`] with the region label in
+//! `loop_name`. The lint is purely syntactic: it cannot prove the
+//! protocol *sufficient* (that is certificates 1–2 plus the dynamic
+//! order checker), only that no emitted or edited kernel silently drops
+//! a protocol obligation.
+
+use crate::violation::{Certificate, Violation, ViolationKind};
+
+/// One labeled parallel region of the emitted source.
+struct Region<'a> {
+    /// Region label, e.g. `pipeline region 2 (fused siblings)`.
+    label: String,
+    /// Construct kind: `doall` / `reduction` / `pipeline` / `wavefront`.
+    kind: &'a str,
+    /// Lines from the marker (inclusive) to the next marker (exclusive).
+    lines: Vec<&'a str>,
+}
+
+const KINDS: [&str; 4] = ["doall", "reduction", "pipeline", "wavefront"];
+
+/// Parses `// <kind> region N ...` markers; returns the marker's kind
+/// and label when the line is one.
+fn marker(line: &str) -> Option<(&'static str, String)> {
+    let t = line.trim();
+    let body = t.strip_prefix("// ")?;
+    for k in KINDS {
+        if let Some(rest) = body.strip_prefix(k) {
+            if rest.trim_start().starts_with("region") {
+                return Some((k, body.trim().to_string()));
+            }
+        }
+    }
+    None
+}
+
+fn split_regions(source: &str) -> Vec<Region<'_>> {
+    let mut out: Vec<Region<'_>> = Vec::new();
+    for line in source.lines() {
+        if let Some((kind, label)) = marker(line) {
+            out.push(Region {
+                label,
+                kind,
+                lines: vec![line],
+            });
+        } else if let Some(r) = out.last_mut() {
+            r.lines.push(line);
+        }
+    }
+    out
+}
+
+fn lint_violation(label: &str, detail: String, fix: &str) -> Violation {
+    Violation {
+        kind: ViolationKind::KernelLint,
+        src: String::new(),
+        dst: String::new(),
+        vector: Vec::new(),
+        level: 0,
+        loop_name: label.to_string(),
+        detail,
+        fix: fix.to_string(),
+    }
+}
+
+/// Audits emitted kernel source; `kernel` names the [`Certificate`].
+pub fn verify_source(kernel: &str, source: &str) -> Certificate {
+    let mut violations = Vec::new();
+
+    // Global invariants, independent of region structure.
+    for (n, line) in source.lines().enumerate() {
+        let ln = n + 1;
+        if line.contains("sc.spawn") && !line.contains("contained(") {
+            violations.push(lint_violation(
+                "",
+                format!(
+                    "line {ln}: worker spawned outside the `contained` unwind boundary"
+                ),
+                "a panic in a bare closure aborts the scope instead of poisoning the \
+                 progress grid; wrap the closure in contained(...)",
+            ));
+        }
+        if line.contains("progress[") && line.contains(".store(") {
+            violations.push(lint_violation(
+                "",
+                format!("line {ln}: raw store on a progress cell"),
+                "publishes must be monotonic fetch_max so they can never move a cell \
+                 backwards past a flooded POISON value",
+            ));
+        }
+        if line.contains(".fetch_add(") && !line.contains("cursor") {
+            violations.push(lint_violation(
+                "",
+                format!("line {ln}: fetch_add on something other than the work cursor"),
+                "only the dynamic-schedule cursor is incremented; progress cells use \
+                 fetch_max",
+            ));
+        }
+    }
+    if source.contains("await_progress(&") && !source.contains("static POISONED: AtomicBool") {
+        violations.push(lint_violation(
+            "",
+            "kernel awaits progress but declares no POISONED flag".to_string(),
+            "without the poison flag a waiter whose neighbor died spins forever; \
+             emit the static POISONED declaration and store it on panic",
+        ));
+    }
+
+    for region in split_regions(source) {
+        let text = region.lines.join("\n");
+        let label = region.label.as_str();
+        match region.kind {
+            "doall" => {
+                if text.contains("progress[") {
+                    violations.push(lint_violation(
+                        label,
+                        "doall region touches the progress grid".to_string(),
+                        "doall iterations are independent by certificate; progress \
+                         cells indicate a mislabeled pipeline",
+                    ));
+                }
+            }
+            "reduction" => {
+                if !label.contains("sequential fallback") && !label.contains("reduced [") {
+                    violations.push(lint_violation(
+                        label,
+                        "reduction region neither privatizes an accumulator nor \
+                         declares the sequential fallback"
+                            .to_string(),
+                        "shared-accumulator updates without privatization race; \
+                         re-emit the region",
+                    ));
+                }
+            }
+            "pipeline" | "wavefront" => {
+                lint_sync_region(&region, &text, &mut violations);
+            }
+            _ => {}
+        }
+    }
+
+    violations.sort_by_key(|v| !v.kind.is_error());
+    Certificate {
+        kernel: kernel.to_string(),
+        deps_checked: 0,
+        pairs_checked: 0,
+        violations,
+    }
+}
+
+/// Checks the publish/await/poison obligations of one pipeline or
+/// wavefront region.
+fn lint_sync_region(region: &Region<'_>, text: &str, violations: &mut Vec<Violation>) {
+    let label = region.label.as_str();
+    let publishes = text.contains(".fetch_max(");
+    let awaits = text.contains("await_progress(");
+    if region.kind == "pipeline" {
+        if publishes && !awaits {
+            violations.push(lint_violation(
+                label,
+                "pipeline region publishes progress that no worker awaits".to_string(),
+                "without a matching await the dependence the pipeline exists for is \
+                 unsynchronized; re-emit the region",
+            ));
+        }
+        if awaits && !text.contains("progress[t - 1]") {
+            violations.push(lint_violation(
+                label,
+                "pipeline region never awaits its left neighbor".to_string(),
+                "the await cone requires source (i-1, j): the left-neighbor await \
+                 `progress[t - 1]` must be present",
+            ));
+        }
+    }
+    if awaits {
+        let first_await = text.find("await_progress(").unwrap_or(0);
+        let gate = text.find("POISONED.load");
+        if !matches!(gate, Some(g) if g < first_await) {
+            violations.push(lint_violation(
+                label,
+                "no POISONED gate before the first await".to_string(),
+                "a worker entering its await loop after a sibling died must observe \
+                 the poison flag first or it can publish past a flooded cell",
+            ));
+        }
+        for line in &region.lines {
+            if line.contains("!await_progress(") && !line.contains("{ return false; }") {
+                violations.push(lint_violation(
+                    label,
+                    format!(
+                        "await does not abandon the worker on failure: `{}`",
+                        line.trim()
+                    ),
+                    "a failed await means the grid is poisoned; the worker must \
+                     return immediately instead of running on stale data",
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+static POISONED: AtomicBool = AtomicBool::new(false);
+#[inline] fn await_progress(cell: &AtomicI64, target: i64, own: &AtomicI64, own_done: i64) -> bool {
+    loop { if POISONED.load(Ordering::Acquire) { return false; } }
+}
+// doall region 0 (dynamic schedule)
+sc.spawn(move || contained(&[], || unsafe {
+let off = cursor.0.fetch_add(grain, Ordering::Relaxed);
+}));
+// pipeline region 1
+sc.spawn(move || contained(progress, || unsafe {
+if POISONED.load(Ordering::Acquire) { return false; }
+if t > 0 && !await_progress(&progress[t - 1].0, v, &progress[t].0, v - 1) { return false; }
+if t + 1 < nthr && !await_progress(&progress[t + 1].0, v - 1, &progress[t].0, v - 1) { return false; }
+progress[t].0.fetch_max(v, Ordering::AcqRel);
+}));
+// reduction region 2 (reduced [0], owner-indexed [])
+sc.spawn(move || contained(&[], || unsafe {
+}));
+"#;
+
+    #[test]
+    fn well_formed_kernel_is_clean() {
+        let cert = verify_source("k", GOOD);
+        assert!(cert.is_complete(), "{:?}", cert.violations);
+    }
+
+    #[test]
+    fn raw_store_and_bare_spawn_flagged() {
+        let bad = GOOD
+            .replace(
+                "progress[t].0.fetch_max(v, Ordering::AcqRel);",
+                "progress[t].0.store(v, Ordering::Release);",
+            )
+            .replace(
+                "sc.spawn(move || contained(&[], || unsafe {",
+                "sc.spawn(move || unsafe {",
+            );
+        let cert = verify_source("k", &bad);
+        assert!(cert
+            .violations
+            .iter()
+            .any(|v| v.detail.contains("raw store")));
+        assert!(cert
+            .violations
+            .iter()
+            .any(|v| v.detail.contains("unwind boundary")));
+    }
+
+    #[test]
+    fn dropped_await_flagged() {
+        let bad = GOOD.replace(
+            "if t > 0 && !await_progress(&progress[t - 1].0, v, &progress[t].0, v - 1) { return false; }\n",
+            "",
+        );
+        let cert = verify_source("k", &bad);
+        assert!(
+            cert.violations
+                .iter()
+                .any(|v| v.detail.contains("left neighbor")),
+            "{:?}",
+            cert.violations
+        );
+    }
+}

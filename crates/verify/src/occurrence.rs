@@ -1,0 +1,268 @@
+//! Flattening the transformed AST into per-statement *occurrences*.
+//!
+//! An occurrence is one textual copy of a statement (unrolling and
+//! distribution create several) together with its root path — the exact
+//! sequence of `Seq` branches, loops and guards above it — and the
+//! statement's `iter_exprs`, which express the *original* iterators as
+//! affine functions of the AST loop variables. Inverting that system
+//! recovers each AST variable as an affine function of the original
+//! iteration vector, i.e. the row of the composed schedule the loop
+//! materializes. Variables that cannot be recovered (tile controllers,
+//! whose value is a floor of a point variable) stay unsolved and are
+//! handled conservatively by the walker.
+
+use polymix_ast::tree::{LinExpr, Node, Par, Program};
+use std::collections::HashMap;
+
+/// Identity and shape of one loop on a root path.
+#[derive(Clone, Debug)]
+pub(crate) struct LoopMeta {
+    /// Pre-order id: two occurrences are under the same loop iff the ids
+    /// at the same path position match.
+    pub id: usize,
+    /// AST variable the loop binds.
+    pub var: usize,
+    /// Display name.
+    pub name: String,
+    /// Step (strictly positive).
+    pub step: i64,
+    /// Parallel annotation.
+    pub par: Par,
+    /// AST variables mentioned by the lower bound — a point loop clamped
+    /// by a tile controller mentions the controller here, which is how
+    /// the walker picks the proxy row for an unsolvable tile level.
+    pub lo_vars: Vec<usize>,
+}
+
+/// One step of a root path.
+#[derive(Clone, Debug)]
+pub(crate) enum PStep {
+    /// `child`-th child of the `Seq` node `id`; `loop_sib` is the
+    /// position among the Seq's *loop* children when this child is a
+    /// loop (the emitter's fused-sibling phase index).
+    Seq {
+        id: usize,
+        child: usize,
+        loop_sib: Option<usize>,
+    },
+    Loop(LoopMeta),
+    /// Guard: the subtree runs iff every expression is `>= 0`.
+    Guard { exprs: Vec<LinExpr> },
+}
+
+/// One textual occurrence of a statement in the transformed program.
+#[derive(Clone, Debug)]
+pub(crate) struct Occurrence {
+    /// Index into `scop.statements`.
+    pub stmt: usize,
+    pub path: Vec<PStep>,
+    pub iter_exprs: Vec<LinExpr>,
+    /// AST var -> statement-local affine row `[x_0..x_{dim-1} | params | 1]`
+    /// recovering the variable's value from the original iteration
+    /// vector. Unsolvable vars (tile controllers) are absent.
+    pub solved: HashMap<usize, Vec<i64>>,
+}
+
+/// Collects every statement occurrence of the program body.
+pub(crate) fn collect(prog: &Program, n_params: usize) -> Vec<Occurrence> {
+    let mut out = Vec::new();
+    let mut path = Vec::new();
+    let mut next_id = 0usize;
+    walk(&prog.body, &mut path, &mut next_id, &mut out);
+    for occ in &mut out {
+        occ.solved = solve(&occ.iter_exprs, n_params);
+    }
+    out
+}
+
+fn walk(node: &Node, path: &mut Vec<PStep>, next_id: &mut usize, out: &mut Vec<Occurrence>) {
+    match node {
+        Node::Seq(xs) => {
+            let id = *next_id;
+            *next_id += 1;
+            let mut sib = 0usize;
+            for (child, x) in xs.iter().enumerate() {
+                let loop_sib = if matches!(x, Node::Loop(_)) {
+                    let s = sib;
+                    sib += 1;
+                    Some(s)
+                } else {
+                    None
+                };
+                path.push(PStep::Seq {
+                    id,
+                    child,
+                    loop_sib,
+                });
+                walk(x, path, next_id, out);
+                path.pop();
+            }
+        }
+        Node::Loop(l) => {
+            let id = *next_id;
+            *next_id += 1;
+            let mut lo_vars: Vec<usize> = Vec::new();
+            for be in &l.lo.exprs {
+                for &(v, c) in &be.expr.var_coeffs {
+                    if c != 0 && !lo_vars.contains(&v) {
+                        lo_vars.push(v);
+                    }
+                }
+            }
+            path.push(PStep::Loop(LoopMeta {
+                id,
+                var: l.var,
+                name: l.name.clone(),
+                step: l.step.max(1),
+                par: l.par,
+                lo_vars,
+            }));
+            walk(&l.body, path, next_id, out);
+            path.pop();
+        }
+        Node::Guard(exprs, body) => {
+            path.push(PStep::Guard {
+                exprs: exprs.clone(),
+            });
+            walk(body, path, next_id, out);
+            path.pop();
+        }
+        Node::Stmt(s) => {
+            out.push(Occurrence {
+                stmt: s.stmt_idx,
+                path: path.clone(),
+                iter_exprs: s.iter_exprs.clone(),
+                solved: HashMap::new(),
+            });
+        }
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn normalize(row: &mut (Vec<i64>, Vec<i64>)) {
+    let mut g = 0i64;
+    for &x in row.0.iter().chain(row.1.iter()) {
+        g = gcd(g, x);
+    }
+    if g > 1 {
+        for x in row.0.iter_mut().chain(row.1.iter_mut()) {
+            *x /= g;
+        }
+    }
+}
+
+/// Inverts `iter_exprs` (original iterators as affine functions of the
+/// AST vars) by fraction-free Gauss-Jordan elimination, returning each
+/// AST var as an integer affine row over `[x | params | 1]` where
+/// possible.
+fn solve(iter_exprs: &[LinExpr], n_params: usize) -> HashMap<usize, Vec<i64>> {
+    let dim = iter_exprs.len();
+    let mut vars: Vec<usize> = Vec::new();
+    for e in iter_exprs {
+        for &(v, c) in &e.var_coeffs {
+            if c != 0 && !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+    let nv = vars.len();
+    let w = dim + n_params + 1;
+    // One equation per original iterator m:
+    //   sum_v a_mv * v  =  x_m - params_m - c_m
+    let mut rows: Vec<(Vec<i64>, Vec<i64>)> = Vec::with_capacity(dim);
+    for (m, e) in iter_exprs.iter().enumerate() {
+        let mut a = vec![0i64; nv];
+        for &(v, c) in &e.var_coeffs {
+            if let Some(j) = vars.iter().position(|&x| x == v) {
+                a[j] += c;
+            }
+        }
+        let mut r = vec![0i64; w];
+        r[m] += 1;
+        for &(p, c) in &e.param_coeffs {
+            if p < n_params {
+                r[dim + p] -= c;
+            }
+        }
+        r[w - 1] -= e.c;
+        rows.push((a, r));
+    }
+    let mut pivot_of: Vec<Option<usize>> = vec![None; nv];
+    let mut used = vec![false; rows.len()];
+    for col in 0..nv {
+        let Some(pr) = (0..rows.len()).find(|&i| !used[i] && rows[i].0[col] != 0) else {
+            continue;
+        };
+        used[pr] = true;
+        pivot_of[col] = Some(pr);
+        let (pa, prh) = rows[pr].clone();
+        let p = pa[col];
+        for i in 0..rows.len() {
+            if i == pr || rows[i].0[col] == 0 {
+                continue;
+            }
+            let c = rows[i].0[col];
+            for j in 0..nv {
+                rows[i].0[j] = rows[i].0[j] * p - pa[j] * c;
+            }
+            for j in 0..w {
+                rows[i].1[j] = rows[i].1[j] * p - prh[j] * c;
+            }
+            normalize(&mut rows[i]);
+        }
+    }
+    let mut out = HashMap::new();
+    for (col, &v) in vars.iter().enumerate() {
+        let Some(pr) = pivot_of[col] else { continue };
+        let (a, r) = &rows[pr];
+        let p = a[col];
+        // Determined only when no free column leaks into the pivot row
+        // and the solution is integral.
+        if p == 0 || a.iter().enumerate().any(|(j, &c)| j != col && c != 0) {
+            continue;
+        }
+        if r.iter().any(|&x| x % p != 0) {
+            continue;
+        }
+        out.insert(v, r.iter().map(|&x| x / p).collect());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymix_ast::tree::LinExpr;
+
+    #[test]
+    fn solve_inverts_skew_and_unroll_shifts() {
+        // x0 = u, x1 = w - 2u (skew by 2), so u = x0, w = x1 + 2*x0.
+        let e0 = LinExpr::var(7);
+        let mut e1 = LinExpr::var(9);
+        e1 = e1.add_scaled(&LinExpr::var(7), -2);
+        let solved = solve(&[e0, e1], 1);
+        assert_eq!(solved.get(&7), Some(&vec![1, 0, 0, 0]));
+        assert_eq!(solved.get(&9), Some(&vec![2, 1, 0, 0]));
+        // Unroll replica: x0 = v + 3  =>  v = x0 - 3.
+        let e = LinExpr::var(4).plus(3);
+        let solved = solve(&[e], 0);
+        assert_eq!(solved.get(&4), Some(&vec![1, -3]));
+    }
+
+    #[test]
+    fn tile_controllers_stay_unsolved() {
+        // x0 = v only; tile var 5 never appears => absent.
+        let solved = solve(&[LinExpr::var(2)], 0);
+        assert!(solved.contains_key(&2));
+        assert!(!solved.contains_key(&5));
+    }
+}

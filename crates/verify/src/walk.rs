@@ -1,0 +1,627 @@
+//! The merged-prefix walk: re-deriving, per dependence and per occurrence
+//! pair, whether the transformed program orders the dependence forward
+//! (certificate 1) and whether every parallel annotation on the shared
+//! loops is safe (certificate 2).
+//!
+//! For each dependence `d` and each pair of occurrences of its endpoint
+//! statements, the walker follows the two root paths from the program
+//! root. While the paths agree they pass through the *same* loops; at
+//! each such common level it forms the affine row `r = level(dst) -
+//! level(src)` over the dependence space `[x_src | y_dst | params | 1]`
+//! and queries Fourier-Motzkin emptiness on the violation polyhedron:
+//!
+//! * `remaining AND r <= -step` nonempty  =>  some dependent pair runs
+//!   backward at this level: a certificate-1 violation. (True pairs at a
+//!   common loop share the iteration lattice, so backward means at least
+//!   one full step.)
+//! * otherwise the pairs strictly ordered at this level (`r >= step`)
+//!   are discharged — execution order is lexicographic in the common
+//!   levels — and the walk continues on `remaining AND r == 0`.
+//!
+//! Tile controller variables have no affine inverse (their value is a
+//! floor of a point variable). The walker instead uses the clamped point
+//! loop the controller governs as a *proxy*: with a shared tile base,
+//! `point_delta <= -1` implies the tile goes backward or the pair stays
+//! in the same tile and fails at the point level anyway, and
+//! `point_delta >= tile_step` implies the tile strictly advances. The
+//! continuation keeps `0 <= point_delta <= tile_step - 1`.
+//!
+//! When the paths diverge at a sequence node the sibling order decides:
+//! textual forward is satisfied, textual backward with a nonempty
+//! remainder is a violation, as is exhausting both paths (two dependent
+//! instances sharing a full timestamp).
+
+use crate::occurrence::{LoopMeta, Occurrence, PStep};
+use crate::violation::{Violation, ViolationKind};
+use polymix_ast::tree::Par;
+use polymix_deps::vectors::classify;
+use polymix_deps::{Dep, DepElem};
+use polymix_ir::Scop;
+use polymix_math::poly::{Constraint, Polyhedron};
+
+/// `poly AND row >= bound` (row carries its constant column).
+fn with_ge(poly: &Polyhedron, row: &[i64], bound: i64) -> Polyhedron {
+    let mut r = row.to_vec();
+    let n = r.len();
+    r[n - 1] -= bound;
+    let mut p = poly.clone();
+    p.add(Constraint::ge(r));
+    p
+}
+
+/// `poly AND row <= bound`.
+fn with_le(poly: &Polyhedron, row: &[i64], bound: i64) -> Polyhedron {
+    let mut r: Vec<i64> = row.iter().map(|x| -x).collect();
+    let n = r.len();
+    r[n - 1] += bound;
+    let mut p = poly.clone();
+    p.add(Constraint::ge(r));
+    p
+}
+
+/// `poly AND row == 0`.
+fn with_eq0(poly: &Polyhedron, row: &[i64]) -> Polyhedron {
+    let mut p = poly.clone();
+    p.add(Constraint::eq(row.to_vec()));
+    p
+}
+
+fn add_rows(a: &[i64], b: &[i64]) -> Vec<i64> {
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// What happened at one common level.
+enum LevelOutcome {
+    /// Every remaining pair is strictly ordered (or none remain).
+    Satisfied,
+    /// A violation was recorded; stop walking this pair.
+    Violated,
+    /// Tied pairs remain; descend.
+    Continue,
+}
+
+pub(crate) struct PairWalk<'a> {
+    pub scop: &'a Scop,
+    pub dep: &'a Dep,
+    pub occ_s: &'a Occurrence,
+    pub occ_d: &'a Occurrence,
+    pub sample: &'a [i64],
+    /// Transformed-space dependence vector accumulated along the walk.
+    vector: Vec<DepElem>,
+    level: usize,
+    remaining: Polyhedron,
+}
+
+impl<'a> PairWalk<'a> {
+    pub fn new(
+        scop: &'a Scop,
+        dep: &'a Dep,
+        occ_s: &'a Occurrence,
+        occ_d: &'a Occurrence,
+        sample: &'a [i64],
+    ) -> PairWalk<'a> {
+        PairWalk {
+            scop,
+            dep,
+            occ_s,
+            occ_d,
+            sample,
+            vector: Vec::new(),
+            level: 0,
+            remaining: dep.poly.clone(),
+        }
+    }
+
+    fn stmt_name(&self, idx: usize) -> String {
+        self.scop
+            .statements
+            .get(idx)
+            .map(|s| s.name.clone())
+            .unwrap_or_else(|| format!("S{idx}"))
+    }
+
+    fn violation(&self, kind: ViolationKind, loop_name: &str, detail: String, fix: &str) -> Violation {
+        Violation {
+            kind,
+            src: self.stmt_name(self.occ_s.stmt),
+            dst: self.stmt_name(self.occ_d.stmt),
+            vector: self.vector.clone(),
+            level: self.level,
+            loop_name: loop_name.to_string(),
+            detail,
+            fix: fix.to_string(),
+        }
+    }
+
+    /// Statement-local solved row of `var` on one side, lifted into the
+    /// dependence space.
+    fn lifted(&self, var: usize, src_side: bool) -> Option<Vec<i64>> {
+        if src_side {
+            self.occ_s
+                .solved
+                .get(&var)
+                .map(|r| self.dep.lift_src_row(r))
+        } else {
+            self.occ_d
+                .solved
+                .get(&var)
+                .map(|r| self.dep.lift_dst_row(r))
+        }
+    }
+
+    /// Intersects the guards found along both paths into the remainder:
+    /// real executions satisfy them, so this only sharpens the model.
+    fn apply_guards(&mut self) {
+        for (occ, src_side) in [(self.occ_s, true), (self.occ_d, false)] {
+            for step in &occ.path {
+                let PStep::Guard { exprs } = step else {
+                    continue;
+                };
+                'expr: for e in exprs {
+                    let dim = occ.iter_exprs.len();
+                    let np = self.scop.n_params();
+                    let mut local = vec![0i64; dim + np + 1];
+                    for &(v, c) in &e.var_coeffs {
+                        if c == 0 {
+                            continue;
+                        }
+                        let Some(sr) = occ.solved.get(&v) else {
+                            continue 'expr; // unsolvable var: skip this expr
+                        };
+                        for (j, &x) in sr.iter().enumerate() {
+                            local[j] += c * x;
+                        }
+                    }
+                    for &(p, c) in &e.param_coeffs {
+                        if p < np {
+                            local[dim + p] += c;
+                        }
+                    }
+                    local[dim + np] += e.c;
+                    let lifted = if src_side {
+                        self.dep.lift_src_row(&local)
+                    } else {
+                        self.dep.lift_dst_row(&local)
+                    };
+                    self.remaining.add(Constraint::ge(lifted));
+                }
+            }
+        }
+    }
+
+    /// First loop at or after `steps[k]` (on one side's path suffix)
+    /// whose lower bound mentions `ctrl` and whose own variable is
+    /// solvable on that side — the clamped point loop governed by a tile
+    /// controller. Returns the row with the proxy loop's own lattice
+    /// step: an unrolled point loop spaces its real values that far
+    /// apart, and off-lattice polyhedron points must not be mistaken for
+    /// executions.
+    fn proxy_row(
+        &self,
+        suffix: &[&PStep],
+        ctrl: usize,
+        src_side: bool,
+    ) -> Option<(Vec<i64>, i64, usize)> {
+        for step in suffix {
+            let PStep::Loop(l) = step else { continue };
+            if l.lo_vars.contains(&ctrl) {
+                if let Some(r) = self.lifted(l.var, src_side) {
+                    return Some((r, l.step, l.id));
+                }
+            }
+        }
+        None
+    }
+
+    /// The grid-column row below a pipeline/wavefront level on one side:
+    /// the first deeper loop's value (paired with its lattice step and
+    /// node id), or its proxy when that loop is itself a tile controller.
+    /// The last element is the proxy span — `0` for a directly solved
+    /// column, the controller's step when the value only bounds the real
+    /// column to within one tile.
+    fn column_row(&self, suffix: &[&PStep], src_side: bool) -> Option<(Vec<i64>, i64, usize, i64)> {
+        for (k, step) in suffix.iter().enumerate() {
+            let PStep::Loop(l) = step else { continue };
+            if let Some(r) = self.lifted(l.var, src_side) {
+                return Some((r, l.step, l.id, 0));
+            }
+            return self
+                .proxy_row(&suffix[k + 1..], l.var, src_side)
+                .map(|(r, f, id)| (r, f, id, l.step));
+        }
+        None
+    }
+
+    /// Runs the walk, appending any violations to `out`.
+    pub fn run(mut self, out: &mut Vec<Violation>) {
+        self.apply_guards();
+        if self.remaining.is_empty() {
+            return;
+        }
+        let steps_s: Vec<&PStep> = self
+            .occ_s
+            .path
+            .iter()
+            .filter(|s| !matches!(s, PStep::Guard { .. }))
+            .collect();
+        let steps_d: Vec<&PStep> = self
+            .occ_d
+            .path
+            .iter()
+            .filter(|s| !matches!(s, PStep::Guard { .. }))
+            .collect();
+        let mut k = 0usize;
+        loop {
+            match (steps_s.get(k), steps_d.get(k)) {
+                (
+                    Some(PStep::Seq {
+                        id: a, child: ca, ..
+                    }),
+                    Some(PStep::Seq {
+                        id: b, child: cb, ..
+                    }),
+                ) if a == b => {
+                    if ca == cb {
+                        k += 1;
+                        continue;
+                    }
+                    // Textual divergence with identical shared iterations.
+                    if ca > cb && !self.remaining.is_empty() {
+                        out.push(self.violation(
+                            ViolationKind::IllegalOrder,
+                            "",
+                            "target occurs textually before source while every shared loop \
+                             level is tied"
+                                .to_string(),
+                            "reorder the statements or re-run scheduling; the transformed \
+                             program inverts this dependence",
+                        ));
+                    }
+                    return;
+                }
+                (Some(PStep::Loop(la)), Some(PStep::Loop(lb))) if la.id == lb.id => {
+                    let outcome = self.handle_level(la, &steps_s[k + 1..], &steps_d[k + 1..], out);
+                    match outcome {
+                        LevelOutcome::Satisfied | LevelOutcome::Violated => return,
+                        LevelOutcome::Continue => {
+                            self.level += 1;
+                            k += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Both paths exhausted (same statement node, or structurally
+        // identical positions): any remaining pair shares its full
+        // timestamp with its source.
+        if !self.remaining.is_empty() {
+            out.push(self.violation(
+                ViolationKind::IllegalOrder,
+                "",
+                "two distinct dependent instances map to the same timestamp"
+                    .to_string(),
+                "the transformation dropped a loop level that carried this dependence; \
+                 restore it or reject the schedule",
+            ));
+        }
+    }
+
+    fn handle_level(
+        &mut self,
+        l: &LoopMeta,
+        rest_s: &[&PStep],
+        rest_d: &[&PStep],
+        out: &mut Vec<Violation>,
+    ) -> LevelOutcome {
+        // Reduction dependences are relaxed (privatized / reassociated)
+        // at reduction and pipeline levels; they need no ordering below
+        // either.
+        if self.dep.is_reduction && matches!(l.par, Par::Reduction | Par::Pipeline) {
+            return LevelOutcome::Satisfied;
+        }
+
+        let fine = self
+            .lifted(l.var, true)
+            .zip(self.lifted(l.var, false));
+        let (r, lattice, coarse_span) = match fine {
+            Some((rs, rd)) => {
+                let r: Vec<i64> = rd.iter().zip(&rs).map(|(d, s)| d - s).collect();
+                (r, l.step, None)
+            }
+            None => {
+                let ps = self.proxy_row(rest_s, l.var, true);
+                let pd = self.proxy_row(rest_d, l.var, false);
+                match ps.zip(pd) {
+                    Some(((rs, f, _), (rd, _, _))) => {
+                        let r: Vec<i64> = rd.iter().zip(&rs).map(|(d, s)| d - s).collect();
+                        (r, f, Some(l.step))
+                    }
+                    None => {
+                        out.push(self.violation(
+                            ViolationKind::Unsupported,
+                            &l.name,
+                            "loop variable has no affine inverse and no clamped point \
+                             loop to proxy it; nothing proved for this dependence"
+                                .to_string(),
+                            "",
+                        ));
+                        return LevelOutcome::Satisfied;
+                    }
+                }
+            }
+        };
+
+        self.vector
+            .push(classify(&self.remaining, &r, self.sample));
+
+        // Certificate 1: no dependent pair may run backward at this
+        // level. Real pairs sit on the loop's (or proxy loop's) value
+        // lattice, so "backward" means at least one lattice step; the
+        // polyhedron's off-lattice points in `(-lattice, 0)` are not
+        // executions.
+        if !with_le(&self.remaining, &r, -lattice.max(1)).is_empty() {
+            out.push(self.violation(
+                ViolationKind::IllegalOrder,
+                &l.name,
+                format!(
+                    "dependence runs backward at loop `{}` (target precedes source)",
+                    l.name
+                ),
+                "the composed transformation reverses this dependence at this level; \
+                 reject the schedule or re-skew the nest",
+            ));
+            return LevelOutcome::Violated;
+        }
+
+        // Certificate 2: annotation safety over the pre-shrink remainder
+        // (carried pairs included). Carried means at least one lattice
+        // step forward: with unrolled (step-f) loops the polyhedron holds
+        // spurious off-lattice points with `0 < r < f`, never real pairs.
+        let carried = lattice.max(1);
+        let safe = match l.par {
+            Par::Seq => true,
+            Par::Doall => self.check_doall(l, &r, carried, out),
+            Par::Reduction => self.check_reduction(l, &r, carried, out),
+            Par::Pipeline => self.check_pipeline(l, &r, rest_s, rest_d, out),
+            Par::Wavefront => self.check_wavefront(l, &r, rest_s, rest_d, out),
+        };
+        if !safe {
+            return LevelOutcome::Violated;
+        }
+
+        // Shrink: keep the tied pairs, discharge the strictly ordered.
+        self.remaining = match coarse_span {
+            None => with_eq0(&self.remaining, &r),
+            Some(m) => with_le(&with_ge(&self.remaining, &r, 0), &r, m - 1),
+        };
+        if self.remaining.is_empty() {
+            LevelOutcome::Satisfied
+        } else {
+            LevelOutcome::Continue
+        }
+    }
+
+    fn check_doall(&self, l: &LoopMeta, r: &[i64], carried: i64, out: &mut Vec<Violation>) -> bool {
+        if with_ge(&self.remaining, r, carried).is_empty() {
+            return true;
+        }
+        out.push(self.violation(
+            ViolationKind::DoallCarriesDep,
+            &l.name,
+            format!("doall loop `{}` carries this dependence", l.name),
+            "demote the loop to sequential, or to reduction/pipeline if the carried \
+             dependences qualify",
+        ));
+        false
+    }
+
+    fn check_reduction(
+        &self,
+        l: &LoopMeta,
+        r: &[i64],
+        carried: i64,
+        out: &mut Vec<Violation>,
+    ) -> bool {
+        // Reduction self-updates were discharged above; anything still
+        // here must not be carried in either direction.
+        if with_ge(&self.remaining, r, carried).is_empty() {
+            return true;
+        }
+        out.push(self.violation(
+            ViolationKind::ReductionUnsafe,
+            &l.name,
+            format!(
+                "reduction loop `{}` carries a dependence that is not an \
+                 associative-commutative self-update",
+                l.name
+            ),
+            "only `A[f] = A[f] + e` / `A[f] = A[f] * e` self-updates may be carried; \
+             demote the loop to sequential",
+        ));
+        false
+    }
+
+    /// Sibling phase index of one side directly below the pipeline loop:
+    /// `Some(i)` when the loop body is a `Seq` and the side descends into
+    /// its `i`-th loop child, `None` for a single sub-nest.
+    fn sibling_of(suffix: &[&PStep]) -> Result<Option<usize>, ()> {
+        match suffix.first() {
+            Some(PStep::Seq { loop_sib, .. }) => match loop_sib {
+                Some(s) => Ok(Some(*s)),
+                None => Err(()), // non-loop sibling under a fused pipeline
+            },
+            _ => Ok(None),
+        }
+    }
+
+    fn check_pipeline(
+        &self,
+        l: &LoopMeta,
+        r: &[i64],
+        rest_s: &[&PStep],
+        rest_d: &[&PStep],
+        out: &mut Vec<Violation>,
+    ) -> bool {
+        // Phase order: the emitter runs a fused body's sibling sub-loops
+        // as consecutive phases of each outer step. A dependence into an
+        // earlier sibling must advance the outer level.
+        let sibs = Self::sibling_of(rest_s).and_then(|s| Self::sibling_of(rest_d).map(|d| (s, d)));
+        let (sib_s, sib_d) = match sibs {
+            Ok((s, d)) => (s.unwrap_or(0), d.unwrap_or(0)),
+            Err(()) => {
+                out.push(self.violation(
+                    ViolationKind::Unsupported,
+                    &l.name,
+                    "pipeline loop body mixes loop and non-loop siblings; the fused \
+                     phase protocol is not certified for this dependence"
+                        .to_string(),
+                    "",
+                ));
+                return true;
+            }
+        };
+        if sib_d < sib_s && !with_eq0(&self.remaining, r).is_empty() {
+            out.push(self.violation(
+                ViolationKind::PipelineConeUncovered,
+                &l.name,
+                format!(
+                    "dependence flows to an earlier sibling phase of pipeline loop \
+                     `{}` within the same outer step",
+                    l.name
+                ),
+                "the await cone {(-1,0),(0,-1)} cannot cover a backward phase; \
+                 demote the loop or reorder the fused siblings",
+            ));
+            return false;
+        }
+        // Column order. The emitter carves thread blocks on a common
+        // absolute grid with the chunk rounded up to the largest sibling
+        // step, and progress counts (outer step, sibling) *phases*; the
+        // right-neighbor await trails one phase. A dependent pair is
+        // therefore covered when its leftward column movement is at most
+        // one block — at least `max_step` cells — per phase advance:
+        //
+        //     -rc  <=  max_step * dphase ,
+        //     dphase = nsib * (r / outer_step) + (sib_d - sib_s).
+        //
+        // Linearized with the conservative lower bound `nsib >= 1` and
+        // scaled by the outer step, a pair is *uncovered* when
+        //
+        //     step*rc + max_step*r  <=  -step*(max_step*dsib + margin)
+        //
+        // where `margin` rounds up to the column lattice when both sides
+        // sit in the same (possibly unrolled) loop, and to the tile span
+        // when the column is a proxied controller (same-tile jitter never
+        // crosses a block boundary: the chunk is a step multiple), so
+        // off-lattice and same-tile polyhedron points are not mistaken
+        // for cross-thread executions.
+        let cols = self
+            .column_row(rest_s, true)
+            .zip(self.column_row(rest_d, false));
+        let Some(((cs, fs, ids, hs), (cd, fd, idd, hd))) = cols else {
+            out.push(self.violation(
+                ViolationKind::Unsupported,
+                &l.name,
+                "pipeline loop has no analyzable inner grid dimension; the await \
+                 cone is not certified for this dependence"
+                    .to_string(),
+                "",
+            ));
+            return true;
+        };
+        let rc: Vec<i64> = cd.iter().zip(&cs).map(|(d, s)| d - s).collect();
+        let step = l.step.max(1);
+        let max_step = fs.max(fd).max(hs).max(hd).max(1);
+        let margin = if hs == 0 && hd == 0 {
+            if ids == idd {
+                fs.max(1)
+            } else {
+                1
+            }
+        } else {
+            hs.max(hd)
+        };
+        let dsib = sib_d as i64 - sib_s as i64;
+        let w: Vec<i64> = rc
+            .iter()
+            .zip(r)
+            .map(|(c, rr)| step * c + max_step * rr)
+            .collect();
+        // Real pairs never run backward at a passed level; drop the
+        // off-lattice negative-`r` points before testing the cone.
+        let fwd = with_ge(&self.remaining, r, 0);
+        if with_le(&fwd, &w, -step * (max_step * dsib + margin)).is_empty() {
+            return true;
+        }
+        out.push(self.violation(
+            ViolationKind::PipelineConeUncovered,
+            &l.name,
+            format!(
+                "carried dependence of pipeline loop `{}` moves leftward in the \
+                 grid column: not covered by await sources (i-1, j), (i, j-1)",
+                l.name
+            ),
+            "skew the inner dimension until every carried dependence is \
+             componentwise non-negative, or demote the loop",
+        ));
+        false
+    }
+
+    fn check_wavefront(
+        &self,
+        l: &LoopMeta,
+        r: &[i64],
+        rest_s: &[&PStep],
+        rest_d: &[&PStep],
+        out: &mut Vec<Violation>,
+    ) -> bool {
+        // The wavefront pair (this level, next level) executes diagonal
+        // by diagonal with a barrier in between; componentwise
+        // non-negative dependences strictly advance the (weighted)
+        // diagonal unless fully tied, which is exactly the safe set.
+        let cols = self
+            .column_row(rest_s, true)
+            .zip(self.column_row(rest_d, false));
+        let Some(((cs, _, _, _), (cd, _, _, _))) = cols else {
+            out.push(self.violation(
+                ViolationKind::Unsupported,
+                &l.name,
+                "wavefront loop has no analyzable inner dimension; the diagonal \
+                 schedule is not certified for this dependence"
+                    .to_string(),
+                "",
+            ));
+            return true;
+        };
+        let rc: Vec<i64> = cd.iter().zip(&cs).map(|(d, s)| d - s).collect();
+        let diag = add_rows(r, &rc);
+        if !with_le(&self.remaining, &diag, -1).is_empty() {
+            out.push(self.violation(
+                ViolationKind::WavefrontUnsafe,
+                &l.name,
+                format!(
+                    "dependence crosses the wavefront diagonal of `{}` backward",
+                    l.name
+                ),
+                "the diagonal schedule reverses this dependence; demote the loop",
+            ));
+            return false;
+        }
+        if !with_le(&self.remaining, &rc, -1).is_empty() {
+            out.push(self.violation(
+                ViolationKind::WavefrontUnsafe,
+                &l.name,
+                format!(
+                    "dependence races within a diagonal of wavefront loop `{}` \
+                     (distinct cells, inner component negative)",
+                    l.name
+                ),
+                "cells of one diagonal run in parallel; skew until carried \
+                 dependences are componentwise non-negative or demote the loop",
+            ));
+            return false;
+        }
+        true
+    }
+}

@@ -1,0 +1,158 @@
+//! Zero-false-negative spot checks: hand-broken programs and kernel
+//! sources must be rejected with the *right* violation kind.
+//!
+//! Each test takes a program the compiler really produces (so it
+//! certifies cleanly), applies one adversarial mutation a buggy
+//! transformation could plausibly introduce, and asserts the certifier
+//! catches it. Together with `certify_polybench` (no false positives on
+//! legal outputs) this pins the certifier from both sides.
+
+use polymix_ast::tree::{Node, Par, Program, StmtNode};
+use polymix_codegen::emit::{emit_rust, EmitOptions};
+use polymix_core::{optimize_poly_ast, PolyAstOptions};
+use polymix_polybench::kernel_by_name;
+use polymix_verify::{verify_program, verify_source, ViolationKind};
+
+/// The untransformed textual-order program for `name` — always legal.
+fn identity_program(name: &str) -> Program {
+    let k = kernel_by_name(name).expect("kernel");
+    let scop = (k.build)();
+    let identity: Vec<_> = scop.statements.iter().map(|s| s.schedule.clone()).collect();
+    polymix_codegen::generate(&scop, &identity).expect("generate")
+}
+
+fn poly_ast_program(name: &str) -> Program {
+    let k = kernel_by_name(name).expect("kernel");
+    let scop = (k.build)();
+    let opts = PolyAstOptions {
+        tile: 4,
+        time_tile: 2,
+        ..Default::default()
+    };
+    optimize_poly_ast(&scop, &opts).expect("optimize")
+}
+
+fn mutate_stmts(node: &mut Node, f: &mut impl FnMut(&mut StmtNode)) {
+    match node {
+        Node::Seq(xs) => xs.iter_mut().for_each(|x| mutate_stmts(x, f)),
+        Node::Loop(l) => mutate_stmts(&mut l.body, f),
+        Node::Guard(_, b) => mutate_stmts(b, f),
+        Node::Stmt(s) => f(s),
+    }
+}
+
+fn assert_rejects(prog: &Program, kind: ViolationKind, label: &str) {
+    let cert = verify_program(prog);
+    assert!(
+        !cert.is_certified(),
+        "{label}: broken program certified clean"
+    );
+    assert!(
+        cert.violations.iter().any(|v| v.kind == kind),
+        "{label}: expected a {kind:?} violation, got:\n{}",
+        cert.violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Row swap: exchanging the two outer rows of the inverse schedule is a
+/// loop interchange. jacobi-1d carries `(1, -1)` dependences, so the
+/// interchange runs some targets before their sources.
+#[test]
+fn illegal_interchange_is_rejected() {
+    let mut prog = identity_program("jacobi-1d-imper");
+    assert!(verify_program(&prog).is_certified(), "baseline must pass");
+    mutate_stmts(&mut prog.body, &mut |s| {
+        if s.iter_exprs.len() >= 2 {
+            s.iter_exprs.swap(0, 1);
+        }
+    });
+    assert_rejects(&prog, ViolationKind::IllegalOrder, "row swap");
+}
+
+/// Sign flip: negating the time row of the inverse schedule makes the
+/// program sweep time backwards — every `dt >= 1` dependence reverses.
+#[test]
+fn reversed_time_loop_is_rejected() {
+    let mut prog = identity_program("jacobi-1d-imper");
+    mutate_stmts(&mut prog.body, &mut |s| {
+        s.iter_exprs[0] = s.iter_exprs[0].scale(-1);
+    });
+    assert_rejects(&prog, ViolationKind::IllegalOrder, "sign flip");
+}
+
+/// Bogus reduction: the time loop of a stencil carries ordinary flow
+/// dependences, not associative self-updates; annotating it `Reduction`
+/// must not discharge them.
+#[test]
+fn bogus_reduction_annotation_is_rejected() {
+    let mut prog = identity_program("jacobi-1d-imper");
+    let mut outer = true;
+    prog.body.visit_loops_mut(&mut |l| {
+        if outer {
+            l.par = Par::Reduction;
+            outer = false;
+        }
+    });
+    assert_rejects(&prog, ViolationKind::ReductionUnsafe, "bogus reduction");
+}
+
+/// Annotation forgery: relabeling a certified pipeline loop as doall
+/// drops the await cone the carried dependences rely on.
+#[test]
+fn pipeline_relabeled_doall_is_rejected() {
+    let mut prog = poly_ast_program("seidel-2d");
+    assert!(verify_program(&prog).is_certified(), "baseline must pass");
+    let mut flipped = false;
+    prog.body.visit_loops_mut(&mut |l| {
+        if !flipped && l.par == Par::Pipeline {
+            l.par = Par::Doall;
+            flipped = true;
+        }
+    });
+    assert!(flipped, "seidel-2d lost its pipeline loop");
+    assert_rejects(&prog, ViolationKind::DoallCarriesDep, "forged doall");
+}
+
+/// Await drop: stripping the `await_progress` calls from an emitted
+/// pipeline kernel leaves published progress nobody waits on — the
+/// source lint must flag the region.
+#[test]
+fn dropped_await_is_rejected_by_source_lint() {
+    let k = kernel_by_name("seidel-2d").expect("kernel");
+    let prog = poly_ast_program("seidel-2d");
+    let opts = EmitOptions {
+        params: k.dataset("mini").params,
+        threads: 4,
+        ..Default::default()
+    };
+    let src = emit_rust(&prog, &opts);
+    assert!(
+        src.contains("await_progress("),
+        "emitted seidel-2d kernel has no pipeline synchronization to drop"
+    );
+    assert!(
+        verify_source("seidel-2d", &src).is_certified(),
+        "unmutated source must lint clean"
+    );
+    let broken: String = src
+        .lines()
+        .filter(|l| !l.contains("await_progress("))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let cert = verify_source("seidel-2d", &broken);
+    assert!(
+        cert.violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::KernelLint),
+        "await drop: expected a KernelLint violation, got:\n{}",
+        cert.violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,115 @@
+//! Zero-false-positive property: every program the compiler actually
+//! produces — from any rung of the scheduling fallback chain, any
+//! poly+AST option mix, and any Pluto baseline variant — must certify.
+//! These are all semantics-preserving by the interpreter oracle tests,
+//! so a violation here is a certifier bug, not a compiler bug.
+
+use polymix_core::{optimize_poly_ast, PolyAstOptions};
+use polymix_pluto::{optimize_pluto, schedule_with_fallback, Fusion, PlutoOptions, PlutoVariant};
+use polymix_polybench::{all_kernels, extended_kernels};
+
+fn every_kernel() -> Vec<polymix_polybench::Kernel> {
+    all_kernels().into_iter().chain(extended_kernels()).collect()
+}
+use polymix_verify::verify_program;
+
+fn assert_certified(kernel: &str, label: &str, prog: &polymix_ast::tree::Program) {
+    let cert = verify_program(prog);
+    assert!(
+        cert.is_certified(),
+        "{kernel} [{label}]: false positive(s):\n{}",
+        cert.errors()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(cert.deps_checked > 0 || cert.pairs_checked == 0);
+}
+
+fn opts_small() -> PolyAstOptions {
+    PolyAstOptions {
+        tile: 4,
+        time_tile: 2,
+        ..Default::default()
+    }
+}
+
+/// Satellite: the whole `maxfuse -> smartfuse -> nofuse -> identity`
+/// fallback chain yields certified schedules on all 22 kernels.
+#[test]
+fn fallback_chain_certifies_on_all_kernels() {
+    for k in every_kernel() {
+        let scop = (k.build)();
+        for fusion in [Fusion::Max, Fusion::Smart, Fusion::None] {
+            let fb = schedule_with_fallback(&scop, fusion);
+            let prog = polymix_codegen::generate(&scop, &fb.schedules).expect("generate");
+            assert_certified(k.name, &format!("{fusion:?}"), &prog);
+        }
+        // Identity rung: original textual-order schedules.
+        let identity: Vec<_> = scop.statements.iter().map(|s| s.schedule.clone()).collect();
+        let prog = polymix_codegen::generate(&scop, &identity).expect("generate");
+        assert_certified(k.name, "identity", &prog);
+    }
+}
+
+/// Every poly+AST pipeline output (all option mixes the flow tests run)
+/// certifies — including tiled, pipeline-annotated and unroll-and-jammed
+/// programs.
+#[test]
+fn poly_ast_outputs_certify_on_all_kernels() {
+    let variants: Vec<(&str, PolyAstOptions)> = vec![
+        ("default", opts_small()),
+        (
+            "untiled",
+            PolyAstOptions {
+                tiling: false,
+                ..opts_small()
+            },
+        ),
+        (
+            "doall-only",
+            PolyAstOptions {
+                doall_only: true,
+                ..opts_small()
+            },
+        ),
+        (
+            "unroll-2x2",
+            PolyAstOptions {
+                unroll: (2, 2),
+                ..opts_small()
+            },
+        ),
+    ];
+    for k in every_kernel() {
+        let scop = (k.build)();
+        for (label, opts) in &variants {
+            let prog = optimize_poly_ast(&scop, opts).expect("optimize");
+            assert_certified(k.name, label, &prog);
+        }
+    }
+}
+
+/// Every Pluto baseline output certifies, including wavefronted tile
+/// nests and the vectorization variant's register tiling.
+#[test]
+fn pluto_outputs_certify_on_all_kernels() {
+    for k in every_kernel() {
+        let scop = (k.build)();
+        for variant in [
+            PlutoVariant::Pocc,
+            PlutoVariant::PoccVect,
+            PlutoVariant::MaxFuse,
+            PlutoVariant::NoFuse,
+        ] {
+            let opts = PlutoOptions {
+                variant,
+                tile: 4,
+                time_tile: 2,
+                ..Default::default()
+            };
+            let prog = optimize_pluto(&scop, &opts).expect("optimize");
+            assert_certified(k.name, &format!("{variant:?}"), &prog);
+        }
+    }
+}

@@ -22,3 +22,4 @@ pub use polymix_math as math;
 pub use polymix_pluto as pluto;
 pub use polymix_polybench as polybench;
 pub use polymix_runtime as runtime;
+pub use polymix_verify as verify;
