@@ -40,6 +40,14 @@ echo "== pool smoke test =="
 cargo test -q -p polymix-runtime --features order-check,fault-inject \
     --test pool_and_schedule pool_smoke
 
+# Task-graph suite: counter-graph runtime under the armed order checker
+# and seeded fault injection (panic containment, watchdog, adversarial
+# schedules, certification cross-checks), plus the cross-policy
+# injection-trace determinism test.
+echo "== taskgraph suite =="
+cargo test -q -p polymix-runtime --features order-check,fault-inject \
+    --test taskgraph --test fault_trace
+
 # Static certification gate: every (kernel, variant) artifact the
 # sweeps measure — the transformed program and its emitted source —
 # must certify (schedule legality, annotation safety, source protocol

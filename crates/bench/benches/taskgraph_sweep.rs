@@ -1,0 +1,245 @@
+//! Task-graph runtime vs the barrier-style primitives on three tile
+//! spaces (the `BENCH_taskgraph.json` sweep):
+//!
+//! * **rectangular** — every diagonal is long, so the per-diagonal
+//!   barrier of `wavefront_2d` amortizes well; the counter graph should
+//!   sit within noise of it.
+//! * **triangular** — diagonals range from 1 tile to n tiles. The
+//!   rectangular primitives must sweep the bounding box (guarding out
+//!   the empty half) and pay a barrier per diagonal regardless of how
+//!   few live tiles it holds; the task graph runs exactly the live
+//!   cells with no barrier at all.
+//! * **skewed** — a parallelogram tile space (the shape tiling a
+//!   stencil's time dimension produces). Same story as triangular:
+//!   short entry/exit diagonals, bounding-box padding for the
+//!   rectangular primitives.
+
+use polymix_bench::microbench::{BenchmarkId, Criterion};
+use polymix_bench::{criterion_group, criterion_main};
+use polymix_runtime::{
+    pipeline_2d, taskgraph_2d, wavefront_2d, GridSweep, RuntimeOptions, TileGraph,
+};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+/// Standard-cone dependence vectors of a 2-D sweep.
+const CONE: [(i64, i64); 2] = [(1, 0), (0, 1)];
+
+fn threads_under_test() -> Vec<usize> {
+    let max_t = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(2);
+    [2usize, 4].into_iter().filter(|&t| t <= max_t).collect()
+}
+
+/// Explicit counter graph over an arbitrary cell set: one edge per
+/// standard-cone neighbor present in the set. This is the setup a
+/// compiler does once per kernel, so it is built outside the timed
+/// loop.
+fn graph_over(cells: &[(i64, i64)]) -> TileGraph {
+    let index: HashMap<(i64, i64), usize> =
+        cells.iter().copied().enumerate().map(|(k, c)| (c, k)).collect();
+    let mut edges = Vec::new();
+    for (k, &(i, j)) in cells.iter().enumerate() {
+        for (di, dj) in CONE {
+            if let Some(&s) = index.get(&(i + di, j + dj)) {
+                edges.push((k, s));
+            }
+        }
+    }
+    TileGraph::from_edges(cells.len(), Some(cells), &edges).expect("dag")
+}
+
+/// The shared per-tile workload: a 5-point-ish stencil update reading
+/// the two awaited neighbors. `stride` is the row length of the backing
+/// field.
+unsafe fn tile_body(p: *mut f64, stride: usize, i: i64, j: i64) {
+    let (i, j) = (i as usize, j as usize);
+    *p.add(i * stride + j) = 0.25
+        * (2.0 * *p.add(i * stride + j) + *p.add((i - 1) * stride + j) + *p.add(i * stride + j - 1));
+}
+
+/// Long diagonals: the barrier amortizes, the counter graph must not
+/// lose ground.
+fn rectangular(c: &mut Criterion) {
+    let n = 128usize;
+    let grid = GridSweep {
+        i_lo: 1,
+        i_hi: n as i64,
+        j_lo: 1,
+        j_hi: n as i64,
+    };
+    let graph = TileGraph::from_grid_deps(grid, &CONE).expect("graph");
+    let mut group = c.benchmark_group("taskgraph_rect_128");
+    for t in threads_under_test() {
+        group.bench_with_input(BenchmarkId::new("wavefront", t), &t, |b, &t| {
+            b.iter(|| {
+                let field = vec![1.0f64; n * n];
+                let ptr = field.as_ptr() as usize;
+                wavefront_2d(grid, t, |i, j| unsafe { tile_body(ptr as *mut f64, n, i, j) })
+                    .expect("wavefront");
+                black_box(field[n * n - 1])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("pipeline", t), &t, |b, &t| {
+            b.iter(|| {
+                let field = vec![1.0f64; n * n];
+                let ptr = field.as_ptr() as usize;
+                pipeline_2d(grid, t, |i, j| unsafe { tile_body(ptr as *mut f64, n, i, j) })
+                    .expect("pipeline");
+                black_box(field[n * n - 1])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("taskgraph", t), &t, |b, &t| {
+            b.iter(|| {
+                let field = vec![1.0f64; n * n];
+                let ptr = field.as_ptr() as usize;
+                graph
+                    .run(t, RuntimeOptions::default(), |_, i, j| unsafe {
+                        tile_body(ptr as *mut f64, n, i, j)
+                    })
+                    .expect("taskgraph");
+                black_box(field[n * n - 1])
+            });
+        });
+        // The one-call wrapper (graph built per invocation) keeps the
+        // construction cost honest in the record.
+        group.bench_with_input(BenchmarkId::new("taskgraph_rebuilt", t), &t, |b, &t| {
+            b.iter(|| {
+                let field = vec![1.0f64; n * n];
+                let ptr = field.as_ptr() as usize;
+                taskgraph_2d(grid, t, &CONE, |i, j| unsafe {
+                    tile_body(ptr as *mut f64, n, i, j)
+                })
+                .expect("taskgraph");
+                black_box(field[n * n - 1])
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Lower triangle of an n x n box: diagonals of length 1..=n. The
+/// rectangular primitives sweep the bounding box and guard out the dead
+/// half; the task graph runs the live cells only.
+fn triangular(c: &mut Criterion) {
+    let n = 96usize;
+    let grid = GridSweep {
+        i_lo: 1,
+        i_hi: n as i64,
+        j_lo: 1,
+        j_hi: n as i64,
+    };
+    let cells: Vec<(i64, i64)> = (1..n as i64)
+        .flat_map(|i| (1..=i).map(move |j| (i, j)))
+        .collect();
+    let graph = graph_over(&cells);
+    let mut group = c.benchmark_group("taskgraph_tri_96");
+    for t in threads_under_test() {
+        group.bench_with_input(BenchmarkId::new("wavefront_boxed", t), &t, |b, &t| {
+            b.iter(|| {
+                let field = vec![1.0f64; n * n];
+                let ptr = field.as_ptr() as usize;
+                wavefront_2d(grid, t, |i, j| unsafe {
+                    if j <= i {
+                        tile_body(ptr as *mut f64, n, i, j);
+                    }
+                })
+                .expect("wavefront");
+                black_box(field[n * n - 1])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("pipeline_boxed", t), &t, |b, &t| {
+            b.iter(|| {
+                let field = vec![1.0f64; n * n];
+                let ptr = field.as_ptr() as usize;
+                pipeline_2d(grid, t, |i, j| unsafe {
+                    if j <= i {
+                        tile_body(ptr as *mut f64, n, i, j);
+                    }
+                })
+                .expect("pipeline");
+                black_box(field[n * n - 1])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("taskgraph", t), &t, |b, &t| {
+            b.iter(|| {
+                let field = vec![1.0f64; n * n];
+                let ptr = field.as_ptr() as usize;
+                graph
+                    .run(t, RuntimeOptions::default(), |_, i, j| unsafe {
+                        tile_body(ptr as *mut f64, n, i, j)
+                    })
+                    .expect("taskgraph");
+                black_box(field[n * n - 1])
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Parallelogram: row i owns columns i..i+m (what skewing a stencil's
+/// tile space produces). Bounding box is n x (n + m), so the
+/// rectangular primitives pad heavily and every diagonal is short
+/// relative to the box.
+fn skewed(c: &mut Criterion) {
+    let n = 96usize;
+    let m = 24usize;
+    let stride = n + m;
+    let grid = GridSweep {
+        i_lo: 1,
+        i_hi: n as i64,
+        j_lo: 1,
+        j_hi: (n + m) as i64,
+    };
+    let cells: Vec<(i64, i64)> = (1..n as i64)
+        .flat_map(|i| (i..i + m as i64).map(move |j| (i, j)))
+        .collect();
+    let graph = graph_over(&cells);
+    let mut group = c.benchmark_group("taskgraph_skew_96x24");
+    for t in threads_under_test() {
+        group.bench_with_input(BenchmarkId::new("wavefront_boxed", t), &t, |b, &t| {
+            b.iter(|| {
+                let field = vec![1.0f64; n * stride];
+                let ptr = field.as_ptr() as usize;
+                wavefront_2d(grid, t, |i, j| unsafe {
+                    if j >= i && j < i + m as i64 {
+                        tile_body(ptr as *mut f64, stride, i, j);
+                    }
+                })
+                .expect("wavefront");
+                black_box(field[n * stride - 1])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("pipeline_boxed", t), &t, |b, &t| {
+            b.iter(|| {
+                let field = vec![1.0f64; n * stride];
+                let ptr = field.as_ptr() as usize;
+                pipeline_2d(grid, t, |i, j| unsafe {
+                    if j >= i && j < i + m as i64 {
+                        tile_body(ptr as *mut f64, stride, i, j);
+                    }
+                })
+                .expect("pipeline");
+                black_box(field[n * stride - 1])
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("taskgraph", t), &t, |b, &t| {
+            b.iter(|| {
+                let field = vec![1.0f64; n * stride];
+                let ptr = field.as_ptr() as usize;
+                graph
+                    .run(t, RuntimeOptions::default(), |_, i, j| unsafe {
+                        tile_body(ptr as *mut f64, stride, i, j)
+                    })
+                    .expect("taskgraph");
+                black_box(field[n * stride - 1])
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rectangular, triangular, skewed);
+criterion_main!(benches);

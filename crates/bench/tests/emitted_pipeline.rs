@@ -134,3 +134,57 @@ fn pipelined_checksums_match_sequential_for_every_batch() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// End-to-end check of the emitted counter-graph protocol: the same
+/// dependent sweep annotated `Wavefront`, lowered both ways. A protocol
+/// bug shows up as a wrong checksum (tile ran before its counter
+/// drained) or a run timeout (a claim/decrement mismatch deadlocking
+/// the cursor loop).
+#[test]
+fn taskgraph_checksums_match_wavefront_and_sequential() {
+    let dir = tmp_dir("tg");
+    let mut prog = seidel_pipeline();
+    prog.body.visit_loops_mut(&mut |l| {
+        if l.par == Par::Pipeline {
+            l.par = Par::Wavefront;
+        }
+    });
+    let emit = |threads: usize, taskgraph: bool| {
+        emit_rust(
+            &prog,
+            &EmitOptions {
+                params: vec![64],
+                flops: 2 * 63 * 63,
+                threads,
+                reps: 1,
+                taskgraph,
+                ..Default::default()
+            },
+        )
+    };
+    let tg_src = emit(4, true);
+    assert!(
+        tg_src.contains("// taskgraph region"),
+        "knob must lower the wavefront to the counter graph: {tg_src}"
+    );
+    let reference = compile_and_run(&emit(1, false), &dir, &[], "seq")
+        .expect("sequential run")
+        .checksum;
+    let wavefront = compile_and_run(&emit(4, false), &dir, &[], "wf")
+        .expect("wavefront run")
+        .checksum;
+    let taskgraph = compile_and_run(&tg_src, &dir, &[], "tg")
+        .expect("taskgraph run")
+        .checksum;
+    assert_eq!(
+        wavefront.to_bits(),
+        reference.to_bits(),
+        "wavefront diverged from sequential: {wavefront} vs {reference}"
+    );
+    assert_eq!(
+        taskgraph.to_bits(),
+        reference.to_bits(),
+        "taskgraph diverged from sequential: {taskgraph} vs {reference}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -268,6 +268,65 @@ fn poisoned_kernel_degrades_to_sequential_and_resumes_degraded() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Partial resume over a mixed log: a sweep that recorded one degraded
+/// and one healthy job is re-invoked with those two plus a job the log
+/// has never seen. The recorded pair must replay (markers intact, no
+/// source rebuilt) while the new job compiles and measures fresh — the
+/// degraded-replay path and the run-fresh path share one executor pass.
+#[test]
+fn partial_resume_replays_mixed_log_and_runs_new_jobs() {
+    let dir = tmp_dir("partial-resume");
+    let log = dir.join("results.jsonl");
+    let runner = test_runner(dir.join("cache"));
+    let cfg = SweepConfig {
+        jobs: 2,
+        results_path: Some(log.clone()),
+        ..SweepConfig::default()
+    };
+    let mut poisoned = job("degraded-one", POISONED_SRC.to_string());
+    poisoned.seq_source = Some(Box::new(|| Ok(ok_src(9))));
+    let first = run_sweep(vec![poisoned, job("healthy", ok_src(2))], &runner, &cfg);
+    assert!(first[0].degraded && first[0].result.is_ok());
+    assert!(!first[1].degraded && first[1].result.is_ok());
+
+    // Second invocation: both recorded jobs wired to panic if rebuilt,
+    // plus a genuinely new job.
+    let mut replay_degraded = job(
+        "degraded-one",
+        "fn main() { panic!(\"resume must not rebuild\") }".to_string(),
+    );
+    replay_degraded.seq_source =
+        Some(Box::new(|| panic!("resume must not rebuild the fallback")));
+    let replay_healthy = job(
+        "healthy",
+        "fn main() { panic!(\"resume must not rebuild\") }".to_string(),
+    );
+    let second = run_sweep(
+        vec![replay_degraded, replay_healthy, job("newcomer", ok_src(4))],
+        &runner,
+        &cfg,
+    );
+    assert_eq!(second.len(), 3);
+    assert!(second[0].resumed && second[0].degraded, "degraded replay");
+    assert!(second[1].resumed && !second[1].degraded, "healthy replay");
+    assert_eq!(
+        second[0].result.as_ref().expect("ok").checksum.to_bits(),
+        first[0].result.as_ref().expect("ok").checksum.to_bits(),
+        "bit-identical degraded replay"
+    );
+    let newcomer = &second[2];
+    assert!(!newcomer.resumed, "unseen job must run fresh");
+    assert!(!newcomer.degraded);
+    assert!(
+        (newcomer.result.as_ref().expect("new job measures").checksum - 4.5).abs() < 1e-12
+    );
+    // The fresh measurement lands in the log, so a third invocation
+    // replays all three.
+    let third = run_sweep(vec![job("newcomer", ok_src(4))], &runner, &cfg);
+    assert!(third[0].resumed, "newcomer is recorded after the mixed pass");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// When the sequential fallback fails too, the job keeps the original
 /// (parallel) failure as its error cell and is not marked degraded.
 #[test]

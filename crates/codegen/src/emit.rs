@@ -49,6 +49,15 @@ pub struct EmitOptions {
     /// derives the grain at runtime from the span (targeting ~8 chunks
     /// per worker, the same policy as `polymix-runtime`).
     pub dyn_grain: Option<i64>,
+    /// Lower wavefront-annotated nests to the tile task-graph protocol
+    /// (per-tile dependence counters claimed from a topological cursor
+    /// inside one thread scope) instead of the diagonal-barrier loop
+    /// (a fresh scope joined per diagonal). Same execution order —
+    /// every tile still waits for the whole previous weighted diagonal
+    /// — but workers flow across diagonal boundaries without a gang
+    /// barrier, which pays off on triangular/skewed spaces whose
+    /// diagonals are too short to amortize a spawn/join each.
+    pub taskgraph: bool,
 }
 
 impl Default for EmitOptions {
@@ -61,6 +70,7 @@ impl Default for EmitOptions {
             reps: 1,
             pipeline_batch: None,
             dyn_grain: None,
+            taskgraph: false,
         }
     }
 }
@@ -309,6 +319,28 @@ impl Emitter<'_> {
         self.line("        }");
         self.line("    }");
         self.line("}");
+        // Task-graph wait: a tile's dependence counter drains to zero
+        // when every predecessor tile completed. POISON (i64::MAX) is
+        // flooded through the counters on failure, so the first load
+        // must distinguish it from a genuine pending count; a waiter
+        // whose spin budget runs out checks the POISONED flag before
+        // settling into the yield loop. Deadlock-free by construction:
+        // tiles are claimed from the cursor in topological order, so
+        // the lowest unfinished claimed tile always has every
+        // predecessor finished.
+        self.line("#[allow(dead_code)]");
+        self.line("#[inline] fn await_zero(cell: &AtomicI64) -> bool {");
+        self.line("    let mut spins = 0u32;");
+        self.line("    let limit = spin_limit();");
+        self.line("    loop {");
+        self.line("        let v = cell.load(Ordering::Acquire);");
+        self.line("        if v == POISON { return false; }");
+        self.line("        if v <= 0 { return true; }");
+        self.line("        if spins < limit { spins += 1; std::hint::spin_loop(); }");
+        self.line("        else if POISONED.load(Ordering::Acquire) { return false; }");
+        self.line("        else { std::thread::yield_now(); }");
+        self.line("    }");
+        self.line("}");
         self.line("#[derive(Clone, Copy)] struct P(*mut f64);");
         self.line("unsafe impl Send for P {}");
         self.line("unsafe impl Sync for P {}");
@@ -460,6 +492,7 @@ impl Emitter<'_> {
                     Par::Doall => self.doall(l),
                     Par::Reduction => self.reduction(l),
                     Par::Pipeline => self.pipeline(l),
+                    Par::Wavefront if self.opts.taskgraph => self.taskgraph(l),
                     Par::Wavefront => self.wavefront(l),
                     Par::Seq => self.seq_loop(l),
                 }
@@ -1036,7 +1069,10 @@ impl Emitter<'_> {
             self.line(&format!("let {p}: *mut f64 = s_{p}.get();"));
         }
         self.line("let chunk = (diag.len() + nthr - 1) / nthr;");
-        self.line("let lo = t * chunk;");
+        // Both ends clamped: ceil-div chunks overshoot the tail (e.g. 5
+        // tiles over 4 threads gives chunk 2, so t=3 starts at 6) and a
+        // bare `diag[lo..]` would panic the worker.
+        self.line("let lo = (t * chunk).min(diag.len());");
         self.line("let hi = ((t + 1) * chunk).min(diag.len());");
         self.line("for &(u, v) in &diag[lo..hi] {");
         self.indent += 1;
@@ -1058,6 +1094,145 @@ impl Emitter<'_> {
         self.line("d0 = d1;");
         self.indent -= 1;
         self.line("}");
+        self.indent -= 1;
+        self.line("}");
+    }
+
+    /// Counter-graph lowering of the same wavefront: one tile per
+    /// (u, v) pair, one dependence counter per tile initialized to the
+    /// size of the previous weighted diagonal, one thread scope for the
+    /// whole region. Workers claim tiles from a shared cursor in
+    /// topological (diagonal-sorted) order, await the tile's counter,
+    /// run it, then decrement every counter of the next diagonal.
+    /// Claiming in topological order makes the waits deadlock-free: the
+    /// lowest claimed unfinished tile always has every predecessor
+    /// finished. On panic, `contained(pending, ..)` floods the counters
+    /// with POISON so every waiter unblocks and returns.
+    fn taskgraph(&mut self, l: &Loop) {
+        let Node::Loop(inner) = &l.body else {
+            let mut seq = l.clone();
+            seq.par = Par::Seq;
+            self.seq_loop(&seq);
+            return;
+        };
+        let region = self.region;
+        self.region += 1;
+        let arrays = self.all_array_ptrs();
+        let vo = self.var_name(l.var);
+        let vi = self.var_name(inner.var);
+        self.line(&format!(
+            "// taskgraph region {region} (counter graph over weighted diagonals)"
+        ));
+        self.line("{");
+        self.indent += 1;
+        // Enumerate tile origins — identical to the wavefront lowering.
+        self.line("let mut pairs: Vec<(i64, i64)> = Vec::new();");
+        self.line(&format!("let mut {vo}: i64 = {};", self.bound(&l.lo, true)));
+        self.line(&format!("let {vo}_hi: i64 = {};", self.bound(&l.hi, false)));
+        self.line(&format!("while {vo} <= {vo}_hi {{"));
+        self.indent += 1;
+        self.line(&format!("let mut {vi}: i64 = {};", self.bound(&inner.lo, true)));
+        self.line(&format!("let {vi}_hi: i64 = {};", self.bound(&inner.hi, false)));
+        self.line(&format!("while {vi} <= {vi}_hi {{"));
+        self.indent += 1;
+        self.line(&format!("pairs.push(({vo}, {vi}));"));
+        self.line(&format!("{vi} += {};", inner.step));
+        self.indent -= 1;
+        self.line("}");
+        self.line(&format!("{vo} += {};", l.step));
+        self.indent -= 1;
+        self.line("}");
+        // Same skew-safe diagonal weight as the wavefront lowering: the
+        // sort order is the topological order the cursor claims in.
+        let weight = inner.step / l.step.max(1) + 2;
+        self.line(&format!(
+            "pairs.sort_by_key(|&(u, v)| ({weight} * u + v, u));"
+        ));
+        self.line("let n_tiles = pairs.len();");
+        // Diagonal boundaries: diag d spans diag_start[d]..diag_start[d+1].
+        self.line("let mut diag_start: Vec<usize> = vec![0];");
+        self.line("let mut b = 0usize;");
+        self.line("while b < n_tiles {");
+        self.indent += 1;
+        self.line(&format!("let w = {weight} * pairs[b].0 + pairs[b].1;"));
+        self.line(&format!(
+            "while b < n_tiles && {weight} * pairs[b].0 + pairs[b].1 == w {{ b += 1; }}"
+        ));
+        self.line("diag_start.push(b);");
+        self.indent -= 1;
+        self.line("}");
+        self.line("let mut diag_of: Vec<u32> = vec![0; n_tiles];");
+        self.line("for d in 0..diag_start.len() - 1 {");
+        self.indent += 1;
+        self.line("for k in diag_start[d]..diag_start[d + 1] { diag_of[k] = d as u32; }");
+        self.indent -= 1;
+        self.line("}");
+        // Dependence counters: a tile in diagonal d waits for every tile
+        // of diagonal d-1 (the full-cone graph, which covers any forward
+        // inter-tile dependence the wavefront annotation admits).
+        self.line("let pending: Vec<Pad> = (0..n_tiles).map(|_| Pad(AtomicI64::new(0))).collect();");
+        self.line("for d in 1..diag_start.len() - 1 {");
+        self.indent += 1;
+        self.line("let preds = (diag_start[d] - diag_start[d - 1]) as i64;");
+        self.line("for k in diag_start[d]..diag_start[d + 1] {");
+        self.indent += 1;
+        self.line("pending[k].0.store(preds, Ordering::Relaxed);");
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("}");
+        self.line("let pending = &pending;");
+        self.line("let pairs = &pairs;");
+        self.line("let diag_start = &diag_start;");
+        self.line("let diag_of = &diag_of;");
+        self.line("let cursor = Pad(AtomicI64::new(0));");
+        self.line("let cursor = &cursor;");
+        self.line("let nthr = THREADS.min(n_tiles.max(1));");
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let s_{p} = P({p});"));
+        }
+        self.line("std::thread::scope(|sc| {");
+        self.indent += 1;
+        self.line("for _t in 0..nthr {");
+        self.indent += 1;
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let s_{p} = s_{p};"));
+        }
+        self.line("sc.spawn(move || contained(pending, || unsafe {");
+        self.indent += 1;
+        for a in &arrays {
+            let p = self.ptr_name(*a);
+            self.line(&format!("let {p}: *mut f64 = s_{p}.get();"));
+        }
+        self.line("loop {");
+        self.indent += 1;
+        self.line("let k = cursor.0.fetch_add(1, Ordering::Relaxed) as usize;");
+        self.line("if k >= n_tiles { return true; }");
+        self.line("if POISONED.load(Ordering::Acquire) { return false; }");
+        self.line("if !await_zero(&pending[k].0) { return false; }");
+        self.line(&format!("let {vo}: i64 = pairs[k].0;"));
+        self.line(&format!("let {vi}: i64 = pairs[k].1;"));
+        self.node(&inner.body.clone());
+        self.line("let dk = diag_of[k] as usize;");
+        self.line("if dk + 2 < diag_start.len() {");
+        self.indent += 1;
+        self.line("for s in diag_start[dk + 1]..diag_start[dk + 2] {");
+        self.indent += 1;
+        self.line("pending[s].0.fetch_sub(1, Ordering::AcqRel);");
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("}));");
+        self.indent -= 1;
+        self.line("}");
+        self.indent -= 1;
+        self.line("});");
         self.indent -= 1;
         self.line("}");
     }
@@ -1581,6 +1756,95 @@ mod tests {
             "{src}"
         );
         assert!(src.contains("let mut flushed = false;"), "{src}");
+    }
+
+    fn wavefront_prog() -> Program {
+        let mut prog = pipeline_prog();
+        prog.body.visit_loops_mut(&mut |l| {
+            if l.par == Par::Pipeline {
+                l.par = Par::Wavefront;
+            }
+        });
+        prog
+    }
+
+    #[test]
+    fn taskgraph_knob_lowers_wavefront_to_counter_graph() {
+        let prog = wavefront_prog();
+        // Knob off (default): the diagonal-barrier lowering, untouched.
+        let src = emit_rust(
+            &prog,
+            &EmitOptions {
+                params: vec![16],
+                flops: 32,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert!(src.contains("// wavefront region"), "{src}");
+        assert!(!src.contains("// taskgraph region"), "{src}");
+        // Knob on: the counter-graph protocol replaces it.
+        let src = emit_rust(
+            &prog,
+            &EmitOptions {
+                params: vec![16],
+                flops: 32,
+                threads: 4,
+                taskgraph: true,
+                ..Default::default()
+            },
+        );
+        assert!(src.contains("// taskgraph region"), "{src}");
+        assert!(!src.contains("// wavefront region"), "{src}");
+        // Tiles are claimed from the topological cursor, awaited through
+        // per-tile dependence counters inside the poison boundary, and
+        // published by decrementing the next diagonal's counters.
+        assert!(
+            src.contains("let k = cursor.0.fetch_add(1, Ordering::Relaxed) as usize;"),
+            "{src}"
+        );
+        assert!(
+            src.contains("if !await_zero(&pending[k].0) { return false; }"),
+            "{src}"
+        );
+        assert!(
+            src.contains("pending[s].0.fetch_sub(1, Ordering::AcqRel);"),
+            "{src}"
+        );
+        assert!(
+            src.contains("sc.spawn(move || contained(pending, || unsafe {"),
+            "{src}"
+        );
+        // One thread scope for the whole region — no per-diagonal joins.
+        assert_eq!(src.matches("std::thread::scope(|sc| {").count(), 1, "{src}");
+    }
+
+    #[test]
+    fn taskgraph_region_gates_poison_before_counter_awaits() {
+        let src = emit_rust(
+            &wavefront_prog(),
+            &EmitOptions {
+                params: vec![16],
+                flops: 32,
+                threads: 4,
+                taskgraph: true,
+                ..Default::default()
+            },
+        );
+        // Within the region, a worker must observe the POISONED flag
+        // before settling into a counter wait, and an abandoned await
+        // must abandon the worker.
+        let region = src.find("// taskgraph region").expect("region marker");
+        let gate = src[region..]
+            .find("if POISONED.load(Ordering::Acquire) { return false; }")
+            .expect("poison gate in region");
+        let wait = src[region..]
+            .find("await_zero(&pending[")
+            .expect("counter await in region");
+        assert!(gate < wait, "poison gate must precede the counter await");
+        // The emitted helper distinguishes POISON from a genuine count.
+        assert!(src.contains("fn await_zero(cell: &AtomicI64) -> bool {"), "{src}");
+        assert!(src.contains("if v == POISON { return false; }"), "{src}");
     }
 
     #[test]

@@ -78,7 +78,7 @@ where
         .unwrap_or(u64::MAX)
         .min(usize::MAX as u64) as usize;
     let threads = threads.clamp(1, cap);
-    let fabric = Fabric::new(false);
+    let fabric = Fabric::new(false, threads);
     let plan = WorkPlan::new(lo, hi, n, threads, opts.schedule);
     let pooled = if threads == 1 {
         span_worker(0, &plan, &cell_of, &body, &fabric);
@@ -174,7 +174,7 @@ where
         .unwrap_or(u64::MAX)
         .min(usize::MAX as u64) as usize;
     let threads = threads.clamp(1, cap);
-    let fabric = Fabric::new(false);
+    let fabric = Fabric::new(false, threads);
     let plan = WorkPlan::new(lo, hi, n, threads, opts.schedule);
     let chunk_worker = |worker: usize| {
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {

@@ -38,6 +38,35 @@ pub struct FaultPlan {
 
 static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
 static GATE: Mutex<()> = Mutex::new(());
+static TRACE: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+
+/// One recorded injection decision. Every decision is a pure function
+/// of `(seed, coordinates)`, so two runs that execute the same cells on
+/// the same worker count produce the same *set* of events regardless of
+/// interleaving or pool policy — compare traces sorted.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceEvent {
+    /// Worker `slot` started a job; the seeded start delay it was dealt.
+    WorkerStart { slot: usize, delay_us: u64 },
+    /// Cell `(i, j)` ran; the seeded delay and yield decision it drew.
+    Cell {
+        i: i64,
+        j: i64,
+        delay_us: u64,
+        yielded: bool,
+    },
+}
+
+fn record(event: TraceEvent) {
+    TRACE.lock().unwrap_or_else(|e| e.into_inner()).push(event);
+}
+
+/// Drains the injection trace recorded since the plan was installed (or
+/// since the last drain). Sort before comparing across runs — recording
+/// order is scheduling-dependent, the event set is not.
+pub fn take_trace() -> Vec<TraceEvent> {
+    std::mem::take(&mut *TRACE.lock().unwrap_or_else(|e| e.into_inner()))
+}
 
 /// Clears the installed plan when dropped, releasing the gate that
 /// keeps concurrent fault-injection tests from trampling each other.
@@ -51,11 +80,13 @@ impl Drop for FaultGuard {
     }
 }
 
-/// Installs `plan` process-wide until the returned guard drops.
+/// Installs `plan` process-wide until the returned guard drops. Clears
+/// any stale injection trace from a prior plan.
 #[must_use = "the plan is cleared as soon as the guard drops"]
 pub fn install(plan: FaultPlan) -> FaultGuard {
     let gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
     *PLAN.lock().unwrap_or_else(|e| e.into_inner()) = Some(plan);
+    TRACE.lock().unwrap_or_else(|e| e.into_inner()).clear();
     FaultGuard { _gate: gate }
 }
 
@@ -78,14 +109,23 @@ fn current_plan() -> Option<FaultPlan> {
 /// stall, then panic — so a panic cell can also be delayed first.
 pub fn before_cell(i: i64, j: i64) {
     let Some(plan) = current_plan() else { return };
-    if plan.delay_us_max > 0 {
-        let us = mix(plan.seed, i, j) % plan.delay_us_max;
-        if us > 0 {
-            std::thread::sleep(Duration::from_micros(us));
-        }
+    let us = if plan.delay_us_max > 0 {
+        mix(plan.seed, i, j) % plan.delay_us_max
+    } else {
+        0
+    };
+    let yielded =
+        plan.yield_pct > 0 && mix(plan.seed ^ 0xA5A5_A5A5, i, j) % 100 < u64::from(plan.yield_pct);
+    record(TraceEvent::Cell {
+        i,
+        j,
+        delay_us: us,
+        yielded,
+    });
+    if us > 0 {
+        std::thread::sleep(Duration::from_micros(us));
     }
-    if plan.yield_pct > 0 && mix(plan.seed ^ 0xA5A5_A5A5, i, j) % 100 < u64::from(plan.yield_pct)
-    {
+    if yielded {
         std::thread::yield_now();
     }
     if let Some(((si, sj), ms)) = plan.stall_ms_at {
@@ -103,9 +143,31 @@ pub fn before_cell(i: i64, j: i64) {
 
 /// Hook called from the slow path of runtime wait loops; under an
 /// adversarial plan it surrenders the time slice to perturb scheduling.
+/// Not traced: the number of wait-loop turns is scheduling-dependent.
 pub fn on_wait() {
     if current_plan().is_some_and(|p| p.yield_pct > 0) {
         std::thread::yield_now();
+    }
+}
+
+/// Hook the pool calls as worker `slot` starts a job — on *both* the
+/// persistent-worker and spawn-per-call paths, so the seeded start
+/// perturbation (and therefore the whole injection schedule) is
+/// identical under either [`crate::PoolPolicy`]. Threading the seed
+/// through only the pooled path made `POLYMIX_POOL=spawn` runs diverge.
+pub fn before_worker(slot: usize) {
+    let Some(plan) = current_plan() else { return };
+    let us = if plan.delay_us_max > 0 {
+        mix(plan.seed ^ 0x5EED_B00F, slot as i64, -1) % plan.delay_us_max
+    } else {
+        0
+    };
+    record(TraceEvent::WorkerStart {
+        slot,
+        delay_us: us,
+    });
+    if us > 0 {
+        std::thread::sleep(Duration::from_micros(us));
     }
 }
 
@@ -142,5 +204,29 @@ mod tests {
         before_cell(3, 2);
         let caught = std::panic::catch_unwind(|| before_cell(2, 3));
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn trace_records_seeded_decisions_and_drains() {
+        let _g = install(FaultPlan {
+            seed: 99,
+            delay_us_max: 5,
+            yield_pct: 50,
+            ..FaultPlan::default()
+        });
+        before_worker(0);
+        before_cell(1, 2);
+        before_cell(3, 4);
+        let mut a = take_trace();
+        assert_eq!(a.len(), 3, "{a:?}");
+        assert!(take_trace().is_empty(), "drain must clear the trace");
+        // Re-running the same cells yields the same decisions.
+        before_worker(0);
+        before_cell(3, 4);
+        before_cell(1, 2);
+        let mut b = take_trace();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "injection decisions must be seed-deterministic");
     }
 }

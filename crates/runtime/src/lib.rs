@@ -55,6 +55,7 @@ mod pool;
 pub mod reduction;
 pub mod schedule;
 mod sync;
+pub mod taskgraph;
 
 #[cfg(feature = "fault-inject")]
 pub mod fault_inject;
@@ -67,6 +68,8 @@ pub(crate) mod fault_inject {
     pub(crate) fn before_cell(_i: i64, _j: i64) {}
     #[inline(always)]
     pub(crate) fn on_wait() {}
+    #[inline(always)]
+    pub(crate) fn before_worker(_slot: usize) {}
 }
 
 pub use doall::{par_for, par_for_chunked, par_for_chunked_opts, par_for_opts};
@@ -75,3 +78,4 @@ pub use pipeline::{pipeline_2d, pipeline_2d_opts, wavefront_2d, wavefront_2d_opt
 pub use reduction::{reduce_array, reduce_array_opts};
 pub use schedule::{partition, Partition, Schedule};
 pub use sync::{CachePadded, POISON};
+pub use taskgraph::{taskgraph_2d, taskgraph_2d_opts, TileGraph};

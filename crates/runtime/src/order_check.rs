@@ -86,6 +86,20 @@ mod imp {
 #[cfg(feature = "order-check")]
 pub use imp::OrderChecker;
 
+/// The one-time disarm warning, shared process-wide by *every*
+/// primitive (a mixed doall/pipeline/taskgraph stress run used to warn
+/// once per primitive-local flag; now the whole process warns once).
+#[cfg(feature = "order-check")]
+pub(crate) fn warn_order_check_disarmed(detail: &str) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "order-check: {detail}; dependence-order checking is DISARMED for this run \
+             (RunStats::order_check_disarmed is set)"
+        );
+    });
+}
+
 /// The wrapper the primitives embed: forwards to [`OrderChecker`] when
 /// `order-check` is enabled, compiles to a no-op otherwise.
 pub(crate) struct DepChecker {
@@ -103,19 +117,31 @@ impl DepChecker {
         };
         #[cfg(feature = "order-check")]
         if checker.disarmed() {
-            // Once per process, not per sweep: a big-grid stress run
-            // would otherwise drown its own output.
-            static WARNED: std::sync::Once = std::sync::Once::new();
-            WARNED.call_once(|| {
-                eprintln!(
-                    "order-check: grid [{}, {}) x [{}, {}) exceeds the shadow budget; \
-                     dependence-order checking is DISARMED for such grids \
-                     (RunStats::order_check_disarmed is set)",
-                    grid.i_lo, grid.i_hi, grid.j_lo, grid.j_hi
-                );
-            });
+            warn_order_check_disarmed(&format!(
+                "grid [{}, {}) x [{}, {}) exceeds the shadow budget",
+                grid.i_lo, grid.i_hi, grid.j_lo, grid.j_hi
+            ));
         }
         checker
+    }
+
+    /// A checker for runs whose dependence relation is *not* the
+    /// standard `(i-1, j)`/`(i, j-1)` cone (an explicit task DAG, or a
+    /// tile graph over a different vector set): under `order-check` it
+    /// stands down — asserting the wrong relation would report phantom
+    /// violations — and reports [`DepChecker::disarmed`] so
+    /// `RunStats::order_check_disarmed` surfaces the gap consistently.
+    pub(crate) fn unmodeled(what: &str) -> DepChecker {
+        #[cfg(not(feature = "order-check"))]
+        let _ = what;
+        #[cfg(feature = "order-check")]
+        warn_order_check_disarmed(&format!(
+            "{what} is outside the checker's (i-1, j)/(i, j-1) source model"
+        ));
+        DepChecker {
+            #[cfg(feature = "order-check")]
+            inner: None,
+        }
     }
 
     /// True when this build checks order but this grid was too large to
@@ -219,6 +245,13 @@ mod tests {
         assert!(big.disarmed(), "shadow budget exceeded, must stand down");
         big.finish().expect("a disarmed checker asserts nothing");
         assert!(!DepChecker::new(grid(8, 8)).disarmed());
+    }
+
+    #[test]
+    fn unmodeled_relation_disarms_dep_checker() {
+        let c = DepChecker::unmodeled("explicit task DAG");
+        assert!(c.disarmed(), "unmodeled relations must stand down");
+        c.finish().expect("a disarmed checker asserts nothing");
     }
 
     #[test]

@@ -175,10 +175,11 @@ where
     let progress: Vec<CachePadded<AtomicI64>> = (0..nthr)
         .map(|_| CachePadded::new(AtomicI64::new(i64::MIN)))
         .collect();
-    let fabric = Fabric::new(opts.watchdog.is_some());
+    let fabric = Fabric::new(opts.watchdog.is_some(), nthr);
     let part = partition(grid.j_lo, grid.j_hi, nthr);
     let batch = resolve_batch(&opts, grid.i_hi - grid.i_lo, nthr);
     let worker = |t: usize| {
+        fabric.worker_online();
         let (blk_lo, blk_hi) = part.span(t);
         let current: Cell<Option<(i64, i64)>> = Cell::new(None);
         let outcome = catch_unwind(AssertUnwindSafe(|| {

@@ -35,8 +35,26 @@
 
 use crate::error::PoolPolicy;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Process-global job-lifecycle heartbeat: bumped when a worker picks a
+/// job out of its mailbox, when it finishes one, and when a
+/// spawn-per-call worker starts or ends. The watchdog
+/// ([`crate::sync::StallWatch`]) consults it while an invocation's gang
+/// is still coming online, so workers parked between jobs (or threads
+/// still being spawned) read as start-up latency instead of a stall.
+static HEARTBEAT: AtomicU64 = AtomicU64::new(0);
+
+/// Current heartbeat value (monotonic, process-wide).
+pub(crate) fn heartbeat() -> u64 {
+    HEARTBEAT.load(Ordering::Relaxed)
+}
+
+/// Records one job-lifecycle transition.
+pub(crate) fn bump_heartbeat() {
+    HEARTBEAT.fetch_add(1, Ordering::Relaxed);
+}
 
 /// Hard ceiling on pool threads; requests beyond it (or past a failed
 /// thread spawn) use the spawn-per-call fallback. Generous because the
@@ -145,6 +163,7 @@ fn global() -> &'static WorkerPool {
 fn worker_loop(mailbox: Arc<Mailbox>, pool: Arc<PoolInner>) {
     loop {
         let job = mailbox.take_job();
+        bump_heartbeat();
         // SAFETY: the submitter blocks on `job.latch` until after this
         // call returns, so the borrow behind `task` is still live.
         let task = unsafe { &*job.task };
@@ -157,6 +176,7 @@ fn worker_loop(mailbox: Arc<Mailbox>, pool: Arc<PoolInner>) {
             let mut idle = pool.idle.lock().unwrap_or_else(|e| e.into_inner());
             idle.push(Arc::clone(&mailbox));
         }
+        bump_heartbeat();
         job.latch.arrive();
     }
 }
@@ -230,13 +250,26 @@ impl WorkerPool {
 /// on freshly spawned scoped threads. Returns `true` when the pooled
 /// path ran. `task` must contain its own panics (the primitives do);
 /// the pool adds a backstop `catch_unwind` either way.
+///
+/// Both paths run the seeded per-worker fault-injection hook before the
+/// task, so `fault-inject` schedules replay identically under
+/// [`PoolPolicy::Persistent`] and [`PoolPolicy::SpawnPerCall`].
 pub(crate) fn execute(k: usize, policy: PoolPolicy, task: &(dyn Fn(usize) + Sync)) -> bool {
-    if policy.use_pool() && global().try_run(k, task) {
+    let seeded = |t: usize| {
+        crate::fault_inject::before_worker(t);
+        task(t)
+    };
+    if policy.use_pool() && global().try_run(k, &seeded) {
         return true;
     }
+    let seeded = &seeded;
     std::thread::scope(|s| {
         for t in 0..k {
-            s.spawn(move || task(t));
+            s.spawn(move || {
+                bump_heartbeat();
+                seeded(t);
+                bump_heartbeat();
+            });
         }
     });
     false

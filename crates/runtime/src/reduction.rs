@@ -63,7 +63,7 @@ where
     let threads = threads.clamp(1, cap);
     let len = target.len();
     let global = Mutex::new(target);
-    let fabric = Fabric::new(false);
+    let fabric = Fabric::new(false, threads);
     let plan = WorkPlan::new(lo, hi, n, threads, opts.schedule);
     let worker = |t: usize| {
         // The accumulator header sits on its own cache line; the heap

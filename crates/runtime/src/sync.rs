@@ -25,7 +25,7 @@
 
 use crate::error::RuntimeError;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -173,15 +173,25 @@ pub(crate) struct Fabric {
     /// hot paths pay nothing.
     epoch: CachePadded<AtomicU64>,
     watching: bool,
+    /// Workers the invocation expects; until `started` catches up the
+    /// watchdog keeps deferring to the pool's job-lifecycle heartbeat
+    /// (a gang still being delivered to parked mailboxes is start-up
+    /// latency, not an in-job stall).
+    expected: usize,
+    /// Workers that have come online (see [`Fabric::worker_online`]);
+    /// only maintained when a watchdog is armed.
+    started: CachePadded<AtomicUsize>,
     failure: Mutex<Option<RuntimeError>>,
 }
 
 impl Fabric {
-    pub(crate) fn new(watching: bool) -> Fabric {
+    pub(crate) fn new(watching: bool, expected: usize) -> Fabric {
         Fabric {
             poisoned: CachePadded::new(AtomicBool::new(false)),
             epoch: CachePadded::new(AtomicU64::new(0)),
             watching,
+            expected,
+            started: CachePadded::new(AtomicUsize::new(0)),
             failure: Mutex::new(None),
         }
     }
@@ -197,6 +207,25 @@ impl Fabric {
         if self.watching {
             self.epoch.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Called by each worker as its closure starts running: coming
+    /// online is progress (it resets stall timers), and once all
+    /// `expected` workers checked in the watchdog stops consulting the
+    /// pool heartbeat and watches the progress epoch alone.
+    #[inline]
+    pub(crate) fn worker_online(&self) {
+        if self.watching {
+            self.started.fetch_add(1, Ordering::Relaxed);
+            self.epoch.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether every expected worker has come online. Vacuously true
+    /// when the watchdog is off (nobody consults the answer then).
+    #[inline]
+    pub(crate) fn all_online(&self) -> bool {
+        !self.watching || self.started.load(Ordering::Relaxed) >= self.expected
     }
 
     /// Records `err` (first failure wins), raises the poison flag, and
@@ -235,6 +264,59 @@ pub(crate) enum Wait {
     Stalled,
 }
 
+/// The watchdog ledger shared by every waiting slow path (progress
+/// awaits and the task graph's idle loop): reports a stall when the
+/// fabric's progress epoch stayed frozen for the whole deadline.
+///
+/// Until the invocation's gang is fully online ([`Fabric::all_online`])
+/// the pool's job-lifecycle heartbeat also counts as progress: a
+/// persistent-pool gang is delivered to parked mailboxes one worker at
+/// a time, and a waiter must not report `Stalled` while its peers are
+/// still being woken up — only a *genuine in-job* freeze fires.
+pub(crate) struct StallWatch {
+    deadline: Option<Duration>,
+    /// Armed lazily on the first slow-path observation:
+    /// (epoch seen, pool heartbeat seen, when).
+    seen: Option<(u64, u64, Instant)>,
+}
+
+impl StallWatch {
+    pub(crate) fn new(deadline: Option<Duration>) -> StallWatch {
+        StallWatch {
+            deadline,
+            seen: None,
+        }
+    }
+
+    /// One slow-path observation; `true` means the deadline elapsed
+    /// with no progress anywhere and the caller should declare a stall.
+    pub(crate) fn stalled(&mut self, fabric: &Fabric) -> bool {
+        let Some(dl) = self.deadline else {
+            return false;
+        };
+        let epoch_now = fabric.epoch.load(Ordering::Relaxed);
+        let hb_now = crate::pool::heartbeat();
+        match &mut self.seen {
+            None => {
+                self.seen = Some((epoch_now, hb_now, Instant::now()));
+                false
+            }
+            Some((epoch_seen, hb_seen, since)) => {
+                let progressed = epoch_now != *epoch_seen
+                    || (!fabric.all_online() && hb_now != *hb_seen);
+                if progressed {
+                    *epoch_seen = epoch_now;
+                    *hb_seen = hb_now;
+                    *since = Instant::now();
+                    false
+                } else {
+                    since.elapsed() >= dl
+                }
+            }
+        }
+    }
+}
+
 /// Waits until `cell` reaches at least `target`, with poison checks,
 /// the optional global-progress watchdog, and spin/yield/park backoff.
 pub(crate) fn await_progress(
@@ -256,8 +338,7 @@ pub(crate) fn await_progress_with_limit(
     spin_limit: u32,
 ) -> Wait {
     let mut backoff = Backoff::new(spin_limit);
-    // Armed lazily on entering the slow path: (epoch last seen, when).
-    let mut watch: Option<(u64, Instant)> = None;
+    let mut watch = StallWatch::new(deadline);
     loop {
         let v = cell.load(Ordering::Acquire);
         if v == POISON {
@@ -274,19 +355,8 @@ pub(crate) fn await_progress_with_limit(
             return Wait::Poisoned;
         }
         crate::fault_inject::on_wait();
-        if let Some(dl) = deadline {
-            let epoch_now = fabric.epoch.load(Ordering::Relaxed);
-            match &mut watch {
-                None => watch = Some((epoch_now, Instant::now())),
-                Some((epoch_seen, since)) => {
-                    if epoch_now != *epoch_seen {
-                        *epoch_seen = epoch_now;
-                        *since = Instant::now();
-                    } else if since.elapsed() >= dl {
-                        return Wait::Stalled;
-                    }
-                }
-            }
+        if watch.stalled(fabric) {
+            return Wait::Stalled;
         }
         backoff.wait();
     }
@@ -330,7 +400,7 @@ mod tests {
     fn await_with_zero_spin_limit_still_completes() {
         // A waiter with no spin budget must reach the target through the
         // yield/park ladder once another thread publishes it.
-        let fabric = Fabric::new(false);
+        let fabric = Fabric::new(false, 1);
         let cell = AtomicI64::new(0);
         std::thread::scope(|s| {
             s.spawn(|| {
@@ -358,7 +428,7 @@ mod tests {
 
     #[test]
     fn await_sees_ready_and_poison() {
-        let fabric = Fabric::new(false);
+        let fabric = Fabric::new(false, 1);
         let cell = AtomicI64::new(5);
         assert_eq!(await_progress(&cell, 5, &fabric, None), Wait::Ready);
         assert_eq!(await_progress(&cell, 3, &fabric, None), Wait::Ready);
@@ -368,7 +438,10 @@ mod tests {
 
     #[test]
     fn await_reports_stall_on_frozen_epoch() {
-        let fabric = Fabric::new(true);
+        // expected = 0: the gang counts as fully online, so the pool
+        // heartbeat is ignored and only the frozen epoch matters (other
+        // tests' pool activity must not reset this timer).
+        let fabric = Fabric::new(true, 0);
         let cell = AtomicI64::new(0);
         let started = Instant::now();
         let got = await_progress(&cell, 1, &fabric, Some(Duration::from_millis(50)));
@@ -381,10 +454,71 @@ mod tests {
     }
 
     #[test]
+    fn pool_heartbeat_defers_stall_until_gang_is_online() {
+        // The watchdog regression this pins: one worker of a two-worker
+        // gang starts waiting while its peer is still being delivered by
+        // the pool. Pool heartbeats must keep resetting the stall timer
+        // (start-up latency is not an in-job stall), so the waiter sees
+        // the late publish instead of reporting Stalled.
+        let fabric = Fabric::new(true, 2);
+        fabric.worker_online(); // the waiter itself; peer not yet online
+        assert!(!fabric.all_online());
+        let cell = AtomicI64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Simulated mailbox/latch traffic while the peer spins
+                // up, then the peer's publish — well past the deadline.
+                for _ in 0..20 {
+                    std::thread::sleep(Duration::from_millis(10));
+                    crate::pool::bump_heartbeat();
+                }
+                cell.store(1, Ordering::Release);
+            });
+            let got = await_progress_with_limit(
+                &cell,
+                1,
+                &fabric,
+                Some(Duration::from_millis(50)),
+                0,
+            );
+            assert_eq!(got, Wait::Ready, "heartbeat must defer the watchdog");
+        });
+    }
+
+    #[test]
+    fn heartbeat_does_not_mask_stalls_once_gang_is_online() {
+        // Once every expected worker checked in, only the progress epoch
+        // counts: job-lifecycle traffic from unrelated invocations must
+        // not hide a genuinely wedged gang.
+        let fabric = Fabric::new(true, 1);
+        fabric.worker_online();
+        assert!(fabric.all_online());
+        let cell = AtomicI64::new(0);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    crate::pool::bump_heartbeat();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+            let got = await_progress_with_limit(
+                &cell,
+                1,
+                &fabric,
+                Some(Duration::from_millis(50)),
+                0,
+            );
+            stop.store(true, Ordering::Relaxed);
+            assert_eq!(got, Wait::Stalled, "heartbeat must not mask a real stall");
+        });
+    }
+
+    #[test]
     fn poison_floods_counters_and_keeps_first_error() {
         let progress: Vec<CachePadded<AtomicI64>> =
             (0..4).map(|_| CachePadded::new(AtomicI64::new(0))).collect();
-        let fabric = Fabric::new(false);
+        let fabric = Fabric::new(false, 4);
         fabric.poison(RuntimeError::Misuse("first".into()), &progress);
         fabric.poison(RuntimeError::Misuse("second".into()), &progress);
         assert!(fabric.is_poisoned());

@@ -102,6 +102,34 @@ fn pooled_and_spawned_sweeps_agree_bit_for_bit() {
     }
 }
 
+#[test]
+fn watchdog_tolerates_workers_parked_between_pooled_jobs() {
+    // The watchdog regression this pins: persistent-pool workers park in
+    // their mailboxes between jobs, and gang delivery wakes them one at
+    // a time. A waiter from job N+1 whose deadline is shorter than that
+    // delivery latency used to see a frozen progress epoch — parked
+    // peers publish nothing — and report `Stalled` on a perfectly
+    // healthy run. The fix feeds the watchdog from the pool's
+    // job-lifecycle heartbeat until the gang is fully online, so
+    // back-to-back pooled jobs under a tight deadline must all pass,
+    // including after idle gaps longer than the deadline itself.
+    let opts = RuntimeOptions {
+        pool: PoolPolicy::Persistent,
+        watchdog: Some(std::time::Duration::from_millis(75)),
+        ..RuntimeOptions::default()
+    };
+    for round in 0..12 {
+        let field = seidel_sweep(17, 19, 4, opts)
+            .unwrap_or_else(|e| panic!("watched pooled round {round} failed: {e:?}"));
+        assert_eq!(field.len(), 17 * 19);
+        if round % 4 == 3 {
+            // Idle longer than the watchdog deadline with every worker
+            // parked; the next round must still come up clean.
+            std::thread::sleep(std::time::Duration::from_millis(120));
+        }
+    }
+}
+
 /// The CI pool smoke: the same pooled-vs-spawn agreement, but under an
 /// adversarial seeded schedule (per-cell delays + yields) and with the
 /// dynamic dependence-order checker armed via the `order-check` feature.

@@ -34,9 +34,11 @@ mod occurrence;
 mod walk;
 
 pub mod lint;
+pub mod taskgraph;
 pub mod violation;
 
 pub use lint::verify_source;
+pub use taskgraph::certify_tile_graph;
 pub use violation::{Certificate, Violation, ViolationKind};
 
 use occurrence::{Occurrence, PStep};

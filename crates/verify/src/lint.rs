@@ -39,7 +39,7 @@ struct Region<'a> {
     lines: Vec<&'a str>,
 }
 
-const KINDS: [&str; 4] = ["doall", "reduction", "pipeline", "wavefront"];
+const KINDS: [&str; 5] = ["doall", "reduction", "pipeline", "wavefront", "taskgraph"];
 
 /// Parses `// <kind> region N ...` markers; returns the marker's kind
 /// and label when the line is one.
@@ -118,6 +118,17 @@ pub fn verify_source(kernel: &str, source: &str) -> Certificate {
                  fetch_max",
             ));
         }
+        if line.contains(".fetch_sub(") && !line.contains("pending") {
+            violations.push(lint_violation(
+                "",
+                format!(
+                    "line {ln}: fetch_sub on something other than a taskgraph pending \
+                     counter"
+                ),
+                "only the task graph's dependence counters are decremented; progress \
+                 cells are monotonic and use fetch_max",
+            ));
+        }
     }
     if source.contains("await_progress(&") && !source.contains("static POISONED: AtomicBool") {
         violations.push(lint_violation(
@@ -125,6 +136,14 @@ pub fn verify_source(kernel: &str, source: &str) -> Certificate {
             "kernel awaits progress but declares no POISONED flag".to_string(),
             "without the poison flag a waiter whose neighbor died spins forever; \
              emit the static POISONED declaration and store it on panic",
+        ));
+    }
+    if source.contains("await_zero(&") && !source.contains("static POISONED: AtomicBool") {
+        violations.push(lint_violation(
+            "",
+            "kernel awaits dependence counters but declares no POISONED flag".to_string(),
+            "without the poison flag a waiter whose predecessor died spins forever on \
+             a counter that will never reach zero",
         ));
     }
 
@@ -156,6 +175,9 @@ pub fn verify_source(kernel: &str, source: &str) -> Certificate {
             }
             "pipeline" | "wavefront" => {
                 lint_sync_region(&region, &text, &mut violations);
+            }
+            "taskgraph" => {
+                lint_taskgraph_region(&region, &text, &mut violations);
             }
             _ => {}
         }
@@ -221,6 +243,65 @@ fn lint_sync_region(region: &Region<'_>, text: &str, violations: &mut Vec<Violat
     }
 }
 
+/// Checks the counter-graph obligations of one taskgraph region: tiles
+/// are claimed from the topological cursor, every claim awaits its
+/// dependence counter (POISON-aware, gated on the POISONED flag, bailing
+/// out of the worker on failure), and completions decrement successor
+/// counters.
+fn lint_taskgraph_region(region: &Region<'_>, text: &str, violations: &mut Vec<Violation>) {
+    let label = region.label.as_str();
+    if !text.contains("cursor") || !text.contains(".fetch_add(") {
+        violations.push(lint_violation(
+            label,
+            "taskgraph region never claims tiles from the topological cursor".to_string(),
+            "tiles are claimed with cursor.fetch_add in topological order — the order \
+             that makes counter waits deadlock-free; re-emit the region",
+        ));
+    }
+    let awaits = text.contains("await_zero(&pending[");
+    if !awaits {
+        violations.push(lint_violation(
+            label,
+            "taskgraph region never awaits a tile's dependence counter".to_string(),
+            "a claimed tile must await_zero its pending counter before running; \
+             without it the inter-tile dependences are unsynchronized",
+        ));
+    }
+    if !text.contains(".fetch_sub(1") {
+        violations.push(lint_violation(
+            label,
+            "taskgraph region never decrements successor counters".to_string(),
+            "a completed tile must fetch_sub each successor's pending counter or \
+             every successor waits forever",
+        ));
+    }
+    if awaits {
+        let first_await = text.find("await_zero(&pending[").unwrap_or(0);
+        let gate = text.find("POISONED.load");
+        if !matches!(gate, Some(g) if g < first_await) {
+            violations.push(lint_violation(
+                label,
+                "no POISONED gate before the first counter await".to_string(),
+                "a worker claiming tiles after a sibling died must observe the poison \
+                 flag before waiting on a counter that will never drain",
+            ));
+        }
+        for line in &region.lines {
+            if line.contains("!await_zero(") && !line.contains("{ return false; }") {
+                violations.push(lint_violation(
+                    label,
+                    format!(
+                        "counter await does not abandon the worker on failure: `{}`",
+                        line.trim()
+                    ),
+                    "a failed await_zero means the graph is poisoned; the worker must \
+                     return immediately instead of running the tile",
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +324,18 @@ progress[t].0.fetch_max(v, Ordering::AcqRel);
 }));
 // reduction region 2 (reduced [0], owner-indexed [])
 sc.spawn(move || contained(&[], || unsafe {
+}));
+// taskgraph region 3 (tiles 4 x 3, cone [(1, 0), (0, 1)])
+#[inline] fn await_zero(cell: &AtomicI64) -> bool {
+    loop { if POISONED.load(Ordering::Acquire) { return false; } }
+}
+sc.spawn(move || contained(&[], || unsafe {
+loop {
+let k = cursor.0.fetch_add(1, Ordering::Relaxed) as usize;
+if k >= n_tiles { return true; }
+if !await_zero(&pending[k]) { return false; }
+for &s in succs[k] { pending[s].fetch_sub(1, Ordering::AcqRel); }
+}
 }));
 "#;
 
@@ -272,6 +365,54 @@ sc.spawn(move || contained(&[], || unsafe {
             .violations
             .iter()
             .any(|v| v.detail.contains("unwind boundary")));
+    }
+
+    #[test]
+    fn taskgraph_dropped_decrement_flagged() {
+        let bad = GOOD.replace(
+            "for &s in succs[k] { pending[s].fetch_sub(1, Ordering::AcqRel); }\n",
+            "",
+        );
+        let cert = verify_source("k", &bad);
+        assert!(
+            cert.violations
+                .iter()
+                .any(|v| v.detail.contains("never decrements successor counters")),
+            "{:?}",
+            cert.violations
+        );
+    }
+
+    #[test]
+    fn taskgraph_unguarded_await_flagged() {
+        let bad = GOOD.replace(
+            "if !await_zero(&pending[k]) { return false; }",
+            "if !await_zero(&pending[k]) { continue; }",
+        );
+        let cert = verify_source("k", &bad);
+        assert!(
+            cert.violations
+                .iter()
+                .any(|v| v.detail.contains("does not abandon the worker")),
+            "{:?}",
+            cert.violations
+        );
+    }
+
+    #[test]
+    fn stray_fetch_sub_flagged_globally() {
+        let bad = GOOD.replace(
+            "progress[t].0.fetch_max(v, Ordering::AcqRel);",
+            "progress[t].0.fetch_sub(1, Ordering::AcqRel);",
+        );
+        let cert = verify_source("k", &bad);
+        assert!(
+            cert.violations
+                .iter()
+                .any(|v| v.detail.contains("fetch_sub on something other")),
+            "{:?}",
+            cert.violations
+        );
     }
 
     #[test]

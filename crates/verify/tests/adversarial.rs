@@ -156,3 +156,54 @@ fn dropped_await_is_rejected_by_source_lint() {
             .join("\n")
     );
 }
+
+/// Counter-graph lowering: with the `taskgraph` knob on, the wavefront
+/// tiles of seidel-2d come out as a counter-graph region that the
+/// source lint certifies; stripping the successor decrements (tiles
+/// complete but never release their dependents — the kernel would hang)
+/// must be flagged.
+#[test]
+fn emitted_taskgraph_kernel_lints_clean_and_tampering_is_caught() {
+    use polymix_pluto::{optimize_pluto, PlutoOptions};
+    let k = kernel_by_name("seidel-2d").expect("kernel");
+    let scop = (k.build)();
+    let prog = optimize_pluto(&scop, &PlutoOptions::default()).expect("optimize");
+    let opts = EmitOptions {
+        params: k.dataset("mini").params,
+        threads: 4,
+        taskgraph: true,
+        ..Default::default()
+    };
+    let src = emit_rust(&prog, &opts);
+    assert!(
+        src.contains("// taskgraph region"),
+        "taskgraph knob must lower the wavefront tiles to a counter graph"
+    );
+    assert!(
+        verify_source("seidel-2d", &src).is_certified(),
+        "unmutated taskgraph source must lint clean:\n{}",
+        verify_source("seidel-2d", &src)
+            .violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let broken: String = src
+        .lines()
+        .filter(|l| !l.contains(".fetch_sub(1"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let cert = verify_source("seidel-2d", &broken);
+    assert!(
+        cert.violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::KernelLint),
+        "decrement drop: expected a KernelLint violation, got:\n{}",
+        cert.violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
