@@ -73,4 +73,21 @@ done
 RECORDS=$(wc -l < "$SMOKE_DIR/table1.jsonl")
 [ "$RECORDS" -eq 4 ] || { echo "expected exactly 4 JSONL records, got $RECORDS"; exit 1; }
 
+# Small-budget tuner smoke: one kernel at mini through the closed-loop
+# search, then `table1 --tuned` loading (and thereby parsing) the
+# committed config — the 5th "tuned (...)" row proves the round trip.
+echo "== tuner smoke test =="
+POLYMIX_BENCH_DIR="$SMOKE_DIR/cache" \
+    cargo run --release -q -p polymix-bench --bin tune -- \
+    --kernels 2mm --dataset mini --budget 6 --jobs 2 --run-timeout 120 \
+    --out "$SMOKE_DIR/tuned" --results "$SMOKE_DIR/tune.jsonl" > /dev/null
+[ -s "$SMOKE_DIR/tuned/2mm.json" ] || { echo "tuner produced no config"; exit 1; }
+grep -q '"speedup_vs_native"' "$SMOKE_DIR/tuned/2mm.json" \
+    || { echo "tuned config missing measurement fields"; exit 1; }
+POLYMIX_BENCH_DIR="$SMOKE_DIR/cache" \
+    cargo run --release -q -p polymix-bench --bin table1 -- \
+    --dataset mini --jobs 2 --run-timeout 120 \
+    --tuned --tuned-config "$SMOKE_DIR/tuned/2mm.json" \
+    | grep -q 'tuned (' || { echo "table1 --tuned did not render the tuned row"; exit 1; }
+
 echo "CI OK"

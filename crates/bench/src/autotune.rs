@@ -1,0 +1,796 @@
+//! Closed-loop autotuner over the sweep executor.
+//!
+//! The paper's iterative column enumerates three fixed fusion
+//! structures; this module closes the loop properly: a measured-feedback
+//! search over *fusion structure × tile sizes × unroll factors ×
+//! runtime knobs* (pipeline publish batch, dynamic-schedule grain,
+//! taskgraph-vs-wavefront lowering), driven through the crash-safe sweep
+//! executor so every measured cell is cached, timed out, retried, and
+//! appended to the resumable JSONL log.
+//!
+//! The search is budgeted in *measured cells*, so candidate triage
+//! happens before anything is compiled:
+//!
+//! 1. **Prune** with the cache model: every candidate *structure* is
+//!    simulated at the kernel's `mini` dataset through the
+//!    [`polymix_cachesim`] hierarchy batch API; structures whose
+//!    weighted miss cost exceeds [`PRUNE_FACTOR`]× the best are dropped
+//!    unmeasured.
+//! 2. **Rank** survivors with a transparent feature-based cost model
+//!    ([`Features`] / [`score`]): simulated miss cost, loop depth,
+//!    parallel-loop and synchronization-loop counts (the Par annotations
+//!    summarize the dependence-vector shape each structure ended up
+//!    with), and how well the tile footprint fits L1.
+//! 3. **Measure** the most promising candidates first, expanding each
+//!    structure into its runtime-knob variants, until `budget` cells
+//!    have been spent (plus one native-baseline cell for the speedup
+//!    denominator).
+//!
+//! The winner — minimum wall time among healthy (non-degraded,
+//! non-error) candidate cells — is committed as a one-line JSON config
+//! (`results/tuned/<kernel>.json`) that `table1 --tuned` and future
+//! sweeps can load.
+
+use crate::runner::{emit_source_with, EmitKnobs, Runner};
+use crate::sweep::{self, run_sweep, JobOutcome, SweepConfig, SweepJob};
+use crate::variants::{build_variant, Variant};
+use polymix_ast::tree::{Node, Par, Program};
+use polymix_cachesim::{batch_weighted_cost, CacheConfig};
+use polymix_core::{optimize_poly_ast, PolyAstOptions};
+use polymix_dl::Machine;
+use polymix_ir::error::PolymixError;
+use polymix_pluto::{optimize_pluto, PlutoOptions, PlutoVariant};
+use polymix_polybench::{kernel_by_name, Group, Kernel};
+use std::path::{Path, PathBuf};
+
+/// Structures costing more than this factor times the cheapest
+/// simulated structure are pruned before compilation.
+pub const PRUNE_FACTOR: f64 = 2.0;
+
+/// Per-level miss costs (cycles-ish) weighting the simulated hierarchy:
+/// L1 miss, L2 miss. Only ratios matter for pruning/ranking.
+pub const LEVEL_COSTS: [f64; 2] = [1.0, 4.0];
+
+/// The optimizer family of a candidate: which transformation flow and
+/// which fusion structure it enumerates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OptFamily {
+    /// The paper's poly+AST flow with Algorithm 5 fusion.
+    PolyAstFuse,
+    /// poly+AST with inter-SCC fusion disabled.
+    PolyAstNoFuse,
+    /// Pluto smart-fuse (the `pocc` baseline).
+    PlutoPocc,
+    /// Pluto maximal fusion.
+    PlutoMaxFuse,
+    /// Pluto no fusion.
+    PlutoNoFuse,
+}
+
+impl OptFamily {
+    /// All families the search enumerates.
+    pub fn all() -> [OptFamily; 5] {
+        [
+            OptFamily::PolyAstFuse,
+            OptFamily::PolyAstNoFuse,
+            OptFamily::PlutoPocc,
+            OptFamily::PlutoMaxFuse,
+            OptFamily::PlutoNoFuse,
+        ]
+    }
+
+    /// Stable config-file name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptFamily::PolyAstFuse => "polyast-fuse",
+            OptFamily::PolyAstNoFuse => "polyast-nofuse",
+            OptFamily::PlutoPocc => "pluto-pocc",
+            OptFamily::PlutoMaxFuse => "pluto-maxfuse",
+            OptFamily::PlutoNoFuse => "pluto-nofuse",
+        }
+    }
+
+    /// Inverse of [`OptFamily::name`].
+    pub fn parse(s: &str) -> Option<OptFamily> {
+        OptFamily::all().into_iter().find(|o| o.name() == s)
+    }
+}
+
+/// One point of the search space: a transformation structure plus the
+/// runtime knobs threaded into the emitted program.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    /// Optimizer family (fusion structure enumeration).
+    pub opt: OptFamily,
+    /// Rectangular tile size.
+    pub tile: i64,
+    /// Outer (time) tile size for pipeline-group kernels; equals `tile`
+    /// elsewhere.
+    pub time_tile: i64,
+    /// Unroll-and-jam factors `(outer, inner)`.
+    pub unroll: (i64, i64),
+    /// Pipeline publish batch override (`None` = emitter's automatic).
+    pub pipeline_batch: Option<i64>,
+    /// Dynamic-schedule chunk grain override (`None` = automatic).
+    pub dyn_grain: Option<i64>,
+    /// Lower wavefront nests through the counter-graph runtime.
+    pub taskgraph: bool,
+}
+
+impl Candidate {
+    /// Stable sweep-job id: the resume log keys on this, so it must
+    /// encode every knob.
+    pub fn id(&self, kernel: &str, dataset: &str) -> String {
+        let pb = self
+            .pipeline_batch
+            .map_or("auto".to_string(), |b| b.to_string());
+        let dg = self
+            .dyn_grain
+            .map_or("auto".to_string(), |g| g.to_string());
+        format!(
+            "tune:{kernel}:{dataset}:{}:t{}:tt{}:u{}x{}:pb{pb}:dg{dg}:tg{}",
+            self.opt.name(),
+            self.tile,
+            self.time_tile,
+            self.unroll.0,
+            self.unroll.1,
+            u8::from(self.taskgraph),
+        )
+    }
+
+    /// The emitted-program knobs this candidate requests.
+    pub fn knobs(&self) -> EmitKnobs {
+        EmitKnobs {
+            pipeline_batch: self.pipeline_batch,
+            dyn_grain: self.dyn_grain,
+            taskgraph: self.taskgraph,
+        }
+    }
+
+    /// The structure key: candidates sharing it run the *same* program
+    /// and differ only in runtime knobs, so they share one simulation.
+    fn structure(&self) -> (OptFamily, i64, i64, (i64, i64)) {
+        (self.opt, self.tile, self.time_tile, self.unroll)
+    }
+}
+
+/// Builds the transformed program for one candidate structure.
+pub fn build_candidate(
+    kernel: &Kernel,
+    c: &Candidate,
+    machine: &Machine,
+) -> Result<Program, PolymixError> {
+    let scop = (kernel.build)();
+    match c.opt {
+        OptFamily::PolyAstFuse | OptFamily::PolyAstNoFuse => optimize_poly_ast(
+            &scop,
+            &PolyAstOptions {
+                machine: machine.clone(),
+                tile: c.tile,
+                time_tile: c.time_tile,
+                tiling: true,
+                parallelize: true,
+                doall_only: false,
+                unroll: c.unroll,
+                fusion: c.opt == OptFamily::PolyAstFuse,
+            },
+        ),
+        OptFamily::PlutoPocc | OptFamily::PlutoMaxFuse | OptFamily::PlutoNoFuse => {
+            let pv = match c.opt {
+                OptFamily::PlutoMaxFuse => PlutoVariant::MaxFuse,
+                OptFamily::PlutoNoFuse => PlutoVariant::NoFuse,
+                _ => PlutoVariant::Pocc,
+            };
+            optimize_pluto(
+                &scop,
+                &PlutoOptions {
+                    variant: pv,
+                    tile: c.tile,
+                    time_tile: c.time_tile,
+                    tiling: true,
+                    unroll: c.unroll,
+                },
+            )
+        }
+    }
+}
+
+/// Enumerates the full candidate space for a kernel group, structure
+/// knobs crossed with runtime knobs. Deterministic order: the search
+/// (and therefore the resume log) depends on it.
+pub fn candidate_space(group: Group) -> Vec<Candidate> {
+    let tiles: &[i64] = &[16, 32, 64];
+    let time_tiles: &[i64] = if group == Group::Pipeline {
+        &[4, 5, 8]
+    } else {
+        &[]
+    };
+    let unrolls: &[(i64, i64)] = &[(1, 1), (2, 2)];
+    let mut out = Vec::new();
+    for opt in OptFamily::all() {
+        for &tile in tiles {
+            let tts: Vec<i64> = if time_tiles.is_empty() {
+                vec![tile]
+            } else {
+                time_tiles.to_vec()
+            };
+            for tt in tts {
+                for &unroll in unrolls {
+                    let base = Candidate {
+                        opt,
+                        tile,
+                        time_tile: tt,
+                        unroll,
+                        pipeline_batch: None,
+                        dyn_grain: None,
+                        taskgraph: false,
+                    };
+                    out.extend(runtime_expansions(&base, group));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runtime-knob variants of one structure, defaults first. Kept small:
+/// runtime knobs don't change the memory trace, so measuring more than
+/// a handful per structure wastes budget the structure search needs.
+fn runtime_expansions(base: &Candidate, group: Group) -> Vec<Candidate> {
+    let mut out = vec![*base];
+    if group == Group::Pipeline {
+        out.push(Candidate {
+            pipeline_batch: Some(1),
+            ..*base
+        });
+        out.push(Candidate {
+            pipeline_batch: Some(8),
+            ..*base
+        });
+        // The counter-graph lowering only applies to the wavefront nests
+        // the Pluto families produce for time-tiled stencils.
+        if matches!(
+            base.opt,
+            OptFamily::PlutoPocc | OptFamily::PlutoMaxFuse | OptFamily::PlutoNoFuse
+        ) {
+            out.push(Candidate {
+                taskgraph: true,
+                ..*base
+            });
+        }
+    }
+    out.push(Candidate {
+        dyn_grain: Some(4),
+        ..*base
+    });
+    out
+}
+
+/// The transparent ranking features of one candidate structure. Every
+/// term is printed by `tune` in verbose mode and documented in
+/// EXPERIMENTS.md — no opaque learned weights.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Features {
+    /// Weighted miss cost from the cache-hierarchy simulation at `mini`.
+    pub sim_cost: f64,
+    /// Maximum loop depth of the transformed program.
+    pub depth: usize,
+    /// Count of asynchronous parallel loops (doall + reduction).
+    pub par_loops: usize,
+    /// Count of synchronization-bearing loops (pipeline + wavefront) —
+    /// the Par annotations summarize the dependence-vector shape the
+    /// structure ended up with (forward-only ⇒ pipeline, diagonal ⇒
+    /// wavefront).
+    pub sync_loops: usize,
+    /// `|ln(tile footprint / L1 capacity)|`: 0 when the working tile
+    /// exactly fills L1, growing either way.
+    pub tile_fit: f64,
+}
+
+/// Extracts ranking features from a transformed program.
+pub fn features(prog: &Program, c: &Candidate, sim_cost: f64) -> Features {
+    let mut f = Features {
+        sim_cost,
+        ..Features::default()
+    };
+    fn walk(node: &Node, depth: usize, f: &mut Features) {
+        match node {
+            Node::Seq(xs) => xs.iter().for_each(|x| walk(x, depth, f)),
+            Node::Guard(_, b) => walk(b, depth, f),
+            Node::Loop(l) => {
+                f.depth = f.depth.max(depth + 1);
+                match l.par {
+                    Par::Doall | Par::Reduction => f.par_loops += 1,
+                    Par::Pipeline | Par::Wavefront => f.sync_loops += 1,
+                    Par::Seq => {}
+                }
+                walk(&l.body, depth + 1, f);
+            }
+            Node::Stmt(_) => {}
+        }
+    }
+    walk(&prog.body, 0, &mut f);
+    // Working-set proxy: a square tile of f64 per array actively tiled.
+    let l1 = CacheConfig::l1_nehalem().capacity_bytes as f64;
+    let footprint = (c.tile * c.tile * 8).max(1) as f64;
+    f.tile_fit = (footprint / l1).ln().abs();
+    f
+}
+
+/// Scalar rank (lower = more promising). Weights chosen so the
+/// simulated miss cost dominates and the structural terms break ties:
+/// `cost/min + 0.05·depth + 0.15·sync − 0.05·par + 0.10·tile_fit`.
+pub fn score(f: &Features, min_cost: f64) -> f64 {
+    let cost = if min_cost > 0.0 {
+        f.sim_cost / min_cost
+    } else {
+        1.0
+    };
+    cost + 0.05 * f.depth as f64 + 0.15 * f.sync_loops as f64 - 0.05 * f.par_loops as f64
+        + 0.10 * f.tile_fit
+}
+
+/// A committed tuned configuration: the winning candidate plus its
+/// measurement, serialized as one flat JSON line (the schema is
+/// documented in EXPERIMENTS.md).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TunedConfig {
+    /// Kernel name.
+    pub kernel: String,
+    /// Dataset the search measured at.
+    pub dataset: String,
+    /// Worker threads the search measured with.
+    pub threads: usize,
+    /// The winning candidate.
+    pub candidate: Candidate,
+    /// Winning wall time (best-of-reps), seconds.
+    pub time_s: f64,
+    /// Winning GFLOP/s.
+    pub gflops: f64,
+    /// Native-baseline wall time from the same search, seconds.
+    pub native_time_s: f64,
+    /// `native_time_s / time_s`.
+    pub speedup_vs_native: f64,
+}
+
+impl TunedConfig {
+    /// One-line JSON. Option knobs are *omitted* when `None` (absent key
+    /// = automatic), `pool` is recorded for schema completeness —
+    /// emitted standalone kernels always use scoped spawning, so the
+    /// search holds it at `auto`.
+    pub fn to_json(&self) -> String {
+        let mut knobs = String::new();
+        if let Some(b) = self.candidate.pipeline_batch {
+            knobs.push_str(&format!(",\"pipeline_batch\":{b}"));
+        }
+        if let Some(g) = self.candidate.dyn_grain {
+            knobs.push_str(&format!(",\"dyn_grain\":{g}"));
+        }
+        format!(
+            "{{\"kernel\":\"{}\",\"dataset\":\"{}\",\"threads\":{},\"opt\":\"{}\",\
+             \"tile\":{},\"time_tile\":{},\"unroll\":[{},{}]{knobs},\"taskgraph\":{},\
+             \"pool\":\"auto\",\"time_s\":{:e},\"gflops\":{:e},\"native_time_s\":{:e},\
+             \"speedup_vs_native\":{:e}}}",
+            sweep::json_escape(&self.kernel),
+            sweep::json_escape(&self.dataset),
+            self.threads,
+            self.candidate.opt.name(),
+            self.candidate.tile,
+            self.candidate.time_tile,
+            self.candidate.unroll.0,
+            self.candidate.unroll.1,
+            u8::from(self.candidate.taskgraph),
+            self.time_s,
+            self.gflops,
+            self.native_time_s,
+            self.speedup_vs_native,
+        )
+    }
+
+    /// Parses [`TunedConfig::to_json`] output; `None` on any violation.
+    pub fn from_json(line: &str) -> Option<TunedConfig> {
+        let rec = sweep::parse_record(line)?;
+        let unroll = rec.arr_field("unroll")?;
+        if unroll.len() != 2 {
+            return None;
+        }
+        let candidate = Candidate {
+            opt: OptFamily::parse(rec.str_field("opt")?)?,
+            tile: rec.num_field("tile")? as i64,
+            time_tile: rec.num_field("time_tile")? as i64,
+            unroll: (unroll[0] as i64, unroll[1] as i64),
+            pipeline_batch: rec.num_field("pipeline_batch").map(|b| b as i64),
+            dyn_grain: rec.num_field("dyn_grain").map(|g| g as i64),
+            taskgraph: rec.num_field("taskgraph") == Some(1.0),
+        };
+        Some(TunedConfig {
+            kernel: rec.str_field("kernel")?.to_string(),
+            dataset: rec.str_field("dataset")?.to_string(),
+            threads: rec.num_field("threads")? as usize,
+            candidate,
+            time_s: rec.num_field("time_s")?,
+            gflops: rec.num_field("gflops")?,
+            native_time_s: rec.num_field("native_time_s")?,
+            speedup_vs_native: rec.num_field("speedup_vs_native")?,
+        })
+    }
+
+    /// Writes the config (one line + newline) to `path`, creating parent
+    /// directories.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, format!("{}\n", self.to_json()))
+    }
+
+    /// Loads a config written by [`TunedConfig::save`].
+    pub fn load(path: &Path) -> Option<TunedConfig> {
+        let text = std::fs::read_to_string(path).ok()?;
+        TunedConfig::from_json(text.lines().next()?)
+    }
+}
+
+/// Conventional location of a kernel's committed tuned config.
+pub fn default_tuned_path(kernel: &str) -> PathBuf {
+    PathBuf::from("results/tuned").join(format!("{kernel}.json"))
+}
+
+/// What a search did, for reporting and tests.
+#[derive(Clone, Debug)]
+pub struct TuneOutcome {
+    /// The committed winner.
+    pub config: TunedConfig,
+    /// Candidate cells measured fresh this invocation (excludes the
+    /// native baseline).
+    pub measured: usize,
+    /// Cells replayed from the resume log (baseline included).
+    pub resumed: usize,
+    /// Structures dropped by the cache-model prune.
+    pub pruned: usize,
+    /// Total candidates in the enumerated space.
+    pub total_candidates: usize,
+}
+
+/// Runs the budgeted search for one kernel and returns the winner
+/// (without writing it anywhere; callers commit via
+/// [`TunedConfig::save`]).
+///
+/// Deterministic given a fixed results log: candidate enumeration,
+/// pruning and ranking depend only on the simulated model, and measured
+/// cells replay from the log by id — so re-running an interrupted search
+/// with the same `cfg.results_path` re-measures nothing it already
+/// recorded and converges to the same configuration.
+pub fn autotune_kernel(
+    kernel_name: &str,
+    dataset: &str,
+    budget: usize,
+    runner: &Runner,
+    cfg: &SweepConfig,
+    machine: &Machine,
+) -> Result<TuneOutcome, PolymixError> {
+    let kernel = kernel_by_name(kernel_name)
+        .ok_or_else(|| PolymixError::build(kernel_name, "unknown kernel"))?;
+    let params = kernel.dataset(dataset).params;
+    let mini = kernel.dataset("mini").params;
+    let space = candidate_space(kernel.group);
+    let total_candidates = space.len();
+
+    // --- Stage 1: simulate each distinct *structure* once at mini. ---
+    let mut structures: Vec<(OptFamily, i64, i64, (i64, i64))> = Vec::new();
+    for c in &space {
+        if !structures.contains(&c.structure()) {
+            structures.push(c.structure());
+        }
+    }
+    let mut progs: Vec<Option<Program>> = Vec::with_capacity(structures.len());
+    for &(opt, tile, time_tile, unroll) in &structures {
+        let c = Candidate {
+            opt,
+            tile,
+            time_tile,
+            unroll,
+            pipeline_batch: None,
+            dyn_grain: None,
+            taskgraph: false,
+        };
+        progs.push(build_candidate(&kernel, &c, machine).ok());
+    }
+    let built: Vec<&Program> = progs.iter().flatten().collect();
+    let configs = [CacheConfig::l1_nehalem(), CacheConfig::l2_nehalem()];
+    let costs = batch_weighted_cost(&built, &mini, &configs, &LEVEL_COSTS);
+    // Re-align costs with the (sparse) structure list.
+    let mut cost_iter = costs.into_iter();
+    let struct_costs: Vec<Option<f64>> = progs
+        .iter()
+        .map(|p| p.as_ref().map(|_| cost_iter.next().unwrap_or(f64::MAX)))
+        .collect();
+    let min_cost = struct_costs
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::MAX, f64::min);
+
+    // --- Stage 2: prune and rank structures. ---
+    let mut ranked: Vec<(usize, f64)> = Vec::new(); // (structure idx, score)
+    let mut pruned = 0usize;
+    for (si, cost) in struct_costs.iter().enumerate() {
+        let (Some(cost), Some(prog)) = (cost, &progs[si]) else {
+            pruned += 1; // structures that failed to build are "pruned"
+            continue;
+        };
+        if min_cost > 0.0 && *cost > PRUNE_FACTOR * min_cost {
+            pruned += 1;
+            continue;
+        }
+        let (opt, tile, time_tile, unroll) = structures[si];
+        let c = Candidate {
+            opt,
+            tile,
+            time_tile,
+            unroll,
+            pipeline_batch: None,
+            dyn_grain: None,
+            taskgraph: false,
+        };
+        let f = features(prog, &c, *cost);
+        ranked.push((si, score(&f, min_cost)));
+    }
+    // Stable sort: ties keep enumeration order, keeping the search
+    // deterministic for the resume log.
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    // --- Stage 3: expand the best structures into measured cells. ---
+    let budget = budget.max(1);
+    let mut chosen: Vec<Candidate> = Vec::new();
+    'fill: for &(si, _) in &ranked {
+        let (opt, tile, time_tile, unroll) = structures[si];
+        let base = Candidate {
+            opt,
+            tile,
+            time_tile,
+            unroll,
+            pipeline_batch: None,
+            dyn_grain: None,
+            taskgraph: false,
+        };
+        for c in runtime_expansions(&base, kernel.group) {
+            if chosen.len() >= budget {
+                break 'fill;
+            }
+            chosen.push(c);
+        }
+    }
+
+    let native_id = format!("tune:{kernel_name}:{dataset}:native");
+    let mut jobs: Vec<SweepJob> = Vec::with_capacity(chosen.len() + 1);
+    {
+        let (kc, pc) = (kernel.clone(), params.clone());
+        let (threads, reps) = (runner.threads, runner.reps);
+        jobs.push(SweepJob {
+            id: native_id.clone(),
+            kernel: kernel_name.to_string(),
+            variant: "native".to_string(),
+            dataset: dataset.to_string(),
+            params: params.clone(),
+            source: Box::new(move || {
+                let prog = build_variant(&kc, Variant::Native, &Machine::host())?;
+                Ok(emit_source_with(
+                    &kc,
+                    &prog,
+                    &pc,
+                    threads,
+                    reps,
+                    EmitKnobs::default(),
+                ))
+            }),
+            seq_source: None,
+        });
+    }
+    for c in &chosen {
+        let (kc, mc, pc, cc) = (kernel.clone(), machine.clone(), params.clone(), *c);
+        let (threads, reps) = (runner.threads, runner.reps);
+        jobs.push(SweepJob {
+            id: c.id(kernel_name, dataset),
+            kernel: kernel_name.to_string(),
+            variant: c.opt.name().to_string(),
+            dataset: dataset.to_string(),
+            params: params.clone(),
+            source: Box::new(move || {
+                let prog = build_candidate(&kc, &cc, &mc)?;
+                Ok(emit_source_with(&kc, &prog, &pc, threads, reps, cc.knobs()))
+            }),
+            // No sequential fallback: a degraded cell would not measure
+            // the candidate's parallel structure, so it must not win.
+            seq_source: None,
+        });
+    }
+    let outcomes = run_sweep(jobs, runner, cfg);
+
+    // --- Stage 4: pick the winner — min wall time, healthy cells only.
+    let native = outcomes
+        .iter()
+        .find(|o| o.id == native_id)
+        .and_then(|o| o.result.as_ref().ok())
+        .ok_or_else(|| {
+            PolymixError::runner(kernel_name, "native", "native baseline failed to measure")
+        })?;
+    let healthy = |o: &&JobOutcome| o.id != native_id && !o.degraded && o.result.is_ok();
+    let winner = outcomes
+        .iter()
+        .filter(healthy)
+        .min_by(|a, b| {
+            let (ta, tb) = (
+                a.result.as_ref().map(|r| r.time_s).unwrap_or(f64::MAX),
+                b.result.as_ref().map(|r| r.time_s).unwrap_or(f64::MAX),
+            );
+            ta.partial_cmp(&tb).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .ok_or_else(|| {
+            PolymixError::runner(kernel_name, "tune", "no candidate measured successfully")
+        })?;
+    let wi = chosen
+        .iter()
+        .position(|c| c.id(kernel_name, dataset) == winner.id)
+        .ok_or_else(|| PolymixError::runner(kernel_name, "tune", "winner id out of space"))?;
+    let Ok(wr) = &winner.result else {
+        return Err(PolymixError::runner(
+            kernel_name,
+            "tune",
+            "winner lost its measurement",
+        ));
+    };
+    let measured = outcomes.iter().filter(|o| !o.resumed).count()
+        - usize::from(outcomes.iter().any(|o| o.id == native_id && !o.resumed));
+    let resumed = outcomes.iter().filter(|o| o.resumed).count();
+    Ok(TuneOutcome {
+        config: TunedConfig {
+            kernel: kernel_name.to_string(),
+            dataset: dataset.to_string(),
+            threads: runner.threads,
+            candidate: chosen[wi],
+            time_s: wr.time_s,
+            gflops: wr.gflops,
+            native_time_s: native.time_s,
+            speedup_vs_native: if wr.time_s > 0.0 {
+                native.time_s / wr.time_s
+            } else {
+                0.0
+            },
+        },
+        measured,
+        resumed,
+        pruned,
+        total_candidates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_candidate() -> Candidate {
+        Candidate {
+            opt: OptFamily::PolyAstFuse,
+            tile: 32,
+            time_tile: 5,
+            unroll: (2, 2),
+            pipeline_batch: Some(8),
+            dyn_grain: None,
+            taskgraph: true,
+        }
+    }
+
+    #[test]
+    fn candidate_ids_encode_every_knob() {
+        let c = sample_candidate();
+        let id = c.id("jacobi-2d-imper", "small");
+        assert_eq!(
+            id,
+            "tune:jacobi-2d-imper:small:polyast-fuse:t32:tt5:u2x2:pb8:dgauto:tg1"
+        );
+        // Two candidates differing only in a runtime knob get distinct
+        // ids — the resume log must never alias them.
+        let c2 = Candidate {
+            pipeline_batch: Some(1),
+            ..c
+        };
+        assert_ne!(id, c2.id("jacobi-2d-imper", "small"));
+    }
+
+    #[test]
+    fn tuned_config_json_roundtrip() {
+        let cfg = TunedConfig {
+            kernel: "gemm".into(),
+            dataset: "small".into(),
+            threads: 8,
+            candidate: sample_candidate(),
+            time_s: 0.0042,
+            gflops: 21.5,
+            native_time_s: 0.02,
+            speedup_vs_native: 4.76,
+        };
+        let line = cfg.to_json();
+        let back = TunedConfig::from_json(&line).expect("parses");
+        assert_eq!(back, cfg);
+        // None knobs are omitted keys and round-trip as None.
+        let mut cfg2 = cfg.clone();
+        cfg2.candidate.pipeline_batch = None;
+        cfg2.candidate.taskgraph = false;
+        let line2 = cfg2.to_json();
+        assert!(!line2.contains("pipeline_batch"), "{line2}");
+        let back2 = TunedConfig::from_json(&line2).expect("parses");
+        assert_eq!(back2.candidate.pipeline_batch, None);
+        assert!(!back2.candidate.taskgraph);
+    }
+
+    #[test]
+    fn tuned_config_save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("polymix-tuned-{}", std::process::id()));
+        let path = dir.join("gemm.json");
+        let cfg = TunedConfig {
+            kernel: "gemm".into(),
+            dataset: "small".into(),
+            threads: 4,
+            candidate: sample_candidate(),
+            time_s: 0.001,
+            gflops: 10.0,
+            native_time_s: 0.004,
+            speedup_vs_native: 4.0,
+        };
+        cfg.save(&path).expect("save creates parents");
+        assert_eq!(TunedConfig::load(&path), Some(cfg));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn candidate_space_is_deterministic_and_group_sensitive() {
+        let a = candidate_space(Group::Doall);
+        let b = candidate_space(Group::Doall);
+        assert_eq!(a, b, "enumeration must be stable for the resume log");
+        // Pipeline-group spaces add time tiles, batches and taskgraph.
+        let p = candidate_space(Group::Pipeline);
+        assert!(p.len() > a.len());
+        assert!(p.iter().any(|c| c.taskgraph));
+        assert!(p.iter().any(|c| c.pipeline_batch == Some(8)));
+        assert!(a.iter().all(|c| !c.taskgraph), "doall: no wavefronts to lower");
+        // Ids are unique across the space.
+        let mut ids: Vec<String> = p.iter().map(|c| c.id("k", "d")).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), p.len(), "ids must not alias");
+    }
+
+    #[test]
+    fn score_prefers_cheap_shallow_parallel_structures() {
+        let cheap = Features {
+            sim_cost: 100.0,
+            depth: 3,
+            par_loops: 2,
+            sync_loops: 0,
+            tile_fit: 0.1,
+        };
+        let expensive = Features {
+            sim_cost: 190.0,
+            depth: 3,
+            par_loops: 2,
+            sync_loops: 0,
+            tile_fit: 0.1,
+        };
+        assert!(score(&cheap, 100.0) < score(&expensive, 100.0));
+        let synchronous = Features {
+            sync_loops: 2,
+            par_loops: 0,
+            ..cheap
+        };
+        assert!(score(&cheap, 100.0) < score(&synchronous, 100.0));
+    }
+
+    #[test]
+    fn opt_family_names_roundtrip() {
+        for o in OptFamily::all() {
+            assert_eq!(OptFamily::parse(o.name()), Some(o));
+        }
+        assert_eq!(OptFamily::parse("nonsense"), None);
+    }
+}

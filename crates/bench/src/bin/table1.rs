@@ -4,8 +4,9 @@
 //! of Figs. 1–3.
 
 use polymix_ast::pretty::render;
+use polymix_bench::autotune::{build_candidate, default_tuned_path, TunedConfig};
 use polymix_bench::report::{gf, Cli, Table};
-use polymix_bench::runner::{emit_source, Runner};
+use polymix_bench::runner::{emit_source, emit_source_with, Runner};
 use polymix_bench::sweep::{print_degraded_legend, run_sweep, SweepConfig, SweepJob};
 use polymix_bench::variants::{build_variant, Variant};
 use polymix_core::{optimize_poly_ast, PolyAstOptions};
@@ -68,8 +69,32 @@ fn main() {
     // Per-variant failures become `error(<stage>)` rows via the sweep
     // executor; the table still renders with every other variant
     // measured.
+    // `--tuned` appends a row measuring the committed autotuner config
+    // (written by the `tune` binary; `results/tuned/2mm.json` by
+    // default, overridable with `--tuned-config <path>`). Opt-in so the
+    // default table keeps exactly the paper's four variants.
+    let raw_args: Vec<String> = std::env::args().collect();
+    let tuned: Option<TunedConfig> = if raw_args.iter().any(|a| a == "--tuned") {
+        let path = raw_args
+            .iter()
+            .position(|a| a == "--tuned-config")
+            .and_then(|i| raw_args.get(i + 1))
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| default_tuned_path("2mm"));
+        let loaded = TunedConfig::load(&path);
+        if loaded.is_none() {
+            eprintln!(
+                "--tuned: no parseable config at {} (run the `tune` binary first)",
+                path.display()
+            );
+        }
+        loaded
+    } else {
+        None
+    };
+
     let cfg = SweepConfig::from_cli(&cli);
-    let jobs: Vec<SweepJob> = entries
+    let mut jobs: Vec<SweepJob> = entries
         .iter()
         .map(|&(_, variant)| {
             let (kc, mc, pc) = (k.clone(), machine.clone(), params.clone());
@@ -92,6 +117,25 @@ fn main() {
             }
         })
         .collect();
+    if let Some(tc) = &tuned {
+        let (kc, mc, pc) = (k.clone(), machine.clone(), params.clone());
+        let (threads, reps) = (runner.threads, runner.reps);
+        let cand = tc.candidate;
+        jobs.push(SweepJob {
+            // The candidate id keys the binary cache and resume log, so
+            // a re-tuned config re-measures instead of replaying.
+            id: format!("table1:tuned:{}:{}", cli.dataset, cand.id("2mm", &cli.dataset)),
+            kernel: k.name.to_string(),
+            variant: "tuned".to_string(),
+            dataset: cli.dataset.clone(),
+            params: params.clone(),
+            source: Box::new(move || {
+                let prog = build_candidate(&kc, &cand, &mc)?;
+                Ok(emit_source_with(&kc, &prog, &pc, threads, reps, cand.knobs()))
+            }),
+            seq_source: None,
+        });
+    }
     let outcomes = run_sweep(jobs, &runner, &cfg);
     for ((label, variant), outcome) in entries.iter().zip(&outcomes) {
         debug_assert_eq!(outcome.variant, variant.name());
@@ -103,6 +147,18 @@ fn main() {
             Err(e) => {
                 eprintln!("{label}: {e}");
                 t.row(vec![(*label).into(), e.cell()]);
+            }
+        }
+    }
+    if let (Some(tc), Some(outcome)) = (&tuned, outcomes.get(entries.len())) {
+        match &outcome.result {
+            Ok(r) => t.row(vec![
+                format!("tuned ({})", tc.candidate.opt.name()),
+                gf(r.gflops),
+            ]),
+            Err(e) => {
+                eprintln!("tuned: {e}");
+                t.row(vec!["tuned".into(), e.cell()]);
             }
         }
     }

@@ -1,0 +1,104 @@
+//! `tune` — the closed-loop autotuner CLI.
+//!
+//! Searches fusion structure × tile sizes × unroll factors × runtime
+//! knobs for each requested kernel, pruning with the cache model and
+//! measuring the most promising candidates through the resumable sweep
+//! executor, then commits the winner as `results/tuned/<kernel>.json`.
+//!
+//! ```text
+//! cargo run --release -p polymix-bench --bin tune -- \
+//!     --kernels 2mm,gemm,jacobi-2d-imper --dataset small --budget 12
+//! ```
+//!
+//! Flags beyond the shared sweep set ([`Cli`]): `--kernels` (comma
+//! list, default `2mm`), `--budget` (measured candidate cells per
+//! kernel, default 12), `--out` (config directory, default
+//! `results/tuned`). `--results <log>` makes an interrupted search
+//! resumable: re-running with the same log re-measures nothing already
+//! recorded.
+
+use polymix_bench::autotune::autotune_kernel;
+use polymix_bench::report::Cli;
+use polymix_bench::runner::Runner;
+use polymix_bench::sweep::SweepConfig;
+use polymix_dl::Machine;
+use std::path::PathBuf;
+
+fn main() {
+    let cli = Cli::parse();
+    let args: Vec<String> = std::env::args().collect();
+    let grab = |key: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let kernels: Vec<String> = grab("--kernels")
+        .unwrap_or_else(|| "2mm".into())
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let budget: usize = grab("--budget").and_then(|s| s.parse().ok()).unwrap_or(12);
+    let out_dir = PathBuf::from(grab("--out").unwrap_or_else(|| "results/tuned".into()));
+
+    let machine = Machine::host();
+    let runner = Runner::new(cli.threads);
+    let cfg = SweepConfig::from_cli(&cli);
+    println!(
+        "== tune: {} kernel(s), dataset {}, budget {} measured cells each ==",
+        kernels.len(),
+        cli.dataset,
+        budget
+    );
+
+    let mut failures = 0usize;
+    for kernel in &kernels {
+        println!("-- {kernel} --");
+        match autotune_kernel(kernel, &cli.dataset, budget, &runner, &cfg, &machine) {
+            Ok(outcome) => {
+                let c = &outcome.config;
+                println!(
+                    "  space {} candidates, {} structures pruned by the cache model, \
+                     {} measured fresh, {} resumed from the log",
+                    outcome.total_candidates, outcome.pruned, outcome.measured, outcome.resumed
+                );
+                println!(
+                    "  winner: {} tile {} time_tile {} unroll {}x{} pipeline_batch {} \
+                     dyn_grain {} taskgraph {}",
+                    c.candidate.opt.name(),
+                    c.candidate.tile,
+                    c.candidate.time_tile,
+                    c.candidate.unroll.0,
+                    c.candidate.unroll.1,
+                    c.candidate
+                        .pipeline_batch
+                        .map_or("auto".into(), |b| b.to_string()),
+                    c.candidate
+                        .dyn_grain
+                        .map_or("auto".into(), |g| g.to_string()),
+                    c.candidate.taskgraph,
+                );
+                println!(
+                    "  {:.4} GFLOP/s ({:.3e}s), {:.2}x vs native",
+                    c.gflops, c.time_s, c.speedup_vs_native
+                );
+                let path = out_dir.join(format!("{kernel}.json"));
+                match c.save(&path) {
+                    Ok(()) => println!("  committed {}", path.display()),
+                    Err(e) => {
+                        eprintln!("  {kernel}: failed to write {}: {e}", path.display());
+                        failures += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("  {kernel}: tuning failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} kernel(s) failed to tune");
+        std::process::exit(1);
+    }
+}

@@ -17,7 +17,11 @@
 //!   results log that makes interrupted sweeps resumable (`--jobs`,
 //!   `--measure-jobs`, `--results`);
 //! * [`report`] — plain-text table rendering for the `fig*`/`table*`
-//!   binaries.
+//!   binaries;
+//! * [`autotune`] — the closed-loop tuner (`tune` binary): a
+//!   measured-feedback search over fusion structure × tile sizes ×
+//!   unroll factors × runtime knobs, pruned by the cache model before
+//!   compilation and driven through the resumable sweep executor.
 //!
 //! Each binary under `src/bin/` regenerates one table or figure; run e.g.
 //!
@@ -25,6 +29,7 @@
 //! cargo run --release -p polymix-bench --bin fig7 -- --dataset small
 //! ```
 
+pub mod autotune;
 pub mod figures;
 pub mod microbench;
 pub mod report;
@@ -32,6 +37,7 @@ pub mod runner;
 pub mod sweep;
 pub mod variants;
 
+pub use autotune::{autotune_kernel, default_tuned_path, TuneOutcome, TunedConfig};
 pub use report::Table;
 pub use runner::{compile_and_run, compile_and_run_with, RunResult, Runner};
 pub use sweep::{run_sweep, JobOutcome, SweepConfig, SweepJob};

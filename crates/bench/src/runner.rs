@@ -64,7 +64,12 @@ fn cache_key(src: &str, rustc_flags: &[String]) -> u64 {
 /// sequential attempt just the same, and a compile error has no working
 /// binary in either configuration.
 pub fn is_kernel_failure(detail: &str) -> bool {
-    detail.starts_with("timeout")
+    // Compile-stage deadlines also report `timeout:` ("rustc exceeded",
+    // "waited …s for a concurrent compile"), but there is no binary to
+    // degrade to — a sequential re-run would recompile and stall again.
+    let compile_stage_timeout =
+        detail.contains("rustc exceeded") || detail.contains("concurrent compile");
+    (detail.starts_with("timeout") && !compile_stage_timeout)
         || detail.contains("runtime_error")
         || detail.contains("exited with")
         || detail.contains("unparseable output")
@@ -158,6 +163,21 @@ impl Runner {
     }
 }
 
+/// Runtime-level knobs threaded from a tuned configuration into the
+/// emitted standalone program. `Default` reproduces [`emit_source`]'s
+/// behavior exactly (automatic batch, automatic grain, barrier
+/// wavefronts), so existing sweeps are unaffected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EmitKnobs {
+    /// Pipeline publish batch (`None` = emitter's automatic choice).
+    pub pipeline_batch: Option<i64>,
+    /// Dynamic-schedule chunk grain for doall regions (`None` = auto).
+    pub dyn_grain: Option<i64>,
+    /// Lower wavefront nests to the counter-graph runtime instead of
+    /// diagonal barriers.
+    pub taskgraph: bool,
+}
+
 /// Emits the standalone measurement program for `kernel`/`prog` at
 /// `params`. Standalone (rather than a [`Runner`] method) so sweep jobs
 /// can emit on worker threads without sharing the runner.
@@ -168,13 +188,30 @@ pub fn emit_source(
     threads: usize,
     reps: usize,
 ) -> String {
+    emit_source_with(kernel, prog, params, threads, reps, EmitKnobs::default())
+}
+
+/// [`emit_source`] with explicit tuned runtime knobs. The knobs feed
+/// [`EmitOptions`] directly, so the emitted kernel honors the same
+/// overrides the in-process runtime does — the tuner asserts this
+/// round-trip via the `// PIPE_BATCH` markers and `RunStats` fields.
+pub fn emit_source_with(
+    kernel: &Kernel,
+    prog: &Program,
+    params: &[i64],
+    threads: usize,
+    reps: usize,
+    knobs: EmitKnobs,
+) -> String {
     let opts = EmitOptions {
         params: params.to_vec(),
         flops: (kernel.flops)(params),
         threads,
         init_rust: Some(kernel.init_rust(&prog.scop)),
         reps,
-        ..EmitOptions::default()
+        pipeline_batch: knobs.pipeline_batch,
+        dyn_grain: knobs.dyn_grain,
+        taskgraph: knobs.taskgraph,
     };
     emit_rust(prog, &opts)
 }
@@ -300,7 +337,22 @@ pub fn ensure_compiled(
             }
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
                 if lock_is_stale(&lock_path, timeout) {
-                    let _ = std::fs::remove_file(&lock_path);
+                    // Steal by *renaming* the stale lock aside, never by
+                    // unlinking in place: with a bare remove_file, two
+                    // stealers can both observe staleness, one wins the
+                    // re-election, and the other's delayed remove then
+                    // deletes the winner's *fresh* lock — electing a
+                    // second concurrent compiler for the same id. The
+                    // rename is atomic; exactly one stealer succeeds and
+                    // the loser just re-enters the election.
+                    let grave = work_dir.join(format!("{id}.lock.stale.{}", unique_suffix()));
+                    if std::fs::rename(&lock_path, &grave).is_ok() {
+                        let _ = std::fs::remove_file(&grave);
+                        // The crashed holder may also have left a partial
+                        // `.tmp.*` artifact behind; reap anything old
+                        // enough that no live compile can own it.
+                        clean_stale_partials(work_dir, &id, timeout);
+                    }
                     continue;
                 }
                 if Instant::now() >= deadline {
@@ -329,7 +381,11 @@ fn compile_locked(
 ) -> Result<PathBuf, String> {
     std::fs::write(src_path, src).map_err(|e| e.to_string())?;
     let bin_path = work_dir.join(id);
-    let tmp_path = work_dir.join(format!("{id}.tmp.{}", std::process::id()));
+    // The suffix must be unique per *invocation*, not per process: after
+    // a stale-lock steal, a re-elected compiler in the same process (the
+    // sweep's workers are threads) would otherwise share its tmp path
+    // with the one it displaced and corrupt the atomic publish.
+    let tmp_path = work_dir.join(format!("{id}.tmp.{}", unique_suffix()));
     let child = Command::new("rustc")
         .args(rustc_flags)
         .arg("-o")
@@ -363,6 +419,45 @@ fn compile_locked(
     // Atomic publish: the cache never exposes a partially written binary.
     std::fs::rename(&tmp_path, &bin_path).map_err(|e| format!("cache rename: {e}"))?;
     Ok(bin_path)
+}
+
+/// Process-id + per-process counter: unique across every thread of every
+/// process sharing the cache directory, including re-elections within
+/// one process.
+fn unique_suffix() -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    format!(
+        "{}_{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// Removes `<id>.tmp.*` partial artifacts older than the compile budget:
+/// droppings of a compiler that was killed mid-`rustc`. Age-gated so a
+/// *live* concurrent compile's tmp file is never reaped.
+fn clean_stale_partials(work_dir: &Path, id: &str, timeout: Duration) {
+    let prefix = format!("{id}.tmp.");
+    let Ok(entries) = std::fs::read_dir(work_dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !name.starts_with(&prefix) {
+            continue;
+        }
+        let old = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok())
+            .is_some_and(|age| age > timeout);
+        if old {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
 }
 
 /// A lockfile whose mtime predates the compile budget belongs to a
@@ -484,6 +579,13 @@ mod tests {
         assert!(!is_kernel_failure("run spawn: Resource temporarily unavailable"));
         assert!(!is_kernel_failure("lockfile /tmp/x.lock: Permission denied"));
         assert!(!is_kernel_failure("rustc failed for gemm_par:\nerror[E0308]"));
+        // Compile-stage deadlines are `timeout:`-prefixed too, but there
+        // is no binary: degrading to sequential would recompile and
+        // stall identically.
+        assert!(!is_kernel_failure("timeout: rustc exceeded 5s for gemm_par"));
+        assert!(!is_kernel_failure(
+            "timeout: waited 10s for a concurrent compile of gemm_par"
+        ));
     }
 
     #[test]

@@ -351,7 +351,7 @@ fn with_retries<T>(retries: usize, f: impl Fn() -> Result<T, String>) -> Result<
 // ---------------------------------------------------------------------
 
 /// Escapes `s` for a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -481,35 +481,43 @@ fn error_for_stage(stage: &str, kernel: String, variant: String, detail: String)
 /// A parsed flat JSON object (string keys; string / number / array
 /// values) — exactly the shape [`record_line`] emits. Hand-rolled
 /// because the workspace is offline and dependency-free by policy.
-struct Record {
+/// Shared with [`crate::autotune`], whose tuned-config files use the
+/// same flat-object grammar.
+pub(crate) struct Record {
     fields: Vec<(String, Value)>,
 }
 
 enum Value {
     Str(String),
     Num(f64),
-    #[allow(dead_code)]
     Arr(Vec<f64>),
 }
 
 impl Record {
-    fn str_field(&self, key: &str) -> Option<&str> {
+    pub(crate) fn str_field(&self, key: &str) -> Option<&str> {
         self.fields.iter().find_map(|(k, v)| match v {
             Value::Str(s) if k == key => Some(s.as_str()),
             _ => None,
         })
     }
 
-    fn num_field(&self, key: &str) -> Option<f64> {
+    pub(crate) fn num_field(&self, key: &str) -> Option<f64> {
         self.fields.iter().find_map(|(k, v)| match v {
             Value::Num(x) if k == key => Some(*x),
+            _ => None,
+        })
+    }
+
+    pub(crate) fn arr_field(&self, key: &str) -> Option<&[f64]> {
+        self.fields.iter().find_map(|(k, v)| match v {
+            Value::Arr(xs) if k == key => Some(xs.as_slice()),
             _ => None,
         })
     }
 }
 
 /// Parses one flat JSONL record; `None` on any syntax violation.
-fn parse_record(line: &str) -> Option<Record> {
+pub(crate) fn parse_record(line: &str) -> Option<Record> {
     let mut p = Parser {
         bytes: line.as_bytes(),
         pos: 0,

@@ -100,6 +100,115 @@ fn concurrent_identical_sources_compile_exactly_once() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Backdate a file's mtime far into the past so it reads as stale
+/// against any compile budget.
+fn backdate(path: &std::path::Path) {
+    let st = std::process::Command::new("touch")
+        .args(["-t", "202001010000"])
+        .arg(path)
+        .status()
+        .expect("touch spawns");
+    assert!(st.success(), "touch failed for {}", path.display());
+}
+
+/// Crash-at-kill: a compiler killed by the compile deadline leaves its
+/// lockfile and a partial `.tmp.*` artifact behind. A retry (or a
+/// concurrent tuner worker) arriving later must steal the stale lock,
+/// reap the partial, recompile, and leave a clean cache — not wedge on
+/// the dead lock or trip over the corpse.
+#[test]
+fn killed_compile_leftovers_are_stolen_and_reaped() {
+    let dir = tmp_dir("crash-at-kill");
+    let src = ok_src(6);
+    let flags: Vec<String> = vec![];
+    // Learn the cache id by compiling once, then erase the binary to
+    // restage the cache as if the original compile never finished.
+    let primed = ensure_compiled(&src, &dir, &flags, "crashy", Duration::from_secs(120))
+        .expect("priming compile");
+    let id = primed
+        .bin_path
+        .file_name()
+        .expect("cache id")
+        .to_string_lossy()
+        .into_owned();
+    std::fs::remove_file(&primed.bin_path).expect("unpublish binary");
+    // Plant the kill scene: a lockfile and a half-written artifact, both
+    // older than any compile budget.
+    let dead_lock = dir.join(format!("{id}.lock"));
+    let dead_tmp = dir.join(format!("{id}.tmp.99999_0"));
+    std::fs::write(&dead_lock, b"").expect("plant lock");
+    std::fs::write(&dead_tmp, b"\x7fELF half a binary").expect("plant partial");
+    backdate(&dead_lock);
+    backdate(&dead_tmp);
+    // The retry must succeed promptly (well under the waiter deadline of
+    // 2x the budget) by stealing, not by waiting the lock out.
+    let t0 = Instant::now();
+    let c = ensure_compiled(&src, &dir, &flags, "crashy", Duration::from_secs(120))
+        .expect("retry steals the stale lock and recompiles");
+    assert!(c.freshly_compiled, "retry must own the recompile");
+    assert!(t0.elapsed() < Duration::from_secs(60), "stole, not waited");
+    let r = run_binary(&c.bin_path, "crashy", Duration::from_secs(30)).expect("binary runs");
+    assert!((r.checksum - 6.5).abs() < 1e-12);
+    // The scene is cleaned: no lock, no partials (dead or fresh).
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("read work dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(!names.iter().any(|n| n.contains(".lock")), "lock leak: {names:?}");
+    assert!(!names.iter().any(|n| n.contains(".tmp.")), "partial leak: {names:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Many workers hitting a stale lock at once: the rename-based steal
+/// guarantees one re-election. With a bare `remove_file` steal, a slow
+/// stealer could delete the *winner's fresh lock*, electing a second
+/// compiler that shares the same tmp path — this test closes over that
+/// regression by asserting exactly one fresh compile and a clean dir.
+#[test]
+fn concurrent_stale_lock_steal_elects_exactly_one_compiler() {
+    let dir = tmp_dir("steal-race");
+    let src = ok_src(8);
+    let flags: Vec<String> = vec![];
+    let primed = ensure_compiled(&src, &dir, &flags, "steal", Duration::from_secs(120))
+        .expect("priming compile");
+    let id = primed
+        .bin_path
+        .file_name()
+        .expect("cache id")
+        .to_string_lossy()
+        .into_owned();
+    std::fs::remove_file(&primed.bin_path).expect("unpublish binary");
+    let dead_lock = dir.join(format!("{id}.lock"));
+    std::fs::write(&dead_lock, b"").expect("plant lock");
+    backdate(&dead_lock);
+    let fresh = AtomicUsize::new(0);
+    const N: usize = 8;
+    std::thread::scope(|s| {
+        for _ in 0..N {
+            s.spawn(|| {
+                let c = ensure_compiled(&src, &dir, &flags, "steal", Duration::from_secs(120))
+                    .expect("every contender resolves");
+                if c.freshly_compiled {
+                    fresh.fetch_add(1, Ordering::Relaxed);
+                }
+                let r = run_binary(&c.bin_path, "steal", Duration::from_secs(30))
+                    .expect("binary runs");
+                assert!((r.checksum - 8.5).abs() < 1e-12);
+            });
+        }
+    });
+    assert_eq!(fresh.load(Ordering::Relaxed), 1, "exactly one re-elected compiler");
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("read work dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(!names.iter().any(|n| n.contains(".lock")), "lock leak: {names:?}");
+    assert!(!names.iter().any(|n| n.contains(".tmp.")), "partial leak: {names:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn truncated_cached_binary_is_recompiled_not_trusted() {
     let dir = tmp_dir("truncate");

@@ -18,4 +18,4 @@ pub mod cache;
 pub mod run;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use run::{simulate, simulate_hierarchy, HierarchyStats, Layout};
+pub use run::{batch_weighted_cost, simulate, simulate_hierarchy, HierarchyStats, Layout};

@@ -95,6 +95,30 @@ pub fn simulate_hierarchy(
     }
 }
 
+/// Batch query for candidate pruning: simulates every program of a
+/// search frontier through the same hierarchy at the same parameters and
+/// returns each one's weighted miss cost, in input order.
+///
+/// Each candidate gets *fresh* storage (allocated from its own SCoP), so
+/// results are order-independent — a tuner can rank or prune by these
+/// costs without worrying that an earlier candidate warmed state for a
+/// later one. `costs` weights the hierarchy levels exactly as
+/// [`HierarchyStats::weighted_cost`].
+pub fn batch_weighted_cost(
+    progs: &[&Program],
+    params: &[i64],
+    configs: &[CacheConfig],
+    costs: &[f64],
+) -> Vec<f64> {
+    progs
+        .iter()
+        .map(|prog| {
+            let mut arrays = polymix_ast::interp::alloc_arrays(&prog.scop, params);
+            simulate_hierarchy(prog, params, &mut arrays, configs).weighted_cost(costs)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +193,33 @@ mod tests {
         assert_eq!(h.levels[1].misses, 64 * 64 / 8);
         let cost = h.weighted_cost(&[1.0, 4.0]);
         assert!(cost > 0.0);
+    }
+
+    #[test]
+    fn batch_costs_match_individual_simulation_in_order() {
+        let cfgs = [
+            CacheConfig {
+                line_bytes: 64,
+                capacity_bytes: 1024,
+                ways: 4,
+            },
+            CacheConfig::l2_nehalem(),
+        ];
+        let costs = [1.0, 4.0];
+        let (rp, params) = traversal(false);
+        let (cp, _) = traversal(true);
+        let batch = batch_weighted_cost(&[&rp, &cp, &rp], &params, &cfgs, &costs);
+        assert_eq!(batch.len(), 3);
+        let mut arrays = polymix_ast::interp::alloc_arrays(&rp.scop, &params);
+        let solo_row = simulate_hierarchy(&rp, &params, &mut arrays, &cfgs).weighted_cost(&costs);
+        assert_eq!(batch[0], solo_row, "batch must equal the solo query");
+        assert_eq!(batch[2], solo_row, "fresh storage per candidate: order-independent");
+        assert!(
+            batch[1] > batch[0],
+            "column-major must cost more: {} vs {}",
+            batch[1],
+            batch[0]
+        );
     }
 
     #[test]

@@ -1319,6 +1319,13 @@ impl Emitter<'_> {
         ));
         self.line("let off_lo = (t as i64) * chunk;");
         self.line("let off_hi = (t as i64 + 1) * chunk - 1;");
+        // Publish batching: suppress all-but-every-`batch`-th outer
+        // step's publishes. Safe for the same reason as the non-fused
+        // pipeline — `await_progress` flushes the waiter's own counter
+        // on block, so a batched thread can never wedge its neighbors.
+        // The final outer step always publishes (the `> o_hi` arm), so
+        // trailing phases are never withheld.
+        let batch = self.opts.pipeline_batch.unwrap_or(1).clamp(1, 8);
         self.line(&format!("let mut {vo}: i64 = o_lo;"));
         self.line("let mut step_idx: i64 = 0;");
         self.line(&format!("while {vo} <= o_hi {{"));
@@ -1359,7 +1366,16 @@ impl Emitter<'_> {
             self.line("}");
             self.indent -= 1;
             self.line("}");
-            self.line("progress[t].0.fetch_max(ph, Ordering::AcqRel);");
+            if batch > 1 {
+                self.line(&format!(
+                    "if (step_idx + 1) % {batch} == 0 || {vo} + {st} > o_hi {{ progress[t].0.fetch_max(ph, Ordering::AcqRel); }} // PIPE_BATCH = {batch}",
+                    st = l.step
+                ));
+            } else {
+                self.line(&format!(
+                    "progress[t].0.fetch_max(ph, Ordering::AcqRel); // PIPE_BATCH = {batch}"
+                ));
+            }
         }
         self.line("step_idx += 1;");
         self.line(&format!("{vo} += {};", l.step));
@@ -1735,6 +1751,69 @@ mod tests {
         );
         assert!(src1.contains("// PIPE_BATCH = 1"), "{src1}");
         assert!(!src1.contains("step_n"), "{src1}");
+    }
+
+    fn fused_pipeline_prog() -> Program {
+        use polymix_ir::builder::{con, ix, par, ScopBuilder};
+        let mut b = ScopBuilder::new("fused", &["N"], &[16]);
+        let a = b.array("A", &["N", "N"]);
+        let c = b.array("C", &["N", "N"]);
+        b.enter("t", con(1), par("N"));
+        b.enter("i", con(1), par("N"));
+        let rhs = b.rd(a, &[ix("t"), ix("i")]);
+        b.stmt("S1", a, &[ix("t"), ix("i")], rhs);
+        b.exit();
+        b.enter("j", con(1), par("N"));
+        let rhs2 = b.rd(c, &[ix("t"), ix("j")]);
+        b.stmt("S2", c, &[ix("t"), ix("j")], rhs2);
+        b.exit();
+        b.exit();
+        let mut prog = crate::from_poly::original_program(&b.finish().expect("well-formed SCoP"))
+            .expect("original program");
+        let mut outer = true;
+        prog.body.visit_loops_mut(&mut |l| {
+            l.par = if outer { Par::Pipeline } else { Par::Seq };
+            outer = false;
+        });
+        prog
+    }
+
+    #[test]
+    fn fused_sibling_pipeline_honors_batch_knob() {
+        // Regression: pipeline_seq used to publish every sibling phase
+        // unconditionally, silently dropping a tuned pipeline_batch.
+        let prog = fused_pipeline_prog();
+        let src = emit_rust(
+            &prog,
+            &EmitOptions {
+                params: vec![16],
+                flops: 32,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert!(src.contains("(fused siblings)"), "{src}");
+        // Default stays the per-phase publish protocol.
+        assert!(src.contains("// PIPE_BATCH = 1"), "{src}");
+        assert!(!src.contains("if (step_idx + 1) %"), "{src}");
+        let src4 = emit_rust(
+            &prog,
+            &EmitOptions {
+                params: vec![16],
+                flops: 32,
+                threads: 4,
+                pipeline_batch: Some(4),
+                ..Default::default()
+            },
+        );
+        // Batched: publishes gated on every 4th outer step, with the
+        // final-step arm so trailing phases are never withheld.
+        assert!(src4.contains("// PIPE_BATCH = 4"), "{src4}");
+        assert!(
+            src4.contains("if (step_idx + 1) % 4 == 0 || v_c1 + 1 > o_hi {"),
+            "{src4}"
+        );
+        assert!(!src4.contains("fetch_max(ph, Ordering::AcqRel); // PIPE_BATCH = 1"), "{src4}");
     }
 
     #[test]

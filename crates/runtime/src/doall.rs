@@ -95,6 +95,8 @@ where
             workers: threads,
             pooled,
             order_check_disarmed: false,
+            pipeline_batch: None,
+            dyn_grain: opts.schedule.resolved_grain(),
         }),
     }
 }
@@ -206,6 +208,8 @@ where
             workers: threads,
             pooled,
             order_check_disarmed: false,
+            pipeline_batch: None,
+            dyn_grain: opts.schedule.resolved_grain(),
         }),
     }
 }
@@ -236,11 +240,35 @@ mod tests {
             ..RuntimeOptions::default()
         };
         let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
-        par_for_opts(0, 100, 7, opts, |i| {
+        let stats = par_for_opts(0, 100, 7, opts, |i| {
             hits[i as usize].fetch_add(1, Ordering::Relaxed);
         })
         .expect("clean run");
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(stats.dyn_grain, Some(3), "requested grain must round-trip");
+        assert_eq!(stats.pipeline_batch, None, "doalls publish nothing");
+    }
+
+    #[test]
+    fn requested_knobs_round_trip_into_stats() {
+        // A config naming `dyn_grain` must see exactly that grain in the
+        // stats (clamped to the executable floor of 1), and the static
+        // default must report no grain at all.
+        let dynamic = RuntimeOptions {
+            schedule: Schedule::Dynamic { grain: -5 },
+            ..RuntimeOptions::default()
+        };
+        let stats = par_for_opts(0, 32, 4, dynamic, |_| {}).expect("clean run");
+        assert_eq!(stats.dyn_grain, Some(1), "grain clamps to 1, not dropped");
+        let stats = par_for(0, 32, 4, |_| {}).expect("clean run");
+        assert_eq!(stats.dyn_grain, None);
+        // The chunked entry point threads the same schedule through.
+        let chunked = RuntimeOptions {
+            schedule: Schedule::Dynamic { grain: 7 },
+            ..RuntimeOptions::default()
+        };
+        let stats = par_for_chunked_opts(0, 64, 4, chunked, |_, _| {}).expect("clean run");
+        assert_eq!(stats.dyn_grain, Some(7));
     }
 
     #[test]

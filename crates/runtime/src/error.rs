@@ -91,6 +91,15 @@ pub struct RunStats {
     /// feature is off or the checker was armed — a clean run with this
     /// flag set certifies nothing.
     pub order_check_disarmed: bool,
+    /// The publish batch the pipeline executor resolved for this run
+    /// (explicit option / environment / automatic choice), `None` for
+    /// primitives with no point-to-point publishes. Tuned configurations
+    /// assert on this to catch silently-dropped knob overrides.
+    pub pipeline_batch: Option<i64>,
+    /// The chunk-claiming grain the dynamic schedule resolved for this
+    /// run, `None` under the static schedule. Same round-trip contract
+    /// as [`RunStats::pipeline_batch`].
+    pub dyn_grain: Option<i64>,
 }
 
 /// Whether parallel primitives run on the persistent worker pool or on

@@ -139,6 +139,7 @@ where
     }
     let span = grid.j_hi - grid.j_lo; // in-range: cells_checked passed
     let nthr = threads.clamp(1, span.min(isize::MAX as i64) as usize);
+    let batch = resolve_batch(&opts, grid.i_hi - grid.i_lo, nthr);
     let checker = DepChecker::new(grid);
     if nthr == 1 {
         let current: Cell<Option<(i64, i64)>> = Cell::new(None);
@@ -162,6 +163,8 @@ where
                     workers: 1,
                     pooled: false,
                     order_check_disarmed,
+                    pipeline_batch: Some(batch),
+                    dyn_grain: None,
                 })
             }
             Err(payload) => Err(RuntimeError::WorkerPanic {
@@ -177,7 +180,6 @@ where
         .collect();
     let fabric = Fabric::new(opts.watchdog.is_some(), nthr);
     let part = partition(grid.j_lo, grid.j_hi, nthr);
-    let batch = resolve_batch(&opts, grid.i_hi - grid.i_lo, nthr);
     let worker = |t: usize| {
         fabric.worker_online();
         let (blk_lo, blk_hi) = part.span(t);
@@ -242,6 +244,8 @@ where
                 workers: nthr,
                 pooled,
                 order_check_disarmed,
+                pipeline_batch: Some(batch),
+                dyn_grain: None,
             })
         }
     }
@@ -341,6 +345,8 @@ where
         workers,
         pooled,
         order_check_disarmed,
+        pipeline_batch: None,
+        dyn_grain: opts.schedule.resolved_grain(),
     })
 }
 
@@ -408,12 +414,53 @@ mod tests {
                 ..RuntimeOptions::default()
             };
             let log = Mutex::new(Vec::new());
-            pipeline_2d_opts(grid(17, 11), 4, opts, |i, j| {
+            let stats = pipeline_2d_opts(grid(17, 11), 4, opts, |i, j| {
                 log.lock().unwrap().push((i, j));
             })
             .expect("clean run");
             check_order(&log.into_inner().unwrap(), 17, 11);
+            assert_eq!(
+                stats.pipeline_batch,
+                Some(batch),
+                "requested batch must round-trip into the stats"
+            );
         }
+    }
+
+    #[test]
+    fn pipeline_batch_round_trips_on_every_path() {
+        // Single-thread path: the resolved batch is still reported, so a
+        // tuned config can be verified even when the grid degenerates.
+        let opts = RuntimeOptions {
+            pipeline_batch: Some(5),
+            ..RuntimeOptions::default()
+        };
+        let stats = pipeline_2d_opts(grid(6, 1), 4, opts, |_, _| {}).expect("clean run");
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.pipeline_batch, Some(5));
+        // No explicit batch: the automatic choice is reported (never a
+        // silent None), clamped to [1, 8].
+        let stats = pipeline_2d(grid(64, 16), 2, |_, _| {}).expect("clean run");
+        let auto = stats.pipeline_batch.expect("auto batch reported");
+        assert!((1..=8).contains(&auto), "auto batch {auto} out of range");
+        // A non-positive explicit batch clamps to the floor of 1.
+        let opts = RuntimeOptions {
+            pipeline_batch: Some(0),
+            ..RuntimeOptions::default()
+        };
+        let stats = pipeline_2d_opts(grid(8, 8), 2, opts, |_, _| {}).expect("clean run");
+        assert_eq!(stats.pipeline_batch, Some(1));
+    }
+
+    #[test]
+    fn wavefront_reports_schedule_grain_not_batch() {
+        let opts = RuntimeOptions {
+            schedule: crate::schedule::Schedule::Dynamic { grain: 2 },
+            ..RuntimeOptions::default()
+        };
+        let stats = wavefront_2d_opts(grid(6, 6), 4, opts, |_, _| {}).expect("clean run");
+        assert_eq!(stats.dyn_grain, Some(2));
+        assert_eq!(stats.pipeline_batch, None, "wavefronts have no publishes");
     }
 
     #[test]

@@ -115,6 +115,8 @@ where
             workers: threads,
             pooled,
             order_check_disarmed: false,
+            pipeline_batch: None,
+            dyn_grain: opts.schedule.resolved_grain(),
         }),
     }
 }

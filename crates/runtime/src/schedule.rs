@@ -50,6 +50,17 @@ impl Schedule {
         let grain = (n / (threads.max(1) as i64 * 8)).max(1);
         Schedule::Dynamic { grain }
     }
+
+    /// The chunk grain this schedule will actually claim with (`None`
+    /// for the static schedule). This is the value reported back in
+    /// [`RunStats::dyn_grain`](crate::error::RunStats), so callers that
+    /// requested a grain can verify it was not silently dropped.
+    pub fn resolved_grain(self) -> Option<i64> {
+        match self {
+            Schedule::Static => None,
+            Schedule::Dynamic { grain } => Some(grain.max(1)),
+        }
+    }
 }
 
 /// A static ceil-div block partition of the half-open range `[lo, hi)`

@@ -475,6 +475,8 @@ impl TileGraph {
                     workers: nthr,
                     pooled,
                     order_check_disarmed,
+                    pipeline_batch: None,
+                    dyn_grain: None,
                 })
             }
         }
