@@ -21,7 +21,8 @@ cargo test -q
 echo "== clippy abort-site gate =="
 for c in polymix-math polymix-ir polymix-deps polymix-dl polymix-ast \
          polymix-codegen polymix-verify polymix-pluto polymix-core \
-         polymix-runtime polymix-cachesim polymix-polybench polymix-bench; do
+         polymix-runtime polymix-cachesim polymix-polybench polymix-bench \
+         polymix-service; do
     echo "-- $c"
     cargo clippy --lib --no-deps -p "$c" -- \
         -D clippy::unwrap_used -D clippy::panic
@@ -84,10 +85,44 @@ POLYMIX_BENCH_DIR="$SMOKE_DIR/cache" \
 [ -s "$SMOKE_DIR/tuned/2mm.json" ] || { echo "tuner produced no config"; exit 1; }
 grep -q '"speedup_vs_native"' "$SMOKE_DIR/tuned/2mm.json" \
     || { echo "tuned config missing measurement fields"; exit 1; }
-POLYMIX_BENCH_DIR="$SMOKE_DIR/cache" \
+# Capture rather than pipe into `grep -q`: with pipefail, grep exiting
+# at first match SIGPIPEs table1 mid-print and fails a passing check.
+TUNED_OUT=$(POLYMIX_BENCH_DIR="$SMOKE_DIR/cache" \
     cargo run --release -q -p polymix-bench --bin table1 -- \
     --dataset mini --jobs 2 --run-timeout 120 \
-    --tuned --tuned-config "$SMOKE_DIR/tuned/2mm.json" \
-    | grep -q 'tuned (' || { echo "table1 --tuned did not render the tuned row"; exit 1; }
+    --tuned --tuned-config "$SMOKE_DIR/tuned/2mm.json")
+echo "$TUNED_OUT" | grep -q 'tuned (' \
+    || { echo "table1 --tuned did not render the tuned row"; exit 1; }
+
+# Daemon smoke test: start the optimization service, drive the full
+# robustness surface over a real socket — cold miss, warm hit served
+# from the cache, an injected scheduler panic degrading to the identity
+# schedule with a well-formed response — then shut it down cleanly.
+echo "== service smoke test =="
+ADDR_FILE="$SMOKE_DIR/service.addr"
+cargo run --release -q -p polymix-service --bin polymix_service -- serve \
+    --addr 127.0.0.1:0 --cache-dir "$SMOKE_DIR/service_cache" \
+    --addr-file "$ADDR_FILE" --allow-inject > "$SMOKE_DIR/service.log" 2>&1 &
+SERVICE_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$ADDR_FILE" ] && break
+    kill -0 "$SERVICE_PID" 2>/dev/null || { cat "$SMOKE_DIR/service.log"; echo "daemon died on startup"; exit 1; }
+    sleep 0.1
+done
+[ -s "$ADDR_FILE" ] || { echo "daemon never wrote its address"; exit 1; }
+ADDR=$(cat "$ADDR_FILE")
+SRV() { cargo run --release -q -p polymix-service --bin polymix_service -- "$@"; }
+COLD_OUT=$(SRV req --addr "$ADDR" --kernel gemm)
+echo "$COLD_OUT" | grep -q 'served=miss' \
+    || { echo "cold request did not optimize: $COLD_OUT"; exit 1; }
+WARM_OUT=$(SRV req --addr "$ADDR" --kernel gemm)
+echo "$WARM_OUT" | grep -q 'served=hit' \
+    || { echo "warm request was not served from the cache: $WARM_OUT"; exit 1; }
+PANIC_OUT=$(SRV req --addr "$ADDR" --kernel 2mm --inject panic)
+echo "$PANIC_OUT" | grep -q 'served=identity' \
+    && echo "$PANIC_OUT" | grep -q 'degraded=1' \
+    || { echo "injected panic did not degrade to identity: $PANIC_OUT"; exit 1; }
+SRV shutdown --addr "$ADDR" > /dev/null || { echo "shutdown not acked"; exit 1; }
+wait "$SERVICE_PID" || { echo "daemon exited nonzero"; exit 1; }
 
 echo "CI OK"

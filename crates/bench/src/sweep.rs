@@ -160,8 +160,10 @@ impl Semaphore {
 
 /// Transient failures worth a backoff-retry: the OS refused a spawn
 /// (EAGAIN under load), or cache lock coordination glitched. Compile
-/// errors and kernel failures are deterministic and final.
-fn is_transient(detail: &str) -> bool {
+/// errors and kernel failures are deterministic and final. Public
+/// because `polymix-service` applies the same classification to its
+/// optimization and cache-persistence failures.
+pub fn is_transient(detail: &str) -> bool {
     detail.contains("spawn:") || detail.contains("lockfile") || detail.contains("wait:")
 }
 
@@ -180,6 +182,7 @@ pub fn run_sweep(jobs: Vec<SweepJob>, runner: &Runner, cfg: &SweepConfig) -> Vec
         if let Some(dir) = p.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
+        repair_log_tail(p);
         std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -332,8 +335,9 @@ fn run_one(
     ran.map_err(err)
 }
 
-/// Retries `f` on transient failures with 100ms·2^k backoff.
-fn with_retries<T>(retries: usize, f: impl Fn() -> Result<T, String>) -> Result<T, String> {
+/// Retries `f` on transient failures ([`is_transient`]) with
+/// 100ms·2^k backoff. Shared with `polymix-service`.
+pub fn with_retries<T>(retries: usize, f: impl Fn() -> Result<T, String>) -> Result<T, String> {
     let mut attempt = 0;
     loop {
         match f() {
@@ -351,7 +355,7 @@ fn with_retries<T>(retries: usize, f: impl Fn() -> Result<T, String>) -> Result<
 // ---------------------------------------------------------------------
 
 /// Escapes `s` for a JSON string literal.
-pub(crate) fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -402,9 +406,34 @@ fn record_line(o: &JobOutcome) -> String {
     }
 }
 
+/// A sweep killed mid-append can leave the log without a trailing
+/// newline. A later append would then glue its first record onto the
+/// torn fragment, corrupting *both* — so before reopening the log for
+/// append, terminate the fragment. The fragment's own line stays in
+/// place; [`load_results`] skips it (with the one-time warning) and the
+/// cell it belonged to re-measures.
+fn repair_log_tail(path: &Path) {
+    use std::io::{Read, Seek, SeekFrom};
+    let Ok(mut f) = std::fs::OpenOptions::new().read(true).append(true).open(path) else {
+        return;
+    };
+    let Ok(len) = f.seek(SeekFrom::End(0)) else {
+        return;
+    };
+    if len == 0 || f.seek(SeekFrom::End(-1)).is_err() {
+        return;
+    }
+    let mut last = [0u8; 1];
+    if f.read_exact(&mut last).is_ok() && last[0] != b'\n' {
+        let _ = f.write_all(b"\n");
+    }
+}
+
 /// Loads previously recorded outcomes (id → (result, degraded)) from a
 /// JSONL log. Unparseable lines (e.g. one truncated by a crash
-/// mid-append) are skipped; the job they belonged to simply reruns.
+/// mid-append, the torn trailing line of a killed sweep) are tolerated:
+/// each is skipped with a one-time warning naming how many lines were
+/// dropped, and the cells they belonged to simply re-measure on resume.
 /// Later records win over earlier ones with the same id.
 #[allow(clippy::type_complexity)]
 pub fn load_results(path: &Path) -> HashMap<String, (Result<RunResult, PolymixError>, bool)> {
@@ -412,45 +441,58 @@ pub fn load_results(path: &Path) -> HashMap<String, (Result<RunResult, PolymixEr
     let Ok(text) = std::fs::read_to_string(path) else {
         return out;
     };
+    let mut skipped = 0usize;
     for line in text.lines() {
-        let Some(rec) = parse_record(line) else {
+        if line.trim().is_empty() {
             continue;
-        };
-        let Some(id) = rec.str_field("id") else {
-            continue;
-        };
-        let result = match rec.str_field("status") {
-            Some("ok") => {
-                let (Some(checksum), Some(time_s), Some(gflops)) = (
-                    rec.num_field("checksum"),
-                    rec.num_field("time_s"),
-                    rec.num_field("gflops"),
-                ) else {
-                    continue;
-                };
-                Ok(RunResult {
-                    checksum,
-                    time_s,
-                    gflops,
-                })
+        }
+        match parse_entry(line) {
+            Some((id, entry)) => {
+                out.insert(id, entry);
             }
-            Some("error") => {
-                let kernel = rec.str_field("kernel").unwrap_or("?").to_string();
-                let variant = rec.str_field("variant").unwrap_or("?").to_string();
-                let detail = rec.str_field("detail").unwrap_or("").to_string();
-                Err(error_for_stage(
-                    rec.str_field("stage").unwrap_or("runner"),
-                    kernel,
-                    variant,
-                    detail,
-                ))
-            }
-            _ => continue,
-        };
-        let degraded = rec.str_field("degraded") == Some("sequential");
-        out.insert(id.to_string(), (result, degraded));
+            None => skipped += 1,
+        }
+    }
+    if skipped > 0 {
+        eprintln!(
+            "warning: results log {}: skipped {skipped} unparseable line(s) \
+             (torn append from an interrupted sweep?); the affected cells \
+             will be re-measured",
+            path.display()
+        );
     }
     out
+}
+
+/// Parses one results-log line into `(id, (result, degraded))`; `None`
+/// when the line is syntactically broken *or* semantically incomplete
+/// (missing id / status / measurement fields) — both shapes a torn
+/// append can produce.
+#[allow(clippy::type_complexity)]
+fn parse_entry(line: &str) -> Option<(String, (Result<RunResult, PolymixError>, bool))> {
+    let rec = parse_record(line)?;
+    let id = rec.str_field("id")?;
+    let result = match rec.str_field("status")? {
+        "ok" => Ok(RunResult {
+            checksum: rec.num_field("checksum")?,
+            time_s: rec.num_field("time_s")?,
+            gflops: rec.num_field("gflops")?,
+        }),
+        "error" => {
+            let kernel = rec.str_field("kernel").unwrap_or("?").to_string();
+            let variant = rec.str_field("variant").unwrap_or("?").to_string();
+            let detail = rec.str_field("detail").unwrap_or("").to_string();
+            Err(error_for_stage(
+                rec.str_field("stage").unwrap_or("runner"),
+                kernel,
+                variant,
+                detail,
+            ))
+        }
+        _ => return None,
+    };
+    let degraded = rec.str_field("degraded") == Some("sequential");
+    Some((id.to_string(), (result, degraded)))
 }
 
 /// Prints the `†` legend when any outcome in the sweep was measured via
@@ -481,9 +523,10 @@ fn error_for_stage(stage: &str, kernel: String, variant: String, detail: String)
 /// A parsed flat JSON object (string keys; string / number / array
 /// values) — exactly the shape [`record_line`] emits. Hand-rolled
 /// because the workspace is offline and dependency-free by policy.
-/// Shared with [`crate::autotune`], whose tuned-config files use the
-/// same flat-object grammar.
-pub(crate) struct Record {
+/// Shared with [`crate::autotune`] (tuned-config files) and
+/// `polymix-service` (wire protocol and persistent cache entries), which
+/// use the same flat-object grammar.
+pub struct Record {
     fields: Vec<(String, Value)>,
 }
 
@@ -494,21 +537,24 @@ enum Value {
 }
 
 impl Record {
-    pub(crate) fn str_field(&self, key: &str) -> Option<&str> {
+    /// The string value of `key`, if present with that type.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
         self.fields.iter().find_map(|(k, v)| match v {
             Value::Str(s) if k == key => Some(s.as_str()),
             _ => None,
         })
     }
 
-    pub(crate) fn num_field(&self, key: &str) -> Option<f64> {
+    /// The numeric value of `key`, if present with that type.
+    pub fn num_field(&self, key: &str) -> Option<f64> {
         self.fields.iter().find_map(|(k, v)| match v {
             Value::Num(x) if k == key => Some(*x),
             _ => None,
         })
     }
 
-    pub(crate) fn arr_field(&self, key: &str) -> Option<&[f64]> {
+    /// The numeric-array value of `key`, if present with that type.
+    pub fn arr_field(&self, key: &str) -> Option<&[f64]> {
         self.fields.iter().find_map(|(k, v)| match v {
             Value::Arr(xs) if k == key => Some(xs.as_slice()),
             _ => None,
@@ -517,7 +563,7 @@ impl Record {
 }
 
 /// Parses one flat JSONL record; `None` on any syntax violation.
-pub(crate) fn parse_record(line: &str) -> Option<Record> {
+pub fn parse_record(line: &str) -> Option<Record> {
     let mut p = Parser {
         bytes: line.as_bytes(),
         pos: 0,

@@ -486,3 +486,76 @@ fn compile_errors_do_not_degrade() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A torn trailing JSONL line (the process died mid-append) must not
+/// poison resume: the intact records replay, the torn cell is
+/// re-measured, and the re-run log ends up complete again.
+#[test]
+fn torn_trailing_jsonl_line_is_skipped_and_remeasured() {
+    let dir = tmp_dir("torn-line");
+    let log = dir.join("results.jsonl");
+    let runner = test_runner(dir.join("cache-a"));
+    let cfg = SweepConfig {
+        jobs: 2,
+        results_path: Some(log.clone()),
+        ..SweepConfig::default()
+    };
+    let first = run_sweep(
+        vec![job("j1", ok_src(1)), job("j2", ok_src(2))],
+        &runner,
+        &cfg,
+    );
+    assert!(first.iter().all(|o| o.result.is_ok()));
+
+    // Tear the last record mid-line, as if the sweep died between
+    // `write` and the trailing newline reaching disk.
+    let text = std::fs::read_to_string(&log).expect("log readable");
+    let last_start = text.trim_end().rfind('\n').expect("two records") + 1;
+    let torn_id = &text[last_start..]
+        [..text[last_start..].find("\"id\"").map_or(8, |p| p + 20)];
+    let cut = last_start + (text.len() - last_start) / 2;
+    std::fs::write(&log, &text[..cut]).expect("truncate log");
+    let _ = torn_id;
+
+    // Identify which job the torn record belonged to so the assertion
+    // below can name it: it is whichever id no longer parses from the
+    // log.
+    let intact: Vec<String> = std::fs::read_to_string(&log)
+        .expect("log readable")
+        .lines()
+        .filter_map(|l| {
+            polymix_bench::sweep::parse_record(l)
+                .and_then(|r| r.str_field("id").map(str::to_string))
+        })
+        .collect();
+    assert_eq!(intact.len(), 1, "exactly one record must survive the tear");
+
+    // Resume against a fresh cache: the intact cell replays, the torn
+    // cell re-measures (and therefore compiles again).
+    let runner2 = test_runner(dir.join("cache-b"));
+    let second = run_sweep(
+        vec![job("j1", ok_src(1)), job("j2", ok_src(2))],
+        &runner2,
+        &cfg,
+    );
+    assert_eq!(second.len(), 2);
+    for o in &second {
+        assert!(o.result.is_ok(), "{} must succeed", o.id);
+        assert_eq!(
+            o.resumed,
+            intact.contains(&o.id),
+            "{}: only the intact record may replay; the torn cell must re-measure",
+            o.id
+        );
+    }
+
+    // The log is whole again: both cells parse, so a third run replays
+    // everything.
+    let third = run_sweep(
+        vec![job("j1", ok_src(1)), job("j2", ok_src(2))],
+        &test_runner(dir.join("cache-c")),
+        &cfg,
+    );
+    assert!(third.iter().all(|o| o.resumed), "re-measured cell must be re-recorded");
+    let _ = std::fs::remove_dir_all(&dir);
+}

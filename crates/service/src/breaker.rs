@@ -1,0 +1,186 @@
+//! Per-canonical-key circuit breakers.
+//!
+//! A SCoP that repeatedly crashes or times out the optimizer must not be
+//! allowed to burn a worker (and a queue slot, and a client's deadline)
+//! on every arrival. After `threshold` consecutive failures the key's
+//! breaker **opens**: requests short-circuit straight to the
+//! identity-schedule fallback — always legal, milliseconds to produce —
+//! without ever touching the scheduler. After `probe_after` short-
+//! circuited requests the breaker goes **half-open** and lets exactly
+//! one probe through; a success closes it, a failure re-opens it.
+//!
+//! The design is request-counted rather than wall-clock-based so tests
+//! (and fault-injected load runs) are deterministic.
+
+use crate::canon::CanonicalKey;
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// Breaker policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker.
+    pub threshold: u32,
+    /// Short-circuited requests after which one probe is admitted.
+    pub probe_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 2,
+            probe_after: 16,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum State {
+    /// Healthy; counts consecutive failures.
+    Closed { fails: u32 },
+    /// Pinned to the identity fallback; counts short-circuits until the
+    /// next probe.
+    Open { shorted: u32 },
+    /// One probe is in flight; everyone else still short-circuits.
+    HalfOpen,
+}
+
+/// What the breaker tells the admission path to do with a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Run the optimizer normally.
+    Optimize,
+    /// Serve the identity fallback without optimizing.
+    ShortCircuit,
+}
+
+/// The breaker table (one breaker per canonical key, created lazily).
+#[derive(Default)]
+pub struct Breakers {
+    cfg: BreakerConfig,
+    table: Mutex<HashMap<CanonicalKey, State>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Breakers {
+    /// A table with the given policy.
+    pub fn new(cfg: BreakerConfig) -> Breakers {
+        Breakers {
+            cfg,
+            table: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Admission decision for one arriving request, advancing the
+    /// breaker's counters.
+    pub fn admit(&self, key: CanonicalKey) -> Admission {
+        let mut t = lock(&self.table);
+        let state = t.entry(key).or_insert(State::Closed { fails: 0 });
+        match *state {
+            State::Closed { .. } => Admission::Optimize,
+            State::HalfOpen => Admission::ShortCircuit,
+            State::Open { shorted } => {
+                if shorted + 1 >= self.cfg.probe_after {
+                    *state = State::HalfOpen;
+                    Admission::Optimize
+                } else {
+                    *state = State::Open {
+                        shorted: shorted + 1,
+                    };
+                    Admission::ShortCircuit
+                }
+            }
+        }
+    }
+
+    /// Records the outcome of an admitted optimization.
+    pub fn record(&self, key: CanonicalKey, success: bool) {
+        let mut t = lock(&self.table);
+        let state = t.entry(key).or_insert(State::Closed { fails: 0 });
+        *state = match (*state, success) {
+            (_, true) => State::Closed { fails: 0 },
+            (State::Closed { fails }, false) => {
+                if fails + 1 >= self.cfg.threshold {
+                    State::Open { shorted: 0 }
+                } else {
+                    State::Closed { fails: fails + 1 }
+                }
+            }
+            // A failed half-open probe re-opens a full cooldown window.
+            (State::HalfOpen, false) | (State::Open { .. }, false) => State::Open { shorted: 0 },
+        };
+    }
+
+    /// True when the key is currently pinned to the fallback (open or
+    /// half-open with the probe taken). Diagnostic only.
+    pub fn is_open(&self, key: CanonicalKey) -> bool {
+        matches!(
+            lock(&self.table).get(&key),
+            Some(State::Open { .. } | State::HalfOpen)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: CanonicalKey = CanonicalKey { hi: 7, lo: 9 };
+
+    #[test]
+    fn opens_after_threshold_and_probes_after_cooldown() {
+        let b = Breakers::new(BreakerConfig {
+            threshold: 2,
+            probe_after: 3,
+        });
+        assert_eq!(b.admit(KEY), Admission::Optimize);
+        b.record(KEY, false);
+        assert_eq!(b.admit(KEY), Admission::Optimize);
+        b.record(KEY, false); // second consecutive failure -> open
+        assert!(b.is_open(KEY));
+        assert_eq!(b.admit(KEY), Admission::ShortCircuit);
+        assert_eq!(b.admit(KEY), Admission::ShortCircuit);
+        // Third arrival since opening: the probe.
+        assert_eq!(b.admit(KEY), Admission::Optimize);
+        // While the probe is out, others still short-circuit.
+        assert_eq!(b.admit(KEY), Admission::ShortCircuit);
+        // Probe succeeds: closed again.
+        b.record(KEY, true);
+        assert!(!b.is_open(KEY));
+        assert_eq!(b.admit(KEY), Admission::Optimize);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = Breakers::new(BreakerConfig {
+            threshold: 1,
+            probe_after: 2,
+        });
+        assert_eq!(b.admit(KEY), Admission::Optimize);
+        b.record(KEY, false); // open
+        assert_eq!(b.admit(KEY), Admission::ShortCircuit);
+        assert_eq!(b.admit(KEY), Admission::Optimize); // probe
+        b.record(KEY, false); // probe fails -> open again, fresh window
+        assert_eq!(b.admit(KEY), Admission::ShortCircuit);
+        assert_eq!(b.admit(KEY), Admission::Optimize);
+        b.record(KEY, true);
+        assert!(!b.is_open(KEY));
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let b = Breakers::new(BreakerConfig {
+            threshold: 2,
+            probe_after: 2,
+        });
+        b.record(KEY, false);
+        b.record(KEY, true);
+        b.record(KEY, false);
+        // Never two *consecutive* failures: still closed.
+        assert!(!b.is_open(KEY));
+        assert_eq!(b.admit(KEY), Admission::Optimize);
+    }
+}

@@ -1,0 +1,379 @@
+//! SCoP canonicalization: a structural key invariant under renaming.
+//!
+//! The service's cache must collapse structurally identical requests —
+//! millions of clients optimizing the same GEMM shape should hit one
+//! entry — so the cache key is derived from the SCoP's *structure*
+//! (iteration domains, access functions, original schedules, statement
+//! bodies) and never from names. Array, statement, iterator, parameter
+//! and SCoP names are all excluded from the serialization; parameter
+//! *positions* are normalized by minimizing the serialization over every
+//! parameter-column permutation, so `gemm(NI, NJ, NK)` and the same
+//! kernel written over `(P, Q, R)` in any order produce the same key.
+//!
+//! The dependence relation is a function of domains + accesses +
+//! schedules, so including those three captures "dependence shape"
+//! without re-running the dependence analysis on the request path.
+
+use polymix_ir::{Expr, Scop};
+use std::fmt::Write as _;
+
+/// Beyond this many structure parameters the permutation search
+/// (factorial) is not worth it; the key falls back to the declared
+/// parameter order and canonicalization is merely rename-invariant for
+/// arrays/statements/iterators. PolyBench tops out at 4 parameters.
+const MAX_PERM_PARAMS: usize = 6;
+
+/// 64-bit FNV-1a (same construction as the bench binary cache, which
+/// needs stability across std releases; `DefaultHasher` is explicitly
+/// unspecified).
+fn fnv1a64(data: &[u8], mut hash: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+// Second, independent offset basis for the high half of the 128-bit
+// key (a single 64-bit hash over millions of cached shapes is too
+// collision-prone to gate replay of certified artifacts).
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+
+/// The structural identity of a SCoP: 128 bits over the canonical
+/// serialization. Used to shard the cache, key the circuit breaker, and
+/// (together with a request fingerprint) name persistent cache entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalKey {
+    /// High 64 bits (independent FNV basis).
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+impl CanonicalKey {
+    /// 32-hex-digit rendering, used in entry file names.
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Shard index in `0..shards` (from the high bits, which FNV mixes
+    /// best).
+    pub fn shard(&self, shards: usize) -> usize {
+        (self.hi % shards.max(1) as u64) as usize
+    }
+}
+
+/// Canonicalizes `scop` and returns its structural key.
+pub fn canonical_key(scop: &Scop) -> CanonicalKey {
+    let s = canonical_form(scop);
+    CanonicalKey {
+        hi: fnv1a64(s.as_bytes(), FNV_OFFSET_B),
+        lo: fnv1a64(s.as_bytes(), FNV_OFFSET_A),
+    }
+}
+
+/// The canonical serialization: the lexicographically smallest rendering
+/// over all parameter-column permutations (identity only above
+/// [`MAX_PERM_PARAMS`]). Exposed for tests; production callers want
+/// [`canonical_key`].
+pub fn canonical_form(scop: &Scop) -> String {
+    let p = scop.params.len();
+    let mut best: Option<String> = None;
+    let mut perm: Vec<usize> = (0..p).collect();
+    if p <= MAX_PERM_PARAMS {
+        permute_min(scop, &mut perm, 0, &mut best);
+    }
+    match best {
+        Some(s) => s,
+        None => serialize(scop, &perm),
+    }
+}
+
+/// Heap's-style recursive enumeration of parameter permutations, keeping
+/// the minimal serialization.
+fn permute_min(scop: &Scop, perm: &mut Vec<usize>, k: usize, best: &mut Option<String>) {
+    if k == perm.len() {
+        let s = serialize(scop, perm);
+        if best.as_ref().is_none_or(|b| s < *b) {
+            *best = Some(s);
+        }
+        return;
+    }
+    for i in k..perm.len() {
+        perm.swap(k, i);
+        permute_min(scop, perm, k + 1, best);
+        perm.swap(k, i);
+    }
+}
+
+/// Serializes the SCoP structure with parameter columns reordered by
+/// `perm` (`perm[j]` = the original parameter shown in column `j`).
+/// Names never enter the output.
+fn serialize(scop: &Scop, perm: &[usize]) -> String {
+    let p = perm.len();
+    let mut out = String::with_capacity(1024);
+    let _ = write!(out, "scop p={p};");
+    // Parameter lower bounds travel with their column.
+    for &orig in perm {
+        let lb = scop.param_lower_bounds.get(orig).copied().unwrap_or(1);
+        let _ = write!(out, "lb{lb};");
+    }
+    for a in &scop.arrays {
+        out.push_str("arr");
+        for dim in &a.dims {
+            push_param_row(&mut out, dim, perm);
+        }
+        let _ = write!(out, "b{};", a.elem_bytes);
+    }
+    for st in &scop.statements {
+        let d = st.dim;
+        let _ = write!(out, "stmt d={d};dom");
+        // Constraint order is not structural: normalize by sorting the
+        // permuted renderings.
+        let mut rows: Vec<String> = st
+            .domain
+            .constraints()
+            .iter()
+            .map(|c| {
+                let mut r = String::new();
+                let _ = write!(r, "{:?}", c.op);
+                push_stmt_row(&mut r, &c.row, d, perm);
+                r
+            })
+            .collect();
+        rows.sort();
+        for r in rows {
+            out.push_str(&r);
+        }
+        let _ = write!(out, "w{}", st.write.array.0);
+        for row in &st.write.map {
+            push_stmt_row(&mut out, row, d, perm);
+        }
+        out.push_str(";body");
+        push_expr(&mut out, &st.body, d, perm);
+        out.push_str(";sch b");
+        for b in &st.schedule.beta {
+            let _ = write!(out, "{b},");
+        }
+        out.push('a');
+        for r in 0..st.schedule.alpha.rows() {
+            push_plain_row(&mut out, st.schedule.alpha.row(r));
+        }
+        out.push('g');
+        for row in &st.schedule.gamma {
+            push_param_row(&mut out, row, perm);
+        }
+        out.push(';');
+    }
+    out
+}
+
+/// A row laid out `[params | 1]`: permute the parameter segment.
+fn push_param_row(out: &mut String, row: &[i64], perm: &[usize]) {
+    out.push('[');
+    for &orig in perm {
+        let _ = write!(out, "{},", row.get(orig).copied().unwrap_or(0));
+    }
+    let _ = write!(out, "|{}]", row.last().copied().unwrap_or(0));
+}
+
+/// A statement-local row `[iters | params | 1]` (or `[iters | params]`
+/// for domain constraint rows whose constant rides separately — the
+/// caller passes whatever tail exists): iterator columns verbatim, then
+/// the permuted parameter segment, then any remaining tail columns.
+fn push_stmt_row(out: &mut String, row: &[i64], d: usize, perm: &[usize]) {
+    let p = perm.len();
+    out.push('[');
+    for c in row.iter().take(d) {
+        let _ = write!(out, "{c},");
+    }
+    out.push('|');
+    for &orig in perm {
+        let _ = write!(out, "{},", row.get(d + orig).copied().unwrap_or(0));
+    }
+    out.push('|');
+    for c in row.iter().skip(d + p) {
+        let _ = write!(out, "{c},");
+    }
+    out.push(']');
+}
+
+/// A row with no parameter columns (schedule α rows over iterators).
+fn push_plain_row(out: &mut String, row: &[i64]) {
+    out.push('[');
+    for c in row {
+        let _ = write!(out, "{c},");
+    }
+    out.push(']');
+}
+
+/// Expression skeleton: operators, array ids, subscript rows, literal
+/// bit patterns. Iterator indices are positional (already canonical);
+/// parameter references are shown at their permuted position.
+fn push_expr(out: &mut String, e: &Expr, d: usize, perm: &[usize]) {
+    match e {
+        Expr::Const(c) => {
+            let _ = write!(out, "c{:016x}", c.to_bits());
+        }
+        Expr::Iter(k) => {
+            let _ = write!(out, "i{k}");
+        }
+        Expr::Param(k) => {
+            let pos = perm.iter().position(|&o| o == *k).unwrap_or(*k);
+            let _ = write!(out, "p{pos}");
+        }
+        Expr::Read { array, subs } => {
+            let _ = write!(out, "r{}", array.0);
+            for row in subs {
+                push_stmt_row(out, row, d, perm);
+            }
+        }
+        Expr::Bin(op, a, b) => {
+            let _ = write!(out, "({:?}", op);
+            push_expr(out, a, d, perm);
+            out.push(' ');
+            push_expr(out, b, d, perm);
+            out.push(')');
+        }
+        Expr::Un(op, a) => {
+            let _ = write!(out, "({:?}", op);
+            push_expr(out, a, d, perm);
+            out.push(')');
+        }
+    }
+}
+
+/// A 64-bit fingerprint over the request-side knobs that select *which*
+/// optimized artifact is wanted for a canonical shape: variant, tile
+/// sizes, unroll factors, concrete parameter values (emitted sources are
+/// parameter-specialized until the parametric-bounds work lands), thread
+/// count and timing reps. Together with the [`CanonicalKey`] this names
+/// one persistent cache entry.
+pub fn request_fingerprint(
+    variant: &str,
+    tile: i64,
+    time_tile: i64,
+    unroll: (i64, i64),
+    params: &[i64],
+    threads: usize,
+    reps: usize,
+) -> u64 {
+    let mut s = String::with_capacity(64);
+    let _ = write!(
+        s,
+        "v={variant};t={tile};tt={time_tile};u={},{};th={threads};r={reps};p=",
+        unroll.0, unroll.1
+    );
+    for v in params {
+        let _ = write!(s, "{v},");
+    }
+    fnv1a64(s.as_bytes(), FNV_OFFSET_A)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymix_ir::{con, ix, par, ScopBuilder};
+    use polymix_polybench::all_kernels;
+
+    /// `C[i][j] += A[i][k] * B[k][j]` over (rows, cols, inner) with the
+    /// given parameter names and declaration order.
+    fn gemm_like(names: [&str; 3], order: [usize; 3]) -> Scop {
+        // `order` maps semantic roles (NI, NJ, NK) to declaration slots.
+        let mut decl = ["", "", ""];
+        let mut defaults = [0i64; 3];
+        let sizes = [8, 9, 10];
+        for (role, &slot) in order.iter().enumerate() {
+            decl[slot] = names[role];
+            defaults[slot] = sizes[role];
+        }
+        let mut b = ScopBuilder::new("anon", &decl, &defaults);
+        let ni = par(names[0]);
+        let nj = par(names[1]);
+        let nk = par(names[2]);
+        let a = b.array_dims("A", vec![ni.clone(), nk.clone()]);
+        let c = b.array_dims("B", vec![nk.clone(), nj.clone()]);
+        let out = b.array_dims("C", vec![ni.clone(), nj.clone()]);
+        b.enter("i", con(0), ni);
+        b.enter("j", con(0), nj);
+        b.enter("k", con(0), nk);
+        let rhs = Expr::mul(
+            b.rd(a, &[ix("i"), ix("k")]),
+            b.rd(c, &[ix("k"), ix("j")]),
+        );
+        b.stmt_update("S", out, &[ix("i"), ix("j")], polymix_ir::BinOp::Add, rhs);
+        b.exit();
+        b.exit();
+        b.exit();
+        b.finish().expect("scop builds")
+    }
+
+    #[test]
+    fn key_is_invariant_under_parameter_renaming_and_reordering() {
+        let base = gemm_like(["NI", "NJ", "NK"], [0, 1, 2]);
+        let renamed = gemm_like(["P", "Q", "R"], [0, 1, 2]);
+        let reordered = gemm_like(["NI", "NJ", "NK"], [2, 0, 1]);
+        let k0 = canonical_key(&base);
+        assert_eq!(k0, canonical_key(&renamed), "renaming must not change the key");
+        assert_eq!(
+            k0,
+            canonical_key(&reordered),
+            "parameter declaration order must not change the key"
+        );
+    }
+
+    #[test]
+    fn key_distinguishes_structure() {
+        let base = gemm_like(["NI", "NJ", "NK"], [0, 1, 2]);
+        // Same loop nest, different body (add instead of mul).
+        let mut b = ScopBuilder::new("anon", &["NI", "NJ", "NK"], &[8, 9, 10]);
+        let ni = par("NI");
+        let nj = par("NJ");
+        let nk = par("NK");
+        let a = b.array_dims("A", vec![ni.clone(), nk.clone()]);
+        let c = b.array_dims("B", vec![nk.clone(), nj.clone()]);
+        let out = b.array_dims("C", vec![ni.clone(), nj.clone()]);
+        b.enter("i", con(0), ni);
+        b.enter("j", con(0), nj);
+        b.enter("k", con(0), nk);
+        let rhs = Expr::add(
+            b.rd(a, &[ix("i"), ix("k")]),
+            b.rd(c, &[ix("k"), ix("j")]),
+        );
+        b.stmt_update("S", out, &[ix("i"), ix("j")], polymix_ir::BinOp::Add, rhs);
+        b.exit();
+        b.exit();
+        b.exit();
+        let other = b.finish().expect("scop builds");
+        assert_ne!(canonical_key(&base), canonical_key(&other));
+    }
+
+    #[test]
+    fn suite_kernels_have_distinct_keys() {
+        let mut keys = std::collections::HashSet::new();
+        for k in all_kernels() {
+            let scop = (k.build)();
+            assert!(
+                keys.insert(canonical_key(&scop)),
+                "{}: canonical key collides with another suite kernel",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_feeds_every_knob() {
+        let f = |t, tt, u, p: &[i64]| request_fingerprint("poly+ast", t, tt, u, p, 4, 2);
+        let base = f(32, 32, (1, 1), &[8, 8, 8]);
+        assert_ne!(base, f(16, 32, (1, 1), &[8, 8, 8]));
+        assert_ne!(base, f(32, 5, (1, 1), &[8, 8, 8]));
+        assert_ne!(base, f(32, 32, (2, 2), &[8, 8, 8]));
+        assert_ne!(base, f(32, 32, (1, 1), &[8, 8, 16]));
+        assert_ne!(
+            base,
+            request_fingerprint("pocc", 32, 32, (1, 1), &[8, 8, 8], 4, 2)
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! A small blocking keep-alive client for the daemon — used by the
+//! CLI's `req` subcommand, the load-test binary, and the end-to-end
+//! tests.
+
+use crate::http;
+use crate::proto::{OptimizeRequest, OptimizeResponse};
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One persistent connection to a daemon.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects with the given I/O timeout on every read/write.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Client, String> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| format!("resolve: {e}"))?
+            .next()
+            .ok_or("address resolved to nothing")?;
+        let stream =
+            TcpStream::connect_timeout(&addr, timeout).map_err(|e| format!("connect: {e}"))?;
+        http::set_timeouts(&stream, timeout, timeout);
+        let reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+        Ok(Client { stream, reader })
+    }
+
+    fn round_trip(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<(u16, String), String> {
+        use std::io::Write as _;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: polymix\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream
+            .write_all(head.as_bytes())
+            .and_then(|()| self.stream.write_all(body.as_bytes()))
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        http::read_response(&mut self.reader)
+    }
+
+    /// Sends one optimization request and parses the typed response.
+    pub fn optimize(&mut self, req: &OptimizeRequest) -> Result<OptimizeResponse, String> {
+        let (code, body) = self.round_trip("POST", "/optimize", &req.to_json())?;
+        OptimizeResponse::from_json(code, &body)
+    }
+
+    /// Fetches the raw `/stats` body.
+    pub fn stats(&mut self) -> Result<String, String> {
+        let (code, body) = self.round_trip("GET", "/stats", "")?;
+        if code != 200 {
+            return Err(format!("stats returned {code}: {body}"));
+        }
+        Ok(body)
+    }
+
+    /// Health probe; `Ok` iff the daemon answered 200.
+    pub fn health(&mut self) -> Result<(), String> {
+        let (code, body) = self.round_trip("GET", "/health", "")?;
+        if code != 200 {
+            return Err(format!("health returned {code}: {body}"));
+        }
+        Ok(())
+    }
+
+    /// Asks the daemon to shut down cleanly.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        let (code, body) = self.round_trip("POST", "/shutdown", "")?;
+        if code != 200 {
+            return Err(format!("shutdown returned {code}: {body}"));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,264 @@
+//! Minimal HTTP/1.1 over `std::net` — just enough for a local
+//! optimization service: request line + headers + `Content-Length`
+//! bodies, keep-alive, hard caps on every dimension an abusive or
+//! broken client could otherwise grow without bound.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Longest accepted head (request/status line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Longest accepted body. Requests are small; responses carry emitted
+/// sources but stay far below this.
+pub const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// `GET` / `POST` / ….
+    pub method: String,
+    /// Request target (path only; the service ignores query strings).
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: String,
+    /// Client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Why a read failed; `Closed` (clean EOF between keep-alive requests)
+/// is the one non-error case callers must distinguish.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadError {
+    /// Peer closed the connection at a request boundary.
+    Closed,
+    /// Read timed out.
+    TimedOut,
+    /// Anything else: malformed head, oversized body, mid-request EOF,
+    /// transport error.
+    Bad(String),
+}
+
+/// Reads one request from a buffered stream. The caller sets socket
+/// timeouts; a timeout surfaces as [`ReadError::TimedOut`].
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+    let mut head = String::new();
+    let mut first = true;
+    let mut method = String::new();
+    let mut path = String::new();
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    loop {
+        head.clear();
+        // `take` bounds how much a single newline-free line can buffer;
+        // a line cut off at the cap comes back without its '\n'.
+        match reader.by_ref().take(MAX_HEAD as u64).read_line(&mut head) {
+            Ok(0) => {
+                return Err(if first {
+                    ReadError::Closed
+                } else {
+                    ReadError::Bad("eof mid-head".into())
+                })
+            }
+            Ok(n) if n >= MAX_HEAD && !head.ends_with('\n') => {
+                return Err(ReadError::Bad("head line too long".into()))
+            }
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(ReadError::TimedOut)
+            }
+            Err(e) => return Err(ReadError::Bad(format!("read: {e}"))),
+        }
+        let line = head.trim_end();
+        if first {
+            if line.is_empty() {
+                continue; // tolerate a stray CRLF between pipelined requests
+            }
+            let mut parts = line.split_whitespace();
+            method = parts.next().unwrap_or("").to_string();
+            path = parts.next().unwrap_or("").to_string();
+            let version = parts.next().unwrap_or("");
+            if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+                return Err(ReadError::Bad(format!("malformed request line {line:?}")));
+            }
+            keep_alive = version != "HTTP/1.0";
+            first = false;
+            continue;
+        }
+        if line.is_empty() {
+            break; // end of headers
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Bad(format!("malformed header {line:?}")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| ReadError::Bad(format!("bad content-length {value:?}")))?;
+            if content_length > MAX_BODY {
+                return Err(ReadError::Bad(format!("body too large ({content_length})")));
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| ReadError::Bad(format!("body read: {e}")))?;
+    }
+    let body = String::from_utf8(body).map_err(|_| ReadError::Bad("body not utf-8".into()))?;
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
+}
+
+/// Writes one JSON response. `keep_alive` echoes the client's intent.
+pub fn write_response(
+    stream: &mut TcpStream,
+    code: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    };
+    let conn = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {conn}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads one response (status code + body) from a buffered stream.
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> Result<(u16, String), String> {
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| format!("read: {e}"))?;
+    if line.is_empty() {
+        return Err("connection closed before status line".into());
+    }
+    let code: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| format!("malformed status line {line:?}"))?;
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("eof mid-headers".into());
+        }
+        let t = line.trim_end();
+        if t.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = t.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad content-length {value:?}"))?;
+                if content_length > MAX_BODY {
+                    return Err(format!("body too large ({content_length})"));
+                }
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("body read: {e}"))?;
+    String::from_utf8(body)
+        .map(|b| (code, b))
+        .map_err(|_| "body not utf-8".into())
+}
+
+/// Applies read/write timeouts, shrugging off unsupported-platform
+/// errors (a stuck socket then relies on the peer's own deadline).
+/// Also disables Nagle: head and body go out as separate small writes,
+/// and batching them against delayed ACKs adds ~40ms to every
+/// request–response turn on loopback.
+pub fn set_timeouts(stream: &TcpStream, read: Duration, write: Duration) {
+    let _ = stream.set_read_timeout(Some(read));
+    let _ = stream.set_write_timeout(Some(write));
+    let _ = stream.set_nodelay(true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pipe() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        (client, server)
+    }
+
+    #[test]
+    fn request_roundtrip_keep_alive() {
+        let (mut client, server) = pipe();
+        client
+            .write_all(
+                b"POST /optimize HTTP/1.1\r\ncontent-length: 7\r\n\r\n{\"a\":1}POST /x HTTP/1.1\r\nconnection: close\r\ncontent-length: 0\r\n\r\n",
+            )
+            .expect("write");
+        let mut reader = BufReader::new(server);
+        let r1 = read_request(&mut reader).expect("first");
+        assert_eq!((r1.method.as_str(), r1.path.as_str()), ("POST", "/optimize"));
+        assert_eq!(r1.body, "{\"a\":1}");
+        assert!(r1.keep_alive);
+        let r2 = read_request(&mut reader).expect("second");
+        assert_eq!(r2.path, "/x");
+        assert!(!r2.keep_alive);
+        drop(client);
+        assert_eq!(read_request(&mut reader), Err(ReadError::Closed));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let (client, mut server) = pipe();
+        write_response(&mut server, 429, "{\"status\":\"shed\"}", false).expect("write");
+        let mut reader = BufReader::new(client);
+        let (code, body) = read_response(&mut reader).expect("read");
+        assert_eq!(code, 429);
+        assert_eq!(body, "{\"status\":\"shed\"}");
+    }
+
+    #[test]
+    fn oversized_and_malformed_heads_are_rejected() {
+        let (mut client, server) = pipe();
+        client.write_all(b"BOGUS\r\n\r\n").expect("write");
+        let mut reader = BufReader::new(server);
+        assert!(matches!(
+            read_request(&mut reader),
+            Err(ReadError::Bad(_))
+        ));
+        let (mut client2, server2) = pipe();
+        client2
+            .write_all(b"POST / HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n")
+            .expect("write");
+        let mut reader2 = BufReader::new(server2);
+        assert!(matches!(read_request(&mut reader2), Err(ReadError::Bad(_))));
+    }
+}

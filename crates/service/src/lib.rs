@@ -1,0 +1,54 @@
+//! # polymix-service — fault-tolerant optimization-as-a-service
+//!
+//! A long-running daemon that accepts SCoP optimization requests over a
+//! local HTTP/1.1 socket and serves **certified schedules and emitted
+//! kernel sources** from a persistent cache keyed by the SCoP's
+//! *canonical structure* — two requests whose domains, accesses and
+//! dependences match up to parameter renaming share one cache entry
+//! ([`canon`]).
+//!
+//! The interesting part is what happens when things go wrong:
+//!
+//! - **Bounded admission** — a full optimizer queue sheds load with 429
+//!   instead of queueing without bound ([`daemon`]).
+//! - **Deadlines + cooperative cancellation** — each request carries a
+//!   deadline; expiry serves the identity-schedule fallback and the last
+//!   departing waiter cancels the in-flight optimization at its next
+//!   stage boundary ([`optimize`]).
+//! - **Request coalescing** — concurrent misses on one entry share a
+//!   single optimization flight.
+//! - **Panic containment + retry** — scheduler panics are caught per
+//!   flight; transient failures retry with the sweep executor's
+//!   backoff and classification.
+//! - **Circuit breakers** — a SCoP that keeps failing deterministically
+//!   is pinned to the identity schedule until a probe succeeds
+//!   ([`breaker`]).
+//! - **Crash-safe cache** — checksummed entry files, atomic-rename
+//!   writes, corrupt-entry quarantine on reload ([`cache`]); and nothing
+//!   enters the cache without re-certification by `polymix-verify`
+//!   ([`polymix_verify::certify_for_cache`]).
+//! - **Deterministic fault injection** — tests and load runs inject
+//!   scheduler panics, slow compiles and torn cache writes per request
+//!   ([`fault`]).
+//!
+//! The workspace is offline and std-only, so the daemon is built on
+//! `std::net` + threads (no async runtime) and the wire format is the
+//! sweep executor's flat-JSON grammar ([`proto`]).
+
+pub mod breaker;
+pub mod cache;
+pub mod canon;
+pub mod client;
+pub mod daemon;
+pub mod fault;
+pub mod http;
+pub mod optimize;
+pub mod proto;
+
+pub use breaker::{Admission, BreakerConfig, Breakers};
+pub use cache::{CacheEntry, ShardedCache};
+pub use canon::{canonical_key, request_fingerprint, CanonicalKey};
+pub use client::Client;
+pub use daemon::{Service, ServiceConfig};
+pub use fault::Fault;
+pub use proto::{OptimizeRequest, OptimizeResponse, Served};

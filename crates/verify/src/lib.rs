@@ -41,6 +41,22 @@ pub use lint::verify_source;
 pub use taskgraph::certify_tile_graph;
 pub use violation::{Certificate, Violation, ViolationKind};
 
+/// Cache-admission gate for the optimization service: an artifact may
+/// only enter a replay cache — where one bad entry would be served to
+/// every future structurally identical request — if the transformed
+/// program certifies (schedule legality + annotation safety) **and**
+/// the emitted source passes the kernel protocol lint. Stricter than
+/// the debug-build [`certify`] hook, which only sees the program.
+pub fn certify_for_cache(
+    prog: &Program,
+    kernel: &str,
+    emitted: &str,
+) -> Result<Certificate, PolymixError> {
+    let cert = verify_program(prog).into_result()?;
+    lint::verify_source(kernel, emitted).into_result()?;
+    Ok(cert)
+}
+
 use occurrence::{Occurrence, PStep};
 use polymix_ast::tree::{Node, Par, Program};
 use polymix_deps::build_podg;
