@@ -21,8 +21,8 @@ cargo test -q
 echo "== clippy abort-site gate =="
 for c in polymix-math polymix-ir polymix-deps polymix-dl polymix-ast \
          polymix-codegen polymix-verify polymix-pluto polymix-core \
-         polymix-runtime polymix-cachesim polymix-polybench polymix-bench \
-         polymix-service; do
+         polymix-runtime polymix-cachesim polymix-polybench polymix-vm \
+         polymix-bench polymix-service; do
     echo "-- $c"
     cargo clippy --lib --no-deps -p "$c" -- \
         -D clippy::unwrap_used -D clippy::panic
@@ -73,6 +73,32 @@ done
 # nothing (every job replayed from the log).
 RECORDS=$(wc -l < "$SMOKE_DIR/table1.jsonl")
 [ "$RECORDS" -eq 4 ] || { echo "expected exactly 4 JSONL records, got $RECORDS"; exit 1; }
+
+# Backend smoke: the same table measured by both backends — 8 JSONL
+# records (one per variant per backend, keyed `(id, backend)`), with
+# both backend tags present so an interrupted `both` sweep can never
+# cross-satisfy a vm cell from a rustc record or vice versa.
+echo "== backend smoke test =="
+POLYMIX_BENCH_DIR="$SMOKE_DIR/cache" \
+    cargo run --release -q -p polymix-bench --bin table1 -- \
+    --dataset mini --jobs 2 --run-timeout 120 --backend both \
+    --results "$SMOKE_DIR/backends.jsonl" > /dev/null
+B_RECORDS=$(wc -l < "$SMOKE_DIR/backends.jsonl")
+[ "$B_RECORDS" -eq 8 ] || { echo "expected 8 backend records, got $B_RECORDS"; exit 1; }
+grep -q '"backend":"vm"' "$SMOKE_DIR/backends.jsonl" \
+    || { echo "no vm-tagged records"; exit 1; }
+grep -q '"backend":"rustc"' "$SMOKE_DIR/backends.jsonl" \
+    || { echo "no rustc-tagged records"; exit 1; }
+
+# Vect-lint smoke: emit with the explicit-vectorization post-pass
+# enabled and lint the resulting `// vect region` blocks (strided group
+# bound, remainder loop, doall-certified label). The audit must actually
+# see regions — an always-empty emission would pass the lint vacuously.
+echo "== vect lint smoke test =="
+VECT_OUT=$(cargo run --release -q -p polymix-bench --bin verify -- \
+    --dataset mini --vect jacobi-1d-imper jacobi-2d-imper)
+echo "$VECT_OUT" | grep -Eq 'vect regions audited: [1-9]' \
+    || { echo "vect lint audited no regions"; exit 1; }
 
 # Small-budget tuner smoke: one kernel at mini through the closed-loop
 # search, then `table1 --tuned` loading (and thereby parsing) the

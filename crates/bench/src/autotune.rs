@@ -21,18 +21,36 @@
 //!    parallel-loop and synchronization-loop counts (the Par annotations
 //!    summarize the dependence-vector shape each structure ended up
 //!    with), and how well the tile footprint fits L1.
-//! 3. **Measure** the most promising candidates first, expanding each
-//!    structure into its runtime-knob variants, until `budget` cells
-//!    have been spent (plus one native-baseline cell for the speedup
-//!    denominator).
+//! 3. **Screen** the most promising candidates with the in-process
+//!    bytecode backend ([`crate::backend::vm_measure`]): each structure
+//!    expands into its runtime-knob variants until `budget` cells have
+//!    been chosen, and every chosen cell is interpreted without leaving
+//!    the process — no emit, no `rustc`, no spawn.
+//! 4. **Confirm** the union of the [`CONFIRM_TOP`] fastest *screened*
+//!    candidates and the [`CONFIRM_TOP`] best *model-ranked* candidates
+//!    (plus one native-baseline cell for the speedup denominator) at
+//!    full fidelity through the rustc backend. The two rankings cover
+//!    each other's blind spots: interpreted wall time sees dynamic
+//!    behavior (fusion killing recomputation, guard overhead) that the
+//!    static model can only estimate, while the model sees
+//!    codegen-sensitive knobs (unroll factors feeding LLVM's
+//!    vectorizer) that interpreter op counts are structurally blind to.
+//!    When the vm cannot model a kernel at all, every chosen candidate
+//!    falls back to rustc. The JSONL log keys on *(id, backend)*, so vm
+//!    screens and rustc confirmations of the same candidate never
+//!    cross-satisfy each other on resume.
 //!
 //! The winner — minimum wall time among healthy (non-degraded,
-//! non-error) candidate cells — is committed as a one-line JSON config
+//! non-error) *rustc* cells — is committed as a one-line JSON config
 //! (`results/tuned/<kernel>.json`) that `table1 --tuned` and future
-//! sweeps can load.
+//! sweeps can load. A winner that fails to beat the measured native
+//! baseline is marked `beats_native: 0`, and
+//! [`TunedConfig::save_guarded`] refuses to overwrite a beating config
+//! with a losing one.
 
+use crate::backend::vm_measure;
 use crate::runner::{emit_source_with, EmitKnobs, Runner};
-use crate::sweep::{self, run_sweep, JobOutcome, SweepConfig, SweepJob};
+use crate::sweep::{self, run_sweep, JobOutcome, JobWork, SweepConfig, SweepJob};
 use crate::variants::{build_variant, Variant};
 use polymix_ast::tree::{Node, Par, Program};
 use polymix_cachesim::{batch_weighted_cost, CacheConfig};
@@ -50,6 +68,13 @@ pub const PRUNE_FACTOR: f64 = 2.0;
 /// Per-level miss costs (cycles-ish) weighting the simulated hierarchy:
 /// L1 miss, L2 miss. Only ratios matter for pruning/ranking.
 pub const LEVEL_COSTS: [f64; 2] = [1.0, 4.0];
+
+/// How many candidates *per ranking* (vm screen, cache model) are
+/// confirmed at full rustc fidelity; the confirmation set is the union
+/// of both prefixes. Small on purpose: both rankings already ordered
+/// the whole budget, so confirmation only needs to absorb their
+/// respective blind spots around the top.
+pub const CONFIRM_TOP: usize = 3;
 
 /// The optimizer family of a candidate: which transformation flow and
 /// which fusion structure it enumerates.
@@ -144,6 +169,7 @@ impl Candidate {
             pipeline_batch: self.pipeline_batch,
             dyn_grain: self.dyn_grain,
             taskgraph: self.taskgraph,
+            vect: false,
         }
     }
 
@@ -351,6 +377,11 @@ pub struct TunedConfig {
     pub native_time_s: f64,
     /// `native_time_s / time_s`.
     pub speedup_vs_native: f64,
+    /// Whether the winner actually beat the measured native baseline.
+    /// A losing config is still recorded (the search's honest answer)
+    /// but marked, and [`TunedConfig::save_guarded`] will never replace
+    /// a beating config with it.
+    pub beats_native: bool,
 }
 
 impl TunedConfig {
@@ -370,7 +401,7 @@ impl TunedConfig {
             "{{\"kernel\":\"{}\",\"dataset\":\"{}\",\"threads\":{},\"opt\":\"{}\",\
              \"tile\":{},\"time_tile\":{},\"unroll\":[{},{}]{knobs},\"taskgraph\":{},\
              \"pool\":\"auto\",\"time_s\":{:e},\"gflops\":{:e},\"native_time_s\":{:e},\
-             \"speedup_vs_native\":{:e}}}",
+             \"speedup_vs_native\":{:e},\"beats_native\":{}}}",
             sweep::json_escape(&self.kernel),
             sweep::json_escape(&self.dataset),
             self.threads,
@@ -384,6 +415,7 @@ impl TunedConfig {
             self.gflops,
             self.native_time_s,
             self.speedup_vs_native,
+            u8::from(self.beats_native),
         )
     }
 
@@ -403,6 +435,7 @@ impl TunedConfig {
             dyn_grain: rec.num_field("dyn_grain").map(|g| g as i64),
             taskgraph: rec.num_field("taskgraph") == Some(1.0),
         };
+        let speedup_vs_native = rec.num_field("speedup_vs_native")?;
         Some(TunedConfig {
             kernel: rec.str_field("kernel")?.to_string(),
             dataset: rec.str_field("dataset")?.to_string(),
@@ -411,7 +444,13 @@ impl TunedConfig {
             time_s: rec.num_field("time_s")?,
             gflops: rec.num_field("gflops")?,
             native_time_s: rec.num_field("native_time_s")?,
-            speedup_vs_native: rec.num_field("speedup_vs_native")?,
+            speedup_vs_native,
+            // Configs written before the marker existed derive it from
+            // the recorded speedup.
+            beats_native: rec
+                .num_field("beats_native")
+                .map(|v| v == 1.0)
+                .unwrap_or(speedup_vs_native >= 1.0),
         })
     }
 
@@ -428,6 +467,23 @@ impl TunedConfig {
     pub fn load(path: &Path) -> Option<TunedConfig> {
         let text = std::fs::read_to_string(path).ok()?;
         TunedConfig::from_json(text.lines().next()?)
+    }
+
+    /// The regression guard on the committed-config directory: a config
+    /// that beats native always commits, but a *losing* config never
+    /// replaces one that beats native — a tuned sweep loading the file
+    /// would silently regress below the untransformed baseline. Returns
+    /// whether the config was written.
+    pub fn save_guarded(&self, path: &Path) -> std::io::Result<bool> {
+        if !self.beats_native {
+            if let Some(existing) = TunedConfig::load(path) {
+                if existing.beats_native {
+                    return Ok(false);
+                }
+            }
+        }
+        self.save(path)?;
+        Ok(true)
     }
 }
 
@@ -562,8 +618,62 @@ pub fn autotune_kernel(
         }
     }
 
+    // --- Stage 3b: screen every chosen candidate in-process. Same job
+    // ids as the rustc confirmations below: the JSONL log and resume
+    // lookups key on (id, backend), so the two fidelities never
+    // cross-satisfy each other.
+    let vm_jobs: Vec<SweepJob> = chosen
+        .iter()
+        .map(|c| {
+            let (kc, mc, pc, cc) = (kernel.clone(), machine.clone(), params.clone(), *c);
+            let (threads, reps) = (runner.threads, runner.reps);
+            SweepJob {
+                id: c.id(kernel_name, dataset),
+                kernel: kernel_name.to_string(),
+                variant: c.opt.name().to_string(),
+                dataset: dataset.to_string(),
+                params: params.clone(),
+                work: JobWork::InProcess(Box::new(move || {
+                    let prog = build_candidate(&kc, &cc, &mc)?;
+                    vm_measure(&kc, &prog, &pc, cc.opt.name(), threads, reps, cc.knobs())
+                })),
+            }
+        })
+        .collect();
+    let vm_outcomes = run_sweep(vm_jobs, runner, cfg);
+    // Rank the healthy screens; run_sweep returns submission order, so
+    // index i is chosen[i].
+    let mut screened: Vec<(usize, f64)> = vm_outcomes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, o)| o.result.as_ref().ok().map(|r| (i, r.time_s)))
+        .collect();
+    screened.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    let confirm: Vec<usize> = if screened.is_empty() {
+        // The vm cannot model this kernel's candidates (lowering
+        // rejected them all): confirm everything at full fidelity.
+        (0..chosen.len()).collect()
+    } else {
+        // Union of the two rankings' prefixes. `chosen` is already in
+        // model order (most promising first), so its prefix *is* the
+        // model's top picks; the screened prefix adds the vm's. Kept in
+        // ascending index order so the rustc job sequence — and with it
+        // the resume log — does not depend on interpreter timing noise
+        // between runs.
+        let mut set: Vec<usize> = screened
+            .iter()
+            .take(CONFIRM_TOP)
+            .map(|&(i, _)| i)
+            .chain(0..CONFIRM_TOP.min(chosen.len()))
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        set
+    };
+
+    // --- Stage 4: confirm the screened front-runners with rustc. ---
     let native_id = format!("tune:{kernel_name}:{dataset}:native");
-    let mut jobs: Vec<SweepJob> = Vec::with_capacity(chosen.len() + 1);
+    let mut jobs: Vec<SweepJob> = Vec::with_capacity(confirm.len() + 1);
     {
         let (kc, pc) = (kernel.clone(), params.clone());
         let (threads, reps) = (runner.threads, runner.reps);
@@ -573,21 +683,24 @@ pub fn autotune_kernel(
             variant: "native".to_string(),
             dataset: dataset.to_string(),
             params: params.clone(),
-            source: Box::new(move || {
-                let prog = build_variant(&kc, Variant::Native, &Machine::host())?;
-                Ok(emit_source_with(
-                    &kc,
-                    &prog,
-                    &pc,
-                    threads,
-                    reps,
-                    EmitKnobs::default(),
-                ))
-            }),
-            seq_source: None,
+            work: JobWork::Rustc {
+                source: Box::new(move || {
+                    let prog = build_variant(&kc, Variant::Native, &Machine::host())?;
+                    Ok(emit_source_with(
+                        &kc,
+                        &prog,
+                        &pc,
+                        threads,
+                        reps,
+                        EmitKnobs::default(),
+                    ))
+                }),
+                seq_source: None,
+            },
         });
     }
-    for c in &chosen {
+    for &ci in &confirm {
+        let c = &chosen[ci];
         let (kc, mc, pc, cc) = (kernel.clone(), machine.clone(), params.clone(), *c);
         let (threads, reps) = (runner.threads, runner.reps);
         jobs.push(SweepJob {
@@ -596,19 +709,22 @@ pub fn autotune_kernel(
             variant: c.opt.name().to_string(),
             dataset: dataset.to_string(),
             params: params.clone(),
-            source: Box::new(move || {
-                let prog = build_candidate(&kc, &cc, &mc)?;
-                Ok(emit_source_with(&kc, &prog, &pc, threads, reps, cc.knobs()))
-            }),
-            // No sequential fallback: a degraded cell would not measure
-            // the candidate's parallel structure, so it must not win.
-            seq_source: None,
+            work: JobWork::Rustc {
+                source: Box::new(move || {
+                    let prog = build_candidate(&kc, &cc, &mc)?;
+                    Ok(emit_source_with(&kc, &prog, &pc, threads, reps, cc.knobs()))
+                }),
+                // No sequential fallback: a degraded cell would not measure
+                // the candidate's parallel structure, so it must not win.
+                seq_source: None,
+            },
         });
     }
-    let outcomes = run_sweep(jobs, runner, cfg);
+    let rustc_outcomes = run_sweep(jobs, runner, cfg);
 
-    // --- Stage 4: pick the winner — min wall time, healthy cells only.
-    let native = outcomes
+    // --- Stage 5: pick the winner — min wall time among healthy
+    // *full-fidelity* cells only; vm screens never decide directly.
+    let native = rustc_outcomes
         .iter()
         .find(|o| o.id == native_id)
         .and_then(|o| o.result.as_ref().ok())
@@ -616,7 +732,7 @@ pub fn autotune_kernel(
             PolymixError::runner(kernel_name, "native", "native baseline failed to measure")
         })?;
     let healthy = |o: &&JobOutcome| o.id != native_id && !o.degraded && o.result.is_ok();
-    let winner = outcomes
+    let winner = rustc_outcomes
         .iter()
         .filter(healthy)
         .min_by(|a, b| {
@@ -633,16 +749,23 @@ pub fn autotune_kernel(
         .iter()
         .position(|c| c.id(kernel_name, dataset) == winner.id)
         .ok_or_else(|| PolymixError::runner(kernel_name, "tune", "winner id out of space"))?;
-    let Ok(wr) = &winner.result else {
+    let Ok(wr) = winner.result.clone() else {
         return Err(PolymixError::runner(
             kernel_name,
             "tune",
             "winner lost its measurement",
         ));
     };
+    let native = native.clone();
+    let outcomes: Vec<JobOutcome> = vm_outcomes.into_iter().chain(rustc_outcomes).collect();
     let measured = outcomes.iter().filter(|o| !o.resumed).count()
         - usize::from(outcomes.iter().any(|o| o.id == native_id && !o.resumed));
     let resumed = outcomes.iter().filter(|o| o.resumed).count();
+    let speedup_vs_native = if wr.time_s > 0.0 {
+        native.time_s / wr.time_s
+    } else {
+        0.0
+    };
     Ok(TuneOutcome {
         config: TunedConfig {
             kernel: kernel_name.to_string(),
@@ -652,11 +775,8 @@ pub fn autotune_kernel(
             time_s: wr.time_s,
             gflops: wr.gflops,
             native_time_s: native.time_s,
-            speedup_vs_native: if wr.time_s > 0.0 {
-                native.time_s / wr.time_s
-            } else {
-                0.0
-            },
+            speedup_vs_native,
+            beats_native: speedup_vs_native >= 1.0,
         },
         measured,
         resumed,
@@ -709,6 +829,7 @@ mod tests {
             gflops: 21.5,
             native_time_s: 0.02,
             speedup_vs_native: 4.76,
+            beats_native: true,
         };
         let line = cfg.to_json();
         let back = TunedConfig::from_json(&line).expect("parses");
@@ -737,10 +858,75 @@ mod tests {
             gflops: 10.0,
             native_time_s: 0.004,
             speedup_vs_native: 4.0,
+            beats_native: true,
         };
         cfg.save(&path).expect("save creates parents");
         assert_eq!(TunedConfig::load(&path), Some(cfg));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression (the shipped jacobi-2d config once recorded a 0.34×
+    /// "winner"): a losing config must not replace a committed config
+    /// that beats native, while losing-over-losing and
+    /// beating-over-anything still commit.
+    #[test]
+    fn save_guarded_refuses_to_regress_a_beating_config() {
+        let dir = std::env::temp_dir().join(format!("polymix-guard-{}", std::process::id()));
+        let path = dir.join("gemm.json");
+        let winning = TunedConfig {
+            kernel: "gemm".into(),
+            dataset: "small".into(),
+            threads: 4,
+            candidate: sample_candidate(),
+            time_s: 0.001,
+            gflops: 10.0,
+            native_time_s: 0.004,
+            speedup_vs_native: 4.0,
+            beats_native: true,
+        };
+        let losing = TunedConfig {
+            time_s: 0.012,
+            gflops: 0.8,
+            speedup_vs_native: 0.34,
+            beats_native: false,
+            ..winning.clone()
+        };
+        // A losing config commits onto an empty slot (marked, not hidden).
+        assert!(losing.save_guarded(&path).expect("io"));
+        assert_eq!(TunedConfig::load(&path), Some(losing.clone()));
+        // A beating config replaces it.
+        assert!(winning.save_guarded(&path).expect("io"));
+        assert_eq!(TunedConfig::load(&path), Some(winning.clone()));
+        // The losing config must now be refused.
+        assert!(!losing.save_guarded(&path).expect("io"));
+        assert_eq!(TunedConfig::load(&path), Some(winning));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Pre-marker config lines (no `beats_native` key) derive the flag
+    /// from the recorded speedup.
+    #[test]
+    fn legacy_configs_derive_beats_native_from_speedup() {
+        let cfg = TunedConfig {
+            kernel: "gemm".into(),
+            dataset: "small".into(),
+            threads: 4,
+            candidate: sample_candidate(),
+            time_s: 0.001,
+            gflops: 10.0,
+            native_time_s: 0.004,
+            speedup_vs_native: 0.34,
+            beats_native: false,
+        };
+        let line = cfg.to_json().replace(",\"beats_native\":0", "");
+        let back = TunedConfig::from_json(&line).expect("parses");
+        assert!(!back.beats_native, "0.34x must derive as losing");
+        let line2 = cfg
+            .to_json()
+            .replace(",\"beats_native\":0", "")
+            .replace("\"speedup_vs_native\":3.4e-1", "\"speedup_vs_native\":2.5e0");
+        let back2 = TunedConfig::from_json(&line2).expect("parses");
+        assert!(back2.beats_native, "2.5x must derive as beating");
     }
 
     #[test]

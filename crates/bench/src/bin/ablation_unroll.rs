@@ -4,7 +4,7 @@
 
 use polymix_bench::report::{gf, Cli};
 use polymix_bench::runner::{emit_source, Runner};
-use polymix_bench::sweep::{print_degraded_legend, run_sweep, SweepConfig, SweepJob};
+use polymix_bench::sweep::{print_degraded_legend, run_sweep, JobWork, SweepConfig, SweepJob};
 use polymix_core::{optimize_poly_ast, PolyAstOptions};
 use polymix_dl::Machine;
 use polymix_polybench::kernel_by_name;
@@ -39,7 +39,8 @@ fn main() {
                 variant: format!("{o}x{i}"),
                 dataset: cli.dataset.clone(),
                 params: params.clone(),
-                source: Box::new(move || {
+                work: JobWork::Rustc {
+                    source: Box::new(move || {
                     let prog = optimize_poly_ast(
                         &(kc.build)(),
                         &PolyAstOptions {
@@ -61,6 +62,7 @@ fn main() {
                     )?;
                     Ok(emit_source(&ks, &prog, &ps, 1, reps))
                 })),
+                },
             });
         }
     }

@@ -8,7 +8,7 @@
 use polymix_ast::pretty::render;
 use polymix_bench::report::{gf, Cli, Table};
 use polymix_bench::runner::{emit_source, Runner};
-use polymix_bench::sweep::{print_degraded_legend, run_sweep, SweepConfig, SweepJob};
+use polymix_bench::sweep::{print_degraded_legend, run_sweep, JobWork, SweepConfig, SweepJob};
 use polymix_core::{optimize_poly_ast, PolyAstOptions};
 use polymix_dl::Machine;
 use polymix_ir::builder::{con, ix, par, ScopBuilder};
@@ -130,10 +130,12 @@ fn main() {
                         variant: suffix.to_string(),
                         dataset: cli.dataset.clone(),
                         params: params.clone(),
-                        source: Box::new(move || Ok(emit_source(&kc, &p, &pc, threads, reps))),
-                        seq_source: Some(Box::new(move || {
-                            Ok(emit_source(&ks, &p2, &ps, 1, reps))
-                        })),
+                        work: JobWork::Rustc {
+                            source: Box::new(move || Ok(emit_source(&kc, &p, &pc, threads, reps))),
+                            seq_source: Some(Box::new(move || {
+                                Ok(emit_source(&ks, &p2, &ps, 1, reps))
+                            })),
+                        },
                     });
                     row.push(String::new());
                 }

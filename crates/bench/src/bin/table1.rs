@@ -5,10 +5,12 @@
 
 use polymix_ast::pretty::render;
 use polymix_bench::autotune::{build_candidate, default_tuned_path, TunedConfig};
+use polymix_bench::backend::{select_backends, ProgBuild};
 use polymix_bench::report::{gf, Cli, Table};
-use polymix_bench::runner::{emit_source, emit_source_with, Runner};
+use polymix_bench::runner::{EmitKnobs, Runner};
 use polymix_bench::sweep::{print_degraded_legend, run_sweep, SweepConfig, SweepJob};
 use polymix_bench::variants::{build_variant, Variant};
+use std::sync::Arc;
 use polymix_core::{optimize_poly_ast, PolyAstOptions};
 use polymix_dl::Machine;
 use polymix_pluto::{optimize_pluto, PlutoOptions, PlutoVariant};
@@ -94,72 +96,83 @@ fn main() {
     };
 
     let cfg = SweepConfig::from_cli(&cli);
-    let mut jobs: Vec<SweepJob> = entries
-        .iter()
-        .map(|&(_, variant)| {
-            let (kc, mc, pc) = (k.clone(), machine.clone(), params.clone());
-            let (threads, reps) = (runner.threads, runner.reps);
-            let (ks, ms, ps) = (k.clone(), machine.clone(), params.clone());
-            SweepJob {
+    // Default `--backend rustc` keeps exactly one job (and one JSONL
+    // record) per table row; `both` doubles them and appends a vm
+    // column.
+    let backends = select_backends(&cli.backend, runner.threads, runner.reps, true);
+    let mut jobs: Vec<SweepJob> = Vec::new();
+    for &(_, variant) in &entries {
+        let (kb, mb) = (k.clone(), machine.clone());
+        let build: ProgBuild = Arc::new(move || build_variant(&kb, variant, &mb));
+        for b in &backends {
+            jobs.push(SweepJob {
                 id: format!("table1:{}:{}", variant.name(), cli.dataset),
                 kernel: k.name.to_string(),
                 variant: variant.name().to_string(),
                 dataset: cli.dataset.clone(),
                 params: params.clone(),
-                source: Box::new(move || {
-                    let prog = build_variant(&kc, variant, &mc)?;
-                    Ok(emit_source(&kc, &prog, &pc, threads, reps))
-                }),
-                seq_source: Some(Box::new(move || {
-                    let prog = build_variant(&ks, variant, &ms)?;
-                    Ok(emit_source(&ks, &prog, &ps, 1, reps))
-                })),
-            }
-        })
-        .collect();
-    if let Some(tc) = &tuned {
-        let (kc, mc, pc) = (k.clone(), machine.clone(), params.clone());
-        let (threads, reps) = (runner.threads, runner.reps);
-        let cand = tc.candidate;
-        jobs.push(SweepJob {
-            // The candidate id keys the binary cache and resume log, so
-            // a re-tuned config re-measures instead of replaying.
-            id: format!("table1:tuned:{}:{}", cli.dataset, cand.id("2mm", &cli.dataset)),
-            kernel: k.name.to_string(),
-            variant: "tuned".to_string(),
-            dataset: cli.dataset.clone(),
-            params: params.clone(),
-            source: Box::new(move || {
-                let prog = build_candidate(&kc, &cand, &mc)?;
-                Ok(emit_source_with(&kc, &prog, &pc, threads, reps, cand.knobs()))
-            }),
-            seq_source: None,
-        });
-    }
-    let outcomes = run_sweep(jobs, &runner, &cfg);
-    for ((label, variant), outcome) in entries.iter().zip(&outcomes) {
-        debug_assert_eq!(outcome.variant, variant.name());
-        match &outcome.result {
-            Ok(r) => t.row(vec![
-                (*label).into(),
-                format!("{}{}", gf(r.gflops), if outcome.degraded { "†" } else { "" }),
-            ]),
-            Err(e) => {
-                eprintln!("{label}: {e}");
-                t.row(vec![(*label).into(), e.cell()]);
-            }
+                work: b.work(&k, &params, variant.name(), EmitKnobs::default(), build.clone()),
+            });
         }
     }
-    if let (Some(tc), Some(outcome)) = (&tuned, outcomes.get(entries.len())) {
-        match &outcome.result {
-            Ok(r) => t.row(vec![
+    if let Some(tc) = &tuned {
+        let (kb, mb, cand) = (k.clone(), machine.clone(), tc.candidate);
+        let build: ProgBuild = Arc::new(move || build_candidate(&kb, &cand, &mb));
+        for b in &backends {
+            jobs.push(SweepJob {
+                // The candidate id keys the binary cache and resume log, so
+                // a re-tuned config re-measures instead of replaying.
+                id: format!("table1:tuned:{}:{}", cli.dataset, cand.id("2mm", &cli.dataset)),
+                kernel: k.name.to_string(),
+                variant: "tuned".to_string(),
+                dataset: cli.dataset.clone(),
+                params: params.clone(),
+                work: b.work(&k, &params, "tuned", cand.knobs(), build.clone()),
+            });
+        }
+    }
+    let outcomes = run_sweep(jobs, &runner, &cfg);
+    let cell = |variant: &str, backend: &str| -> String {
+        match outcomes
+            .iter()
+            .find(|o| o.variant == variant && o.backend == backend)
+        {
+            Some(o) => match &o.result {
+                Ok(r) => format!("{}{}", gf(r.gflops), if o.degraded { "†" } else { "" }),
+                Err(e) => {
+                    eprintln!("{variant} [{backend}]: {e}");
+                    e.cell()
+                }
+            },
+            None => "-".into(),
+        }
+    };
+    if backends.len() > 1 {
+        t = Table::new(&["variant", "GFLOP/s (rustc)", "GFLOP/s (vm)"]);
+        for (label, variant) in &entries {
+            t.row(vec![
+                (*label).into(),
+                cell(variant.name(), "rustc"),
+                cell(variant.name(), "vm"),
+            ]);
+        }
+        if let Some(tc) = &tuned {
+            t.row(vec![
                 format!("tuned ({})", tc.candidate.opt.name()),
-                gf(r.gflops),
-            ]),
-            Err(e) => {
-                eprintln!("tuned: {e}");
-                t.row(vec!["tuned".into(), e.cell()]);
-            }
+                cell("tuned", "rustc"),
+                cell("tuned", "vm"),
+            ]);
+        }
+    } else {
+        let bk = backends[0].name();
+        for (label, variant) in &entries {
+            t.row(vec![(*label).into(), cell(variant.name(), bk)]);
+        }
+        if let Some(tc) = &tuned {
+            t.row(vec![
+                format!("tuned ({})", tc.candidate.opt.name()),
+                cell("tuned", bk),
+            ]);
         }
     }
     println!("{}", t.render());

@@ -1,9 +1,13 @@
 //! `tune` — the closed-loop autotuner CLI.
 //!
 //! Searches fusion structure × tile sizes × unroll factors × runtime
-//! knobs for each requested kernel, pruning with the cache model and
-//! measuring the most promising candidates through the resumable sweep
-//! executor, then commits the winner as `results/tuned/<kernel>.json`.
+//! knobs for each requested kernel with a two-fidelity loop: prune with
+//! the cache model, screen the budgeted candidates through the
+//! in-process bytecode backend (no `rustc` on the screening path), then
+//! confirm the front-runners at full rustc fidelity and commit the
+//! winner as `results/tuned/<kernel>.json` — unless the committed
+//! config beats native and the new winner does not
+//! ([`polymix_bench::autotune::TunedConfig::save_guarded`]).
 //!
 //! ```text
 //! cargo run --release -p polymix-bench --bin tune -- \
@@ -79,12 +83,24 @@ fn main() {
                     c.candidate.taskgraph,
                 );
                 println!(
-                    "  {:.4} GFLOP/s ({:.3e}s), {:.2}x vs native",
-                    c.gflops, c.time_s, c.speedup_vs_native
+                    "  {:.4} GFLOP/s ({:.3e}s), {:.2}x vs native{}",
+                    c.gflops,
+                    c.time_s,
+                    c.speedup_vs_native,
+                    if c.beats_native {
+                        ""
+                    } else {
+                        " [does NOT beat native]"
+                    }
                 );
                 let path = out_dir.join(format!("{kernel}.json"));
-                match c.save(&path) {
-                    Ok(()) => println!("  committed {}", path.display()),
+                match c.save_guarded(&path) {
+                    Ok(true) => println!("  committed {}", path.display()),
+                    Ok(false) => println!(
+                        "  NOT committed: {} holds a config that beats native and this \
+                         winner does not",
+                        path.display()
+                    ),
                     Err(e) => {
                         eprintln!("  {kernel}: failed to write {}: {e}", path.display());
                         failures += 1;

@@ -5,7 +5,7 @@
 //! sweeps measure.
 //!
 //! ```text
-//! verify [--dataset D] [--strict] [--variant NAME] [kernel ... | file.rs ...]
+//! verify [--dataset D] [--strict] [--variant NAME] [--vect] [kernel ... | file.rs ...]
 //! ```
 //!
 //! * positional kernel names restrict the sweep (default: all 22);
@@ -13,9 +13,13 @@
 //!   only — the transformed AST is not recoverable from source);
 //! * `--variant` restricts to one variant display name (e.g. `pocc`);
 //! * `--strict` additionally fails on `unsupported` coverage notes;
+//! * `--vect` emits single-threaded with the explicit-vectorization
+//!   post-pass enabled, so the lint audits real `// vect region`
+//!   emissions; the total region count is printed at the end (a smoke
+//!   run can assert it is nonzero);
 //! * exit status is nonzero iff any audited artifact fails.
 
-use polymix_bench::runner::emit_source;
+use polymix_bench::runner::{emit_source, emit_source_with, EmitKnobs};
 use polymix_bench::variants::{build_variant, Variant};
 use polymix_dl::Machine;
 use polymix_polybench::all_kernels;
@@ -59,6 +63,7 @@ fn main() {
     };
     let dataset = grab("--dataset").unwrap_or_else(|| "mini".into());
     let strict = args.iter().any(|a| a == "--strict");
+    let vect = args.iter().any(|a| a == "--vect");
     let variant_filter = grab("--variant");
     let mut positional: Vec<&String> = Vec::new();
     let mut skip = false;
@@ -71,7 +76,7 @@ fn main() {
             skip = true;
             continue;
         }
-        if a == "--strict" {
+        if a == "--strict" || a == "--vect" {
             continue;
         }
         let _ = i;
@@ -79,6 +84,7 @@ fn main() {
     }
 
     let mut failures = 0usize;
+    let mut vect_regions = 0usize;
 
     // Cached kernel sources: lint-only audit.
     let (files, names): (Vec<&String>, Vec<&String>) =
@@ -131,7 +137,22 @@ fn main() {
             // re-derived from the final program.
             audit(&label, &verify_program(&prog), strict, &mut failures);
             // Certificate 3: protocol lint over the emitted source.
-            let src = emit_source(&k, &prog, &params, 4, 1);
+            // `--vect` emits single-threaded so the post-pass applies to
+            // sequential innermost loops too, maximizing lint coverage
+            // of the `// vect region` emission shape.
+            let src = if vect {
+                emit_source_with(
+                    &k,
+                    &prog,
+                    &params,
+                    1,
+                    1,
+                    EmitKnobs { vect: true, ..EmitKnobs::default() },
+                )
+            } else {
+                emit_source(&k, &prog, &params, 4, 1)
+            };
+            vect_regions += src.matches("// vect region ").count();
             audit(
                 &format!("{label} (emitted source)"),
                 &verify_source(k.name, &src),
@@ -139,6 +160,9 @@ fn main() {
                 &mut failures,
             );
         }
+    }
+    if vect {
+        println!("vect regions audited: {vect_regions}");
     }
     if failures > 0 {
         println!("verify: {failures} artifact(s) failed");

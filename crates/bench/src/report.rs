@@ -82,6 +82,11 @@ pub struct Cli {
     pub retries: usize,
     /// JSONL results log path (`--results`); enables resume.
     pub results: Option<String>,
+    /// Measurement backend (`--backend rustc|vm|both`, default `rustc`):
+    /// `rustc` compiles and runs a standalone binary, `vm` interprets
+    /// the lowered bytecode in-process, `both` measures each cell twice
+    /// and cross-checks the checksums.
+    pub backend: String,
 }
 
 impl Cli {
@@ -111,6 +116,7 @@ impl Cli {
             run_timeout_s: num("--run-timeout", 600) as u64,
             retries: num("--retries", 2),
             results: grab("--results"),
+            backend: grab("--backend").unwrap_or_else(|| "rustc".into()),
         }
     }
 }

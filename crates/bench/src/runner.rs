@@ -176,6 +176,12 @@ pub struct EmitKnobs {
     /// Lower wavefront nests to the counter-graph runtime instead of
     /// diagonal barriers.
     pub taskgraph: bool,
+    /// Apply the explicit intra-tile vectorization post-pass: innermost
+    /// certified-doall loops are emitted as unrolled strided groups
+    /// (width 4) with a scalar remainder. Eligible loops are computed by
+    /// `polymix_verify::vectorizable_inner_vars`, so the rewrite is only
+    /// ever applied to dependence-free loops.
+    pub vect: bool,
 }
 
 /// Emits the standalone measurement program for `kernel`/`prog` at
@@ -212,6 +218,11 @@ pub fn emit_source_with(
         pipeline_batch: knobs.pipeline_batch,
         dyn_grain: knobs.dyn_grain,
         taskgraph: knobs.taskgraph,
+        vect: if knobs.vect {
+            Some(polymix_verify::vectorizable_inner_vars(prog))
+        } else {
+            None
+        },
     };
     emit_rust(prog, &opts)
 }

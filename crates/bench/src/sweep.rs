@@ -23,13 +23,56 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
+/// What a sweep job actually executes — the backend seam.
+///
+/// `Rustc` is the emit → `rustc -O` → spawn round trip (full fidelity);
+/// `InProcess` is a closure that measures without leaving the process
+/// (the `polymix-vm` bytecode backend). The JSONL log and the resume
+/// keys record which backend produced each cell, so vm and rustc
+/// measurements of the same job id never cross-satisfy each other.
+pub enum JobWork {
+    /// Emit standalone Rust, compile, run as a subprocess.
+    Rustc {
+        /// Builds the emitted Rust source for this job.
+        #[allow(clippy::type_complexity)]
+        source: Box<dyn FnOnce() -> Result<String, PolymixError> + Send>,
+        /// Builds a *sequential* (single-thread) emission of the same
+        /// kernel, used as the graceful-degradation fallback: when the
+        /// primary run fails at the kernel level (poisoned runtime,
+        /// timeout, non-zero exit — see
+        /// [`crate::runner::is_kernel_failure`]), the job re-runs this
+        /// source and records a `degraded(sequential)` measurement
+        /// instead of an error cell. `None` disables degradation.
+        #[allow(clippy::type_complexity)]
+        seq_source: Option<Box<dyn FnOnce() -> Result<String, PolymixError> + Send>>,
+    },
+    /// Measure in-process (no subprocess, no filesystem). The closure
+    /// still runs under the measurement semaphore so in-process timing
+    /// is never perturbed by concurrent measured runs; there is no
+    /// retry (nothing transient to retry) and no sequential
+    /// degradation (a poisoned vm run is a real, deterministic result).
+    #[allow(clippy::type_complexity)]
+    InProcess(Box<dyn FnOnce() -> Result<RunResult, PolymixError> + Send>),
+}
+
+impl JobWork {
+    /// The backend name recorded in the JSONL log and the resume key.
+    pub fn backend(&self) -> &'static str {
+        match self {
+            JobWork::Rustc { .. } => "rustc",
+            JobWork::InProcess(_) => "vm",
+        }
+    }
+}
+
 /// One (kernel, variant, dataset) measurement job.
 ///
-/// `source` runs on a worker thread and produces the emitted standalone
-/// program (building the variant on the way); a build failure is
-/// recorded as that job's error cell without disturbing other jobs.
+/// `work` runs on a worker thread (building the variant on the way); a
+/// build failure is recorded as that job's error cell without
+/// disturbing other jobs.
 pub struct SweepJob {
-    /// Stable unique key; the resume log skips ids it has already seen.
+    /// Stable unique key; the resume log skips (id, backend) pairs it
+    /// has already seen.
     pub id: String,
     /// Kernel name (reporting + error context).
     pub kernel: String,
@@ -39,18 +82,8 @@ pub struct SweepJob {
     pub dataset: String,
     /// Parameter values (reporting only).
     pub params: Vec<i64>,
-    /// Builds the emitted Rust source for this job.
-    #[allow(clippy::type_complexity)]
-    pub source: Box<dyn FnOnce() -> Result<String, PolymixError> + Send>,
-    /// Builds a *sequential* (single-thread) emission of the same
-    /// kernel, used as the graceful-degradation fallback: when the
-    /// primary run fails at the kernel level (poisoned runtime, timeout,
-    /// non-zero exit — see [`crate::runner::is_kernel_failure`]), the
-    /// job re-runs this source and records a `degraded(sequential)`
-    /// measurement instead of an error cell. `None` disables
-    /// degradation for this job.
-    #[allow(clippy::type_complexity)]
-    pub seq_source: Option<Box<dyn FnOnce() -> Result<String, PolymixError> + Send>>,
+    /// The measurement itself (backend-specific; see [`JobWork`]).
+    pub work: JobWork,
 }
 
 /// The outcome of one sweep job, in submission order.
@@ -75,6 +108,8 @@ pub struct JobOutcome {
     /// `true` when the parallel run failed and `result` holds the
     /// sequential degradation re-run (rendered as a `†`-marked cell).
     pub degraded: bool,
+    /// Which backend produced `result` (`"rustc"` or `"vm"`).
+    pub backend: &'static str,
 }
 
 /// Execution policy for [`run_sweep`].
@@ -173,7 +208,7 @@ pub fn is_transient(detail: &str) -> bool {
 /// the sweep continues.
 pub fn run_sweep(jobs: Vec<SweepJob>, runner: &Runner, cfg: &SweepConfig) -> Vec<JobOutcome> {
     #[allow(clippy::type_complexity)]
-    let recorded: HashMap<String, (Result<RunResult, PolymixError>, bool)> = cfg
+    let recorded: HashMap<(String, String), (Result<RunResult, PolymixError>, bool)> = cfg
         .results_path
         .as_deref()
         .map(load_results)
@@ -206,7 +241,9 @@ pub fn run_sweep(jobs: Vec<SweepJob>, runner: &Runner, cfg: &SweepConfig) -> Vec
                 let Some(job) = lock(&queue[i]).take() else {
                     continue;
                 };
-                let outcome = if let Some((prior, degraded)) = recorded.get(&job.id) {
+                let backend = job.work.backend();
+                let key = (job.id.clone(), backend.to_string());
+                let outcome = if let Some((prior, degraded)) = recorded.get(&key) {
                     JobOutcome {
                         id: job.id,
                         kernel: job.kernel,
@@ -216,6 +253,7 @@ pub fn run_sweep(jobs: Vec<SweepJob>, runner: &Runner, cfg: &SweepConfig) -> Vec
                         result: prior.clone(),
                         resumed: true,
                         degraded: *degraded,
+                        backend,
                     }
                 } else {
                     let done = execute_job(job, runner, cfg, &measure);
@@ -247,27 +285,52 @@ fn execute_job(job: SweepJob, runner: &Runner, cfg: &SweepConfig, measure: &Sema
         variant,
         dataset,
         params,
-        source,
-        seq_source,
+        work,
     } = job;
+    let backend = work.backend();
     let label = format!("{kernel}_{variant}");
-    let mut result = run_one(source, &label, &kernel, &variant, runner, cfg, measure);
     let mut degraded = false;
-    if let (Err(e), Some(seq)) = (&result, seq_source) {
-        if kernel_failed(e) {
-            eprintln!("{label}: parallel run failed ({e}); degrading to a sequential re-run");
-            let seq_label = format!("{label}_seq");
-            match run_one(seq, &seq_label, &kernel, &variant, runner, cfg, measure) {
-                Ok(r) => {
-                    result = Ok(r);
-                    degraded = true;
+    let result = match work {
+        JobWork::Rustc { source, seq_source } => {
+            let mut result = run_one(source, &label, &kernel, &variant, runner, cfg, measure);
+            if let (Err(e), Some(seq)) = (&result, seq_source) {
+                if kernel_failed(e) {
+                    eprintln!(
+                        "{label}: parallel run failed ({e}); degrading to a sequential re-run"
+                    );
+                    let seq_label = format!("{label}_seq");
+                    match run_one(seq, &seq_label, &kernel, &variant, runner, cfg, measure) {
+                        Ok(r) => {
+                            result = Ok(r);
+                            degraded = true;
+                        }
+                        // Keep the original (more informative) parallel
+                        // failure as the job's error cell.
+                        Err(e2) => {
+                            eprintln!("{label}: sequential degradation also failed: {e2}")
+                        }
+                    }
                 }
-                // Keep the original (more informative) parallel failure
-                // as the job's error cell.
-                Err(e2) => eprintln!("{label}: sequential degradation also failed: {e2}"),
             }
+            result
         }
-    }
+        JobWork::InProcess(f) => {
+            // In-process measurement still serializes behind the
+            // measurement semaphore; a panic inside the closure poisons
+            // this cell only, never the sweep.
+            measure.acquire();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+                .unwrap_or_else(|_| {
+                    Err(PolymixError::runner(
+                        &kernel,
+                        &variant,
+                        "runtime_error: in-process measurement panicked",
+                    ))
+                });
+            measure.release();
+            result
+        }
+    };
     JobOutcome {
         id,
         kernel,
@@ -277,6 +340,7 @@ fn execute_job(job: SweepJob, runner: &Runner, cfg: &SweepConfig, measure: &Sema
         result,
         resumed: false,
         degraded,
+        backend,
     }
 }
 
@@ -380,8 +444,9 @@ fn record_line(o: &JobOutcome) -> String {
         .collect::<Vec<_>>()
         .join(",");
     let head = format!(
-        "{{\"id\":\"{}\",\"kernel\":\"{}\",\"variant\":\"{}\",\"dataset\":\"{}\",\"params\":[{params}]",
+        "{{\"id\":\"{}\",\"backend\":\"{}\",\"kernel\":\"{}\",\"variant\":\"{}\",\"dataset\":\"{}\",\"params\":[{params}]",
         json_escape(&o.id),
+        o.backend,
         json_escape(&o.kernel),
         json_escape(&o.variant),
         json_escape(&o.dataset),
@@ -429,14 +494,17 @@ fn repair_log_tail(path: &Path) {
     }
 }
 
-/// Loads previously recorded outcomes (id → (result, degraded)) from a
-/// JSONL log. Unparseable lines (e.g. one truncated by a crash
-/// mid-append, the torn trailing line of a killed sweep) are tolerated:
-/// each is skipped with a one-time warning naming how many lines were
-/// dropped, and the cells they belonged to simply re-measure on resume.
-/// Later records win over earlier ones with the same id.
+/// Loads previously recorded outcomes ((id, backend) → (result,
+/// degraded)) from a JSONL log. Records without a `backend` field (logs
+/// written before the vm backend existed) load as `"rustc"` cells —
+/// the only backend those sweeps could have used. Unparseable lines
+/// (e.g. one truncated by a crash mid-append, the torn trailing line of
+/// a killed sweep) are tolerated: each is skipped with a one-time
+/// warning naming how many lines were dropped, and the cells they
+/// belonged to simply re-measure on resume. Later records win over
+/// earlier ones with the same (id, backend).
 #[allow(clippy::type_complexity)]
-pub fn load_results(path: &Path) -> HashMap<String, (Result<RunResult, PolymixError>, bool)> {
+pub fn load_results(path: &Path) -> HashMap<(String, String), (Result<RunResult, PolymixError>, bool)> {
     let mut out = HashMap::new();
     let Ok(text) = std::fs::read_to_string(path) else {
         return out;
@@ -447,8 +515,8 @@ pub fn load_results(path: &Path) -> HashMap<String, (Result<RunResult, PolymixEr
             continue;
         }
         match parse_entry(line) {
-            Some((id, entry)) => {
-                out.insert(id, entry);
+            Some((key, entry)) => {
+                out.insert(key, entry);
             }
             None => skipped += 1,
         }
@@ -464,14 +532,16 @@ pub fn load_results(path: &Path) -> HashMap<String, (Result<RunResult, PolymixEr
     out
 }
 
-/// Parses one results-log line into `(id, (result, degraded))`; `None`
-/// when the line is syntactically broken *or* semantically incomplete
-/// (missing id / status / measurement fields) — both shapes a torn
-/// append can produce.
+/// Parses one results-log line into `((id, backend), (result,
+/// degraded))`; `None` when the line is syntactically broken *or*
+/// semantically incomplete (missing id / status / measurement fields) —
+/// both shapes a torn append can produce. A missing `backend` field
+/// reads as `"rustc"` (pre-vm logs).
 #[allow(clippy::type_complexity)]
-fn parse_entry(line: &str) -> Option<(String, (Result<RunResult, PolymixError>, bool))> {
+fn parse_entry(line: &str) -> Option<((String, String), (Result<RunResult, PolymixError>, bool))> {
     let rec = parse_record(line)?;
     let id = rec.str_field("id")?;
+    let backend = rec.str_field("backend").unwrap_or("rustc");
     let result = match rec.str_field("status")? {
         "ok" => Ok(RunResult {
             checksum: rec.num_field("checksum")?,
@@ -492,7 +562,7 @@ fn parse_entry(line: &str) -> Option<(String, (Result<RunResult, PolymixError>, 
         _ => return None,
     };
     let degraded = rec.str_field("degraded") == Some("sequential");
-    Some((id.to_string(), (result, degraded)))
+    Some(((id.to_string(), backend.to_string()), (result, degraded)))
 }
 
 /// Prints the `†` legend when any outcome in the sweep was measured via
@@ -721,7 +791,12 @@ mod tests {
             }),
             resumed: false,
             degraded: false,
+            backend: "rustc",
         }
+    }
+
+    fn key(id: &str, backend: &str) -> (String, String) {
+        (id.to_string(), backend.to_string())
     }
 
     #[test]
@@ -740,7 +815,7 @@ mod tests {
         let path = dir.join("roundtrip.jsonl");
         std::fs::write(&path, format!("{line}\n")).unwrap();
         let loaded = load_results(&path);
-        let (result, degraded) = &loaded["gemm:poly+ast:small"];
+        let (result, degraded) = &loaded[&key("gemm:poly+ast:small", "rustc")];
         let r = result.as_ref().expect("ok record");
         assert!((r.checksum - 123.456).abs() < 1e-9);
         assert!((r.gflops - 2.34).abs() < 1e-9);
@@ -760,7 +835,7 @@ mod tests {
         ));
         std::fs::write(&path, format!("{line}\n")).unwrap();
         let loaded = load_results(&path);
-        let (result, degraded) = &loaded["seidel:poly+ast:small"];
+        let (result, degraded) = &loaded[&key("seidel:poly+ast:small", "rustc")];
         assert!(result.is_ok(), "degraded record still carries a measurement");
         assert!(*degraded, "resume must replay the degraded marker");
         let _ = std::fs::remove_file(&path);
@@ -781,7 +856,10 @@ mod tests {
         let path = std::env::temp_dir().join(format!("polymix-jsonl-err-{}.jsonl", std::process::id()));
         std::fs::write(&path, format!("{line}\n")).unwrap();
         let loaded = load_results(&path);
-        let e = loaded["adi:pocc:small"].0.as_ref().expect_err("error record");
+        let e = loaded[&key("adi:pocc:small", "rustc")]
+            .0
+            .as_ref()
+            .expect_err("error record");
         assert_eq!(e.cell(), "error(runner)");
         assert!(e.to_string().contains("timeout"));
         let _ = std::fs::remove_file(&path);
@@ -802,8 +880,40 @@ mod tests {
         std::fs::write(&path, format!("{good1}\n{truncated}\nnot json\n{good2}\n")).unwrap();
         let loaded = load_results(&path);
         assert_eq!(loaded.len(), 1);
-        let r = loaded["a"].0.as_ref().unwrap();
+        let r = loaded[&key("a", "rustc")].0.as_ref().unwrap();
         assert!((r.gflops - 9.0).abs() < 1e-12, "last record wins");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn backend_keys_are_distinct_and_legacy_records_load_as_rustc() {
+        let mut vm = ok_outcome("cell");
+        vm.backend = "vm";
+        if let Ok(r) = &mut vm.result {
+            r.gflops = 7.0;
+        }
+        let line_rustc = record_line(&ok_outcome("cell"));
+        let line_vm = record_line(&vm);
+        assert!(line_rustc.contains("\"backend\":\"rustc\""), "{line_rustc}");
+        assert!(line_vm.contains("\"backend\":\"vm\""), "{line_vm}");
+        // A record written before the vm backend existed has no backend
+        // field at all; it must load as a rustc cell.
+        let legacy = "{\"id\":\"old\",\"kernel\":\"k\",\"variant\":\"v\",\
+                      \"dataset\":\"mini\",\"params\":[4],\"status\":\"ok\",\
+                      \"checksum\":1e0,\"time_s\":1e-3,\"gflops\":2e0}";
+        let path = std::env::temp_dir().join(format!(
+            "polymix-jsonl-bk-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::write(&path, format!("{line_rustc}\n{line_vm}\n{legacy}\n")).unwrap();
+        let loaded = load_results(&path);
+        assert_eq!(loaded.len(), 3, "vm and rustc cells with one id stay distinct");
+        let r_rustc = loaded[&key("cell", "rustc")].0.as_ref().unwrap();
+        let r_vm = loaded[&key("cell", "vm")].0.as_ref().unwrap();
+        assert!((r_rustc.gflops - 2.34).abs() < 1e-9);
+        assert!((r_vm.gflops - 7.0).abs() < 1e-9);
+        assert!(loaded.contains_key(&key("old", "rustc")), "legacy default");
+        assert!(!loaded.contains_key(&key("old", "vm")));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -4,8 +4,12 @@
 //! cell that was in flight: re-running with the same JSONL results log
 //! replays every recorded measurement (re-measuring nothing) and
 //! converges to the same tuned configuration. These tests run the real
-//! search — real candidate builds, real `rustc` compiles (no `-O`,
-//! mini dataset, tiny budget) — against the same log twice.
+//! two-fidelity search — in-process vm screens plus real `rustc`
+//! confirmations (no `-O`, mini dataset, tiny budget) — against the
+//! same log twice. With `BUDGET` candidates the log carries `BUDGET` vm
+//! screen cells, the native baseline, and (when the screens are
+//! healthy) `BUDGET` rustc confirmations, each keyed by `(id,
+//! backend)`.
 
 use polymix_bench::autotune::autotune_kernel;
 use polymix_bench::runner::Runner;
@@ -49,10 +53,17 @@ fn interrupted_search_resumes_without_remeasuring() {
     let machine = Machine::host();
     let runner = test_runner(dir.clone());
 
-    // Uninterrupted search: measures its native baseline + BUDGET cells.
+    // Uninterrupted search: BUDGET vm screens, then the native baseline
+    // plus BUDGET rustc confirmations (BUDGET <= CONFIRM_TOP, so every
+    // screened candidate confirms). `measured` counts candidate cells at
+    // both fidelities, excluding the baseline.
     let first = autotune_kernel("gemm", "mini", BUDGET, &runner, &cfg_with_log(log.clone()), &machine)
         .expect("first search succeeds");
-    assert_eq!(first.measured, BUDGET, "fresh search measures its budget");
+    assert_eq!(
+        first.measured,
+        2 * BUDGET,
+        "fresh search measures its budget at both fidelities"
+    );
     assert_eq!(first.resumed, 0);
 
     // Scenario 1: the tuner was killed *after* the last measurement but
@@ -62,7 +73,11 @@ fn interrupted_search_resumes_without_remeasuring() {
     let second = autotune_kernel("gemm", "mini", BUDGET, &runner, &cfg_with_log(log.clone()), &machine)
         .expect("resumed search succeeds");
     assert_eq!(second.measured, 0, "no candidate may be re-measured");
-    assert_eq!(second.resumed, BUDGET + 1, "all cells (incl. baseline) replay");
+    assert_eq!(
+        second.resumed,
+        2 * BUDGET + 1,
+        "all cells (vm screens, baseline, confirmations) replay"
+    );
     assert_eq!(
         second.config.to_json(),
         first.config.to_json(),
@@ -75,14 +90,14 @@ fn interrupted_search_resumes_without_remeasuring() {
     // re-measure that one cell and nothing else.
     let text = std::fs::read_to_string(&log).expect("log readable");
     let mut lines: Vec<&str> = text.lines().collect();
-    assert_eq!(lines.len(), BUDGET + 1, "one record per measured cell");
+    assert_eq!(lines.len(), 2 * BUDGET + 1, "one record per measured cell");
     lines.pop();
     let truncated = dir.join("tune-truncated.jsonl");
     std::fs::write(&truncated, format!("{}\n", lines.join("\n"))).expect("write truncated log");
     let third = autotune_kernel("gemm", "mini", BUDGET, &runner, &cfg_with_log(truncated), &machine)
         .expect("search over truncated log succeeds");
     assert_eq!(third.measured, 1, "only the lost cell is re-measured");
-    assert_eq!(third.resumed, BUDGET, "every surviving record replays");
+    assert_eq!(third.resumed, 2 * BUDGET, "every surviving record replays");
     // The re-measured cell gets fresh timing, so the winner may legally
     // differ — but the search must still commit a complete, parseable
     // config for the same kernel/dataset.

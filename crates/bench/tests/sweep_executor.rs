@@ -6,8 +6,8 @@
 //! each) so they exercise the exact process-handling paths the
 //! measurement harness uses.
 
-use polymix_bench::runner::{compile_and_run, ensure_compiled, run_binary, Runner};
-use polymix_bench::sweep::{run_sweep, SweepConfig, SweepJob};
+use polymix_bench::runner::{compile_and_run, ensure_compiled, run_binary, RunResult, Runner};
+use polymix_bench::sweep::{run_sweep, JobWork, SweepConfig, SweepJob};
 use polymix_ir::error::Stage;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -56,8 +56,40 @@ fn job(id: &str, src: String) -> SweepJob {
         variant: "test".to_string(),
         dataset: "mini".to_string(),
         params: vec![4],
-        source: Box::new(move || Ok(src)),
-        seq_source: None,
+        work: JobWork::Rustc {
+            source: Box::new(move || Ok(src)),
+            seq_source: None,
+        },
+    }
+}
+
+/// Attach a sequential-fallback source to a rustc job.
+fn set_seq(
+    j: &mut SweepJob,
+    f: Box<dyn FnOnce() -> Result<String, polymix_ir::error::PolymixError> + Send>,
+) {
+    match &mut j.work {
+        JobWork::Rustc { seq_source, .. } => *seq_source = Some(f),
+        JobWork::InProcess(_) => panic!("in-process jobs have no sequential fallback"),
+    }
+}
+
+/// An in-process job returning a fixed measurement without ever touching
+/// `rustc` or the binary cache.
+fn vm_job(id: &str, checksum: f64) -> SweepJob {
+    SweepJob {
+        id: id.to_string(),
+        kernel: id.to_string(),
+        variant: "test".to_string(),
+        dataset: "mini".to_string(),
+        params: vec![4],
+        work: JobWork::InProcess(Box::new(move || {
+            Ok(RunResult {
+                checksum,
+                time_s: 0.001,
+                gflops: 1.0,
+            })
+        })),
     }
 }
 
@@ -291,15 +323,17 @@ fn jsonl_resume_skips_recorded_jobs_with_zero_recompiles() {
             variant: "test".to_string(),
             dataset: "mini".to_string(),
             params: vec![4],
-            source: Box::new({
-                let built = built.clone();
-                let src = ok_src(tag);
-                move || {
-                    built.store(true, Ordering::Relaxed);
-                    Ok(src)
-                }
-            }),
-            seq_source: None,
+            work: JobWork::Rustc {
+                source: Box::new({
+                    let built = built.clone();
+                    let src = ok_src(tag);
+                    move || {
+                        built.store(true, Ordering::Relaxed);
+                        Ok(src)
+                    }
+                }),
+                seq_source: None,
+            },
         })
         .collect();
     let second = run_sweep(rebuilt_jobs, &runner2, &cfg);
@@ -333,7 +367,7 @@ fn poisoned_kernel_degrades_to_sequential_and_resumes_degraded() {
         ..SweepConfig::default()
     };
     let mut poisoned = job("poisoned", POISONED_SRC.to_string());
-    poisoned.seq_source = Some(Box::new(|| Ok(ok_src(9))));
+    set_seq(&mut poisoned, Box::new(|| Ok(ok_src(9))));
     let outcomes = run_sweep(vec![poisoned, job("good", ok_src(1))], &runner, &cfg);
     assert_eq!(outcomes.len(), 2);
     let o = &outcomes[0];
@@ -363,9 +397,10 @@ fn poisoned_kernel_degrades_to_sequential_and_resumes_degraded() {
         "poisoned",
         "fn main() { panic!(\"resume must not rebuild\") }".to_string(),
     );
-    resumed_poisoned.seq_source = Some(Box::new(|| {
-        panic!("resume must not rebuild the fallback either")
-    }));
+    set_seq(
+        &mut resumed_poisoned,
+        Box::new(|| panic!("resume must not rebuild the fallback either")),
+    );
     let second = run_sweep(vec![resumed_poisoned], &runner, &cfg);
     assert!(second[0].resumed, "must replay from the log");
     assert!(second[0].degraded, "degraded marker must survive resume");
@@ -393,7 +428,7 @@ fn partial_resume_replays_mixed_log_and_runs_new_jobs() {
         ..SweepConfig::default()
     };
     let mut poisoned = job("degraded-one", POISONED_SRC.to_string());
-    poisoned.seq_source = Some(Box::new(|| Ok(ok_src(9))));
+    set_seq(&mut poisoned, Box::new(|| Ok(ok_src(9))));
     let first = run_sweep(vec![poisoned, job("healthy", ok_src(2))], &runner, &cfg);
     assert!(first[0].degraded && first[0].result.is_ok());
     assert!(!first[1].degraded && first[1].result.is_ok());
@@ -404,8 +439,10 @@ fn partial_resume_replays_mixed_log_and_runs_new_jobs() {
         "degraded-one",
         "fn main() { panic!(\"resume must not rebuild\") }".to_string(),
     );
-    replay_degraded.seq_source =
-        Some(Box::new(|| panic!("resume must not rebuild the fallback")));
+    set_seq(
+        &mut replay_degraded,
+        Box::new(|| panic!("resume must not rebuild the fallback")),
+    );
     let replay_healthy = job(
         "healthy",
         "fn main() { panic!(\"resume must not rebuild\") }".to_string(),
@@ -447,7 +484,7 @@ fn failing_fallback_keeps_the_original_error() {
         ..SweepConfig::default()
     };
     let mut j = job("both-poisoned", POISONED_SRC.to_string());
-    j.seq_source = Some(Box::new(|| Ok(POISONED_SRC.to_string())));
+    set_seq(&mut j, Box::new(|| Ok(POISONED_SRC.to_string())));
     let outcomes = run_sweep(vec![j], &runner, &cfg);
     let o = &outcomes[0];
     assert!(!o.degraded);
@@ -470,13 +507,16 @@ fn compile_errors_do_not_degrade() {
     };
     let fallback_built = std::sync::Arc::new(AtomicBool::new(false));
     let mut j = job("bad-compile", "fn main() { not rust at all }".to_string());
-    j.seq_source = Some(Box::new({
-        let fallback_built = fallback_built.clone();
-        move || {
-            fallback_built.store(true, Ordering::Relaxed);
-            Ok(ok_src(5))
-        }
-    }));
+    set_seq(
+        &mut j,
+        Box::new({
+            let fallback_built = fallback_built.clone();
+            move || {
+                fallback_built.store(true, Ordering::Relaxed);
+                Ok(ok_src(5))
+            }
+        }),
+    );
     let outcomes = run_sweep(vec![j], &runner, &cfg);
     assert!(outcomes[0].result.is_err(), "compile error stays an error");
     assert!(!outcomes[0].degraded);
@@ -557,5 +597,95 @@ fn torn_trailing_jsonl_line_is_skipped_and_remeasured() {
         &cfg,
     );
     assert!(third.iter().all(|o| o.resumed), "re-measured cell must be re-recorded");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// In-process (vm) jobs run on the same executor without ever touching
+/// `rustc` or the binary cache, and their outcomes carry the `vm`
+/// backend tag.
+#[test]
+fn in_process_jobs_run_without_compiling() {
+    let dir = tmp_dir("inproc");
+    let cache = dir.join("cache");
+    let runner = test_runner(cache.clone());
+    let cfg = SweepConfig {
+        jobs: 2,
+        ..SweepConfig::default()
+    };
+    let outcomes = run_sweep(vec![vm_job("v1", 1.5), vm_job("v2", 2.5)], &runner, &cfg);
+    assert_eq!(outcomes.len(), 2);
+    for (o, want) in outcomes.iter().zip([1.5, 2.5]) {
+        assert_eq!(o.backend, "vm");
+        assert!(!o.degraded);
+        let r = o.result.as_ref().expect("in-process job measures");
+        assert!((r.checksum - want).abs() < 1e-12);
+    }
+    assert!(
+        !cache.exists() || std::fs::read_dir(&cache).map(|d| d.count()).unwrap_or(0) == 0,
+        "in-process jobs must not populate the binary cache"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resume keys on `(id, backend)`: a recorded rustc cell must never
+/// satisfy a vm job with the same id, nor the other way round. Mixing
+/// them would let a low-fidelity vm measurement masquerade as a rustc
+/// confirmation (or vice versa) across an interrupted two-fidelity
+/// tuning run.
+#[test]
+fn resume_never_crosses_backends_for_the_same_id() {
+    let dir = tmp_dir("backend-resume");
+    let log = dir.join("results.jsonl");
+    let runner = test_runner(dir.join("cache"));
+    let cfg = SweepConfig {
+        jobs: 2,
+        results_path: Some(log.clone()),
+        ..SweepConfig::default()
+    };
+    // Record a rustc cell under id "shared".
+    let first = run_sweep(vec![job("shared", ok_src(1))], &runner, &cfg);
+    assert!(first[0].result.is_ok() && !first[0].resumed);
+    assert_eq!(first[0].backend, "rustc");
+
+    // A vm job with the *same id* must run fresh — the rustc record is a
+    // different fidelity and must not cross-satisfy it.
+    let second = run_sweep(vec![vm_job("shared", 42.5)], &runner, &cfg);
+    assert!(
+        !second[0].resumed,
+        "vm job must not replay a rustc record with the same id"
+    );
+    assert_eq!(second[0].backend, "vm");
+    assert!((second[0].result.as_ref().expect("ok").checksum - 42.5).abs() < 1e-12);
+
+    // Both records now coexist in the log, tagged by backend.
+    let text = std::fs::read_to_string(&log).expect("log written");
+    let recs: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("\"id\":\"shared\""))
+        .collect();
+    assert_eq!(recs.len(), 2, "one record per (id, backend): {text}");
+    assert!(recs.iter().any(|l| l.contains("\"backend\":\"rustc\"")));
+    assert!(recs.iter().any(|l| l.contains("\"backend\":\"vm\"")));
+
+    // A third pass with both jobs replays each from its *own* record:
+    // the rustc replay keeps the rustc checksum, the vm replay the vm
+    // one, and neither builds or runs anything.
+    let rustc_again = SweepJob {
+        work: JobWork::Rustc {
+            source: Box::new(|| panic!("resume must not rebuild")),
+            seq_source: None,
+        },
+        ..job("shared", String::new())
+    };
+    let vm_again = SweepJob {
+        work: JobWork::InProcess(Box::new(|| panic!("resume must not re-execute"))),
+        ..job("shared", String::new())
+    };
+    let third = run_sweep(vec![rustc_again, vm_again], &runner, &cfg);
+    assert!(third.iter().all(|o| o.resumed), "both fidelities replay");
+    assert_eq!(third[0].backend, "rustc");
+    assert_eq!(third[1].backend, "vm");
+    assert!((third[0].result.as_ref().expect("ok").checksum - 1.5).abs() < 1e-12);
+    assert!((third[1].result.as_ref().expect("ok").checksum - 42.5).abs() < 1e-12);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -19,7 +19,11 @@
 //!   neighbor;
 //! * doall regions are progress-free by construction;
 //! * reduction regions either privatize (`reduced [...]`) or fall back
-//!   to sequential code, stated in the region header.
+//!   to sequential code, stated in the region header;
+//! * vect regions (the explicit-vectorization post-pass, nested inside
+//!   the construct that owns the loop) declare doall certification,
+//!   stop a full lane group before the bound, advance by the lane
+//!   width, and carry a scalar remainder loop plus an end marker.
 //!
 //! Findings use [`ViolationKind::KernelLint`] with the region label in
 //! `loop_name`. The lint is purely syntactic: it cannot prove the
@@ -70,6 +74,111 @@ fn split_regions(source: &str) -> Vec<Region<'_>> {
         }
     }
     out
+}
+
+/// One explicit-vectorization region of the emitted source, delimited
+/// `// vect region N (...)` … `// vect end N`.
+///
+/// Vect markers are deliberately **not** one of the region-splitting
+/// [`KINDS`]: a vect rewrite lives *inside* a doall/pipeline/taskgraph
+/// region, and splitting on it would truncate the enclosing region's
+/// line span mid-body (e.g. a taskgraph region's trailing `fetch_sub`
+/// lines would fall out of its audit and falsely fire "never decrements
+/// successor counters"). They are collected separately as nested spans.
+struct VectRegion<'a> {
+    /// Marker label, e.g. `vect region 0 (width 4, doall-certified)`.
+    label: String,
+    /// Lines from the open marker to the matching end marker, or up to
+    /// end-of-source when unterminated.
+    lines: Vec<&'a str>,
+    /// Whether the matching `// vect end N` marker was found.
+    terminated: bool,
+}
+
+fn collect_vect_regions(source: &str) -> Vec<VectRegion<'_>> {
+    let mut out = Vec::new();
+    let mut open: Option<(VectRegion<'_>, String)> = None;
+    for line in source.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("// vect region ") {
+            let n = rest.split_whitespace().next().unwrap_or("");
+            if let Some((r, _)) = open.take() {
+                out.push(r); // previous region never closed
+            }
+            open = Some((
+                VectRegion {
+                    label: format!("vect region {rest}"),
+                    lines: vec![line],
+                    terminated: false,
+                },
+                format!("// vect end {n}"),
+            ));
+            continue;
+        }
+        if let Some((mut r, end)) = open.take() {
+            r.lines.push(line);
+            if t == end {
+                r.terminated = true;
+                out.push(r);
+            } else {
+                open = Some((r, end));
+            }
+        }
+    }
+    if let Some((r, _)) = open {
+        out.push(r);
+    }
+    out
+}
+
+/// Checks the obligations of one explicit-vectorization region: the
+/// rewrite may only be applied to certified-doall loops, the group loop
+/// must stop a full lane group before the bound and advance by the full
+/// lane width, and a scalar remainder loop must cover the tail.
+fn lint_vect_region(region: &VectRegion<'_>, violations: &mut Vec<Violation>) {
+    let label = region.label.as_str();
+    if !region.terminated {
+        violations.push(lint_violation(
+            label,
+            "vect region has no matching `// vect end` marker".to_string(),
+            "an unterminated vect span cannot be audited as a unit; re-emit the \
+             region with its end marker",
+        ));
+        return;
+    }
+    let text = region.lines.join("\n");
+    if !label.contains("doall-certified") {
+        violations.push(lint_violation(
+            label,
+            "vect region does not declare doall certification".to_string(),
+            "the explicit-vect rewrite is only legal on loops the certifier proved \
+             dependence-free; the marker must carry `doall-certified`",
+        ));
+    }
+    if !text.contains("+ 3 <=") {
+        violations.push(lint_violation(
+            label,
+            "vect group loop does not stop a full lane group before the bound".to_string(),
+            "the grouped loop must test `v + (W-1) <= hi` so no lane reads past the \
+             iteration space; re-emit the region",
+        ));
+    }
+    if !text.contains("+= 4;") {
+        violations.push(lint_violation(
+            label,
+            "vect group loop does not advance by the full lane width".to_string(),
+            "the grouped loop must step by W after executing W lanes or lanes repeat; \
+             re-emit the region",
+        ));
+    }
+    if !text.contains("// vect remainder") {
+        violations.push(lint_violation(
+            label,
+            "vect region has no scalar remainder loop".to_string(),
+            "trip counts not divisible by the lane width drop their tail iterations \
+             without the remainder loop; re-emit the region",
+        ));
+    }
 }
 
 fn lint_violation(label: &str, detail: String, fix: &str) -> Violation {
@@ -181,6 +290,10 @@ pub fn verify_source(kernel: &str, source: &str) -> Certificate {
             }
             _ => {}
         }
+    }
+
+    for vect in collect_vect_regions(source) {
+        lint_vect_region(&vect, &mut violations);
     }
 
     violations.sort_by_key(|v| !v.kind.is_error());
@@ -334,6 +447,20 @@ loop {
 let k = cursor.0.fetch_add(1, Ordering::Relaxed) as usize;
 if k >= n_tiles { return true; }
 if !await_zero(&pending[k]) { return false; }
+// vect region 4 (width 4, doall-certified)
+{
+let mut v_c1 = lo; let v_c1_hi = hi;
+while v_c1 + 3 <= v_c1_hi {
+{ let v_c1 = v_c1; body(v_c1); }
+{ let v_c1 = v_c1 + 1; body(v_c1); }
+{ let v_c1 = v_c1 + 2; body(v_c1); }
+{ let v_c1 = v_c1 + 3; body(v_c1); }
+v_c1 += 4;
+}
+// vect remainder
+while v_c1 <= v_c1_hi { body(v_c1); v_c1 += 1; }
+}
+// vect end 4
 for &s in succs[k] { pending[s].fetch_sub(1, Ordering::AcqRel); }
 }
 }));
@@ -410,6 +537,80 @@ for &s in succs[k] { pending[s].fetch_sub(1, Ordering::AcqRel); }
             cert.violations
                 .iter()
                 .any(|v| v.detail.contains("fetch_sub on something other")),
+            "{:?}",
+            cert.violations
+        );
+    }
+
+    #[test]
+    fn vect_region_nesting_does_not_truncate_enclosing_region() {
+        // The vect span in GOOD sits inside the taskgraph region *before*
+        // its successor decrement; the taskgraph audit must still see the
+        // fetch_sub line past the nested markers.
+        let cert = verify_source("k", GOOD);
+        assert!(
+            !cert
+                .violations
+                .iter()
+                .any(|v| v.detail.contains("never decrements")),
+            "{:?}",
+            cert.violations
+        );
+    }
+
+    #[test]
+    fn vect_missing_remainder_flagged() {
+        let bad = GOOD.replace(
+            "// vect remainder\nwhile v_c1 <= v_c1_hi { body(v_c1); v_c1 += 1; }\n",
+            "",
+        );
+        let cert = verify_source("k", &bad);
+        assert!(
+            cert.violations
+                .iter()
+                .any(|v| v.detail.contains("no scalar remainder loop")),
+            "{:?}",
+            cert.violations
+        );
+    }
+
+    #[test]
+    fn vect_uncertified_label_flagged() {
+        let bad = GOOD.replace(
+            "// vect region 4 (width 4, doall-certified)",
+            "// vect region 4 (width 4)",
+        );
+        let cert = verify_source("k", &bad);
+        assert!(
+            cert.violations
+                .iter()
+                .any(|v| v.detail.contains("does not declare doall certification")),
+            "{:?}",
+            cert.violations
+        );
+    }
+
+    #[test]
+    fn vect_partial_group_bound_flagged() {
+        let bad = GOOD.replace("while v_c1 + 3 <= v_c1_hi {", "while v_c1 <= v_c1_hi + 0 {");
+        let cert = verify_source("k", &bad);
+        assert!(
+            cert.violations
+                .iter()
+                .any(|v| v.detail.contains("full lane group before the bound")),
+            "{:?}",
+            cert.violations
+        );
+    }
+
+    #[test]
+    fn vect_unterminated_region_flagged() {
+        let bad = GOOD.replace("// vect end 4\n", "");
+        let cert = verify_source("k", &bad);
+        assert!(
+            cert.violations
+                .iter()
+                .any(|v| v.detail.contains("no matching `// vect end`")),
             "{:?}",
             cert.violations
         );

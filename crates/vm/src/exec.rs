@@ -1,0 +1,345 @@
+//! Bytecode execution: a sequential tree-walk over pre-resolved
+//! addresses, with parallel regions dispatched onto the persistent
+//! worker pool through the same primitives the emitted kernels use
+//! (`par_for` / `reduce_array` / `pipeline_2d` / `wavefront_2d` /
+//! `taskgraph_2d`), inheriting their panic containment and poison
+//! protocol.
+//!
+//! Every array access is bounds-checked; a bad address poisons the run
+//! (first failure wins) instead of corrupting the host process — the
+//! in-process analogue of the subprocess backend's `runtime_error:` +
+//! exit path. Nested parallel annotations execute sequentially inside a
+//! worker, matching the emitted kernels, which parallelize each region
+//! at its outermost annotation only.
+
+use crate::lower::{CLoop, CNode, CompiledStmt, Instr, VmProgram};
+use crate::VmError;
+use polymix_ast::tree::Par;
+use polymix_runtime::{
+    par_for, pipeline_2d, reduce_array, taskgraph_2d, wavefront_2d, GridSweep, RuntimeError,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Execution knobs for one run.
+#[derive(Clone, Copy, Debug)]
+pub struct VmOptions {
+    /// Worker count for parallel regions (1 = fully sequential).
+    pub threads: usize,
+    /// Dispatch `wavefront` loops through the dynamic counter-graph
+    /// runtime instead of diagonal barriers.
+    pub taskgraph: bool,
+}
+
+impl Default for VmOptions {
+    fn default() -> VmOptions {
+        VmOptions {
+            threads: 1,
+            taskgraph: false,
+        }
+    }
+}
+
+/// Shared raw view of one array buffer. Workers only ever touch
+/// disjoint elements (guaranteed by the certified parallel
+/// annotations), mirroring the `P(*mut f64)` wrapper of emitted
+/// kernels.
+#[derive(Clone, Copy)]
+struct Ptr {
+    p: *mut f64,
+    len: usize,
+}
+
+unsafe impl Send for Ptr {}
+unsafe impl Sync for Ptr {}
+
+struct Ctx<'a> {
+    vm: &'a VmProgram,
+    opts: VmOptions,
+    poisoned: AtomicBool,
+    fail: Mutex<Option<String>>,
+}
+
+/// Executes a lowered program over the given buffers, sequentially.
+pub fn run(vm: &VmProgram, arrays: &mut [Vec<f64>]) -> Result<(), VmError> {
+    run_opts(vm, arrays, VmOptions::default())
+}
+
+/// Executes a lowered program with explicit [`VmOptions`].
+pub fn run_opts(
+    vm: &VmProgram,
+    arrays: &mut [Vec<f64>],
+    opts: VmOptions,
+) -> Result<(), VmError> {
+    if arrays.len() != vm.array_lens.len() {
+        return Err(VmError::Runtime(format!(
+            "buffer count mismatch: {} buffers for {} arrays",
+            arrays.len(),
+            vm.array_lens.len()
+        )));
+    }
+    for (k, (a, &want)) in arrays.iter().zip(&vm.array_lens).enumerate() {
+        if a.len() < want {
+            return Err(VmError::Runtime(format!(
+                "buffer {k} holds {} elements, program needs {want}",
+                a.len()
+            )));
+        }
+    }
+    let ptrs: Vec<Ptr> = arrays
+        .iter_mut()
+        .map(|a| Ptr {
+            p: a.as_mut_ptr(),
+            len: a.len(),
+        })
+        .collect();
+    let ctx = Ctx {
+        vm,
+        opts: VmOptions {
+            threads: opts.threads.max(1),
+            taskgraph: opts.taskgraph,
+        },
+        poisoned: AtomicBool::new(false),
+        fail: Mutex::new(None),
+    };
+    let mut vars = vec![0i64; vm.n_vars.max(1)];
+    let mut regs = vec![0.0f64; vm.max_regs.max(1)];
+    let ok = ctx.exec(&vm.body, &ptrs, &mut vars, &mut regs, true);
+    if ok && !ctx.poisoned.load(Ordering::Acquire) {
+        Ok(())
+    } else {
+        let detail = ctx
+            .fail
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .unwrap_or_else(|| "run poisoned".to_string());
+        Err(VmError::Runtime(detail))
+    }
+}
+
+/// Inclusive-bound trip count as used by every loop dispatcher.
+#[inline]
+fn trips(lo: i64, hi: i64, step: i64) -> i64 {
+    if hi < lo {
+        0
+    } else {
+        (hi - lo) / step.max(1) + 1
+    }
+}
+
+impl Ctx<'_> {
+    /// Records the first failure and flips the poison flag.
+    fn poison(&self, msg: String) -> bool {
+        if !self.poisoned.swap(true, Ordering::AcqRel) {
+            let mut g = self.fail.lock().unwrap_or_else(|e| e.into_inner());
+            *g = Some(msg);
+        }
+        false
+    }
+
+    fn runtime_failed(&self, what: &str, e: RuntimeError) -> bool {
+        self.poison(format!("runtime_error: vm {what} dispatch: {e}"))
+    }
+
+    /// Executes `node`; returns `false` once the run is poisoned. `par`
+    /// is true only outside any parallel region.
+    fn exec(
+        &self,
+        node: &CNode,
+        arrs: &[Ptr],
+        vars: &mut Vec<i64>,
+        regs: &mut Vec<f64>,
+        par: bool,
+    ) -> bool {
+        match node {
+            CNode::Seq(xs) => xs.iter().all(|x| self.exec(x, arrs, vars, regs, par)),
+            CNode::Guard(gs, b) => {
+                if gs.iter().all(|g| g.eval(vars) >= 0) {
+                    self.exec(b, arrs, vars, regs, par)
+                } else {
+                    true
+                }
+            }
+            CNode::Loop(l) => {
+                if par && self.opts.threads > 1 {
+                    match l.par {
+                        Par::Doall => return self.par_doall(l, arrs, vars),
+                        Par::Reduction if l.reduction_array.is_some() => {
+                            return self.par_reduction(l, arrs, vars)
+                        }
+                        Par::Pipeline | Par::Wavefront if l.rect_grid => {
+                            return self.par_grid(l, arrs, vars)
+                        }
+                        _ => {}
+                    }
+                }
+                self.seq_loop(l, arrs, vars, regs, par)
+            }
+            CNode::Stmt(k) => match self.vm.stmts.get(*k as usize) {
+                Some(s) => self.exec_stmt(s, arrs, vars, regs),
+                None => self.poison(format!("runtime_error: vm stmt {k} out of table")),
+            },
+        }
+    }
+
+    fn seq_loop(
+        &self,
+        l: &CLoop,
+        arrs: &[Ptr],
+        vars: &mut Vec<i64>,
+        regs: &mut Vec<f64>,
+        par: bool,
+    ) -> bool {
+        let lo = l.lo.eval_lower(vars);
+        let hi = l.hi.eval_upper(vars);
+        let mut v = lo;
+        while v <= hi {
+            vars[l.var] = v;
+            if !self.exec(&l.body, arrs, vars, regs, par) {
+                return false;
+            }
+            v += l.step;
+        }
+        true
+    }
+
+    /// One parallel worker iteration: a private frame/register file over
+    /// the shared buffers.
+    fn worker_iter(&self, body: &CNode, arrs: &[Ptr], vars: &[i64], var: usize, value: i64) {
+        if self.poisoned.load(Ordering::Acquire) {
+            return;
+        }
+        let mut vars = vars.to_vec();
+        let mut regs = vec![0.0f64; self.vm.max_regs.max(1)];
+        vars[var] = value;
+        self.exec(body, arrs, &mut vars, &mut regs, false);
+    }
+
+    fn par_doall(&self, l: &CLoop, arrs: &[Ptr], vars: &[i64]) -> bool {
+        let lo = l.lo.eval_lower(vars);
+        let hi = l.hi.eval_upper(vars);
+        let n = trips(lo, hi, l.step);
+        let r = par_for(0, n, self.opts.threads, |t| {
+            self.worker_iter(&l.body, arrs, vars, l.var, lo + t * l.step);
+        });
+        match r {
+            Ok(_) => !self.poisoned.load(Ordering::Acquire),
+            Err(e) => self.runtime_failed("doall", e),
+        }
+    }
+
+    fn par_reduction(&self, l: &CLoop, arrs: &[Ptr], vars: &[i64]) -> bool {
+        let Some(acc) = l.reduction_array else {
+            return self.poison("runtime_error: vm reduction without accumulator".to_string());
+        };
+        let Some(shared) = arrs.get(acc as usize).copied() else {
+            return self.poison(format!("runtime_error: vm accumulator {acc} out of range"));
+        };
+        let lo = l.lo.eval_lower(vars);
+        let hi = l.hi.eval_upper(vars);
+        let n = trips(lo, hi, l.step);
+        // Safety: within the reduction every write to the accumulator is
+        // redirected to the worker-private buffer below; the shared
+        // buffer is only merged into under `reduce_array`'s lock after
+        // the workers join, so this exclusive view never races.
+        let target = unsafe { std::slice::from_raw_parts_mut(shared.p, shared.len) };
+        let r = reduce_array(target, 0, n, self.opts.threads, |t, local| {
+            let mut redirected = arrs.to_vec();
+            if let Some(slot) = redirected.get_mut(acc as usize) {
+                *slot = Ptr {
+                    p: local.as_mut_ptr(),
+                    len: local.len(),
+                };
+            }
+            self.worker_iter(&l.body, &redirected, vars, l.var, lo + t * l.step);
+        });
+        match r {
+            Ok(_) => !self.poisoned.load(Ordering::Acquire),
+            Err(e) => self.runtime_failed("reduction", e),
+        }
+    }
+
+    fn par_grid(&self, l: &CLoop, arrs: &[Ptr], vars: &[i64]) -> bool {
+        let CNode::Loop(inner) = &l.body else {
+            return self.poison("runtime_error: vm grid region lost its inner loop".to_string());
+        };
+        let olo = l.lo.eval_lower(vars);
+        let ohi = l.hi.eval_upper(vars);
+        let ilo = inner.lo.eval_lower(vars);
+        let ihi = inner.hi.eval_upper(vars);
+        let grid = GridSweep {
+            i_lo: 0,
+            i_hi: trips(olo, ohi, l.step),
+            j_lo: 0,
+            j_hi: trips(ilo, ihi, inner.step),
+        };
+        let body = |i: i64, j: i64| {
+            if self.poisoned.load(Ordering::Acquire) {
+                return;
+            }
+            let mut vars = vars.to_vec();
+            let mut regs = vec![0.0f64; self.vm.max_regs.max(1)];
+            vars[l.var] = olo + i * l.step;
+            vars[inner.var] = ilo + j * inner.step;
+            self.exec(&inner.body, arrs, &mut vars, &mut regs, false);
+        };
+        let r = match l.par {
+            Par::Pipeline => pipeline_2d(grid, self.opts.threads, body),
+            _ if self.opts.taskgraph => {
+                taskgraph_2d(grid, self.opts.threads, &[(1, 0), (0, 1)], body)
+            }
+            _ => wavefront_2d(grid, self.opts.threads, body),
+        };
+        match r {
+            Ok(_) => !self.poisoned.load(Ordering::Acquire),
+            Err(e) => self.runtime_failed("grid", e),
+        }
+    }
+
+    fn exec_stmt(&self, s: &CompiledStmt, arrs: &[Ptr], vars: &[i64], regs: &mut [f64]) -> bool {
+        for instr in &s.code {
+            match instr {
+                Instr::Const { dst, val } => regs[*dst as usize] = *val,
+                Instr::Iter { dst, aff } => regs[*dst as usize] = aff.eval(vars) as f64,
+                Instr::Load { dst, array, addr } => {
+                    let Some(a) = arrs.get(*array as usize) else {
+                        return self.poison(format!(
+                            "runtime_error: vm load from unknown array {array}"
+                        ));
+                    };
+                    let off = addr.eval(vars);
+                    if off < 0 || off as usize >= a.len {
+                        return self.poison(format!(
+                            "runtime_error: vm load offset {off} outside array {array} \
+                             (len {})",
+                            a.len
+                        ));
+                    }
+                    regs[*dst as usize] = unsafe { *a.p.add(off as usize) };
+                }
+                Instr::Bin { op, dst, a, b } => {
+                    regs[*dst as usize] = op.apply(regs[*a as usize], regs[*b as usize]);
+                }
+                Instr::Un { op, dst, a } => {
+                    regs[*dst as usize] = op.apply(regs[*a as usize]);
+                }
+            }
+        }
+        let Some(a) = arrs.get(s.store_array as usize) else {
+            return self.poison(format!(
+                "runtime_error: vm store to unknown array {}",
+                s.store_array
+            ));
+        };
+        let off = s.store_addr.eval(vars);
+        if off < 0 || off as usize >= a.len {
+            return self.poison(format!(
+                "runtime_error: vm store offset {off} outside array {} (len {})",
+                s.store_array, a.len
+            ));
+        }
+        unsafe { *a.p.add(off as usize) = regs[s.result as usize] };
+        true
+    }
+}

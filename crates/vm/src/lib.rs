@@ -1,0 +1,299 @@
+//! # polymix-vm — in-process bytecode backend
+//!
+//! The second backend of the measurement harness: instead of emitting
+//! standalone Rust and round-tripping through a `rustc` subprocess, a
+//! transformed [`Program`](polymix_ast::tree::Program) is [`lower`]ed to
+//! a compact register bytecode — parameters folded, affine subscripts
+//! pre-composed with each site's inverse schedule and the arrays'
+//! row-major strides — and executed [`run`] directly over the caller's
+//! buffers.
+//!
+//! Semantics match [`polymix_ast::interp::execute`] exactly (same loop
+//! bound evaluation, same value-before-write statement order, same
+//! row-major addressing), so the two backends agree checksum-for-
+//! checksum; what changes is cost: lowering is microseconds and a run
+//! touches no subprocess, no lockfile, no filesystem. Parallel
+//! annotations dispatch onto the persistent worker pool through the
+//! same `polymix-runtime` primitives the emitted kernels use, with the
+//! same poison/containment story ([`exec`] module docs).
+//!
+//! The backend exists for the measurement hot path: screening autotuner
+//! candidates and differential checks where a full emit → `rustc` →
+//! spawn round trip per cell would dominate wall-clock.
+
+mod exec;
+mod lower;
+
+pub use exec::{run, run_opts, VmOptions};
+pub use lower::{lower, AffExpr, CBound, CLoop, CNode, CompiledStmt, Instr, VmProgram};
+
+use std::fmt;
+
+/// Failure of the bytecode backend: a shape the lowering does not model,
+/// or a poisoned run (bad address, worker panic, runtime misuse).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// Lowering rejected the program.
+    Lower(String),
+    /// Execution was poisoned.
+    Runtime(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Lower(d) => write!(f, "vm lowering: {d}"),
+            VmError::Runtime(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polymix_ast::interp::{alloc_arrays, execute};
+    use polymix_ast::tree::{Bound, LinExpr, Loop, Node, Par, Program, StmtNode};
+    use polymix_ir::builder::{con, ix, par, ScopBuilder};
+    use polymix_ir::expr::Expr;
+
+    /// `for i in 0..N: A[i] = A[i] + 1`, annotation selectable.
+    fn inc_program(par_kind: Par) -> Program {
+        let mut b = ScopBuilder::new("inc", &["N"], &[8]);
+        let a = b.array("A", &["N"]);
+        b.enter("i", con(0), par("N"));
+        let body = Expr::add(b.rd(a, &[ix("i")]), Expr::Const(1.0));
+        b.stmt("S", a, &[ix("i")], body);
+        b.exit();
+        let scop = b.finish().expect("well-formed SCoP");
+        let body = Node::loop_(Loop {
+            var: 0,
+            name: "i".into(),
+            lo: Bound::con(0),
+            hi: Bound::of(LinExpr::param(0).plus(-1)),
+            step: 1,
+            par: par_kind,
+            body: Node::Stmt(StmtNode {
+                stmt_idx: 0,
+                iter_exprs: vec![LinExpr::var(0)],
+            }),
+        });
+        Program {
+            scop,
+            body,
+            n_vars: 1,
+        }
+    }
+
+    fn checksum(arrays: &[Vec<f64>]) -> f64 {
+        arrays
+            .iter()
+            .flat_map(|a| a.iter().enumerate())
+            .map(|(k, &x)| x * ((k % 31) as f64 + 1.0))
+            .sum()
+    }
+
+    #[test]
+    fn sequential_run_matches_interpreter() {
+        for params in [[5i64], [8], [1]] {
+            let p = inc_program(Par::Seq);
+            let vm = lower(&p, &params).expect("lowers");
+            let mut a = alloc_arrays(&p.scop, &params);
+            let mut b = alloc_arrays(&p.scop, &params);
+            for (k, x) in a[0].iter_mut().enumerate() {
+                *x = k as f64 * 0.5;
+            }
+            b[0].copy_from_slice(&a[0]);
+            execute(&p, &params, &mut a);
+            run(&vm, &mut b).expect("vm runs");
+            assert_eq!(a, b, "params {params:?}");
+        }
+    }
+
+    #[test]
+    fn doall_dispatch_matches_sequential() {
+        let p = inc_program(Par::Doall);
+        let vm = lower(&p, &[8]).expect("lowers");
+        let mut seq = alloc_arrays(&p.scop, &[8]);
+        let mut par4 = alloc_arrays(&p.scop, &[8]);
+        execute(&p, &[8], &mut seq);
+        run_opts(
+            &vm,
+            &mut par4,
+            VmOptions {
+                threads: 4,
+                taskgraph: false,
+            },
+        )
+        .expect("parallel vm runs");
+        assert_eq!(seq, par4);
+    }
+
+    #[test]
+    fn reduction_dispatch_accumulates_exactly() {
+        // s[0] += B[i]  over i in 0..N: an additive self-update, the
+        // privatizable shape.
+        let mut b = ScopBuilder::new("sum", &["N"], &[64]);
+        let s = b.array_dims("s", vec![con(1)]);
+        let arr = b.array("B", &["N"]);
+        b.enter("i", con(0), par("N"));
+        let body = Expr::add(b.rd(s, &[con(0)]), b.rd(arr, &[ix("i")]));
+        b.stmt("S", s, &[con(0)], body);
+        b.exit();
+        let scop = b.finish().expect("well-formed SCoP");
+        let body = Node::loop_(Loop {
+            var: 0,
+            name: "i".into(),
+            lo: Bound::con(0),
+            hi: Bound::of(LinExpr::param(0).plus(-1)),
+            step: 1,
+            par: Par::Reduction,
+            body: Node::Stmt(StmtNode {
+                stmt_idx: 0,
+                iter_exprs: vec![LinExpr::var(0)],
+            }),
+        });
+        let p = Program {
+            scop,
+            body,
+            n_vars: 1,
+        };
+        let vm = lower(&p, &[64]).expect("lowers");
+        let mut arrays = alloc_arrays(&p.scop, &[64]);
+        for (k, x) in arrays[1].iter_mut().enumerate() {
+            *x = (k + 1) as f64;
+        }
+        arrays[0][0] = 100.0;
+        run_opts(
+            &vm,
+            &mut arrays,
+            VmOptions {
+                threads: 4,
+                taskgraph: false,
+            },
+        )
+        .expect("reduction vm runs");
+        assert_eq!(arrays[0][0], 100.0 + (64.0 * 65.0) / 2.0);
+    }
+
+    /// 2-level nest with a flow dependence `(1, 0)`: pipeline, wavefront
+    /// and taskgraph dispatch must all reproduce the sequential result.
+    fn stencil_program(par_kind: Par) -> Program {
+        let mut b = ScopBuilder::new("st", &["N"], &[6]);
+        let a = b.array("A", &["N", "N"]);
+        b.enter("i", con(1), par("N"));
+        b.enter("j", con(0), par("N"));
+        let body = Expr::add(
+            b.rd(a, &[ix("i") - con(1), ix("j")]),
+            Expr::Const(1.0),
+        );
+        b.stmt("S", a, &[ix("i"), ix("j")], body);
+        b.exit();
+        b.exit();
+        let scop = b.finish().expect("well-formed SCoP");
+        let inner = Node::loop_(Loop {
+            var: 1,
+            name: "j".into(),
+            lo: Bound::con(0),
+            hi: Bound::of(LinExpr::param(0).plus(-1)),
+            step: 1,
+            par: Par::Seq,
+            body: Node::Stmt(StmtNode {
+                stmt_idx: 0,
+                iter_exprs: vec![LinExpr::var(0), LinExpr::var(1)],
+            }),
+        });
+        let body = Node::loop_(Loop {
+            var: 0,
+            name: "i".into(),
+            lo: Bound::con(1),
+            hi: Bound::of(LinExpr::param(0).plus(-1)),
+            step: 1,
+            par: par_kind,
+            body: inner,
+        });
+        Program {
+            scop,
+            body,
+            n_vars: 2,
+        }
+    }
+
+    #[test]
+    fn grid_dispatches_match_sequential() {
+        let reference = {
+            let p = stencil_program(Par::Seq);
+            let mut a = alloc_arrays(&p.scop, &[6]);
+            for (k, x) in a[0].iter_mut().enumerate() {
+                *x = (k % 7) as f64;
+            }
+            execute(&p, &[6], &mut a);
+            a
+        };
+        for (par_kind, taskgraph) in [
+            (Par::Pipeline, false),
+            (Par::Wavefront, false),
+            (Par::Wavefront, true),
+        ] {
+            let p = stencil_program(par_kind);
+            let vm = lower(&p, &[6]).expect("lowers");
+            let mut a = alloc_arrays(&p.scop, &[6]);
+            for (k, x) in a[0].iter_mut().enumerate() {
+                *x = (k % 7) as f64;
+            }
+            run_opts(
+                &vm,
+                &mut a,
+                VmOptions {
+                    threads: 3,
+                    taskgraph,
+                },
+            )
+            .expect("grid vm runs");
+            assert_eq!(
+                checksum(&reference),
+                checksum(&a),
+                "{par_kind:?} taskgraph={taskgraph}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_store_poisons_instead_of_corrupting() {
+        let mut p = inc_program(Par::Seq);
+        // Push the loop one past the end: A[N] is out of bounds.
+        if let Node::Loop(l) = &mut p.body {
+            l.hi = Bound::of(LinExpr::param(0));
+        }
+        let vm = lower(&p, &[8]).expect("lowers");
+        let mut a = alloc_arrays(&p.scop, &[8]);
+        let err = run(&vm, &mut a).expect_err("must poison");
+        assert!(
+            matches!(&err, VmError::Runtime(d) if d.contains("runtime_error")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn parameter_arity_mismatch_is_a_lower_error() {
+        let p = inc_program(Par::Seq);
+        assert!(matches!(lower(&p, &[]), Err(VmError::Lower(_))));
+    }
+
+    #[test]
+    fn guards_are_compiled_and_honored() {
+        let mut p = inc_program(Par::Seq);
+        let inner = match &p.body {
+            Node::Loop(l) => l.body.clone(),
+            other => panic!("unexpected root {other:?}"),
+        };
+        if let Node::Loop(l) = &mut p.body {
+            l.body = Node::Guard(vec![LinExpr::var(0).plus(-3)], Box::new(inner));
+        }
+        let vm = lower(&p, &[6]).expect("lowers");
+        let mut a = alloc_arrays(&p.scop, &[6]);
+        run(&vm, &mut a).expect("vm runs");
+        assert_eq!(a[0], vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+    }
+}
