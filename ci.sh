@@ -56,6 +56,18 @@ cargo test -q -p polymix-runtime --features order-check,fault-inject \
 echo "== static verify gate =="
 cargo run --release -q -p polymix-bench --bin verify -- --dataset mini > /dev/null
 
+# Bytecode certification gate: every (kernel, variant) cell the vm
+# backend could measure is lowered at mini and run through the bytecode
+# certifier (bounds proofs + effect-summary cross-check). The audit must
+# certify every artifact AND prove a nonzero number of accesses — an
+# all-skip or all-unproven run would pass vacuously and the elided fast
+# path would never engage.
+echo "== bytecode certification gate =="
+VM_OUT=$(cargo run --release -q -p polymix-bench --bin verify -- \
+    --dataset mini --backend vm)
+echo "$VM_OUT" | grep -Eq 'vm accesses proven: [1-9][0-9]*/' \
+    || { echo "bytecode audit proved no accesses"; exit 1; }
+
 # Fast end-to-end sweep smoke test: one kernel through the parallel
 # executor (2 jobs, tmpdir cache, JSONL log), then the same invocation
 # again, which must resume every job from the log.

@@ -633,10 +633,13 @@ pub fn autotune_kernel(
                 variant: c.opt.name().to_string(),
                 dataset: dataset.to_string(),
                 params: params.clone(),
-                work: JobWork::InProcess(Box::new(move || {
-                    let prog = build_candidate(&kc, &cc, &mc)?;
-                    vm_measure(&kc, &prog, &pc, cc.opt.name(), threads, reps, cc.knobs())
-                })),
+                work: JobWork::InProcess {
+                    unmodeled_knobs: crate::backend::vm_unmodeled_tags(&c.knobs()),
+                    run: Box::new(move || {
+                        let prog = build_candidate(&kc, &cc, &mc)?;
+                        vm_measure(&kc, &prog, &pc, cc.opt.name(), threads, reps, cc.knobs())
+                    }),
+                },
             }
         })
         .collect();

@@ -12,7 +12,7 @@ use crate::sweep::JobWork;
 use polymix_ast::tree::Program;
 use polymix_ir::PolymixError;
 use polymix_polybench::Kernel;
-use polymix_vm::{lower, run_opts, VmOptions};
+use polymix_vm::{certify_and_apply, lower, run_opts, VmOptions};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -107,11 +107,34 @@ impl Backend for VmBackend {
         let kernel = kernel.clone();
         let params = params.to_vec();
         let label = label.to_string();
-        JobWork::InProcess(Box::new(move || {
-            let prog = build()?;
-            vm_measure(&kernel, &prog, &params, &label, threads, reps, knobs)
-        }))
+        JobWork::InProcess {
+            run: Box::new(move || {
+                let prog = build()?;
+                vm_measure(&kernel, &prog, &params, &label, threads, reps, knobs)
+            }),
+            unmodeled_knobs: vm_unmodeled_tags(&knobs),
+        }
     }
+}
+
+/// The subset of this cell's knob settings the bytecode backend cannot
+/// model (see [`polymix_vm::UNMODELED_KNOBS`]): active knobs in this
+/// list change the rustc artifact but not the lowered bytecode, so a vm
+/// screening number for the cell is blind to them. Recorded on the JSONL
+/// row so downstream analysis can tell which screened cells *needed* the
+/// rustc confirm pass.
+pub fn vm_unmodeled_tags(knobs: &EmitKnobs) -> Vec<&'static str> {
+    let mut tags = Vec::new();
+    if knobs.vect && polymix_vm::UNMODELED_KNOBS.contains(&"vect") {
+        tags.push("vect");
+    }
+    if knobs.pipeline_batch.is_some() && polymix_vm::UNMODELED_KNOBS.contains(&"pipeline_batch") {
+        tags.push("pipeline_batch");
+    }
+    if knobs.dyn_grain.is_some() && polymix_vm::UNMODELED_KNOBS.contains(&"dyn_grain") {
+        tags.push("dyn_grain");
+    }
+    tags
 }
 
 /// Measures one transformed program with the bytecode interpreter,
@@ -132,12 +155,50 @@ pub fn vm_measure(
     reps: usize,
     knobs: EmitKnobs,
 ) -> Result<RunResult, PolymixError> {
-    let vm = lower(prog, params)
+    vm_measure_opts(kernel, prog, params, label, threads, reps, knobs, true)
+}
+
+/// [`vm_measure`] with the bounds checks forced back on: the
+/// certification gate still applies (uncertified bytecode is never
+/// measured), but every access keeps its dynamic check. Differential
+/// runs use this so the checks stay the safety net being compared
+/// against; `backend_bench` measures both fidelities side by side.
+pub fn vm_measure_checked(
+    kernel: &Kernel,
+    prog: &Program,
+    params: &[i64],
+    label: &str,
+    threads: usize,
+    reps: usize,
+    knobs: EmitKnobs,
+) -> Result<RunResult, PolymixError> {
+    vm_measure_opts(kernel, prog, params, label, threads, reps, knobs, false)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn vm_measure_opts(
+    kernel: &Kernel,
+    prog: &Program,
+    params: &[i64],
+    label: &str,
+    threads: usize,
+    reps: usize,
+    knobs: EmitKnobs,
+    elide: bool,
+) -> Result<RunResult, PolymixError> {
+    let mut vm = lower(prog, params)
+        .map_err(|e| PolymixError::runner(kernel.name, label, e.to_string()))?;
+    // The measurement gate: bytecode is only measured once the static
+    // certifier has proven every access in-bounds and every parallel
+    // dispatch race-free — and only then may the elided (proof-carrying)
+    // fast path replace the dynamic bounds checks.
+    certify_and_apply(&mut vm)
         .map_err(|e| PolymixError::runner(kernel.name, label, e.to_string()))?;
     let mut arrays = kernel.fresh_arrays(&prog.scop, params);
     let opts = VmOptions {
         threads,
         taskgraph: knobs.taskgraph,
+        elide,
     };
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {

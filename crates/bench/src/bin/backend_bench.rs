@@ -1,9 +1,11 @@
 //! `backend_bench` — the committed evidence for the in-process backend
 //! (`BENCH_backend.json`): per-cell cost of a vm measurement vs a full
 //! rustc round-trip (emit → `rustc -O` → spawn → parse), cross-backend
-//! checksum agreement on every compared cell, and explicit-vec (the
+//! checksum agreement on every compared cell, explicit-vec (the
 //! `vect` post-pass) vs auto-vec GFLOP/s on kernels with a
-//! certified-doall innermost stride-1 loop.
+//! certified-doall innermost stride-1 loop, and checked vs proof-elided
+//! vm throughput (the dynamic-bounds-check tax the bytecode certifier
+//! buys back) with bit-exact checksum agreement required.
 //!
 //! ```text
 //! cargo run --release -p polymix-bench --bin backend_bench -- \
@@ -14,7 +16,7 @@
 //! compile *is* the round-trip the vm backend exists to kill; a warm
 //! cache would measure the wrong thing.
 
-use polymix_bench::backend::vm_measure;
+use polymix_bench::backend::{vm_measure, vm_measure_checked};
 use polymix_bench::report::Cli;
 use polymix_bench::runner::{compile_and_run, emit_source_with, EmitKnobs, Runner};
 use polymix_bench::variants::{build_variant, Variant};
@@ -196,7 +198,121 @@ fn main() {
         first = false;
         vect_cells += 1;
     }
-    let _ = write!(json, "],\"vect_kernels_compared\":{vect_cells}}}");
+    let _ = write!(json, "],\"vect_kernels_compared\":{vect_cells},\"elision\":[");
+
+    // --- checked vs proof-elided vm throughput ----------------------
+    // Same program, same interpreter: the only difference is whether
+    // the dispatch loop re-validates addresses the certifier already
+    // proved in-bounds. Checksums must match bit-for-bit — elision may
+    // never change what executes, only what it re-checks.
+    println!("-- vm backend: checked vs proof-elided dispatch --");
+    let mut first = true;
+    let mut elision_disagreements = 0usize;
+    let mut elision_speedups: Vec<f64> = Vec::new();
+    // vm cells are cheap; min-time over many interleaved rounds keeps
+    // the comparison above the timer granularity at mini.
+    let e_reps = runner.reps.max(2);
+    const ROUNDS: usize = 12;
+    for &(name, variant) in CELLS {
+        let k = kernel_by_name(name).expect("cell kernel");
+        let params = k.dataset(&cli.dataset).params;
+        let prog = match build_variant(&k, variant, &machine) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{name} {variant:?}: build failed, cell skipped: {e}");
+                continue;
+            }
+        };
+        // Interleave the two fidelities round-robin and keep each
+        // side's best round: back-to-back blocks would let machine
+        // drift (noisy-neighbor vCPUs) masquerade as an elision
+        // effect in either direction.
+        let mut checked: Option<polymix_bench::runner::RunResult> = None;
+        let mut elided: Option<polymix_bench::runner::RunResult> = None;
+        let mut cell_err = None;
+        for _ in 0..ROUNDS {
+            match vm_measure_checked(
+                &k,
+                &prog,
+                &params,
+                variant.name(),
+                runner.threads,
+                e_reps,
+                EmitKnobs::default(),
+            ) {
+                Ok(r) => {
+                    if checked.as_ref().is_none_or(|b| r.gflops > b.gflops) {
+                        checked = Some(r);
+                    }
+                }
+                Err(e) => {
+                    cell_err = Some(e);
+                    break;
+                }
+            }
+            match vm_measure(
+                &k,
+                &prog,
+                &params,
+                variant.name(),
+                runner.threads,
+                e_reps,
+                EmitKnobs::default(),
+            ) {
+                Ok(r) => {
+                    if elided.as_ref().is_none_or(|b| r.gflops > b.gflops) {
+                        elided = Some(r);
+                    }
+                }
+                Err(e) => {
+                    cell_err = Some(e);
+                    break;
+                }
+            }
+        }
+        let (checked, elided) = match (checked, elided, cell_err) {
+            (Some(c), Some(e), None) => (c, e),
+            (_, _, err) => {
+                eprintln!(
+                    "{name} {variant:?}: elision cell skipped: {}",
+                    err.map_or_else(|| "no rounds completed".to_string(), |e| e.to_string())
+                );
+                continue;
+            }
+        };
+        let speedup = elided.gflops / checked.gflops.max(1e-12);
+        let agree = elided.checksum == checked.checksum;
+        if !agree {
+            elision_disagreements += 1;
+        }
+        elision_speedups.push(speedup);
+        println!(
+            "  {name:18} {:16} checked {:.4} GF/s  elided {:.4} GF/s  ({speedup:.2}x)  agree {agree}",
+            variant.name(),
+            checked.gflops,
+            elided.gflops
+        );
+        let _ = write!(
+            json,
+            "{}{{\"kernel\":\"{name}\",\"variant\":\"{}\",\"checked_gflops\":{:.6},\
+             \"elided_gflops\":{:.6},\"speedup\":{speedup:.4},\"agree\":{agree}}}",
+            if first { "" } else { "," },
+            variant.name(),
+            checked.gflops,
+            elided.gflops,
+        );
+        first = false;
+    }
+    let mean_speedup = if elision_speedups.is_empty() {
+        0.0
+    } else {
+        elision_speedups.iter().sum::<f64>() / elision_speedups.len() as f64
+    };
+    let _ = write!(
+        json,
+        "],\"elision_mean_speedup\":{mean_speedup:.4},\
+         \"elision_checksum_disagreements\":{elision_disagreements}}}"
+    );
 
     let _ = std::fs::remove_dir_all(&scratch);
     if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
@@ -205,9 +321,10 @@ fn main() {
     }
     println!(
         "wrote {out}: min cost ratio {min_ratio:.0}x, {disagreements} checksum disagreement(s), \
-         {vect_cells} vect comparison(s)"
+         {vect_cells} vect comparison(s), elision mean speedup {mean_speedup:.2}x \
+         ({elision_disagreements} elision disagreement(s))"
     );
-    if disagreements > 0 {
+    if disagreements > 0 || elision_disagreements > 0 {
         std::process::exit(1);
     }
 }

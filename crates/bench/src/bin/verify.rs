@@ -5,7 +5,7 @@
 //! sweeps measure.
 //!
 //! ```text
-//! verify [--dataset D] [--strict] [--variant NAME] [--vect] [kernel ... | file.rs ...]
+//! verify [--dataset D] [--strict] [--variant NAME] [--vect] [--backend vm] [kernel ... | file.rs ...]
 //! ```
 //!
 //! * positional kernel names restrict the sweep (default: all 22);
@@ -17,13 +17,20 @@
 //!   post-pass enabled, so the lint audits real `// vect region`
 //!   emissions; the total region count is printed at the end (a smoke
 //!   run can assert it is nonzero);
+//! * `--backend vm` audits the *lowered bytecode* instead of the
+//!   emitted source: each cell is lowered at the dataset's parameters
+//!   and run through the bytecode certifier (bounds proofs plus
+//!   effect-summary cross-check against the AST's parallel census);
+//!   the total proven-access count is printed at the end — zero means
+//!   the elided measurement fast path would never engage, so a smoke
+//!   run should assert it is nonzero;
 //! * exit status is nonzero iff any audited artifact fails.
 
 use polymix_bench::runner::{emit_source, emit_source_with, EmitKnobs};
 use polymix_bench::variants::{build_variant, Variant};
 use polymix_dl::Machine;
 use polymix_polybench::all_kernels;
-use polymix_verify::{verify_program, verify_source, Certificate};
+use polymix_verify::{certify_lowering_from, verify_program, verify_source, Certificate};
 
 fn audit(label: &str, cert: &Certificate, strict: bool, failures: &mut usize) {
     let errors = cert.errors().count();
@@ -65,6 +72,12 @@ fn main() {
     let strict = args.iter().any(|a| a == "--strict");
     let vect = args.iter().any(|a| a == "--vect");
     let variant_filter = grab("--variant");
+    let backend = grab("--backend").unwrap_or_else(|| "rustc".into());
+    if backend != "rustc" && backend != "vm" {
+        eprintln!("verify: unknown --backend {backend} (expected rustc or vm)");
+        std::process::exit(2);
+    }
+    let vm_audit = backend == "vm";
     let mut positional: Vec<&String> = Vec::new();
     let mut skip = false;
     for (i, a) in args.iter().enumerate() {
@@ -72,7 +85,7 @@ fn main() {
             skip = false;
             continue;
         }
-        if a == "--dataset" || a == "--variant" {
+        if a == "--dataset" || a == "--variant" || a == "--backend" {
             skip = true;
             continue;
         }
@@ -85,6 +98,8 @@ fn main() {
 
     let mut failures = 0usize;
     let mut vect_regions = 0usize;
+    let mut vm_proven = 0usize;
+    let mut vm_total = 0usize;
 
     // Cached kernel sources: lint-only audit.
     let (files, names): (Vec<&String>, Vec<&String>) =
@@ -133,6 +148,31 @@ fn main() {
                     continue;
                 }
             };
+            if vm_audit {
+                // Bytecode audit: lower at the dataset's parameters and
+                // certify the artifact the vm backend would measure.
+                // A cell that refuses to lower is skipped, not failed —
+                // the vm backend cannot measure it either, so there is
+                // no uncertified artifact to worry about.
+                let vm = match polymix_vm::lower(&prog, &params) {
+                    Ok(vm) => vm,
+                    Err(e) => {
+                        println!("skip  {label:<40} does not lower: {e}");
+                        continue;
+                    }
+                };
+                let cert = polymix_vm::certify(&vm);
+                let (proven, total) = cert.counts();
+                vm_proven += proven;
+                vm_total += total;
+                audit(
+                    &format!("{label} (bytecode)"),
+                    &certify_lowering_from(k.name, &prog, &vm, &cert),
+                    strict,
+                    &mut failures,
+                );
+                continue;
+            }
             // Certificates 1-2: schedule legality and annotation safety
             // re-derived from the final program.
             audit(&label, &verify_program(&prog), strict, &mut failures);
@@ -163,6 +203,9 @@ fn main() {
     }
     if vect {
         println!("vect regions audited: {vect_regions}");
+    }
+    if vm_audit {
+        println!("vm accesses proven: {vm_proven}/{vm_total}");
     }
     if failures > 0 {
         println!("verify: {failures} artifact(s) failed");

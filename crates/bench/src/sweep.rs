@@ -51,8 +51,17 @@ pub enum JobWork {
     /// is never perturbed by concurrent measured runs; there is no
     /// retry (nothing transient to retry) and no sequential
     /// degradation (a poisoned vm run is a real, deterministic result).
-    #[allow(clippy::type_complexity)]
-    InProcess(Box<dyn FnOnce() -> Result<RunResult, PolymixError> + Send>),
+    InProcess {
+        /// The measurement itself.
+        #[allow(clippy::type_complexity)]
+        run: Box<dyn FnOnce() -> Result<RunResult, PolymixError> + Send>,
+        /// Knobs active on this cell that the bytecode backend cannot
+        /// model (see [`polymix_vm::UNMODELED_KNOBS`]): the vm number
+        /// is blind to them, so a screened cell carrying any of these
+        /// tags *needs* the rustc confirm pass before its knob setting
+        /// can be trusted. Recorded on the JSONL row.
+        unmodeled_knobs: Vec<&'static str>,
+    },
 }
 
 impl JobWork {
@@ -60,7 +69,7 @@ impl JobWork {
     pub fn backend(&self) -> &'static str {
         match self {
             JobWork::Rustc { .. } => "rustc",
-            JobWork::InProcess(_) => "vm",
+            JobWork::InProcess { .. } => "vm",
         }
     }
 }
@@ -110,6 +119,9 @@ pub struct JobOutcome {
     pub degraded: bool,
     /// Which backend produced `result` (`"rustc"` or `"vm"`).
     pub backend: &'static str,
+    /// Knob tags the measuring backend could not model (empty for
+    /// rustc cells and for resumed cells; see [`JobWork::InProcess`]).
+    pub unmodeled_knobs: Vec<&'static str>,
 }
 
 /// Execution policy for [`run_sweep`].
@@ -254,6 +266,7 @@ pub fn run_sweep(jobs: Vec<SweepJob>, runner: &Runner, cfg: &SweepConfig) -> Vec
                         resumed: true,
                         degraded: *degraded,
                         backend,
+                        unmodeled_knobs: Vec::new(),
                     }
                 } else {
                     let done = execute_job(job, runner, cfg, &measure);
@@ -290,6 +303,7 @@ fn execute_job(job: SweepJob, runner: &Runner, cfg: &SweepConfig, measure: &Sema
     let backend = work.backend();
     let label = format!("{kernel}_{variant}");
     let mut degraded = false;
+    let mut unmodeled_knobs = Vec::new();
     let result = match work {
         JobWork::Rustc { source, seq_source } => {
             let mut result = run_one(source, &label, &kernel, &variant, runner, cfg, measure);
@@ -314,12 +328,13 @@ fn execute_job(job: SweepJob, runner: &Runner, cfg: &SweepConfig, measure: &Sema
             }
             result
         }
-        JobWork::InProcess(f) => {
+        JobWork::InProcess { run, unmodeled_knobs: tags } => {
             // In-process measurement still serializes behind the
             // measurement semaphore; a panic inside the closure poisons
             // this cell only, never the sweep.
+            unmodeled_knobs = tags;
             measure.acquire();
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run))
                 .unwrap_or_else(|_| {
                     Err(PolymixError::runner(
                         &kernel,
@@ -341,6 +356,7 @@ fn execute_job(job: SweepJob, runner: &Runner, cfg: &SweepConfig, measure: &Sema
         resumed: false,
         degraded,
         backend,
+        unmodeled_knobs,
     }
 }
 
@@ -454,9 +470,16 @@ fn record_line(o: &JobOutcome) -> String {
     // Degradation only ever replaces a failure with a sequential
     // *measurement*, so the flag appears on `ok` records alone.
     let degraded = if o.degraded {
-        ",\"degraded\":\"sequential\""
+        ",\"degraded\":\"sequential\"".to_string()
     } else {
-        ""
+        String::new()
+    };
+    // The flat JSONL parser has no string arrays, so the tag list is
+    // one comma-joined string field, present only when non-empty.
+    let degraded = if o.unmodeled_knobs.is_empty() {
+        degraded
+    } else {
+        format!("{degraded},\"unmodeled_knobs\":\"{}\"", o.unmodeled_knobs.join(","))
     };
     match &o.result {
         Ok(r) => format!(
@@ -792,6 +815,7 @@ mod tests {
             resumed: false,
             degraded: false,
             backend: "rustc",
+            unmodeled_knobs: Vec::new(),
         }
     }
 

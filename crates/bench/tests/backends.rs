@@ -8,7 +8,7 @@
 //! execute to agree with the sequential reference — and, on a sample
 //! kernel, with the actual emit → `rustc` → run pipeline.
 
-use polymix_bench::backend::vm_measure;
+use polymix_bench::backend::{vm_measure, vm_measure_checked};
 use polymix_bench::runner::{compile_and_run, emit_source_with, EmitKnobs};
 use polymix_bench::variants::{build_variant, variant_list, Variant};
 use polymix_dl::Machine;
@@ -74,7 +74,11 @@ fn vm_agrees_with_sequential_reference_across_the_suite() {
                 Ok(p) => p,
                 Err(_) => continue, // variant not legal for this kernel
             };
-            let r = match vm_measure(&k, &prog, &params, v.name(), 1, 1, EmitKnobs::default()) {
+            // Checked fidelity is the differential baseline: every
+            // dynamic bounds check stays on, so the vm itself is the
+            // safety net being compared against.
+            let r = match vm_measure_checked(&k, &prog, &params, v.name(), 1, 1, EmitKnobs::default())
+            {
                 Ok(r) => r,
                 Err(e) => {
                     // Only lowering gaps may be skipped; a runtime
@@ -92,6 +96,17 @@ fn vm_agrees_with_sequential_reference_across_the_suite() {
                 "{name} {v:?}: vm checksum {} deviates from reference {}",
                 r.checksum,
                 want
+            );
+            // The proof-elided fast path must be bit-identical: same
+            // instructions, same order — elision only skips checks the
+            // certifier discharged statically.
+            let elided = vm_measure(&k, &prog, &params, v.name(), 1, 1, EmitKnobs::default())
+                .expect("a cell that ran checked must also run elided");
+            assert!(
+                elided.checksum == r.checksum,
+                "{name} {v:?}: elided checksum {} != checked {}",
+                elided.checksum,
+                r.checksum
             );
             compared += 1;
             kernel_cells += 1;

@@ -70,7 +70,7 @@ fn set_seq(
 ) {
     match &mut j.work {
         JobWork::Rustc { seq_source, .. } => *seq_source = Some(f),
-        JobWork::InProcess(_) => panic!("in-process jobs have no sequential fallback"),
+        JobWork::InProcess { .. } => panic!("in-process jobs have no sequential fallback"),
     }
 }
 
@@ -83,13 +83,16 @@ fn vm_job(id: &str, checksum: f64) -> SweepJob {
         variant: "test".to_string(),
         dataset: "mini".to_string(),
         params: vec![4],
-        work: JobWork::InProcess(Box::new(move || {
-            Ok(RunResult {
-                checksum,
-                time_s: 0.001,
-                gflops: 1.0,
-            })
-        })),
+        work: JobWork::InProcess {
+            run: Box::new(move || {
+                Ok(RunResult {
+                    checksum,
+                    time_s: 0.001,
+                    gflops: 1.0,
+                })
+            }),
+            unmodeled_knobs: Vec::new(),
+        },
     }
 }
 
@@ -678,7 +681,10 @@ fn resume_never_crosses_backends_for_the_same_id() {
         ..job("shared", String::new())
     };
     let vm_again = SweepJob {
-        work: JobWork::InProcess(Box::new(|| panic!("resume must not re-execute"))),
+        work: JobWork::InProcess {
+            run: Box::new(|| panic!("resume must not re-execute")),
+            unmodeled_knobs: Vec::new(),
+        },
         ..job("shared", String::new())
     };
     let third = run_sweep(vec![rustc_again, vm_again], &runner, &cfg);

@@ -19,10 +19,15 @@ use crate::poly::{CmpOp, Constraint};
 /// Eliminates dimension `d` from the system, returning rows that no longer
 /// mention it. The dimension count (row width) is preserved.
 pub fn eliminate_dim(constraints: &[Constraint], d: usize) -> Vec<Constraint> {
-    // Phase 1: equality substitution.
+    // Phase 1: equality substitution. Among the equalities mentioning
+    // `d`, prefer the one with the smallest |coefficient| — a unit
+    // coefficient makes the substitution exact over the integers.
     if let Some(eq_idx) = constraints
         .iter()
-        .position(|c| c.op == CmpOp::Eq && c.mentions(d))
+        .enumerate()
+        .filter(|(_, c)| c.op == CmpOp::Eq && c.mentions(d))
+        .min_by_key(|(_, c)| c.coeff(d).abs())
+        .map(|(i, _)| i)
     {
         let eq = &constraints[eq_idx];
         let a = eq.coeff(d); // a * x_d + f == 0

@@ -292,23 +292,366 @@ impl Polyhedron {
 
     /// Rational (hence integer-conservative) emptiness test: eliminates
     /// every dimension and checks whether a contradictory constant
-    /// constraint remains. Thanks to gcd tightening and exact equality
-    /// substitution, the test is exact whenever every elimination step has
-    /// a unit coefficient on one side — true for all sets built from
-    /// PolyBench-style programs.
+    /// constraint remains. Thanks to gcd tightening, exact equality
+    /// substitution, and stratified-equality splitting (which recovers
+    /// the digit-wise structure of linearized array addresses such as
+    /// `N·i + j`), the test is exact on all sets built from
+    /// PolyBench-style programs, including two-copy conflict systems
+    /// over linearized addresses.
     pub fn is_empty(&self) -> bool {
         // Fast path: an explicitly false constraint.
         if self.has_false_constant() {
             return true;
         }
         let mut p = self.clone();
-        for d in 0..self.n_dims {
+        p.split_stratified_equalities();
+        let dims: Vec<usize> = (0..self.n_dims).collect();
+        p = p.eliminate_many(&dims);
+        p.has_false_constant()
+    }
+
+    /// Eliminates every dimension in `dims`, returning the shadow over
+    /// the remaining ones. Same greedy order, dominated-row pruning and
+    /// interval-hull reduction as [`Polyhedron::is_empty`] (hull rows
+    /// and hull-implied drops are equivalence-preserving, so the shadow
+    /// is unchanged by them). The result is the rational shadow — a
+    /// sound over-approximation of the integer projection. When row
+    /// growth exceeds the internal cap, remaining dimensions are
+    /// dropped *unconstrained* (still a sound over-approximation).
+    pub fn eliminate_many(&self, dims: &[usize]) -> Polyhedron {
+        let mut p = self.clone();
+        // Interval-hull fast path: propagation alone often refutes the
+        // system (or proves most rows redundant) long before
+        // Fourier–Motzkin would, and on densely coupled systems — e.g.
+        // skewed wavefront remappings — FM row growth is explosive
+        // without this pre-pass.
+        if p.hull_reduce() {
+            return Polyhedron::contradiction(self.n_dims);
+        }
+        let mut remaining: Vec<usize> = dims.to_vec();
+        while !remaining.is_empty() {
+            // Greedy elimination order: substitution steps (a dimension
+            // pinned by an equality) are free, then the dimension whose
+            // lower×upper product grows the system least. Any order is
+            // sound for Fourier–Motzkin; a bad fixed order can square
+            // the constraint count at every step on the wide two-copy
+            // systems the certifier builds.
+            let (pos, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i, p.elimination_cost(d)))
+                .min_by_key(|&(_, cost)| cost)
+                .expect("non-empty remaining");
+            let d = remaining.swap_remove(pos);
             p = p.eliminate(d);
+            p.prune_dominated();
             if p.has_false_constant() {
-                return true;
+                return Polyhedron::contradiction(self.n_dims);
+            }
+            // Re-tighten between steps: combined rows often become
+            // hull-refutable or hull-redundant long before further
+            // elimination would expose the contradiction.
+            if p.hull_reduce() {
+                return Polyhedron::contradiction(self.n_dims);
+            }
+            if p.constraints.len() > 4000 {
+                // Row growth is out of hand; drop the remaining
+                // dimensions unconstrained. Sound: the result is a
+                // (wider) over-approximation of the shadow, and for
+                // emptiness tests it reads as "not proven empty".
+                p.constraints
+                    .retain(|c| remaining.iter().all(|&d| !c.mentions(d)));
+                return p;
             }
         }
-        p.has_false_constant()
+        p
+    }
+
+    /// The canonical empty polyhedron: a single explicitly false row.
+    fn contradiction(n_dims: usize) -> Polyhedron {
+        let mut row = vec![0i64; n_dims + 1];
+        row[n_dims] = -1;
+        Polyhedron {
+            n_dims,
+            constraints: vec![Constraint::ge(row)],
+        }
+    }
+
+    /// How much eliminating dimension `d` can grow the system: 0 for a
+    /// dimension handled by equality substitution or absent entirely,
+    /// otherwise the number of lower×upper combinations minus the rows
+    /// removed.
+    fn elimination_cost(&self, d: usize) -> i64 {
+        let mut lowers = 0i64;
+        let mut uppers = 0i64;
+        for c in &self.constraints {
+            let a = c.coeff(d);
+            if a == 0 {
+                continue;
+            }
+            if c.op == CmpOp::Eq {
+                return 0;
+            }
+            if a > 0 {
+                lowers += 1;
+            } else {
+                uppers += 1;
+            }
+        }
+        lowers * uppers - lowers - uppers
+    }
+
+    /// Per-dimension interval hull by bounds propagation: for each row
+    /// and each variable it mentions, solve the row for that variable
+    /// using the current intervals of the others, and tighten. Iterates
+    /// to a fixpoint (with a cap, since strict convergence can be slow
+    /// on nearly-redundant chains). Sound — every returned interval
+    /// contains the true projection — but not exact.
+    fn interval_hull(&self) -> Vec<(Option<i64>, Option<i64>)> {
+        let n = self.n_dims;
+        let mut lo: Vec<Option<i64>> = vec![None; n];
+        let mut hi: Vec<Option<i64>> = vec![None; n];
+        // One directed row per inequality; equalities contribute both
+        // directions.
+        let mut rows: Vec<Vec<i64>> = Vec::new();
+        for c in &self.constraints {
+            rows.push(c.row.clone());
+            if c.op == CmpOp::Eq {
+                rows.push(c.row.iter().map(|&x| x.saturating_neg()).collect());
+            }
+        }
+        for _ in 0..(2 * n + 4) {
+            let mut changed = false;
+            for row in &rows {
+                // row: Σ a_v·x_v + k >= 0, so for each v with a_v != 0:
+                //   a_v·x_v >= -k - Σ_{u≠v} a_u·x_u >= -k - Σ_{u≠v} max(a_u·x_u).
+                for v in 0..n {
+                    let a = row[v];
+                    if a == 0 {
+                        continue;
+                    }
+                    let mut rhs: i64 = row[n].saturating_neg();
+                    let mut bounded = true;
+                    for u in 0..n {
+                        if u == v || row[u] == 0 {
+                            continue;
+                        }
+                        // Maximum of a_u·x_u over the current interval.
+                        let m = if row[u] > 0 { hi[u] } else { lo[u] };
+                        match m {
+                            Some(x) => rhs = rhs.saturating_sub(row[u].saturating_mul(x)),
+                            None => {
+                                bounded = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !bounded {
+                        continue;
+                    }
+                    // Saturated magnitudes carry no information (and would
+                    // cascade overflows); treat them as unbounded.
+                    const HUGE: i64 = i64::MAX / 4;
+                    if rhs.abs() >= HUGE {
+                        continue;
+                    }
+                    if a > 0 {
+                        let b = rhs.div_euclid(a) + i64::from(rhs.rem_euclid(a) != 0);
+                        if lo[v].is_none_or(|cur| b > cur) {
+                            lo[v] = Some(b);
+                            changed = true;
+                        }
+                    } else {
+                        let b = rhs.div_euclid(a);
+                        if hi[v].is_none_or(|cur| b < cur) {
+                            hi[v] = Some(b);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        lo.into_iter().zip(hi).collect()
+    }
+
+    /// Interval-hull reduction. Returns `true` when propagation alone
+    /// refutes the system (a row infeasible over the hull, or an empty
+    /// per-dimension interval). Otherwise materializes the hull as
+    /// explicit interval rows and drops every original row the hull
+    /// implies — an equivalence-preserving rewrite (the hull rows are
+    /// consequences of the full system, and a row satisfied everywhere
+    /// on the hull adds nothing once the hull is explicit) that
+    /// typically collapses densely coupled systems to a small core
+    /// before Fourier–Motzkin runs.
+    fn hull_reduce(&mut self) -> bool {
+        let n = self.n_dims;
+        let hull = self.interval_hull();
+        for &(lo, hi) in &hull {
+            if let (Some(lo), Some(hi)) = (lo, hi) {
+                if lo > hi {
+                    return true;
+                }
+            }
+        }
+        // Row extremes over the hull: min (for redundancy) and max (for
+        // refutation); `None` when some mentioned dimension is unbounded
+        // on the relevant side.
+        let extreme = |row: &[i64], want_max: bool| -> Option<i64> {
+            let mut acc = row[n];
+            for v in 0..n {
+                let a = row[v];
+                if a == 0 {
+                    continue;
+                }
+                let pick = if (a > 0) == want_max { hull[v].1 } else { hull[v].0 };
+                acc = acc.saturating_add(a.saturating_mul(pick?));
+            }
+            Some(acc)
+        };
+        let mut kept = Vec::with_capacity(self.constraints.len());
+        for c in std::mem::take(&mut self.constraints) {
+            match c.op {
+                CmpOp::Ge => {
+                    if extreme(&c.row, true).is_some_and(|mx| mx < 0) {
+                        return true;
+                    }
+                    if extreme(&c.row, false).is_some_and(|mn| mn >= 0) {
+                        continue; // implied by the hull rows added below
+                    }
+                }
+                CmpOp::Eq => {
+                    if extreme(&c.row, true).is_some_and(|mx| mx < 0)
+                        || extreme(&c.row, false).is_some_and(|mn| mn > 0)
+                    {
+                        return true;
+                    }
+                }
+            }
+            kept.push(c);
+        }
+        self.constraints = kept;
+        for (v, &(lo, hi)) in hull.iter().enumerate() {
+            if let Some(lo) = lo {
+                let mut row = vec![0i64; n + 1];
+                row[v] = 1;
+                row[n] = -lo;
+                self.add(Constraint::ge(row));
+            }
+            if let Some(hi) = hi {
+                let mut row = vec![0i64; n + 1];
+                row[v] = -1;
+                row[n] = hi;
+                self.add(Constraint::ge(row));
+            }
+        }
+        false
+    }
+
+    /// Integer tightening of mixed-scale equalities (the Omega test's
+    /// equality stratification): a row `m·A(x) + L(x) == 0` whose
+    /// low-order part `L` (the terms not divisible by the dominant
+    /// coefficient `m`, plus the constant) provably lies in `(-m, m)`
+    /// forces `A(x) == 0` and `L(x) == 0` over the integers — the
+    /// rational relaxation keeps fractional solutions that mix the
+    /// strata. This is exactly the structure of linearized array
+    /// addresses (`N·i + j` with `0 <= j < N`), so without the split a
+    /// two-copy conflict system over such addresses is rationally
+    /// feasible even when no integer conflict exists. Applied to a
+    /// fixpoint so multi-level linearizations (`N²·i + N·j + k`) peel
+    /// one stratum per round.
+    fn split_stratified_equalities(&mut self) {
+        let n = self.n_dims;
+        for _ in 0..8 {
+            let hull = self.interval_hull();
+            let mut extra: Vec<Constraint> = Vec::new();
+            let mut drop: Vec<usize> = Vec::new();
+            for (i, c) in self.constraints.iter().enumerate() {
+                if c.op != CmpOp::Eq {
+                    continue;
+                }
+                let m = c.row[..n].iter().map(|a| a.abs()).max().unwrap_or(0);
+                if m <= 1 {
+                    continue;
+                }
+                let low: Vec<usize> = (0..n)
+                    .filter(|&v| c.row[v] != 0 && c.row[v] % m != 0)
+                    .collect();
+                if low.is_empty() {
+                    continue;
+                }
+                // Bound L = Σ_low a_v·x_v + k over the interval hull.
+                let (mut l_lo, mut l_hi) = (c.row[n], c.row[n]);
+                let mut bounded = true;
+                for &v in &low {
+                    let a = c.row[v];
+                    let (vlo, vhi) = hull[v];
+                    let (Some(vlo), Some(vhi)) = (vlo, vhi) else {
+                        bounded = false;
+                        break;
+                    };
+                    let (t1, t2) = (a.saturating_mul(vlo), a.saturating_mul(vhi));
+                    l_lo = l_lo.saturating_add(t1.min(t2));
+                    l_hi = l_hi.saturating_add(t1.max(t2));
+                }
+                if !bounded || l_lo <= -m || l_hi >= m {
+                    continue;
+                }
+                // Split: the high-order stratum (divided by m) and the
+                // low-order remainder must each vanish.
+                let mut high_row = vec![0i64; n + 1];
+                let mut low_row = vec![0i64; n + 1];
+                for v in 0..n {
+                    if c.row[v] % m == 0 {
+                        high_row[v] = c.row[v] / m;
+                    } else {
+                        low_row[v] = c.row[v];
+                    }
+                }
+                low_row[n] = c.row[n];
+                extra.push(Constraint::eq(high_row));
+                extra.push(Constraint::eq(low_row));
+                drop.push(i);
+            }
+            if extra.is_empty() {
+                return;
+            }
+            for &i in drop.iter().rev() {
+                self.constraints.remove(i);
+            }
+            for c in extra {
+                self.add(c);
+            }
+        }
+    }
+
+    /// Drops inequality rows dominated by another row with identical
+    /// coefficients and a constant at least as tight. Rows are already
+    /// gcd-normalized by [`Polyhedron::add`], so syntactic comparison of
+    /// the coefficient vector is enough. Keeps Fourier–Motzkin blowup in
+    /// check between eliminations.
+    fn prune_dominated(&mut self) {
+        use std::collections::HashMap;
+        let n = self.n_dims;
+        let mut best: HashMap<Vec<i64>, i64> = HashMap::new();
+        for c in &self.constraints {
+            if c.op != CmpOp::Ge {
+                continue;
+            }
+            let e = best.entry(c.row[..n].to_vec()).or_insert(c.constant());
+            // `coeffs·x + k >= 0`: the smaller constant is the tighter row.
+            *e = (*e).min(c.constant());
+        }
+        let mut kept = Vec::with_capacity(self.constraints.len());
+        for c in std::mem::take(&mut self.constraints) {
+            if c.op == CmpOp::Ge && best.get(&c.row[..n]) != Some(&c.constant()) {
+                continue;
+            }
+            kept.push(c);
+        }
+        self.constraints = kept;
     }
 
     fn has_false_constant(&self) -> bool {

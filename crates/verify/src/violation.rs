@@ -35,6 +35,13 @@ pub enum ViolationKind {
     /// The emitted kernel source breaks the progress/poison protocol
     /// (missing await, raw store on progress, unguarded worker, ...).
     KernelLint,
+    /// A bytecode address is not statically in-bounds over its compiled
+    /// loop polyhedron (found by `polymix_vm::certify` during lowering
+    /// translation validation).
+    VmBounds,
+    /// The lowered bytecode disagrees with the transformed AST it was
+    /// lowered from (annotation census mismatch, structural invalidity).
+    LoweringMismatch,
     /// The program shape is outside the certifier's model; nothing was
     /// proved for the affected dependence. Not an error by itself.
     Unsupported,
@@ -52,6 +59,8 @@ impl ViolationKind {
             ViolationKind::WavefrontUnsafe => "wavefront-unsafe",
             ViolationKind::TaskGraphUncovered => "taskgraph-uncovered",
             ViolationKind::KernelLint => "kernel-lint",
+            ViolationKind::VmBounds => "vm-bounds",
+            ViolationKind::LoweringMismatch => "lowering-mismatch",
             ViolationKind::Unsupported => "unsupported",
         }
     }

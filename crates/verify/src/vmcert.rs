@@ -1,0 +1,135 @@
+//! Translation validation of the bytecode lowering: the AST certifier
+//! proves the *transformed program* legal, `polymix_vm::certify` proves
+//! the *lowered bytecode* safe, and this module checks that the two
+//! artifacts tell the same story — so a lowering bug (a skewed address,
+//! a widened bound, a mislabeled or dropped parallel annotation) is a
+//! certification failure before a single cell is measured.
+//!
+//! The bytecode side is re-derived entirely from [`VmProgram`]; nothing
+//! here trusts the AST certificate, and nothing in `polymix_vm::certify`
+//! trusts the AST. Agreement is the evidence that lowering preserved
+//! meaning.
+
+use crate::violation::{Certificate, Violation, ViolationKind};
+use polymix_ast::tree::{Node, Par, Program};
+use polymix_vm::{CNode, VmCertificate, VmProgram, VmViolationKind};
+
+/// Parallel-annotation census of a loop tree: how many loops carry each
+/// dispatchable annotation. Lowering must preserve this multiset — it
+/// folds parameters and pre-composes addresses, but never invents or
+/// drops a parallel loop.
+fn ast_census(n: &Node, counts: &mut [usize; 4]) {
+    match n {
+        Node::Seq(xs) => xs.iter().for_each(|x| ast_census(x, counts)),
+        Node::Guard(_, b) => ast_census(b, counts),
+        Node::Stmt(_) => {}
+        Node::Loop(l) => {
+            match l.par {
+                Par::Doall => counts[0] += 1,
+                Par::Reduction => counts[1] += 1,
+                Par::Pipeline => counts[2] += 1,
+                Par::Wavefront => counts[3] += 1,
+                Par::Seq => {}
+            }
+            ast_census(&l.body, counts);
+        }
+    }
+}
+
+fn vm_census(n: &CNode, counts: &mut [usize; 4]) {
+    match n {
+        CNode::Seq(xs) => xs.iter().for_each(|x| vm_census(x, counts)),
+        CNode::Guard(_, b) => vm_census(b, counts),
+        CNode::Stmt(_) => {}
+        CNode::Loop(l) => {
+            match l.par {
+                Par::Doall => counts[0] += 1,
+                Par::Reduction => counts[1] += 1,
+                Par::Pipeline => counts[2] += 1,
+                Par::Wavefront => counts[3] += 1,
+                Par::Seq => {}
+            }
+            vm_census(&l.body, counts);
+        }
+    }
+}
+
+fn lift(kind: VmViolationKind) -> ViolationKind {
+    match kind {
+        VmViolationKind::OutOfBounds | VmViolationKind::BoundsUnproven => ViolationKind::VmBounds,
+        VmViolationKind::DoallCarriesDep => ViolationKind::DoallCarriesDep,
+        VmViolationKind::ReductionUnsafe => ViolationKind::ReductionUnsafe,
+        VmViolationKind::GridUncovered => ViolationKind::PipelineConeUncovered,
+        VmViolationKind::Malformed => ViolationKind::LoweringMismatch,
+        VmViolationKind::Unsupported => ViolationKind::Unsupported,
+    }
+}
+
+/// Certifies that `vm` is a faithful, safe lowering of `prog`:
+///
+/// 1. every bytecode address is statically in-bounds and every
+///    parallel-dispatchable loop's effect summary is race-free
+///    (re-derived from the bytecode by `polymix_vm::certify`);
+/// 2. the parallel-annotation census of the bytecode tree matches the
+///    AST's (lowering neither invents nor drops dispatchable loops).
+///
+/// `kernel` labels the certificate; `deps_checked` counts bytecode
+/// accesses and `pairs_checked` the cross-iteration conflict queries.
+pub fn certify_lowering(kernel: &str, prog: &Program, vm: &VmProgram) -> Certificate {
+    certify_lowering_from(kernel, prog, vm, &polymix_vm::certify(vm))
+}
+
+/// [`certify_lowering`] over an already-computed bytecode certificate,
+/// for callers that also want the per-access proof detail (e.g. the
+/// `verify --backend vm` audit, which reports proven-access counts).
+pub fn certify_lowering_from(
+    kernel: &str,
+    prog: &Program,
+    vm: &VmProgram,
+    bytecode: &VmCertificate,
+) -> Certificate {
+    let (_, total) = bytecode.counts();
+    let mut violations: Vec<Violation> = bytecode
+        .violations
+        .iter()
+        .map(|v| Violation {
+            kind: lift(v.kind),
+            src: v.stmt.map(|s| format!("vm stmt {s}")).unwrap_or_default(),
+            dst: String::new(),
+            vector: Vec::new(),
+            level: 0,
+            loop_name: String::new(),
+            detail: format!("bytecode: {}", v.detail),
+            fix: "fix the lowering (or the transformation that produced this tree); \
+                  the bytecode is what measurement cells execute"
+                .to_string(),
+        })
+        .collect();
+
+    let mut ast = [0usize; 4];
+    ast_census(&prog.body, &mut ast);
+    let mut lowered = [0usize; 4];
+    vm_census(&vm.body, &mut lowered);
+    if ast != lowered {
+        violations.push(Violation {
+            kind: ViolationKind::LoweringMismatch,
+            src: String::new(),
+            dst: String::new(),
+            vector: Vec::new(),
+            level: 0,
+            loop_name: String::new(),
+            detail: format!(
+                "parallel-annotation census disagrees: AST \
+                 doall/reduction/pipeline/wavefront = {ast:?}, bytecode = {lowered:?}"
+            ),
+            fix: "lowering must carry every parallel annotation through unchanged".to_string(),
+        });
+    }
+
+    Certificate {
+        kernel: kernel.to_string(),
+        deps_checked: total,
+        pairs_checked: bytecode.pairs_checked,
+        violations,
+    }
+}

@@ -1,0 +1,855 @@
+//! Static certification of lowered bytecode: abstract interpretation of
+//! every [`AffExpr`] address over the exact polyhedron of its enclosing
+//! compiled loop nest, plus an independent re-derivation of the
+//! parallel-dispatch safety conditions from the bytecode itself.
+//!
+//! This is translation validation of [`crate::lower`]: the AST-level
+//! certifier (`polymix-verify`) proves the *transformed program* legal,
+//! but nothing checked the *lowered* artifact the measurement hot path
+//! actually executes — a lowering bug that skews a pre-composed address
+//! or widens a compiled bound would previously surface only as a
+//! dynamic-bounds-check poison (or worse, as a silently wrong parallel
+//! schedule). The certifier re-derives everything it claims from
+//! [`VmProgram`] alone:
+//!
+//! 1. **Bounds.** Each loop contributes exact rows to a context
+//!    polyhedron (`v >= ceil(e/d)` ⟺ `d·v − e ≥ 0` for integer `v` and
+//!    `d > 0`; guards contribute `g ≥ 0`). An access with address `a`
+//!    into an array of `len` cells is proven in-bounds when both
+//!    `ctx ∧ a ≤ −1` and `ctx ∧ a ≥ len` are empty by Fourier–Motzkin
+//!    elimination. Loops with `step > 1` are over-approximated by their
+//!    bound interval, which is sound for in-bounds proofs (the executed
+//!    lattice is a subset of the interval).
+//! 2. **Effects.** For every loop the executor would dispatch in
+//!    parallel, cross-iteration conflicts are re-derived from the
+//!    bytecode footprints: two distinct iterations (their distance on
+//!    the loop's step lattice encoded exactly through an existential
+//!    multiplier) must not touch one address with at least one write —
+//!    modulo the privatized accumulator of a reduction loop, whose
+//!    additive self-update shape is re-checked instruction by
+//!    instruction against the loop's recorded `reduction_array`.
+//! 3. **Elision.** A passing certificate can be [`VmCertificate::apply`]ed
+//!    back onto the program, flipping the per-access `proven` flags that
+//!    let [`crate::run_opts`] skip dynamic bounds checks when
+//!    [`crate::VmOptions::elide`] is set.
+//!
+//! Everything the analysis cannot prove stays a structured violation —
+//! the certifier never guesses, and an unproven access is never elided.
+
+use crate::lower::{AffExpr, CBound, CLoop, CNode, CompiledStmt, Instr, VmProgram};
+use crate::VmError;
+use polymix_ir::expr::BinOp;
+use polymix_math::poly::{Constraint, Polyhedron};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What a [`VmViolation`] breaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VmViolationKind {
+    /// An address provably escapes its array inside the executed
+    /// iteration space (a witness frame is part of the detail).
+    OutOfBounds,
+    /// The analysis could not bound an address (unbound variable,
+    /// unbounded context, or a shape outside the affine model). Not a
+    /// proven escape, but the access cannot be certified.
+    BoundsUnproven,
+    /// Two distinct iterations of a doall-dispatched loop touch the same
+    /// address with at least one write.
+    DoallCarriesDep,
+    /// A reduction-dispatched loop whose bytecode is not the additive
+    /// accumulator self-update shape, whose recorded accumulator
+    /// disagrees with the re-derived one, or whose non-accumulator
+    /// accesses conflict across iterations.
+    ReductionUnsafe,
+    /// A pipeline/wavefront grid pair of cells conflicts against the
+    /// execution order guaranteed by the `{(1,0),(0,1)}` cone.
+    GridUncovered,
+    /// The program fails structural validation ([`VmProgram::validate`]).
+    Malformed,
+    /// A shape the certifier does not model (e.g. a shadowed loop
+    /// variable); nothing under it is proven.
+    Unsupported,
+}
+
+impl VmViolationKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VmViolationKind::OutOfBounds => "vm-out-of-bounds",
+            VmViolationKind::BoundsUnproven => "vm-bounds-unproven",
+            VmViolationKind::DoallCarriesDep => "vm-doall-carries-dep",
+            VmViolationKind::ReductionUnsafe => "vm-reduction-unsafe",
+            VmViolationKind::GridUncovered => "vm-grid-uncovered",
+            VmViolationKind::Malformed => "vm-malformed",
+            VmViolationKind::Unsupported => "vm-unsupported",
+        }
+    }
+}
+
+impl fmt::Display for VmViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One failed proof obligation of the bytecode certificate.
+#[derive(Clone, Debug)]
+pub struct VmViolation {
+    pub kind: VmViolationKind,
+    /// Compiled statement index the violation anchors to (`None` for
+    /// loop-level findings without a single statement).
+    pub stmt: Option<u32>,
+    /// What exactly went wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for VmViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.kind)?;
+        if let Some(s) = self.stmt {
+            write!(f, " stmt {s}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Which access of a compiled statement a proof talks about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AccessSite {
+    /// The `Instr::Load` at this position in [`CompiledStmt::code`].
+    Load(usize),
+    /// The statement's store.
+    Store,
+}
+
+/// Proof state of one (statement, access) pair, aggregated over every
+/// control-tree context the statement appears in.
+#[derive(Clone, Debug)]
+pub struct AccessProof {
+    pub stmt: u32,
+    pub site: AccessSite,
+    pub array: u32,
+    /// In-bounds in *every* context the access executes from.
+    pub proven: bool,
+    /// Abstract address interval (exact affine min/max over the context
+    /// polyhedron, joined across contexts); `None` when unbounded or
+    /// when no context reaches the access.
+    pub range: Option<(i64, i64)>,
+}
+
+/// The result of [`certify`]: per-access proofs plus every failed
+/// obligation.
+#[derive(Clone, Debug, Default)]
+pub struct VmCertificate {
+    /// One entry per reachable (statement, access) pair.
+    pub accesses: Vec<AccessProof>,
+    /// Everything that failed; empty iff the program is certified.
+    pub violations: Vec<VmViolation>,
+    /// Parallel-dispatchable loops whose effect summary was checked.
+    pub loops_checked: usize,
+    /// Cross-iteration access pairs tested for conflicts.
+    pub pairs_checked: usize,
+}
+
+impl VmCertificate {
+    /// True when every obligation was discharged.
+    pub fn is_certified(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// `(proven, total)` reachable access counts.
+    pub fn counts(&self) -> (usize, usize) {
+        let proven = self.accesses.iter().filter(|a| a.proven).count();
+        (proven, self.accesses.len())
+    }
+
+    /// Writes the proofs back onto the program: flips `proven` on every
+    /// access this certificate proved in-bounds, so a run with
+    /// [`crate::VmOptions::elide`] skips their dynamic checks. Fails
+    /// unless the certificate is passing. `vm` must be the same program
+    /// [`certify`] analyzed — applying proofs to a different (or since
+    /// mutated) program voids the soundness contract.
+    pub fn apply(&self, vm: &mut VmProgram) -> Result<(), VmError> {
+        if !self.is_certified() {
+            let first = self
+                .violations
+                .first()
+                .map(|v| v.to_string())
+                .unwrap_or_default();
+            return Err(VmError::Certify(format!(
+                "{} violation(s); first: {first}",
+                self.violations.len()
+            )));
+        }
+        for p in &self.accesses {
+            if !p.proven {
+                continue;
+            }
+            let Some(s) = vm.stmts.get_mut(p.stmt as usize) else {
+                return Err(VmError::Certify(format!(
+                    "certificate names stmt {} outside the program's table",
+                    p.stmt
+                )));
+            };
+            match p.site {
+                AccessSite::Store => s.store_proven = true,
+                AccessSite::Load(pos) => match s.code.get_mut(pos) {
+                    Some(Instr::Load { proven, .. }) => *proven = true,
+                    _ => {
+                        return Err(VmError::Certify(format!(
+                            "certificate names a load at stmt {} pos {pos} that is not there",
+                            p.stmt
+                        )))
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Certifies a lowered program; see the module docs for what is proved.
+pub fn certify(vm: &VmProgram) -> VmCertificate {
+    if let Err(d) = vm.validate() {
+        return VmCertificate {
+            violations: vec![VmViolation {
+                kind: VmViolationKind::Malformed,
+                stmt: None,
+                detail: d,
+            }],
+            ..VmCertificate::default()
+        };
+    }
+    let mut c = Certifier {
+        vm,
+        n: vm.n_vars.max(1),
+        ctx: Vec::new(),
+        bound_vars: Vec::new(),
+        proofs: BTreeMap::new(),
+        violations: Vec::new(),
+        loops_checked: 0,
+        pairs_checked: 0,
+    };
+    c.node(&vm.body, true);
+    let accesses = c
+        .proofs
+        .into_iter()
+        .map(|((stmt, site), (array, proven, range))| AccessProof {
+            stmt,
+            site,
+            array,
+            proven,
+            range,
+        })
+        .collect();
+    VmCertificate {
+        accesses,
+        violations: c.violations,
+        loops_checked: c.loops_checked,
+        pairs_checked: c.pairs_checked,
+    }
+}
+
+/// Convenience for the measurement path: certify, then apply the proofs
+/// in place. Returns the certificate on success, the first violations in
+/// the error otherwise.
+pub fn certify_and_apply(vm: &mut VmProgram) -> Result<VmCertificate, VmError> {
+    let cert = certify(vm);
+    cert.apply(vm)?;
+    Ok(cert)
+}
+
+/// One access occurrence inside a parallel region, with the full row
+/// context (root → site) it executes under.
+struct Acc {
+    stmt: u32,
+    site: AccessSite,
+    array: u32,
+    addr: AffExpr,
+    ctx: Vec<Vec<i64>>,
+}
+
+impl Acc {
+    fn is_write(&self) -> bool {
+        matches!(self.site, AccessSite::Store)
+    }
+}
+
+struct Certifier<'a> {
+    vm: &'a VmProgram,
+    /// Loop-variable frame width (polyhedron dimensionality).
+    n: usize,
+    /// Context rows over `n` dims + constant, all `>= 0`.
+    ctx: Vec<Vec<i64>>,
+    /// Loop variables bound on the current path, outermost first.
+    bound_vars: Vec<usize>,
+    /// `(stmt, site) → (array, proven-in-all-contexts, joined range)`.
+    proofs: BTreeMap<(u32, AccessSite), (u32, bool, Option<(i64, i64)>)>,
+    violations: Vec<VmViolation>,
+    loops_checked: usize,
+    pairs_checked: usize,
+}
+
+/// `e` as a constraint row over `n` dims (+ constant column).
+fn aff_row(e: &AffExpr, n: usize) -> Vec<i64> {
+    let mut row = vec![0i64; n + 1];
+    for &(v, k) in &e.terms {
+        row[v as usize] += k;
+    }
+    row[n] += e.c;
+    row
+}
+
+/// Rows of `lo <= v <= hi` under the exact `max`-of-ceil / `min`-of-floor
+/// semantics of [`CBound::eval_lower`] / [`CBound::eval_upper`]: for an
+/// integer `v` and `d > 0`, `v >= ceil(e/d)` ⟺ `d·v - e >= 0` and
+/// `v <= floor(f/d)` ⟺ `f - d·v >= 0`.
+fn bound_rows(var: usize, lo: &CBound, hi: &CBound, n: usize) -> Vec<Vec<i64>> {
+    let mut rows = Vec::with_capacity(lo.exprs.len() + hi.exprs.len());
+    for (e, d) in &lo.exprs {
+        let mut row: Vec<i64> = aff_row(e, n).iter().map(|&x| -x).collect();
+        row[var] += d;
+        rows.push(row);
+    }
+    for (e, d) in &hi.exprs {
+        let mut row = aff_row(e, n);
+        row[var] -= d;
+        rows.push(row);
+    }
+    rows
+}
+
+/// Lifts a row over `n` dims into a `dims`-dim space at `shift`.
+fn lift(row: &[i64], n: usize, dims: usize, shift: usize) -> Vec<i64> {
+    let mut out = vec![0i64; dims + 1];
+    for (i, &c) in row[..n].iter().enumerate() {
+        out[shift + i] = c;
+    }
+    out[dims] = row[n];
+    out
+}
+
+/// How the executor would dispatch this loop when `threads > 1` —
+/// mirrors the `match l.par` in `exec.rs` exactly.
+enum Dispatch {
+    Doall,
+    Reduction(u32),
+    Grid,
+}
+
+fn dispatchable(l: &CLoop) -> Option<Dispatch> {
+    use polymix_ast::tree::Par;
+    match l.par {
+        Par::Doall => Some(Dispatch::Doall),
+        Par::Reduction => l.reduction_array.map(Dispatch::Reduction),
+        Par::Pipeline | Par::Wavefront if l.rect_grid => Some(Dispatch::Grid),
+        _ => None,
+    }
+}
+
+/// Is this statement the additive self-update of `acc` (the only shape
+/// [`polymix_runtime::reduce_array`]'s zero-init + additive merge
+/// privatization is exact for)? Re-derived from the bytecode without
+/// consulting [`CLoop::reduction_array`].
+fn additive_self_update(s: &CompiledStmt, acc: u32) -> bool {
+    if s.store_array != acc {
+        return false;
+    }
+    let Some(Instr::Bin {
+        op: BinOp::Add,
+        dst,
+        a,
+        b,
+    }) = s.code.last()
+    else {
+        return false;
+    };
+    if *dst != s.result {
+        return false;
+    }
+    let self_load = |r: u16| {
+        s.code.iter().any(|i| matches!(i, Instr::Load { dst, array, addr, .. }
+            if *dst == r && *array == acc && *addr == s.store_addr))
+    };
+    if !self_load(*a) && !self_load(*b) {
+        return false;
+    }
+    s.code
+        .iter()
+        .filter(|i| matches!(i, Instr::Load { array, .. } if *array == acc))
+        .count()
+        == 1
+}
+
+fn stmt_indices(node: &CNode, out: &mut Vec<u32>) {
+    match node {
+        CNode::Seq(xs) => xs.iter().for_each(|x| stmt_indices(x, out)),
+        CNode::Loop(l) => stmt_indices(&l.body, out),
+        CNode::Guard(_, b) => stmt_indices(b, out),
+        CNode::Stmt(k) => out.push(*k),
+    }
+}
+
+impl Certifier<'_> {
+    fn violation(&mut self, kind: VmViolationKind, stmt: Option<u32>, detail: String) {
+        self.violations.push(VmViolation { kind, stmt, detail });
+    }
+
+    /// `dispatch` is true only outside any parallel-dispatched region,
+    /// mirroring the executor's `par` flag.
+    fn node(&mut self, node: &CNode, dispatch: bool) {
+        match node {
+            CNode::Seq(xs) => xs.iter().for_each(|x| self.node(x, dispatch)),
+            CNode::Guard(gs, b) => {
+                let pushed = gs.len();
+                for g in gs {
+                    let row = aff_row(g, self.n);
+                    self.ctx.push(row);
+                }
+                self.node(b, dispatch);
+                self.ctx.truncate(self.ctx.len() - pushed);
+            }
+            CNode::Stmt(k) => self.check_stmt(*k),
+            CNode::Loop(l) => {
+                if self.bound_vars.contains(&l.var) {
+                    self.violation(
+                        VmViolationKind::Unsupported,
+                        None,
+                        format!(
+                            "loop variable {} shadows an enclosing loop; nothing under it is proven",
+                            l.var
+                        ),
+                    );
+                    self.mark_unproven(&l.body);
+                    return;
+                }
+                let outer = self.bound_vars.clone();
+                let rows = bound_rows(l.var, &l.lo, &l.hi, self.n);
+                let pushed = rows.len();
+                self.ctx.extend(rows);
+                self.bound_vars.push(l.var);
+                let dispatched = dispatch && dispatchable(l).is_some();
+                if dispatched {
+                    self.check_parallel(l, &outer);
+                }
+                self.node(&l.body, dispatch && !dispatched);
+                self.bound_vars.pop();
+                self.ctx.truncate(self.ctx.len() - pushed);
+            }
+        }
+    }
+
+    /// Records that every access under `node` is unproven (used when a
+    /// subtree falls outside the model, so elision can never apply).
+    fn mark_unproven(&mut self, node: &CNode) {
+        let mut sites = Vec::new();
+        stmt_indices(node, &mut sites);
+        let vm = self.vm;
+        for k in sites {
+            if let Some(s) = vm.stmts.get(k as usize) {
+                for (pos, i) in s.code.iter().enumerate() {
+                    if let Instr::Load { array, .. } = i {
+                        let e = self
+                            .proofs
+                            .entry((k, AccessSite::Load(pos)))
+                            .or_insert((*array, false, None));
+                        e.1 = false;
+                    }
+                }
+                let e = self
+                    .proofs
+                    .entry((k, AccessSite::Store))
+                    .or_insert((s.store_array, false, None));
+                e.1 = false;
+            }
+        }
+    }
+
+    fn check_stmt(&mut self, k: u32) {
+        // In range: `certify` validated the program up front.
+        let vm = self.vm;
+        let s = &vm.stmts[k as usize];
+        for (pos, i) in s.code.iter().enumerate() {
+            if let Instr::Load { array, addr, .. } = i {
+                self.check_access(k, AccessSite::Load(pos), *array, addr);
+            }
+        }
+        self.check_access(k, AccessSite::Store, s.store_array, &s.store_addr);
+    }
+
+    fn ctx_poly(&self) -> Polyhedron {
+        let mut p = Polyhedron::universe(self.n);
+        for row in &self.ctx {
+            p.add(Constraint::ge(row.clone()));
+        }
+        p
+    }
+
+    fn check_access(&mut self, stmt: u32, site: AccessSite, array: u32, addr: &AffExpr) {
+        let len = self.vm.array_lens[array as usize] as i64;
+        let row = aff_row(addr, self.n);
+
+        // `ctx ∧ addr <= -1` must be empty...
+        let mut low = self.ctx_poly();
+        let mut neg: Vec<i64> = row.iter().map(|&x| -x).collect();
+        neg[self.n] -= 1;
+        low.add(Constraint::ge(neg));
+        // ...and so must `ctx ∧ addr >= len`.
+        let mut high = self.ctx_poly();
+        let mut over = row.clone();
+        over[self.n] -= len;
+        high.add(Constraint::ge(over));
+
+        let low_ok = low.is_empty();
+        let high_ok = high.is_empty();
+        let proven = low_ok && high_ok;
+        if !proven {
+            let what = match site {
+                AccessSite::Store => "store".to_string(),
+                AccessSite::Load(pos) => format!("load (instr {pos})"),
+            };
+            // Dimensions the context never mentions are unconstrained;
+            // pin them to zero so the escape set stays bounded and
+            // sampleable (they cannot affect the violated constraint).
+            let mut escape = if !low_ok { low } else { high };
+            for d in 0..self.n {
+                if !escape.constraints().iter().any(|c| c.mentions(d)) {
+                    escape = escape.fix(d, 0);
+                }
+            }
+            let witness = escape.sample();
+            match witness {
+                Some(frame) => {
+                    let off = addr.eval(&frame);
+                    self.violation(
+                        VmViolationKind::OutOfBounds,
+                        Some(stmt),
+                        format!(
+                            "{what} into array {array} (len {len}) can reach offset {off} \
+                             at frame {frame:?}"
+                        ),
+                    );
+                }
+                None => self.violation(
+                    VmViolationKind::BoundsUnproven,
+                    Some(stmt),
+                    format!(
+                        "{what} into array {array} (len {len}): address not bounded by the \
+                         enclosing loop polyhedron"
+                    ),
+                ),
+            }
+        }
+        let range = self.abstract_range(addr);
+        let entry = self
+            .proofs
+            .entry((stmt, site))
+            .or_insert((array, proven, range));
+        entry.1 &= proven;
+        entry.2 = match (entry.2, range) {
+            (Some((a, b)), Some((c, d))) => Some((a.min(c), b.max(d))),
+            (None, r) | (r, None) => r,
+        };
+    }
+
+    /// Exact affine min/max of `addr` over the context: project the
+    /// augmented polyhedron `ctx ∧ a = addr` onto `a` and read the
+    /// constant bounds. `None` when unbounded (or no context reaches the
+    /// access, in which case there is nothing to claim).
+    fn abstract_range(&self, addr: &AffExpr) -> Option<(i64, i64)> {
+        let n = self.n;
+        let mut p = Polyhedron::universe(n + 1);
+        for row in &self.ctx {
+            p.add(Constraint::ge(lift(row, n, n + 1, 0)));
+        }
+        let mut eq = vec![0i64; n + 2];
+        eq[n] = 1;
+        for &(v, k) in &addr.terms {
+            eq[v as usize] -= k;
+        }
+        eq[n + 1] = -addr.c;
+        p.add(Constraint::eq(eq));
+        let dims: Vec<usize> = (0..n).collect();
+        let q = p.eliminate_many(&dims);
+        if q.is_empty() {
+            return None;
+        }
+        let b = q.bounds(n, n + 1);
+        let zeros = vec![0i64; n + 1];
+        let lo = b.lower.iter().map(|e| e.eval_ceil(&zeros)).max()?;
+        let hi = b.upper.iter().map(|e| e.eval_floor(&zeros)).min()?;
+        Some((lo, hi))
+    }
+
+    /// Effect-summary check of one parallel-dispatchable loop. `outer`
+    /// holds the loop variables bound *above* the loop (equated across
+    /// the two iteration copies); `self.ctx` already includes the loop's
+    /// own bounds.
+    fn check_parallel(&mut self, l: &CLoop, outer: &[usize]) {
+        self.loops_checked += 1;
+        let mut accs = Vec::new();
+        let mut seen = self.bound_vars.clone();
+        let mut sub_ctx = self.ctx.clone();
+        if !self.collect(&l.body, &mut sub_ctx, &mut seen, &mut accs) {
+            self.violation(
+                VmViolationKind::Unsupported,
+                None,
+                format!(
+                    "parallel loop over variable {} contains a shadowed loop variable; \
+                     its effect summary cannot be proven",
+                    l.var
+                ),
+            );
+            return;
+        }
+        match dispatchable(l) {
+            Some(Dispatch::Doall) => {
+                self.conflicts(l, outer, &accs, None, VmViolationKind::DoallCarriesDep);
+            }
+            Some(Dispatch::Reduction(acc)) => {
+                let mut sites = Vec::new();
+                stmt_indices(&l.body, &mut sites);
+                let vm = self.vm;
+                for k in sites {
+                    // In range: validated up front.
+                    let s = &vm.stmts[k as usize];
+                    if !additive_self_update(s, acc) {
+                        self.violation(
+                            VmViolationKind::ReductionUnsafe,
+                            Some(k),
+                            format!(
+                                "bytecode is not an additive self-update of the recorded \
+                                 accumulator array {acc}"
+                            ),
+                        );
+                    }
+                }
+                // The accumulator is privatized (zero-init + additive
+                // merge), so only the *other* arrays must be conflict-free
+                // across iterations.
+                self.conflicts(l, outer, &accs, Some(acc), VmViolationKind::ReductionUnsafe);
+            }
+            Some(Dispatch::Grid) => self.grid_conflicts(l, outer, &accs),
+            None => {}
+        }
+    }
+
+    /// Collects every access under `node` with its full context rows.
+    /// Returns false when a shadowed loop variable makes the subtree
+    /// unanalyzable.
+    fn collect(
+        &self,
+        node: &CNode,
+        ctx: &mut Vec<Vec<i64>>,
+        seen: &mut Vec<usize>,
+        out: &mut Vec<Acc>,
+    ) -> bool {
+        match node {
+            CNode::Seq(xs) => xs.iter().all(|x| self.collect(x, ctx, seen, out)),
+            CNode::Guard(gs, b) => {
+                for g in gs {
+                    ctx.push(aff_row(g, self.n));
+                }
+                let ok = self.collect(b, ctx, seen, out);
+                ctx.truncate(ctx.len() - gs.len());
+                ok
+            }
+            CNode::Loop(l) => {
+                if seen.contains(&l.var) {
+                    return false;
+                }
+                let rows = bound_rows(l.var, &l.lo, &l.hi, self.n);
+                let pushed = rows.len();
+                ctx.extend(rows);
+                seen.push(l.var);
+                let ok = self.collect(&l.body, ctx, seen, out);
+                seen.pop();
+                ctx.truncate(ctx.len() - pushed);
+                ok
+            }
+            CNode::Stmt(k) => {
+                // In range: validated up front.
+                let s = &self.vm.stmts[*k as usize];
+                for (pos, i) in s.code.iter().enumerate() {
+                    if let Instr::Load { array, addr, .. } = i {
+                        out.push(Acc {
+                            stmt: *k,
+                            site: AccessSite::Load(pos),
+                            array: *array,
+                            addr: addr.clone(),
+                            ctx: ctx.clone(),
+                        });
+                    }
+                }
+                out.push(Acc {
+                    stmt: *k,
+                    site: AccessSite::Store,
+                    array: s.store_array,
+                    addr: s.store_addr.clone(),
+                    ctx: ctx.clone(),
+                });
+                true
+            }
+        }
+    }
+
+    /// Two-copy conflict test: is there a pair of *distinct* iterations
+    /// of `l` (distance a positive multiple of `step`, outer variables
+    /// equal) whose accesses `x` (earlier copy) and `y` (later copy) hit
+    /// the same address with at least one write? Exact on the loop's
+    /// step lattice through the existential multiplier dimension.
+    fn conflicts(
+        &mut self,
+        l: &CLoop,
+        outer: &[usize],
+        accs: &[Acc],
+        skip_array: Option<u32>,
+        kind: VmViolationKind,
+    ) {
+        let n = self.n;
+        let dims = 2 * n + 1; // src copy, dst copy, lattice multiplier k
+        for x in accs {
+            for y in accs {
+                if x.array != y.array || (!x.is_write() && !y.is_write()) {
+                    continue;
+                }
+                if skip_array == Some(x.array) {
+                    continue;
+                }
+                self.pairs_checked += 1;
+                let mut p = Polyhedron::universe(dims);
+                for row in &x.ctx {
+                    p.add(Constraint::ge(lift(row, n, dims, 0)));
+                }
+                for row in &y.ctx {
+                    p.add(Constraint::ge(lift(row, n, dims, n)));
+                }
+                for &w in outer {
+                    let mut eq = vec![0i64; dims + 1];
+                    eq[w] = 1;
+                    eq[n + w] = -1;
+                    p.add(Constraint::eq(eq));
+                }
+                // y_v - x_v = step·k, k >= 1.
+                let mut lat = vec![0i64; dims + 1];
+                lat[n + l.var] += 1;
+                lat[l.var] -= 1;
+                lat[2 * n] = -l.step;
+                p.add(Constraint::eq(lat));
+                let mut kpos = vec![0i64; dims + 1];
+                kpos[2 * n] = 1;
+                kpos[dims] = -1;
+                p.add(Constraint::ge(kpos));
+                // addr_x(src) = addr_y(dst).
+                let xr = aff_row(&x.addr, n);
+                let yr = aff_row(&y.addr, n);
+                let mut eq = lift(&xr, n, dims, 0);
+                let ylift = lift(&yr, n, dims, n);
+                for (a, b) in eq.iter_mut().zip(&ylift) {
+                    *a -= b;
+                }
+                p.add(Constraint::eq(eq));
+                if !p.is_empty() {
+                    let w = p.sample();
+                    self.violation(
+                        kind,
+                        Some(x.stmt),
+                        format!(
+                            "distinct iterations of the loop over variable {} conflict on \
+                             array {} (stmt {} {:?} vs stmt {} {:?}){}",
+                            l.var,
+                            x.array,
+                            x.stmt,
+                            x.site,
+                            y.stmt,
+                            y.site,
+                            match w {
+                                Some(pt) => format!("; witness frames {:?} / {:?}",
+                                    &pt[..n], &pt[n..2 * n]),
+                                None => String::new(),
+                            }
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Conflict test for a rectangular 2-level grid dispatch
+    /// (pipeline / wavefront / taskgraph, all guaranteeing that cell
+    /// `(i, j)` runs after every `(i' <= i, j' <= j)`): the only
+    /// unordered pairs are `di >= 1 ∧ dj <= -1`, so a conflict inside
+    /// that cone is a race.
+    fn grid_conflicts(&mut self, l: &CLoop, outer: &[usize], accs: &[Acc]) {
+        let CNode::Loop(inner) = &l.body else {
+            self.violation(
+                VmViolationKind::Malformed,
+                None,
+                "rect_grid loop lost its inner loop".to_string(),
+            );
+            return;
+        };
+        let n = self.n;
+        let dims = 2 * n + 2; // two copies + two lattice multipliers
+        for x in accs {
+            for y in accs {
+                if x.array != y.array || (!x.is_write() && !y.is_write()) {
+                    continue;
+                }
+                self.pairs_checked += 1;
+                let mut p = Polyhedron::universe(dims);
+                for row in &x.ctx {
+                    p.add(Constraint::ge(lift(row, n, dims, 0)));
+                }
+                for row in &y.ctx {
+                    p.add(Constraint::ge(lift(row, n, dims, n)));
+                }
+                for &w in outer {
+                    let mut eq = vec![0i64; dims + 1];
+                    eq[w] = 1;
+                    eq[n + w] = -1;
+                    p.add(Constraint::eq(eq));
+                }
+                // di = step_o·k1, k1 >= 1; dj = step_i·k2, k2 <= -1.
+                let mut lat_o = vec![0i64; dims + 1];
+                lat_o[n + l.var] += 1;
+                lat_o[l.var] -= 1;
+                lat_o[2 * n] = -l.step;
+                p.add(Constraint::eq(lat_o));
+                let mut k1 = vec![0i64; dims + 1];
+                k1[2 * n] = 1;
+                k1[dims] = -1;
+                p.add(Constraint::ge(k1));
+                let mut lat_i = vec![0i64; dims + 1];
+                lat_i[n + inner.var] += 1;
+                lat_i[inner.var] -= 1;
+                lat_i[2 * n + 1] = -inner.step;
+                p.add(Constraint::eq(lat_i));
+                let mut k2 = vec![0i64; dims + 1];
+                k2[2 * n + 1] = -1;
+                k2[dims] = -1;
+                p.add(Constraint::ge(k2));
+                // Same address.
+                let xr = aff_row(&x.addr, n);
+                let yr = aff_row(&y.addr, n);
+                let mut eq = lift(&xr, n, dims, 0);
+                let ylift = lift(&yr, n, dims, n);
+                for (a, b) in eq.iter_mut().zip(&ylift) {
+                    *a -= b;
+                }
+                p.add(Constraint::eq(eq));
+                if !p.is_empty() {
+                    self.violation(
+                        VmViolationKind::GridUncovered,
+                        Some(x.stmt),
+                        format!(
+                            "grid cells outside the {{(1,0),(0,1)}} order cone conflict on \
+                             array {} (stmt {} {:?} vs stmt {} {:?})",
+                            x.array, x.stmt, x.site, y.stmt, y.site
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

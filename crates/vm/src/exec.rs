@@ -5,12 +5,17 @@
 //! `taskgraph_2d`), inheriting their panic containment and poison
 //! protocol.
 //!
-//! Every array access is bounds-checked; a bad address poisons the run
-//! (first failure wins) instead of corrupting the host process — the
-//! in-process analogue of the subprocess backend's `runtime_error:` +
-//! exit path. Nested parallel annotations execute sequentially inside a
-//! worker, matching the emitted kernels, which parallelize each region
-//! at its outermost annotation only.
+//! Every array access is bounds-checked by default; a bad address
+//! poisons the run (first failure wins) instead of corrupting the host
+//! process — the in-process analogue of the subprocess backend's
+//! `runtime_error:` + exit path. [`VmOptions::elide`] switches the
+//! dispatch loop to the proof-carrying fast path: accesses a passing
+//! bytecode certificate proved in-bounds skip the dynamic check, and
+//! the register/array/variable-frame re-checks already discharged by
+//! `VmProgram::validate` at entry become debug assertions. Nested
+//! parallel annotations execute sequentially inside a worker, matching
+//! the emitted kernels, which parallelize each region at its outermost
+//! annotation only.
 
 use crate::lower::{CLoop, CNode, CompiledStmt, Instr, VmProgram};
 use crate::VmError;
@@ -29,6 +34,16 @@ pub struct VmOptions {
     /// Dispatch `wavefront` loops through the dynamic counter-graph
     /// runtime instead of diagonal barriers.
     pub taskgraph: bool,
+    /// Trust the static proofs: skip the dynamic bounds check on
+    /// accesses a passing [`crate::certify`] certificate proved
+    /// in-bounds (`proven` flags), and demote the structural
+    /// register/array/variable-frame re-checks that
+    /// [`crate::lower::VmProgram::validate`] already discharged at
+    /// entry to debug assertions. Off by default, and differential
+    /// runs keep it off so every dynamic check stays the safety net
+    /// being compared against; only the certified measurement hot path
+    /// turns it on.
+    pub elide: bool,
 }
 
 impl Default for VmOptions {
@@ -36,6 +51,7 @@ impl Default for VmOptions {
         VmOptions {
             threads: 1,
             taskgraph: false,
+            elide: false,
         }
     }
 }
@@ -71,6 +87,11 @@ pub fn run_opts(
     arrays: &mut [Vec<f64>],
     opts: VmOptions,
 ) -> Result<(), VmError> {
+    // One structural validation at entry (statement table, array ids,
+    // registers, loop variables); the per-instruction table checks in
+    // the hot loop below are debug assertions only.
+    vm.validate()
+        .map_err(|d| VmError::Runtime(format!("vm invalid program: {d}")))?;
     if arrays.len() != vm.array_lens.len() {
         return Err(VmError::Runtime(format!(
             "buffer count mismatch: {} buffers for {} arrays",
@@ -97,7 +118,7 @@ pub fn run_opts(
         vm,
         opts: VmOptions {
             threads: opts.threads.max(1),
-            taskgraph: opts.taskgraph,
+            ..opts
         },
         poisoned: AtomicBool::new(false),
         fail: Mutex::new(None),
@@ -176,10 +197,11 @@ impl Ctx<'_> {
                 }
                 self.seq_loop(l, arrs, vars, regs, par)
             }
-            CNode::Stmt(k) => match self.vm.stmts.get(*k as usize) {
-                Some(s) => self.exec_stmt(s, arrs, vars, regs),
-                None => self.poison(format!("runtime_error: vm stmt {k} out of table")),
-            },
+            CNode::Stmt(k) => {
+                // In range by `VmProgram::validate` at entry.
+                debug_assert!((*k as usize) < self.vm.stmts.len(), "vm stmt {k} out of table");
+                self.exec_stmt(&self.vm.stmts[*k as usize], arrs, vars, regs)
+            }
         }
     }
 
@@ -191,6 +213,16 @@ impl Ctx<'_> {
         regs: &mut Vec<f64>,
         par: bool,
     ) -> bool {
+        if self.opts.elide {
+            if let CNode::Stmt(k) = &l.body {
+                // In range by `VmProgram::validate` at entry.
+                debug_assert!((*k as usize) < self.vm.stmts.len(), "vm stmt {k} out of table");
+                let s = &self.vm.stmts[*k as usize];
+                if all_proven(s) {
+                    return self.seq_loop_elided(l, s, arrs, vars, regs);
+                }
+            }
+        }
         let lo = l.lo.eval_lower(vars);
         let hi = l.hi.eval_upper(vars);
         let mut v = lo;
@@ -298,18 +330,27 @@ impl Ctx<'_> {
     }
 
     fn exec_stmt(&self, s: &CompiledStmt, arrs: &[Ptr], vars: &[i64], regs: &mut [f64]) -> bool {
+        let elide = self.opts.elide;
         for instr in &s.code {
             match instr {
                 Instr::Const { dst, val } => regs[*dst as usize] = *val,
                 Instr::Iter { dst, aff } => regs[*dst as usize] = aff.eval(vars) as f64,
-                Instr::Load { dst, array, addr } => {
-                    let Some(a) = arrs.get(*array as usize) else {
-                        return self.poison(format!(
-                            "runtime_error: vm load from unknown array {array}"
-                        ));
-                    };
+                Instr::Load {
+                    dst,
+                    array,
+                    addr,
+                    proven,
+                } => {
+                    // In range by `VmProgram::validate` at entry.
+                    debug_assert!((*array as usize) < arrs.len(), "vm load array {array}");
+                    let a = &arrs[*array as usize];
                     let off = addr.eval(vars);
-                    if off < 0 || off as usize >= a.len {
+                    if *proven && elide {
+                        // Safety: `proven` is set only by a passing
+                        // certificate whose polyhedron covers every
+                        // executed frame, so `0 <= off < len` holds.
+                        debug_assert!(off >= 0 && (off as usize) < a.len);
+                    } else if off < 0 || off as usize >= a.len {
                         return self.poison(format!(
                             "runtime_error: vm load offset {off} outside array {array} \
                              (len {})",
@@ -326,14 +367,14 @@ impl Ctx<'_> {
                 }
             }
         }
-        let Some(a) = arrs.get(s.store_array as usize) else {
-            return self.poison(format!(
-                "runtime_error: vm store to unknown array {}",
-                s.store_array
-            ));
-        };
+        // In range by `VmProgram::validate` at entry.
+        debug_assert!((s.store_array as usize) < arrs.len(), "vm store array");
+        let a = &arrs[s.store_array as usize];
         let off = s.store_addr.eval(vars);
-        if off < 0 || off as usize >= a.len {
+        if s.store_proven && elide {
+            // Safety: same certificate contract as the load fast path.
+            debug_assert!(off >= 0 && (off as usize) < a.len);
+        } else if off < 0 || off as usize >= a.len {
             return self.poison(format!(
                 "runtime_error: vm store offset {off} outside array {} (len {})",
                 s.store_array, a.len
@@ -342,4 +383,99 @@ impl Ctx<'_> {
         unsafe { *a.p.add(off as usize) = regs[s.result as usize] };
         true
     }
+
+    /// Proof-carrying inner-loop fast path. Eligible when elision is on,
+    /// the loop body is directly one statement, and *every* access of
+    /// that statement is certificate-proven: the certificate's context
+    /// polyhedron covers the whole loop extent, so the full linear
+    /// address progression of the loop is known in-bounds up front and
+    /// the interpreter may strength-reduce — evaluate each affine
+    /// address/iterator once at the first iteration and advance it by
+    /// its loop-variable coefficient per step — executing the loop with
+    /// no per-access validation at all. Checked mode never takes this
+    /// path: each address is re-derived and re-validated individually,
+    /// which is exactly the safety net differential runs compare
+    /// against.
+    fn seq_loop_elided(
+        &self,
+        l: &CLoop,
+        s: &CompiledStmt,
+        arrs: &[Ptr],
+        vars: &mut [i64],
+        regs: &mut [f64],
+    ) -> bool {
+        let lo = l.lo.eval_lower(vars);
+        let hi = l.hi.eval_upper(vars);
+        if hi < lo {
+            return true;
+        }
+        let n = trips(lo, hi, l.step);
+        vars[l.var] = lo;
+        // Per-instruction state: current integer value (address or
+        // iterator) and its per-step delta. Offsets index `s.code`;
+        // usize::MAX marks the store.
+        // Sum rather than find: lowering merges duplicate terms, but
+        // hand-built bytecode need not be canonical.
+        let coeff = |aff: &crate::lower::AffExpr| -> i64 {
+            aff.terms
+                .iter()
+                .filter(|&&(v, _)| v as usize == l.var)
+                .map(|&(_, k)| k)
+                .sum::<i64>()
+                * l.step
+        };
+        let mut cur: Vec<(i64, i64)> = s
+            .code
+            .iter()
+            .map(|i| match i {
+                Instr::Iter { aff, .. } => (aff.eval(vars), coeff(aff)),
+                Instr::Load { addr, .. } => (addr.eval(vars), coeff(addr)),
+                _ => (0, 0),
+            })
+            .collect();
+        let mut store = (s.store_addr.eval(vars), coeff(&s.store_addr));
+        for t in 0..n {
+            for (instr, c) in s.code.iter().zip(cur.iter_mut()) {
+                match instr {
+                    Instr::Const { dst, val } => regs[*dst as usize] = *val,
+                    Instr::Iter { dst, .. } => regs[*dst as usize] = c.0 as f64,
+                    Instr::Load { dst, array, .. } => {
+                        let a = &arrs[*array as usize];
+                        // Safety: the certificate proved this access
+                        // in-bounds over the loop's whole context
+                        // polyhedron, which contains every `t`.
+                        debug_assert!(c.0 >= 0 && (c.0 as usize) < a.len);
+                        regs[*dst as usize] = unsafe { *a.p.add(c.0 as usize) };
+                    }
+                    Instr::Bin { op, dst, a, b } => {
+                        regs[*dst as usize] = op.apply(regs[*a as usize], regs[*b as usize]);
+                    }
+                    Instr::Un { op, dst, a } => {
+                        regs[*dst as usize] = op.apply(regs[*a as usize]);
+                    }
+                }
+                c.0 += c.1;
+            }
+            let a = &arrs[s.store_array as usize];
+            // Safety: same certificate contract as the loads.
+            debug_assert!(store.0 >= 0 && (store.0 as usize) < a.len);
+            unsafe { *a.p.add(store.0 as usize) = regs[s.result as usize] };
+            store.0 += store.1;
+            let _ = t;
+        }
+        // Leave the frame exactly as the generic loop would: the last
+        // executed value of the loop variable.
+        vars[l.var] = lo + (n - 1) * l.step;
+        true
+    }
+}
+
+/// True when every access of the statement carries a certificate proof,
+/// making it eligible for the elided inner-loop fast path.
+fn all_proven(s: &CompiledStmt) -> bool {
+    s.store_proven
+        && s.code.iter().all(|i| match i {
+            Instr::Load { proven, .. } => *proven,
+            _ => true,
+        })
 }

@@ -21,20 +21,30 @@
 //! candidates and differential checks where a full emit → `rustc` →
 //! spawn round trip per cell would dominate wall-clock.
 
+pub mod certify;
 mod exec;
 mod lower;
 
+pub use certify::{
+    certify, certify_and_apply, AccessProof, AccessSite, VmCertificate, VmViolation,
+    VmViolationKind,
+};
 pub use exec::{run, run_opts, VmOptions};
-pub use lower::{lower, AffExpr, CBound, CLoop, CNode, CompiledStmt, Instr, VmProgram};
+pub use lower::{
+    lower, AffExpr, CBound, CLoop, CNode, CompiledStmt, Instr, VmProgram, UNMODELED_KNOBS,
+};
 
 use std::fmt;
 
 /// Failure of the bytecode backend: a shape the lowering does not model,
-/// or a poisoned run (bad address, worker panic, runtime misuse).
+/// a failed static certificate, or a poisoned run (bad address, worker
+/// panic, runtime misuse).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum VmError {
     /// Lowering rejected the program.
     Lower(String),
+    /// Static certification rejected the bytecode.
+    Certify(String),
     /// Execution was poisoned.
     Runtime(String),
 }
@@ -43,6 +53,7 @@ impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VmError::Lower(d) => write!(f, "vm lowering: {d}"),
+            VmError::Certify(d) => write!(f, "vm certify: {d}"),
             VmError::Runtime(d) => write!(f, "{d}"),
         }
     }
@@ -123,7 +134,7 @@ mod tests {
             &mut par4,
             VmOptions {
                 threads: 4,
-                taskgraph: false,
+                ..VmOptions::default()
             },
         )
         .expect("parallel vm runs");
@@ -170,7 +181,7 @@ mod tests {
             &mut arrays,
             VmOptions {
                 threads: 4,
-                taskgraph: false,
+                ..VmOptions::default()
             },
         )
         .expect("reduction vm runs");
@@ -248,6 +259,7 @@ mod tests {
                 VmOptions {
                     threads: 3,
                     taskgraph,
+                    ..VmOptions::default()
                 },
             )
             .expect("grid vm runs");
@@ -295,5 +307,144 @@ mod tests {
         let mut a = alloc_arrays(&p.scop, &[6]);
         run(&vm, &mut a).expect("vm runs");
         assert_eq!(a[0], vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn certifier_proves_every_access_and_elides() {
+        let p = inc_program(Par::Seq);
+        let mut vm = lower(&p, &[8]).expect("lowers");
+        let cert = certify(&vm);
+        assert!(cert.is_certified(), "{:?}", cert.violations);
+        let (proven, total) = cert.counts();
+        assert_eq!(total, 2, "one load + one store");
+        assert_eq!(proven, total);
+        cert.apply(&mut vm).expect("apply");
+        // The elided run must still produce the exact result.
+        let mut checked = alloc_arrays(&p.scop, &[8]);
+        let mut elided = alloc_arrays(&p.scop, &[8]);
+        run(&vm, &mut checked).expect("checked run");
+        run_opts(
+            &vm,
+            &mut elided,
+            VmOptions {
+                elide: true,
+                ..VmOptions::default()
+            },
+        )
+        .expect("elided run");
+        assert_eq!(checked, elided);
+    }
+
+    #[test]
+    fn certifier_finds_out_of_bounds_with_witness() {
+        let mut p = inc_program(Par::Seq);
+        if let Node::Loop(l) = &mut p.body {
+            l.hi = Bound::of(LinExpr::param(0)); // A[N] at the last trip
+        }
+        let vm = lower(&p, &[8]).expect("lowers");
+        let cert = certify(&vm);
+        assert!(!cert.is_certified());
+        assert!(
+            cert.violations
+                .iter()
+                .all(|v| v.kind == VmViolationKind::OutOfBounds),
+            "{:?}",
+            cert.violations
+        );
+        // The uncertified program must not be appliable.
+        let mut vm2 = vm.clone();
+        assert!(matches!(cert.apply(&mut vm2), Err(VmError::Certify(_))));
+    }
+
+    #[test]
+    fn certifier_rejects_relabeled_doall() {
+        // The stencil carries a (1, 0) flow dependence on the outer
+        // loop; relabeling the lowered loop as doall must be caught from
+        // the bytecode footprints alone.
+        let p = stencil_program(Par::Seq);
+        let mut vm = lower(&p, &[6]).expect("lowers");
+        if let CNode::Loop(l) = &mut vm.body {
+            l.par = Par::Doall;
+        }
+        let cert = certify(&vm);
+        assert!(cert
+            .violations
+            .iter()
+            .any(|v| v.kind == VmViolationKind::DoallCarriesDep),
+            "{:?}", cert.violations);
+    }
+
+    #[test]
+    fn certifier_accepts_safe_doall_and_reduction() {
+        for par_kind in [Par::Doall, Par::Reduction] {
+            let p = inc_program(par_kind);
+            let vm = lower(&p, &[8]).expect("lowers");
+            let cert = certify(&vm);
+            // `A[i] = A[i] + 1` is iteration-disjoint: safe as doall,
+            // and (as an additive self-update) safe as reduction.
+            assert!(cert.is_certified(), "{par_kind:?}: {:?}", cert.violations);
+            assert!(cert.loops_checked <= 1);
+        }
+    }
+
+    #[test]
+    fn certifier_rejects_wrong_reduction_accumulator() {
+        // s[0] += B[i] with the accumulator annotation pointed at B.
+        let p = {
+            let mut b = ScopBuilder::new("sum", &["N"], &[64]);
+            let s = b.array_dims("s", vec![con(1)]);
+            let arr = b.array("B", &["N"]);
+            b.enter("i", con(0), par("N"));
+            let body = Expr::add(b.rd(s, &[con(0)]), b.rd(arr, &[ix("i")]));
+            b.stmt("S", s, &[con(0)], body);
+            b.exit();
+            let scop = b.finish().expect("well-formed SCoP");
+            Program {
+                scop,
+                body: Node::loop_(Loop {
+                    var: 0,
+                    name: "i".into(),
+                    lo: Bound::con(0),
+                    hi: Bound::of(LinExpr::param(0).plus(-1)),
+                    step: 1,
+                    par: Par::Reduction,
+                    body: Node::Stmt(StmtNode {
+                        stmt_idx: 0,
+                        iter_exprs: vec![LinExpr::var(0)],
+                    }),
+                }),
+                n_vars: 1,
+            }
+        };
+        let mut vm = lower(&p, &[16]).expect("lowers");
+        assert!(certify(&vm).is_certified(), "clean program certifies");
+        if let CNode::Loop(l) = &mut vm.body {
+            assert_eq!(l.reduction_array, Some(0));
+            l.reduction_array = Some(1); // point at B instead of s
+        }
+        let cert = certify(&vm);
+        assert!(cert
+            .violations
+            .iter()
+            .any(|v| v.kind == VmViolationKind::ReductionUnsafe),
+            "{:?}", cert.violations);
+    }
+
+    #[test]
+    fn invalid_program_is_rejected_before_the_hot_loop() {
+        let p = inc_program(Par::Seq);
+        let mut vm = lower(&p, &[8]).expect("lowers");
+        vm.body = CNode::Stmt(7); // stmt table has one entry
+        let mut a = alloc_arrays(&p.scop, &[8]);
+        let err = run(&vm, &mut a).expect_err("must reject");
+        assert!(
+            matches!(&err, VmError::Runtime(d) if d.contains("invalid program")),
+            "{err:?}"
+        );
+        let cert = certify(&vm);
+        assert!(cert
+            .violations
+            .iter()
+            .any(|v| v.kind == VmViolationKind::Malformed));
     }
 }

@@ -91,7 +91,10 @@ impl AffExpr {
 /// [`Bound::eval_lower`] / [`Bound::eval_upper`].
 #[derive(Clone, Debug)]
 pub struct CBound {
-    exprs: Vec<(AffExpr, i64)>,
+    /// `(expression, positive denominator)` terms. Public so the
+    /// certifier can encode bounds as polyhedron rows and adversarial
+    /// tests can corrupt them.
+    pub exprs: Vec<(AffExpr, i64)>,
 }
 
 impl CBound {
@@ -149,8 +152,16 @@ pub enum Instr {
     /// `r[dst] = aff(vars) as f64` — an original-iterator value through
     /// the site's inverse schedule.
     Iter { dst: u16, aff: AffExpr },
-    /// `r[dst] = arrays[array][aff(vars)]`.
-    Load { dst: u16, array: u32, addr: AffExpr },
+    /// `r[dst] = arrays[array][aff(vars)]`. `proven` is false out of
+    /// lowering; only [`crate::certify::VmCertificate::apply`] flips it,
+    /// after a static in-bounds proof, and only then may the executor
+    /// skip the dynamic bounds check (see [`crate::VmOptions::elide`]).
+    Load {
+        dst: u16,
+        array: u32,
+        addr: AffExpr,
+        proven: bool,
+    },
     /// `r[dst] = op(r[a], r[b])`.
     Bin { op: BinOp, dst: u16, a: u16, b: u16 },
     /// `r[dst] = op(r[a])`.
@@ -169,6 +180,9 @@ pub struct CompiledStmt {
     pub store_array: u32,
     /// Pre-resolved store address over the loop variables.
     pub store_addr: AffExpr,
+    /// Statically proven in-bounds (set only by a passing certificate;
+    /// same contract as [`Instr::Load::proven`]).
+    pub store_proven: bool,
     /// Registers used by `code`.
     pub n_regs: usize,
 }
@@ -215,6 +229,21 @@ pub struct CLoop {
     pub body: CNode,
 }
 
+/// Measurement knobs the bytecode backend cannot model: they change the
+/// emitted-Rust artifact (and therefore rustc-backend cells) but leave
+/// the lowered bytecode byte-for-byte identical. A vm screening cell is
+/// blind to them, which is why the autotuner's rustc-confirm union is
+/// load-bearing (DESIGN.md §12).
+///
+/// * `vect` — the explicit-SIMD emission post-pass; the interpreter has
+///   no vector ISA.
+/// * `pipeline_batch` / `dyn_grain` — runtime dispatch granularity of
+///   the emitted kernels; [`crate::VmOptions`] carries no equivalent.
+/// * `unroll` — unrolling is structural (the vm executes the unrolled
+///   tree), but its *payoff* is LLVM back-end vectorization of the
+///   emitted source, which the interpreter cannot reproduce.
+pub const UNMODELED_KNOBS: &[&str] = &["vect", "pipeline_batch", "dyn_grain", "unroll"];
+
 /// A lowered program: bytecode statement table plus compiled control
 /// tree, specialized to one parameter vector.
 #[derive(Clone, Debug)]
@@ -229,6 +258,124 @@ pub struct VmProgram {
     pub stmts: Vec<CompiledStmt>,
     /// Compiled control tree.
     pub body: CNode,
+    /// Knobs this backend is blind to (always [`UNMODELED_KNOBS`] for a
+    /// lowered program; carried on the program so sweep cells can be
+    /// tagged without reaching back into the crate).
+    pub unmodeled_knobs: &'static [&'static str],
+}
+
+impl VmProgram {
+    /// Structural validity: every statement reference, array id,
+    /// register and loop variable is inside its table. [`lower`]
+    /// guarantees this by construction; [`crate::run_opts`] re-checks
+    /// once at entry so hand-built programs cannot index out of the
+    /// interpreter's tables, and the per-instruction checks in the hot
+    /// loop are debug assertions only.
+    pub fn validate(&self) -> Result<(), String> {
+        let n_arrays = self.array_lens.len();
+        for (k, s) in self.stmts.iter().enumerate() {
+            if s.store_array as usize >= n_arrays {
+                return Err(format!("stmt {k}: store array {} out of range", s.store_array));
+            }
+            if s.result as usize >= self.max_regs {
+                return Err(format!("stmt {k}: result register {} out of file", s.result));
+            }
+            self.check_aff(&s.store_addr)
+                .map_err(|e| format!("stmt {k} store address: {e}"))?;
+            for (pos, i) in s.code.iter().enumerate() {
+                let reg = |r: u16| -> Result<(), String> {
+                    if r as usize >= self.max_regs {
+                        return Err(format!("stmt {k} instr {pos}: register {r} out of file"));
+                    }
+                    Ok(())
+                };
+                match i {
+                    Instr::Const { dst, .. } => reg(*dst)?,
+                    Instr::Iter { dst, aff } => {
+                        reg(*dst)?;
+                        self.check_aff(aff)
+                            .map_err(|e| format!("stmt {k} instr {pos}: {e}"))?;
+                    }
+                    Instr::Load { dst, array, addr, .. } => {
+                        reg(*dst)?;
+                        if *array as usize >= n_arrays {
+                            return Err(format!(
+                                "stmt {k} instr {pos}: load array {array} out of range"
+                            ));
+                        }
+                        self.check_aff(addr)
+                            .map_err(|e| format!("stmt {k} instr {pos}: {e}"))?;
+                    }
+                    Instr::Bin { dst, a, b, .. } => {
+                        reg(*dst)?;
+                        reg(*a)?;
+                        reg(*b)?;
+                    }
+                    Instr::Un { dst, a, .. } => {
+                        reg(*dst)?;
+                        reg(*a)?;
+                    }
+                }
+            }
+        }
+        self.check_node(&self.body)
+    }
+
+    fn check_aff(&self, e: &AffExpr) -> Result<(), String> {
+        for &(v, _) in &e.terms {
+            if v as usize >= self.n_vars {
+                return Err(format!("variable {v} out of frame"));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_bound(&self, b: &CBound) -> Result<(), String> {
+        if b.exprs.is_empty() {
+            return Err("empty bound".to_string());
+        }
+        for (e, d) in &b.exprs {
+            if *d <= 0 {
+                return Err(format!("non-positive bound denominator {d}"));
+            }
+            self.check_aff(e)?;
+        }
+        Ok(())
+    }
+
+    fn check_node(&self, n: &CNode) -> Result<(), String> {
+        match n {
+            CNode::Seq(xs) => xs.iter().try_for_each(|x| self.check_node(x)),
+            CNode::Guard(gs, b) => {
+                for g in gs {
+                    self.check_aff(g)?;
+                }
+                self.check_node(b)
+            }
+            CNode::Loop(l) => {
+                if l.var >= self.n_vars {
+                    return Err(format!("loop variable {} out of frame", l.var));
+                }
+                if l.step <= 0 {
+                    return Err(format!("loop has non-positive step {}", l.step));
+                }
+                self.check_bound(&l.lo)?;
+                self.check_bound(&l.hi)?;
+                if let Some(acc) = l.reduction_array {
+                    if acc as usize >= self.array_lens.len() {
+                        return Err(format!("reduction accumulator {acc} out of range"));
+                    }
+                }
+                self.check_node(&l.body)
+            }
+            CNode::Stmt(k) => {
+                if *k as usize >= self.stmts.len() {
+                    return Err(format!("stmt {k} out of table"));
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 struct Lowerer<'a> {
@@ -286,7 +433,7 @@ pub fn lower(prog: &Program, params: &[i64]) -> Result<VmProgram, VmError> {
     };
     let body = lw.node(&prog.body)?;
     let max_regs = lw.stmts.iter().map(|s| s.n_regs).max().unwrap_or(0).max(1);
-    Ok(VmProgram {
+    let vm = VmProgram {
         n_vars: lw.n_vars,
         max_regs,
         array_lens: lw
@@ -296,7 +443,12 @@ pub fn lower(prog: &Program, params: &[i64]) -> Result<VmProgram, VmError> {
             .collect(),
         stmts: lw.stmts,
         body,
-    })
+        unmodeled_knobs: UNMODELED_KNOBS,
+    };
+    // Structural validity is established here, once, instead of being
+    // re-discovered access-by-access inside the execution hot loop.
+    vm.validate().map_err(VmError::Lower)?;
+    Ok(vm)
 }
 
 impl Lowerer<'_> {
@@ -379,6 +531,7 @@ impl Lowerer<'_> {
                     result,
                     store_array: stmt.write.array.0 as u32,
                     store_addr,
+                    store_proven: false,
                     n_regs: next as usize,
                 });
                 Ok(CNode::Stmt(idx))
@@ -485,6 +638,7 @@ impl Lowerer<'_> {
                     dst,
                     array: array.0 as u32,
                     addr,
+                    proven: false,
                 });
                 Ok(dst)
             }
@@ -538,7 +692,7 @@ impl Lowerer<'_> {
                 return None;
             };
             let self_load = |r: u16| {
-                cs.code.iter().any(|i| matches!(i, Instr::Load { dst, array, addr }
+                cs.code.iter().any(|i| matches!(i, Instr::Load { dst, array, addr, .. }
                     if *dst == r && *array == arr && *addr == cs.store_addr))
             };
             if !self_load(*a) && !self_load(*b) {
